@@ -1,0 +1,326 @@
+//! Clipper-style front end over model containers.
+//!
+//! Clipper "deploys pipelines as Docker containers connected through RPC to
+//! a front end" and applies "external model-agnostic techniques" — result
+//! caching and batching — "to achieve better latency, throughput, and
+//! accuracy" (paper §7). [`ClipperFrontEnd`] reproduces the serving path of
+//! the paper's *ML.Net + Clipper* configuration: it speaks the same wire
+//! protocol as PRETZEL's FrontEnd (so benchmarks drive both systems with
+//! one [`pretzel_core::frontend::Client`]), routes each request to the
+//! target model's [`Container`](crate::container::Container) over a second TCP hop, and optionally
+//! caches prediction results.
+
+use crate::container;
+use parking_lot::Mutex;
+use pretzel_core::lru::LruCache;
+use pretzel_data::hash::fnv1a;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Clipper front-end options.
+#[derive(Debug, Clone, Default)]
+pub struct ClipperConfig {
+    /// Byte budget of the prediction-result cache; 0 disables it.
+    pub result_cache_bytes: usize,
+}
+
+type ResultCache = Arc<Mutex<LruCache<(u32, u64), Vec<u8>>>>;
+
+/// The Clipper-style routing front end.
+pub struct ClipperFrontEnd {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ClipperFrontEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClipperFrontEnd")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ClipperFrontEnd {
+    /// Starts the front end routing `plan_id → container address`.
+    pub fn serve(
+        routes: HashMap<u32, SocketAddr>,
+        config: ClipperConfig,
+    ) -> std::io::Result<ClipperFrontEnd> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let cache: Option<ResultCache> = (config.result_cache_bytes > 0)
+            .then(|| Arc::new(Mutex::new(LruCache::new(config.result_cache_bytes))));
+        let routes = Arc::new(routes);
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let routes = Arc::clone(&routes);
+                let cache = cache.clone();
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, routes, cache);
+                });
+            }
+        });
+        Ok(ClipperFrontEnd {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Address clients connect to (FrontEnd-protocol compatible).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the front end.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ClipperFrontEnd {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    routes: Arc<HashMap<u32, SocketAddr>>,
+    cache: Option<ResultCache>,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    // Connections to containers opened lazily and kept for this client.
+    let mut backends: HashMap<u32, TcpStream> = HashMap::new();
+    loop {
+        let body = match container::read_frame(&mut stream)? {
+            Some(b) => b,
+            None => return Ok(()),
+        };
+        let reply = route_request(&body, &routes, &mut backends, &cache)
+            .unwrap_or_else(|e| container::encode_err(&e));
+        container::write_frame(&mut stream, &reply)?;
+    }
+}
+
+fn route_request(
+    body: &[u8],
+    routes: &HashMap<u32, SocketAddr>,
+    backends: &mut HashMap<u32, TcpStream>,
+    cache: &Option<ResultCache>,
+) -> Result<Vec<u8>, String> {
+    // FrontEnd protocol: u32 plan_id, then the container body verbatim.
+    if body.len() < 8 {
+        return Err("short request".into());
+    }
+    let plan = u32::from_le_bytes([body[0], body[1], body[2], body[3]]);
+    let forward = &body[4..];
+    let flags = forward[1]; // kind_flags byte 1 = flags
+    let use_cache = cache.is_some() && flags & pretzel_core::frontend::FLAG_RESULT_CACHE != 0;
+    let key = (plan, fnv1a(forward));
+    if use_cache {
+        if let Some(hit) = cache.as_ref().and_then(|c| c.lock().get(&key).cloned()) {
+            return Ok(hit);
+        }
+    }
+    let addr = routes
+        .get(&plan)
+        .ok_or_else(|| format!("unknown plan id {plan}"))?;
+    let backend = match backends.entry(plan) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::hash_map::Entry::Vacant(e) => {
+            let s = TcpStream::connect(addr).map_err(|e| format!("container connect: {e}"))?;
+            s.set_nodelay(true).ok();
+            e.insert(s)
+        }
+    };
+    send_with_retry(backend, addr, forward)
+        .inspect(|reply| {
+            if use_cache {
+                if let Some(c) = cache {
+                    let cost = reply.len() + 32;
+                    c.lock().insert(key, reply.clone(), cost);
+                }
+            }
+        })
+        .map_err(|e| format!("container rpc: {e}"))
+}
+
+fn send_with_retry(
+    backend: &mut TcpStream,
+    addr: &SocketAddr,
+    body: &[u8],
+) -> std::io::Result<Vec<u8>> {
+    match rpc_once(backend, body) {
+        Ok(reply) => Ok(reply),
+        Err(_) => {
+            // The cached connection may have gone stale; reconnect once.
+            *backend = TcpStream::connect(addr)?;
+            backend.set_nodelay(true)?;
+            rpc_once(backend, body)
+        }
+    }
+}
+
+fn rpc_once(stream: &mut TcpStream, body: &[u8]) -> std::io::Result<Vec<u8>> {
+    stream.write_all(&(body.len() as u32).to_le_bytes())?;
+    stream.write_all(body)?;
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > 64 << 20 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "reply too large",
+        ));
+    }
+    let mut reply = vec![0u8; len];
+    stream.read_exact(&mut reply)?;
+    Ok(reply)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blackbox::BlackBoxModel;
+    use crate::container::{Container, ContainerConfig};
+    use pretzel_core::flour::FlourContext;
+    use pretzel_core::frontend::{Client, FLAG_RESULT_CACHE};
+    use pretzel_core::physical::SourceRef;
+    use pretzel_ops::linear::LinearKind;
+    use pretzel_ops::synth;
+
+    fn sa_image(seed: u64) -> Arc<Vec<u8>> {
+        let vocab = synth::vocabulary(0, 32);
+        let ctx = FlourContext::new();
+        let tokens = ctx.csv(',').select_text(1).tokenize();
+        let c = tokens.char_ngram(Arc::new(synth::char_ngram(1, 3, 64)));
+        let w = tokens.word_ngram(Arc::new(synth::word_ngram(2, 2, 64, &vocab)));
+        let graph = c
+            .concat(&w)
+            .classifier_linear(Arc::new(synth::linear(seed, 128, LinearKind::Logistic)))
+            .graph();
+        Arc::new(graph.to_model_image())
+    }
+
+    fn deploy(
+        n: usize,
+    ) -> (Vec<Container>, ClipperFrontEnd, Vec<Arc<Vec<u8>>>) {
+        let images: Vec<_> = (0..n as u64).map(sa_image).collect();
+        let containers: Vec<_> = images
+            .iter()
+            .map(|img| {
+                Container::spawn(
+                    Arc::clone(img),
+                    ContainerConfig {
+                        overhead_bytes: 1 << 12,
+                        preload: true,
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
+        let routes: HashMap<u32, SocketAddr> = containers
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i as u32, c.addr()))
+            .collect();
+        let fe = ClipperFrontEnd::serve(routes, ClipperConfig::default()).unwrap();
+        (containers, fe, images)
+    }
+
+    #[test]
+    fn client_routes_through_clipper_to_the_right_container() {
+        let (containers, fe, images) = deploy(3);
+        let mut client = Client::connect(fe.addr()).unwrap();
+        for (i, image) in images.iter().enumerate() {
+            let mut reference = BlackBoxModel::from_image(Arc::clone(image));
+            let expect = reference.predict(SourceRef::Text("5,nice thing")).unwrap();
+            let got = client.predict_text(i as u32, "5,nice thing", 0).unwrap();
+            assert!(
+                (got - expect).abs() < 1e-6,
+                "plan {i}: {got} vs {expect}"
+            );
+        }
+        fe.stop();
+        for c in containers {
+            c.stop();
+        }
+    }
+
+    #[test]
+    fn unknown_plan_is_an_error() {
+        let (containers, fe, _) = deploy(1);
+        let mut client = Client::connect(fe.addr()).unwrap();
+        assert!(client.predict_text(9, "1,x", 0).is_err());
+        fe.stop();
+        for c in containers {
+            c.stop();
+        }
+    }
+
+    #[test]
+    fn result_cache_short_circuits_repeats() {
+        let images = [sa_image(0)];
+        let container = Container::spawn(
+            Arc::clone(&images[0]),
+            ContainerConfig {
+                overhead_bytes: 1 << 12,
+                preload: true,
+            },
+        )
+        .unwrap();
+        let routes: HashMap<u32, SocketAddr> = [(0u32, container.addr())].into();
+        let fe = ClipperFrontEnd::serve(
+            routes,
+            ClipperConfig {
+                result_cache_bytes: 1 << 16,
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect(fe.addr()).unwrap();
+        let a = client
+            .predict_text(0, "5,same line", FLAG_RESULT_CACHE)
+            .unwrap();
+        // Kill the container: a cache hit must still answer.
+        container.stop();
+        let b = client
+            .predict_text(0, "5,same line", FLAG_RESULT_CACHE)
+            .unwrap();
+        assert_eq!(a, b);
+        fe.stop();
+    }
+
+    #[test]
+    fn batch_request_via_clipper() {
+        let (containers, fe, _) = deploy(1);
+        let mut client = Client::connect(fe.addr()).unwrap();
+        let scores = client
+            .predict_text_batch(0, &["1,a", "5,great stuff", "2,so so"], 0)
+            .unwrap();
+        assert_eq!(scores.len(), 3);
+        fe.stop();
+        for c in containers {
+            c.stop();
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks of operator kernels — the per-operator costs
+//! underlying Figures 5 and 9.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pretzel_data::{ColumnType, Vector};
+use pretzel_ops::linear::LinearKind;
+use pretzel_ops::synth;
+use pretzel_ops::text::tokenizer::TokenizerParams;
+use pretzel_workload::text::{ReviewGen, StructuredGen};
+
+fn bench_text_ops(c: &mut Criterion) {
+    let mut reviews = ReviewGen::new(1, 4000, 1.2);
+    let text = reviews.review(20, 20);
+    let tokenizer = TokenizerParams::whitespace_punct();
+    let cgram = synth::char_ngram(2, 3, 5000);
+    let vocab = synth::vocabulary(1, 4000);
+    let wgram = synth::word_ngram(3, 2, 2000, &vocab);
+
+    let mut tokens = Vector::with_type(ColumnType::TokenList);
+    tokenizer.apply(&text, &mut tokens).unwrap();
+    let spans = tokens.as_tokens().unwrap().to_vec();
+
+    let mut group = c.benchmark_group("text_ops");
+    group.bench_function("tokenizer_20w", |b| {
+        let mut out = Vector::with_type(ColumnType::TokenList);
+        b.iter(|| tokenizer.apply(black_box(&text), &mut out).unwrap());
+    });
+    group.bench_function("char_ngram_5k_dict", |b| {
+        let mut out = Vector::with_type(ColumnType::F32Sparse { len: cgram.dim() });
+        b.iter(|| cgram.apply_char(black_box(&text), &mut out).unwrap());
+    });
+    group.bench_function("word_ngram_2k_dict", |b| {
+        let mut out = Vector::with_type(ColumnType::F32Sparse { len: wgram.dim() });
+        b.iter(|| {
+            wgram
+                .apply_word(black_box(&text), black_box(&spans), &mut out)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_model_ops(c: &mut Criterion) {
+    let dim = 512;
+    let linear = synth::linear(5, dim, LinearKind::Logistic);
+    let dense_in = Vector::Dense((0..dim).map(|i| (i % 7) as f32 * 0.1).collect());
+    let mut sparse_in = Vector::with_type(ColumnType::F32Sparse { len: dim });
+    for i in (0..dim as u32).step_by(16) {
+        sparse_in.sparse_accumulate(i, 1.0);
+    }
+    let ensemble = synth::ensemble(6, 40, 16, 5, pretzel_ops::tree::EnsembleMode::Average);
+    let kmeans = synth::kmeans(7, 8, 40);
+    let pca = synth::pca(8, 8, 40);
+    let mut gen = StructuredGen::new(9, 40);
+    let record = Vector::Dense(gen.record());
+
+    let mut group = c.benchmark_group("model_ops");
+    group.bench_function("linear_dense_512", |b| {
+        let mut out = Vector::Scalar(0.0);
+        b.iter(|| linear.apply(black_box(&dense_in), &mut out).unwrap());
+    });
+    group.bench_function("linear_sparse_32nnz", |b| {
+        let mut out = Vector::Scalar(0.0);
+        b.iter(|| linear.apply(black_box(&sparse_in), &mut out).unwrap());
+    });
+    group.bench_function("tree_ensemble_16x5", |b| {
+        let mut out = Vector::Scalar(0.0);
+        b.iter(|| ensemble.apply(black_box(&record), &mut out).unwrap());
+    });
+    group.bench_function("kmeans_8x40", |b| {
+        let mut out = Vector::with_type(ColumnType::F32Dense { len: 8 });
+        b.iter(|| kmeans.apply(black_box(&record), &mut out).unwrap());
+    });
+    group.bench_function("pca_8x40", |b| {
+        let mut out = Vector::with_type(ColumnType::F32Dense { len: 8 });
+        b.iter(|| pca.apply(black_box(&record), &mut out).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_text_ops, bench_model_ops);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! §5.2.1 ablations: AOT compilation and vector pooling.
+//!
+//! Paper: "Without AOT compilation, latencies of cold predictions increase
+//! on average by 1.6x and 4.2x for SA and AC pipelines"; "when we do not
+//! pool vectors, latencies increase in average by 47.1% for hot and 24.7%
+//! for cold".
+
+use pretzel_bench::{fmt_dur, images_of, print_table, time_it};
+use pretzel_core::runtime::{Runtime, RuntimeConfig};
+use pretzel_workload::load::LatencyRecorder;
+use pretzel_workload::text::{ReviewGen, StructuredGen};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Case {
+    cold_mean: Duration,
+    hot_mean: Duration,
+}
+
+fn run_case(images: &[Arc<Vec<u8>>], lines: &[String], aot: bool, pooling: bool) -> Case {
+    let runtime = Runtime::new(RuntimeConfig {
+        n_executors: 2,
+        aot,
+        pooling,
+        ..RuntimeConfig::default()
+    });
+    let ids = pretzel_bench::register_all(&runtime, images).unwrap();
+    let mut cold = LatencyRecorder::new();
+    let mut hot = LatencyRecorder::new();
+    for (k, &id) in ids.iter().enumerate() {
+        let line = &lines[k % lines.len()];
+        let (_, d_cold) = time_it(|| runtime.predict(id, line).unwrap());
+        cold.record(d_cold);
+        for _ in 0..5 {
+            let _ = runtime.predict(id, line).unwrap();
+        }
+        let (_, d) = time_it(|| {
+            for _ in 0..50 {
+                let _ = runtime.predict(id, line).unwrap();
+            }
+        });
+        hot.record(d / 50);
+    }
+    Case {
+        cold_mean: cold.mean().unwrap(),
+        hot_mean: hot.mean().unwrap(),
+    }
+}
+
+fn run_category(category: &str, images: &[Arc<Vec<u8>>], lines: &[String]) {
+    let full = run_case(images, lines, true, true);
+    let no_aot = run_case(images, lines, false, true);
+    let no_pool = run_case(images, lines, true, false);
+
+    print_table(
+        &format!("Ablations ({category}): AOT compilation and vector pooling"),
+        &["config", "cold mean", "hot mean"],
+        &[
+            vec![
+                "Pretzel (AOT + pooling)".into(),
+                fmt_dur(full.cold_mean),
+                fmt_dur(full.hot_mean),
+            ],
+            vec![
+                "no AOT".into(),
+                fmt_dur(no_aot.cold_mean),
+                fmt_dur(no_aot.hot_mean),
+            ],
+            vec![
+                "no pooling".into(),
+                fmt_dur(no_pool.cold_mean),
+                fmt_dur(no_pool.hot_mean),
+            ],
+        ],
+    );
+    println!(
+        "  cold slowdown without AOT: {:.2}x  (paper: 1.6x SA / 4.2x AC)",
+        no_aot.cold_mean.as_secs_f64() / full.cold_mean.as_secs_f64()
+    );
+    println!(
+        "  hot slowdown without pooling: {:.1}%  (paper: +47.1%)",
+        100.0 * (no_pool.hot_mean.as_secs_f64() / full.hot_mean.as_secs_f64() - 1.0)
+    );
+    println!(
+        "  cold slowdown without pooling: {:.1}%  (paper: +24.7%)",
+        100.0 * (no_pool.cold_mean.as_secs_f64() / full.cold_mean.as_secs_f64() - 1.0)
+    );
+}
+
+fn main() {
+    let sa = pretzel_bench::sa_workload();
+    let mut reviews = ReviewGen::new(71, sa.vocab.len(), 1.2);
+    let sa_lines: Vec<String> = (0..16)
+        .map(|_| format!("4,{}", reviews.review(15, 30)))
+        .collect();
+    run_category("SA", &images_of(&sa.graphs), &sa_lines);
+
+    let ac = pretzel_bench::ac_workload();
+    let mut gen = StructuredGen::new(73, pretzel_bench::ac_config().input_dim);
+    let ac_lines: Vec<String> = (0..16).map(|_| gen.csv_line()).collect();
+    run_category("AC", &images_of(&ac.graphs), &ac_lines);
+}

@@ -1,0 +1,114 @@
+//! Figure 10: effect of sub-plan materialization on hot SA latency.
+//!
+//! "If different pipelines have common featurizers, we can apply sub-plan
+//! materialization to reduce the latency. ... an average improvement of
+//! 2.0x, while no pipeline shows performance deterioration. Sub-plan
+//! materialization does not apply for AC pipelines" (paper §5.2.1).
+//!
+//! The scenario is the paper's A/B-testing one: the *same request* is
+//! scored by many similar pipelines, so a pipeline sharing a featurizer
+//! version with an earlier-scored pipeline finds the featurizer's output
+//! already materialized.
+
+use pretzel_bench::{fmt_dur, images_of, print_table, time_it};
+use pretzel_core::runtime::{Runtime, RuntimeConfig};
+use pretzel_workload::load::LatencyRecorder;
+use pretzel_workload::text::ReviewGen;
+use std::time::Duration;
+
+fn hot_latencies(runtime: &Runtime, ids: &[u32], lines: &[String]) -> Vec<Duration> {
+    // Warm everything (plans, pools, cache) with one full pass.
+    for &id in ids {
+        for line in lines {
+            let _ = runtime.predict(id, line).unwrap();
+        }
+    }
+    // Measure: each pipeline scores every line; average per pipeline.
+    ids.iter()
+        .map(|&id| {
+            let (_, d) = time_it(|| {
+                for _ in 0..5 {
+                    for line in lines {
+                        let _ = runtime.predict(id, line).unwrap();
+                    }
+                }
+            });
+            d / (5 * lines.len()) as u32
+        })
+        .collect()
+}
+
+fn main() {
+    let sa = pretzel_bench::sa_workload();
+    let images = images_of(&sa.graphs);
+    let mut reviews = ReviewGen::new(21, sa.vocab.len(), 1.2);
+    let lines: Vec<String> = (0..8)
+        .map(|_| format!("5,{}", reviews.review(15, 30)))
+        .collect();
+
+    let plain_rt = Runtime::new(RuntimeConfig {
+        n_executors: 2,
+        ..RuntimeConfig::default()
+    });
+    let plain_ids = pretzel_bench::register_all(&plain_rt, &images).unwrap();
+    let plain = hot_latencies(&plain_rt, &plain_ids, &lines);
+
+    let mat_rt = Runtime::new(RuntimeConfig {
+        n_executors: 2,
+        materialization_budget: 256 << 20,
+        ..RuntimeConfig::default()
+    });
+    let mat_ids = pretzel_bench::register_all(&mat_rt, &images).unwrap();
+    let mat = hot_latencies(&mat_rt, &mat_ids, &lines);
+
+    let mut speedups: Vec<f64> = plain
+        .iter()
+        .zip(&mat)
+        .map(|(p, m)| p.as_secs_f64() / m.as_secs_f64().max(1e-12))
+        .collect();
+    speedups.sort_by(f64::total_cmp);
+
+    let mut base_rec = LatencyRecorder::new();
+    let mut mat_rec = LatencyRecorder::new();
+    for (&p, &m) in plain.iter().zip(&mat) {
+        base_rec.record(p);
+        mat_rec.record(m);
+    }
+    print_table(
+        "Figure 10: SA hot latency with/without sub-plan materialization",
+        &["config", "p50", "p99", "worst"],
+        &[
+            vec![
+                "Pretzel".into(),
+                fmt_dur(base_rec.p50().unwrap()),
+                fmt_dur(base_rec.p99().unwrap()),
+                fmt_dur(base_rec.worst().unwrap()),
+            ],
+            vec![
+                "Pretzel + materialization".into(),
+                fmt_dur(mat_rec.p50().unwrap()),
+                fmt_dur(mat_rec.p99().unwrap()),
+                fmt_dur(mat_rec.worst().unwrap()),
+            ],
+        ],
+    );
+
+    let mean: f64 = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    let over2x = speedups.iter().filter(|&&s| s >= 2.0).count();
+    let regressed = speedups.iter().filter(|&&s| s < 0.95).count();
+    println!("\nper-pipeline speedup CDF (fraction, speedup):");
+    for i in 1..=10 {
+        let f = i as f64 / 10.0;
+        let idx = ((speedups.len() as f64 - 1.0) * f).round() as usize;
+        println!("  {f:>4.1}  {:.2}x", speedups[idx]);
+    }
+    println!(
+        "\nmean speedup {mean:.2}x; {over2x}/{} pipelines ≥2x; {regressed} regressed \
+         (paper: ~80% of SA pipelines >2x, none slower)",
+        speedups.len()
+    );
+    if let Some(cache) = mat_rt.materialization_cache() {
+        let (hits, misses, evictions) = cache.stats();
+        println!("cache: {hits} hits, {misses} misses, {evictions} evictions");
+    }
+}

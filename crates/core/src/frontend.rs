@@ -1,0 +1,562 @@
+//! TCP FrontEnd: remote request submission plus the "external"
+//! optimizations.
+//!
+//! "A FrontEnd is used to submit prediction requests to the system"
+//! (paper §4); the end-to-end experiments (Figures 11 and 14) measure a
+//! client talking to it over the network. The FrontEnd also implements the
+//! two *external*, black-box-compatible optimizations of §4.3 — prediction
+//! results caching (LRU) and delayed batching — which are "orthogonal to
+//! PRETZEL's techniques, so both are applicable in a complementary manner".
+//!
+//! The wire protocol is deliberately small: length-prefixed frames, one
+//! request → one response, little-endian.
+//!
+//! ```text
+//! request  := u32 body_len · u32 plan_id · u8 kind · u8 flags ·
+//!             u16 n_records · record*
+//! record   := u32 len · bytes          (kind 0: UTF-8 text)
+//!           | u32 n   · f32*           (kind 1: dense)
+//! response := u32 body_len · u8 status ·
+//!             (status 0: u16 n · f32*) | (status 1: u32 len · bytes)
+//! ```
+
+use crate::lru::LruCache;
+use crate::runtime::{PlanId, Runtime};
+use crate::scheduler::Record;
+use parking_lot::Mutex;
+use pretzel_data::hash::{fnv1a, Fnv1a};
+use pretzel_data::{DataError, Result};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Record kind tag on the wire.
+const KIND_TEXT: u8 = 0;
+/// Dense record kind tag.
+const KIND_DENSE: u8 = 1;
+/// Request flag: consult/populate the prediction-result cache.
+pub const FLAG_RESULT_CACHE: u8 = 0b01;
+/// Request flag: submit through the delayed batcher.
+pub const FLAG_DELAYED_BATCH: u8 = 0b10;
+
+/// FrontEnd configuration.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct FrontEndConfig {
+    /// Byte budget of the prediction-result cache; 0 disables it.
+    pub result_cache_bytes: usize,
+    /// Flush interval of the delayed batcher; `None` disables it.
+    pub batch_delay: Option<Duration>,
+}
+
+
+type PendingBatch = Vec<(Record, mpsc::Sender<Result<f32>>)>;
+
+#[derive(Default)]
+struct Batcher {
+    pending: Mutex<HashMap<PlanId, PendingBatch>>,
+}
+
+/// A running TCP front end.
+pub struct FrontEnd {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    flush_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for FrontEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrontEnd").field("addr", &self.addr).finish()
+    }
+}
+
+impl FrontEnd {
+    /// Binds a loopback listener and starts serving `runtime`.
+    pub fn serve(runtime: Arc<Runtime>, config: FrontEndConfig) -> std::io::Result<FrontEnd> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let cache = (config.result_cache_bytes > 0).then(|| {
+            Arc::new(Mutex::new(LruCache::<(PlanId, u64), f32>::new(
+                config.result_cache_bytes,
+            )))
+        });
+        let batcher = config.batch_delay.map(|_| Arc::new(Batcher::default()));
+
+        // Delayed-batching flusher: every tick, drain pending requests per
+        // plan and submit them as one batch (paper §4.3).
+        let flush_thread = match (&batcher, config.batch_delay) {
+            (Some(batcher), Some(delay)) => {
+                let batcher = Arc::clone(batcher);
+                let runtime = Arc::clone(&runtime);
+                let stop = Arc::clone(&stop);
+                Some(std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(delay);
+                        flush_pending(&batcher, &runtime);
+                    }
+                    flush_pending(&batcher, &runtime);
+                }))
+            }
+            _ => None,
+        };
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let runtime = Arc::clone(&runtime);
+                let cache = cache.clone();
+                let batcher = batcher.clone();
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, runtime, cache, batcher);
+                });
+            }
+        });
+
+        Ok(FrontEnd {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            flush_thread,
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the service threads.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.flush_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FrontEnd {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn flush_pending(batcher: &Batcher, runtime: &Runtime) {
+    let drained: Vec<(PlanId, PendingBatch)> = {
+        let mut pending = batcher.pending.lock();
+        pending.drain().collect()
+    };
+    for (plan, entries) in drained {
+        let (records, senders): (Vec<Record>, Vec<mpsc::Sender<Result<f32>>>) =
+            entries.into_iter().unzip();
+        match runtime.predict_batch_wait(plan, records) {
+            Ok(scores) => {
+                for (s, tx) in scores.into_iter().zip(senders) {
+                    let _ = tx.send(Ok(s));
+                }
+            }
+            Err(e) => {
+                for tx in senders {
+                    let _ = tx.send(Err(e.clone()));
+                }
+            }
+        }
+    }
+}
+
+type ResultCache = Arc<Mutex<LruCache<(PlanId, u64), f32>>>;
+
+fn serve_connection(
+    mut stream: TcpStream,
+    runtime: Arc<Runtime>,
+    cache: Option<ResultCache>,
+    batcher: Option<Arc<Batcher>>,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    loop {
+        let body = match read_frame(&mut stream) {
+            Ok(Some(b)) => b,
+            Ok(None) => return Ok(()), // clean EOF
+            Err(e) => return Err(e),
+        };
+        let reply = match handle_request(&body, &runtime, &cache, &batcher) {
+            Ok(scores) => encode_ok(&scores),
+            Err(e) => encode_err(&e.to_string()),
+        };
+        write_frame(&mut stream, &reply)?;
+    }
+}
+
+fn handle_request(
+    body: &[u8],
+    runtime: &Runtime,
+    cache: &Option<ResultCache>,
+    batcher: &Option<Arc<Batcher>>,
+) -> Result<Vec<f32>> {
+    let mut cur = pretzel_data::serde_bin::Cursor::new(body);
+    let plan = cur.u32()?;
+    let kind_flags = cur.u32()?;
+    let kind = (kind_flags & 0xff) as u8;
+    let flags = ((kind_flags >> 8) & 0xff) as u8;
+    let n = (kind_flags >> 16) as usize;
+    let mut records = Vec::with_capacity(n.min(1 << 16));
+    let mut hashes = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        match kind {
+            KIND_TEXT => {
+                let s = cur.str()?;
+                hashes.push(fnv1a(s.as_bytes()));
+                records.push(Record::Text(s));
+            }
+            KIND_DENSE => {
+                let x = cur.f32s()?;
+                let mut h = Fnv1a::new();
+                for &v in &x {
+                    h.write_f32(v);
+                }
+                hashes.push(h.finish());
+                records.push(Record::Dense(x));
+            }
+            k => return Err(DataError::Runtime(format!("bad record kind {k}"))),
+        }
+    }
+
+    // Prediction-result cache: single-record requests only (multi-record
+    // requests are batch jobs where caching individual rows buys little).
+    let use_cache = flags & FLAG_RESULT_CACHE != 0 && records.len() == 1;
+    if use_cache {
+        if let Some(cache) = cache {
+            if let Some(&score) = cache.lock().get(&(plan, hashes[0])) {
+                return Ok(vec![score]);
+            }
+        }
+    }
+
+    let scores = if flags & FLAG_DELAYED_BATCH != 0 && records.len() == 1 {
+        match batcher {
+            Some(batcher) => {
+                let (tx, rx) = mpsc::channel();
+                batcher
+                    .pending
+                    .lock()
+                    .entry(plan)
+                    .or_default()
+                    .push((records.pop().expect("one record"), tx));
+                vec![rx
+                    .recv()
+                    .map_err(|_| DataError::Runtime("batcher dropped request".into()))??]
+            }
+            None => {
+                return Err(DataError::Runtime(
+                    "delayed batching not enabled on this front end".into(),
+                ))
+            }
+        }
+    } else if records.len() == 1 {
+        // Request-response engine.
+        vec![match &records[0] {
+            Record::Text(s) => runtime.predict(plan, s)?,
+            Record::Dense(x) => runtime.predict_dense(plan, x)?,
+        }]
+    } else {
+        runtime.predict_batch_wait(plan, records)?
+    };
+
+    if use_cache {
+        if let Some(cache) = cache {
+            cache.lock().insert((plan, hashes[0]), scores[0], 16);
+        }
+    }
+    Ok(scores)
+}
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match stream.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > 64 << 20 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+fn write_frame(stream: &mut TcpStream, body: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&(body.len() as u32).to_le_bytes())?;
+    stream.write_all(body)
+}
+
+fn encode_ok(scores: &[f32]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(5 + scores.len() * 4);
+    body.push(0u8);
+    body.extend_from_slice(&(scores.len() as u32).to_le_bytes());
+    for &s in scores {
+        body.extend_from_slice(&s.to_le_bytes());
+    }
+    body
+}
+
+fn encode_err(msg: &str) -> Vec<u8> {
+    let mut body = Vec::with_capacity(5 + msg.len());
+    body.push(1u8);
+    body.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+    body.extend_from_slice(msg.as_bytes());
+    body
+}
+
+/// A blocking client for the FrontEnd protocol.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a FrontEnd.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    fn roundtrip(&mut self, request: &[u8]) -> Result<Vec<f32>> {
+        let io_err = |e: std::io::Error| DataError::Runtime(format!("frontend io: {e}"));
+        write_frame(&mut self.stream, request).map_err(io_err)?;
+        let body = read_frame(&mut self.stream)
+            .map_err(io_err)?
+            .ok_or_else(|| DataError::Runtime("frontend closed connection".into()))?;
+        decode_response(&body)
+    }
+
+    /// Scores one text record; `flags` selects external optimizations.
+    pub fn predict_text(&mut self, plan: PlanId, line: &str, flags: u8) -> Result<f32> {
+        let req = encode_request_text(plan, std::slice::from_ref(&line), flags);
+        let scores = self.roundtrip(&req)?;
+        scores
+            .first()
+            .copied()
+            .ok_or_else(|| DataError::Runtime("empty response".into()))
+    }
+
+    /// Scores a batch of text records.
+    pub fn predict_text_batch(&mut self, plan: PlanId, lines: &[&str], flags: u8) -> Result<Vec<f32>> {
+        self.roundtrip(&encode_request_text(plan, lines, flags))
+    }
+
+    /// Scores one dense record.
+    pub fn predict_dense(&mut self, plan: PlanId, x: &[f32], flags: u8) -> Result<f32> {
+        let req = encode_request_dense(plan, std::slice::from_ref(&x), flags);
+        let scores = self.roundtrip(&req)?;
+        scores
+            .first()
+            .copied()
+            .ok_or_else(|| DataError::Runtime("empty response".into()))
+    }
+
+    /// Scores a batch of dense records.
+    pub fn predict_dense_batch(
+        &mut self,
+        plan: PlanId,
+        records: &[&[f32]],
+        flags: u8,
+    ) -> Result<Vec<f32>> {
+        self.roundtrip(&encode_request_dense(plan, records, flags))
+    }
+}
+
+fn request_header(plan: PlanId, kind: u8, flags: u8, n: usize) -> Vec<u8> {
+    let mut req = Vec::new();
+    req.extend_from_slice(&plan.to_le_bytes());
+    let kind_flags = u32::from(kind) | (u32::from(flags) << 8) | ((n as u32) << 16);
+    req.extend_from_slice(&kind_flags.to_le_bytes());
+    req
+}
+
+fn encode_request_text(plan: PlanId, lines: &[&str], flags: u8) -> Vec<u8> {
+    let mut req = request_header(plan, KIND_TEXT, flags, lines.len());
+    for line in lines {
+        req.extend_from_slice(&(line.len() as u32).to_le_bytes());
+        req.extend_from_slice(line.as_bytes());
+    }
+    req
+}
+
+fn encode_request_dense(plan: PlanId, records: &[&[f32]], flags: u8) -> Vec<u8> {
+    let mut req = request_header(plan, KIND_DENSE, flags, records.len());
+    for x in records {
+        req.extend_from_slice(&(x.len() as u32).to_le_bytes());
+        for v in *x {
+            req.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    req
+}
+
+fn decode_response(body: &[u8]) -> Result<Vec<f32>> {
+    let (&status, rest) = body
+        .split_first()
+        .ok_or_else(|| DataError::Runtime("empty frame".into()))?;
+    let mut cur = pretzel_data::serde_bin::Cursor::new(rest);
+    match status {
+        0 => cur.f32s(),
+        1 => {
+            let len = cur.u32()? as usize;
+            let msg = String::from_utf8_lossy(&rest[4..(4 + len).min(rest.len())]).into_owned();
+            Err(DataError::Runtime(format!("server error: {msg}")))
+        }
+        s => Err(DataError::Runtime(format!("bad response status {s}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flour::FlourContext;
+    use crate::runtime::RuntimeConfig;
+    use pretzel_ops::linear::LinearKind;
+    use pretzel_ops::synth;
+
+    fn serve_sa(config: FrontEndConfig) -> (Arc<Runtime>, FrontEnd, PlanId) {
+        let vocab = synth::vocabulary(0, 64);
+        let ctx = FlourContext::new();
+        let tokens = ctx.csv(',').select_text(1).tokenize();
+        let c = tokens.char_ngram(Arc::new(synth::char_ngram(1, 3, 64)));
+        let w = tokens.word_ngram(Arc::new(synth::word_ngram(2, 2, 64, &vocab)));
+        let logical = c
+            .concat(&w)
+            .classifier_linear(Arc::new(synth::linear(3, 128, LinearKind::Logistic)))
+            .plan()
+            .unwrap();
+        let rt = Arc::new(Runtime::new(RuntimeConfig {
+            n_executors: 2,
+            ..RuntimeConfig::default()
+        }));
+        let id = rt.register(logical).unwrap();
+        let fe = FrontEnd::serve(Arc::clone(&rt), config).unwrap();
+        (rt, fe, id)
+    }
+
+    #[test]
+    fn client_server_round_trip_matches_local() {
+        let (rt, fe, id) = serve_sa(FrontEndConfig::default());
+        let mut client = Client::connect(fe.addr()).unwrap();
+        let remote = client.predict_text(id, "5,a nice product", 0).unwrap();
+        let local = rt.predict(id, "5,a nice product").unwrap();
+        assert!((remote - local).abs() < 1e-6);
+        fe.stop();
+    }
+
+    #[test]
+    fn batch_request_over_the_wire() {
+        let (rt, fe, id) = serve_sa(FrontEndConfig::default());
+        let mut client = Client::connect(fe.addr()).unwrap();
+        let lines = ["1,bad product", "5,wonderful thing", "3,meh"];
+        let scores = client.predict_text_batch(id, &lines, 0).unwrap();
+        assert_eq!(scores.len(), 3);
+        for (line, s) in lines.iter().zip(&scores) {
+            assert!((rt.predict(id, line).unwrap() - s).abs() < 1e-6);
+        }
+        fe.stop();
+    }
+
+    #[test]
+    fn server_reports_errors_for_unknown_plan() {
+        let (_rt, fe, _id) = serve_sa(FrontEndConfig::default());
+        let mut client = Client::connect(fe.addr()).unwrap();
+        let err = client.predict_text(99, "1,x", 0).unwrap_err();
+        assert!(err.to_string().contains("unknown plan"));
+        fe.stop();
+    }
+
+    #[test]
+    fn result_cache_serves_repeats() {
+        let (_rt, fe, id) = serve_sa(FrontEndConfig {
+            result_cache_bytes: 1 << 16,
+            batch_delay: None,
+        });
+        let mut client = Client::connect(fe.addr()).unwrap();
+        let a = client
+            .predict_text(id, "5,same line", FLAG_RESULT_CACHE)
+            .unwrap();
+        let b = client
+            .predict_text(id, "5,same line", FLAG_RESULT_CACHE)
+            .unwrap();
+        assert_eq!(a, b);
+        fe.stop();
+    }
+
+    #[test]
+    fn delayed_batching_returns_correct_scores() {
+        let (rt, fe, id) = serve_sa(FrontEndConfig {
+            result_cache_bytes: 0,
+            batch_delay: Some(Duration::from_millis(2)),
+        });
+        let addr = fe.addr();
+        let local = rt.predict(id, "4,pretty good").unwrap();
+        // Several concurrent clients ride the same flush.
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    c.predict_text(id, "4,pretty good", FLAG_DELAYED_BATCH)
+                        .unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!((h.join().unwrap() - local).abs() < 1e-6);
+        }
+        fe.stop();
+    }
+
+    #[test]
+    fn dense_records_over_the_wire() {
+        let dim = 8;
+        let ctx = FlourContext::new();
+        let logical = ctx
+            .dense_source(dim)
+            .scale(Arc::new(synth::scaler(1, dim)))
+            .regressor_tree(Arc::new(synth::ensemble(
+                2,
+                dim,
+                2,
+                2,
+                pretzel_ops::tree::EnsembleMode::Sum,
+            )))
+            .plan()
+            .unwrap();
+        let rt = Arc::new(Runtime::new(RuntimeConfig::default()));
+        let id = rt.register(logical).unwrap();
+        let fe = FrontEnd::serve(Arc::clone(&rt), FrontEndConfig::default()).unwrap();
+        let mut client = Client::connect(fe.addr()).unwrap();
+        let x = vec![0.25f32; dim];
+        let remote = client.predict_dense(id, &x, 0).unwrap();
+        assert!((remote - rt.predict_dense(id, &x).unwrap()).abs() < 1e-6);
+        fe.stop();
+    }
+}

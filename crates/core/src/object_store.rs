@@ -1,0 +1,227 @@
+//! The Object Store: parameter dedup and sub-plan materialization.
+//!
+//! "Since many DAGs have similar structures, sharing operators' state
+//! (parameters) can considerably improve memory footprint... The Object
+//! Store is populated off-line: when a Flour program is submitted for
+//! planning, new parameters are kept in the Object Store, while parameters
+//! that already exist are ignored and the stage information is rewritten to
+//! reuse the previously loaded one. Parameters equality is computed by
+//! looking at the checksum of the serialized version of the objects"
+//! (paper §4.1.3).
+//!
+//! The same component hosts the sub-plan materialization cache (§4.3):
+//! results of cacheable featurizer steps, keyed by `(step checksum, input
+//! hash)`, with LRU eviction under a byte budget.
+
+use crate::lru::LruCache;
+use parking_lot::Mutex;
+use pretzel_data::Vector;
+use pretzel_ops::Op;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Checksum-keyed store of shared operator parameters.
+#[derive(Debug, Default)]
+pub struct ObjectStore {
+    ops: Mutex<HashMap<u64, Op>>,
+    interned: AtomicU64,
+    reused: AtomicU64,
+    bytes_saved: AtomicU64,
+}
+
+impl ObjectStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ObjectStore::default()
+    }
+
+    /// Interns an operator: returns the canonical shared instance.
+    ///
+    /// If an operator with the same parameter checksum was interned before,
+    /// its clone (sharing the `Arc`ed parameters) is returned and the
+    /// duplicate's parameters become garbage; otherwise `op` itself becomes
+    /// the canonical instance.
+    pub fn intern(&self, op: Op) -> Op {
+        let key = op.checksum();
+        let mut ops = self.ops.lock();
+        match ops.get(&key) {
+            // Re-interning the canonical instance itself is a no-op (and
+            // must not inflate the dedup counters).
+            Some(existing) if existing.params_addr() == op.params_addr() => op,
+            Some(existing) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                self.bytes_saved
+                    .fetch_add(op.heap_bytes() as u64, Ordering::Relaxed);
+                existing.clone()
+            }
+            None => {
+                self.interned.fetch_add(1, Ordering::Relaxed);
+                ops.insert(key, op.clone());
+                op
+            }
+        }
+    }
+
+    /// Looks up the canonical operator for a parameter checksum, if loaded.
+    ///
+    /// Loaders use this to skip deserializing model-file sections whose
+    /// parameters are already resident (the fast-load path of §5.1).
+    pub fn get(&self, checksum: u64) -> Option<Op> {
+        let hit = self.ops.lock().get(&checksum).cloned();
+        if let Some(op) = &hit {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+            // The caller was about to deserialize a private copy of these
+            // parameters; the canonical object's size approximates it.
+            self.bytes_saved
+                .fetch_add(op.heap_bytes() as u64, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Number of unique parameter objects stored.
+    pub fn len(&self) -> usize {
+        self.ops.lock().len()
+    }
+
+    /// True if nothing was interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.ops.lock().is_empty()
+    }
+
+    /// Total heap bytes of the unique parameter objects.
+    pub fn unique_bytes(&self) -> usize {
+        self.ops.lock().values().map(Op::heap_bytes).sum()
+    }
+
+    /// Heap bytes avoided by returning shared instances.
+    pub fn bytes_saved(&self) -> u64 {
+        self.bytes_saved.load(Ordering::Relaxed)
+    }
+
+    /// Count of intern calls that found an existing object.
+    pub fn reuse_count(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
+    }
+}
+
+/// Key of a materialized sub-plan result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatKey {
+    /// Checksum of the producing step (operator kind + parameters).
+    pub step: u64,
+    /// Hash of the source record the pipeline is evaluating.
+    pub input: u64,
+}
+
+/// LRU cache of materialized featurizer outputs (paper §4.3).
+#[derive(Debug)]
+pub struct MaterializationCache {
+    lru: Mutex<LruCache<MatKey, Arc<Vector>>>,
+}
+
+impl MaterializationCache {
+    /// Creates a cache with a byte budget.
+    pub fn new(budget_bytes: usize) -> Self {
+        MaterializationCache {
+            lru: Mutex::new(LruCache::new(budget_bytes)),
+        }
+    }
+
+    /// Looks up a materialized result.
+    pub fn get(&self, key: MatKey) -> Option<Arc<Vector>> {
+        self.lru.lock().get(&key).cloned()
+    }
+
+    /// Stores a materialized result (cost = value heap bytes + fixed
+    /// overhead).
+    pub fn put(&self, key: MatKey, value: Arc<Vector>) {
+        let cost = value.heap_bytes() + 64;
+        self.lru.lock().insert(key, value, cost);
+    }
+
+    /// `(hits, misses, evictions)` counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        let g = self.lru.lock();
+        (g.hits(), g.misses(), g.evictions())
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.lru.lock().len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.lru.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pretzel_ops::synth;
+    use pretzel_ops::text::tokenizer::TokenizerParams;
+
+    #[test]
+    fn intern_shares_identical_params() {
+        let store = ObjectStore::new();
+        let a = Op::Tokenizer(Arc::new(TokenizerParams::whitespace_punct()));
+        let b = Op::Tokenizer(Arc::new(TokenizerParams::whitespace_punct()));
+        assert_ne!(a.params_addr(), b.params_addr(), "distinct allocations");
+        let a = store.intern(a);
+        let b = store.intern(b);
+        assert_eq!(a.params_addr(), b.params_addr(), "interned to one object");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.reuse_count(), 1);
+    }
+
+    #[test]
+    fn intern_keeps_distinct_params_distinct() {
+        let store = ObjectStore::new();
+        let a = store.intern(Op::CharNgram(Arc::new(synth::char_ngram(1, 3, 50))));
+        let b = store.intern(Op::CharNgram(Arc::new(synth::char_ngram(2, 3, 50))));
+        assert_ne!(a.params_addr(), b.params_addr());
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.reuse_count(), 0);
+    }
+
+    #[test]
+    fn bytes_saved_accumulates() {
+        let store = ObjectStore::new();
+        let dict = Arc::new(synth::char_ngram(7, 3, 200));
+        let bytes = Op::CharNgram(Arc::clone(&dict)).heap_bytes();
+        store.intern(Op::CharNgram(Arc::clone(&dict)));
+        for _ in 0..3 {
+            store.intern(Op::CharNgram(Arc::new(synth::char_ngram(7, 3, 200))));
+        }
+        assert_eq!(store.bytes_saved(), 3 * bytes as u64);
+        assert_eq!(store.unique_bytes(), bytes);
+    }
+
+    #[test]
+    fn materialization_cache_round_trip() {
+        let cache = MaterializationCache::new(4096);
+        let key = MatKey { step: 1, input: 2 };
+        assert!(cache.get(key).is_none());
+        cache.put(key, Arc::new(Vector::Dense(vec![1.0, 2.0])));
+        let v = cache.get(key).unwrap();
+        assert_eq!(v.as_dense().unwrap(), &[1.0, 2.0]);
+        let (hits, misses, _) = cache.stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn materialization_cache_evicts_under_pressure() {
+        let cache = MaterializationCache::new(512);
+        for i in 0..100 {
+            cache.put(
+                MatKey { step: i, input: 0 },
+                Arc::new(Vector::Dense(vec![0.0; 16])),
+            );
+        }
+        assert!(cache.len() < 100);
+        let (_, _, evictions) = cache.stats();
+        assert!(evictions > 0);
+    }
+}

@@ -1,0 +1,895 @@
+//! Physical stages and the Model Plan Compiler (MPC).
+//!
+//! "Once the logical plan is generated, MPC traverses the DAG in topological
+//! order and maps each logical stage into a physical implementation.
+//! Physical implementations are AOT-compiled, parameterized, lock-free
+//! computation units" (paper §4.1.2). In this Rust reproduction every
+//! kernel is statically compiled; what MPC decides is *which* kernel shape
+//! serves a logical stage (the paper's 1-logical-to-n-physical mapping):
+//!
+//! * the generic **stepwise** program, executing each step with enum
+//!   dispatch over pooled buffers; or
+//! * **fused n-gram·dot kernels**: when a stage contains `CharNgram →
+//!   PartialDot` (or the word variant) with a scratch-only intermediate,
+//!   the two steps collapse into one kernel that accumulates
+//!   `weights[offset + idx]` per dictionary hit and never materializes the
+//!   sparse feature vector.
+//!
+//! Physical stages are identified by a structural [`PhysicalStage::signature`]
+//! so the runtime catalog can load each distinct stage once and share it
+//! between plans (paper §4.2.1).
+
+use crate::object_store::{MatKey, MaterializationCache, ObjectStore};
+use crate::plan::{BufDef, Loc, LogicalStage, StageOp, StagePlan, Step};
+use pretzel_data::hash::{fnv1a, Fnv1a};
+use pretzel_data::pool::VectorPool;
+use pretzel_data::{ColumnType, DataError, Result, Vector};
+use pretzel_ops::Op;
+use std::sync::Arc;
+
+/// Compilation options chosen by the runtime configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOptions {
+    /// Fuse `ngram → PartialDot` pairs into single kernels. Disabled when
+    /// sub-plan materialization is on, so that shared featurizer outputs
+    /// stay cacheable (fused outputs embed per-pipeline weights and would
+    /// never hit).
+    pub fuse_ngram_dot: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            fuse_ngram_dot: true,
+        }
+    }
+}
+
+/// An executable, shareable physical stage.
+#[derive(Debug)]
+pub struct PhysicalStage {
+    /// Steps after physical selection (possibly fused).
+    pub steps: Vec<Step>,
+    /// Stage-local scratch buffers.
+    pub scratch: Vec<BufDef>,
+    /// Plan slots read (scheduling metadata).
+    pub reads: Vec<u32>,
+    /// Plan slots written.
+    pub writes: Vec<u32>,
+    /// Structural identity for catalog interning.
+    pub signature: u64,
+    /// Stage labelled dense by training statistics.
+    pub dense: bool,
+    /// Stage labelled vectorizable.
+    pub vectorizable: bool,
+    /// Per-step materialization keys, precomputed at compile time
+    /// (`Some(step checksum)` for cacheable featurizer steps). Checksums
+    /// serialize parameters, so they must never be computed on the
+    /// prediction path.
+    mat_steps: Vec<Option<u64>>,
+}
+
+/// Per-executor execution context: the vector pool, a reusable scratch
+/// container, and the optional materialization cache.
+#[derive(Debug)]
+pub struct ExecCtx {
+    /// Pool backing scratch (and, at the runtime layer, slot leases).
+    pub pool: Arc<VectorPool>,
+    /// Sub-plan materialization cache, if enabled.
+    pub cache: Option<Arc<MaterializationCache>>,
+    /// Hash of the current source record (materialization key component).
+    pub source_hash: u64,
+    scratch: Vec<Vector>,
+}
+
+impl ExecCtx {
+    /// Creates a context over a pool.
+    pub fn new(pool: Arc<VectorPool>) -> Self {
+        ExecCtx {
+            pool,
+            cache: None,
+            source_hash: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Enables sub-plan materialization.
+    pub fn with_cache(mut self, cache: Arc<MaterializationCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+}
+
+#[inline]
+fn buf<'a>(slots: &'a [Vector], scratch: &'a [Vector], loc: Loc) -> &'a Vector {
+    match loc {
+        Loc::Slot(i) => &slots[i as usize],
+        Loc::Scratch(i) => &scratch[i as usize],
+    }
+}
+
+#[inline]
+fn take_buf(slots: &mut [Vector], scratch: &mut [Vector], loc: Loc) -> Vector {
+    let place = match loc {
+        Loc::Slot(i) => &mut slots[i as usize],
+        Loc::Scratch(i) => &mut scratch[i as usize],
+    };
+    std::mem::replace(place, Vector::Scalar(0.0))
+}
+
+#[inline]
+fn put_buf(slots: &mut [Vector], scratch: &mut [Vector], loc: Loc, v: Vector) {
+    match loc {
+        Loc::Slot(i) => slots[i as usize] = v,
+        Loc::Scratch(i) => scratch[i as usize] = v,
+    }
+}
+
+impl PhysicalStage {
+    /// Compiles a logical stage into its physical implementation.
+    pub fn compile(logical: &LogicalStage, opts: &CompileOptions) -> Self {
+        let mut steps = logical.steps.clone();
+        let mut scratch = logical.scratch.clone();
+        if opts.fuse_ngram_dot {
+            fuse_ngram_dot(&mut steps, &mut scratch);
+        }
+        let signature = signature_of(&steps, &scratch, logical.dense, logical.vectorizable);
+        let mat_steps = steps
+            .iter()
+            .map(|s| s.op.cacheable().then(|| s.op.checksum()))
+            .collect();
+        PhysicalStage {
+            steps,
+            scratch,
+            reads: logical.reads.clone(),
+            writes: logical.writes.clone(),
+            signature,
+            dense: logical.dense,
+            vectorizable: logical.vectorizable,
+            mat_steps,
+        }
+    }
+
+    /// Executes the stage over the plan working set `slots`.
+    ///
+    /// Scratch buffers come from `ctx.pool` and return to it before the
+    /// call ends; the reusable container in `ctx` keeps this allocation-free
+    /// after warm-up.
+    pub fn execute(&self, slots: &mut [Vector], ctx: &mut ExecCtx) -> Result<()> {
+        // Acquire scratch into the reusable container.
+        debug_assert!(ctx.scratch.is_empty());
+        for def in &self.scratch {
+            let v = ctx.pool.acquire(def.ty);
+            ctx.scratch.push(v);
+        }
+        let result = self.run_steps(slots, ctx);
+        // Always return scratch, also on error paths.
+        let pool = Arc::clone(&ctx.pool);
+        for v in ctx.scratch.drain(..) {
+            pool.release(v);
+        }
+        result
+    }
+
+    fn run_steps(&self, slots: &mut [Vector], ctx: &mut ExecCtx) -> Result<()> {
+        for (step_idx, step) in self.steps.iter().enumerate() {
+            // Sub-plan materialization (paper §4.3): shared featurizer steps
+            // keyed by (precomputed step checksum, source hash).
+            let mat_key = match (&ctx.cache, self.mat_steps[step_idx]) {
+                (Some(_), Some(step_sum)) => Some(MatKey {
+                    step: step_sum,
+                    input: ctx.source_hash,
+                }),
+                _ => None,
+            };
+            if let (Some(key), Some(cache)) = (mat_key, ctx.cache.as_ref()) {
+                if let Some(hit) = cache.get(key) {
+                    let mut out = take_buf(slots, &mut ctx.scratch, step.output);
+                    out.clone_from(&hit);
+                    put_buf(slots, &mut ctx.scratch, step.output, out);
+                    continue;
+                }
+            }
+
+            let mut out = take_buf(slots, &mut ctx.scratch, step.output);
+            let scratch = &ctx.scratch;
+            let res = match step.inputs.as_slice() {
+                [] => Err(DataError::Runtime(format!(
+                    "step {} has no inputs",
+                    step.op.name()
+                ))),
+                [a] => step.op.apply(&[buf(slots, scratch, *a)], &mut out),
+                [a, b] => step
+                    .op
+                    .apply(&[buf(slots, scratch, *a), buf(slots, scratch, *b)], &mut out),
+                [a, b, c] => step.op.apply(
+                    &[
+                        buf(slots, scratch, *a),
+                        buf(slots, scratch, *b),
+                        buf(slots, scratch, *c),
+                    ],
+                    &mut out,
+                ),
+                [a, b, c, d] => step.op.apply(
+                    &[
+                        buf(slots, scratch, *a),
+                        buf(slots, scratch, *b),
+                        buf(slots, scratch, *c),
+                        buf(slots, scratch, *d),
+                    ],
+                    &mut out,
+                ),
+                many => {
+                    // Rare (wide Concat/Combine): one small allocation.
+                    let refs: Vec<&Vector> =
+                        many.iter().map(|&l| buf(slots, scratch, l)).collect();
+                    step.op.apply(&refs, &mut out)
+                }
+            };
+            if let Err(e) = res {
+                put_buf(slots, &mut ctx.scratch, step.output, out);
+                return Err(e);
+            }
+            if let (Some(key), Some(cache)) = (mat_key, ctx.cache.as_ref()) {
+                cache.put(key, Arc::new(out.clone()));
+            }
+            put_buf(slots, &mut ctx.scratch, step.output, out);
+        }
+        Ok(())
+    }
+}
+
+/// Rewrites `CharNgram/WordNgram → PartialDot` pairs over a private scratch
+/// intermediate into single fused kernels, then compacts scratch defs.
+fn fuse_ngram_dot(steps: &mut Vec<Step>, scratch: &mut Vec<BufDef>) {
+    loop {
+        let mut fused_any = false;
+        'search: for i in 0..steps.len() {
+            let scratch_out = match steps[i].output {
+                Loc::Scratch(s) => s,
+                Loc::Slot(_) => continue,
+            };
+            let ngram = match &steps[i].op {
+                StageOp::Op(Op::CharNgram(p)) => (Arc::clone(p), false),
+                StageOp::Op(Op::WordNgram(p)) => (Arc::clone(p), true),
+                _ => continue,
+            };
+            // The intermediate must be consumed by exactly one PartialDot
+            // and nothing else.
+            let mut consumer = None;
+            for (j, step) in steps.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let uses = step.inputs.contains(&Loc::Scratch(scratch_out))
+                    || step.output == Loc::Scratch(scratch_out);
+                if uses {
+                    if consumer.is_some() {
+                        continue 'search;
+                    }
+                    match &step.op {
+                        StageOp::PartialDot { .. } if step.inputs.len() == 1 && j > i => {
+                            consumer = Some(j);
+                        }
+                        _ => continue 'search,
+                    }
+                }
+            }
+            let Some(j) = consumer else { continue };
+            let (linear, offset) = match &steps[j].op {
+                StageOp::PartialDot { linear, offset } => (Arc::clone(linear), *offset),
+                _ => unreachable!("consumer checked above"),
+            };
+            let (ngram, is_word) = ngram;
+            let fused = Step {
+                op: if is_word {
+                    StageOp::FusedWordNgramDot {
+                        ngram,
+                        linear,
+                        offset,
+                    }
+                } else {
+                    StageOp::FusedCharNgramDot {
+                        ngram,
+                        linear,
+                        offset,
+                    }
+                },
+                inputs: steps[i].inputs.clone(),
+                output: steps[j].output,
+            };
+            steps[i] = fused;
+            steps.remove(j);
+            fused_any = true;
+            break;
+        }
+        if !fused_any {
+            break;
+        }
+    }
+    compact_scratch(steps, scratch);
+}
+
+/// Drops scratch definitions no step references and renumbers `Loc::Scratch`.
+fn compact_scratch(steps: &mut [Step], scratch: &mut Vec<BufDef>) {
+    let mut used = vec![false; scratch.len()];
+    for step in steps.iter() {
+        for loc in step.inputs.iter().chain(std::iter::once(&step.output)) {
+            if let Loc::Scratch(s) = loc {
+                used[*s as usize] = true;
+            }
+        }
+    }
+    let mut remap = vec![u32::MAX; scratch.len()];
+    let mut next = 0u32;
+    for (i, &u) in used.iter().enumerate() {
+        if u {
+            remap[i] = next;
+            next += 1;
+        }
+    }
+    let mut kept = Vec::with_capacity(next as usize);
+    for (i, def) in scratch.iter().enumerate() {
+        if used[i] {
+            kept.push(*def);
+        }
+    }
+    *scratch = kept;
+    for step in steps.iter_mut() {
+        for loc in step.inputs.iter_mut().chain(std::iter::once(&mut step.output)) {
+            if let Loc::Scratch(s) = loc {
+                *s = remap[*s as usize];
+            }
+        }
+    }
+}
+
+fn signature_of(steps: &[Step], scratch: &[BufDef], dense: bool, vectorizable: bool) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(steps.len() as u64);
+    for step in steps {
+        h.write_u64(step.op.checksum());
+        for loc in &step.inputs {
+            h.write_u64(loc_code(*loc));
+        }
+        h.write_u64(loc_code(step.output));
+    }
+    for def in scratch {
+        h.write(def.ty.to_string().as_bytes());
+    }
+    h.write(&[u8::from(dense), u8::from(vectorizable)]);
+    h.finish()
+}
+
+fn loc_code(loc: Loc) -> u64 {
+    match loc {
+        Loc::Slot(i) => u64::from(i),
+        Loc::Scratch(i) => (1 << 32) | u64::from(i),
+    }
+}
+
+/// A borrowed source record handed to plan execution.
+#[derive(Debug, Clone, Copy)]
+pub enum SourceRef<'a> {
+    /// A text line (CSV request payload).
+    Text(&'a str),
+    /// A dense numeric record.
+    Dense(&'a [f32]),
+}
+
+impl SourceRef<'_> {
+    /// Copies the source into the (pooled) slot-0 buffer without
+    /// reallocating when capacities suffice.
+    pub fn load_into(&self, slot: &mut Vector) -> Result<()> {
+        match (self, slot) {
+            (SourceRef::Text(s), Vector::Text(dst)) => {
+                dst.clear();
+                dst.push_str(s);
+                Ok(())
+            }
+            (SourceRef::Dense(x), Vector::Dense(dst)) if dst.len() == x.len() => {
+                dst.copy_from_slice(x);
+                Ok(())
+            }
+            (src, slot) => Err(DataError::Runtime(format!(
+                "source {src:?} does not fit slot {:?}",
+                slot.column_type()
+            ))),
+        }
+    }
+
+    /// Hash of the record content (materialization / result-cache key).
+    pub fn content_hash(&self) -> u64 {
+        match self {
+            SourceRef::Text(s) => fnv1a(s.as_bytes()),
+            SourceRef::Dense(x) => {
+                let mut h = Fnv1a::new();
+                for &v in *x {
+                    h.write_f32(v);
+                }
+                h.finish()
+            }
+        }
+    }
+}
+
+/// A compiled, registered model plan: the unit of serving.
+#[derive(Debug)]
+pub struct ModelPlan {
+    /// Source record type (slot 0).
+    pub source_type: ColumnType,
+    /// Plan working-set layout.
+    pub slots: Vec<BufDef>,
+    /// Physical stages in execution order (possibly shared with other
+    /// plans via the runtime catalog).
+    pub stages: Vec<Arc<PhysicalStage>>,
+    /// Slot holding the final prediction.
+    pub output_slot: u32,
+    /// The logical plan this was compiled from (introspection/debugging).
+    pub logical: StagePlan,
+}
+
+impl ModelPlan {
+    /// Compiles a validated logical plan, interning operator parameters in
+    /// the Object Store.
+    pub fn compile(
+        mut logical: StagePlan,
+        opts: &CompileOptions,
+        store: &ObjectStore,
+    ) -> Result<Self> {
+        logical.validate()?;
+        // Parameter interning: rewrite every step to reference the
+        // canonical shared parameter objects (paper §4.1.3).
+        for stage in &mut logical.stages {
+            for step in &mut stage.steps {
+                intern_step(step, store);
+            }
+        }
+        let stages = logical
+            .stages
+            .iter()
+            .map(|ls| Arc::new(PhysicalStage::compile(ls, opts)))
+            .collect();
+        Ok(ModelPlan {
+            source_type: logical.source_type,
+            slots: logical.slots.clone(),
+            stages,
+            output_slot: logical.output_slot,
+            logical,
+        })
+    }
+
+    /// Column types of the plan working set (lease layout).
+    pub fn slot_types(&self) -> Vec<ColumnType> {
+        self.slots.iter().map(|d| d.ty).collect()
+    }
+
+    /// Executes the full plan inline over a leased working set.
+    ///
+    /// `slots` must match [`Self::slot_types`]; used by the request-response
+    /// engine and by the batch engine's per-record inner loop.
+    pub fn execute(
+        &self,
+        source: SourceRef<'_>,
+        slots: &mut [Vector],
+        ctx: &mut ExecCtx,
+    ) -> Result<f32> {
+        if slots.len() != self.slots.len() {
+            return Err(DataError::Runtime(format!(
+                "lease has {} slots, plan wants {}",
+                slots.len(),
+                self.slots.len()
+            )));
+        }
+        source.load_into(&mut slots[0])?;
+        ctx.source_hash = if ctx.cache.is_some() {
+            source.content_hash()
+        } else {
+            0
+        };
+        for stage in &self.stages {
+            stage.execute(slots, ctx)?;
+        }
+        slots[self.output_slot as usize]
+            .as_scalar()
+            .ok_or_else(|| DataError::Runtime("plan output is not scalar".into()))
+    }
+
+    /// Warms a vector pool with this plan's working set, sized from
+    /// training statistics, so the first predictions hit pre-reserved
+    /// buffers (paper §4.2.1: pool allocations are paid at initialization).
+    pub fn warm_pool(&self, pool: &pretzel_data::pool::VectorPool) {
+        for def in &self.slots {
+            pool.warm_sized(def.ty, def.max_stored, 1);
+        }
+        for stage in &self.stages {
+            for def in &stage.scratch {
+                pool.warm_sized(def.ty, def.max_stored, 1);
+            }
+        }
+    }
+
+    /// Unique parameter bytes reachable from this plan (post-interning;
+    /// shared objects counted once per plan).
+    pub fn param_bytes(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0usize;
+        for stage in &self.stages {
+            for step in &stage.steps {
+                if let StageOp::Op(op) = &step.op {
+                    if seen.insert(op.params_addr()) {
+                        total += op.heap_bytes();
+                    }
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Interns every parameter referenced by a logical plan.
+///
+/// Called at registration: "when a Flour program is submitted for
+/// planning, new parameters are kept in the Object Store, while parameters
+/// that already exist are ignored and the stage information is rewritten
+/// to reuse the previously loaded one" (paper §4.1.3).
+pub fn intern_plan(plan: &mut StagePlan, store: &ObjectStore) {
+    for stage in &mut plan.stages {
+        for step in &mut stage.steps {
+            intern_step(step, store);
+        }
+    }
+}
+
+fn intern_step(step: &mut Step, store: &ObjectStore) {
+    match &mut step.op {
+        StageOp::Op(op) => {
+            *op = store.intern(op.clone());
+        }
+        StageOp::PartialDot { linear, .. } | StageOp::Combine { linear } => {
+            if let Op::Linear(p) = store.intern(Op::Linear(Arc::clone(linear))) {
+                *linear = p;
+            }
+        }
+        StageOp::FusedCharNgramDot { ngram, linear, .. } => {
+            if let Op::CharNgram(p) = store.intern(Op::CharNgram(Arc::clone(ngram))) {
+                *ngram = p;
+            }
+            if let Op::Linear(p) = store.intern(Op::Linear(Arc::clone(linear))) {
+                *linear = p;
+            }
+        }
+        StageOp::FusedWordNgramDot { ngram, linear, .. } => {
+            if let Op::WordNgram(p) = store.intern(Op::WordNgram(Arc::clone(ngram))) {
+                *ngram = p;
+            }
+            if let Op::Linear(p) = store.intern(Op::Linear(Arc::clone(linear))) {
+                *linear = p;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::NodeStats;
+    use pretzel_ops::linear::LinearKind;
+    use pretzel_ops::synth;
+    use pretzel_ops::text::tokenizer::TokenizerParams;
+
+    /// Hand-built SA-shaped logical plan:
+    /// stage 0: Tokenizer(slot0→slot1), CharNgram(slot0→scratch0),
+    ///          PartialDot(scratch0→slot2)
+    /// stage 1: WordNgram([slot0,slot1]→scratch0), PartialDot(scratch0→
+    ///          scratch1), Combine([slot2,scratch1]→slot3)
+    fn sa_logical(char_dim: usize, word_dim: usize) -> (StagePlan, Arc<pretzel_ops::linear::LinearParams>) {
+        let vocab = synth::vocabulary(1, 64);
+        let cgram = Arc::new(synth::char_ngram(2, 3, char_dim));
+        let wgram = Arc::new(synth::word_ngram(3, 2, word_dim, &vocab));
+        let lin = Arc::new(synth::linear(
+            4,
+            char_dim + word_dim,
+            LinearKind::Logistic,
+        ));
+        let plan = StagePlan {
+            source_type: ColumnType::Text,
+            slots: vec![
+                BufDef::new(ColumnType::Text, 256),
+                BufDef::new(ColumnType::TokenList, 64),
+                BufDef::new(ColumnType::F32Scalar, 1),
+                BufDef::new(ColumnType::F32Scalar, 1),
+            ],
+            stages: vec![
+                LogicalStage {
+                    steps: vec![
+                        Step {
+                            op: StageOp::Op(Op::Tokenizer(Arc::new(
+                                TokenizerParams::whitespace_punct(),
+                            ))),
+                            inputs: vec![Loc::Slot(0)],
+                            output: Loc::Slot(1),
+                        },
+                        Step {
+                            op: StageOp::Op(Op::CharNgram(Arc::clone(&cgram))),
+                            inputs: vec![Loc::Slot(0)],
+                            output: Loc::Scratch(0),
+                        },
+                        Step {
+                            op: StageOp::PartialDot {
+                                linear: Arc::clone(&lin),
+                                offset: 0,
+                            },
+                            inputs: vec![Loc::Scratch(0)],
+                            output: Loc::Slot(2),
+                        },
+                    ],
+                    scratch: vec![BufDef::new(
+                        ColumnType::F32Sparse { len: char_dim },
+                        64,
+                    )],
+                    reads: vec![0],
+                    writes: vec![1, 2],
+                    dense: false,
+                    vectorizable: false,
+                },
+                LogicalStage {
+                    steps: vec![
+                        Step {
+                            op: StageOp::Op(Op::WordNgram(Arc::clone(&wgram))),
+                            inputs: vec![Loc::Slot(0), Loc::Slot(1)],
+                            output: Loc::Scratch(0),
+                        },
+                        Step {
+                            op: StageOp::PartialDot {
+                                linear: Arc::clone(&lin),
+                                offset: char_dim as u32,
+                            },
+                            inputs: vec![Loc::Scratch(0)],
+                            output: Loc::Scratch(1),
+                        },
+                        Step {
+                            op: StageOp::Combine {
+                                linear: Arc::clone(&lin),
+                            },
+                            inputs: vec![Loc::Slot(2), Loc::Scratch(1)],
+                            output: Loc::Slot(3),
+                        },
+                    ],
+                    scratch: vec![
+                        BufDef::new(ColumnType::F32Sparse { len: word_dim }, 64),
+                        BufDef::new(ColumnType::F32Scalar, 1),
+                    ],
+                    reads: vec![0, 1, 2],
+                    writes: vec![3],
+                    dense: false,
+                    vectorizable: false,
+                },
+            ],
+            output_slot: 3,
+            stats: NodeStats::new(256, 0.05),
+        };
+        (plan, lin)
+    }
+
+    fn run_plan(plan: &ModelPlan, text: &str) -> f32 {
+        let pool = Arc::new(VectorPool::new());
+        let mut ctx = ExecCtx::new(Arc::clone(&pool));
+        let mut slots: Vec<Vector> = plan
+            .slot_types()
+            .iter()
+            .map(|&t| Vector::with_type(t))
+            .collect();
+        plan.execute(SourceRef::Text(text), &mut slots, &mut ctx)
+            .unwrap()
+    }
+
+    #[test]
+    fn fused_and_unfused_plans_agree() {
+        let (logical, _) = sa_logical(64, 64);
+        let store = ObjectStore::new();
+        let fused = ModelPlan::compile(
+            logical.clone(),
+            &CompileOptions {
+                fuse_ngram_dot: true,
+            },
+            &store,
+        )
+        .unwrap();
+        let unfused = ModelPlan::compile(
+            logical,
+            &CompileOptions {
+                fuse_ngram_dot: false,
+            },
+            &store,
+        )
+        .unwrap();
+        // Fusion removed the two ngram scratch intermediates.
+        assert_eq!(fused.stages[0].steps.len(), 2);
+        assert_eq!(fused.stages[0].scratch.len(), 0);
+        assert_eq!(unfused.stages[0].steps.len(), 3);
+        for text in ["a nice product", "utter garbage do not buy", ""] {
+            let a = run_plan(&fused, text);
+            let b = run_plan(&unfused, text);
+            assert!((a - b).abs() < 1e-5, "{text}: fused {a} vs unfused {b}");
+        }
+    }
+
+    #[test]
+    fn compile_interns_parameters() {
+        // Two *separately synthesized* (but content-identical) plans: the
+        // second compilation must dedup against the first's parameters.
+        let (l1, _) = sa_logical(32, 32);
+        let (l2, _) = sa_logical(32, 32);
+        let store = ObjectStore::new();
+        let a = ModelPlan::compile(l1, &CompileOptions::default(), &store).unwrap();
+        let b = ModelPlan::compile(l2, &CompileOptions::default(), &store).unwrap();
+        // The two compilations share every parameter object, so the stage
+        // signatures (which hash parameter checksums) are identical too.
+        assert_eq!(a.stages[0].signature, b.stages[0].signature);
+        assert!(store.reuse_count() > 0);
+    }
+
+    #[test]
+    fn identical_stages_share_signature_distinct_weights_do_not() {
+        let (l1, _) = sa_logical(32, 32);
+        let (mut l2, _) = sa_logical(32, 32);
+        let store = ObjectStore::new();
+        let p1 = ModelPlan::compile(l1, &CompileOptions::default(), &store).unwrap();
+        let p2 = ModelPlan::compile(l2.clone(), &CompileOptions::default(), &store).unwrap();
+        assert_eq!(p1.stages[0].signature, p2.stages[0].signature);
+
+        // Different linear weights change the fused stage signature.
+        let lin2 = Arc::new(synth::linear(99, 64, LinearKind::Logistic));
+        for stage in &mut l2.stages {
+            for step in &mut stage.steps {
+                match &mut step.op {
+                    StageOp::PartialDot { linear, .. } | StageOp::Combine { linear } => {
+                        *linear = Arc::clone(&lin2);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let p3 = ModelPlan::compile(l2, &CompileOptions::default(), &store).unwrap();
+        assert_ne!(p1.stages[0].signature, p3.stages[0].signature);
+    }
+
+    #[test]
+    fn materialization_cache_hits_skip_recomputation() {
+        let (logical, _) = sa_logical(64, 64);
+        let store = ObjectStore::new();
+        // Fusion off so featurizer outputs stay cacheable.
+        let plan = ModelPlan::compile(
+            logical,
+            &CompileOptions {
+                fuse_ngram_dot: false,
+            },
+            &store,
+        )
+        .unwrap();
+        let pool = Arc::new(VectorPool::new());
+        let cache = Arc::new(MaterializationCache::new(1 << 20));
+        let mut ctx = ExecCtx::new(Arc::clone(&pool)).with_cache(Arc::clone(&cache));
+        let mut slots: Vec<Vector> = plan
+            .slot_types()
+            .iter()
+            .map(|&t| Vector::with_type(t))
+            .collect();
+        let a = plan
+            .execute(SourceRef::Text("a nice product"), &mut slots, &mut ctx)
+            .unwrap();
+        let (h0, _, _) = cache.stats();
+        assert_eq!(h0, 0);
+        let b = plan
+            .execute(SourceRef::Text("a nice product"), &mut slots, &mut ctx)
+            .unwrap();
+        let (h1, _, _) = cache.stats();
+        assert!(h1 >= 3, "tokenizer + both ngrams should hit, got {h1}");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_buffers_return_to_pool() {
+        let (logical, _) = sa_logical(32, 32);
+        let store = ObjectStore::new();
+        let plan = ModelPlan::compile(
+            logical,
+            &CompileOptions {
+                fuse_ngram_dot: false,
+            },
+            &store,
+        )
+        .unwrap();
+        let pool = Arc::new(VectorPool::new());
+        let mut ctx = ExecCtx::new(Arc::clone(&pool));
+        let mut slots: Vec<Vector> = plan
+            .slot_types()
+            .iter()
+            .map(|&t| Vector::with_type(t))
+            .collect();
+        for _ in 0..5 {
+            plan.execute(SourceRef::Text("some text here"), &mut slots, &mut ctx)
+                .unwrap();
+        }
+        // 3 scratch buffers per run (sparse32, sparse32, scalar). The two
+        // sparse buffers share a size class and stage 0 releases before
+        // stage 1 acquires, so only ONE allocation ever happens; scalars
+        // are pure values and never miss. Everything else is a pool hit.
+        assert_eq!(pool.stats().misses(), 1);
+        assert_eq!(pool.stats().hits(), 5 * 3 - 1);
+    }
+
+    #[test]
+    fn source_type_mismatch_is_error() {
+        let (logical, _) = sa_logical(16, 16);
+        let store = ObjectStore::new();
+        let plan = ModelPlan::compile(logical, &CompileOptions::default(), &store).unwrap();
+        let pool = Arc::new(VectorPool::new());
+        let mut ctx = ExecCtx::new(pool);
+        let mut slots: Vec<Vector> = plan
+            .slot_types()
+            .iter()
+            .map(|&t| Vector::with_type(t))
+            .collect();
+        let err = plan.execute(SourceRef::Dense(&[1.0, 2.0]), &mut slots, &mut ctx);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn lease_shape_mismatch_is_error() {
+        let (logical, _) = sa_logical(16, 16);
+        let store = ObjectStore::new();
+        let plan = ModelPlan::compile(logical, &CompileOptions::default(), &store).unwrap();
+        let pool = Arc::new(VectorPool::new());
+        let mut ctx = ExecCtx::new(pool);
+        let mut slots = vec![Vector::Text(String::new())];
+        assert!(plan
+            .execute(SourceRef::Text("x"), &mut slots, &mut ctx)
+            .is_err());
+    }
+
+    #[test]
+    fn compact_scratch_renumbers() {
+        let lin = Arc::new(synth::linear(5, 8, LinearKind::Regression));
+        let cgram = Arc::new(synth::char_ngram(6, 3, 8));
+        let mut steps = vec![
+            Step {
+                op: StageOp::Op(Op::CharNgram(cgram)),
+                inputs: vec![Loc::Slot(0)],
+                output: Loc::Scratch(1),
+            },
+            Step {
+                op: StageOp::PartialDot {
+                    linear: lin,
+                    offset: 0,
+                },
+                inputs: vec![Loc::Scratch(1)],
+                output: Loc::Slot(1),
+            },
+        ];
+        let mut scratch = vec![
+            BufDef::new(ColumnType::F32Scalar, 1), // unused
+            BufDef::new(ColumnType::F32Sparse { len: 8 }, 8),
+        ];
+        compact_scratch(&mut steps, &mut scratch);
+        assert_eq!(scratch.len(), 1);
+        assert_eq!(steps[0].output, Loc::Scratch(0));
+        assert_eq!(steps[1].inputs[0], Loc::Scratch(0));
+    }
+
+    #[test]
+    fn param_bytes_counts_unique_objects_once() {
+        let (logical, _) = sa_logical(32, 32);
+        let store = ObjectStore::new();
+        let plan = ModelPlan::compile(
+            logical,
+            &CompileOptions {
+                fuse_ngram_dot: false,
+            },
+            &store,
+        )
+        .unwrap();
+        assert!(plan.param_bytes() > 0);
+    }
+}

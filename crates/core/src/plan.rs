@@ -1,0 +1,603 @@
+//! Logical model plans: stages, steps and buffer wiring.
+//!
+//! Oven's output is a DAG of *logical stages* (paper §4.1.2). Each stage is
+//! a short program of [`Step`]s over two buffer spaces:
+//!
+//! * **slots** — the plan-level working set, leased from the vector pool
+//!   once per pipeline execution (paper §4.2.2: "vectors are requested per
+//!   pipeline, not per stage"). Stage boundaries and the final prediction
+//!   live in slots.
+//! * **scratch** — stage-local intermediates that never escape the stage.
+//!   Fusion exists precisely to keep data here, in cache, instead of in
+//!   materialized plan-level vectors.
+//!
+//! Besides plain operators, steps may hold the two synthetic operators that
+//! implement the optimizer's *linear-model pushdown* (paper §2, §4.1.2):
+//! [`StageOp::PartialDot`] scores one Concat branch against the matching
+//! weight segment, and [`StageOp::Combine`] sums the partials and applies
+//! bias + link — after which the Concat operator (and its buffer) is gone.
+
+use crate::stats::NodeStats;
+use pretzel_data::hash::Fnv1a;
+use pretzel_data::{ColumnType, DataError, Result, Vector};
+use pretzel_ops::linear::LinearParams;
+use pretzel_ops::Op;
+use std::sync::Arc;
+
+/// A step's operator: a library operator or a pushdown synthetic.
+#[derive(Debug, Clone)]
+pub enum StageOp {
+    /// A regular operator from the library.
+    Op(Op),
+    /// Pushed-down partial dot product: numeric input → scalar partial,
+    /// scored against `linear.weights[offset..offset + input_dim]`.
+    /// No bias, no link — those belong to [`StageOp::Combine`].
+    PartialDot {
+        /// The pushed linear model (shared with the Combine step).
+        linear: Arc<LinearParams>,
+        /// Start of this branch's weight segment.
+        offset: u32,
+    },
+    /// Sums `n` scalar partials, adds the bias and applies the link.
+    Combine {
+        /// The pushed linear model.
+        linear: Arc<LinearParams>,
+    },
+    /// Physically fused character n-gram + partial dot (chosen by the Model
+    /// Plan Compiler): text input → scalar partial, with no sparse feature
+    /// vector materialized anywhere.
+    FusedCharNgramDot {
+        /// The n-gram featurizer.
+        ngram: Arc<pretzel_ops::text::ngram::NgramParams>,
+        /// The pushed linear model.
+        linear: Arc<LinearParams>,
+        /// Start of this branch's weight segment.
+        offset: u32,
+    },
+    /// Physically fused word n-gram + partial dot: `[text, tokens]` inputs
+    /// → scalar partial.
+    FusedWordNgramDot {
+        /// The n-gram featurizer.
+        ngram: Arc<pretzel_ops::text::ngram::NgramParams>,
+        /// The pushed linear model.
+        linear: Arc<LinearParams>,
+        /// Start of this branch's weight segment.
+        offset: u32,
+    },
+}
+
+impl StageOp {
+    /// Short name for diagnostics and signatures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StageOp::Op(op) => op.kind().name(),
+            StageOp::PartialDot { .. } => "PartialDot",
+            StageOp::Combine { .. } => "Combine",
+            StageOp::FusedCharNgramDot { .. } => "FusedCharNgramDot",
+            StageOp::FusedWordNgramDot { .. } => "FusedWordNgramDot",
+        }
+    }
+
+    /// Number of inputs the step consumes (Combine is variadic; callers pass
+    /// the actual wiring count).
+    pub fn n_inputs(&self) -> Option<usize> {
+        match self {
+            StageOp::Op(op) => Some(op.n_inputs()),
+            StageOp::PartialDot { .. } => Some(1),
+            StageOp::Combine { .. } => None,
+            StageOp::FusedCharNgramDot { .. } => Some(1),
+            StageOp::FusedWordNgramDot { .. } => Some(2),
+        }
+    }
+
+    /// Dedup/signature checksum of the step's parameters.
+    pub fn checksum(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(self.name().as_bytes());
+        match self {
+            StageOp::Op(op) => h.write_u64(op.checksum()),
+            StageOp::PartialDot { linear, offset } => {
+                h.write_u64(params_checksum(linear));
+                h.write_u64(u64::from(*offset));
+            }
+            StageOp::Combine { linear } => h.write_u64(params_checksum(linear)),
+            StageOp::FusedCharNgramDot {
+                ngram,
+                linear,
+                offset,
+            }
+            | StageOp::FusedWordNgramDot {
+                ngram,
+                linear,
+                offset,
+            } => {
+                h.write_u64(ngram_checksum(ngram));
+                h.write_u64(params_checksum(linear));
+                h.write_u64(u64::from(*offset));
+            }
+        }
+        h.finish()
+    }
+
+    /// True if the step's output is a pure function of (step params, source
+    /// record) *and* its parameters are featurizer parameters likely shared
+    /// across pipelines — the candidates for sub-plan materialization
+    /// (paper §4.3).
+    pub fn cacheable(&self) -> bool {
+        match self {
+            StageOp::Op(op) => matches!(
+                op.kind(),
+                pretzel_ops::OpKind::Tokenizer
+                    | pretzel_ops::OpKind::CharNgram
+                    | pretzel_ops::OpKind::WordNgram
+                    | pretzel_ops::OpKind::TreeFeaturizer
+                    | pretzel_ops::OpKind::Pca
+                    | pretzel_ops::OpKind::KMeans
+            ),
+            _ => false,
+        }
+    }
+
+    /// Executes the step.
+    pub fn apply(&self, inputs: &[&Vector], out: &mut Vector) -> Result<()> {
+        match self {
+            StageOp::Op(op) => op.apply(inputs, out),
+            StageOp::PartialDot { linear, offset } => {
+                let input = inputs.first().ok_or_else(|| {
+                    DataError::Runtime("partial dot expects one input".into())
+                })?;
+                let z = linear.partial_dot(input, *offset as usize)?;
+                write_scalar(out, z)
+            }
+            StageOp::Combine { linear } => {
+                let mut z = linear.bias;
+                for v in inputs {
+                    z += v.as_scalar().ok_or_else(|| {
+                        DataError::Runtime("combine expects scalar partials".into())
+                    })?;
+                }
+                write_scalar(out, linear.link(z))
+            }
+            StageOp::FusedCharNgramDot {
+                ngram,
+                linear,
+                offset,
+            } => {
+                let text = inputs
+                    .first()
+                    .and_then(|v| v.as_text())
+                    .ok_or_else(|| DataError::Runtime("fused char dot expects text".into()))?;
+                let weights = &linear.weights;
+                let off = *offset as usize;
+                if off + ngram.dim() > weights.len() {
+                    return Err(DataError::Runtime("fused dot weight segment OOB".into()));
+                }
+                let mut acc = 0.0f32;
+                ngram.for_each_char_match(text, |idx| acc += weights[off + idx as usize]);
+                write_scalar(out, acc)
+            }
+            StageOp::FusedWordNgramDot {
+                ngram,
+                linear,
+                offset,
+            } => {
+                let text = inputs
+                    .first()
+                    .and_then(|v| v.as_text())
+                    .ok_or_else(|| DataError::Runtime("fused word dot expects text".into()))?;
+                let spans = inputs
+                    .get(1)
+                    .and_then(|v| v.as_tokens())
+                    .ok_or_else(|| DataError::Runtime("fused word dot expects tokens".into()))?;
+                let weights = &linear.weights;
+                let off = *offset as usize;
+                if off + ngram.dim() > weights.len() {
+                    return Err(DataError::Runtime("fused dot weight segment OOB".into()));
+                }
+                let mut acc = 0.0f32;
+                ngram.for_each_word_match(text, spans, |idx| acc += weights[off + idx as usize]);
+                write_scalar(out, acc)
+            }
+        }
+    }
+}
+
+fn params_checksum(linear: &LinearParams) -> u64 {
+    use pretzel_ops::params::ParamBlob;
+    linear.checksum()
+}
+
+fn ngram_checksum(ngram: &pretzel_ops::text::ngram::NgramParams) -> u64 {
+    use pretzel_ops::params::ParamBlob;
+    ngram.checksum()
+}
+
+fn write_scalar(out: &mut Vector, v: f32) -> Result<()> {
+    match out {
+        Vector::Scalar(s) => {
+            *s = v;
+            Ok(())
+        }
+        other => Err(DataError::Runtime(format!(
+            "step output must be scalar, got {:?}",
+            other.column_type()
+        ))),
+    }
+}
+
+/// Address of a step operand: plan slot or stage-local scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// Plan-level working-set slot.
+    Slot(u32),
+    /// Stage-local scratch buffer.
+    Scratch(u32),
+}
+
+/// One step of a stage program.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// The operator.
+    pub op: StageOp,
+    /// Input operand addresses.
+    pub inputs: Vec<Loc>,
+    /// Output operand address. Must differ from every input.
+    pub output: Loc,
+}
+
+/// Type and sizing of one buffer (slot or scratch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufDef {
+    /// Column type of the buffer.
+    pub ty: ColumnType,
+    /// Training-statistics size hint for pool warming.
+    pub max_stored: usize,
+}
+
+impl BufDef {
+    /// Creates a buffer definition.
+    pub fn new(ty: ColumnType, max_stored: usize) -> Self {
+        BufDef { ty, max_stored }
+    }
+}
+
+/// One logical stage: a program over slots + scratch.
+#[derive(Debug, Clone)]
+pub struct LogicalStage {
+    /// Steps in execution order.
+    pub steps: Vec<Step>,
+    /// Stage-local scratch buffer definitions.
+    pub scratch: Vec<BufDef>,
+    /// Plan slots read by this stage (scheduling metadata).
+    pub reads: Vec<u32>,
+    /// Plan slots written by this stage.
+    pub writes: Vec<u32>,
+    /// Output labelled dense by training statistics
+    /// (`OutputGraphValidatorStep`).
+    pub dense: bool,
+    /// Dense compute-bound stage labelled SIMD-vectorizable.
+    pub vectorizable: bool,
+}
+
+/// A complete logical plan: slots + topologically ordered stages.
+#[derive(Debug, Clone)]
+pub struct StagePlan {
+    /// Type of the source record (slot 0).
+    pub source_type: ColumnType,
+    /// Plan-level buffers. Slot 0 is the source record.
+    pub slots: Vec<BufDef>,
+    /// Stages in execution order.
+    pub stages: Vec<LogicalStage>,
+    /// Slot holding the final prediction.
+    pub output_slot: u32,
+    /// Merged training statistics (plan-level max vector size).
+    pub stats: NodeStats,
+}
+
+impl StagePlan {
+    /// Validates wiring: locations in range, outputs distinct from inputs,
+    /// every scratch read was written earlier in the same stage, every slot
+    /// read was written by an earlier stage (or is the source), and the
+    /// output slot is written exactly once, by the last stage.
+    pub fn validate(&self) -> Result<()> {
+        if self.stages.is_empty() {
+            return Err(DataError::InvalidGraph("plan has no stages".into()));
+        }
+        if self.output_slot as usize >= self.slots.len() {
+            return Err(DataError::InvalidGraph("output slot out of range".into()));
+        }
+        let mut slot_written = vec![false; self.slots.len()];
+        slot_written[0] = true; // source
+        for (si, stage) in self.stages.iter().enumerate() {
+            let mut scratch_written = vec![false; stage.scratch.len()];
+            for (pi, step) in stage.steps.iter().enumerate() {
+                for input in &step.inputs {
+                    if *input == step.output {
+                        return Err(DataError::InvalidGraph(format!(
+                            "stage {si} step {pi}: output aliases an input"
+                        )));
+                    }
+                    match *input {
+                        Loc::Slot(s) => {
+                            let s = s as usize;
+                            if s >= self.slots.len() {
+                                return Err(DataError::InvalidGraph(format!(
+                                    "stage {si} step {pi}: slot {s} out of range"
+                                )));
+                            }
+                            if !slot_written[s] {
+                                return Err(DataError::InvalidGraph(format!(
+                                    "stage {si} step {pi}: reads slot {s} before any write"
+                                )));
+                            }
+                        }
+                        Loc::Scratch(s) => {
+                            let s = s as usize;
+                            if s >= stage.scratch.len() || !scratch_written[s] {
+                                return Err(DataError::InvalidGraph(format!(
+                                    "stage {si} step {pi}: reads scratch {s} before write"
+                                )));
+                            }
+                        }
+                    }
+                }
+                if let Some(n) = step.op.n_inputs() {
+                    if n != step.inputs.len() {
+                        return Err(DataError::InvalidGraph(format!(
+                            "stage {si} step {pi}: {} wants {n} inputs, wired {}",
+                            step.op.name(),
+                            step.inputs.len()
+                        )));
+                    }
+                }
+                match step.output {
+                    Loc::Slot(s) if (s as usize) < self.slots.len() => {
+                        slot_written[s as usize] = true;
+                    }
+                    Loc::Scratch(s) if (s as usize) < stage.scratch.len() => {
+                        scratch_written[s as usize] = true;
+                    }
+                    loc => {
+                        return Err(DataError::InvalidGraph(format!(
+                            "stage {si} step {pi}: output {loc:?} out of range"
+                        )));
+                    }
+                }
+            }
+        }
+        if !slot_written[self.output_slot as usize] {
+            return Err(DataError::InvalidGraph(
+                "output slot is never written".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Column types of all slots (pool lease layout).
+    pub fn slot_types(&self) -> Vec<ColumnType> {
+        self.slots.iter().map(|d| d.ty).collect()
+    }
+
+    /// Total steps across stages.
+    pub fn n_steps(&self) -> usize {
+        self.stages.iter().map(|s| s.steps.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pretzel_ops::linear::{LinearKind, LinearParams};
+    use pretzel_ops::synth;
+
+    fn linear4() -> Arc<LinearParams> {
+        Arc::new(LinearParams::new(
+            LinearKind::Regression,
+            vec![1.0, 2.0, 3.0, 4.0],
+            0.5,
+        ))
+    }
+
+    #[test]
+    fn partial_dots_plus_combine_equal_full_linear() {
+        let lin = linear4();
+        let left = Vector::Dense(vec![1.0, 1.0]);
+        let right = Vector::Dense(vec![2.0, 1.0]);
+        let mut p1 = Vector::Scalar(0.0);
+        let mut p2 = Vector::Scalar(0.0);
+        StageOp::PartialDot {
+            linear: Arc::clone(&lin),
+            offset: 0,
+        }
+        .apply(&[&left], &mut p1)
+        .unwrap();
+        StageOp::PartialDot {
+            linear: Arc::clone(&lin),
+            offset: 2,
+        }
+        .apply(&[&right], &mut p2)
+        .unwrap();
+        let mut combined = Vector::Scalar(0.0);
+        StageOp::Combine {
+            linear: Arc::clone(&lin),
+        }
+        .apply(&[&p1, &p2], &mut combined)
+        .unwrap();
+
+        // Reference: full concatenated scoring.
+        let full = Vector::Dense(vec![1.0, 1.0, 2.0, 1.0]);
+        let mut reference = Vector::Scalar(0.0);
+        lin.apply(&full, &mut reference).unwrap();
+        assert_eq!(combined, reference);
+    }
+
+    #[test]
+    fn fused_char_dot_equals_ngram_then_dot() {
+        let ngram = Arc::new(synth::char_ngram(5, 3, 32));
+        let lin = Arc::new(synth::linear(6, 32, LinearKind::Regression));
+        let text = Vector::Text("the quick brown fox jumps".into());
+
+        // Unfused reference: materialize the sparse vector, then dot.
+        let mut sparse = Vector::with_type(ColumnType::F32Sparse { len: 32 });
+        ngram.apply_char(text.as_text().unwrap(), &mut sparse).unwrap();
+        let expected = lin.partial_dot(&sparse, 0).unwrap();
+
+        let mut out = Vector::Scalar(0.0);
+        StageOp::FusedCharNgramDot {
+            ngram,
+            linear: lin,
+            offset: 0,
+        }
+        .apply(&[&text], &mut out)
+        .unwrap();
+        assert!((out.as_scalar().unwrap() - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn fused_word_dot_equals_ngram_then_dot() {
+        use pretzel_ops::text::tokenizer::TokenizerParams;
+        let vocab = synth::vocabulary(2, 64);
+        let ngram = Arc::new(synth::word_ngram(3, 2, 64, &vocab));
+        let lin = Arc::new(synth::linear(8, 64, LinearKind::Regression));
+        let sentence = format!("{} {} {}", vocab[0], vocab[1], vocab[2]);
+        let text = Vector::Text(sentence.clone());
+        let tok = TokenizerParams::whitespace_punct();
+        let mut tokens = Vector::with_type(ColumnType::TokenList);
+        tok.apply(&sentence, &mut tokens).unwrap();
+
+        let mut sparse = Vector::with_type(ColumnType::F32Sparse { len: 64 });
+        ngram
+            .apply_word(&sentence, tokens.as_tokens().unwrap(), &mut sparse)
+            .unwrap();
+        let expected = lin.partial_dot(&sparse, 0).unwrap();
+
+        let mut out = Vector::Scalar(0.0);
+        StageOp::FusedWordNgramDot {
+            ngram,
+            linear: lin,
+            offset: 0,
+        }
+        .apply(&[&text, &tokens], &mut out)
+        .unwrap();
+        assert!((out.as_scalar().unwrap() - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn combine_rejects_non_scalar_partials() {
+        let lin = linear4();
+        let bad = Vector::Dense(vec![1.0]);
+        let mut out = Vector::Scalar(0.0);
+        assert!(StageOp::Combine { linear: lin }
+            .apply(&[&bad], &mut out)
+            .is_err());
+    }
+
+    #[test]
+    fn fused_dot_out_of_bounds_segment_is_error() {
+        let ngram = Arc::new(synth::char_ngram(5, 3, 32));
+        let lin = Arc::new(synth::linear(6, 16, LinearKind::Regression));
+        let text = Vector::Text("abcdef".into());
+        let mut out = Vector::Scalar(0.0);
+        let err = StageOp::FusedCharNgramDot {
+            ngram,
+            linear: lin,
+            offset: 0,
+        }
+        .apply(&[&text], &mut out);
+        assert!(err.is_err());
+    }
+
+    fn tiny_plan() -> StagePlan {
+        let lin = linear4();
+        StagePlan {
+            source_type: ColumnType::F32Dense { len: 4 },
+            slots: vec![
+                BufDef::new(ColumnType::F32Dense { len: 4 }, 4),
+                BufDef::new(ColumnType::F32Scalar, 1),
+            ],
+            stages: vec![LogicalStage {
+                steps: vec![Step {
+                    op: StageOp::Op(Op::Linear(lin)),
+                    inputs: vec![Loc::Slot(0)],
+                    output: Loc::Slot(1),
+                }],
+                scratch: vec![],
+                reads: vec![0],
+                writes: vec![1],
+                dense: true,
+                vectorizable: true,
+            }],
+            output_slot: 1,
+            stats: NodeStats::default(),
+        }
+    }
+
+    #[test]
+    fn valid_plan_passes_validation() {
+        tiny_plan().validate().unwrap();
+        assert_eq!(tiny_plan().n_steps(), 1);
+    }
+
+    #[test]
+    fn output_aliasing_input_rejected() {
+        let mut p = tiny_plan();
+        p.stages[0].steps[0].output = Loc::Slot(0);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn read_before_write_rejected() {
+        let mut p = tiny_plan();
+        p.stages[0].steps[0].inputs = vec![Loc::Slot(1)];
+        p.stages[0].steps[0].output = Loc::Slot(0);
+        // Slot 1 is never written before being read.
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn scratch_read_before_write_rejected() {
+        let mut p = tiny_plan();
+        p.stages[0].scratch.push(BufDef::new(ColumnType::F32Scalar, 1));
+        p.stages[0].steps[0].inputs = vec![Loc::Scratch(0)];
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn unwritten_output_slot_rejected() {
+        let mut p = tiny_plan();
+        p.slots.push(BufDef::new(ColumnType::F32Scalar, 1));
+        p.output_slot = 2;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut p = tiny_plan();
+        p.stages[0].steps[0].inputs = vec![Loc::Slot(0), Loc::Slot(0)];
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn cacheable_flags() {
+        use pretzel_ops::text::tokenizer::TokenizerParams;
+        let tok = StageOp::Op(Op::Tokenizer(Arc::new(TokenizerParams::whitespace_punct())));
+        assert!(tok.cacheable());
+        let lin = StageOp::Op(Op::Linear(linear4()));
+        assert!(!lin.cacheable());
+        assert!(!StageOp::Combine { linear: linear4() }.cacheable());
+    }
+
+    #[test]
+    fn stage_op_checksums_distinguish_offsets() {
+        let lin = linear4();
+        let a = StageOp::PartialDot {
+            linear: Arc::clone(&lin),
+            offset: 0,
+        };
+        let b = StageOp::PartialDot {
+            linear: lin,
+            offset: 2,
+        };
+        assert_ne!(a.checksum(), b.checksum());
+    }
+}

@@ -1,0 +1,555 @@
+//! Event-based scheduling of physical stages over shared executors.
+//!
+//! "Each core runs an Executor instance whereby all Executors pull work
+//! from a shared pair of queues: one low priority queue for newly submitted
+//! plans, and one high priority queue for already started stages. ...
+//! Two priority queues allow started pipelines to be scheduled earlier and
+//! therefore return memory quickly" (paper §4.2.2).
+//!
+//! The unit of scheduling is a *chunk event*: `(plan, records[a..b],
+//! stage k)`. Executing it runs stage `k` for every record in the chunk and
+//! re-enqueues `(…, stage k+1)` at high priority; the final stage writes
+//! results and releases the chunk's working sets back to their pool.
+//! Working sets are leased lazily when a chunk's first stage runs, per the
+//! paper ("vectors are requested per pipeline and lazily fulfilled when a
+//! pipeline's first stage is being evaluated").
+//!
+//! **Reservation-based scheduling**: a plan may reserve its own executor
+//! (and vector pool); its events bypass the shared queues entirely,
+//! emulating container-style isolation while still sharing parameters
+//! (paper §4.2.2).
+
+use crate::physical::{ExecCtx, ModelPlan, SourceRef};
+use crate::object_store::MaterializationCache;
+use parking_lot::{Condvar, Mutex};
+use pretzel_data::pool::VectorPool;
+use pretzel_data::{DataError, Result, Vector};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One prediction request record.
+#[derive(Debug, Clone)]
+pub enum Record {
+    /// A text line (CSV payload).
+    Text(String),
+    /// A dense numeric record.
+    Dense(Vec<f32>),
+}
+
+impl Record {
+    /// Borrows the record as a [`SourceRef`].
+    pub fn as_source(&self) -> SourceRef<'_> {
+        match self {
+            Record::Text(s) => SourceRef::Text(s),
+            Record::Dense(x) => SourceRef::Dense(x),
+        }
+    }
+}
+
+/// Shared state of one in-flight batch request.
+#[derive(Debug)]
+struct BatchState {
+    results: Mutex<Vec<f32>>,
+    error: Mutex<Option<DataError>>,
+    remaining_chunks: AtomicUsize,
+    done: Condvar,
+    done_lock: Mutex<bool>,
+    completed_at: Mutex<Option<std::time::Instant>>,
+}
+
+/// Handle for awaiting a submitted batch.
+#[derive(Debug)]
+pub struct BatchHandle {
+    state: Arc<BatchState>,
+}
+
+impl BatchHandle {
+    /// Blocks until every chunk completed; returns the per-record scores.
+    pub fn wait(self) -> Result<Vec<f32>> {
+        self.wait_timed().map(|(scores, _)| scores)
+    }
+
+    /// Like [`Self::wait`], also returning *when* the last chunk finished —
+    /// load generators use this to measure request latency without
+    /// inflating it by their own harvesting delay.
+    pub fn wait_timed(self) -> Result<(Vec<f32>, std::time::Instant)> {
+        let mut done = self.state.done_lock.lock();
+        while !*done {
+            self.state.done.wait(&mut done);
+        }
+        drop(done);
+        let at = self
+            .state
+            .completed_at
+            .lock()
+            .unwrap_or_else(std::time::Instant::now);
+        if let Some(err) = self.state.error.lock().take() {
+            return Err(err);
+        }
+        Ok((std::mem::take(&mut *self.state.results.lock()), at))
+    }
+}
+
+/// A chunk event: one contiguous range of a batch at one stage.
+struct ChunkTask {
+    plan: Arc<ModelPlan>,
+    records: Arc<Vec<Record>>,
+    range: (usize, usize),
+    stage: usize,
+    /// Working sets, one per record in the range; leased at first stage.
+    leases: Vec<Vec<Vector>>,
+    /// Pool the leases came from (returned there on completion).
+    lease_pool: Option<Arc<VectorPool>>,
+    state: Arc<BatchState>,
+}
+
+/// The shared pair of priority queues.
+#[derive(Debug, Default)]
+struct QueueInner {
+    high: VecDeque<ChunkTask>,
+    low: VecDeque<ChunkTask>,
+    closed: bool,
+}
+
+impl std::fmt::Debug for ChunkTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkTask")
+            .field("range", &self.range)
+            .field("stage", &self.stage)
+            .finish()
+    }
+}
+
+#[derive(Debug, Default)]
+struct DualQueue {
+    inner: Mutex<QueueInner>,
+    cv: Condvar,
+}
+
+impl DualQueue {
+    fn push_high(&self, t: ChunkTask) {
+        self.inner.lock().high.push_back(t);
+        self.cv.notify_one();
+    }
+
+    fn push_low(&self, t: ChunkTask) {
+        self.inner.lock().low.push_back(t);
+        self.cv.notify_one();
+    }
+
+    /// Pops the next event, preferring the high-priority queue; returns
+    /// `None` once closed and drained.
+    fn pop(&self) -> Option<ChunkTask> {
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(t) = g.high.pop_front() {
+                return Some(t);
+            }
+            if let Some(t) = g.low.pop_front() {
+                return Some(t);
+            }
+            if g.closed {
+                return None;
+            }
+            self.cv.wait(&mut g);
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Scheduler counters exposed to benchmarks and tests.
+#[derive(Debug, Default)]
+pub struct SchedStats {
+    /// Stage events executed.
+    pub stage_events: AtomicU64,
+    /// Records fully scored.
+    pub records_done: AtomicU64,
+}
+
+/// The stage scheduler: executors, shared queues, reservations.
+#[derive(Debug)]
+pub struct Scheduler {
+    shared: Arc<DualQueue>,
+    executors: Vec<JoinHandle<()>>,
+    reserved: Mutex<std::collections::HashMap<u32, Arc<DualQueue>>>,
+    reserved_executors: Mutex<Vec<JoinHandle<()>>>,
+    stats: Arc<SchedStats>,
+    pooling: bool,
+    chunk_size: usize,
+    cache: Option<Arc<MaterializationCache>>,
+}
+
+impl Scheduler {
+    /// Starts `n_executors` executor threads, each with its own vector pool.
+    pub fn new(
+        n_executors: usize,
+        pooling: bool,
+        chunk_size: usize,
+        cache: Option<Arc<MaterializationCache>>,
+    ) -> Self {
+        let shared = Arc::new(DualQueue::default());
+        let stats = Arc::new(SchedStats::default());
+        let executors = (0..n_executors.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&shared);
+                let stats = Arc::clone(&stats);
+                let cache = cache.clone();
+                std::thread::Builder::new()
+                    .name(format!("pretzel-exec-{i}"))
+                    .spawn(move || executor_loop(queue, stats, pooling, cache))
+                    .expect("spawn executor")
+            })
+            .collect();
+        Scheduler {
+            shared,
+            executors,
+            reserved: Mutex::new(std::collections::HashMap::new()),
+            reserved_executors: Mutex::new(Vec::new()),
+            stats,
+            pooling,
+            chunk_size: chunk_size.max(1),
+            cache,
+        }
+    }
+
+    /// Scheduler counters.
+    pub fn stats(&self) -> &SchedStats {
+        &self.stats
+    }
+
+    /// Reserves a dedicated executor (with its own pool and queue) for
+    /// `plan_id`. Parameters and physical stages remain shared.
+    pub fn reserve(&self, plan_id: u32) {
+        let mut reserved = self.reserved.lock();
+        if reserved.contains_key(&plan_id) {
+            return;
+        }
+        let queue = Arc::new(DualQueue::default());
+        let stats = Arc::clone(&self.stats);
+        let pooling = self.pooling;
+        let cache = self.cache.clone();
+        let q = Arc::clone(&queue);
+        let handle = std::thread::Builder::new()
+            .name(format!("pretzel-reserved-{plan_id}"))
+            .spawn(move || executor_loop(q, stats, pooling, cache))
+            .expect("spawn reserved executor");
+        reserved.insert(plan_id, queue);
+        self.reserved_executors.lock().push(handle);
+    }
+
+    /// Submits a batch of records for `plan`; chunks enter the low-priority
+    /// queue (new pipelines) and climb to high priority as they progress.
+    pub fn submit_batch(
+        &self,
+        plan_id: u32,
+        plan: Arc<ModelPlan>,
+        records: Vec<Record>,
+    ) -> BatchHandle {
+        let n = records.len();
+        let records = Arc::new(records);
+        let n_chunks = n.div_ceil(self.chunk_size).max(1);
+        let state = Arc::new(BatchState {
+            results: Mutex::new(vec![0.0; n]),
+            error: Mutex::new(None),
+            remaining_chunks: AtomicUsize::new(n_chunks),
+            done: Condvar::new(),
+            done_lock: Mutex::new(n == 0),
+            completed_at: Mutex::new((n == 0).then(std::time::Instant::now)),
+        });
+        if n == 0 {
+            return BatchHandle { state };
+        }
+        let queue = {
+            let reserved = self.reserved.lock();
+            reserved.get(&plan_id).cloned().unwrap_or_else(|| Arc::clone(&self.shared))
+        };
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + self.chunk_size).min(n);
+            queue.push_low(ChunkTask {
+                plan: Arc::clone(&plan),
+                records: Arc::clone(&records),
+                range: (start, end),
+                stage: 0,
+                leases: Vec::new(),
+                lease_pool: None,
+                state: Arc::clone(&state),
+            });
+            start = end;
+        }
+        BatchHandle { state }
+    }
+
+    /// Closes the queues and joins every executor.
+    pub fn shutdown(mut self) {
+        self.shared.close();
+        for (_, q) in self.reserved.lock().drain() {
+            q.close();
+        }
+        for h in self.executors.drain(..) {
+            let _ = h.join();
+        }
+        for h in self.reserved_executors.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shared.close();
+        for (_, q) in self.reserved.lock().drain() {
+            q.close();
+        }
+        for h in self.executors.drain(..) {
+            let _ = h.join();
+        }
+        for h in self.reserved_executors.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn executor_loop(
+    queue: Arc<DualQueue>,
+    stats: Arc<SchedStats>,
+    pooling: bool,
+    cache: Option<Arc<MaterializationCache>>,
+) {
+    // Per-executor resources, allocated once: "vector pools are allocated
+    // per Executor to improve locality" (paper §4.2.1).
+    let pool = Arc::new(if pooling {
+        VectorPool::new()
+    } else {
+        VectorPool::disabled()
+    });
+    let mut ctx = ExecCtx::new(Arc::clone(&pool));
+    if let Some(c) = cache {
+        ctx = ctx.with_cache(c);
+    }
+    while let Some(task) = queue.pop() {
+        run_chunk_stage(task, &queue, &pool, &mut ctx, &stats);
+    }
+}
+
+fn run_chunk_stage(
+    mut task: ChunkTask,
+    queue: &Arc<DualQueue>,
+    pool: &Arc<VectorPool>,
+    ctx: &mut ExecCtx,
+    stats: &Arc<SchedStats>,
+) {
+    let (start, end) = task.range;
+    let n = end - start;
+    // Lazy lease: acquired from THIS executor's pool at the first stage.
+    if task.stage == 0 {
+        let types = task.plan.slot_types();
+        task.leases = (0..n)
+            .map(|_| types.iter().map(|&t| pool.acquire(t)).collect())
+            .collect();
+        task.lease_pool = Some(Arc::clone(pool));
+        // Load sources.
+        for (i, lease) in task.leases.iter_mut().enumerate() {
+            let src = task.records[start + i].as_source();
+            if let Err(e) = src.load_into(&mut lease[0]) {
+                finish_chunk_error(task, e);
+                return;
+            }
+        }
+    }
+    let stage = &task.plan.stages[task.stage];
+    for (i, lease) in task.leases.iter_mut().enumerate() {
+        if ctx.cache.is_some() {
+            ctx.source_hash = task.records[start + i].as_source().content_hash();
+        }
+        if let Err(e) = stage.execute(lease, ctx) {
+            finish_chunk_error(task, e);
+            return;
+        }
+    }
+    stats.stage_events.fetch_add(1, Ordering::Relaxed);
+
+    if task.stage + 1 < task.plan.stages.len() {
+        task.stage += 1;
+        // Started pipelines re-enter at high priority so they finish and
+        // return their working sets quickly.
+        queue.push_high(task);
+    } else {
+        // Final stage: harvest results, release working sets.
+        let out = task.plan.output_slot as usize;
+        {
+            let mut results = task.state.results.lock();
+            for (i, lease) in task.leases.iter().enumerate() {
+                results[start + i] = lease[out].as_scalar().unwrap_or(f32::NAN);
+            }
+        }
+        stats.records_done.fetch_add(n as u64, Ordering::Relaxed);
+        release_leases(&mut task);
+        complete_chunk(task.state);
+    }
+}
+
+fn release_leases(task: &mut ChunkTask) {
+    if let Some(pool) = task.lease_pool.take() {
+        for lease in task.leases.drain(..) {
+            for v in lease {
+                pool.release(v);
+            }
+        }
+    }
+}
+
+fn finish_chunk_error(mut task: ChunkTask, err: DataError) {
+    release_leases(&mut task);
+    task.state.error.lock().get_or_insert(err);
+    complete_chunk(task.state);
+}
+
+fn complete_chunk(state: Arc<BatchState>) {
+    if state.remaining_chunks.fetch_sub(1, Ordering::AcqRel) == 1 {
+        *state.completed_at.lock() = Some(std::time::Instant::now());
+        let mut done = state.done_lock.lock();
+        *done = true;
+        state.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flour::FlourContext;
+    use crate::object_store::ObjectStore;
+    use crate::physical::CompileOptions;
+    use pretzel_ops::linear::LinearKind;
+    use pretzel_ops::synth;
+
+    fn sa_plan(seed: u64) -> Arc<ModelPlan> {
+        let vocab = synth::vocabulary(0, 64);
+        let ctx = FlourContext::new();
+        let tokens = ctx.csv(',').select_text(1).tokenize();
+        let c = tokens.char_ngram(Arc::new(synth::char_ngram(1, 3, 128)));
+        let w = tokens.word_ngram(Arc::new(synth::word_ngram(2, 2, 128, &vocab)));
+        let logical = c
+            .concat(&w)
+            .classifier_linear(Arc::new(synth::linear(seed, 256, LinearKind::Logistic)))
+            .plan()
+            .unwrap();
+        let store = ObjectStore::new();
+        Arc::new(ModelPlan::compile(logical, &CompileOptions::default(), &store).unwrap())
+    }
+
+    fn records(n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::Text(format!("5,this is review number {i} quite nice")))
+            .collect()
+    }
+
+    #[test]
+    fn batch_results_match_inline_execution() {
+        let plan = sa_plan(3);
+        let sched = Scheduler::new(2, true, 4, None);
+        let recs = records(17);
+        let handle = sched.submit_batch(0, Arc::clone(&plan), recs.clone());
+        let scores = handle.wait().unwrap();
+        assert_eq!(scores.len(), 17);
+
+        // Inline reference.
+        let pool = Arc::new(VectorPool::new());
+        let mut ctx = ExecCtx::new(pool);
+        let mut slots: Vec<Vector> = plan
+            .slot_types()
+            .iter()
+            .map(|&t| Vector::with_type(t))
+            .collect();
+        for (i, r) in recs.iter().enumerate() {
+            let expect = plan.execute(r.as_source(), &mut slots, &mut ctx).unwrap();
+            assert!(
+                (scores[i] - expect).abs() < 1e-6,
+                "record {i}: {} vs {expect}",
+                scores[i]
+            );
+        }
+        sched.shutdown();
+    }
+
+    #[test]
+    fn empty_batch_completes_immediately() {
+        let plan = sa_plan(1);
+        let sched = Scheduler::new(1, true, 8, None);
+        let scores = sched.submit_batch(0, plan, vec![]).wait().unwrap();
+        assert!(scores.is_empty());
+        sched.shutdown();
+    }
+
+    #[test]
+    fn concurrent_batches_across_plans() {
+        let plans: Vec<_> = (0..4).map(sa_plan).collect();
+        let sched = Scheduler::new(4, true, 8, None);
+        let handles: Vec<_> = plans
+            .iter()
+            .enumerate()
+            .map(|(i, p)| sched.submit_batch(i as u32, Arc::clone(p), records(23)))
+            .collect();
+        for h in handles {
+            assert_eq!(h.wait().unwrap().len(), 23);
+        }
+        assert_eq!(sched.stats().records_done.load(Ordering::Relaxed), 4 * 23);
+        // SA plans have 2 stages: 1 event per chunk per stage.
+        let chunks = 23usize.div_ceil(8);
+        assert_eq!(
+            sched.stats().stage_events.load(Ordering::Relaxed),
+            (4 * chunks * 2) as u64
+        );
+        sched.shutdown();
+    }
+
+    #[test]
+    fn errors_propagate_to_handle() {
+        let plan = sa_plan(5);
+        let sched = Scheduler::new(2, true, 4, None);
+        // Dense record into a text pipeline: source load fails.
+        let handle = sched.submit_batch(0, plan, vec![Record::Dense(vec![1.0, 2.0])]);
+        assert!(handle.wait().is_err());
+        sched.shutdown();
+    }
+
+    #[test]
+    fn reserved_plan_executes_on_dedicated_queue() {
+        let plan = sa_plan(9);
+        let sched = Scheduler::new(1, true, 4, None);
+        sched.reserve(7);
+        let h = sched.submit_batch(7, Arc::clone(&plan), records(5));
+        assert_eq!(h.wait().unwrap().len(), 5);
+        // Unreserved traffic still flows through the shared queue.
+        let h2 = sched.submit_batch(1, plan, records(5));
+        assert_eq!(h2.wait().unwrap().len(), 5);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn pooling_disabled_still_correct() {
+        let plan = sa_plan(11);
+        let sched = Scheduler::new(2, false, 4, None);
+        let scores = sched
+            .submit_batch(0, plan, records(9))
+            .wait()
+            .unwrap();
+        assert_eq!(scores.len(), 9);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn drop_without_shutdown_joins_cleanly() {
+        let plan = sa_plan(13);
+        let sched = Scheduler::new(2, true, 4, None);
+        let h = sched.submit_batch(0, plan, records(3));
+        let _ = h.wait().unwrap();
+        drop(sched);
+    }
+}

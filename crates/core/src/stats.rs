@@ -1,0 +1,89 @@
+//! Training statistics attached to Flour transformations.
+//!
+//! "Each Flour transformation accepts as input an optional set of statistics
+//! gathered from training. These statistics are used by the compiler to
+//! generate physical plans more efficiently tailored to the model
+//! characteristics. Example statistics are max vector size (to define the
+//! minimum size of vectors to fetch from the pool at prediction time),
+//! dense/sparse representations, etc." (paper §4.1.1).
+
+/// Per-transformation statistics gathered at training time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeStats {
+    /// Maximum number of *stored* elements observed in the output (tokens,
+    /// sparse nnz, text bytes). Sizes pooled buffers.
+    pub max_stored: usize,
+    /// Fraction of non-zero entries in the output (1.0 = fully dense).
+    pub density: f32,
+}
+
+impl Default for NodeStats {
+    fn default() -> Self {
+        // Conservative defaults when no statistics were gathered: assume a
+        // moderately sized, sparse output.
+        NodeStats {
+            max_stored: 256,
+            density: 0.05,
+        }
+    }
+}
+
+impl NodeStats {
+    /// Creates a statistics record.
+    pub fn new(max_stored: usize, density: f32) -> Self {
+        NodeStats {
+            max_stored,
+            density: density.clamp(0.0, 1.0),
+        }
+    }
+
+    /// True if the output should be treated as dense by physical selection.
+    ///
+    /// The 0.5 threshold mirrors the usual row-store heuristic: above it,
+    /// sparse bookkeeping costs more than it saves.
+    pub fn is_dense(&self) -> bool {
+        self.density >= 0.5
+    }
+
+    /// Merges statistics of fused transformations (max of sizes, max of
+    /// densities — conservative for buffer sizing).
+    pub fn merge(&self, other: &NodeStats) -> NodeStats {
+        NodeStats {
+            max_stored: self.max_stored.max(other.max_stored),
+            density: self.density.max(other.density),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_is_clamped() {
+        assert_eq!(NodeStats::new(10, 7.0).density, 1.0);
+        assert_eq!(NodeStats::new(10, -1.0).density, 0.0);
+    }
+
+    #[test]
+    fn dense_threshold() {
+        assert!(NodeStats::new(1, 0.5).is_dense());
+        assert!(!NodeStats::new(1, 0.49).is_dense());
+    }
+
+    #[test]
+    fn merge_is_conservative() {
+        let a = NodeStats::new(100, 0.1);
+        let b = NodeStats::new(50, 0.9);
+        let m = a.merge(&b);
+        assert_eq!(m.max_stored, 100);
+        assert_eq!(m.density, 0.9);
+    }
+
+    #[test]
+    fn default_is_sparse_moderate() {
+        let d = NodeStats::default();
+        assert!(!d.is_dense());
+        assert!(d.max_stored > 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Counting global allocator for memory experiments.
+//!
+//! The paper's Figure 8 reports cumulative memory while loading 250 models
+//! under four configurations. The authors read process RSS; we instead wrap
+//! the system allocator with [`CountingAlloc`] and report *live heap bytes*,
+//! which is deterministic, immune to allocator slack, and captures exactly
+//! the effect being measured (parameter dedup in the Object Store vs
+//! per-container copies).
+//!
+//! Benchmark binaries install the allocator with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: pretzel_data::alloc_meter::CountingAlloc = CountingAlloc::new();
+//! ```
+//!
+//! and then bracket phases with [`MemoryScope`].
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+/// A [`GlobalAlloc`] that forwards to [`System`] while tracking live bytes.
+///
+/// Counter updates use relaxed atomics: the counters are monotonic telemetry,
+/// not synchronization, and the memory experiments read them from quiescent
+/// points (after joins).
+pub struct CountingAlloc {
+    _private: (),
+}
+
+impl CountingAlloc {
+    /// Creates the allocator (const, so it can be a `static`).
+    pub const fn new() -> Self {
+        CountingAlloc { _private: () }
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn on_alloc(size: usize) {
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    // Update the peak with a CAS loop; contention here is rare and bounded.
+    let mut peak = PEAK.load(Ordering::Relaxed);
+    while live > peak {
+        match PEAK.compare_exchange_weak(peak, live, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(p) => peak = p,
+        }
+    }
+}
+
+fn on_dealloc(size: usize) {
+    LIVE.fetch_sub(size, Ordering::Relaxed);
+}
+
+// SAFETY: all methods forward to `System`, which satisfies the `GlobalAlloc`
+// contract; the bookkeeping adjusts atomics only and never touches the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: forwarded verbatim; caller upholds the layout contract.
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        on_dealloc(layout.size());
+        // SAFETY: forwarded verbatim; `ptr` came from `System.alloc` with
+        // the same layout, per the caller's contract.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: forwarded verbatim under the caller's contract.
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// Live heap bytes currently tracked.
+pub fn live_bytes() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// High-water mark of live heap bytes since process start / last reset.
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Total number of allocation calls observed.
+pub fn alloc_count() -> usize {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Resets the peak to the current live value.
+pub fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Brackets a phase and reports the live-bytes delta across it.
+///
+/// Only meaningful in binaries that installed [`CountingAlloc`]; elsewhere
+/// the deltas are zero.
+#[derive(Debug)]
+pub struct MemoryScope {
+    start_live: usize,
+    start_allocs: usize,
+}
+
+impl Default for MemoryScope {
+    fn default() -> Self {
+        Self::begin()
+    }
+}
+
+impl MemoryScope {
+    /// Starts measuring.
+    pub fn begin() -> Self {
+        MemoryScope {
+            start_live: live_bytes(),
+            start_allocs: alloc_count(),
+        }
+    }
+
+    /// Live bytes gained (or freed, negative) since `begin`.
+    pub fn delta_bytes(&self) -> isize {
+        live_bytes() as isize - self.start_live as isize
+    }
+
+    /// Allocation calls performed since `begin`.
+    pub fn delta_allocs(&self) -> usize {
+        alloc_count() - self.start_allocs
+    }
+}
+
+/// Formats a byte count with binary units, for harness output.
+pub fn fmt_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.2} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_manual_alloc() {
+        let a = CountingAlloc::new();
+        let layout = Layout::from_size_align(1024, 8).unwrap();
+        let before = live_bytes();
+        // SAFETY: valid non-zero layout; pointer is deallocated below with
+        // the same layout.
+        let p = unsafe { a.alloc(layout) };
+        assert!(!p.is_null());
+        assert_eq!(live_bytes() - before, 1024);
+        assert!(peak_bytes() >= before + 1024);
+        // SAFETY: `p` was allocated just above with `layout`.
+        unsafe { a.dealloc(p, layout) };
+        assert_eq!(live_bytes(), before);
+    }
+
+    #[test]
+    fn realloc_adjusts_delta() {
+        let a = CountingAlloc::new();
+        let layout = Layout::from_size_align(256, 8).unwrap();
+        let before = live_bytes();
+        // SAFETY: valid layout; the resulting pointer is reallocated and
+        // freed below with matching layouts.
+        let p = unsafe { a.alloc(layout) };
+        // SAFETY: `p` is live with `layout`; 512 is a valid non-zero size.
+        let p2 = unsafe { a.realloc(p, layout, 512) };
+        assert!(!p2.is_null());
+        assert_eq!(live_bytes() - before, 512);
+        let layout2 = Layout::from_size_align(512, 8).unwrap();
+        // SAFETY: `p2` was returned by realloc with size 512 and alignment 8.
+        unsafe { a.dealloc(p2, layout2) };
+        assert_eq!(live_bytes(), before);
+    }
+
+    #[test]
+    fn memory_scope_reports_deltas() {
+        let a = CountingAlloc::new();
+        let layout = Layout::from_size_align(2048, 8).unwrap();
+        let scope = MemoryScope::begin();
+        // SAFETY: valid layout, freed below.
+        let p = unsafe { a.alloc(layout) };
+        assert_eq!(scope.delta_bytes(), 2048);
+        assert_eq!(scope.delta_allocs(), 1);
+        // SAFETY: allocated above with the same layout.
+        unsafe { a.dealloc(p, layout) };
+        assert_eq!(scope.delta_bytes(), 0);
+    }
+
+    #[test]
+    fn fmt_bytes_units() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.00 KiB");
+        assert_eq!(fmt_bytes(5 * 1024 * 1024), "5.00 MiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024 * 1024), "3.00 GiB");
+    }
+}

@@ -1,0 +1,88 @@
+//! Shared error type for the data substrate.
+
+use std::fmt;
+
+/// Result alias used throughout the data substrate.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+/// Errors produced by schema validation, codecs and pools.
+///
+/// The PRETZEL runtime never panics on malformed pipelines or requests; every
+/// fallible path surfaces one of these variants (paper-quality serving
+/// systems degrade gracefully rather than aborting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A transformation received an input column type it cannot consume.
+    SchemaMismatch {
+        /// Name of the operator or stage that rejected the input.
+        operator: String,
+        /// Human-readable description of what was expected.
+        expected: String,
+        /// Human-readable description of what was found.
+        found: String,
+    },
+    /// A referenced column does not exist in the schema.
+    UnknownColumn(String),
+    /// The pipeline graph is structurally invalid (cycle, missing predictor,
+    /// dangling edge...).
+    InvalidGraph(String),
+    /// A binary model file failed to decode.
+    Codec(String),
+    /// A vector pool was asked for an unsupported buffer shape.
+    Pool(String),
+    /// A runtime invariant was violated (catalogue lookups, plan binding...).
+    Runtime(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::SchemaMismatch {
+                operator,
+                expected,
+                found,
+            } => write!(
+                f,
+                "schema mismatch in `{operator}`: expected {expected}, found {found}"
+            ),
+            DataError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            DataError::InvalidGraph(msg) => write!(f, "invalid pipeline graph: {msg}"),
+            DataError::Codec(msg) => write!(f, "model file codec error: {msg}"),
+            DataError::Pool(msg) => write!(f, "vector pool error: {msg}"),
+            DataError::Runtime(msg) => write!(f, "runtime error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let err = DataError::SchemaMismatch {
+            operator: "WordNgram".into(),
+            expected: "TokenList".into(),
+            found: "Text".into(),
+        };
+        assert_eq!(
+            err.to_string(),
+            "schema mismatch in `WordNgram`: expected TokenList, found Text"
+        );
+        assert_eq!(
+            DataError::UnknownColumn("Text".into()).to_string(),
+            "unknown column `Text`"
+        );
+        assert!(DataError::InvalidGraph("no predictor".into())
+            .to_string()
+            .contains("no predictor"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+}

@@ -1,0 +1,150 @@
+//! Small non-cryptographic hash utilities.
+//!
+//! Three uses in the reproduction, mirroring the paper:
+//!
+//! 1. **Feature hashing** in n-gram featurizers (dictionary-miss fallback and
+//!    the `HashingVectorizer` operator).
+//! 2. **Parameter checksums**: the Object Store dedups operator parameters by
+//!    "the checksum of the serialized version of the objects" (§4.1.3).
+//! 3. **Input hashing** for sub-plan materialization: "hashing of the input
+//!    is used to decide whether a result is already available" (§4.3).
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a 64-bit hasher.
+///
+/// Deterministic across runs and platforms, which matters because parameter
+/// checksums are persisted inside model files and compared after reload.
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// Creates a hasher seeded with the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a { state: FNV_OFFSET }
+    }
+
+    /// Feeds `bytes` into the hash state.
+    pub fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.state;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.state = h;
+    }
+
+    /// Feeds a little-endian `u64` into the hash state.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds the bit pattern of an `f32` into the hash state.
+    pub fn write_f32(&mut self, v: f32) {
+        self.write(&v.to_bits().to_le_bytes());
+    }
+
+    /// Returns the current 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Hashes a byte slice with FNV-1a in one call.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// SplitMix64: fast avalanche finalizer used to derive independent seeds.
+///
+/// Workload synthesis derives per-pipeline / per-operator seeds from a master
+/// seed with this, so that adding a pipeline never perturbs existing ones.
+pub fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hashes a feature string into a bucket in `[0, buckets)`.
+///
+/// Used by n-gram featurizers when a token misses the trained dictionary and
+/// by the `HashingVectorizer` operator.
+///
+/// # Panics
+///
+/// Panics if `buckets == 0` (a featurizer with zero buckets is a
+/// construction-time bug, not a data-dependent condition).
+pub fn feature_bucket(feature: &[u8], buckets: usize) -> usize {
+    assert!(buckets > 0, "feature_bucket requires at least one bucket");
+    (fnv1a(feature) % buckets as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Reference vectors for FNV-1a 64-bit.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let mut h = Fnv1a::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn write_u64_is_little_endian_bytes() {
+        let mut a = Fnv1a::new();
+        a.write_u64(0x0102_0304_0506_0708);
+        let mut b = Fnv1a::new();
+        b.write(&[8, 7, 6, 5, 4, 3, 2, 1]);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn splitmix_decorrelates_adjacent_seeds() {
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert_ne!(a, b);
+        // Avalanche: at least a quarter of the bits flip between neighbours.
+        assert!((a ^ b).count_ones() >= 16);
+    }
+
+    #[test]
+    fn feature_bucket_in_range_and_deterministic() {
+        for buckets in [1usize, 7, 1024] {
+            for f in [&b"the"[..], b"quick", b"brown fox"] {
+                let x = feature_bucket(f, buckets);
+                assert!(x < buckets);
+                assert_eq!(x, feature_bucket(f, buckets));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn feature_bucket_zero_buckets_panics() {
+        let _ = feature_bucket(b"x", 0);
+    }
+}

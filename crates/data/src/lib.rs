@@ -1,0 +1,35 @@
+//! Data substrate for the PRETZEL reproduction.
+//!
+//! This crate provides the building blocks that both the white-box PRETZEL
+//! runtime ([`pretzel-core`]) and the black-box baseline
+//! ([`pretzel-baseline`]) are built on:
+//!
+//! * [`schema`] — column types and schemas flowing through pipeline DAGs,
+//!   with propagation/validation helpers used by the Oven optimizer.
+//! * [`vector`] — the [`vector::Vector`] value type exchanged between
+//!   operators (dense/sparse float vectors, text, token spans).
+//! * [`pool`] — pre-allocated, size-classed vector pools used by PRETZEL to
+//!   avoid allocation on the prediction path (paper §4.2.1).
+//! * [`serde_bin`] — the hand-rolled, length-prefixed binary model-file
+//!   format both engines load models from (the ML.Net "zip of directories"
+//!   analogue), plus checksumming used by the Object Store for parameter
+//!   dedup (paper §4.1.3).
+//! * [`alloc_meter`] — a counting global allocator so experiments can report
+//!   live heap bytes per configuration (paper §5.1).
+//! * [`hash`] — small non-cryptographic hash utilities (feature hashing,
+//!   parameter checksums, input hashing for sub-plan materialization).
+//!
+//! [`pretzel-core`]: ../pretzel_core/index.html
+//! [`pretzel-baseline`]: ../pretzel_baseline/index.html
+
+pub mod alloc_meter;
+pub mod error;
+pub mod hash;
+pub mod pool;
+pub mod schema;
+pub mod serde_bin;
+pub mod vector;
+
+pub use error::{DataError, Result};
+pub use schema::{ColumnType, Schema};
+pub use vector::Vector;

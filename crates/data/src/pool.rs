@@ -1,0 +1,433 @@
+//! Pre-allocated vector pools.
+//!
+//! PRETZEL pays memory- and thread-allocation cost "upfront at initialization
+//! time" (paper §4): when the runtime starts, each executor gets a
+//! [`VectorPool`] warmed with buffers sized from training statistics (max
+//! vector size per stage, §4.1.1). On the prediction path, stages *acquire*
+//! buffers from the pool and *release* them when the pipeline completes —
+//! no global-allocator traffic. Disabling pooling reproduces the paper's
+//! ablation (hot latency +47.1%, §5.2.1).
+//!
+//! Vectors are requested **per pipeline**, not per stage (§4.2.2): a
+//! [`Lease`] bundles a pipeline's whole working set and returns it to the
+//! pool on drop, which is what makes the scheduler's two-priority-queue
+//! design (finish started pipelines first, to return memory quickly) work.
+
+use crate::schema::ColumnType;
+use crate::vector::{Span, Vector};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default cap of retained free buffers per size class.
+const DEFAULT_MAX_PER_CLASS: usize = 256;
+
+/// Counters describing pool effectiveness; read by benchmarks and tests.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    released: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl PoolStats {
+    /// Acquisitions served from a free list.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Acquisitions that had to allocate a fresh buffer.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Buffers returned to the pool.
+    pub fn released(&self) -> u64 {
+        self.released.load(Ordering::Relaxed)
+    }
+
+    /// Buffers dropped because a size class was already full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// Free-list of sparse buffers per dimensionality class.
+type SparseFreeLists = HashMap<u32, Vec<(Vec<u32>, Vec<f32>)>>;
+
+/// A size-classed pool of reusable [`Vector`] buffers.
+///
+/// When pooling is disabled (`VectorPool::disabled()`), every acquisition
+/// allocates and every release drops — the black-box baseline behaviour, and
+/// the configuration used by the "no vector pooling" ablation.
+#[derive(Debug)]
+pub struct VectorPool {
+    enabled: bool,
+    max_per_class: usize,
+    text: Mutex<Vec<String>>,
+    tokens: Mutex<Vec<Vec<Span>>>,
+    dense: Mutex<HashMap<usize, Vec<Vec<f32>>>>,
+    sparse: Mutex<SparseFreeLists>,
+    stats: PoolStats,
+}
+
+impl Default for VectorPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VectorPool {
+    /// Creates an enabled, empty pool.
+    pub fn new() -> Self {
+        VectorPool {
+            enabled: true,
+            max_per_class: DEFAULT_MAX_PER_CLASS,
+            text: Mutex::new(Vec::new()),
+            tokens: Mutex::new(Vec::new()),
+            dense: Mutex::new(HashMap::new()),
+            sparse: Mutex::new(HashMap::new()),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Creates a pass-through pool that always allocates (ablation mode).
+    pub fn disabled() -> Self {
+        VectorPool {
+            enabled: false,
+            ..VectorPool::new()
+        }
+    }
+
+    /// Sets the retained-buffer cap per size class.
+    pub fn with_max_per_class(mut self, cap: usize) -> Self {
+        self.max_per_class = cap;
+        self
+    }
+
+    /// True if the pool retains and reuses buffers.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Pool effectiveness counters.
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    /// Pre-populates the pool with `count` buffers of type `ty`.
+    ///
+    /// Called at runtime initialization from per-plan statistics, so that
+    /// the first requests already hit warm buffers (paper §4.2.1).
+    pub fn warm(&self, ty: ColumnType, count: usize) {
+        self.warm_sized(ty, 0, count);
+    }
+
+    /// Pre-populates the pool with `count` buffers of type `ty`, each with
+    /// storage reserved for `max_stored` elements (training statistics).
+    pub fn warm_sized(&self, ty: ColumnType, max_stored: usize, count: usize) {
+        if !self.enabled {
+            return;
+        }
+        for _ in 0..count {
+            self.release(Vector::with_capacity_hint(ty, max_stored));
+        }
+        // Warming is the upfront payment made at initialization time, not
+        // prediction-path traffic: exclude it from the release counter.
+        self.stats.released.fetch_sub(count as u64, Ordering::Relaxed);
+    }
+
+    /// Acquires a cleared buffer of type `ty`.
+    pub fn acquire(&self, ty: ColumnType) -> Vector {
+        if self.enabled {
+            if let Some(mut v) = self.try_pop(ty) {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                v.reset();
+                return v;
+            }
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        Vector::with_type(ty)
+    }
+
+    fn try_pop(&self, ty: ColumnType) -> Option<Vector> {
+        match ty {
+            ColumnType::Text => self.text.lock().pop().map(Vector::Text),
+            ColumnType::TokenList => self.tokens.lock().pop().map(Vector::Tokens),
+            ColumnType::F32Dense { len } => self
+                .dense
+                .lock()
+                .get_mut(&len)
+                .and_then(Vec::pop)
+                .map(Vector::Dense),
+            ColumnType::F32Sparse { len } => self
+                .sparse
+                .lock()
+                .get_mut(&(len as u32))
+                .and_then(Vec::pop)
+                .map(|(indices, values)| Vector::Sparse {
+                    indices,
+                    values,
+                    dim: len as u32,
+                }),
+            // Scalars are plain values; nothing to pool.
+            ColumnType::F32Scalar => Some(Vector::Scalar(0.0)),
+        }
+    }
+
+    /// Returns a buffer to the pool (or drops it when disabled/full).
+    pub fn release(&self, v: Vector) {
+        if !self.enabled {
+            return;
+        }
+        self.stats.released.fetch_add(1, Ordering::Relaxed);
+        let cap = self.max_per_class;
+        let full = match v {
+            Vector::Text(s) => {
+                let mut g = self.text.lock();
+                if g.len() < cap {
+                    g.push(s);
+                    false
+                } else {
+                    true
+                }
+            }
+            Vector::Tokens(t) => {
+                let mut g = self.tokens.lock();
+                if g.len() < cap {
+                    g.push(t);
+                    false
+                } else {
+                    true
+                }
+            }
+            Vector::Dense(d) => {
+                let mut g = self.dense.lock();
+                let class = g.entry(d.len()).or_default();
+                if class.len() < cap {
+                    class.push(d);
+                    false
+                } else {
+                    true
+                }
+            }
+            Vector::Sparse {
+                indices,
+                values,
+                dim,
+            } => {
+                let mut g = self.sparse.lock();
+                let class = g.entry(dim).or_default();
+                if class.len() < cap {
+                    class.push((indices, values));
+                    false
+                } else {
+                    true
+                }
+            }
+            Vector::Scalar(_) => false,
+        };
+        if full {
+            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Acquires one buffer per entry of `types` as a RAII [`Lease`].
+    pub fn lease(self: &Arc<Self>, types: &[ColumnType]) -> Lease {
+        let vectors = types.iter().map(|&t| self.acquire(t)).collect();
+        Lease {
+            pool: Arc::clone(self),
+            vectors,
+        }
+    }
+
+    /// Total heap bytes currently parked in free lists.
+    pub fn retained_bytes(&self) -> usize {
+        let mut total = 0usize;
+        total += self.text.lock().iter().map(String::capacity).sum::<usize>();
+        total += self
+            .tokens
+            .lock()
+            .iter()
+            .map(|t| t.capacity() * std::mem::size_of::<Span>())
+            .sum::<usize>();
+        total += self
+            .dense
+            .lock()
+            .values()
+            .flatten()
+            .map(|d| d.capacity() * 4)
+            .sum::<usize>();
+        total += self
+            .sparse
+            .lock()
+            .values()
+            .flatten()
+            .map(|(i, v)| i.capacity() * 4 + v.capacity() * 4)
+            .sum::<usize>();
+        total
+    }
+}
+
+/// A pipeline's working set of pooled buffers, returned to the pool on drop.
+#[derive(Debug)]
+pub struct Lease {
+    pool: Arc<VectorPool>,
+    vectors: Vec<Vector>,
+}
+
+impl Lease {
+    /// Number of leased buffers.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True if the lease holds no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Mutable access to the whole working set (stage slot indexing).
+    pub fn slots(&mut self) -> &mut [Vector] {
+        &mut self.vectors
+    }
+
+    /// Immutable access to the working set.
+    pub fn slots_ref(&self) -> &[Vector] {
+        &self.vectors
+    }
+
+    /// Splits the working set into the slot at `idx` and the rest, so a
+    /// stage can read earlier slots while writing its output slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn split_output(&mut self, idx: usize) -> (&mut Vector, &[Vector]) {
+        let (before, rest) = self.vectors.split_at_mut(idx);
+        let (out, _after) = rest.split_first_mut().expect("slot index out of bounds");
+        (out, before)
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        for v in self.vectors.drain(..) {
+            self.pool.release(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_reuses_buffers() {
+        let pool = VectorPool::new();
+        let ty = ColumnType::F32Dense { len: 8 };
+        let v = pool.acquire(ty);
+        assert_eq!(pool.stats().misses(), 1);
+        pool.release(v);
+        let v2 = pool.acquire(ty);
+        assert_eq!(pool.stats().hits(), 1);
+        assert_eq!(v2.column_type(), ty);
+    }
+
+    #[test]
+    fn acquired_buffers_are_reset() {
+        let pool = VectorPool::new();
+        let ty = ColumnType::F32Dense { len: 3 };
+        let mut v = pool.acquire(ty);
+        if let Vector::Dense(d) = &mut v {
+            d.copy_from_slice(&[1.0, 2.0, 3.0]);
+        }
+        pool.release(v);
+        let v2 = pool.acquire(ty);
+        assert_eq!(v2.as_dense().unwrap(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn size_classes_are_separate() {
+        let pool = VectorPool::new();
+        pool.release(Vector::Dense(vec![0.0; 4]));
+        // Asking for a different dense length must not return the len-4 buffer.
+        let v = pool.acquire(ColumnType::F32Dense { len: 8 });
+        assert_eq!(v.as_dense().unwrap().len(), 8);
+        assert_eq!(pool.stats().misses(), 1);
+    }
+
+    #[test]
+    fn disabled_pool_always_allocates() {
+        let pool = VectorPool::disabled();
+        let ty = ColumnType::TokenList;
+        let v = pool.acquire(ty);
+        pool.release(v);
+        let _ = pool.acquire(ty);
+        assert_eq!(pool.stats().hits(), 0);
+        assert_eq!(pool.stats().misses(), 2);
+        assert_eq!(pool.retained_bytes(), 0);
+    }
+
+    #[test]
+    fn class_cap_drops_excess() {
+        let pool = VectorPool::new().with_max_per_class(2);
+        for _ in 0..3 {
+            pool.release(Vector::Text(String::with_capacity(16)));
+        }
+        assert_eq!(pool.stats().dropped(), 1);
+    }
+
+    #[test]
+    fn warm_prepopulates_without_counting_misses() {
+        let pool = VectorPool::new();
+        pool.warm(ColumnType::F32Sparse { len: 100 }, 4);
+        for _ in 0..4 {
+            let v = pool.acquire(ColumnType::F32Sparse { len: 100 });
+            assert!(matches!(v, Vector::Sparse { dim: 100, .. }));
+        }
+        assert_eq!(pool.stats().hits(), 4);
+        assert_eq!(pool.stats().misses(), 0);
+    }
+
+    #[test]
+    fn lease_returns_buffers_on_drop() {
+        let pool = Arc::new(VectorPool::new());
+        let types = [
+            ColumnType::Text,
+            ColumnType::TokenList,
+            ColumnType::F32Dense { len: 4 },
+        ];
+        {
+            let mut lease = pool.lease(&types);
+            assert_eq!(lease.len(), 3);
+            let (out, before) = lease.split_output(2);
+            assert_eq!(before.len(), 2);
+            if let Vector::Dense(d) = out {
+                d[0] = 1.0;
+            }
+        }
+        // All three buffers are back: acquiring again yields hits only.
+        let _lease2 = pool.lease(&types);
+        assert_eq!(pool.stats().hits(), 3);
+    }
+
+    #[test]
+    fn retained_bytes_tracks_freelists() {
+        let pool = VectorPool::new();
+        pool.release(Vector::Dense(Vec::with_capacity(10)));
+        assert_eq!(pool.retained_bytes(), 40);
+        let _ = pool.acquire(ColumnType::F32Dense { len: 0 });
+        // Buffer with capacity 10 but length 0 lives in class 0.
+        assert_eq!(pool.retained_bytes(), 0);
+    }
+
+    #[test]
+    fn pool_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VectorPool>();
+        assert_send_sync::<Lease>();
+    }
+}

@@ -1,0 +1,254 @@
+//! Column types and schemas.
+//!
+//! Every edge in a pipeline DAG carries a [`ColumnType`]; Oven's
+//! `InputGraphValidatorStep` propagates [`Schema`]s from the source to the
+//! predictor and rejects ill-typed graphs before any plan is compiled
+//! (paper §4.1.2). The black-box baseline performs the same checks lazily at
+//! first prediction, which is part of its cold-start cost (paper §2).
+
+use crate::error::{DataError, Result};
+use std::fmt;
+
+/// The type of a single column flowing between transformations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// Raw UTF-8 text (variable length).
+    Text,
+    /// A list of token spans over a text column.
+    TokenList,
+    /// A dense vector of `f32` with a fixed upper-bound length.
+    F32Dense {
+        /// Maximum number of elements (used to size pooled buffers).
+        len: usize,
+    },
+    /// A sparse vector of `f32` over a logical index space of size `len`.
+    F32Sparse {
+        /// Logical dimensionality of the sparse space.
+        len: usize,
+    },
+    /// A single scalar prediction (score, regression value, class id).
+    F32Scalar,
+}
+
+impl ColumnType {
+    /// Returns the logical dimensionality of vector-typed columns.
+    ///
+    /// `Text` and `TokenList` have no fixed dimensionality and return `None`;
+    /// scalars report 1.
+    pub fn dimension(&self) -> Option<usize> {
+        match self {
+            ColumnType::Text | ColumnType::TokenList => None,
+            ColumnType::F32Dense { len } | ColumnType::F32Sparse { len } => Some(*len),
+            ColumnType::F32Scalar => Some(1),
+        }
+    }
+
+    /// True if the column is a (dense or sparse) float vector or scalar.
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            ColumnType::F32Dense { .. } | ColumnType::F32Sparse { .. } | ColumnType::F32Scalar
+        )
+    }
+
+    /// True for sparse vector columns.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, ColumnType::F32Sparse { .. })
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnType::Text => write!(f, "Text"),
+            ColumnType::TokenList => write!(f, "TokenList"),
+            ColumnType::F32Dense { len } => write!(f, "F32Dense[{len}]"),
+            ColumnType::F32Sparse { len } => write!(f, "F32Sparse[{len}]"),
+            ColumnType::F32Scalar => write!(f, "F32Scalar"),
+        }
+    }
+}
+
+/// An ordered set of named, typed columns.
+///
+/// Schemas are small (pipelines in the paper have ~a dozen operators and a
+/// handful of live columns), so a `Vec` of pairs beats a hash map on both
+/// memory and lookup cost, and keeps deterministic ordering for checksums.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<(String, ColumnType)>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Creates a schema from `(name, type)` pairs.
+    ///
+    /// Returns [`DataError::InvalidGraph`] if two columns share a name.
+    pub fn from_columns<I>(cols: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (String, ColumnType)>,
+    {
+        let mut s = Schema::new();
+        for (name, ty) in cols {
+            s.push(name, ty)?;
+        }
+        Ok(s)
+    }
+
+    /// Appends a column, rejecting duplicate names.
+    pub fn push(&mut self, name: impl Into<String>, ty: ColumnType) -> Result<()> {
+        let name = name.into();
+        if self.lookup(&name).is_some() {
+            return Err(DataError::InvalidGraph(format!(
+                "duplicate column `{name}` in schema"
+            )));
+        }
+        self.columns.push((name, ty));
+        Ok(())
+    }
+
+    /// Returns the type of column `name`, if present.
+    pub fn lookup(&self, name: &str) -> Option<ColumnType> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| *t)
+    }
+
+    /// Returns the type of column `name` or an [`DataError::UnknownColumn`].
+    pub fn require(&self, name: &str) -> Result<ColumnType> {
+        self.lookup(name)
+            .ok_or_else(|| DataError::UnknownColumn(name.to_string()))
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Iterates over `(name, type)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, ColumnType)> {
+        self.columns.iter().map(|(n, t)| (n.as_str(), *t))
+    }
+
+    /// Returns a single-column schema, the common case between fused stages.
+    pub fn single(name: impl Into<String>, ty: ColumnType) -> Self {
+        Schema {
+            columns: vec![(name.into(), ty)],
+        }
+    }
+
+    /// Checks that `found` can feed an operator expecting `expected`.
+    ///
+    /// Dense vectors may feed sparse-expecting operators of the same
+    /// dimensionality and vice versa (kernels handle both layouts); all other
+    /// combinations must match exactly.
+    pub fn check_compat(operator: &str, expected: ColumnType, found: ColumnType) -> Result<()> {
+        let ok = match (expected, found) {
+            (a, b) if a == b => true,
+            (ColumnType::F32Dense { len: a }, ColumnType::F32Sparse { len: b })
+            | (ColumnType::F32Sparse { len: a }, ColumnType::F32Dense { len: b }) => a == b,
+            _ => false,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(DataError::SchemaMismatch {
+                operator: operator.to_string(),
+                expected: expected.to_string(),
+                found: found.to_string(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_lookup() {
+        let mut s = Schema::new();
+        s.push("Text", ColumnType::Text).unwrap();
+        s.push("Features", ColumnType::F32Dense { len: 8 }).unwrap();
+        assert_eq!(s.lookup("Text"), Some(ColumnType::Text));
+        assert_eq!(s.lookup("Features"), Some(ColumnType::F32Dense { len: 8 }));
+        assert_eq!(s.lookup("missing"), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let mut s = Schema::new();
+        s.push("a", ColumnType::Text).unwrap();
+        let err = s.push("a", ColumnType::F32Scalar).unwrap_err();
+        assert!(matches!(err, DataError::InvalidGraph(_)));
+    }
+
+    #[test]
+    fn require_reports_unknown_column() {
+        let s = Schema::single("x", ColumnType::Text);
+        assert_eq!(
+            s.require("y").unwrap_err(),
+            DataError::UnknownColumn("y".into())
+        );
+    }
+
+    #[test]
+    fn compat_dense_sparse_same_len() {
+        Schema::check_compat(
+            "LinearModel",
+            ColumnType::F32Dense { len: 10 },
+            ColumnType::F32Sparse { len: 10 },
+        )
+        .unwrap();
+        Schema::check_compat(
+            "LinearModel",
+            ColumnType::F32Sparse { len: 10 },
+            ColumnType::F32Dense { len: 10 },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn compat_rejects_len_mismatch_and_kind_mismatch() {
+        assert!(Schema::check_compat(
+            "LinearModel",
+            ColumnType::F32Dense { len: 10 },
+            ColumnType::F32Dense { len: 11 },
+        )
+        .is_err());
+        assert!(
+            Schema::check_compat("WordNgram", ColumnType::TokenList, ColumnType::Text).is_err()
+        );
+    }
+
+    #[test]
+    fn dimension_reporting() {
+        assert_eq!(ColumnType::Text.dimension(), None);
+        assert_eq!(ColumnType::F32Dense { len: 3 }.dimension(), Some(3));
+        assert_eq!(ColumnType::F32Scalar.dimension(), Some(1));
+        assert!(ColumnType::F32Sparse { len: 4 }.is_sparse());
+        assert!(!ColumnType::F32Dense { len: 4 }.is_sparse());
+    }
+
+    #[test]
+    fn from_columns_builds_in_order() {
+        let s = Schema::from_columns(vec![
+            ("a".to_string(), ColumnType::Text),
+            ("b".to_string(), ColumnType::F32Scalar),
+        ])
+        .unwrap();
+        let names: Vec<_> = s.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

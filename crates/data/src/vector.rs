@@ -1,0 +1,359 @@
+//! The value type exchanged between operators.
+//!
+//! ML.Net operators "consume data vectors as input and produce one (or more)
+//! vectors as output" (paper §2). [`Vector`] is our equivalent: a small enum
+//! covering the column types of [`crate::schema::ColumnType`]. Vectors are
+//! designed to be *reusable* — every variant can be cleared and refilled
+//! without reallocating — because PRETZEL's vector pools hand the same
+//! buffers to request after request (paper §4.2.1).
+
+use crate::schema::ColumnType;
+
+/// A token span `[start, end)` into a text buffer, in bytes.
+///
+/// Tokenizers produce spans rather than owned strings so that downstream
+/// n-gram featurizers can slice the original text with zero copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character of the token.
+    pub start: u32,
+    /// Byte offset one past the last character of the token.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span, clamping `end >= start`.
+    pub fn new(start: u32, end: u32) -> Self {
+        Span {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// True if the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+
+    /// Slices `text` with this span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is out of bounds or splits a UTF-8 character —
+    /// tokenizers only emit spans on character boundaries of the text they
+    /// were given, so an out-of-bounds span is a pipeline wiring bug.
+    pub fn slice<'t>(&self, text: &'t str) -> &'t str {
+        &text[self.start as usize..self.end as usize]
+    }
+}
+
+/// A runtime value: one column's worth of data for one record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Vector {
+    /// Raw input text.
+    Text(String),
+    /// Token spans over a text value.
+    Tokens(Vec<Span>),
+    /// Dense `f32` vector.
+    Dense(Vec<f32>),
+    /// Sparse `f32` vector: parallel `indices`/`values`, logical size `dim`.
+    ///
+    /// Indices are sorted and unique; kernels rely on this for merge-style
+    /// dot products.
+    Sparse {
+        /// Sorted, unique element indices.
+        indices: Vec<u32>,
+        /// Values parallel to `indices`.
+        values: Vec<f32>,
+        /// Logical dimensionality.
+        dim: u32,
+    },
+    /// A scalar output (score, class id, regression value).
+    Scalar(f32),
+}
+
+impl Vector {
+    /// Creates an empty vector of the right variant for `ty`, with capacity
+    /// reserved according to the column's dimensionality.
+    pub fn with_type(ty: ColumnType) -> Self {
+        Vector::with_capacity_hint(ty, 0)
+    }
+
+    /// Creates an empty vector of the right variant with storage
+    /// pre-reserved for `hint` stored elements (text bytes, tokens, sparse
+    /// nnz). Pool warming uses training statistics as the hint so that the
+    /// first predictions never grow buffers (paper §4.1.1 "max vector
+    /// size... to define the minimum size of vectors to fetch from the
+    /// pool").
+    pub fn with_capacity_hint(ty: ColumnType, hint: usize) -> Self {
+        match ty {
+            ColumnType::Text => Vector::Text(String::with_capacity(hint)),
+            ColumnType::TokenList => Vector::Tokens(Vec::with_capacity(hint)),
+            ColumnType::F32Dense { len } => Vector::Dense(vec![0.0; len]),
+            ColumnType::F32Sparse { len } => Vector::Sparse {
+                indices: Vec::with_capacity(hint),
+                values: Vec::with_capacity(hint),
+                dim: len as u32,
+            },
+            ColumnType::F32Scalar => Vector::Scalar(0.0),
+        }
+    }
+
+    /// The column type this value inhabits.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Vector::Text(_) => ColumnType::Text,
+            Vector::Tokens(_) => ColumnType::TokenList,
+            Vector::Dense(v) => ColumnType::F32Dense { len: v.len() },
+            Vector::Sparse { dim, .. } => ColumnType::F32Sparse { len: *dim as usize },
+            Vector::Scalar(_) => ColumnType::F32Scalar,
+        }
+    }
+
+    /// Clears contents while keeping allocated capacity, so pooled buffers
+    /// can be reused without reallocation. Dense vectors are zeroed in place
+    /// (their length encodes the dimensionality).
+    pub fn reset(&mut self) {
+        match self {
+            Vector::Text(s) => s.clear(),
+            Vector::Tokens(t) => t.clear(),
+            Vector::Dense(v) => v.fill(0.0),
+            Vector::Sparse {
+                indices, values, ..
+            } => {
+                indices.clear();
+                values.clear();
+            }
+            Vector::Scalar(x) => *x = 0.0,
+        }
+    }
+
+    /// Heap bytes owned by this value (capacity, not length).
+    ///
+    /// Used by the memory experiments to attribute buffer cost.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Vector::Text(s) => s.capacity(),
+            Vector::Tokens(t) => t.capacity() * std::mem::size_of::<Span>(),
+            Vector::Dense(v) => v.capacity() * 4,
+            Vector::Sparse {
+                indices, values, ..
+            } => indices.capacity() * 4 + values.capacity() * 4,
+            Vector::Scalar(_) => 0,
+        }
+    }
+
+    /// Borrows the dense payload, or `None` for other variants.
+    pub fn as_dense(&self) -> Option<&[f32]> {
+        match self {
+            Vector::Dense(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrows the scalar payload, or `None` for other variants.
+    pub fn as_scalar(&self) -> Option<f32> {
+        match self {
+            Vector::Scalar(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Borrows the text payload, or `None` for other variants.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Vector::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrows the token spans, or `None` for other variants.
+    pub fn as_tokens(&self) -> Option<&[Span]> {
+        match self {
+            Vector::Tokens(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Materializes this value as a dense `f32` vector of dimension `dim`.
+    ///
+    /// Dense values must already have length `dim`; sparse values are
+    /// scattered; scalars broadcast into position 0. Returns `None` for text
+    /// and token variants.
+    pub fn to_dense(&self, dim: usize) -> Option<Vec<f32>> {
+        match self {
+            Vector::Dense(v) if v.len() == dim => Some(v.clone()),
+            Vector::Sparse {
+                indices,
+                values,
+                dim: d,
+            } if *d as usize == dim => {
+                let mut out = vec![0.0; dim];
+                for (&i, &v) in indices.iter().zip(values) {
+                    out[i as usize] = v;
+                }
+                Some(out)
+            }
+            Vector::Scalar(x) if dim >= 1 => {
+                let mut out = vec![0.0; dim];
+                out[0] = *x;
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+
+    /// Pushes a `(index, value)` pair into a sparse vector, keeping indices
+    /// sorted and unique by *summing* duplicate indices (the behaviour
+    /// featurizers need when two n-grams hash to the same slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not `Sparse` or `index >= dim`; featurizer kernels
+    /// construct their outputs, so a mismatch is an internal bug.
+    pub fn sparse_accumulate(&mut self, index: u32, value: f32) {
+        match self {
+            Vector::Sparse {
+                indices,
+                values,
+                dim,
+            } => {
+                assert!(index < *dim, "sparse index {index} out of dim {dim}");
+                match indices.binary_search(&index) {
+                    Ok(pos) => values[pos] += value,
+                    Err(pos) => {
+                        indices.insert(pos, index);
+                        values.insert(pos, value);
+                    }
+                }
+            }
+            other => panic!("sparse_accumulate on non-sparse vector {other:?}"),
+        }
+    }
+
+    /// Number of stored (non-implicit) elements.
+    pub fn stored_len(&self) -> usize {
+        match self {
+            Vector::Text(s) => s.len(),
+            Vector::Tokens(t) => t.len(),
+            Vector::Dense(v) => v.len(),
+            Vector::Sparse { indices, .. } => indices.len(),
+            Vector::Scalar(_) => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_slicing() {
+        let s = "hello world";
+        let sp = Span::new(6, 11);
+        assert_eq!(sp.slice(s), "world");
+        assert_eq!(sp.len(), 5);
+        assert!(!sp.is_empty());
+        assert!(Span::new(3, 3).is_empty());
+    }
+
+    #[test]
+    fn span_clamps_inverted_bounds() {
+        let sp = Span::new(5, 2);
+        assert_eq!(sp.len(), 0);
+    }
+
+    #[test]
+    fn with_type_round_trips_column_type() {
+        for ty in [
+            ColumnType::Text,
+            ColumnType::TokenList,
+            ColumnType::F32Dense { len: 7 },
+            ColumnType::F32Sparse { len: 9 },
+            ColumnType::F32Scalar,
+        ] {
+            assert_eq!(Vector::with_type(ty).column_type(), ty);
+        }
+    }
+
+    #[test]
+    fn reset_keeps_capacity() {
+        let mut v = Vector::Text("some long review text".into());
+        let cap = match &v {
+            Vector::Text(s) => s.capacity(),
+            _ => unreachable!(),
+        };
+        v.reset();
+        match &v {
+            Vector::Text(s) => {
+                assert!(s.is_empty());
+                assert_eq!(s.capacity(), cap);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn reset_zeroes_dense_in_place() {
+        let mut v = Vector::Dense(vec![1.0, 2.0, 3.0]);
+        v.reset();
+        assert_eq!(v.as_dense().unwrap(), &[0.0, 0.0, 0.0]);
+        assert_eq!(v.stored_len(), 3);
+    }
+
+    #[test]
+    fn sparse_accumulate_sorts_and_merges() {
+        let mut v = Vector::with_type(ColumnType::F32Sparse { len: 10 });
+        v.sparse_accumulate(5, 1.0);
+        v.sparse_accumulate(2, 2.0);
+        v.sparse_accumulate(5, 0.5);
+        match &v {
+            Vector::Sparse {
+                indices, values, ..
+            } => {
+                assert_eq!(indices, &[2, 5]);
+                assert_eq!(values, &[2.0, 1.5]);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of dim")]
+    fn sparse_accumulate_bounds_checked() {
+        let mut v = Vector::with_type(ColumnType::F32Sparse { len: 4 });
+        v.sparse_accumulate(4, 1.0);
+    }
+
+    #[test]
+    fn to_dense_scatter() {
+        let mut v = Vector::with_type(ColumnType::F32Sparse { len: 5 });
+        v.sparse_accumulate(1, 2.0);
+        v.sparse_accumulate(4, -1.0);
+        assert_eq!(v.to_dense(5).unwrap(), vec![0.0, 2.0, 0.0, 0.0, -1.0]);
+        // Dimension mismatch is refused rather than silently truncated.
+        assert!(v.to_dense(4).is_none());
+    }
+
+    #[test]
+    fn to_dense_from_scalar_and_dense() {
+        assert_eq!(Vector::Scalar(3.0).to_dense(2).unwrap(), vec![3.0, 0.0]);
+        assert_eq!(
+            Vector::Dense(vec![1.0, 2.0]).to_dense(2).unwrap(),
+            vec![1.0, 2.0]
+        );
+        assert!(Vector::Text("x".into()).to_dense(1).is_none());
+    }
+
+    #[test]
+    fn heap_bytes_counts_capacity() {
+        let v = Vector::Dense(Vec::with_capacity(16));
+        assert_eq!(v.heap_bytes(), 64);
+        assert_eq!(Vector::Scalar(1.0).heap_bytes(), 0);
+    }
+}

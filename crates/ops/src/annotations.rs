@@ -1,0 +1,134 @@
+//! Static operator properties consumed by the Oven optimizer.
+//!
+//! The paper: "Transformation classes are annotated (e.g., 1-to-1, 1-to-n,
+//! memory-bound, compute-bound, commutative and associative) to ease the
+//! optimization process: no dynamic compilation is necessary since the set
+//! of operators is fixed and manual annotation is sufficient to generate
+//! properly optimized plans" (§4.1.2). These annotations drive:
+//!
+//! * **stage formation**: memory-bound 1-to-1 chains fuse into a single pass
+//!   (Tupleware's hybrid approach); compute-bound operators run
+//!   one-at-a-time so SIMD can be exploited;
+//! * **pipeline breaking**: operators that need the materialized full input
+//!   (Concat, aggregates like L2 normalization) end a stage;
+//! * **model pushdown**: commutative+associative reducers (linear model dot
+//!   products) can be pushed *through* Concat and evaluated per-branch.
+
+/// Input/output cardinality of an operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arity {
+    /// One input column, one output column.
+    OneToOne,
+    /// Several input columns merged into one output (e.g., Concat).
+    ManyToOne,
+}
+
+/// Dominant resource of an operator's kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Dominated by memory traffic (most featurizers): fuse for locality.
+    Memory,
+    /// Dominated by arithmetic (matrix/vector math): isolate for SIMD.
+    Compute,
+}
+
+/// The full annotation record for an operator class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Annotations {
+    /// Input/output cardinality.
+    pub arity: Arity,
+    /// Dominant resource.
+    pub bound: Bound,
+    /// True if the operator must see its input fully materialized
+    /// (pipeline breaker: ends the current stage).
+    pub breaker: bool,
+    /// True if the operator is a commutative+associative reduction over its
+    /// input elements, and can therefore be pushed through Concat
+    /// (the linear-model pushdown of §4.1.2).
+    pub assoc_reducer: bool,
+    /// True if the dense kernel is profitably SIMD-vectorizable.
+    pub vectorizable: bool,
+}
+
+impl Annotations {
+    /// Annotation for fusible, memory-bound 1-to-1 featurizers.
+    pub const fn featurizer() -> Self {
+        Annotations {
+            arity: Arity::OneToOne,
+            bound: Bound::Memory,
+            breaker: false,
+            assoc_reducer: false,
+            vectorizable: false,
+        }
+    }
+
+    /// Annotation for compute-bound vector/matrix kernels.
+    pub const fn compute() -> Self {
+        Annotations {
+            arity: Arity::OneToOne,
+            bound: Bound::Compute,
+            breaker: false,
+            assoc_reducer: false,
+            vectorizable: true,
+        }
+    }
+
+    /// Annotation for pipeline-breaking aggregates (Normalizer et al.).
+    pub const fn aggregate() -> Self {
+        Annotations {
+            arity: Arity::OneToOne,
+            bound: Bound::Compute,
+            breaker: true,
+            assoc_reducer: false,
+            vectorizable: true,
+        }
+    }
+
+    /// Annotation for Concat-like merges.
+    pub const fn merge() -> Self {
+        Annotations {
+            arity: Arity::ManyToOne,
+            bound: Bound::Memory,
+            breaker: true,
+            assoc_reducer: false,
+            vectorizable: false,
+        }
+    }
+
+    /// Annotation for linear reducers (dot products) that push through
+    /// Concat.
+    pub const fn linear_reducer() -> Self {
+        Annotations {
+            arity: Arity::OneToOne,
+            bound: Bound::Compute,
+            breaker: false,
+            assoc_reducer: true,
+            vectorizable: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_encode_paper_properties() {
+        let f = Annotations::featurizer();
+        assert_eq!(f.arity, Arity::OneToOne);
+        assert_eq!(f.bound, Bound::Memory);
+        assert!(!f.breaker);
+
+        let m = Annotations::merge();
+        assert_eq!(m.arity, Arity::ManyToOne);
+        assert!(m.breaker, "Concat requires the materialized feature vector");
+
+        let l = Annotations::linear_reducer();
+        assert!(l.assoc_reducer, "dot products push through Concat");
+        assert!(l.vectorizable);
+
+        let a = Annotations::aggregate();
+        assert!(a.breaker, "L2 normalization needs the complete vector");
+        assert!(!a.assoc_reducer);
+    }
+}

@@ -1,0 +1,9 @@
+//! Vector-space featurizers: concatenation, normalization, scaling,
+//! imputation, binning and one-hot encoding.
+
+pub mod binner;
+pub mod concat;
+pub mod imputer;
+pub mod normalizer;
+pub mod onehot;
+pub mod scaler;

@@ -1,0 +1,146 @@
+//! Affine per-dimension scaler (standardization).
+//!
+//! `y[i] = (x[i] - offset[i]) * scale[i]` — the mean/variance normalizer of
+//! the Attendee Count pipelines' structured features. A 1-to-1, fusible,
+//! compute-bound operator; its dense kernel is the textbook candidate for
+//! SIMD vectorization (paper §4.1.2, OutputGraphValidatorStep labelling).
+
+use crate::annotations::Annotations;
+use crate::params::ParamBlob;
+use pretzel_data::serde_bin::{wire, Cursor, Section};
+use pretzel_data::{DataError, Result, Vector};
+
+/// Scaler parameters: per-dimension offset and scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalerParams {
+    /// Subtracted before scaling (e.g. the training mean).
+    pub offset: Vec<f32>,
+    /// Multiplied after offsetting (e.g. 1/σ).
+    pub scale: Vec<f32>,
+}
+
+impl ScalerParams {
+    /// Creates a scaler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` and `scale` have different lengths — a
+    /// construction-time bug, not a data condition.
+    pub fn new(offset: Vec<f32>, scale: Vec<f32>) -> Self {
+        assert_eq!(offset.len(), scale.len(), "offset/scale length mismatch");
+        ScalerParams { offset, scale }
+    }
+
+    /// Input/output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.offset.len()
+    }
+
+    /// Operator annotations: compute-bound, vectorizable, fusible.
+    pub fn annotations(&self) -> Annotations {
+        Annotations::compute()
+    }
+
+    /// Applies the affine map from `input` into `out` (dense → dense).
+    pub fn apply(&self, input: &Vector, out: &mut Vector) -> Result<()> {
+        match (input, out) {
+            (Vector::Dense(x), Vector::Dense(y))
+                if x.len() == self.dim() && y.len() == self.dim() =>
+            {
+                // Single pass over three slices: auto-vectorizes.
+                for i in 0..x.len() {
+                    y[i] = (x[i] - self.offset[i]) * self.scale[i];
+                }
+                Ok(())
+            }
+            (input, _) => Err(DataError::Runtime(format!(
+                "scaler wants dense[{}], got {:?}",
+                self.dim(),
+                input.column_type()
+            ))),
+        }
+    }
+}
+
+impl ParamBlob for ScalerParams {
+    const KIND: &'static str = "Scaler";
+
+    fn to_entries(&self) -> Vec<(String, Vec<u8>)> {
+        let mut off = Vec::new();
+        wire::put_f32s(&mut off, &self.offset);
+        let mut sc = Vec::new();
+        wire::put_f32s(&mut sc, &self.scale);
+        vec![("offset".into(), off), ("scale".into(), sc)]
+    }
+
+    fn from_entries(section: &Section) -> Result<Self> {
+        let offset = Cursor::new(section.entry("offset")?).f32s()?;
+        let scale = Cursor::new(section.entry("scale")?).f32s()?;
+        if offset.len() != scale.len() {
+            return Err(DataError::Codec("scaler offset/scale length mismatch".into()));
+        }
+        Ok(ScalerParams { offset, scale })
+    }
+
+    fn heap_bytes(&self) -> usize {
+        (self.offset.capacity() + self.scale.capacity()) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pretzel_data::ColumnType;
+
+    #[test]
+    fn affine_map() {
+        let p = ScalerParams::new(vec![1.0, 2.0], vec![2.0, 0.5]);
+        let x = Vector::Dense(vec![3.0, 4.0]);
+        let mut y = Vector::with_type(ColumnType::F32Dense { len: 2 });
+        p.apply(&x, &mut y).unwrap();
+        assert_eq!(y.as_dense().unwrap(), &[4.0, 1.0]);
+    }
+
+    #[test]
+    fn dim_mismatch_is_error() {
+        let p = ScalerParams::new(vec![0.0; 3], vec![1.0; 3]);
+        let x = Vector::Dense(vec![1.0, 2.0]);
+        let mut y = Vector::with_type(ColumnType::F32Dense { len: 3 });
+        assert!(p.apply(&x, &mut y).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn construction_checks_lengths() {
+        let _ = ScalerParams::new(vec![0.0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn round_trip_through_section() {
+        let p = ScalerParams::new(vec![1.5, -2.0], vec![0.1, 10.0]);
+        let section = Section {
+            name: "op.Scaler".into(),
+            checksum: 0,
+            entries: p.to_entries(),
+        };
+        let q = ScalerParams::from_entries(&section).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(p.checksum(), q.checksum());
+    }
+
+    #[test]
+    fn corrupt_section_rejected() {
+        let p = ScalerParams::new(vec![1.0], vec![2.0]);
+        let mut entries = p.to_entries();
+        // Make lengths disagree.
+        let mut sc = Vec::new();
+        wire::put_f32s(&mut sc, &[1.0, 2.0]);
+        entries[1].1 = sc;
+        let section = Section {
+            name: "op.Scaler".into(),
+            checksum: 0,
+            entries,
+        };
+        assert!(ScalerParams::from_entries(&section).is_err());
+    }
+}

@@ -1,0 +1,746 @@
+//! The unified operator type: kind, shared parameters, kernel dispatch,
+//! schema propagation and model-file (de)serialization.
+//!
+//! An [`Op`] is one node of a pipeline DAG. Its parameters live behind an
+//! `Arc`, so cloning an `Op` *shares* them — this is the mechanism the
+//! Object Store uses to dedup identical operators across pipelines
+//! (paper §4.1.3): two `Op`s with equal [`Op::checksum`] can be collapsed
+//! into clones of one instance, after which all pipelines read the same
+//! memory.
+
+use crate::annotations::Annotations;
+use crate::bayes::NaiveBayesParams;
+use crate::feat::binner::BinnerParams;
+use crate::feat::concat::ConcatParams;
+use crate::feat::imputer::ImputerParams;
+use crate::feat::normalizer::NormalizerParams;
+use crate::feat::onehot::OneHotParams;
+use crate::feat::scaler::ScalerParams;
+use crate::kmeans::KMeansParams;
+use crate::linear::LinearParams;
+use crate::params::ParamBlob;
+use crate::pca::PcaParams;
+use crate::text::csv::CsvParams;
+use crate::text::hashing::HashingParams;
+use crate::text::ngram::NgramParams;
+use crate::text::tokenizer::TokenizerParams;
+use crate::tree::{EnsembleParams, MulticlassTreeParams};
+use pretzel_data::serde_bin::Section;
+use pretzel_data::vector::Span;
+use pretzel_data::{ColumnType, DataError, Result, Schema, Vector};
+use std::sync::Arc;
+
+/// Operator kind tag (fieldless mirror of [`Op`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// CSV line parser / field selector.
+    CsvParse,
+    /// Text tokenizer.
+    Tokenizer,
+    /// Character n-gram featurizer (dictionary).
+    CharNgram,
+    /// Word n-gram featurizer (dictionary).
+    WordNgram,
+    /// Dictionary-free hashing featurizer.
+    HashingVectorizer,
+    /// Feature-vector concatenation.
+    Concat,
+    /// L1/L2/MaxAbs normalizer.
+    Normalizer,
+    /// Affine per-dimension scaler.
+    Scaler,
+    /// NaN imputer.
+    Imputer,
+    /// Quantile binner.
+    Binner,
+    /// One-hot encoder.
+    OneHot,
+    /// Linear / logistic / Poisson / SVM model.
+    Linear,
+    /// Multinomial naive Bayes.
+    NaiveBayes,
+    /// Tree ensemble scorer.
+    TreeEnsemble,
+    /// One-vs-all multiclass trees.
+    MulticlassTree,
+    /// Tree-leaf featurizer.
+    TreeFeaturizer,
+    /// K-Means distance scorer.
+    KMeans,
+    /// PCA projector.
+    Pca,
+}
+
+impl OpKind {
+    /// Stable textual name used in model-file section names.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::CsvParse => "CsvParse",
+            OpKind::Tokenizer => "Tokenizer",
+            OpKind::CharNgram => "CharNgram",
+            OpKind::WordNgram => "WordNgram",
+            OpKind::HashingVectorizer => "HashingVectorizer",
+            OpKind::Concat => "Concat",
+            OpKind::Normalizer => "Normalizer",
+            OpKind::Scaler => "Scaler",
+            OpKind::Imputer => "Imputer",
+            OpKind::Binner => "Binner",
+            OpKind::OneHot => "OneHot",
+            OpKind::Linear => "Linear",
+            OpKind::NaiveBayes => "NaiveBayes",
+            OpKind::TreeEnsemble => "TreeEnsemble",
+            OpKind::MulticlassTree => "MulticlassTree",
+            OpKind::TreeFeaturizer => "TreeFeaturizer",
+            OpKind::KMeans => "KMeans",
+            OpKind::Pca => "Pca",
+        }
+    }
+
+    /// True for model operators that may terminate a pipeline.
+    pub fn is_predictor(self) -> bool {
+        matches!(
+            self,
+            OpKind::Linear | OpKind::NaiveBayes | OpKind::TreeEnsemble | OpKind::MulticlassTree
+        )
+    }
+
+    /// All kinds, for registry-style iteration in tests and tools.
+    pub const ALL: [OpKind; 18] = [
+        OpKind::CsvParse,
+        OpKind::Tokenizer,
+        OpKind::CharNgram,
+        OpKind::WordNgram,
+        OpKind::HashingVectorizer,
+        OpKind::Concat,
+        OpKind::Normalizer,
+        OpKind::Scaler,
+        OpKind::Imputer,
+        OpKind::Binner,
+        OpKind::OneHot,
+        OpKind::Linear,
+        OpKind::NaiveBayes,
+        OpKind::TreeEnsemble,
+        OpKind::MulticlassTree,
+        OpKind::TreeFeaturizer,
+        OpKind::KMeans,
+        OpKind::Pca,
+    ];
+}
+
+/// One operator instance: kind + `Arc`-shared parameters.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// See [`CsvParams`].
+    CsvParse(Arc<CsvParams>),
+    /// See [`TokenizerParams`].
+    Tokenizer(Arc<TokenizerParams>),
+    /// See [`NgramParams`] (character level).
+    CharNgram(Arc<NgramParams>),
+    /// See [`NgramParams`] (word level).
+    WordNgram(Arc<NgramParams>),
+    /// See [`HashingParams`].
+    HashingVectorizer(Arc<HashingParams>),
+    /// See [`ConcatParams`].
+    Concat(Arc<ConcatParams>),
+    /// See [`NormalizerParams`].
+    Normalizer(Arc<NormalizerParams>),
+    /// See [`ScalerParams`].
+    Scaler(Arc<ScalerParams>),
+    /// See [`ImputerParams`].
+    Imputer(Arc<ImputerParams>),
+    /// See [`BinnerParams`].
+    Binner(Arc<BinnerParams>),
+    /// See [`OneHotParams`].
+    OneHot(Arc<OneHotParams>),
+    /// See [`LinearParams`].
+    Linear(Arc<LinearParams>),
+    /// See [`NaiveBayesParams`].
+    NaiveBayes(Arc<NaiveBayesParams>),
+    /// See [`EnsembleParams`].
+    TreeEnsemble(Arc<EnsembleParams>),
+    /// See [`MulticlassTreeParams`].
+    MulticlassTree(Arc<MulticlassTreeParams>),
+    /// See [`EnsembleParams`] used with leaf-one-hot semantics.
+    TreeFeaturizer(Arc<EnsembleParams>),
+    /// See [`KMeansParams`].
+    KMeans(Arc<KMeansParams>),
+    /// See [`PcaParams`].
+    Pca(Arc<PcaParams>),
+}
+
+fn text_input<'a>(inputs: &[&'a Vector], i: usize) -> Result<&'a str> {
+    inputs
+        .get(i)
+        .and_then(|v| v.as_text())
+        .ok_or_else(|| DataError::Runtime(format!("expected text at input {i}")))
+}
+
+fn tokens_input<'a>(inputs: &[&'a Vector], i: usize) -> Result<&'a [Span]> {
+    inputs
+        .get(i)
+        .and_then(|v| v.as_tokens())
+        .ok_or_else(|| DataError::Runtime(format!("expected tokens at input {i}")))
+}
+
+fn one_input<'a>(inputs: &[&'a Vector]) -> Result<&'a Vector> {
+    match inputs {
+        [v] => Ok(v),
+        _ => Err(DataError::Runtime(format!(
+            "expected exactly one input, got {}",
+            inputs.len()
+        ))),
+    }
+}
+
+impl Op {
+    /// The operator kind.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::CsvParse(_) => OpKind::CsvParse,
+            Op::Tokenizer(_) => OpKind::Tokenizer,
+            Op::CharNgram(_) => OpKind::CharNgram,
+            Op::WordNgram(_) => OpKind::WordNgram,
+            Op::HashingVectorizer(_) => OpKind::HashingVectorizer,
+            Op::Concat(_) => OpKind::Concat,
+            Op::Normalizer(_) => OpKind::Normalizer,
+            Op::Scaler(_) => OpKind::Scaler,
+            Op::Imputer(_) => OpKind::Imputer,
+            Op::Binner(_) => OpKind::Binner,
+            Op::OneHot(_) => OpKind::OneHot,
+            Op::Linear(_) => OpKind::Linear,
+            Op::NaiveBayes(_) => OpKind::NaiveBayes,
+            Op::TreeEnsemble(_) => OpKind::TreeEnsemble,
+            Op::MulticlassTree(_) => OpKind::MulticlassTree,
+            Op::TreeFeaturizer(_) => OpKind::TreeFeaturizer,
+            Op::KMeans(_) => OpKind::KMeans,
+            Op::Pca(_) => OpKind::Pca,
+        }
+    }
+
+    /// Optimizer annotations (paper §4.1.2).
+    pub fn annotations(&self) -> Annotations {
+        match self {
+            Op::CsvParse(p) => p.annotations(),
+            Op::Tokenizer(p) => p.annotations(),
+            Op::CharNgram(p) | Op::WordNgram(p) => p.annotations(),
+            Op::HashingVectorizer(p) => p.annotations(),
+            Op::Concat(p) => p.annotations(),
+            Op::Normalizer(p) => p.annotations(),
+            Op::Scaler(p) => p.annotations(),
+            Op::Imputer(p) => p.annotations(),
+            Op::Binner(p) => p.annotations(),
+            Op::OneHot(p) => p.annotations(),
+            Op::Linear(p) => p.annotations(),
+            Op::NaiveBayes(p) => p.annotations(),
+            Op::TreeEnsemble(p) | Op::TreeFeaturizer(p) => p.annotations(),
+            Op::MulticlassTree(p) => p.annotations(),
+            Op::KMeans(p) => p.annotations(),
+            Op::Pca(p) => p.annotations(),
+        }
+    }
+
+    /// Number of inputs this operator consumes.
+    pub fn n_inputs(&self) -> usize {
+        match self {
+            Op::WordNgram(_) => 2,
+            Op::Concat(p) => p.input_dims.len(),
+            _ => 1,
+        }
+    }
+
+    /// Schema propagation: validates `inputs` and returns the output type.
+    ///
+    /// This single function implements the schema-validation rules of the
+    /// `InputGraphValidatorStep` for every operator class.
+    pub fn output_type(&self, inputs: &[ColumnType]) -> Result<ColumnType> {
+        let name = self.kind().name();
+        let want_n = self.n_inputs();
+        if inputs.len() != want_n {
+            return Err(DataError::SchemaMismatch {
+                operator: name.into(),
+                expected: format!("{want_n} inputs"),
+                found: format!("{} inputs", inputs.len()),
+            });
+        }
+        let numeric = |i: usize, dim: usize| -> Result<()> {
+            match inputs[i] {
+                t if t.is_numeric() && t.dimension() == Some(dim) => Ok(()),
+                t => Err(DataError::SchemaMismatch {
+                    operator: name.into(),
+                    expected: format!("numeric[{dim}]"),
+                    found: t.to_string(),
+                }),
+            }
+        };
+        let text = |i: usize| -> Result<()> {
+            Schema::check_compat(name, ColumnType::Text, inputs[i])
+        };
+        match self {
+            Op::CsvParse(p) => {
+                text(0)?;
+                Ok(p.output_type())
+            }
+            Op::Tokenizer(_) => {
+                text(0)?;
+                Ok(ColumnType::TokenList)
+            }
+            Op::CharNgram(p) => {
+                text(0)?;
+                Ok(ColumnType::F32Sparse { len: p.dim() })
+            }
+            Op::WordNgram(p) => {
+                text(0)?;
+                Schema::check_compat(name, ColumnType::TokenList, inputs[1])?;
+                Ok(ColumnType::F32Sparse { len: p.dim() })
+            }
+            Op::HashingVectorizer(p) => {
+                text(0)?;
+                Ok(ColumnType::F32Sparse { len: p.dim() })
+            }
+            Op::Concat(p) => {
+                for (i, &d) in p.input_dims.iter().enumerate() {
+                    numeric(i, d as usize)?;
+                }
+                Ok(ColumnType::F32Sparse { len: p.dim() })
+            }
+            Op::Normalizer(p) => {
+                numeric(0, p.dim as usize)?;
+                Ok(inputs[0])
+            }
+            Op::Scaler(p) => {
+                numeric(0, p.dim())?;
+                Ok(ColumnType::F32Dense { len: p.dim() })
+            }
+            Op::Imputer(p) => {
+                numeric(0, p.dim())?;
+                Ok(ColumnType::F32Dense { len: p.dim() })
+            }
+            Op::Binner(p) => {
+                numeric(0, p.dim())?;
+                Ok(ColumnType::F32Dense { len: p.dim() })
+            }
+            Op::OneHot(p) => {
+                numeric(0, p.input_dim as usize)?;
+                Ok(ColumnType::F32Dense {
+                    len: p.output_dim(),
+                })
+            }
+            Op::Linear(p) => {
+                numeric(0, p.dim())?;
+                Ok(ColumnType::F32Scalar)
+            }
+            Op::NaiveBayes(p) => {
+                numeric(0, p.dim as usize)?;
+                Ok(ColumnType::F32Dense { len: p.classes() })
+            }
+            Op::TreeEnsemble(p) => {
+                numeric(0, p.input_dim as usize)?;
+                Ok(ColumnType::F32Scalar)
+            }
+            Op::MulticlassTree(p) => {
+                numeric(0, p.input_dim() as usize)?;
+                Ok(ColumnType::F32Dense { len: p.classes() })
+            }
+            Op::TreeFeaturizer(p) => {
+                numeric(0, p.input_dim as usize)?;
+                Ok(ColumnType::F32Sparse {
+                    len: p.total_leaves(),
+                })
+            }
+            Op::KMeans(p) => {
+                numeric(0, p.dim as usize)?;
+                Ok(ColumnType::F32Dense { len: p.k as usize })
+            }
+            Op::Pca(p) => {
+                numeric(0, p.dim as usize)?;
+                Ok(ColumnType::F32Dense { len: p.m as usize })
+            }
+        }
+    }
+
+    /// Executes the operator's kernel: `inputs` → `out`.
+    pub fn apply(&self, inputs: &[&Vector], out: &mut Vector) -> Result<()> {
+        match self {
+            Op::CsvParse(p) => p.apply(text_input(inputs, 0)?, out),
+            Op::Tokenizer(p) => p.apply(text_input(inputs, 0)?, out),
+            Op::CharNgram(p) => p.apply_char(text_input(inputs, 0)?, out),
+            Op::WordNgram(p) => {
+                let text = text_input(inputs, 0)?;
+                let toks = tokens_input(inputs, 1)?;
+                p.apply_word(text, toks, out)
+            }
+            Op::HashingVectorizer(p) => p.apply(text_input(inputs, 0)?, out),
+            Op::Concat(p) => p.apply(inputs, out),
+            Op::Normalizer(p) => p.apply(one_input(inputs)?, out),
+            Op::Scaler(p) => p.apply(one_input(inputs)?, out),
+            Op::Imputer(p) => p.apply(one_input(inputs)?, out),
+            Op::Binner(p) => p.apply(one_input(inputs)?, out),
+            Op::OneHot(p) => p.apply(one_input(inputs)?, out),
+            Op::Linear(p) => p.apply(one_input(inputs)?, out),
+            Op::NaiveBayes(p) => p.apply(one_input(inputs)?, out),
+            Op::TreeEnsemble(p) => p.apply(one_input(inputs)?, out),
+            Op::MulticlassTree(p) => p.apply(one_input(inputs)?, out),
+            Op::TreeFeaturizer(p) => p.apply_featurize(one_input(inputs)?, out),
+            Op::KMeans(p) => p.apply(one_input(inputs)?, out),
+            Op::Pca(p) => p.apply(one_input(inputs)?, out),
+        }
+    }
+
+    /// Maps a raw model-file section checksum to the dedup checksum an
+    /// operator of kind `kind` would report.
+    ///
+    /// This lets a loader decide — *without deserializing the section* —
+    /// whether the Object Store already holds the parameters, which is what
+    /// makes PRETZEL's model loading fast (paper §5.1: "keeping track of
+    /// pipelines' parameters also helps reducing the time to load models").
+    pub fn checksum_for_section(kind: &str, section_checksum: u64) -> u64 {
+        match kind {
+            // Kinds sharing a params type salt the checksum with the kind
+            // name (see `Op::checksum`).
+            "CharNgram" | "WordNgram" | "TreeEnsemble" | "TreeFeaturizer" => {
+                section_checksum ^ pretzel_data::hash::fnv1a(kind.as_bytes())
+            }
+            _ => section_checksum,
+        }
+    }
+
+    /// Dedup checksum of the serialized parameters (paper §4.1.3).
+    pub fn checksum(&self) -> u64 {
+        match self {
+            Op::CsvParse(p) => p.checksum(),
+            Op::Tokenizer(p) => p.checksum(),
+            // Char and Word ngram share a params type but must never dedup
+            // against each other: mix the kind into the checksum.
+            Op::CharNgram(p) | Op::WordNgram(p) => {
+                p.checksum() ^ pretzel_data::hash::fnv1a(self.kind().name().as_bytes())
+            }
+            Op::HashingVectorizer(p) => p.checksum(),
+            Op::Concat(p) => p.checksum(),
+            Op::Normalizer(p) => p.checksum(),
+            Op::Scaler(p) => p.checksum(),
+            Op::Imputer(p) => p.checksum(),
+            Op::Binner(p) => p.checksum(),
+            Op::OneHot(p) => p.checksum(),
+            Op::Linear(p) => p.checksum(),
+            Op::NaiveBayes(p) => p.checksum(),
+            Op::TreeEnsemble(p) | Op::TreeFeaturizer(p) => {
+                p.checksum() ^ pretzel_data::hash::fnv1a(self.kind().name().as_bytes())
+            }
+            Op::MulticlassTree(p) => p.checksum(),
+            Op::KMeans(p) => p.checksum(),
+            Op::Pca(p) => p.checksum(),
+        }
+    }
+
+    /// Heap bytes of the parameter object (memory experiments).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Op::CsvParse(p) => p.heap_bytes(),
+            Op::Tokenizer(p) => p.heap_bytes(),
+            Op::CharNgram(p) | Op::WordNgram(p) => p.heap_bytes(),
+            Op::HashingVectorizer(p) => p.heap_bytes(),
+            Op::Concat(p) => p.heap_bytes(),
+            Op::Normalizer(p) => p.heap_bytes(),
+            Op::Scaler(p) => p.heap_bytes(),
+            Op::Imputer(p) => p.heap_bytes(),
+            Op::Binner(p) => p.heap_bytes(),
+            Op::OneHot(p) => p.heap_bytes(),
+            Op::Linear(p) => p.heap_bytes(),
+            Op::NaiveBayes(p) => p.heap_bytes(),
+            Op::TreeEnsemble(p) | Op::TreeFeaturizer(p) => p.heap_bytes(),
+            Op::MulticlassTree(p) => p.heap_bytes(),
+            Op::KMeans(p) => p.heap_bytes(),
+            Op::Pca(p) => p.heap_bytes(),
+        }
+    }
+
+    /// Address of the shared parameter allocation — pointer-equal operators
+    /// provably share memory (used by sharing tests and the memory harness).
+    pub fn params_addr(&self) -> usize {
+        match self {
+            Op::CsvParse(p) => Arc::as_ptr(p) as usize,
+            Op::Tokenizer(p) => Arc::as_ptr(p) as usize,
+            Op::CharNgram(p) | Op::WordNgram(p) => Arc::as_ptr(p) as usize,
+            Op::HashingVectorizer(p) => Arc::as_ptr(p) as usize,
+            Op::Concat(p) => Arc::as_ptr(p) as usize,
+            Op::Normalizer(p) => Arc::as_ptr(p) as usize,
+            Op::Scaler(p) => Arc::as_ptr(p) as usize,
+            Op::Imputer(p) => Arc::as_ptr(p) as usize,
+            Op::Binner(p) => Arc::as_ptr(p) as usize,
+            Op::OneHot(p) => Arc::as_ptr(p) as usize,
+            Op::Linear(p) => Arc::as_ptr(p) as usize,
+            Op::NaiveBayes(p) => Arc::as_ptr(p) as usize,
+            Op::TreeEnsemble(p) | Op::TreeFeaturizer(p) => Arc::as_ptr(p) as usize,
+            Op::MulticlassTree(p) => Arc::as_ptr(p) as usize,
+            Op::KMeans(p) => Arc::as_ptr(p) as usize,
+            Op::Pca(p) => Arc::as_ptr(p) as usize,
+        }
+    }
+
+    /// Serializes into a model-file section named `op{index}.{Kind}`.
+    pub fn to_section(&self, index: usize) -> Section {
+        let entries = match self {
+            Op::CsvParse(p) => p.to_entries(),
+            Op::Tokenizer(p) => p.to_entries(),
+            Op::CharNgram(p) | Op::WordNgram(p) => p.to_entries(),
+            Op::HashingVectorizer(p) => p.to_entries(),
+            Op::Concat(p) => p.to_entries(),
+            Op::Normalizer(p) => p.to_entries(),
+            Op::Scaler(p) => p.to_entries(),
+            Op::Imputer(p) => p.to_entries(),
+            Op::Binner(p) => p.to_entries(),
+            Op::OneHot(p) => p.to_entries(),
+            Op::Linear(p) => p.to_entries(),
+            Op::NaiveBayes(p) => p.to_entries(),
+            Op::TreeEnsemble(p) | Op::TreeFeaturizer(p) => p.to_entries(),
+            Op::MulticlassTree(p) => p.to_entries(),
+            Op::KMeans(p) => p.to_entries(),
+            Op::Pca(p) => p.to_entries(),
+        };
+        let checksum = pretzel_data::serde_bin::section_checksum(&entries);
+        Section {
+            name: format!("op{index}.{}", self.kind().name()),
+            checksum,
+            entries,
+        }
+    }
+
+    /// Parses an operator back from a model-file section.
+    pub fn from_section(section: &Section) -> Result<Self> {
+        let kind = section
+            .name
+            .split_once('.')
+            .map(|(_, k)| k)
+            .ok_or_else(|| {
+                DataError::Codec(format!("section name `{}` has no kind", section.name))
+            })?;
+        Ok(match kind {
+            "CsvParse" => Op::CsvParse(Arc::new(CsvParams::from_entries(section)?)),
+            "Tokenizer" => Op::Tokenizer(Arc::new(TokenizerParams::from_entries(section)?)),
+            "CharNgram" => Op::CharNgram(Arc::new(NgramParams::from_entries(section)?)),
+            "WordNgram" => Op::WordNgram(Arc::new(NgramParams::from_entries(section)?)),
+            "HashingVectorizer" => {
+                Op::HashingVectorizer(Arc::new(HashingParams::from_entries(section)?))
+            }
+            "Concat" => Op::Concat(Arc::new(ConcatParams::from_entries(section)?)),
+            "Normalizer" => Op::Normalizer(Arc::new(NormalizerParams::from_entries(section)?)),
+            "Scaler" => Op::Scaler(Arc::new(ScalerParams::from_entries(section)?)),
+            "Imputer" => Op::Imputer(Arc::new(ImputerParams::from_entries(section)?)),
+            "Binner" => Op::Binner(Arc::new(BinnerParams::from_entries(section)?)),
+            "OneHot" => Op::OneHot(Arc::new(OneHotParams::from_entries(section)?)),
+            "Linear" => Op::Linear(Arc::new(LinearParams::from_entries(section)?)),
+            "NaiveBayes" => Op::NaiveBayes(Arc::new(NaiveBayesParams::from_entries(section)?)),
+            "TreeEnsemble" => Op::TreeEnsemble(Arc::new(EnsembleParams::from_entries(section)?)),
+            "MulticlassTree" => {
+                Op::MulticlassTree(Arc::new(MulticlassTreeParams::from_entries(section)?))
+            }
+            "TreeFeaturizer" => {
+                Op::TreeFeaturizer(Arc::new(EnsembleParams::from_entries(section)?))
+            }
+            "KMeans" => Op::KMeans(Arc::new(KMeansParams::from_entries(section)?)),
+            "Pca" => Op::Pca(Arc::new(PcaParams::from_entries(section)?)),
+            other => {
+                return Err(DataError::Codec(format!("unknown operator kind `{other}`")))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::{LinearKind, LinearParams};
+    use crate::text::ngram::NgramParams;
+    use crate::text::tokenizer::TokenizerParams;
+    use crate::tree::{EnsembleMode, EnsembleParams, Tree};
+
+    fn keys(v: &[&str]) -> Vec<Box<str>> {
+        v.iter().map(|s| Box::from(*s)).collect()
+    }
+
+    fn sa_ops() -> Vec<Op> {
+        vec![
+            Op::Tokenizer(Arc::new(TokenizerParams::whitespace_punct())),
+            Op::CharNgram(Arc::new(NgramParams::new(3, false, true, keys(&["nic"])))),
+            Op::WordNgram(Arc::new(NgramParams::new(
+                1,
+                true,
+                true,
+                keys(&["nice", "bad"]),
+            ))),
+            Op::Linear(Arc::new(LinearParams::new(
+                LinearKind::Logistic,
+                vec![0.5, 1.0, -1.0],
+                0.0,
+            ))),
+        ]
+    }
+
+    #[test]
+    fn schema_propagation_through_sa_chain() {
+        let ops = sa_ops();
+        assert_eq!(
+            ops[0].output_type(&[ColumnType::Text]).unwrap(),
+            ColumnType::TokenList
+        );
+        assert_eq!(
+            ops[1].output_type(&[ColumnType::Text]).unwrap(),
+            ColumnType::F32Sparse { len: 1 }
+        );
+        assert_eq!(
+            ops[2]
+                .output_type(&[ColumnType::Text, ColumnType::TokenList])
+                .unwrap(),
+            ColumnType::F32Sparse { len: 2 }
+        );
+        assert_eq!(
+            ops[3]
+                .output_type(&[ColumnType::F32Sparse { len: 3 }])
+                .unwrap(),
+            ColumnType::F32Scalar
+        );
+    }
+
+    #[test]
+    fn schema_mismatch_reported_with_operator_name() {
+        let ops = sa_ops();
+        let err = ops[1].output_type(&[ColumnType::F32Scalar]).unwrap_err();
+        assert!(matches!(err, DataError::SchemaMismatch { operator, .. }
+            if operator == "CharNgram"));
+        let err2 = ops[3].output_type(&[ColumnType::Text]).unwrap_err();
+        assert!(matches!(err2, DataError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn wrong_input_count_rejected() {
+        let ops = sa_ops();
+        assert!(ops[2].output_type(&[ColumnType::Text]).is_err());
+    }
+
+    #[test]
+    fn apply_dispatch_word_ngram_end_to_end() {
+        let tok = &sa_ops()[0];
+        let wng = &sa_ops()[2];
+        let text = Vector::Text("a NICE day".into());
+        let mut toks = Vector::with_type(ColumnType::TokenList);
+        tok.apply(&[&text], &mut toks).unwrap();
+        let mut out = Vector::with_type(ColumnType::F32Sparse { len: 2 });
+        wng.apply(&[&text, &toks], &mut out).unwrap();
+        assert_eq!(out.to_dense(2).unwrap(), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn checksums_distinguish_char_and_word_ngram() {
+        // Same params type and content, different operator kind: must not
+        // dedup against each other in the Object Store.
+        let p = Arc::new(NgramParams::new(2, true, true, keys(&["ab"])));
+        let c = Op::CharNgram(Arc::clone(&p));
+        let w = Op::WordNgram(p);
+        assert_ne!(c.checksum(), w.checksum());
+    }
+
+    #[test]
+    fn checksums_distinguish_ensemble_and_featurizer() {
+        let e = Arc::new(
+            EnsembleParams::new(vec![Tree::leaf(1.0)], vec![1.0], EnsembleMode::Sum, 4).unwrap(),
+        );
+        assert_ne!(
+            Op::TreeEnsemble(Arc::clone(&e)).checksum(),
+            Op::TreeFeaturizer(e).checksum()
+        );
+    }
+
+    #[test]
+    fn clone_shares_params_allocation() {
+        let op = sa_ops().remove(1);
+        let copy = op.clone();
+        assert_eq!(op.params_addr(), copy.params_addr());
+    }
+
+    #[test]
+    fn section_round_trip_every_kind() {
+        use crate::bayes::NaiveBayesParams;
+        use crate::feat::binner::BinnerParams;
+        use crate::feat::concat::ConcatParams;
+        use crate::feat::imputer::ImputerParams;
+        use crate::feat::normalizer::{NormKind, NormalizerParams};
+        use crate::feat::onehot::OneHotParams;
+        use crate::feat::scaler::ScalerParams;
+        use crate::kmeans::KMeansParams;
+        use crate::pca::PcaParams;
+        use crate::text::csv::CsvParams;
+        use crate::text::hashing::HashingParams;
+        use crate::tree::MulticlassTreeParams;
+
+        let ens = EnsembleParams::new(vec![Tree::leaf(2.0)], vec![1.0], EnsembleMode::Sum, 4)
+            .unwrap();
+        let all: Vec<Op> = vec![
+            Op::CsvParse(Arc::new(CsvParams::select_text(1))),
+            Op::Tokenizer(Arc::new(TokenizerParams::whitespace_punct())),
+            Op::CharNgram(Arc::new(NgramParams::new(3, false, true, keys(&["abc"])))),
+            Op::WordNgram(Arc::new(NgramParams::new(2, true, true, keys(&["a b"])))),
+            Op::HashingVectorizer(Arc::new(HashingParams::new(3, 64, true))),
+            Op::Concat(Arc::new(ConcatParams::new(vec![2, 3]))),
+            Op::Normalizer(Arc::new(NormalizerParams::new(NormKind::L2, 5))),
+            Op::Scaler(Arc::new(ScalerParams::new(vec![0.0; 4], vec![1.0; 4]))),
+            Op::Imputer(Arc::new(ImputerParams::new(vec![0.0; 4]))),
+            Op::Binner(Arc::new(BinnerParams::new(vec![vec![0.5]; 4]))),
+            Op::OneHot(Arc::new(OneHotParams::new(4, vec![(1, 3)]))),
+            Op::Linear(Arc::new(LinearParams::new(
+                LinearKind::Logistic,
+                vec![1.0; 4],
+                0.5,
+            ))),
+            Op::NaiveBayes(Arc::new(
+                NaiveBayesParams::new(vec![-1.0, -2.0], vec![0.0; 8], 4).unwrap(),
+            )),
+            Op::TreeEnsemble(Arc::new(ens.clone())),
+            Op::MulticlassTree(Arc::new(
+                MulticlassTreeParams::new(vec![ens.clone(), ens.clone()]).unwrap(),
+            )),
+            Op::TreeFeaturizer(Arc::new(ens)),
+            Op::KMeans(Arc::new(KMeansParams::new(vec![0.0; 8], 2, 4).unwrap())),
+            Op::Pca(Arc::new(
+                PcaParams::new(vec![0.0; 4], vec![0.0; 8], 2, 4).unwrap(),
+            )),
+        ];
+        assert_eq!(all.len(), OpKind::ALL.len());
+        for (i, op) in all.iter().enumerate() {
+            let section = op.to_section(i);
+            assert!(section.name.starts_with(&format!("op{i}.")));
+            let parsed = Op::from_section(&section).unwrap();
+            assert_eq!(parsed.kind(), op.kind(), "kind mismatch at {i}");
+            assert_eq!(
+                parsed.checksum(),
+                op.checksum(),
+                "checksum mismatch for {}",
+                op.kind().name()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let section = Section {
+            name: "op0.Quantum".into(),
+            checksum: 0,
+            entries: vec![],
+        };
+        assert!(Op::from_section(&section).is_err());
+        let unnamed = Section {
+            name: "weird".into(),
+            checksum: 0,
+            entries: vec![],
+        };
+        assert!(Op::from_section(&unnamed).is_err());
+    }
+
+    #[test]
+    fn predictor_classification() {
+        assert!(OpKind::Linear.is_predictor());
+        assert!(OpKind::TreeEnsemble.is_predictor());
+        assert!(!OpKind::Tokenizer.is_predictor());
+        assert!(!OpKind::Concat.is_predictor());
+        assert!(!OpKind::TreeFeaturizer.is_predictor());
+    }
+}

@@ -1,0 +1,40 @@
+//! Shared machinery for operator parameters.
+//!
+//! Parameters are the shareable half of an operator: immutable, checksummed
+//! and serializable into one model-file section (paper §2: "each directory
+//! stores operator parameters"). The checksum of the serialized form is the
+//! Object Store's dedup key (paper §4.1.3).
+
+use pretzel_data::serde_bin::{section_checksum, Section};
+use pretzel_data::Result;
+
+/// A parameter object that can round-trip through a model-file section.
+pub trait ParamBlob: Sized {
+    /// Operator-kind tag stored in the section name (e.g. `"WordNgram"`).
+    const KIND: &'static str;
+
+    /// Serializes the logical fields (derived lookup structures excluded).
+    fn to_entries(&self) -> Vec<(String, Vec<u8>)>;
+
+    /// Reconstructs the parameters (rebuilding derived lookup structures).
+    fn from_entries(section: &Section) -> Result<Self>;
+
+    /// Heap bytes held by this parameter object, including derived
+    /// structures; used by the memory experiments.
+    fn heap_bytes(&self) -> usize;
+
+    /// Dedup checksum over the serialized form.
+    fn checksum(&self) -> u64 {
+        section_checksum(&self.to_entries())
+    }
+}
+
+/// Estimated heap bytes of a `HashMap<u64, u32>` with `len` entries.
+///
+/// `std::collections::HashMap` does not expose its allocation size; this
+/// approximates it as capacity × (key + value + control byte), which is the
+/// hashbrown layout to within a constant.
+pub fn hashmap_bytes(len: usize, capacity: usize) -> usize {
+    let slots = capacity.max(len);
+    slots * (8 + 4 + 1)
+}

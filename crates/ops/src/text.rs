@@ -1,0 +1,6 @@
+//! Text featurizers: CSV parsing, tokenization, n-grams, feature hashing.
+
+pub mod csv;
+pub mod hashing;
+pub mod ngram;
+pub mod tokenizer;

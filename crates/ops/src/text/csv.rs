@@ -1,0 +1,219 @@
+//! CSV ingestion operator.
+//!
+//! Flour programs start with `CSV.FromText(',').WithSchema<T>().Select(col)`
+//! (paper Listing 1). This operator implements that prefix: it parses one
+//! CSV line and either selects a text field (Sentiment Analysis) or decodes
+//! all numeric fields into a dense vector (Attendee Count's 40-dimensional
+//! structured input, paper Table 1).
+
+use crate::annotations::Annotations;
+use crate::params::ParamBlob;
+use pretzel_data::serde_bin::{wire, Cursor, Section};
+use pretzel_data::{ColumnType, DataError, Result, Vector};
+
+/// What the parser extracts from each line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsvOutput {
+    /// Select field `index` as raw text.
+    TextField {
+        /// Zero-based field index to select.
+        index: u32,
+    },
+    /// Parse all fields as `f32` into a dense vector of length `len`.
+    DenseFields {
+        /// Expected number of numeric fields.
+        len: u32,
+    },
+}
+
+/// Parameters of the CSV parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvParams {
+    /// Field separator byte (e.g. `b','`).
+    pub separator: u8,
+    /// Extraction mode.
+    pub output: CsvOutput,
+}
+
+impl CsvParams {
+    /// Parser that selects text field `index` from comma-separated lines.
+    pub fn select_text(index: u32) -> Self {
+        CsvParams {
+            separator: b',',
+            output: CsvOutput::TextField { index },
+        }
+    }
+
+    /// Parser that decodes `len` comma-separated floats.
+    pub fn dense(len: u32) -> Self {
+        CsvParams {
+            separator: b',',
+            output: CsvOutput::DenseFields { len },
+        }
+    }
+
+    /// Output column type.
+    pub fn output_type(&self) -> ColumnType {
+        match self.output {
+            CsvOutput::TextField { .. } => ColumnType::Text,
+            CsvOutput::DenseFields { len } => ColumnType::F32Dense { len: len as usize },
+        }
+    }
+
+    /// Operator annotations: memory-bound featurizer, fusible.
+    pub fn annotations(&self) -> Annotations {
+        Annotations::featurizer()
+    }
+
+    /// Parses `line` into `out`.
+    ///
+    /// `out` must already be of the output variant (pooled buffers are typed
+    /// by the stage schema); contents are overwritten.
+    pub fn apply(&self, line: &str, out: &mut Vector) -> Result<()> {
+        match (self.output, out) {
+            (CsvOutput::TextField { index }, Vector::Text(dst)) => {
+                let field = split_field(line, self.separator, index).ok_or_else(|| {
+                    DataError::Runtime(format!("csv line has no field {index}: `{line}`"))
+                })?;
+                dst.clear();
+                dst.push_str(field);
+                Ok(())
+            }
+            (CsvOutput::DenseFields { len }, Vector::Dense(dst)) => {
+                if dst.len() != len as usize {
+                    return Err(DataError::Runtime(format!(
+                        "dense csv output buffer has len {}, expected {len}",
+                        dst.len()
+                    )));
+                }
+                let mut count = 0usize;
+                for (i, field) in line.split(self.separator as char).enumerate() {
+                    if i >= len as usize {
+                        break;
+                    }
+                    dst[i] = field.trim().parse::<f32>().map_err(|e| {
+                        DataError::Runtime(format!("bad numeric field {i} `{field}`: {e}"))
+                    })?;
+                    count += 1;
+                }
+                if count < len as usize {
+                    return Err(DataError::Runtime(format!(
+                        "csv line has {count} fields, expected {len}"
+                    )));
+                }
+                Ok(())
+            }
+            (_, out) => Err(DataError::Runtime(format!(
+                "csv output buffer variant mismatch: {:?}",
+                out.column_type()
+            ))),
+        }
+    }
+}
+
+fn split_field(line: &str, sep: u8, index: u32) -> Option<&str> {
+    line.split(sep as char).nth(index as usize)
+}
+
+impl ParamBlob for CsvParams {
+    const KIND: &'static str = "CsvParse";
+
+    fn to_entries(&self) -> Vec<(String, Vec<u8>)> {
+        let mut cfg = Vec::new();
+        wire::put_u32(&mut cfg, self.separator as u32);
+        match self.output {
+            CsvOutput::TextField { index } => {
+                wire::put_u32(&mut cfg, 0);
+                wire::put_u32(&mut cfg, index);
+            }
+            CsvOutput::DenseFields { len } => {
+                wire::put_u32(&mut cfg, 1);
+                wire::put_u32(&mut cfg, len);
+            }
+        }
+        vec![("config".into(), cfg)]
+    }
+
+    fn from_entries(section: &Section) -> Result<Self> {
+        let mut cur = Cursor::new(section.entry("config")?);
+        let separator = cur.u32()? as u8;
+        let tag = cur.u32()?;
+        let arg = cur.u32()?;
+        let output = match tag {
+            0 => CsvOutput::TextField { index: arg },
+            1 => CsvOutput::DenseFields { len: arg },
+            t => return Err(DataError::Codec(format!("bad csv output tag {t}"))),
+        };
+        Ok(CsvParams { separator, output })
+    }
+
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_text_field() {
+        let p = CsvParams::select_text(1);
+        let mut out = Vector::with_type(ColumnType::Text);
+        p.apply("5,what a great product,US", &mut out).unwrap();
+        assert_eq!(out.as_text().unwrap(), "what a great product");
+    }
+
+    #[test]
+    fn select_missing_field_is_error() {
+        let p = CsvParams::select_text(3);
+        let mut out = Vector::with_type(ColumnType::Text);
+        assert!(p.apply("a,b", &mut out).is_err());
+    }
+
+    #[test]
+    fn dense_fields_parse() {
+        let p = CsvParams::dense(4);
+        let mut out = Vector::with_type(ColumnType::F32Dense { len: 4 });
+        p.apply("1.5, -2, 0, 3e1", &mut out).unwrap();
+        assert_eq!(out.as_dense().unwrap(), &[1.5, -2.0, 0.0, 30.0]);
+    }
+
+    #[test]
+    fn dense_rejects_short_lines_and_garbage() {
+        let p = CsvParams::dense(3);
+        let mut out = Vector::with_type(ColumnType::F32Dense { len: 3 });
+        assert!(p.apply("1,2", &mut out).is_err());
+        assert!(p.apply("1,x,3", &mut out).is_err());
+    }
+
+    #[test]
+    fn wrong_buffer_variant_is_error() {
+        let p = CsvParams::select_text(0);
+        let mut out = Vector::with_type(ColumnType::F32Scalar);
+        assert!(p.apply("a,b", &mut out).is_err());
+    }
+
+    #[test]
+    fn round_trip_through_section() {
+        for p in [CsvParams::select_text(2), CsvParams::dense(40)] {
+            let entries = p.to_entries();
+            let section = Section {
+                name: "op0.CsvParse".into(),
+                checksum: 0,
+                entries,
+            };
+            let q = CsvParams::from_entries(&section).unwrap();
+            assert_eq!(p, q);
+            assert_eq!(p.checksum(), q.checksum());
+        }
+    }
+
+    #[test]
+    fn checksums_distinguish_configs() {
+        assert_ne!(
+            CsvParams::select_text(0).checksum(),
+            CsvParams::select_text(1).checksum()
+        );
+    }
+}

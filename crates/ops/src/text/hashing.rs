@@ -1,0 +1,159 @@
+//! Feature-hashing vectorizer (dictionary-free n-gram featurizer).
+//!
+//! ML.Net's `HashingVectorizer`-style featurizer: instead of probing a
+//! trained dictionary, every character n-gram is hashed into one of
+//! `buckets` slots. No parameters beyond the configuration — the cheapest
+//! featurizer to share, and a useful contrast to the dictionary-backed
+//! [`crate::text::ngram`] operators in the memory experiments.
+
+use crate::annotations::Annotations;
+use crate::params::ParamBlob;
+use pretzel_data::hash::Fnv1a;
+use pretzel_data::serde_bin::{wire, Cursor, Section};
+use pretzel_data::{DataError, Result, Vector};
+
+/// Parameters of the hashing vectorizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashingParams {
+    /// N-gram length (character level).
+    pub n: u32,
+    /// Number of hash buckets (= output dimensionality).
+    pub buckets: u32,
+    /// Case-insensitive hashing.
+    pub fold_case: bool,
+}
+
+impl HashingParams {
+    /// Creates a hashing featurizer.
+    pub fn new(n: u32, buckets: u32, fold_case: bool) -> Self {
+        HashingParams {
+            n,
+            buckets,
+            fold_case,
+        }
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.buckets as usize
+    }
+
+    /// Operator annotations: memory-bound featurizer, fusible.
+    pub fn annotations(&self) -> Annotations {
+        Annotations::featurizer()
+    }
+
+    /// Hashes every `n`-byte window of `text` into the output buckets.
+    pub fn apply(&self, text: &str, out: &mut Vector) -> Result<()> {
+        match out {
+            Vector::Sparse { dim, .. } if *dim == self.buckets => {}
+            other => {
+                return Err(DataError::Runtime(format!(
+                    "hashing output buffer mismatch: want sparse[{}], got {:?}",
+                    self.buckets,
+                    other.column_type()
+                )))
+            }
+        }
+        out.reset();
+        let bytes = text.as_bytes();
+        let n = self.n as usize;
+        if bytes.len() < n || self.buckets == 0 {
+            return Ok(());
+        }
+        for w in bytes.windows(n) {
+            let mut h = Fnv1a::new();
+            for &b in w {
+                let f = if self.fold_case && b.is_ascii_uppercase() {
+                    b | 0x20
+                } else {
+                    b
+                };
+                h.write(&[f]);
+            }
+            let idx = (h.finish() % u64::from(self.buckets)) as u32;
+            out.sparse_accumulate(idx, 1.0);
+        }
+        Ok(())
+    }
+}
+
+impl ParamBlob for HashingParams {
+    const KIND: &'static str = "HashingVectorizer";
+
+    fn to_entries(&self) -> Vec<(String, Vec<u8>)> {
+        let mut cfg = Vec::new();
+        wire::put_u32(&mut cfg, self.n);
+        wire::put_u32(&mut cfg, self.buckets);
+        wire::put_u32(&mut cfg, u32::from(self.fold_case));
+        vec![("config".into(), cfg)]
+    }
+
+    fn from_entries(section: &Section) -> Result<Self> {
+        let mut cur = Cursor::new(section.entry("config")?);
+        Ok(HashingParams {
+            n: cur.u32()?,
+            buckets: cur.u32()?,
+            fold_case: cur.u32()? != 0,
+        })
+    }
+
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pretzel_data::ColumnType;
+
+    #[test]
+    fn total_mass_equals_window_count() {
+        let p = HashingParams::new(3, 64, true);
+        let text = "hello world";
+        let mut out = Vector::with_type(ColumnType::F32Sparse { len: 64 });
+        p.apply(text, &mut out).unwrap();
+        let total: f32 = match &out {
+            Vector::Sparse { values, .. } => values.iter().sum(),
+            _ => unreachable!(),
+        };
+        assert_eq!(total, (text.len() - 2) as f32);
+    }
+
+    #[test]
+    fn deterministic_and_case_folded() {
+        let p = HashingParams::new(2, 16, true);
+        let mut a = Vector::with_type(ColumnType::F32Sparse { len: 16 });
+        let mut b = Vector::with_type(ColumnType::F32Sparse { len: 16 });
+        p.apply("AbCd", &mut a).unwrap();
+        p.apply("abcd", &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn short_text_is_empty_output() {
+        let p = HashingParams::new(5, 8, false);
+        let mut out = Vector::with_type(ColumnType::F32Sparse { len: 8 });
+        p.apply("abc", &mut out).unwrap();
+        assert_eq!(out.stored_len(), 0);
+    }
+
+    #[test]
+    fn buffer_dim_checked() {
+        let p = HashingParams::new(2, 8, false);
+        let mut out = Vector::with_type(ColumnType::F32Sparse { len: 9 });
+        assert!(p.apply("abc", &mut out).is_err());
+    }
+
+    #[test]
+    fn round_trip_through_section() {
+        let p = HashingParams::new(4, 1024, true);
+        let section = Section {
+            name: "op.Hash".into(),
+            checksum: 0,
+            entries: p.to_entries(),
+        };
+        assert_eq!(HashingParams::from_entries(&section).unwrap(), p);
+    }
+}

@@ -1,0 +1,390 @@
+//! Dictionary-based n-gram featurizers (CharNgram, WordNgram).
+//!
+//! These are the heavy featurizers of the SA pipeline: "Char and Word Ngrams
+//! featurize input tokens by extracting n-grams" (paper Figure 1), with
+//! trained dictionaries of about a million entries occupying tens of MBs
+//! (paper Table 1) — which is why sharing their parameters across pipelines
+//! (Figure 3) dominates the memory experiments.
+//!
+//! The kernel is allocation-free: candidate n-grams are *hashed in place*
+//! (streaming FNV-1a over case-folded bytes) and probed against a
+//! `hash → dictionary index` map; matches accumulate counts into a sparse
+//! output vector. Distinct n-grams colliding on the 64-bit hash would share
+//! a count slot; at dictionary sizes up to 2^20 the collision probability is
+//! below 2^-24 and has no effect on the systems behaviour being measured.
+
+use crate::annotations::Annotations;
+use crate::params::{hashmap_bytes, ParamBlob};
+use pretzel_data::hash::Fnv1a;
+use pretzel_data::serde_bin::{wire, Cursor, Section};
+use pretzel_data::vector::Span;
+use pretzel_data::{DataError, Result, Vector};
+use std::collections::HashMap;
+
+/// Separator byte between tokens when hashing word n-grams.
+const WORD_SEP: u8 = 0x1f;
+
+#[inline]
+fn fold(b: u8, fold_case: bool) -> u8 {
+    if fold_case && b.is_ascii_uppercase() {
+        b | 0x20
+    } else {
+        b
+    }
+}
+
+/// A trained n-gram dictionary: the keys (owned, for size realism and
+/// serialization) plus a derived hash → index probe table.
+#[derive(Debug, Clone)]
+pub struct NgramDict {
+    keys: Vec<Box<str>>,
+    map: HashMap<u64, u32>,
+    fold_case: bool,
+}
+
+impl PartialEq for NgramDict {
+    fn eq(&self, other: &Self) -> bool {
+        self.keys == other.keys && self.fold_case == other.fold_case
+    }
+}
+
+impl NgramDict {
+    /// Builds a dictionary from keys. Word n-gram keys use a single ASCII
+    /// space between tokens (e.g. `"not good"`).
+    ///
+    /// Later duplicates (after case folding) are ignored, keeping the first
+    /// index, so dictionary indices are stable.
+    pub fn new(keys: Vec<Box<str>>, fold_case: bool) -> Self {
+        let mut map = HashMap::with_capacity(keys.len());
+        for (i, k) in keys.iter().enumerate() {
+            let h = Self::hash_key(k, fold_case);
+            map.entry(h).or_insert(i as u32);
+        }
+        NgramDict {
+            keys,
+            map,
+            fold_case,
+        }
+    }
+
+    /// Number of dictionary entries (= featurizer output dimensionality).
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if the dictionary has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The dictionary keys.
+    pub fn keys(&self) -> &[Box<str>] {
+        &self.keys
+    }
+
+    /// Probes a precomputed hash.
+    #[inline]
+    pub fn probe(&self, hash: u64) -> Option<u32> {
+        self.map.get(&hash).copied()
+    }
+
+    /// Hashes a dictionary key the same way the kernels hash input windows:
+    /// tokens separated by `WORD_SEP`, bytes case-folded.
+    pub fn hash_key(key: &str, fold_case: bool) -> u64 {
+        let mut h = Fnv1a::new();
+        let mut first = true;
+        for tok in key.split(' ') {
+            if !first {
+                h.write(&[WORD_SEP]);
+            }
+            first = false;
+            for &b in tok.as_bytes() {
+                h.write(&[fold(b, fold_case)]);
+            }
+        }
+        h.finish()
+    }
+
+    /// Heap bytes: key storage plus the probe table.
+    pub fn heap_bytes(&self) -> usize {
+        let keys: usize = self.keys.iter().map(|k| k.len()).sum();
+        keys + self.keys.capacity() * std::mem::size_of::<Box<str>>()
+            + hashmap_bytes(self.map.len(), self.map.capacity())
+    }
+}
+
+/// Parameters shared by CharNgram and WordNgram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NgramParams {
+    /// Maximum n-gram length.
+    pub n: u32,
+    /// Extract all lengths `1..=n` (true) or exactly `n` (false).
+    pub all_lengths: bool,
+    /// Case-insensitive matching.
+    pub fold_case: bool,
+    /// The trained dictionary.
+    pub dict: NgramDict,
+}
+
+impl NgramParams {
+    /// Creates n-gram parameters over a dictionary.
+    pub fn new(n: u32, all_lengths: bool, fold_case: bool, keys: Vec<Box<str>>) -> Self {
+        NgramParams {
+            n,
+            all_lengths,
+            fold_case,
+            dict: NgramDict::new(keys, fold_case),
+        }
+    }
+
+    /// Output dimensionality (dictionary size).
+    pub fn dim(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Operator annotations: memory-bound featurizer, fusible.
+    pub fn annotations(&self) -> Annotations {
+        Annotations::featurizer()
+    }
+
+    /// Streams every dictionary hit in `text` at character level.
+    ///
+    /// This is the fusion hook (paper §2): a fused `ngram → dot-product`
+    /// physical stage accumulates `weights[offset + idx]` directly in the
+    /// callback and never materializes the sparse feature vector at all.
+    #[inline]
+    pub fn for_each_char_match(&self, text: &str, mut f: impl FnMut(u32)) {
+        let bytes = text.as_bytes();
+        for k in self.lengths() {
+            let k = k as usize;
+            if bytes.len() < k {
+                continue;
+            }
+            for w in bytes.windows(k) {
+                let mut h = Fnv1a::new();
+                for &b in w {
+                    h.write(&[fold(b, self.fold_case)]);
+                }
+                if let Some(idx) = self.dict.probe(h.finish()) {
+                    f(idx);
+                }
+            }
+        }
+    }
+
+    /// Streams every dictionary hit at word level (`spans` over `text`).
+    ///
+    /// Fusion hook, see [`Self::for_each_char_match`].
+    #[inline]
+    pub fn for_each_word_match(&self, text: &str, spans: &[Span], mut f: impl FnMut(u32)) {
+        let bytes = text.as_bytes();
+        for k in self.lengths() {
+            let k = k as usize;
+            if spans.len() < k {
+                continue;
+            }
+            for w in spans.windows(k) {
+                let mut h = Fnv1a::new();
+                for (ti, sp) in w.iter().enumerate() {
+                    if ti > 0 {
+                        h.write(&[WORD_SEP]);
+                    }
+                    for &b in &bytes[sp.start as usize..sp.end as usize] {
+                        h.write(&[fold(b, self.fold_case)]);
+                    }
+                }
+                if let Some(idx) = self.dict.probe(h.finish()) {
+                    f(idx);
+                }
+            }
+        }
+    }
+
+    /// Character-level extraction: hash every byte window of each length.
+    ///
+    /// `out` must be a sparse buffer of dimension [`Self::dim`]; it is
+    /// cleared first.
+    pub fn apply_char(&self, text: &str, out: &mut Vector) -> Result<()> {
+        self.check_out(out)?;
+        out.reset();
+        self.for_each_char_match(text, |idx| out.sparse_accumulate(idx, 1.0));
+        Ok(())
+    }
+
+    /// Word-level extraction: hash every token window of each length.
+    ///
+    /// `spans` index into `text`; `out` as for [`Self::apply_char`].
+    pub fn apply_word(&self, text: &str, spans: &[Span], out: &mut Vector) -> Result<()> {
+        self.check_out(out)?;
+        out.reset();
+        self.for_each_word_match(text, spans, |idx| out.sparse_accumulate(idx, 1.0));
+        Ok(())
+    }
+
+    fn lengths(&self) -> std::ops::RangeInclusive<u32> {
+        if self.all_lengths {
+            1..=self.n
+        } else {
+            self.n..=self.n
+        }
+    }
+
+    fn check_out(&self, out: &Vector) -> Result<()> {
+        match out {
+            Vector::Sparse { dim, .. } if *dim as usize == self.dim() => Ok(()),
+            other => Err(DataError::Runtime(format!(
+                "ngram output buffer mismatch: want sparse[{}], got {:?}",
+                self.dim(),
+                other.column_type()
+            ))),
+        }
+    }
+}
+
+impl ParamBlob for NgramParams {
+    const KIND: &'static str = "Ngram";
+
+    fn to_entries(&self) -> Vec<(String, Vec<u8>)> {
+        let mut cfg = Vec::new();
+        wire::put_u32(&mut cfg, self.n);
+        wire::put_u32(&mut cfg, u32::from(self.all_lengths));
+        wire::put_u32(&mut cfg, u32::from(self.fold_case));
+        let mut keys = Vec::new();
+        wire::put_u32(&mut keys, self.dict.len() as u32);
+        for k in self.dict.keys() {
+            wire::put_str(&mut keys, k);
+        }
+        vec![("config".into(), cfg), ("dictionary".into(), keys)]
+    }
+
+    fn from_entries(section: &Section) -> Result<Self> {
+        let mut cfg = Cursor::new(section.entry("config")?);
+        let n = cfg.u32()?;
+        let all_lengths = cfg.u32()? != 0;
+        let fold_case = cfg.u32()? != 0;
+        let mut cur = Cursor::new(section.entry("dictionary")?);
+        let count = cur.u32()? as usize;
+        let mut keys = Vec::with_capacity(count.min(1 << 22));
+        for _ in 0..count {
+            keys.push(cur.str()?.into_boxed_str());
+        }
+        Ok(NgramParams::new(n, all_lengths, fold_case, keys))
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.dict.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::tokenizer::TokenizerParams;
+    use pretzel_data::ColumnType;
+
+    fn keys(v: &[&str]) -> Vec<Box<str>> {
+        v.iter().map(|s| Box::from(*s)).collect()
+    }
+
+    fn sparse_pairs(v: &Vector) -> Vec<(u32, f32)> {
+        match v {
+            Vector::Sparse {
+                indices, values, ..
+            } => indices.iter().copied().zip(values.iter().copied()).collect(),
+            _ => panic!("not sparse"),
+        }
+    }
+
+    #[test]
+    fn char_trigrams_count_matches() {
+        let p = NgramParams::new(3, false, true, keys(&["abc", "bcd", "zzz"]));
+        let mut out = Vector::with_type(ColumnType::F32Sparse { len: 3 });
+        p.apply_char("xabcdabc", &mut out).unwrap();
+        // Windows: xab abc bcd cda dab abc -> abc ×2, bcd ×1.
+        assert_eq!(sparse_pairs(&out), vec![(0, 2.0), (1, 1.0)]);
+    }
+
+    #[test]
+    fn char_fold_case_matches_uppercase() {
+        let p = NgramParams::new(2, false, true, keys(&["ab"]));
+        let mut out = Vector::with_type(ColumnType::F32Sparse { len: 1 });
+        p.apply_char("AB", &mut out).unwrap();
+        assert_eq!(sparse_pairs(&out), vec![(0, 1.0)]);
+
+        let exact = NgramParams::new(2, false, false, keys(&["ab"]));
+        let mut out2 = Vector::with_type(ColumnType::F32Sparse { len: 1 });
+        exact.apply_char("AB", &mut out2).unwrap();
+        assert_eq!(sparse_pairs(&out2), vec![]);
+    }
+
+    #[test]
+    fn word_unigrams_and_bigrams() {
+        let p = NgramParams::new(2, true, true, keys(&["nice", "nice product", "bad"]));
+        let tok = TokenizerParams::whitespace_punct();
+        let text = "a nice product";
+        let mut toks = Vector::with_type(ColumnType::TokenList);
+        tok.apply(text, &mut toks).unwrap();
+        let mut out = Vector::with_type(ColumnType::F32Sparse { len: 3 });
+        p.apply_word(text, toks.as_tokens().unwrap(), &mut out)
+            .unwrap();
+        assert_eq!(sparse_pairs(&out), vec![(0, 1.0), (1, 1.0)]);
+    }
+
+    #[test]
+    fn word_exact_length_only() {
+        let p = NgramParams::new(2, false, true, keys(&["nice", "nice product"]));
+        let tok = TokenizerParams::whitespace_punct();
+        let text = "nice product";
+        let mut toks = Vector::with_type(ColumnType::TokenList);
+        tok.apply(text, &mut toks).unwrap();
+        let mut out = Vector::with_type(ColumnType::F32Sparse { len: 2 });
+        p.apply_word(text, toks.as_tokens().unwrap(), &mut out)
+            .unwrap();
+        // Only the bigram; the unigram "nice" must not fire with
+        // all_lengths = false.
+        assert_eq!(sparse_pairs(&out), vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn short_input_yields_empty_output() {
+        let p = NgramParams::new(3, false, true, keys(&["abc"]));
+        let mut out = Vector::with_type(ColumnType::F32Sparse { len: 1 });
+        p.apply_char("ab", &mut out).unwrap();
+        assert_eq!(sparse_pairs(&out), vec![]);
+    }
+
+    #[test]
+    fn output_buffer_dim_checked() {
+        let p = NgramParams::new(3, false, true, keys(&["abc"]));
+        let mut out = Vector::with_type(ColumnType::F32Sparse { len: 2 });
+        assert!(p.apply_char("abc", &mut out).is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_keep_first_index() {
+        let d = NgramDict::new(keys(&["AB", "ab"]), true);
+        assert_eq!(d.probe(NgramDict::hash_key("ab", true)), Some(0));
+    }
+
+    #[test]
+    fn round_trip_through_section_preserves_behaviour() {
+        let p = NgramParams::new(2, true, true, keys(&["good", "not good"]));
+        let section = Section {
+            name: "op2.Ngram".into(),
+            checksum: 0,
+            entries: p.to_entries(),
+        };
+        let q = NgramParams::from_entries(&section).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(p.checksum(), q.checksum());
+        assert!(q.dict.probe(NgramDict::hash_key("not good", true)).is_some());
+    }
+
+    #[test]
+    fn heap_bytes_scales_with_dictionary() {
+        let small = NgramParams::new(3, false, true, keys(&["abc"]));
+        let big_keys: Vec<Box<str>> = (0..1000).map(|i| format!("k{i:04}").into()).collect();
+        let big = NgramParams::new(3, false, true, big_keys);
+        assert!(big.heap_bytes() > small.heap_bytes() * 100);
+    }
+}

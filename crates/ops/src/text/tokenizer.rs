@@ -1,0 +1,196 @@
+//! Tokenizer: splits text into token spans.
+//!
+//! The SA pipeline's first featurizer: "Tokenizer extracts tokens (e.g.,
+//! words) from the input string" (paper Figure 1). The output is a list of
+//! byte spans into the input text, not owned strings — downstream n-gram
+//! featurizers hash the spans in place, keeping the prediction path
+//! allocation-free (paper §3, end-to-end optimization (1)).
+
+use crate::annotations::Annotations;
+use crate::params::ParamBlob;
+use pretzel_data::serde_bin::{wire, Cursor, Section};
+use pretzel_data::vector::Span;
+use pretzel_data::{DataError, Result, Vector};
+
+/// Tokenizer parameters: the delimiter byte set.
+#[derive(Debug, Clone)]
+pub struct TokenizerParams {
+    /// Delimiter bytes, sorted and deduplicated (serialized form).
+    pub delims: Vec<u8>,
+    // Derived 256-entry lookup table; rebuilt on deserialization.
+    table: [bool; 256],
+}
+
+impl PartialEq for TokenizerParams {
+    fn eq(&self, other: &Self) -> bool {
+        self.delims == other.delims
+    }
+}
+
+impl Eq for TokenizerParams {}
+
+impl TokenizerParams {
+    /// Creates a tokenizer splitting on the given delimiter bytes.
+    pub fn new(delims: impl IntoIterator<Item = u8>) -> Self {
+        let mut d: Vec<u8> = delims.into_iter().collect();
+        d.sort_unstable();
+        d.dedup();
+        let mut table = [false; 256];
+        for &b in &d {
+            table[b as usize] = true;
+        }
+        TokenizerParams { delims: d, table }
+    }
+
+    /// The default word tokenizer: whitespace and common punctuation.
+    ///
+    /// All 250 SA pipelines share one Tokenize configuration (paper
+    /// Figure 3), which is what makes this object fully shareable.
+    pub fn whitespace_punct() -> Self {
+        TokenizerParams::new(*b" \t\r\n.,;:!?()[]\"'")
+    }
+
+    /// Operator annotations: memory-bound featurizer, fusible.
+    pub fn annotations(&self) -> Annotations {
+        Annotations::featurizer()
+    }
+
+    /// True if byte `b` is a delimiter.
+    #[inline]
+    pub fn is_delim(&self, b: u8) -> bool {
+        self.table[b as usize]
+    }
+
+    /// Tokenizes `text` into spans appended to `out`.
+    ///
+    /// `out` must be a `Tokens` buffer; it is cleared first.
+    pub fn apply(&self, text: &str, out: &mut Vector) -> Result<()> {
+        let spans = match out {
+            Vector::Tokens(t) => t,
+            other => {
+                return Err(DataError::Runtime(format!(
+                    "tokenizer output buffer variant mismatch: {:?}",
+                    other.column_type()
+                )))
+            }
+        };
+        spans.clear();
+        let bytes = text.as_bytes();
+        let mut start: Option<usize> = None;
+        for (i, &b) in bytes.iter().enumerate() {
+            if self.is_delim(b) {
+                if let Some(s) = start.take() {
+                    spans.push(Span::new(s as u32, i as u32));
+                }
+            } else if start.is_none() {
+                start = Some(i);
+            }
+        }
+        if let Some(s) = start {
+            spans.push(Span::new(s as u32, bytes.len() as u32));
+        }
+        Ok(())
+    }
+}
+
+impl ParamBlob for TokenizerParams {
+    const KIND: &'static str = "Tokenizer";
+
+    fn to_entries(&self) -> Vec<(String, Vec<u8>)> {
+        let mut cfg = Vec::new();
+        wire::put_u32(&mut cfg, self.delims.len() as u32);
+        cfg.extend_from_slice(&self.delims);
+        vec![("delims".into(), cfg)]
+    }
+
+    fn from_entries(section: &Section) -> Result<Self> {
+        let blob = section.entry("delims")?;
+        let mut cur = Cursor::new(blob);
+        let n = cur.u32()? as usize;
+        if blob.len() < 4 + n {
+            return Err(DataError::Codec("truncated tokenizer delims".into()));
+        }
+        Ok(TokenizerParams::new(blob[4..4 + n].iter().copied()))
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.delims.capacity() + std::mem::size_of::<[bool; 256]>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pretzel_data::ColumnType;
+
+    fn tokens_of(p: &TokenizerParams, text: &str) -> Vec<String> {
+        let mut out = Vector::with_type(ColumnType::TokenList);
+        p.apply(text, &mut out).unwrap();
+        out.as_tokens()
+            .unwrap()
+            .iter()
+            .map(|s| s.slice(text).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn splits_on_whitespace_and_punct() {
+        let p = TokenizerParams::whitespace_punct();
+        assert_eq!(
+            tokens_of(&p, "This is a nice product."),
+            vec!["This", "is", "a", "nice", "product"]
+        );
+    }
+
+    #[test]
+    fn handles_leading_trailing_and_repeated_delims() {
+        let p = TokenizerParams::whitespace_punct();
+        assert_eq!(tokens_of(&p, "  hello,,  world  "), vec!["hello", "world"]);
+        assert_eq!(tokens_of(&p, ""), Vec::<String>::new());
+        assert_eq!(tokens_of(&p, " ., "), Vec::<String>::new());
+    }
+
+    #[test]
+    fn single_token_without_delims() {
+        let p = TokenizerParams::whitespace_punct();
+        assert_eq!(tokens_of(&p, "word"), vec!["word"]);
+    }
+
+    #[test]
+    fn spans_reference_original_text() {
+        let p = TokenizerParams::whitespace_punct();
+        let text = "ab cd";
+        let mut out = Vector::with_type(ColumnType::TokenList);
+        p.apply(text, &mut out).unwrap();
+        let spans = out.as_tokens().unwrap();
+        assert_eq!(spans[0], Span::new(0, 2));
+        assert_eq!(spans[1], Span::new(3, 5));
+    }
+
+    #[test]
+    fn delims_are_sorted_and_deduped() {
+        let p = TokenizerParams::new(*b"ba ab");
+        assert_eq!(p.delims, vec![b' ', b'a', b'b']);
+    }
+
+    #[test]
+    fn round_trip_through_section() {
+        let p = TokenizerParams::whitespace_punct();
+        let section = Section {
+            name: "op1.Tokenizer".into(),
+            checksum: 0,
+            entries: p.to_entries(),
+        };
+        let q = TokenizerParams::from_entries(&section).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(p.checksum(), q.checksum());
+        assert_eq!(tokens_of(&q, "a b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn wrong_buffer_variant_is_error() {
+        let p = TokenizerParams::whitespace_punct();
+        let mut out = Vector::with_type(ColumnType::Text);
+        assert!(p.apply("x", &mut out).is_err());
+    }
+}

@@ -1,0 +1,588 @@
+//! Tree-based models: single trees, ensembles, one-vs-all multiclass trees
+//! and the TreeFeaturizer.
+//!
+//! The Attendee Count pipelines "comprise several ML models forming an
+//! ensemble: ... a TreeFeaturizer, and multi-class tree-based classifier,
+//! all fed into a final tree (or forest) rendering the prediction"
+//! (paper §5, Table 1). All tree operators share one flat node encoding.
+
+use crate::annotations::Annotations;
+use crate::params::ParamBlob;
+use pretzel_data::serde_bin::{wire, Cursor, Section};
+use pretzel_data::{DataError, Result, Vector};
+
+/// A single decision tree in flat-array form.
+///
+/// Internal node `i` tests `features[i] <= thresholds[i]` and branches to
+/// `left[i]` / `right[i]`. A child value `c >= 0` is an internal node index;
+/// `c < 0` encodes leaf `!c` (bitwise-not). Children always have a *larger*
+/// index than their parent, which makes traversal termination a structural
+/// property (checked by [`Tree::validate`]) rather than a runtime hazard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tree {
+    /// Feature tested at each internal node.
+    pub features: Vec<u32>,
+    /// Threshold at each internal node.
+    pub thresholds: Vec<f32>,
+    /// Left child (internal index or `!leaf`).
+    pub left: Vec<i32>,
+    /// Right child (internal index or `!leaf`).
+    pub right: Vec<i32>,
+    /// Value at each leaf.
+    pub leaf_values: Vec<f32>,
+}
+
+impl Tree {
+    /// A single-leaf tree returning `value` for any input.
+    pub fn leaf(value: f32) -> Self {
+        Tree {
+            features: vec![],
+            thresholds: vec![],
+            left: vec![],
+            right: vec![],
+            leaf_values: vec![value],
+        }
+    }
+
+    /// Number of internal nodes.
+    pub fn internal_nodes(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Number of leaves.
+    pub fn leaves(&self) -> usize {
+        self.leaf_values.len()
+    }
+
+    /// Structural validation: parallel arrays, child ordering, index ranges.
+    pub fn validate(&self, input_dim: usize) -> Result<()> {
+        let n = self.features.len();
+        if self.thresholds.len() != n || self.left.len() != n || self.right.len() != n {
+            return Err(DataError::Codec("tree arrays are not parallel".into()));
+        }
+        if self.leaf_values.is_empty() {
+            return Err(DataError::Codec("tree has no leaves".into()));
+        }
+        if n == 0 && self.leaf_values.len() != 1 {
+            return Err(DataError::Codec("leaf-only tree must have one leaf".into()));
+        }
+        for i in 0..n {
+            if self.features[i] as usize >= input_dim {
+                return Err(DataError::Codec(format!(
+                    "tree node {i} tests feature {} beyond input dim {input_dim}",
+                    self.features[i]
+                )));
+            }
+            for c in [self.left[i], self.right[i]] {
+                if c >= 0 {
+                    let c = c as usize;
+                    if c <= i || c >= n {
+                        return Err(DataError::Codec(format!(
+                            "tree node {i} has non-forward child {c}"
+                        )));
+                    }
+                } else {
+                    let leaf = !c as usize;
+                    if leaf >= self.leaf_values.len() {
+                        return Err(DataError::Codec(format!(
+                            "tree node {i} references missing leaf {leaf}"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the tree, returning `(leaf_index, leaf_value)`.
+    pub fn eval(&self, x: impl Fn(usize) -> f32) -> (usize, f32) {
+        if self.features.is_empty() {
+            return (0, self.leaf_values[0]);
+        }
+        let mut node = 0usize;
+        loop {
+            let next = if x(self.features[node] as usize) <= self.thresholds[node] {
+                self.left[node]
+            } else {
+                self.right[node]
+            };
+            if next < 0 {
+                let leaf = !next as usize;
+                return (leaf, self.leaf_values[leaf]);
+            }
+            node = next as usize;
+        }
+    }
+
+    fn write(&self, buf: &mut Vec<u8>) {
+        wire::put_u32s(buf, &self.features);
+        wire::put_f32s(buf, &self.thresholds);
+        wire::put_u32(buf, self.left.len() as u32);
+        for &v in &self.left {
+            wire::put_u32(buf, v as u32);
+        }
+        wire::put_u32(buf, self.right.len() as u32);
+        for &v in &self.right {
+            wire::put_u32(buf, v as u32);
+        }
+        wire::put_f32s(buf, &self.leaf_values);
+    }
+
+    fn read(cur: &mut Cursor<'_>) -> Result<Self> {
+        let features = cur.u32s()?;
+        let thresholds = cur.f32s()?;
+        let left = cur.u32s()?.into_iter().map(|v| v as i32).collect();
+        let right = cur.u32s()?.into_iter().map(|v| v as i32).collect();
+        let leaf_values = cur.f32s()?;
+        Ok(Tree {
+            features,
+            thresholds,
+            left,
+            right,
+            leaf_values,
+        })
+    }
+
+    fn bytes(&self) -> usize {
+        self.features.capacity() * 4
+            + self.thresholds.capacity() * 4
+            + self.left.capacity() * 4
+            + self.right.capacity() * 4
+            + self.leaf_values.capacity() * 4
+    }
+}
+
+/// Reads feature `idx` from a numeric input vector.
+///
+/// Dense inputs index directly; sparse inputs binary-search; out-of-range
+/// reads return 0 (trees validated against the input dim never do this, but
+/// sparse semantics make absent == 0 the right default).
+pub fn feature_value(input: &Vector, idx: usize) -> f32 {
+    match input {
+        Vector::Dense(v) => v.get(idx).copied().unwrap_or(0.0),
+        Vector::Sparse {
+            indices, values, ..
+        } => match indices.binary_search(&(idx as u32)) {
+            Ok(p) => values[p],
+            Err(_) => 0.0,
+        },
+        Vector::Scalar(x) if idx == 0 => *x,
+        _ => 0.0,
+    }
+}
+
+/// How an ensemble combines member scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnsembleMode {
+    /// Sum of weighted scores (gradient-boosting style).
+    Sum,
+    /// Weighted average (random-forest style).
+    Average,
+}
+
+/// Parameters of a tree ensemble regressor / scorer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleParams {
+    /// Member trees.
+    pub trees: Vec<Tree>,
+    /// Per-tree weights.
+    pub weights: Vec<f32>,
+    /// Combination mode.
+    pub mode: EnsembleMode,
+    /// Expected input dimensionality.
+    pub input_dim: u32,
+}
+
+impl EnsembleParams {
+    /// Creates an ensemble after validating every member tree.
+    pub fn new(
+        trees: Vec<Tree>,
+        weights: Vec<f32>,
+        mode: EnsembleMode,
+        input_dim: u32,
+    ) -> Result<Self> {
+        if trees.len() != weights.len() || trees.is_empty() {
+            return Err(DataError::Codec(format!(
+                "ensemble with {} trees and {} weights",
+                trees.len(),
+                weights.len()
+            )));
+        }
+        for t in &trees {
+            t.validate(input_dim as usize)?;
+        }
+        Ok(EnsembleParams {
+            trees,
+            weights,
+            mode,
+            input_dim,
+        })
+    }
+
+    /// Operator annotations: compute-bound (pointer chasing, no fusion win).
+    pub fn annotations(&self) -> Annotations {
+        Annotations::compute()
+    }
+
+    /// Total number of leaves across member trees (TreeFeaturizer dim).
+    pub fn total_leaves(&self) -> usize {
+        self.trees.iter().map(Tree::leaves).sum()
+    }
+
+    /// Scores `input` into a scalar `out`.
+    pub fn apply(&self, input: &Vector, out: &mut Vector) -> Result<()> {
+        self.check_input(input)?;
+        let mut acc = 0.0f32;
+        for (t, &w) in self.trees.iter().zip(&self.weights) {
+            acc += w * t.eval(|i| feature_value(input, i)).1;
+        }
+        if self.mode == EnsembleMode::Average {
+            acc /= self.trees.len() as f32;
+        }
+        match out {
+            Vector::Scalar(s) => {
+                *s = acc;
+                Ok(())
+            }
+            other => Err(DataError::Runtime(format!(
+                "ensemble output must be scalar, got {:?}",
+                other.column_type()
+            ))),
+        }
+    }
+
+    /// TreeFeaturizer semantics: one-hot of each member's leaf index, packed
+    /// into a sparse vector of dimension [`Self::total_leaves`].
+    ///
+    /// "The well-known trees-as-features trick": the leaf a sample lands in
+    /// is a learned discretization of the input space.
+    pub fn apply_featurize(&self, input: &Vector, out: &mut Vector) -> Result<()> {
+        self.check_input(input)?;
+        match out {
+            Vector::Sparse { dim, .. } if *dim as usize == self.total_leaves() => {}
+            other => {
+                return Err(DataError::Runtime(format!(
+                    "tree featurizer wants sparse[{}], got {:?}",
+                    self.total_leaves(),
+                    other.column_type()
+                )))
+            }
+        }
+        out.reset();
+        let mut offset = 0u32;
+        for t in &self.trees {
+            let (leaf, _) = t.eval(|i| feature_value(input, i));
+            out.sparse_accumulate(offset + leaf as u32, 1.0);
+            offset += t.leaves() as u32;
+        }
+        Ok(())
+    }
+
+    fn check_input(&self, input: &Vector) -> Result<()> {
+        match input.column_type().dimension() {
+            Some(d) if d == self.input_dim as usize => Ok(()),
+            other => Err(DataError::Runtime(format!(
+                "ensemble wants numeric[{}], got {other:?}",
+                self.input_dim
+            ))),
+        }
+    }
+}
+
+impl ParamBlob for EnsembleParams {
+    const KIND: &'static str = "TreeEnsemble";
+
+    fn to_entries(&self) -> Vec<(String, Vec<u8>)> {
+        let mut cfg = Vec::new();
+        wire::put_u32(&mut cfg, if self.mode == EnsembleMode::Sum { 0 } else { 1 });
+        wire::put_u32(&mut cfg, self.input_dim);
+        let mut w = Vec::new();
+        wire::put_f32s(&mut w, &self.weights);
+        let mut trees = Vec::new();
+        wire::put_u32(&mut trees, self.trees.len() as u32);
+        for t in &self.trees {
+            t.write(&mut trees);
+        }
+        vec![
+            ("config".into(), cfg),
+            ("weights".into(), w),
+            ("trees".into(), trees),
+        ]
+    }
+
+    fn from_entries(section: &Section) -> Result<Self> {
+        let mut cfg = Cursor::new(section.entry("config")?);
+        let mode = if cfg.u32()? == 0 {
+            EnsembleMode::Sum
+        } else {
+            EnsembleMode::Average
+        };
+        let input_dim = cfg.u32()?;
+        let weights = Cursor::new(section.entry("weights")?).f32s()?;
+        let mut cur = Cursor::new(section.entry("trees")?);
+        let n = cur.u32()? as usize;
+        let mut trees = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            trees.push(Tree::read(&mut cur)?);
+        }
+        EnsembleParams::new(trees, weights, mode, input_dim)
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.weights.capacity() * 4
+            + self.trees.capacity() * std::mem::size_of::<Tree>()
+            + self.trees.iter().map(Tree::bytes).sum::<usize>()
+    }
+}
+
+/// Parameters of a one-vs-all multiclass tree classifier.
+///
+/// One ensemble-of-one-or-more trees per class; the output is the dense
+/// vector of per-class scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticlassTreeParams {
+    /// One scorer per class.
+    pub per_class: Vec<EnsembleParams>,
+}
+
+impl MulticlassTreeParams {
+    /// Creates a multiclass classifier from per-class ensembles.
+    pub fn new(per_class: Vec<EnsembleParams>) -> Result<Self> {
+        if per_class.is_empty() {
+            return Err(DataError::Codec("multiclass with zero classes".into()));
+        }
+        let dim = per_class[0].input_dim;
+        if per_class.iter().any(|e| e.input_dim != dim) {
+            return Err(DataError::Codec(
+                "multiclass ensembles disagree on input dim".into(),
+            ));
+        }
+        Ok(MulticlassTreeParams { per_class })
+    }
+
+    /// Number of classes (output dimensionality).
+    pub fn classes(&self) -> usize {
+        self.per_class.len()
+    }
+
+    /// Expected input dimensionality.
+    pub fn input_dim(&self) -> u32 {
+        self.per_class[0].input_dim
+    }
+
+    /// Operator annotations: compute-bound.
+    pub fn annotations(&self) -> Annotations {
+        Annotations::compute()
+    }
+
+    /// Scores `input` into a dense per-class score vector.
+    pub fn apply(&self, input: &Vector, out: &mut Vector) -> Result<()> {
+        match out {
+            Vector::Dense(y) if y.len() == self.classes() => {
+                let mut scratch = Vector::Scalar(0.0);
+                for (c, ens) in self.per_class.iter().enumerate() {
+                    ens.apply(input, &mut scratch)?;
+                    y[c] = scratch.as_scalar().unwrap_or(0.0);
+                }
+                Ok(())
+            }
+            other => Err(DataError::Runtime(format!(
+                "multiclass output wants dense[{}], got {:?}",
+                self.classes(),
+                other.column_type()
+            ))),
+        }
+    }
+}
+
+impl ParamBlob for MulticlassTreeParams {
+    const KIND: &'static str = "MulticlassTree";
+
+    fn to_entries(&self) -> Vec<(String, Vec<u8>)> {
+        let mut blob = Vec::new();
+        wire::put_u32(&mut blob, self.per_class.len() as u32);
+        for ens in &self.per_class {
+            // Nested encoding: reuse the ensemble's own entries.
+            let entries = ens.to_entries();
+            wire::put_u32(&mut blob, entries.len() as u32);
+            for (name, bytes) in entries {
+                wire::put_str(&mut blob, &name);
+                wire::put_u64(&mut blob, bytes.len() as u64);
+                blob.extend_from_slice(&bytes);
+            }
+        }
+        vec![("classes".into(), blob)]
+    }
+
+    fn from_entries(section: &Section) -> Result<Self> {
+        let mut cur = Cursor::new(section.entry("classes")?);
+        let n = cur.u32()? as usize;
+        let mut per_class = Vec::with_capacity(n.min(1 << 12));
+        for _ in 0..n {
+            let n_entries = cur.u32()? as usize;
+            let mut entries = Vec::with_capacity(n_entries.min(16));
+            for _ in 0..n_entries {
+                let name = cur.str()?;
+                let bytes = cur.bytes()?.to_vec();
+                entries.push((name, bytes));
+            }
+            let inner = Section {
+                name: "class".into(),
+                checksum: 0,
+                entries,
+            };
+            per_class.push(EnsembleParams::from_entries(&inner)?);
+        }
+        MulticlassTreeParams::new(per_class)
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.per_class.iter().map(|e| e.heap_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pretzel_data::ColumnType;
+
+    /// A depth-2 stump: x[0] <= 1.0 ? (x[1] <= 0.5 ? 10 : 20) : 30.
+    fn sample_tree() -> Tree {
+        Tree {
+            features: vec![0, 1],
+            thresholds: vec![1.0, 0.5],
+            left: vec![1, !0],
+            right: vec![!2, !1],
+            leaf_values: vec![10.0, 20.0, 30.0],
+        }
+    }
+
+    #[test]
+    fn eval_walks_both_branches() {
+        let t = sample_tree();
+        assert_eq!(t.eval(|i| [0.0, 0.0][i]), (0, 10.0));
+        assert_eq!(t.eval(|i| [0.0, 1.0][i]), (1, 20.0));
+        assert_eq!(t.eval(|i| [5.0, 0.0][i]), (2, 30.0));
+    }
+
+    #[test]
+    fn leaf_tree_is_constant() {
+        let t = Tree::leaf(7.0);
+        assert_eq!(t.eval(|_| 123.0), (0, 7.0));
+        t.validate(0).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_backward_children() {
+        let mut t = sample_tree();
+        t.left[1] = 0; // points back to the root: potential cycle
+        assert!(t.validate(2).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_feature_and_leaf() {
+        let mut t = sample_tree();
+        t.features[0] = 9;
+        assert!(t.validate(2).is_err());
+        let mut t2 = sample_tree();
+        t2.right[1] = !9;
+        assert!(t2.validate(2).is_err());
+    }
+
+    #[test]
+    fn ensemble_sum_and_average() {
+        let trees = vec![Tree::leaf(1.0), Tree::leaf(3.0)];
+        let sum =
+            EnsembleParams::new(trees.clone(), vec![1.0, 1.0], EnsembleMode::Sum, 2).unwrap();
+        let avg = EnsembleParams::new(trees, vec![1.0, 1.0], EnsembleMode::Average, 2).unwrap();
+        let x = Vector::Dense(vec![0.0, 0.0]);
+        let mut out = Vector::Scalar(0.0);
+        sum.apply(&x, &mut out).unwrap();
+        assert_eq!(out.as_scalar().unwrap(), 4.0);
+        avg.apply(&x, &mut out).unwrap();
+        assert_eq!(out.as_scalar().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn featurizer_one_hot_per_tree() {
+        let ens = EnsembleParams::new(
+            vec![sample_tree(), Tree::leaf(0.0)],
+            vec![1.0, 1.0],
+            EnsembleMode::Sum,
+            2,
+        )
+        .unwrap();
+        assert_eq!(ens.total_leaves(), 4);
+        let x = Vector::Dense(vec![5.0, 0.0]); // lands in leaf 2 of tree 0
+        let mut out = Vector::with_type(ColumnType::F32Sparse { len: 4 });
+        ens.apply_featurize(&x, &mut out).unwrap();
+        assert_eq!(out.to_dense(4).unwrap(), vec![0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn sparse_input_reads_zero_for_missing() {
+        let t = sample_tree();
+        let mut sp = Vector::with_type(ColumnType::F32Sparse { len: 2 });
+        sp.sparse_accumulate(0, 5.0);
+        // x[1] missing -> 0.0 -> right path at root, leaf 2.
+        assert_eq!(t.eval(|i| feature_value(&sp, i)), (2, 30.0));
+    }
+
+    #[test]
+    fn multiclass_scores_every_class() {
+        let mk = |v: f32| {
+            EnsembleParams::new(vec![Tree::leaf(v)], vec![1.0], EnsembleMode::Sum, 3).unwrap()
+        };
+        let mc = MulticlassTreeParams::new(vec![mk(0.1), mk(0.7), mk(0.2)]).unwrap();
+        let x = Vector::Dense(vec![0.0; 3]);
+        let mut out = Vector::with_type(ColumnType::F32Dense { len: 3 });
+        mc.apply(&x, &mut out).unwrap();
+        assert_eq!(out.as_dense().unwrap(), &[0.1, 0.7, 0.2]);
+    }
+
+    #[test]
+    fn ensemble_round_trip() {
+        let ens = EnsembleParams::new(
+            vec![sample_tree(), Tree::leaf(1.5)],
+            vec![0.5, 2.0],
+            EnsembleMode::Average,
+            2,
+        )
+        .unwrap();
+        let section = Section {
+            name: "op.Ens".into(),
+            checksum: 0,
+            entries: ens.to_entries(),
+        };
+        let q = EnsembleParams::from_entries(&section).unwrap();
+        assert_eq!(ens, q);
+        assert_eq!(ens.checksum(), q.checksum());
+    }
+
+    #[test]
+    fn multiclass_round_trip() {
+        let mk = |v: f32| {
+            EnsembleParams::new(vec![sample_tree(), Tree::leaf(v)], vec![1.0, 1.0],
+                EnsembleMode::Sum, 2)
+            .unwrap()
+        };
+        let mc = MulticlassTreeParams::new(vec![mk(1.0), mk(2.0)]).unwrap();
+        let section = Section {
+            name: "op.Mc".into(),
+            checksum: 0,
+            entries: mc.to_entries(),
+        };
+        let q = MulticlassTreeParams::from_entries(&section).unwrap();
+        assert_eq!(mc, q);
+    }
+
+    #[test]
+    fn corrupt_ensemble_rejected() {
+        // Weights/trees length mismatch must fail at construction.
+        assert!(
+            EnsembleParams::new(vec![Tree::leaf(1.0)], vec![1.0, 2.0], EnsembleMode::Sum, 1)
+                .is_err()
+        );
+        assert!(EnsembleParams::new(vec![], vec![], EnsembleMode::Sum, 1).is_err());
+    }
+}

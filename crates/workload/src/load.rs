@@ -1,0 +1,259 @@
+//! Load patterns and latency recording.
+//!
+//! The heavy-load experiments "submit requests to models by following the
+//! Zipf distribution (α = 2)" (paper §5.4); the latency experiments report
+//! CDFs, 99th percentiles and worst cases (Figures 4 and 9).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Zipf(α) sampler over `0..n` ("the number of requests to the i-th most
+/// popular model is proportional to i^-α").
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` items with exponent `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` — an empty popularity distribution is a harness
+    /// bug.
+    pub fn new(n: usize, alpha: f64, seed: u64) -> Self {
+        assert!(n > 0, "Zipf over zero items");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 1..=n {
+            total += 1.0 / (i as f64).powf(alpha);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf {
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws one item index (0 = most popular).
+    pub fn sample(&mut self) -> usize {
+        let u: f64 = self.rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of item `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        let lo = if i == 0 { 0.0 } else { self.cdf[i - 1] };
+        self.cdf[i] - lo
+    }
+}
+
+/// Collects latencies and reports summary statistics and CDFs.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyRecorder {
+    samples_ns: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder::default()
+    }
+
+    /// Creates a recorder pre-sized for `n` samples.
+    pub fn with_capacity(n: usize) -> Self {
+        LatencyRecorder {
+            samples_ns: Vec::with_capacity(n),
+            sorted: true,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, d: Duration) {
+        self.samples_ns.push(d.as_nanos() as u64);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ns.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples_ns.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (0.0..=1.0) latency; `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<Duration> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.samples_ns.len() as f64 - 1.0) * q).round() as usize;
+        Some(Duration::from_nanos(self.samples_ns[idx]))
+    }
+
+    /// Median latency.
+    pub fn p50(&mut self) -> Option<Duration> {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency (the paper's headline metric).
+    pub fn p99(&mut self) -> Option<Duration> {
+        self.quantile(0.99)
+    }
+
+    /// Worst-case latency.
+    pub fn worst(&mut self) -> Option<Duration> {
+        self.quantile(1.0)
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> Option<Duration> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let sum: u128 = self.samples_ns.iter().map(|&v| v as u128).sum();
+        Some(Duration::from_nanos(
+            (sum / self.samples_ns.len() as u128) as u64,
+        ))
+    }
+
+    /// CDF sampled at `points` evenly spaced fractions, as
+    /// `(fraction, latency)` pairs — the data behind Figures 4/9/10/11.
+    pub fn cdf(&mut self, points: usize) -> Vec<(f64, Duration)> {
+        if self.samples_ns.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        (1..=points)
+            .map(|i| {
+                let f = i as f64 / points as f64;
+                let idx = ((self.samples_ns.len() as f64 - 1.0) * f).round() as usize;
+                (f, Duration::from_nanos(self.samples_ns[idx]))
+            })
+            .collect()
+    }
+
+    /// Merges another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples_ns.extend_from_slice(&other.samples_ns);
+        self.sorted = false;
+    }
+}
+
+/// Formats a duration in the unit benchmark tables use (µs or ms).
+pub fn fmt_latency(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.1}µs")
+    } else {
+        format!("{:.2}ms", us / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_heavily_skewed_at_alpha_2() {
+        let mut z = Zipf::new(500, 2.0, 42);
+        let mut counts = vec![0usize; 500];
+        for _ in 0..10_000 {
+            counts[z.sample()] += 1;
+        }
+        // Under Zipf(2) over 500 items, item 0 has ~61% of the mass.
+        assert!(counts[0] > 5_000, "head count {}", counts[0]);
+        assert!(z.pmf(0) > 0.5);
+        assert!(z.pmf(1) < z.pmf(0));
+    }
+
+    #[test]
+    fn zipf_uniform_when_alpha_zero() {
+        let mut z = Zipf::new(4, 0.0, 1);
+        let mut counts = vec![0usize; 4];
+        for _ in 0..8_000 {
+            counts[z.sample()] += 1;
+        }
+        for &c in &counts {
+            assert!((1_600..=2_400).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero items")]
+    fn zipf_rejects_empty() {
+        let _ = Zipf::new(0, 1.0, 0);
+    }
+
+    #[test]
+    fn recorder_quantiles() {
+        let mut r = LatencyRecorder::new();
+        for ms in 1..=100u64 {
+            r.record(Duration::from_millis(ms));
+        }
+        // Nearest-rank on an even sample count rounds up: index 50 of 0..99.
+        assert_eq!(r.p50().unwrap(), Duration::from_millis(51));
+        assert_eq!(r.p99().unwrap(), Duration::from_millis(99));
+        assert_eq!(r.worst().unwrap(), Duration::from_millis(100));
+        assert_eq!(r.mean().unwrap(), Duration::from_micros(50_500));
+        assert_eq!(r.len(), 100);
+    }
+
+    #[test]
+    fn empty_recorder_returns_none() {
+        let mut r = LatencyRecorder::new();
+        assert!(r.p99().is_none());
+        assert!(r.mean().is_none());
+        assert!(r.cdf(10).is_empty());
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut r = LatencyRecorder::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            r.record(Duration::from_nanos(rng.gen_range(100..1_000_000)));
+        }
+        let cdf = r.cdf(20);
+        assert_eq!(cdf.len(), 20);
+        for w in cdf.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+            assert!(w[0].0 < w[1].0);
+        }
+        assert_eq!(cdf.last().unwrap().1, r.worst().unwrap());
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyRecorder::new();
+        let mut b = LatencyRecorder::new();
+        a.record(Duration::from_millis(1));
+        b.record(Duration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.worst().unwrap(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn fmt_latency_units() {
+        assert_eq!(fmt_latency(Duration::from_micros(250)), "250.0µs");
+        assert_eq!(fmt_latency(Duration::from_millis(8)), "8.00ms");
+    }
+}

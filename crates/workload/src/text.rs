@@ -1,0 +1,174 @@
+//! Synthetic review-text generation (the Amazon Review dataset substitute).
+//!
+//! SA pipelines in the paper are "trained and scored over Amazon Review
+//! dataset" (paper §5). The systems experiments depend on the *statistics*
+//! of the input — text length distribution and featurizer hit rates — not
+//! on real sentiments. This generator samples reviews from the same
+//! synthetic vocabulary the SA word-n-gram dictionaries are built from
+//! (Zipf-distributed word popularity), so dictionary probes hit at
+//! realistic rates.
+
+use pretzel_ops::synth;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic review-corpus generator.
+#[derive(Debug)]
+pub struct ReviewGen {
+    vocab: Vec<String>,
+    /// Cumulative Zipf weights over the vocabulary.
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl ReviewGen {
+    /// Creates a generator over a vocabulary of `vocab_size` words with
+    /// Zipf(`alpha`) word popularity.
+    pub fn new(seed: u64, vocab_size: usize, alpha: f64) -> Self {
+        let vocab = synth::vocabulary(seed, vocab_size);
+        let mut cdf = Vec::with_capacity(vocab_size);
+        let mut total = 0.0;
+        for i in 1..=vocab_size {
+            total += 1.0 / (i as f64).powf(alpha);
+            cdf.push(total);
+        }
+        for w in &mut cdf {
+            *w /= total;
+        }
+        ReviewGen {
+            vocab,
+            cdf,
+            rng: StdRng::seed_from_u64(seed ^ 0x5eed),
+        }
+    }
+
+    /// The vocabulary backing this generator (shared with dictionary
+    /// synthesis so featurizers get hits).
+    pub fn vocab(&self) -> &[String] {
+        &self.vocab
+    }
+
+    fn sample_word(&mut self) -> &str {
+        let u: f64 = self.rng.gen();
+        let idx = self.cdf.partition_point(|&c| c < u);
+        &self.vocab[idx.min(self.vocab.len() - 1)]
+    }
+
+    /// Generates one review of `min_words..=max_words` words.
+    pub fn review(&mut self, min_words: usize, max_words: usize) -> String {
+        let n = self.rng.gen_range(min_words..=max_words.max(min_words));
+        let mut out = String::with_capacity(n * 7);
+        for i in 0..n {
+            if i > 0 {
+                out.push(' ');
+            }
+            let w = self.sample_word().to_owned();
+            out.push_str(&w);
+        }
+        out
+    }
+
+    /// Generates one CSV line in the SA input format: `rating,review`.
+    pub fn csv_line(&mut self) -> String {
+        let rating = self.rng.gen_range(1..=5);
+        let review = self.review(5, 40);
+        format!("{rating},{review}")
+    }
+
+    /// Generates `n` CSV lines.
+    pub fn csv_lines(&mut self, n: usize) -> Vec<String> {
+        (0..n).map(|_| self.csv_line()).collect()
+    }
+}
+
+/// Deterministic generator of dense structured records (the AC input:
+/// "Structured Text, 40 dimensions", paper Table 1).
+#[derive(Debug)]
+pub struct StructuredGen {
+    dim: usize,
+    rng: StdRng,
+}
+
+impl StructuredGen {
+    /// Creates a generator of `dim`-dimensional records.
+    pub fn new(seed: u64, dim: usize) -> Self {
+        StructuredGen {
+            dim,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// One dense record with values in `[-2, 2]`.
+    pub fn record(&mut self) -> Vec<f32> {
+        (0..self.dim).map(|_| self.rng.gen_range(-2.0..2.0)).collect()
+    }
+
+    /// One CSV line of the record (for pipelines ingesting CSV).
+    pub fn csv_line(&mut self) -> String {
+        self.record()
+            .iter()
+            .map(|v| format!("{v:.4}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// `n` dense records.
+    pub fn records(&mut self, n: usize) -> Vec<Vec<f32>> {
+        (0..n).map(|_| self.record()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reviews_are_deterministic_per_seed() {
+        let mut a = ReviewGen::new(7, 100, 1.1);
+        let mut b = ReviewGen::new(7, 100, 1.1);
+        assert_eq!(a.csv_lines(5), b.csv_lines(5));
+        let mut c = ReviewGen::new(8, 100, 1.1);
+        assert_ne!(a.csv_line(), c.csv_line());
+    }
+
+    #[test]
+    fn review_lengths_respect_bounds() {
+        let mut g = ReviewGen::new(1, 50, 1.0);
+        for _ in 0..100 {
+            let r = g.review(3, 10);
+            let words = r.split(' ').count();
+            assert!((3..=10).contains(&words), "{r}");
+        }
+    }
+
+    #[test]
+    fn zipf_words_are_skewed() {
+        let mut g = ReviewGen::new(2, 1000, 1.5);
+        let head = g.vocab()[0].clone();
+        let text = g.review(2000, 2000);
+        let head_count = text.split(' ').filter(|w| **w == head).count();
+        // The rank-1 word under Zipf(1.5) over 1000 words has probability
+        // ~0.38; expect it to dominate.
+        assert!(head_count > 200, "head word appeared only {head_count}×");
+    }
+
+    #[test]
+    fn csv_line_has_rating_and_text() {
+        let mut g = ReviewGen::new(3, 64, 1.0);
+        let line = g.csv_line();
+        let (rating, text) = line.split_once(',').unwrap();
+        let r: u32 = rating.parse().unwrap();
+        assert!((1..=5).contains(&r));
+        assert!(!text.is_empty());
+    }
+
+    #[test]
+    fn structured_records_have_requested_dim() {
+        let mut g = StructuredGen::new(4, 40);
+        let r = g.record();
+        assert_eq!(r.len(), 40);
+        assert!(r.iter().all(|v| (-2.0..2.0).contains(v)));
+        let line = g.csv_line();
+        assert_eq!(line.split(',').count(), 40);
+    }
+}

@@ -1,0 +1,104 @@
+//! EXPLAIN for model plans: show what the Oven optimizer did to a
+//! pipeline — the white-box view that black-box serving systems cannot
+//! give you.
+//!
+//! Prints the input transformation DAG, the rule trace, and the final
+//! stage programs (steps, slots, scratch) for one SA and one AC pipeline.
+//!
+//! ```sh
+//! cargo run -p pretzel-bench --release --example explain
+//! ```
+
+use pretzel_core::graph::{Input, TransformGraph};
+use pretzel_core::plan::{Loc, StagePlan};
+use pretzel_workload::ac::AcConfig;
+use pretzel_workload::sa::SaConfig;
+
+fn explain(name: &str, graph: &TransformGraph) {
+    println!("\n======== {name} ========");
+    println!("-- transformation DAG ({} operators) --", graph.nodes.len());
+    for (i, node) in graph.nodes.iter().enumerate() {
+        let inputs: Vec<String> = node
+            .inputs
+            .iter()
+            .map(|inp| match inp {
+                Input::Source => "source".to_string(),
+                Input::Node(p) => format!("op{p}"),
+            })
+            .collect();
+        println!(
+            "  op{i}: {:<16} <- [{}]   ({} param bytes)",
+            node.op.kind().name(),
+            inputs.join(", "),
+            node.op.heap_bytes()
+        );
+    }
+
+    let optimized = pretzel_core::oven::optimize(graph).expect("valid pipeline");
+    println!("-- optimizer trace --");
+    for t in &optimized.trace {
+        println!("  [{:<22}] {:<32} x{}", t.step, t.rule, t.fired);
+    }
+    print_plan(&optimized.plan);
+}
+
+fn print_plan(plan: &StagePlan) {
+    println!(
+        "-- model plan: {} stages, {} working-set slots --",
+        plan.stages.len(),
+        plan.slots.len()
+    );
+    for (i, slot) in plan.slots.iter().enumerate() {
+        let role = if i == 0 {
+            " (source)"
+        } else if i as u32 == plan.output_slot {
+            " (output)"
+        } else {
+            ""
+        };
+        println!("  slot{i}: {} max_stored={}{role}", slot.ty, slot.max_stored);
+    }
+    for (s, stage) in plan.stages.iter().enumerate() {
+        println!(
+            "  stage {s}: reads {:?} writes {:?} dense={} vectorizable={}",
+            stage.reads, stage.writes, stage.dense, stage.vectorizable
+        );
+        for step in &stage.steps {
+            let fmt_loc = |l: &Loc| match l {
+                Loc::Slot(i) => format!("slot{i}"),
+                Loc::Scratch(i) => format!("scratch{i}"),
+            };
+            let ins: Vec<String> = step.inputs.iter().map(fmt_loc).collect();
+            println!(
+                "    {:<20} [{}] -> {}",
+                step.op.name(),
+                ins.join(", "),
+                fmt_loc(&step.output)
+            );
+        }
+        for (i, def) in stage.scratch.iter().enumerate() {
+            println!("    scratch{i}: {} max_stored={}", def.ty, def.max_stored);
+        }
+    }
+}
+
+fn main() {
+    let sa = pretzel_workload::sa::build(&SaConfig {
+        n_pipelines: 1,
+        char_entries: 1000,
+        word_entries_small: 64,
+        word_entries_large: 400,
+        vocab_size: 500,
+        seed: 1,
+    });
+    explain("Sentiment Analysis (paper Figure 1)", &sa.graphs[0]);
+
+    let ac = pretzel_workload::ac::build(&AcConfig {
+        n_pipelines: 4,
+        input_dim: 16,
+        seed: 2,
+    });
+    // Index 3 is a "Full" AC pipeline (PCA ∥ KMeans ∥ TreeFeaturizer ∥
+    // multiclass → final forest).
+    explain("Attendee Count (full ensemble)", &ac.graphs[3]);
+}

@@ -1,0 +1,63 @@
+//! Quickstart: author a pipeline in Flour, compile it with Oven, serve it
+//! with the PRETZEL runtime.
+//!
+//! ```sh
+//! cargo run -p pretzel-bench --release --example quickstart
+//! ```
+
+use pretzel_core::flour::FlourContext;
+use pretzel_core::runtime::{Runtime, RuntimeConfig};
+use pretzel_ops::linear::LinearKind;
+use pretzel_ops::synth;
+use std::sync::Arc;
+
+fn main() {
+    // 1. Author the paper's Figure 1 pipeline in Flour. In production the
+    //    parameters come from training; here they are synthesized.
+    let vocab = synth::vocabulary(0, 2000);
+    let ctx = FlourContext::new();
+    let tokens = ctx.csv(',').select_text(1).tokenize();
+    let char_ngram = tokens.char_ngram(Arc::new(synth::char_ngram(1, 3, 4000)));
+    let word_ngram = tokens.word_ngram(Arc::new(synth::word_ngram(2, 2, 2000, &vocab)));
+    let program = char_ngram
+        .concat(&word_ngram)
+        .classifier_linear(Arc::new(synth::linear(3, 6000, LinearKind::Logistic)));
+
+    // 2. Compile: Oven validates the graph, forms stages, and pushes the
+    //    linear model through the Concat.
+    let optimized = program.plan_traced().expect("valid pipeline");
+    println!("optimizer fired:");
+    for t in &optimized.trace {
+        println!("  [{}] {} x{}", t.step, t.rule, t.fired);
+    }
+    println!(
+        "plan: {} operators -> {} stages, {} working-set slots",
+        program.graph().nodes.len(),
+        optimized.plan.stages.len(),
+        optimized.plan.slots.len()
+    );
+
+    // 3. Serve: register the plan and score requests through the
+    //    request-response engine.
+    let runtime = Runtime::new(RuntimeConfig::default());
+    let id = runtime.register(optimized.plan).expect("plan registers");
+    for line in [
+        "5,this product is absolutely wonderful",
+        "1,terrible waste of money do not buy",
+        "3,it is fine I guess",
+    ] {
+        let score = runtime.predict(id, line).expect("prediction");
+        println!("{line:<45} -> {score:.4}");
+    }
+
+    // 4. Batch engine: the same plan scored via the stage scheduler.
+    let records: Vec<pretzel_core::scheduler::Record> = (0..256)
+        .map(|i| pretzel_core::scheduler::Record::Text(format!("4,review number {i} was nice")))
+        .collect();
+    let scores = runtime.predict_batch_wait(id, records).expect("batch");
+    println!(
+        "batch of {} scored; mean score {:.4}",
+        scores.len(),
+        scores.iter().sum::<f32>() / scores.len() as f32
+    );
+}

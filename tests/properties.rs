@@ -1,0 +1,189 @@
+//! Property-based tests (proptest) on the reproduction's core invariants:
+//! optimizer semantics preservation, codec round-trips, pool and LRU
+//! behaviour, kernel layout equivalence.
+
+use proptest::prelude::*;
+use pretzel_baseline::volcano;
+use pretzel_core::flour::FlourContext;
+use pretzel_core::graph::TransformGraph;
+use pretzel_core::object_store::ObjectStore;
+use pretzel_core::physical::{CompileOptions, ExecCtx, ModelPlan, SourceRef};
+use pretzel_data::pool::VectorPool;
+use pretzel_data::vector::Vector;
+use pretzel_data::ColumnType;
+use pretzel_ops::linear::LinearKind;
+use pretzel_ops::synth;
+use std::sync::Arc;
+
+/// Strategy for a random SA-shaped pipeline (dictionary sizes, n-gram
+/// orders and branch structure vary).
+fn arb_sa_graph() -> impl Strategy<Value = TransformGraph> {
+    (
+        1u64..1000,     // seed
+        8usize..128,    // char dict entries
+        1u32..4,        // char n
+        8usize..64,     // word dict entries
+        1u32..3,        // word n
+        prop::bool::ANY, // include char branch
+    )
+        .prop_map(|(seed, char_entries, char_n, word_entries, word_n, both)| {
+            let vocab = synth::vocabulary(seed, 64);
+            let ctx = FlourContext::new();
+            let tokens = ctx.csv(',').select_text(1).tokenize();
+            let w = tokens.word_ngram(Arc::new(synth::word_ngram(
+                seed ^ 2,
+                word_n,
+                word_entries,
+                &vocab,
+            )));
+            let features = if both {
+                let c = tokens.char_ngram(Arc::new(synth::char_ngram(
+                    seed ^ 1,
+                    char_n,
+                    char_entries,
+                )));
+                c.concat(&w)
+            } else {
+                w
+            };
+            let dim = features.output_type().dimension().unwrap();
+            features
+                .classifier_linear(Arc::new(synth::linear(
+                    seed ^ 3,
+                    dim,
+                    LinearKind::Logistic,
+                )))
+                .graph()
+        })
+}
+
+fn arb_line() -> impl Strategy<Value = String> {
+    (1u32..6, proptest::collection::vec("[a-z]{1,8}", 0..20))
+        .prop_map(|(rating, words)| format!("{rating},{}", words.join(" ")))
+}
+
+fn run_plan(plan: &ModelPlan, line: &str) -> f32 {
+    let pool = Arc::new(VectorPool::new());
+    let mut ctx = ExecCtx::new(pool);
+    let mut slots: Vec<Vector> = plan
+        .slot_types()
+        .iter()
+        .map(|&t| Vector::with_type(t))
+        .collect();
+    plan.execute(SourceRef::Text(line), &mut slots, &mut ctx)
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The optimizer + compiler (fused and unfused) preserve the semantics
+    /// of arbitrary pipelines on arbitrary inputs.
+    #[test]
+    fn optimizer_preserves_semantics(graph in arb_sa_graph(), line in arb_line()) {
+        let expect = volcano::execute(&graph, SourceRef::Text(&line)).unwrap();
+        let logical = pretzel_core::oven::optimize(&graph).unwrap().plan;
+        let store = ObjectStore::new();
+        for fuse in [true, false] {
+            let plan = ModelPlan::compile(
+                logical.clone(),
+                &CompileOptions { fuse_ngram_dot: fuse },
+                &store,
+            ).unwrap();
+            let got = run_plan(&plan, &line);
+            prop_assert!(
+                (got - expect).abs() < 1e-4,
+                "fuse={fuse}: optimized {got} vs volcano {expect}"
+            );
+        }
+    }
+
+    /// Model files round-trip losslessly for arbitrary pipelines.
+    #[test]
+    fn model_image_round_trip(graph in arb_sa_graph(), line in arb_line()) {
+        let image = graph.to_model_image();
+        let reloaded = TransformGraph::from_model_image(&image).unwrap();
+        let a = volcano::execute(&graph, SourceRef::Text(&line)).unwrap();
+        let b = volcano::execute(&reloaded, SourceRef::Text(&line)).unwrap();
+        prop_assert_eq!(a, b);
+        // Checksums survive the round trip (Object Store dedup relies on it).
+        for (x, y) in graph.nodes.iter().zip(&reloaded.nodes) {
+            prop_assert_eq!(x.op.checksum(), y.op.checksum());
+        }
+    }
+
+    /// Dense and sparse layouts of the same logical vector score equally
+    /// under every numeric operator that accepts both.
+    #[test]
+    fn dense_sparse_kernel_equivalence(
+        seed in 1u64..500,
+        values in proptest::collection::vec(-10.0f32..10.0, 4..32),
+    ) {
+        let dim = values.len();
+        let dense = Vector::Dense(values.clone());
+        let mut sparse = Vector::with_type(ColumnType::F32Sparse { len: dim });
+        for (i, &v) in values.iter().enumerate() {
+            if v != 0.0 {
+                sparse.sparse_accumulate(i as u32, v);
+            }
+        }
+        let linear = synth::linear(seed, dim, LinearKind::Regression);
+        let mut a = Vector::Scalar(0.0);
+        let mut b = Vector::Scalar(0.0);
+        linear.apply(&dense, &mut a).unwrap();
+        linear.apply(&sparse, &mut b).unwrap();
+        prop_assert!((a.as_scalar().unwrap() - b.as_scalar().unwrap()).abs() < 1e-3);
+
+        let ens = synth::ensemble(seed, dim, 3, 3, pretzel_ops::tree::EnsembleMode::Sum);
+        ens.apply(&dense, &mut a).unwrap();
+        ens.apply(&sparse, &mut b).unwrap();
+        prop_assert_eq!(a.as_scalar().unwrap(), b.as_scalar().unwrap());
+    }
+
+    /// Pooled buffers never leak state between acquisitions.
+    #[test]
+    fn pool_buffers_come_back_clean(
+        fills in proptest::collection::vec(-5.0f32..5.0, 1..16),
+        rounds in 1usize..5,
+    ) {
+        let pool = VectorPool::new();
+        let ty = ColumnType::F32Dense { len: fills.len() };
+        for _ in 0..rounds {
+            let mut v = pool.acquire(ty);
+            if let Vector::Dense(d) = &mut v {
+                d.copy_from_slice(&fills);
+            }
+            pool.release(v);
+            let clean = pool.acquire(ty);
+            prop_assert!(clean.as_dense().unwrap().iter().all(|&x| x == 0.0));
+            pool.release(clean);
+        }
+    }
+
+    /// The LRU cache never exceeds its budget and always retains the most
+    /// recent insertion (when it fits).
+    #[test]
+    fn lru_respects_budget(
+        ops in proptest::collection::vec((0u32..64, 1usize..40), 1..200),
+        budget in 40usize..400,
+    ) {
+        let mut lru = pretzel_core::lru::LruCache::<u32, u32>::new(budget);
+        for (i, &(key, cost)) in ops.iter().enumerate() {
+            lru.insert(key, i as u32, cost);
+            prop_assert!(lru.used_cost() <= budget);
+            if cost <= budget {
+                prop_assert_eq!(lru.get(&key), Some(&(i as u32)));
+            }
+        }
+    }
+
+    /// Schema propagation never panics: it either types a graph or reports
+    /// a structured error.
+    #[test]
+    fn schema_propagation_total(graph in arb_sa_graph()) {
+        graph.validate_structure().unwrap();
+        let types = graph.propagate_types().unwrap();
+        prop_assert_eq!(types.len(), graph.nodes.len());
+        prop_assert_eq!(*types.last().unwrap(), ColumnType::F32Scalar);
+    }
+}
