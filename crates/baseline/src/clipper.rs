@@ -222,9 +222,7 @@ mod tests {
         Arc::new(graph.to_model_image())
     }
 
-    fn deploy(
-        n: usize,
-    ) -> (Vec<Container>, ClipperFrontEnd, Vec<Arc<Vec<u8>>>) {
+    fn deploy(n: usize) -> (Vec<Container>, ClipperFrontEnd, Vec<Arc<Vec<u8>>>) {
         let images: Vec<_> = (0..n as u64).map(sa_image).collect();
         let containers: Vec<_> = images
             .iter()
@@ -256,10 +254,7 @@ mod tests {
             let mut reference = BlackBoxModel::from_image(Arc::clone(image));
             let expect = reference.predict(SourceRef::Text("5,nice thing")).unwrap();
             let got = client.predict_text(i as u32, "5,nice thing", 0).unwrap();
-            assert!(
-                (got - expect).abs() < 1e-6,
-                "plan {i}: {got} vs {expect}"
-            );
+            assert!((got - expect).abs() < 1e-6, "plan {i}: {got} vs {expect}");
         }
         fe.stop();
         for c in containers {

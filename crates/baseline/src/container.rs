@@ -184,7 +184,10 @@ pub(crate) fn encode_err(msg: &str) -> Vec<u8> {
     body
 }
 
-fn serve_connection(mut stream: TcpStream, model: Arc<Mutex<BlackBoxModel>>) -> std::io::Result<()> {
+fn serve_connection(
+    mut stream: TcpStream,
+    model: Arc<Mutex<BlackBoxModel>>,
+) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
     loop {
         let body = match read_frame(&mut stream)? {

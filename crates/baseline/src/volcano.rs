@@ -130,11 +130,7 @@ mod tests {
             .iter()
             .map(|&t| Vector::with_type(t))
             .collect();
-        for line in [
-            "5,a nice product with a long description",
-            "1,bad",
-            "3,",
-        ] {
+        for line in ["5,a nice product with a long description", "1,bad", "3,"] {
             let v = execute(&graph, SourceRef::Text(line)).unwrap();
             let p = plan
                 .execute(SourceRef::Text(line), &mut slots, &mut ctx)

@@ -15,7 +15,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Measures the victim pipeline's latency while background load runs.
-fn run(images: &[Arc<Vec<u8>>], lines: &[String], reserved: bool, load_rps: usize) -> (Duration, Duration) {
+fn run(
+    images: &[Arc<Vec<u8>>],
+    lines: &[String],
+    reserved: bool,
+    load_rps: usize,
+) -> (Duration, Duration) {
     let runtime = Arc::new(Runtime::new(RuntimeConfig {
         n_executors: 3,
         chunk_size: 32,
@@ -23,8 +28,7 @@ fn run(images: &[Arc<Vec<u8>>], lines: &[String], reserved: bool, load_rps: usiz
     }));
     // The victim registers first (and possibly reserves an executor).
     let victim = {
-        let graph =
-            pretzel_core::graph::TransformGraph::from_model_image(&images[0]).unwrap();
+        let graph = pretzel_core::graph::TransformGraph::from_model_image(&images[0]).unwrap();
         let plan = pretzel_core::oven::optimize(&graph).unwrap().plan;
         runtime
             .register_with(plan, RegisterOptions { reserved })

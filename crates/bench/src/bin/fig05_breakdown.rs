@@ -18,7 +18,9 @@ fn main() {
     let mut reviews = ReviewGen::new(7, sa.vocab.len(), 1.2);
 
     // Average over many inputs; skip a warm-up round.
-    let lines: Vec<String> = (0..50).map(|_| format!("4,{}", reviews.review(15, 30))).collect();
+    let lines: Vec<String> = (0..50)
+        .map(|_| format!("4,{}", reviews.review(15, 30)))
+        .collect();
     let _ = volcano::profile(graph, SourceRef::Text(&lines[0])).unwrap();
 
     let mut totals: BTreeMap<String, Duration> = BTreeMap::new();
@@ -38,7 +40,10 @@ fn main() {
         .map(|(name, d)| {
             vec![
                 name.clone(),
-                format!("{:.1}%", 100.0 * d.as_secs_f64() / grand_total.as_secs_f64()),
+                format!(
+                    "{:.1}%",
+                    100.0 * d.as_secs_f64() / grand_total.as_secs_f64()
+                ),
                 pretzel_bench::fmt_dur(*d / lines.len() as u32),
             ]
         })

@@ -125,7 +125,9 @@ fn run_pretzel_no_store(images: &[Arc<Vec<u8>>]) -> (Series, Vec<Arc<ModelPlan>>
             // A fresh Object Store per plan = no cross-pipeline sharing.
             let store = ObjectStore::new();
             let graph = TransformGraph::from_model_image(image).expect("image decodes");
-            let plan = pretzel_core::oven::optimize(&graph).expect("optimizes").plan;
+            let plan = pretzel_core::oven::optimize(&graph)
+                .expect("optimizes")
+                .plan;
             plans.push(Arc::new(
                 ModelPlan::compile(plan, &CompileOptions::default(), &store)
                     .expect("plan compiles"),

@@ -96,7 +96,10 @@ fn run_category(category: &str, images: &[Arc<Vec<u8>>], lines: &[String]) {
     let mut pretzel = measure_pretzel(images, lines);
     let mut clipper = measure_clipper(images, lines);
     print_table(
-        &format!("Figure 11 ({category}): end-to-end latency, {} pipelines", images.len()),
+        &format!(
+            "Figure 11 ({category}): end-to-end latency, {} pipelines",
+            images.len()
+        ),
         &["config", "p50", "p99", "worst"],
         &[
             vec![

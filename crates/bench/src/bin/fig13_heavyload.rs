@@ -54,7 +54,11 @@ fn run_load(
         let records: Vec<Record> = (0..n)
             .map(|j| {
                 line_idx += 1;
-                let lines = if model < sa_count { sa_lines } else { ac_records };
+                let lines = if model < sa_count {
+                    sa_lines
+                } else {
+                    ac_records
+                };
                 Record::Text(lines[(line_idx + j) % lines.len()].clone())
             })
             .collect();

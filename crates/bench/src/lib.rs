@@ -74,6 +74,21 @@ pub fn ac_workload() -> ac::AcWorkload {
     ac::build(&ac_config())
 }
 
+/// The dense-ingest AC configuration: the same pipelines fed pre-parsed
+/// feature vectors (`Record::Dense`), isolating data-plane measurements
+/// from CSV float parsing.
+pub fn ac_dense_config() -> AcConfig {
+    AcConfig {
+        dense_input: true,
+        ..ac_config()
+    }
+}
+
+/// Builds the dense-ingest AC workload.
+pub fn ac_dense_workload() -> ac::AcWorkload {
+    ac::build(&ac_dense_config())
+}
+
 /// Exports graphs to model-file images (the "models on disk").
 pub fn images_of(graphs: &[TransformGraph]) -> Vec<Arc<Vec<u8>>> {
     graphs
@@ -147,6 +162,58 @@ pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = std::time::Instant::now();
     let out = f();
     (out, start.elapsed())
+}
+
+/// One measured configuration in a machine-readable bench report.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Workload category (e.g. `SA`, `AC`).
+    pub category: String,
+    /// Execution mode (e.g. `columnar`, `per_record`).
+    pub mode: String,
+    /// Records per batch-engine chunk event.
+    pub chunk_size: usize,
+    /// Executor threads.
+    pub cores: usize,
+    /// Measured throughput.
+    pub records_per_sec: f64,
+}
+
+/// Writes a `BENCH_*.json` report (hand-rolled JSON — the build is
+/// registry-less, so no serde). `speedups` carries headline ratios keyed by
+/// label, e.g. `"SA": columnar ÷ per-record`.
+pub fn write_bench_json(
+    path: &str,
+    bench: &str,
+    entries: &[BenchEntry],
+    speedups: &[(String, f64)],
+) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"bench\": \"{bench}\",\n"));
+    s.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"category\": \"{}\", \"mode\": \"{}\", \"chunk_size\": {}, \
+             \"cores\": {}, \"records_per_sec\": {:.1}}}{}\n",
+            e.category,
+            e.mode,
+            e.chunk_size,
+            e.cores,
+            e.records_per_sec,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"speedup\": {");
+    for (i, (k, v)) in speedups.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("\"{k}\": {v:.3}"));
+    }
+    s.push_str("}\n}\n");
+    std::fs::write(path, s)
 }
 
 #[cfg(test)]

@@ -31,6 +31,7 @@ use crate::oven;
 use crate::plan::StagePlan;
 use crate::stats::NodeStats;
 use pretzel_data::{ColumnType, DataError, Result};
+use pretzel_ops::bayes::NaiveBayesParams;
 use pretzel_ops::feat::binner::BinnerParams;
 use pretzel_ops::feat::concat::ConcatParams;
 use pretzel_ops::feat::imputer::ImputerParams;
@@ -44,7 +45,6 @@ use pretzel_ops::text::csv::CsvParams;
 use pretzel_ops::text::hashing::HashingParams;
 use pretzel_ops::text::ngram::NgramParams;
 use pretzel_ops::text::tokenizer::TokenizerParams;
-use pretzel_ops::bayes::NaiveBayesParams;
 use pretzel_ops::tree::{EnsembleParams, MulticlassTreeParams};
 use pretzel_ops::Op;
 use std::cell::RefCell;
@@ -136,14 +136,23 @@ impl FlourContext {
     }
 
     fn node_inputs(&self, id: u32) -> Vec<Input> {
-        self.inner.borrow().as_ref().expect("context initialized").nodes[id as usize]
+        self.inner
+            .borrow()
+            .as_ref()
+            .expect("context initialized")
+            .nodes[id as usize]
             .inputs
             .clone()
     }
 
     fn node_is_tokenizer(&self, id: u32) -> bool {
         matches!(
-            self.inner.borrow().as_ref().expect("context initialized").nodes[id as usize].op,
+            self.inner
+                .borrow()
+                .as_ref()
+                .expect("context initialized")
+                .nodes[id as usize]
+                .op,
             Op::Tokenizer(_)
         )
     }
@@ -164,8 +173,11 @@ impl CsvStream {
             separator: self.separator,
             output: pretzel_ops::text::csv::CsvOutput::TextField { index: field },
         };
-        self.ctx
-            .push(Op::CsvParse(Arc::new(params)), vec![Input::Source], ColumnType::Text)
+        self.ctx.push(
+            Op::CsvParse(Arc::new(params)),
+            vec![Input::Source],
+            ColumnType::Text,
+        )
     }
 
     /// Decodes all fields as a dense vector of the given dimensionality.
@@ -214,9 +226,7 @@ impl Flour {
     /// Appends an arbitrary unary operator (escape hatch for operators
     /// without a dedicated combinator).
     pub fn apply(&self, op: Op) -> Flour {
-        let ty = op
-            .output_type(&[self.ty])
-            .unwrap_or(ColumnType::F32Scalar);
+        let ty = op.output_type(&[self.ty]).unwrap_or(ColumnType::F32Scalar);
         self.ctx.push(op, vec![self.node], ty)
     }
 
@@ -227,8 +237,11 @@ impl Flour {
 
     /// Tokenizes text with explicit parameters.
     pub fn tokenize_with(&self, params: Arc<TokenizerParams>) -> Flour {
-        self.ctx
-            .push(Op::Tokenizer(params), vec![self.node], ColumnType::TokenList)
+        self.ctx.push(
+            Op::Tokenizer(params),
+            vec![self.node],
+            ColumnType::TokenList,
+        )
     }
 
     /// Character n-grams. May be called on the text itself or on a
@@ -414,8 +427,11 @@ impl Flour {
 
     /// Final tree-ensemble predictor (AC pipelines' "final tree or forest").
     pub fn regressor_tree(&self, params: Arc<EnsembleParams>) -> Flour {
-        self.ctx
-            .push(Op::TreeEnsemble(params), vec![self.node], ColumnType::F32Scalar)
+        self.ctx.push(
+            Op::TreeEnsemble(params),
+            vec![self.node],
+            ColumnType::F32Scalar,
+        )
     }
 
     /// Snapshot of the transformation graph with this handle as output.
@@ -440,9 +456,7 @@ impl Flour {
     /// (`Plan()` in Listing 1, line 14).
     pub fn plan(&self) -> Result<StagePlan> {
         if !matches!(self.node, Input::Node(_)) {
-            return Err(DataError::InvalidGraph(
-                "cannot plan a bare source".into(),
-            ));
+            return Err(DataError::InvalidGraph("cannot plan a bare source".into()));
         }
         oven::optimize(&self.graph()).map(|o| o.plan)
     }
@@ -466,11 +480,9 @@ mod tests {
         let tokens = ctx.csv(',').select_text(1).tokenize();
         let c = tokens.char_ngram(Arc::new(synth::char_ngram(1, 3, 128)));
         let w = tokens.word_ngram(Arc::new(synth::word_ngram(2, 2, 128, &vocab)));
-        let program = c.concat(&w).classifier_linear(Arc::new(synth::linear(
-            3,
-            256,
-            LinearKind::Logistic,
-        )));
+        let program =
+            c.concat(&w)
+                .classifier_linear(Arc::new(synth::linear(3, 256, LinearKind::Logistic)));
         let g = program.graph();
         assert_eq!(g.nodes.len(), 6); // csv, tok, cngram, wngram, concat, linear
         let plan = program.plan().unwrap();
@@ -495,7 +507,12 @@ mod tests {
     fn word_ngram_without_tokenizer_panics() {
         let ctx = FlourContext::new();
         let text = ctx.csv(',').select_text(0);
-        let _ = text.word_ngram(Arc::new(synth::word_ngram(1, 2, 8, &synth::vocabulary(0, 8))));
+        let _ = text.word_ngram(Arc::new(synth::word_ngram(
+            1,
+            2,
+            8,
+            &synth::vocabulary(0, 8),
+        )));
     }
 
     #[test]

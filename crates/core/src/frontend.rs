@@ -44,15 +44,13 @@ pub const FLAG_RESULT_CACHE: u8 = 0b01;
 pub const FLAG_DELAYED_BATCH: u8 = 0b10;
 
 /// FrontEnd configuration.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct FrontEndConfig {
     /// Byte budget of the prediction-result cache; 0 disables it.
     pub result_cache_bytes: usize,
     /// Flush interval of the delayed batcher; `None` disables it.
     pub batch_delay: Option<Duration>,
 }
-
 
 type PendingBatch = Vec<(Record, mpsc::Sender<Result<f32>>)>;
 
@@ -71,7 +69,9 @@ pub struct FrontEnd {
 
 impl std::fmt::Debug for FrontEnd {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FrontEnd").field("addr", &self.addr).finish()
+        f.debug_struct("FrontEnd")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 
@@ -364,7 +364,12 @@ impl Client {
     }
 
     /// Scores a batch of text records.
-    pub fn predict_text_batch(&mut self, plan: PlanId, lines: &[&str], flags: u8) -> Result<Vec<f32>> {
+    pub fn predict_text_batch(
+        &mut self,
+        plan: PlanId,
+        lines: &[&str],
+        flags: u8,
+    ) -> Result<Vec<f32>> {
         self.roundtrip(&encode_request_text(plan, lines, flags))
     }
 

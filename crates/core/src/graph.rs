@@ -198,10 +198,7 @@ impl TransformGraph {
         Self::load_image(image, Some(store))
     }
 
-    fn load_image(
-        image: &[u8],
-        store: Option<&crate::object_store::ObjectStore>,
-    ) -> Result<Self> {
+    fn load_image(image: &[u8], store: Option<&crate::object_store::ObjectStore>) -> Result<Self> {
         use pretzel_data::serde_bin::{read_model_file, Cursor};
         let sections = read_model_file(image)?;
         let (manifest, ops) = sections

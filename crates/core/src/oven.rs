@@ -100,7 +100,11 @@ pub fn optimize(graph: &TransformGraph) -> Result<Optimized> {
 
     let mut ir = Ir {
         source_type: graph.source_type,
-        ops: graph.nodes.iter().map(|n| StageOp::Op(n.op.clone())).collect(),
+        ops: graph
+            .nodes
+            .iter()
+            .map(|n| StageOp::Op(n.op.clone()))
+            .collect(),
         inputs: graph.nodes.iter().map(|n| n.inputs.clone()).collect(),
         stats: graph.nodes.iter().map(|n| n.stats).collect(),
         alive: vec![true; graph.nodes.len()],
@@ -295,9 +299,9 @@ fn assign_stages(ir: &mut Ir) -> Result<u32> {
             Some(s) => {
                 ir.fusible(i)
                     && stage_open[s as usize]
-                    && ir.inputs[i].iter().any(|input| {
-                        matches!(input, Input::Node(p) if *p == stage_tail[s as usize])
-                    })
+                    && ir.inputs[i].iter().any(
+                        |input| matches!(input, Input::Node(p) if *p == stage_tail[s as usize]),
+                    )
             }
             None => false,
         };
@@ -628,9 +632,11 @@ fn lower(ir: &Ir) -> Result<StagePlan> {
                             }
                             Loc::Slot(slot)
                         } else {
-                            Loc::Scratch(*scratch_of.get(&(p as u32)).expect(
-                                "scratch producer precedes consumer within the stage",
-                            ))
+                            Loc::Scratch(
+                                *scratch_of
+                                    .get(&(p as u32))
+                                    .expect("scratch producer precedes consumer within the stage"),
+                            )
                         }
                     }
                 })
@@ -678,10 +684,10 @@ mod tests {
     use super::*;
     use crate::graph::TNode;
     use pretzel_ops::feat::concat::ConcatParams;
-    use pretzel_ops::OpKind;
     use pretzel_ops::linear::LinearKind;
     use pretzel_ops::synth;
     use pretzel_ops::text::tokenizer::TokenizerParams;
+    use pretzel_ops::OpKind;
 
     /// The paper's Figure 1 pipeline: CsvParse → {Tokenizer, CharNgram,
     /// WordNgram} → Concat → Linear.
@@ -691,9 +697,7 @@ mod tests {
             source_type: ColumnType::Text,
             nodes: vec![
                 TNode {
-                    op: Op::CsvParse(Arc::new(
-                        pretzel_ops::text::csv::CsvParams::select_text(1),
-                    )),
+                    op: Op::CsvParse(Arc::new(pretzel_ops::text::csv::CsvParams::select_text(1))),
                     inputs: vec![Input::Source],
                     stats: NodeStats::new(512, 0.0),
                 },
@@ -818,9 +822,10 @@ mod tests {
             output: 3,
         };
         let out = optimize(&g).unwrap();
-        assert!(out.trace.iter().any(|t| t.rule
-            == "CommonSubexpressionElimination"
-            && t.fired >= 1));
+        assert!(out
+            .trace
+            .iter()
+            .any(|t| t.rule == "CommonSubexpressionElimination" && t.fired >= 1));
         // Only one CharNgram (or fused equivalent) remains across stages.
         let ngrams: usize = out
             .plan
@@ -939,11 +944,7 @@ mod tests {
                     stats: NodeStats::new(2, 0.1),
                 },
                 TNode {
-                    op: Op::Concat(Arc::new(ConcatParams::new(vec![
-                        4,
-                        3,
-                        tf_leaves as u32,
-                    ]))),
+                    op: Op::Concat(Arc::new(ConcatParams::new(vec![4, 3, tf_leaves as u32]))),
                     inputs: vec![Input::Node(1), Input::Node(2), Input::Node(3)],
                     stats: NodeStats::new(final_dim, 0.5),
                 },
@@ -1003,8 +1004,7 @@ mod tests {
     #[test]
     fn trace_records_all_four_steps() {
         let out = optimize(&sa_graph(16, 16, 5)).unwrap();
-        let steps: std::collections::HashSet<_> =
-            out.trace.iter().map(|t| t.step).collect();
+        let steps: std::collections::HashSet<_> = out.trace.iter().map(|t| t.step).collect();
         assert!(steps.contains("InputGraphValidator"));
         assert!(steps.contains("StageGraphBuilder"));
         assert!(steps.contains("StageGraphOptimizer"));

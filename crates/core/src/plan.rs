@@ -18,8 +18,9 @@
 //! bias + link — after which the Concat operator (and its buffer) is gone.
 
 use crate::stats::NodeStats;
+use pretzel_data::batch::ColRef;
 use pretzel_data::hash::Fnv1a;
-use pretzel_data::{ColumnType, DataError, Result, Vector};
+use pretzel_data::{ColumnBatch, ColumnType, DataError, Result, Vector};
 use pretzel_ops::linear::LinearParams;
 use pretzel_ops::Op;
 use std::sync::Arc;
@@ -143,9 +144,9 @@ impl StageOp {
         match self {
             StageOp::Op(op) => op.apply(inputs, out),
             StageOp::PartialDot { linear, offset } => {
-                let input = inputs.first().ok_or_else(|| {
-                    DataError::Runtime("partial dot expects one input".into())
-                })?;
+                let input = inputs
+                    .first()
+                    .ok_or_else(|| DataError::Runtime("partial dot expects one input".into()))?;
                 let z = linear.partial_dot(input, *offset as usize)?;
                 write_scalar(out, z)
             }
@@ -197,6 +198,118 @@ impl StageOp {
                 let mut acc = 0.0f32;
                 ngram.for_each_word_match(text, spans, |idx| acc += weights[off + idx as usize]);
                 write_scalar(out, acc)
+            }
+        }
+    }
+}
+
+impl StageOp {
+    /// Executes the step's columnar batch kernel: whole chunk in, whole
+    /// chunk out. Per-row arithmetic (including the fused n-gram·dot
+    /// accumulation order) is identical to [`StageOp::apply`], so batch
+    /// execution is bitwise-equal to the per-record path.
+    pub fn apply_batch(&self, inputs: &[&ColumnBatch], out: &mut ColumnBatch) -> Result<()> {
+        match self {
+            StageOp::Op(op) => op.apply_batch(inputs, out),
+            StageOp::PartialDot { linear, offset } => {
+                let input = inputs.first().ok_or_else(|| {
+                    DataError::Runtime("partial dot expects one input batch".into())
+                })?;
+                linear.partial_dot_batch(input, *offset as usize, out)
+            }
+            StageOp::Combine { linear } => {
+                let rows = inputs.first().map_or(0, |b| b.rows());
+                if out.column_type() != ColumnType::F32Scalar {
+                    return Err(DataError::Runtime(format!(
+                        "combine output must be scalar batch, got {:?}",
+                        out.column_type()
+                    )));
+                }
+                let partials: Vec<&[f32]> = inputs
+                    .iter()
+                    .map(|b| {
+                        b.as_scalars().ok_or_else(|| {
+                            DataError::Runtime("combine expects scalar partial batches".into())
+                        })
+                    })
+                    .collect::<Result<_>>()?;
+                let y = out.fill_scalar(rows)?;
+                for (r, slot) in y.iter_mut().enumerate() {
+                    let mut z = linear.bias;
+                    for p in &partials {
+                        z += p[r];
+                    }
+                    *slot = linear.link(z);
+                }
+                Ok(())
+            }
+            StageOp::FusedCharNgramDot {
+                ngram,
+                linear,
+                offset,
+            } => {
+                let text = inputs.first().copied().ok_or_else(|| {
+                    DataError::Runtime("fused char dot expects text batch".into())
+                })?;
+                let weights = &linear.weights;
+                let off = *offset as usize;
+                if off + ngram.dim() > weights.len() {
+                    return Err(DataError::Runtime("fused dot weight segment OOB".into()));
+                }
+                if out.column_type() != ColumnType::F32Scalar {
+                    return Err(DataError::Runtime(format!(
+                        "fused char dot output must be scalar batch, got {:?}",
+                        out.column_type()
+                    )));
+                }
+                let rows = text.rows();
+                let y = out.fill_scalar(rows)?;
+                for (r, slot) in y.iter_mut().enumerate() {
+                    let ColRef::Text(t) = text.row(r) else {
+                        return Err(DataError::Runtime("fused char dot expects text".into()));
+                    };
+                    let mut acc = 0.0f32;
+                    ngram.for_each_char_match(t, |idx| acc += weights[off + idx as usize]);
+                    *slot = acc;
+                }
+                Ok(())
+            }
+            StageOp::FusedWordNgramDot {
+                ngram,
+                linear,
+                offset,
+            } => {
+                let text = inputs.first().copied().ok_or_else(|| {
+                    DataError::Runtime("fused word dot expects text batch".into())
+                })?;
+                let tokens = inputs.get(1).copied().ok_or_else(|| {
+                    DataError::Runtime("fused word dot expects token batch".into())
+                })?;
+                let weights = &linear.weights;
+                let off = *offset as usize;
+                if off + ngram.dim() > weights.len() {
+                    return Err(DataError::Runtime("fused dot weight segment OOB".into()));
+                }
+                if out.column_type() != ColumnType::F32Scalar {
+                    return Err(DataError::Runtime(format!(
+                        "fused word dot output must be scalar batch, got {:?}",
+                        out.column_type()
+                    )));
+                }
+                let rows = text.rows();
+                let y = out.fill_scalar(rows)?;
+                for (r, slot) in y.iter_mut().enumerate() {
+                    let (ColRef::Text(t), ColRef::Tokens(spans)) = (text.row(r), tokens.row(r))
+                    else {
+                        return Err(DataError::Runtime(
+                            "fused word dot expects text + tokens".into(),
+                        ));
+                    };
+                    let mut acc = 0.0f32;
+                    ngram.for_each_word_match(t, spans, |idx| acc += weights[off + idx as usize]);
+                    *slot = acc;
+                }
+                Ok(())
             }
         }
     }
@@ -439,7 +552,9 @@ mod tests {
 
         // Unfused reference: materialize the sparse vector, then dot.
         let mut sparse = Vector::with_type(ColumnType::F32Sparse { len: 32 });
-        ngram.apply_char(text.as_text().unwrap(), &mut sparse).unwrap();
+        ngram
+            .apply_char(text.as_text().unwrap(), &mut sparse)
+            .unwrap();
         let expected = lin.partial_dot(&sparse, 0).unwrap();
 
         let mut out = Vector::Scalar(0.0);
@@ -557,7 +672,9 @@ mod tests {
     #[test]
     fn scratch_read_before_write_rejected() {
         let mut p = tiny_plan();
-        p.stages[0].scratch.push(BufDef::new(ColumnType::F32Scalar, 1));
+        p.stages[0]
+            .scratch
+            .push(BufDef::new(ColumnType::F32Scalar, 1));
         p.stages[0].steps[0].inputs = vec![Loc::Scratch(0)];
         assert!(p.validate().is_err());
     }

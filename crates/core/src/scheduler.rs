@@ -19,11 +19,11 @@
 //! emulating container-style isolation while still sharing parameters
 //! (paper §4.2.2).
 
-use crate::physical::{ExecCtx, ModelPlan, SourceRef};
 use crate::object_store::MaterializationCache;
+use crate::physical::{ExecCtx, ModelPlan, SourceRef};
 use parking_lot::{Condvar, Mutex};
 use pretzel_data::pool::VectorPool;
-use pretzel_data::{DataError, Result, Vector};
+use pretzel_data::{ColumnBatch, DataError, Result, Vector};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -92,15 +92,31 @@ impl BatchHandle {
     }
 }
 
+/// The working set a chunk carries between its stage events.
+///
+/// `Columnar` is the default data plane: one [`ColumnBatch`] per plan slot
+/// for the whole chunk. `Records` is the per-record fallback — one vector
+/// working set per record — used when columnar execution is disabled or
+/// when sub-plan materialization (a per-record optimization) is on, and
+/// kept as the measured baseline for the columnar ablation.
+enum ChunkWorkingSet {
+    /// Not leased yet (before the chunk's first stage runs).
+    Unleased,
+    /// Per-record vector working sets.
+    Records(Vec<Vec<Vector>>),
+    /// One columnar batch per plan slot.
+    Columnar(Vec<ColumnBatch>),
+}
+
 /// A chunk event: one contiguous range of a batch at one stage.
 struct ChunkTask {
     plan: Arc<ModelPlan>,
     records: Arc<Vec<Record>>,
     range: (usize, usize),
     stage: usize,
-    /// Working sets, one per record in the range; leased at first stage.
-    leases: Vec<Vec<Vector>>,
-    /// Pool the leases came from (returned there on completion).
+    /// Working set, leased lazily at the chunk's first stage.
+    working: ChunkWorkingSet,
+    /// Pool the working set came from (returned there on completion).
     lease_pool: Option<Arc<VectorPool>>,
     state: Arc<BatchState>,
 }
@@ -182,19 +198,29 @@ pub struct Scheduler {
     stats: Arc<SchedStats>,
     pooling: bool,
     chunk_size: usize,
+    columnar: bool,
     cache: Option<Arc<MaterializationCache>>,
 }
 
 impl Scheduler {
     /// Starts `n_executors` executor threads, each with its own vector pool.
+    ///
+    /// With `columnar` set (the default data plane), each chunk leases one
+    /// columnar working set and stages execute whole-chunk batch kernels;
+    /// otherwise chunks carry per-record working sets and stages loop over
+    /// records (the pre-columnar behaviour, kept for the ablation). Chunks
+    /// fall back to per-record execution when sub-plan materialization is
+    /// enabled — the cache is keyed per record.
     pub fn new(
         n_executors: usize,
         pooling: bool,
         chunk_size: usize,
+        columnar: bool,
         cache: Option<Arc<MaterializationCache>>,
     ) -> Self {
         let shared = Arc::new(DualQueue::default());
         let stats = Arc::new(SchedStats::default());
+        let columnar = columnar && cache.is_none();
         let executors = (0..n_executors.max(1))
             .map(|i| {
                 let queue = Arc::clone(&shared);
@@ -202,7 +228,7 @@ impl Scheduler {
                 let cache = cache.clone();
                 std::thread::Builder::new()
                     .name(format!("pretzel-exec-{i}"))
-                    .spawn(move || executor_loop(queue, stats, pooling, cache))
+                    .spawn(move || executor_loop(queue, stats, pooling, columnar, cache))
                     .expect("spawn executor")
             })
             .collect();
@@ -214,6 +240,7 @@ impl Scheduler {
             stats,
             pooling,
             chunk_size: chunk_size.max(1),
+            columnar,
             cache,
         }
     }
@@ -233,11 +260,12 @@ impl Scheduler {
         let queue = Arc::new(DualQueue::default());
         let stats = Arc::clone(&self.stats);
         let pooling = self.pooling;
+        let columnar = self.columnar;
         let cache = self.cache.clone();
         let q = Arc::clone(&queue);
         let handle = std::thread::Builder::new()
             .name(format!("pretzel-reserved-{plan_id}"))
-            .spawn(move || executor_loop(q, stats, pooling, cache))
+            .spawn(move || executor_loop(q, stats, pooling, columnar, cache))
             .expect("spawn reserved executor");
         reserved.insert(plan_id, queue);
         self.reserved_executors.lock().push(handle);
@@ -267,7 +295,10 @@ impl Scheduler {
         }
         let queue = {
             let reserved = self.reserved.lock();
-            reserved.get(&plan_id).cloned().unwrap_or_else(|| Arc::clone(&self.shared))
+            reserved
+                .get(&plan_id)
+                .cloned()
+                .unwrap_or_else(|| Arc::clone(&self.shared))
         };
         let mut start = 0usize;
         while start < n {
@@ -277,7 +308,7 @@ impl Scheduler {
                 records: Arc::clone(&records),
                 range: (start, end),
                 stage: 0,
-                leases: Vec::new(),
+                working: ChunkWorkingSet::Unleased,
                 lease_pool: None,
                 state: Arc::clone(&state),
             });
@@ -320,6 +351,7 @@ fn executor_loop(
     queue: Arc<DualQueue>,
     stats: Arc<SchedStats>,
     pooling: bool,
+    columnar: bool,
     cache: Option<Arc<MaterializationCache>>,
 ) {
     // Per-executor resources, allocated once: "vector pools are allocated
@@ -334,7 +366,7 @@ fn executor_loop(
         ctx = ctx.with_cache(c);
     }
     while let Some(task) = queue.pop() {
-        run_chunk_stage(task, &queue, &pool, &mut ctx, &stats);
+        run_chunk_stage(task, &queue, &pool, &mut ctx, &stats, columnar);
     }
 }
 
@@ -344,34 +376,63 @@ fn run_chunk_stage(
     pool: &Arc<VectorPool>,
     ctx: &mut ExecCtx,
     stats: &Arc<SchedStats>,
+    columnar: bool,
 ) {
     let (start, end) = task.range;
     let n = end - start;
     // Lazy lease: acquired from THIS executor's pool at the first stage.
+    // Columnar chunks lease ONE batch per plan slot; per-record chunks
+    // lease one vector per slot per record.
     if task.stage == 0 {
         let types = task.plan.slot_types();
-        task.leases = (0..n)
-            .map(|_| types.iter().map(|&t| pool.acquire(t)).collect())
-            .collect();
         task.lease_pool = Some(Arc::clone(pool));
-        // Load sources.
-        for (i, lease) in task.leases.iter_mut().enumerate() {
-            let src = task.records[start + i].as_source();
-            if let Err(e) = src.load_into(&mut lease[0]) {
+        if columnar {
+            let mut slots: Vec<ColumnBatch> =
+                types.iter().map(|&t| pool.acquire_batch(t, n)).collect();
+            for i in 0..n {
+                let src = task.records[start + i].as_source();
+                if let Err(e) = src.load_into_batch(&mut slots[0]) {
+                    task.working = ChunkWorkingSet::Columnar(slots);
+                    finish_chunk_error(task, e);
+                    return;
+                }
+            }
+            task.working = ChunkWorkingSet::Columnar(slots);
+        } else {
+            let mut leases: Vec<Vec<Vector>> = (0..n)
+                .map(|_| types.iter().map(|&t| pool.acquire(t)).collect())
+                .collect();
+            for (i, lease) in leases.iter_mut().enumerate() {
+                let src = task.records[start + i].as_source();
+                if let Err(e) = src.load_into(&mut lease[0]) {
+                    task.working = ChunkWorkingSet::Records(leases);
+                    finish_chunk_error(task, e);
+                    return;
+                }
+            }
+            task.working = ChunkWorkingSet::Records(leases);
+        }
+    }
+    let stage = &task.plan.stages[task.stage];
+    match &mut task.working {
+        ChunkWorkingSet::Columnar(slots) => {
+            if let Err(e) = stage.execute_batch(slots, n, ctx) {
                 finish_chunk_error(task, e);
                 return;
             }
         }
-    }
-    let stage = &task.plan.stages[task.stage];
-    for (i, lease) in task.leases.iter_mut().enumerate() {
-        if ctx.cache.is_some() {
-            ctx.source_hash = task.records[start + i].as_source().content_hash();
+        ChunkWorkingSet::Records(leases) => {
+            for (i, lease) in leases.iter_mut().enumerate() {
+                if ctx.cache.is_some() {
+                    ctx.source_hash = task.records[start + i].as_source().content_hash();
+                }
+                if let Err(e) = stage.execute(lease, ctx) {
+                    finish_chunk_error(task, e);
+                    return;
+                }
+            }
         }
-        if let Err(e) = stage.execute(lease, ctx) {
-            finish_chunk_error(task, e);
-            return;
-        }
+        ChunkWorkingSet::Unleased => unreachable!("working set leased at stage 0"),
     }
     stats.stage_events.fetch_add(1, Ordering::Relaxed);
 
@@ -383,10 +444,35 @@ fn run_chunk_stage(
     } else {
         // Final stage: harvest results, release working sets.
         let out = task.plan.output_slot as usize;
+        // A columnar output batch that is not scalar or is missing rows is
+        // an engine bug; fail the batch loudly instead of serving NaNs
+        // (the per-record path structurally guarantees one score per
+        // record, so this check has no analogue there).
+        if let ChunkWorkingSet::Columnar(slots) = &task.working {
+            let well_formed = slots[out].as_scalars().is_some_and(|s| s.len() == n);
+            if !well_formed {
+                let err = DataError::Runtime(format!(
+                    "plan produced a malformed columnar output batch: want {n} scalars, got {:?} x {}",
+                    slots[out].column_type(),
+                    slots[out].rows(),
+                ));
+                finish_chunk_error(task, err);
+                return;
+            }
+        }
         {
             let mut results = task.state.results.lock();
-            for (i, lease) in task.leases.iter().enumerate() {
-                results[start + i] = lease[out].as_scalar().unwrap_or(f32::NAN);
+            match &task.working {
+                ChunkWorkingSet::Columnar(slots) => {
+                    let scores = slots[out].as_scalars().expect("checked well-formed above");
+                    results[start..end].copy_from_slice(scores);
+                }
+                ChunkWorkingSet::Records(leases) => {
+                    for (i, lease) in leases.iter().enumerate() {
+                        results[start + i] = lease[out].as_scalar().unwrap_or(f32::NAN);
+                    }
+                }
+                ChunkWorkingSet::Unleased => unreachable!("working set leased at stage 0"),
             }
         }
         stats.records_done.fetch_add(n as u64, Ordering::Relaxed);
@@ -397,10 +483,20 @@ fn run_chunk_stage(
 
 fn release_leases(task: &mut ChunkTask) {
     if let Some(pool) = task.lease_pool.take() {
-        for lease in task.leases.drain(..) {
-            for v in lease {
-                pool.release(v);
+        match std::mem::replace(&mut task.working, ChunkWorkingSet::Unleased) {
+            ChunkWorkingSet::Records(leases) => {
+                for lease in leases {
+                    for v in lease {
+                        pool.release(v);
+                    }
+                }
             }
+            ChunkWorkingSet::Columnar(slots) => {
+                for b in slots {
+                    pool.release_batch(b);
+                }
+            }
+            ChunkWorkingSet::Unleased => {}
         }
     }
 }
@@ -453,7 +549,7 @@ mod tests {
     #[test]
     fn batch_results_match_inline_execution() {
         let plan = sa_plan(3);
-        let sched = Scheduler::new(2, true, 4, None);
+        let sched = Scheduler::new(2, true, 4, true, None);
         let recs = records(17);
         let handle = sched.submit_batch(0, Arc::clone(&plan), recs.clone());
         let scores = handle.wait().unwrap();
@@ -481,7 +577,7 @@ mod tests {
     #[test]
     fn empty_batch_completes_immediately() {
         let plan = sa_plan(1);
-        let sched = Scheduler::new(1, true, 8, None);
+        let sched = Scheduler::new(1, true, 8, true, None);
         let scores = sched.submit_batch(0, plan, vec![]).wait().unwrap();
         assert!(scores.is_empty());
         sched.shutdown();
@@ -490,7 +586,7 @@ mod tests {
     #[test]
     fn concurrent_batches_across_plans() {
         let plans: Vec<_> = (0..4).map(sa_plan).collect();
-        let sched = Scheduler::new(4, true, 8, None);
+        let sched = Scheduler::new(4, true, 8, true, None);
         let handles: Vec<_> = plans
             .iter()
             .enumerate()
@@ -512,7 +608,7 @@ mod tests {
     #[test]
     fn errors_propagate_to_handle() {
         let plan = sa_plan(5);
-        let sched = Scheduler::new(2, true, 4, None);
+        let sched = Scheduler::new(2, true, 4, true, None);
         // Dense record into a text pipeline: source load fails.
         let handle = sched.submit_batch(0, plan, vec![Record::Dense(vec![1.0, 2.0])]);
         assert!(handle.wait().is_err());
@@ -522,7 +618,7 @@ mod tests {
     #[test]
     fn reserved_plan_executes_on_dedicated_queue() {
         let plan = sa_plan(9);
-        let sched = Scheduler::new(1, true, 4, None);
+        let sched = Scheduler::new(1, true, 4, true, None);
         sched.reserve(7);
         let h = sched.submit_batch(7, Arc::clone(&plan), records(5));
         assert_eq!(h.wait().unwrap().len(), 5);
@@ -533,13 +629,62 @@ mod tests {
     }
 
     #[test]
-    fn pooling_disabled_still_correct() {
-        let plan = sa_plan(11);
-        let sched = Scheduler::new(2, false, 4, None);
-        let scores = sched
-            .submit_batch(0, plan, records(9))
+    fn columnar_and_per_record_chunks_agree_bitwise() {
+        let plan = sa_plan(21);
+        let recs = records(37);
+        let columnar = Scheduler::new(2, true, 8, true, None);
+        let per_record = Scheduler::new(2, true, 8, false, None);
+        let a = columnar
+            .submit_batch(0, Arc::clone(&plan), recs.clone())
             .wait()
             .unwrap();
+        let b = per_record.submit_batch(0, plan, recs).wait().unwrap();
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "record {i}: {x} vs {y}");
+        }
+        columnar.shutdown();
+        per_record.shutdown();
+    }
+
+    #[test]
+    fn per_record_fallback_still_correct() {
+        let plan = sa_plan(23);
+        let sched = Scheduler::new(2, true, 4, false, None);
+        let recs = records(9);
+        let scores = sched
+            .submit_batch(0, Arc::clone(&plan), recs.clone())
+            .wait()
+            .unwrap();
+        let pool = Arc::new(VectorPool::new());
+        let mut ctx = ExecCtx::new(pool);
+        let mut slots: Vec<Vector> = plan
+            .slot_types()
+            .iter()
+            .map(|&t| Vector::with_type(t))
+            .collect();
+        for (i, r) in recs.iter().enumerate() {
+            let expect = plan.execute(r.as_source(), &mut slots, &mut ctx).unwrap();
+            assert_eq!(scores[i].to_bits(), expect.to_bits(), "record {i}");
+        }
+        sched.shutdown();
+    }
+
+    #[test]
+    fn columnar_errors_propagate_and_release_leases() {
+        let plan = sa_plan(25);
+        let sched = Scheduler::new(1, true, 4, true, None);
+        // Dense record into a text pipeline: batch source load fails.
+        let handle = sched.submit_batch(0, plan, vec![Record::Dense(vec![1.0])]);
+        assert!(handle.wait().is_err());
+        sched.shutdown();
+    }
+
+    #[test]
+    fn pooling_disabled_still_correct() {
+        let plan = sa_plan(11);
+        let sched = Scheduler::new(2, false, 4, true, None);
+        let scores = sched.submit_batch(0, plan, records(9)).wait().unwrap();
         assert_eq!(scores.len(), 9);
         sched.shutdown();
     }
@@ -547,7 +692,7 @@ mod tests {
     #[test]
     fn drop_without_shutdown_joins_cleanly() {
         let plan = sa_plan(13);
-        let sched = Scheduler::new(2, true, 4, None);
+        let sched = Scheduler::new(2, true, 4, true, None);
         let h = sched.submit_batch(0, plan, records(3));
         let _ = h.wait().unwrap();
         drop(sched);

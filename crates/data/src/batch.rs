@@ -1,0 +1,724 @@
+//! Columnar batches: one buffer holding a whole chunk's worth of a column.
+//!
+//! The scheduler's unit of work is a *chunk* of records. With per-record
+//! working sets, a chunk of `n` records leases `n × slots` vectors and runs
+//! every stage `n` times through enum dispatch. A [`ColumnBatch`] instead
+//! holds all `n` rows of one column contiguously — dense rows back to back
+//! in one `Vec<f32>`, sparse rows in CSR form, text and token rows packed
+//! behind shared bounds — so a stage runs once per chunk over flat memory:
+//! dense kernels become matrix traversals that auto-vectorize, and the
+//! per-record pool traffic collapses to one lease per chunk.
+//!
+//! Row layouts are offset-based (CSR-style `bounds` arrays) rather than
+//! `Vec<Vec<…>>` precisely so that a reused batch never re-allocates per
+//! row and the pool can hand back batches in constant time per buffer,
+//! in the spirit of constant-time concurrent fixed-size allocation
+//! (Blelloch & Wei, arXiv:2008.04296).
+//!
+//! [`ColRef`] is the borrowed view of one row; it mirrors the variants of
+//! [`crate::vector::Vector`] so batch kernels can share per-row logic with
+//! the single-record path and produce bitwise-identical scores.
+
+use crate::schema::ColumnType;
+use crate::vector::{Span, Vector};
+use crate::{DataError, Result};
+
+/// A borrowed view of one row of a column (or of a whole [`Vector`]).
+#[derive(Debug, Clone, Copy)]
+pub enum ColRef<'a> {
+    /// Text row.
+    Text(&'a str),
+    /// Token spans (offsets relative to the row's own text).
+    Tokens(&'a [Span]),
+    /// Dense `f32` row.
+    Dense(&'a [f32]),
+    /// Sparse row: sorted unique `indices` parallel to `values`.
+    Sparse {
+        /// Sorted, unique element indices.
+        indices: &'a [u32],
+        /// Values parallel to `indices`.
+        values: &'a [f32],
+        /// Logical dimensionality.
+        dim: u32,
+    },
+    /// Scalar row.
+    Scalar(f32),
+}
+
+impl<'a> ColRef<'a> {
+    /// Borrows a whole [`Vector`] as a row view (shared-kernel bridge).
+    pub fn from_vector(v: &'a Vector) -> Self {
+        match v {
+            Vector::Text(s) => ColRef::Text(s),
+            Vector::Tokens(t) => ColRef::Tokens(t),
+            Vector::Dense(d) => ColRef::Dense(d),
+            Vector::Sparse {
+                indices,
+                values,
+                dim,
+            } => ColRef::Sparse {
+                indices,
+                values,
+                dim: *dim,
+            },
+            Vector::Scalar(x) => ColRef::Scalar(*x),
+        }
+    }
+
+    /// The column type this row inhabits.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            ColRef::Text(_) => ColumnType::Text,
+            ColRef::Tokens(_) => ColumnType::TokenList,
+            ColRef::Dense(d) => ColumnType::F32Dense { len: d.len() },
+            ColRef::Sparse { dim, .. } => ColumnType::F32Sparse { len: *dim as usize },
+            ColRef::Scalar(_) => ColumnType::F32Scalar,
+        }
+    }
+
+    /// Reads feature `idx` with sparse-absent-is-zero semantics (the
+    /// contract tree traversal relies on; mirrors
+    /// `pretzel_ops::tree::feature_value`).
+    pub fn feature(&self, idx: usize) -> f32 {
+        match self {
+            ColRef::Dense(d) => d.get(idx).copied().unwrap_or(0.0),
+            ColRef::Sparse {
+                indices, values, ..
+            } => match indices.binary_search(&(idx as u32)) {
+                Ok(p) => values[p],
+                Err(_) => 0.0,
+            },
+            ColRef::Scalar(x) if idx == 0 => *x,
+            _ => 0.0,
+        }
+    }
+
+    /// Logical dimensionality for numeric rows, `None` otherwise.
+    pub fn dimension(&self) -> Option<usize> {
+        match self {
+            ColRef::Dense(d) => Some(d.len()),
+            ColRef::Sparse { dim, .. } => Some(*dim as usize),
+            ColRef::Scalar(_) => Some(1),
+            _ => None,
+        }
+    }
+}
+
+/// A whole chunk of one column, stored contiguously.
+///
+/// All variants support `O(1)` row access and append-only row construction
+/// without per-row allocation, and [`ColumnBatch::reset`] keeps every
+/// backing buffer's capacity so pooled batches serve chunk after chunk
+/// allocation-free.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnBatch {
+    /// Text rows packed into one buffer; row `i` is
+    /// `data[bounds[i]..bounds[i + 1]]`.
+    Text {
+        /// Concatenated row bytes.
+        data: String,
+        /// Row boundaries; always starts with 0, length `rows + 1`.
+        bounds: Vec<u32>,
+    },
+    /// Token rows packed behind shared bounds; spans stay relative to each
+    /// row's own text (zero-copy slicing downstream).
+    Tokens {
+        /// Concatenated per-row spans.
+        spans: Vec<Span>,
+        /// Row boundaries into `spans`; length `rows + 1`.
+        bounds: Vec<u32>,
+    },
+    /// Dense rows back to back: row `i` is `data[i * dim..(i + 1) * dim]`.
+    Dense {
+        /// Row-major matrix storage.
+        data: Vec<f32>,
+        /// Row width.
+        dim: usize,
+        /// Row count (kept explicit so `dim == 0` stays well-defined).
+        rows: usize,
+    },
+    /// Sparse rows in CSR form; row `i` is
+    /// `indices[bounds[i]..bounds[i+1]]` / `values[..]`, indices sorted and
+    /// unique within each row.
+    Sparse {
+        /// Row boundaries into `indices`/`values`; length `rows + 1`.
+        bounds: Vec<u32>,
+        /// Concatenated per-row sorted indices.
+        indices: Vec<u32>,
+        /// Values parallel to `indices`.
+        values: Vec<f32>,
+        /// Logical dimensionality of every row.
+        dim: u32,
+    },
+    /// One scalar per row.
+    Scalar(Vec<f32>),
+}
+
+impl ColumnBatch {
+    /// Creates an empty batch of the right variant for `ty`.
+    pub fn with_type(ty: ColumnType) -> Self {
+        ColumnBatch::with_capacity_hint(ty, 0, 0)
+    }
+
+    /// Creates an empty batch with storage reserved for `rows` rows of
+    /// `stored_hint` stored elements each (text bytes, tokens, sparse nnz;
+    /// training statistics, like [`Vector::with_capacity_hint`]).
+    pub fn with_capacity_hint(ty: ColumnType, rows: usize, stored_hint: usize) -> Self {
+        match ty {
+            ColumnType::Text => ColumnBatch::Text {
+                data: String::with_capacity(rows * stored_hint),
+                bounds: bounds_with_capacity(rows),
+            },
+            ColumnType::TokenList => ColumnBatch::Tokens {
+                spans: Vec::with_capacity(rows * stored_hint),
+                bounds: bounds_with_capacity(rows),
+            },
+            ColumnType::F32Dense { len } => ColumnBatch::Dense {
+                data: Vec::with_capacity(rows * len),
+                dim: len,
+                rows: 0,
+            },
+            ColumnType::F32Sparse { len } => ColumnBatch::Sparse {
+                bounds: bounds_with_capacity(rows),
+                indices: Vec::with_capacity(rows * stored_hint),
+                values: Vec::with_capacity(rows * stored_hint),
+                dim: len as u32,
+            },
+            ColumnType::F32Scalar => ColumnBatch::Scalar(Vec::with_capacity(rows)),
+        }
+    }
+
+    /// The column type of every row in this batch.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            ColumnBatch::Text { .. } => ColumnType::Text,
+            ColumnBatch::Tokens { .. } => ColumnType::TokenList,
+            ColumnBatch::Dense { dim, .. } => ColumnType::F32Dense { len: *dim },
+            ColumnBatch::Sparse { dim, .. } => ColumnType::F32Sparse { len: *dim as usize },
+            ColumnBatch::Scalar(_) => ColumnType::F32Scalar,
+        }
+    }
+
+    /// Number of rows currently in the batch.
+    pub fn rows(&self) -> usize {
+        match self {
+            ColumnBatch::Text { bounds, .. }
+            | ColumnBatch::Tokens { bounds, .. }
+            | ColumnBatch::Sparse { bounds, .. } => bounds.len() - 1,
+            ColumnBatch::Dense { rows, .. } => *rows,
+            ColumnBatch::Scalar(v) => v.len(),
+        }
+    }
+
+    /// True if the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows() == 0
+    }
+
+    /// Clears all rows while keeping allocated capacity (pool reuse).
+    pub fn reset(&mut self) {
+        match self {
+            ColumnBatch::Text { data, bounds } => {
+                data.clear();
+                bounds.clear();
+                bounds.push(0);
+            }
+            ColumnBatch::Tokens { spans, bounds } => {
+                spans.clear();
+                bounds.clear();
+                bounds.push(0);
+            }
+            ColumnBatch::Dense { data, rows, .. } => {
+                data.clear();
+                *rows = 0;
+            }
+            ColumnBatch::Sparse {
+                bounds,
+                indices,
+                values,
+                ..
+            } => {
+                bounds.clear();
+                bounds.push(0);
+                indices.clear();
+                values.clear();
+            }
+            ColumnBatch::Scalar(v) => v.clear(),
+        }
+    }
+
+    /// Heap bytes owned by this batch (capacity, not length).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            ColumnBatch::Text { data, bounds } => data.capacity() + bounds.capacity() * 4,
+            ColumnBatch::Tokens { spans, bounds } => {
+                spans.capacity() * std::mem::size_of::<Span>() + bounds.capacity() * 4
+            }
+            ColumnBatch::Dense { data, .. } => data.capacity() * 4,
+            ColumnBatch::Sparse {
+                bounds,
+                indices,
+                values,
+                ..
+            } => bounds.capacity() * 4 + indices.capacity() * 4 + values.capacity() * 4,
+            ColumnBatch::Scalar(v) => v.capacity() * 4,
+        }
+    }
+
+    /// Borrows row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows()` — row indexing is internal to batch kernels,
+    /// so an out-of-range access is an engine bug, not a data condition.
+    pub fn row(&self, i: usize) -> ColRef<'_> {
+        match self {
+            ColumnBatch::Text { data, bounds } => {
+                ColRef::Text(&data[bounds[i] as usize..bounds[i + 1] as usize])
+            }
+            ColumnBatch::Tokens { spans, bounds } => {
+                ColRef::Tokens(&spans[bounds[i] as usize..bounds[i + 1] as usize])
+            }
+            ColumnBatch::Dense { data, dim, rows } => {
+                assert!(i < *rows, "dense batch row {i} out of {rows}");
+                ColRef::Dense(&data[i * dim..(i + 1) * dim])
+            }
+            ColumnBatch::Sparse {
+                bounds,
+                indices,
+                values,
+                dim,
+            } => {
+                let (a, b) = (bounds[i] as usize, bounds[i + 1] as usize);
+                ColRef::Sparse {
+                    indices: &indices[a..b],
+                    values: &values[a..b],
+                    dim: *dim,
+                }
+            }
+            ColumnBatch::Scalar(v) => ColRef::Scalar(v[i]),
+        }
+    }
+
+    /// Appends a text row.
+    pub fn push_text(&mut self, s: &str) -> Result<()> {
+        match self {
+            ColumnBatch::Text { data, bounds } => {
+                data.push_str(s);
+                bounds.push(data.len() as u32);
+                Ok(())
+            }
+            other => Err(variant_err("text", other)),
+        }
+    }
+
+    /// Appends a token row through `fill`, which appends the row's spans to
+    /// the shared buffer (spans relative to the row's own text).
+    pub fn push_tokens_with(&mut self, fill: impl FnOnce(&mut Vec<Span>)) -> Result<()> {
+        match self {
+            ColumnBatch::Tokens { spans, bounds } => {
+                fill(spans);
+                bounds.push(spans.len() as u32);
+                Ok(())
+            }
+            other => Err(variant_err("tokens", other)),
+        }
+    }
+
+    /// Appends a scalar row.
+    pub fn push_scalar(&mut self, x: f32) -> Result<()> {
+        match self {
+            ColumnBatch::Scalar(v) => {
+                v.push(x);
+                Ok(())
+            }
+            other => Err(variant_err("scalar", other)),
+        }
+    }
+
+    /// Appends a zero-filled dense row and returns it for writing.
+    pub fn push_dense_row(&mut self) -> Result<&mut [f32]> {
+        match self {
+            ColumnBatch::Dense { data, dim, rows } => {
+                let start = *rows * *dim;
+                data.resize(start + *dim, 0.0);
+                *rows += 1;
+                Ok(&mut data[start..])
+            }
+            other => Err(variant_err("dense", other)),
+        }
+    }
+
+    /// Clears the batch and resizes to `rows` zero-filled dense rows,
+    /// returning the whole row-major matrix (for kernels that traverse the
+    /// chunk flat).
+    pub fn fill_dense(&mut self, rows: usize) -> Result<&mut [f32]> {
+        match self {
+            ColumnBatch::Dense { data, dim, rows: r } => {
+                data.clear();
+                data.resize(rows * *dim, 0.0);
+                *r = rows;
+                Ok(data)
+            }
+            other => Err(variant_err("dense", other)),
+        }
+    }
+
+    /// Clears the batch and resizes to `rows` zeroed scalar rows, returning
+    /// the flat storage.
+    pub fn fill_scalar(&mut self, rows: usize) -> Result<&mut [f32]> {
+        match self {
+            ColumnBatch::Scalar(v) => {
+                v.clear();
+                v.resize(rows, 0.0);
+                Ok(v)
+            }
+            other => Err(variant_err("scalar", other)),
+        }
+    }
+
+    /// Borrows the flat scalar storage, or `None` for other variants.
+    pub fn as_scalars(&self) -> Option<&[f32]> {
+        match self {
+            ColumnBatch::Scalar(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrows the flat dense storage `(data, dim, rows)`, or `None`.
+    pub fn as_dense(&self) -> Option<(&[f32], usize, usize)> {
+        match self {
+            ColumnBatch::Dense { data, dim, rows } => Some((data, *dim, *rows)),
+            _ => None,
+        }
+    }
+
+    /// Appends a [`Vector`] as one row (copying). The vector's variant must
+    /// match the batch's column type; used to assemble batches from
+    /// per-record values (tests, harnesses, source loading).
+    pub fn push_vector(&mut self, v: &Vector) -> Result<()> {
+        match (self, v) {
+            (b @ ColumnBatch::Text { .. }, Vector::Text(s)) => b.push_text(s),
+            (b @ ColumnBatch::Tokens { .. }, Vector::Tokens(t)) => {
+                b.push_tokens_with(|spans| spans.extend_from_slice(t))
+            }
+            (ColumnBatch::Dense { data, dim, rows }, Vector::Dense(d)) if d.len() == *dim => {
+                data.extend_from_slice(d);
+                *rows += 1;
+                Ok(())
+            }
+            (
+                ColumnBatch::Sparse {
+                    bounds,
+                    indices,
+                    values,
+                    dim,
+                },
+                Vector::Sparse {
+                    indices: vi,
+                    values: vv,
+                    dim: vd,
+                },
+            ) if vd == dim => {
+                indices.extend_from_slice(vi);
+                values.extend_from_slice(vv);
+                bounds.push(indices.len() as u32);
+                Ok(())
+            }
+            (b @ ColumnBatch::Scalar(_), Vector::Scalar(x)) => b.push_scalar(*x),
+            (b, v) => Err(DataError::Runtime(format!(
+                "cannot push {:?} row into {:?} batch",
+                v.column_type(),
+                b.column_type()
+            ))),
+        }
+    }
+
+    /// Opens the next sparse row for accumulation. Rows must be finished
+    /// with [`SparseRowMut::finish`] (or by drop) before the next row opens.
+    pub fn begin_sparse_row(&mut self) -> Result<SparseRowMut<'_>> {
+        match self {
+            ColumnBatch::Sparse {
+                bounds,
+                indices,
+                values,
+                dim,
+            } => Ok(SparseRowMut {
+                start: *bounds.last().expect("bounds never empty") as usize,
+                bounds,
+                indices,
+                values,
+                dim: *dim,
+            }),
+            other => Err(variant_err("sparse", other)),
+        }
+    }
+}
+
+fn bounds_with_capacity(rows: usize) -> Vec<u32> {
+    let mut b = Vec::with_capacity(rows + 1);
+    b.push(0);
+    b
+}
+
+fn variant_err(want: &str, got: &ColumnBatch) -> DataError {
+    DataError::Runtime(format!(
+        "column batch variant mismatch: want {want}, got {:?}",
+        got.column_type()
+    ))
+}
+
+/// An open sparse row at the tail of a CSR batch.
+///
+/// [`SparseRowMut::accumulate`] has the exact semantics of
+/// [`Vector::sparse_accumulate`] restricted to the open row: indices stay
+/// sorted and unique, duplicate indices *sum* in arrival order — which is
+/// what keeps batch featurizer output bitwise-identical to the per-record
+/// path.
+#[derive(Debug)]
+pub struct SparseRowMut<'a> {
+    bounds: &'a mut Vec<u32>,
+    indices: &'a mut Vec<u32>,
+    values: &'a mut Vec<f32>,
+    start: usize,
+    dim: u32,
+}
+
+impl SparseRowMut<'_> {
+    /// Adds `(index, value)` into the open row, summing duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim` — featurizer kernels construct their
+    /// outputs, so a mismatch is an internal bug (same contract as
+    /// [`Vector::sparse_accumulate`]).
+    pub fn accumulate(&mut self, index: u32, value: f32) {
+        assert!(
+            index < self.dim,
+            "sparse index {index} out of dim {}",
+            self.dim
+        );
+        let row = &self.indices[self.start..];
+        match row.binary_search(&index) {
+            Ok(pos) => self.values[self.start + pos] += value,
+            Err(pos) => {
+                self.indices.insert(self.start + pos, index);
+                self.values.insert(self.start + pos, value);
+            }
+        }
+    }
+
+    /// Logical dimensionality of the row.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Closes the row (recording its bound). Dropping without calling this
+    /// closes the row too; `finish` exists to make the close explicit at
+    /// call sites.
+    pub fn finish(self) {}
+}
+
+impl Drop for SparseRowMut<'_> {
+    fn drop(&mut self) {
+        self.bounds.push(self.indices.len() as u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_type_round_trips_column_type() {
+        for ty in [
+            ColumnType::Text,
+            ColumnType::TokenList,
+            ColumnType::F32Dense { len: 7 },
+            ColumnType::F32Sparse { len: 9 },
+            ColumnType::F32Scalar,
+        ] {
+            let b = ColumnBatch::with_type(ty);
+            assert_eq!(b.column_type(), ty);
+            assert_eq!(b.rows(), 0);
+            assert!(b.is_empty());
+        }
+    }
+
+    #[test]
+    fn text_rows_pack_and_slice() {
+        let mut b = ColumnBatch::with_type(ColumnType::Text);
+        b.push_text("hello").unwrap();
+        b.push_text("").unwrap();
+        b.push_text("world").unwrap();
+        assert_eq!(b.rows(), 3);
+        assert!(matches!(b.row(0), ColRef::Text("hello")));
+        assert!(matches!(b.row(1), ColRef::Text("")));
+        assert!(matches!(b.row(2), ColRef::Text("world")));
+    }
+
+    #[test]
+    fn token_rows_pack_behind_bounds() {
+        let mut b = ColumnBatch::with_type(ColumnType::TokenList);
+        b.push_tokens_with(|s| {
+            s.push(Span::new(0, 2));
+            s.push(Span::new(3, 5));
+        })
+        .unwrap();
+        b.push_tokens_with(|_| {}).unwrap();
+        b.push_tokens_with(|s| s.push(Span::new(1, 4))).unwrap();
+        assert_eq!(b.rows(), 3);
+        match b.row(0) {
+            ColRef::Tokens(t) => assert_eq!(t.len(), 2),
+            _ => unreachable!(),
+        }
+        match b.row(1) {
+            ColRef::Tokens(t) => assert!(t.is_empty()),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn dense_rows_are_contiguous() {
+        let mut b = ColumnBatch::with_type(ColumnType::F32Dense { len: 3 });
+        b.push_dense_row()
+            .unwrap()
+            .copy_from_slice(&[1.0, 2.0, 3.0]);
+        b.push_dense_row()
+            .unwrap()
+            .copy_from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(b.rows(), 2);
+        let (data, dim, rows) = b.as_dense().unwrap();
+        assert_eq!((dim, rows), (3, 2));
+        assert_eq!(data, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        match b.row(1) {
+            ColRef::Dense(r) => assert_eq!(r, &[4.0, 5.0, 6.0]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn fill_dense_resizes_and_zeroes() {
+        let mut b = ColumnBatch::with_type(ColumnType::F32Dense { len: 2 });
+        b.push_dense_row().unwrap()[0] = 9.0;
+        let m = b.fill_dense(3).unwrap();
+        assert_eq!(m.len(), 6);
+        assert!(m.iter().all(|&x| x == 0.0));
+        assert_eq!(b.rows(), 3);
+    }
+
+    #[test]
+    fn sparse_rows_accumulate_like_vector() {
+        let mut b = ColumnBatch::with_type(ColumnType::F32Sparse { len: 10 });
+        let mut row = b.begin_sparse_row().unwrap();
+        row.accumulate(5, 1.0);
+        row.accumulate(2, 2.0);
+        row.accumulate(5, 0.5);
+        row.finish();
+        let mut row = b.begin_sparse_row().unwrap();
+        row.accumulate(7, 3.0);
+        row.finish();
+        assert_eq!(b.rows(), 2);
+
+        // Reference: the per-record accumulate on a Vector.
+        let mut v = Vector::with_type(ColumnType::F32Sparse { len: 10 });
+        v.sparse_accumulate(5, 1.0);
+        v.sparse_accumulate(2, 2.0);
+        v.sparse_accumulate(5, 0.5);
+        match (b.row(0), &v) {
+            (
+                ColRef::Sparse {
+                    indices, values, ..
+                },
+                Vector::Sparse {
+                    indices: vi,
+                    values: vv,
+                    ..
+                },
+            ) => {
+                assert_eq!(indices, &vi[..]);
+                assert_eq!(values, &vv[..]);
+            }
+            _ => unreachable!(),
+        }
+        match b.row(1) {
+            ColRef::Sparse {
+                indices, values, ..
+            } => {
+                assert_eq!(indices, &[7]);
+                assert_eq!(values, &[3.0]);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of dim")]
+    fn sparse_row_bounds_checked() {
+        let mut b = ColumnBatch::with_type(ColumnType::F32Sparse { len: 4 });
+        let mut row = b.begin_sparse_row().unwrap();
+        row.accumulate(4, 1.0);
+    }
+
+    #[test]
+    fn scalar_rows() {
+        let mut b = ColumnBatch::with_type(ColumnType::F32Scalar);
+        b.push_scalar(1.5).unwrap();
+        b.push_scalar(-2.0).unwrap();
+        assert_eq!(b.as_scalars().unwrap(), &[1.5, -2.0]);
+        assert!(matches!(b.row(1), ColRef::Scalar(x) if x == -2.0));
+    }
+
+    #[test]
+    fn reset_keeps_capacity() {
+        let mut b = ColumnBatch::with_type(ColumnType::Text);
+        b.push_text("a fairly long review body").unwrap();
+        let cap = match &b {
+            ColumnBatch::Text { data, .. } => data.capacity(),
+            _ => unreachable!(),
+        };
+        b.reset();
+        assert_eq!(b.rows(), 0);
+        match &b {
+            ColumnBatch::Text { data, bounds } => {
+                assert_eq!(data.capacity(), cap);
+                assert_eq!(bounds, &[0]);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn variant_mismatch_is_error() {
+        let mut b = ColumnBatch::with_type(ColumnType::F32Scalar);
+        assert!(b.push_text("x").is_err());
+        assert!(b.push_dense_row().is_err());
+        assert!(b.begin_sparse_row().is_err());
+        let mut d = ColumnBatch::with_type(ColumnType::F32Dense { len: 1 });
+        assert!(d.push_scalar(0.0).is_err());
+    }
+
+    #[test]
+    fn col_ref_feature_reads() {
+        let r = ColRef::Dense(&[1.0, 2.0]);
+        assert_eq!(r.feature(1), 2.0);
+        assert_eq!(r.feature(9), 0.0);
+        let s = ColRef::Sparse {
+            indices: &[3],
+            values: &[7.0],
+            dim: 8,
+        };
+        assert_eq!(s.feature(3), 7.0);
+        assert_eq!(s.feature(4), 0.0);
+        assert_eq!(ColRef::Scalar(5.0).feature(0), 5.0);
+        assert_eq!(ColRef::Text("x").feature(0), 0.0);
+    }
+
+    #[test]
+    fn heap_bytes_counts_capacity() {
+        let mut b = ColumnBatch::with_capacity_hint(ColumnType::F32Dense { len: 4 }, 8, 0);
+        assert!(b.heap_bytes() >= 8 * 4 * 4);
+        b.reset();
+        assert!(b.heap_bytes() >= 8 * 4 * 4);
+    }
+}

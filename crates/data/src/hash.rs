@@ -79,6 +79,45 @@ pub fn splitmix64(seed: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A `std::hash::Hasher` that passes a pre-hashed `u64` key through
+/// unchanged (after a SplitMix64 finalize to spread low bits into the
+/// table-index range).
+///
+/// Hot probe tables keyed by values that are *already* good 64-bit hashes
+/// (FNV-1a n-gram window hashes, parameter checksums) waste most of their
+/// probe time re-hashing the key with SipHash under std's default hasher.
+/// `HashMap<u64, _, PrehashedBuild>` skips that: one multiply-shift chain
+/// instead of a full SipHash pass per lookup.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Prehashed {
+    state: u64,
+}
+
+impl std::hash::Hasher for Prehashed {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 keys: FNV over the bytes. Correct, but the
+        // intended use is `write_u64`.
+        let mut h = Fnv1a::new();
+        h.write_u64(self.state);
+        h.write(bytes);
+        self.state = h.finish();
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        // Mix rather than overwrite so composite keys (more than one
+        // write_u64) still depend on every component; for the common
+        // single-write case state is 0 and this reduces to splitmix64(v).
+        self.state = splitmix64(self.state ^ v);
+    }
+}
+
+/// `BuildHasher` for [`Prehashed`].
+pub type PrehashedBuild = std::hash::BuildHasherDefault<Prehashed>;
+
 /// Hashes a feature string into a bucket in `[0, buckets)`.
 ///
 /// Used by n-gram featurizers when a token misses the trained dictionary and

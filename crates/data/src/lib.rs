@@ -8,8 +8,11 @@
 //!   with propagation/validation helpers used by the Oven optimizer.
 //! * [`vector`] — the [`vector::Vector`] value type exchanged between
 //!   operators (dense/sparse float vectors, text, token spans).
-//! * [`pool`] — pre-allocated, size-classed vector pools used by PRETZEL to
-//!   avoid allocation on the prediction path (paper §4.2.1).
+//! * [`batch`] — [`batch::ColumnBatch`], the columnar chunk representation
+//!   the batch engine executes over (dense row-major matrices, CSR sparse
+//!   batches, packed text/token rows).
+//! * [`pool`] — pre-allocated, size-classed vector *and batch* pools used
+//!   by PRETZEL to avoid allocation on the prediction path (paper §4.2.1).
 //! * [`serde_bin`] — the hand-rolled, length-prefixed binary model-file
 //!   format both engines load models from (the ML.Net "zip of directories"
 //!   analogue), plus checksumming used by the Object Store for parameter
@@ -23,6 +26,7 @@
 //! [`pretzel-baseline`]: ../pretzel_baseline/index.html
 
 pub mod alloc_meter;
+pub mod batch;
 pub mod error;
 pub mod hash;
 pub mod pool;
@@ -30,6 +34,7 @@ pub mod schema;
 pub mod serde_bin;
 pub mod vector;
 
+pub use batch::{ColRef, ColumnBatch};
 pub use error::{DataError, Result};
 pub use schema::{ColumnType, Schema};
 pub use vector::Vector;

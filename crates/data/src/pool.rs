@@ -13,6 +13,7 @@
 //! pool on drop, which is what makes the scheduler's two-priority-queue
 //! design (finish started pipelines first, to return memory quickly) work.
 
+use crate::batch::ColumnBatch;
 use crate::schema::ColumnType;
 use crate::vector::{Span, Vector};
 use parking_lot::Mutex;
@@ -57,6 +58,37 @@ impl PoolStats {
 /// Free-list of sparse buffers per dimensionality class.
 type SparseFreeLists = HashMap<u32, Vec<(Vec<u32>, Vec<f32>)>>;
 
+/// Size class of a pooled [`ColumnBatch`].
+///
+/// Batches are classed by column type only (not by row count): every
+/// backing buffer grows monotonically and is kept across reuse, so a batch
+/// that once served a large chunk serves all smaller chunks allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum BatchClass {
+    /// Packed text rows.
+    Text,
+    /// Packed token rows.
+    Tokens,
+    /// Row-major dense rows of one width.
+    Dense(usize),
+    /// CSR sparse rows of one logical dimension.
+    Sparse(u32),
+    /// One scalar per row.
+    Scalar,
+}
+
+impl BatchClass {
+    fn of(ty: ColumnType) -> Self {
+        match ty {
+            ColumnType::Text => BatchClass::Text,
+            ColumnType::TokenList => BatchClass::Tokens,
+            ColumnType::F32Dense { len } => BatchClass::Dense(len),
+            ColumnType::F32Sparse { len } => BatchClass::Sparse(len as u32),
+            ColumnType::F32Scalar => BatchClass::Scalar,
+        }
+    }
+}
+
 /// A size-classed pool of reusable [`Vector`] buffers.
 ///
 /// When pooling is disabled (`VectorPool::disabled()`), every acquisition
@@ -70,6 +102,7 @@ pub struct VectorPool {
     tokens: Mutex<Vec<Vec<Span>>>,
     dense: Mutex<HashMap<usize, Vec<Vec<f32>>>>,
     sparse: Mutex<SparseFreeLists>,
+    batches: Mutex<HashMap<BatchClass, Vec<ColumnBatch>>>,
     stats: PoolStats,
 }
 
@@ -89,6 +122,7 @@ impl VectorPool {
             tokens: Mutex::new(Vec::new()),
             dense: Mutex::new(HashMap::new()),
             sparse: Mutex::new(HashMap::new()),
+            batches: Mutex::new(HashMap::new()),
             stats: PoolStats::default(),
         }
     }
@@ -136,7 +170,9 @@ impl VectorPool {
         }
         // Warming is the upfront payment made at initialization time, not
         // prediction-path traffic: exclude it from the release counter.
-        self.stats.released.fetch_sub(count as u64, Ordering::Relaxed);
+        self.stats
+            .released
+            .fetch_sub(count as u64, Ordering::Relaxed);
     }
 
     /// Acquires a cleared buffer of type `ty`.
@@ -234,6 +270,47 @@ impl VectorPool {
         }
     }
 
+    /// Acquires a cleared [`ColumnBatch`] of type `ty` with capacity hinted
+    /// for `rows` rows (the batch engine leases one batch per plan slot per
+    /// chunk, instead of one vector per slot per *record*).
+    ///
+    /// Free lists are per column-type class; push/pop at the tail makes the
+    /// concurrent acquire/release constant-time per buffer (compare the
+    /// fixed-size-allocation free lists of Blelloch & Wei,
+    /// arXiv:2008.04296), and reused batches keep their grown capacity so a
+    /// warm pool serves chunks allocation-free.
+    pub fn acquire_batch(&self, ty: ColumnType, rows: usize) -> ColumnBatch {
+        if self.enabled {
+            let popped = self
+                .batches
+                .lock()
+                .get_mut(&BatchClass::of(ty))
+                .and_then(Vec::pop);
+            if let Some(mut b) = popped {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                b.reset();
+                return b;
+            }
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        ColumnBatch::with_capacity_hint(ty, rows, 0)
+    }
+
+    /// Returns a batch to the pool (or drops it when disabled/full).
+    pub fn release_batch(&self, b: ColumnBatch) {
+        if !self.enabled {
+            return;
+        }
+        self.stats.released.fetch_add(1, Ordering::Relaxed);
+        let mut g = self.batches.lock();
+        let class = g.entry(BatchClass::of(b.column_type())).or_default();
+        if class.len() < self.max_per_class {
+            class.push(b);
+        } else {
+            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Acquires one buffer per entry of `types` as a RAII [`Lease`].
     pub fn lease(self: &Arc<Self>, types: &[ColumnType]) -> Lease {
         let vectors = types.iter().map(|&t| self.acquire(t)).collect();
@@ -266,6 +343,13 @@ impl VectorPool {
             .values()
             .flatten()
             .map(|(i, v)| i.capacity() * 4 + v.capacity() * 4)
+            .sum::<usize>();
+        total += self
+            .batches
+            .lock()
+            .values()
+            .flatten()
+            .map(ColumnBatch::heap_bytes)
             .sum::<usize>();
         total
     }
@@ -422,6 +506,52 @@ mod tests {
         let _ = pool.acquire(ColumnType::F32Dense { len: 0 });
         // Buffer with capacity 10 but length 0 lives in class 0.
         assert_eq!(pool.retained_bytes(), 0);
+    }
+
+    #[test]
+    fn batch_acquire_release_reuses_buffers() {
+        let pool = VectorPool::new();
+        let ty = ColumnType::F32Dense { len: 4 };
+        let mut b = pool.acquire_batch(ty, 8);
+        assert_eq!(pool.stats().misses(), 1);
+        b.push_dense_row().unwrap()[0] = 3.0;
+        pool.release_batch(b);
+        let b2 = pool.acquire_batch(ty, 8);
+        assert_eq!(pool.stats().hits(), 1);
+        // Reused batches come back empty and type-stable.
+        assert_eq!(b2.rows(), 0);
+        assert_eq!(b2.column_type(), ty);
+    }
+
+    #[test]
+    fn batch_classes_are_per_type() {
+        let pool = VectorPool::new();
+        pool.release_batch(ColumnBatch::with_type(ColumnType::F32Dense { len: 4 }));
+        let b = pool.acquire_batch(ColumnType::F32Dense { len: 8 }, 1);
+        assert_eq!(b.column_type(), ColumnType::F32Dense { len: 8 });
+        assert_eq!(pool.stats().misses(), 1);
+    }
+
+    #[test]
+    fn disabled_pool_never_retains_batches() {
+        let pool = VectorPool::disabled();
+        let b = pool.acquire_batch(ColumnType::Text, 4);
+        pool.release_batch(b);
+        let _ = pool.acquire_batch(ColumnType::Text, 4);
+        assert_eq!(pool.stats().hits(), 0);
+        assert_eq!(pool.stats().misses(), 2);
+        assert_eq!(pool.retained_bytes(), 0);
+    }
+
+    #[test]
+    fn batch_retained_bytes_counted() {
+        let pool = VectorPool::new();
+        pool.release_batch(ColumnBatch::with_capacity_hint(
+            ColumnType::F32Dense { len: 4 },
+            8,
+            0,
+        ));
+        assert!(pool.retained_bytes() >= 8 * 4 * 4);
     }
 
     #[test]

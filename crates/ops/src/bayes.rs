@@ -7,8 +7,9 @@
 
 use crate::annotations::Annotations;
 use crate::params::ParamBlob;
+use pretzel_data::batch::ColRef;
 use pretzel_data::serde_bin::{wire, Cursor, Section};
-use pretzel_data::{DataError, Result, Vector};
+use pretzel_data::{ColumnBatch, DataError, Result, Vector};
 
 /// Naive Bayes parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,6 +91,54 @@ impl NaiveBayesParams {
                 other.column_type()
             ))),
         }
+    }
+
+    /// Batch kernel: per-class log scores for every row of the chunk
+    /// (per-row dot loops identical to [`Self::apply`]).
+    pub fn eval_batch(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
+        let d = self.dim as usize;
+        let classes = self.classes();
+        if out.column_type() != (pretzel_data::ColumnType::F32Dense { len: classes }) {
+            return Err(DataError::Runtime(format!(
+                "naive bayes output wants dense[{classes}] batch, got {:?}",
+                out.column_type()
+            )));
+        }
+        let rows = input.rows();
+        let y = out.fill_dense(rows)?;
+        for r in 0..rows {
+            let yr = &mut y[r * classes..(r + 1) * classes];
+            match input.row(r) {
+                ColRef::Dense(x) if x.len() == d => {
+                    for (c, slot) in yr.iter_mut().enumerate() {
+                        let row = &self.log_lik[c * d..(c + 1) * d];
+                        let dot: f32 = x.iter().zip(row).map(|(a, b)| a * b).sum();
+                        *slot = self.log_prior[c] + dot;
+                    }
+                }
+                ColRef::Sparse {
+                    indices,
+                    values,
+                    dim,
+                } if dim as usize == d => {
+                    for (c, slot) in yr.iter_mut().enumerate() {
+                        let row = &self.log_lik[c * d..(c + 1) * d];
+                        let mut dot = 0.0f32;
+                        for (&i, &v) in indices.iter().zip(values) {
+                            dot += v * row[i as usize];
+                        }
+                        *slot = self.log_prior[c] + dot;
+                    }
+                }
+                other => {
+                    return Err(DataError::Runtime(format!(
+                        "naive bayes wants numeric[{d}] batch, got {:?}",
+                        other.column_type()
+                    )))
+                }
+            }
+        }
+        Ok(())
     }
 }
 

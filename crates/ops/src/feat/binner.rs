@@ -7,7 +7,7 @@
 use crate::annotations::Annotations;
 use crate::params::ParamBlob;
 use pretzel_data::serde_bin::{wire, Cursor, Section};
-use pretzel_data::{DataError, Result, Vector};
+use pretzel_data::{ColumnBatch, DataError, Result, Vector};
 
 /// Binner parameters: per-dimension ascending bin upper bounds.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +54,33 @@ impl BinnerParams {
                 input.column_type()
             ))),
         }
+    }
+
+    /// Batch kernel: bins the chunk column-by-column so each dimension's
+    /// bound table stays cache-resident across rows (per-element math
+    /// identical to [`Self::apply`]).
+    pub fn eval_batch(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
+        let dim = self.dim();
+        let (x, in_dim, rows) = input.as_dense().ok_or_else(|| self.batch_err(input))?;
+        if in_dim != dim || out.column_type() != (pretzel_data::ColumnType::F32Dense { len: dim }) {
+            return Err(self.batch_err(input));
+        }
+        let y = out.fill_dense(rows)?;
+        for (d, bs) in self.bounds.iter().enumerate() {
+            for r in 0..rows {
+                let bin = bs.partition_point(|&b| b < x[r * dim + d]);
+                y[r * dim + d] = bin as f32;
+            }
+        }
+        Ok(())
+    }
+
+    fn batch_err(&self, input: &ColumnBatch) -> DataError {
+        DataError::Runtime(format!(
+            "binner wants dense[{}] batch, got {:?}",
+            self.dim(),
+            input.column_type()
+        ))
     }
 }
 

@@ -10,8 +10,9 @@
 
 use crate::annotations::Annotations;
 use crate::params::ParamBlob;
+use pretzel_data::batch::{ColRef, SparseRowMut};
 use pretzel_data::serde_bin::{wire, Cursor, Section};
-use pretzel_data::{DataError, Result, Vector};
+use pretzel_data::{ColumnBatch, DataError, Result, Vector};
 
 /// Concat parameters: the dimensionalities of the inputs, in order.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,6 +109,90 @@ impl ConcatParams {
         Ok(())
     }
 
+    /// Batch kernel: concatenates every row of the input batches into rows
+    /// of one CSR output (accumulation order identical to [`Self::apply`]).
+    pub fn eval_batch(&self, inputs: &[&ColumnBatch], out: &mut ColumnBatch) -> Result<()> {
+        if inputs.len() != self.input_dims.len() {
+            return Err(DataError::Runtime(format!(
+                "concat expects {} inputs, got {}",
+                self.input_dims.len(),
+                inputs.len()
+            )));
+        }
+        match out {
+            ColumnBatch::Sparse { dim, .. } if *dim as usize == self.dim() => {}
+            other => {
+                return Err(DataError::Runtime(format!(
+                    "concat output batch mismatch: want sparse[{}], got {:?}",
+                    self.dim(),
+                    other.column_type()
+                )))
+            }
+        }
+        out.reset();
+        let rows = inputs.first().map_or(0, |b| b.rows());
+        for r in 0..rows {
+            let mut row = out.begin_sparse_row()?;
+            let mut offset = 0u32;
+            for (i, input) in inputs.iter().enumerate() {
+                let want = self.input_dims[i];
+                self.accumulate_row(&mut row, i, want, offset, input.row(r))?;
+                offset += want;
+            }
+            row.finish();
+        }
+        Ok(())
+    }
+
+    fn accumulate_row(
+        &self,
+        row: &mut SparseRowMut<'_>,
+        i: usize,
+        want: u32,
+        offset: u32,
+        input: ColRef<'_>,
+    ) -> Result<()> {
+        match input {
+            ColRef::Dense(v) => {
+                if v.len() != want as usize {
+                    return Err(self.dim_err(i, want, v.len()));
+                }
+                for (j, &x) in v.iter().enumerate() {
+                    if x != 0.0 {
+                        row.accumulate(offset + j as u32, x);
+                    }
+                }
+            }
+            ColRef::Sparse {
+                indices,
+                values,
+                dim,
+            } => {
+                if dim != want {
+                    return Err(self.dim_err(i, want, dim as usize));
+                }
+                for (&idx, &x) in indices.iter().zip(values) {
+                    row.accumulate(offset + idx, x);
+                }
+            }
+            ColRef::Scalar(x) => {
+                if want != 1 {
+                    return Err(self.dim_err(i, want, 1));
+                }
+                if x != 0.0 {
+                    row.accumulate(offset, x);
+                }
+            }
+            other => {
+                return Err(DataError::Runtime(format!(
+                    "concat input {i} is not numeric: {:?}",
+                    other.column_type()
+                )))
+            }
+        }
+        Ok(())
+    }
+
     fn dim_err(&self, i: usize, want: u32, got: usize) -> DataError {
         DataError::Runtime(format!("concat input {i} has dim {got}, expected {want}"))
     }
@@ -156,10 +241,7 @@ mod tests {
         let sc = Vector::Scalar(7.0);
         let mut out = Vector::with_type(ColumnType::F32Sparse { len: 6 });
         p.apply(&[&dense, &sp, &sc], &mut out).unwrap();
-        assert_eq!(
-            out.to_dense(6).unwrap(),
-            vec![1.0, 0.0, 2.0, 0.0, 5.0, 7.0]
-        );
+        assert_eq!(out.to_dense(6).unwrap(), vec![1.0, 0.0, 2.0, 0.0, 5.0, 7.0]);
     }
 
     #[test]

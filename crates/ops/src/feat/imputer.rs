@@ -8,7 +8,7 @@
 use crate::annotations::Annotations;
 use crate::params::ParamBlob;
 use pretzel_data::serde_bin::{wire, Cursor, Section};
-use pretzel_data::{DataError, Result, Vector};
+use pretzel_data::{ColumnBatch, DataError, Result, Vector};
 
 /// Imputer parameters: the per-dimension fill values.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +50,30 @@ impl ImputerParams {
                 input.column_type()
             ))),
         }
+    }
+
+    /// Batch kernel: NaN replacement over the chunk's row-major matrix.
+    pub fn eval_batch(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
+        let dim = self.dim();
+        let (x, in_dim, rows) = input.as_dense().ok_or_else(|| self.batch_err(input))?;
+        if in_dim != dim || out.column_type() != (pretzel_data::ColumnType::F32Dense { len: dim }) {
+            return Err(self.batch_err(input));
+        }
+        let y = out.fill_dense(rows)?;
+        for (xr, yr) in x.chunks_exact(dim).zip(y.chunks_exact_mut(dim)) {
+            for i in 0..dim {
+                yr[i] = if xr[i].is_nan() { self.fill[i] } else { xr[i] };
+            }
+        }
+        Ok(())
+    }
+
+    fn batch_err(&self, input: &ColumnBatch) -> DataError {
+        DataError::Runtime(format!(
+            "imputer wants dense[{}] batch, got {:?}",
+            self.dim(),
+            input.column_type()
+        ))
     }
 }
 

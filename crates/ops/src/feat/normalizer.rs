@@ -6,8 +6,9 @@
 
 use crate::annotations::Annotations;
 use crate::params::ParamBlob;
+use pretzel_data::batch::ColRef;
 use pretzel_data::serde_bin::{wire, Cursor, Section};
-use pretzel_data::{DataError, Result, Vector};
+use pretzel_data::{ColumnBatch, DataError, Result, Vector};
 
 /// Norm used for scaling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +81,64 @@ impl NormalizerParams {
             }
             _ => Err(self.err(input)),
         }
+    }
+
+    /// Batch kernel: normalizes every row of the chunk, preserving the
+    /// input layout (dense rows stay dense, CSR rows stay CSR). Row math is
+    /// identical to [`Self::apply`].
+    pub fn eval_batch(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
+        let dim = self.dim as usize;
+        match input {
+            ColumnBatch::Dense { dim: in_dim, .. } => {
+                if *in_dim != dim || out.column_type() != input.column_type() {
+                    return Err(self.batch_err(input));
+                }
+                let (x, _, rows) = input.as_dense().expect("checked dense");
+                let y = out.fill_dense(rows)?;
+                for (xr, yr) in x.chunks_exact(dim).zip(y.chunks_exact_mut(dim)) {
+                    let norm = self.norm_values(xr);
+                    let inv = if norm > 0.0 { 1.0 / norm } else { 1.0 };
+                    for (o, &v) in yr.iter_mut().zip(xr.iter()) {
+                        *o = v * inv;
+                    }
+                }
+                Ok(())
+            }
+            ColumnBatch::Sparse { dim: in_dim, .. } => {
+                if *in_dim != self.dim || out.column_type() != input.column_type() {
+                    return Err(self.batch_err(input));
+                }
+                out.reset();
+                for r in 0..input.rows() {
+                    let ColRef::Sparse {
+                        indices, values, ..
+                    } = input.row(r)
+                    else {
+                        unreachable!("sparse batch rows are sparse");
+                    };
+                    let norm = self.norm_values(values);
+                    let inv = if norm > 0.0 { 1.0 / norm } else { 1.0 };
+                    let mut row = out.begin_sparse_row()?;
+                    // Input indices are sorted+unique, so each accumulate
+                    // appends at the row tail: O(nnz) copy, same values as
+                    // the per-record kernel.
+                    for (&i, &v) in indices.iter().zip(values) {
+                        row.accumulate(i, v * inv);
+                    }
+                    row.finish();
+                }
+                Ok(())
+            }
+            _ => Err(self.batch_err(input)),
+        }
+    }
+
+    fn batch_err(&self, input: &ColumnBatch) -> DataError {
+        DataError::Runtime(format!(
+            "normalizer wants matching dense/sparse[{}] batch, got {:?}",
+            self.dim,
+            input.column_type()
+        ))
     }
 
     fn norm_dense(&self, x: &[f32]) -> f32 {

@@ -7,7 +7,7 @@
 use crate::annotations::Annotations;
 use crate::params::ParamBlob;
 use pretzel_data::serde_bin::{wire, Cursor, Section};
-use pretzel_data::{DataError, Result, Vector};
+use pretzel_data::{ColumnBatch, DataError, Result, Vector};
 
 /// One-hot parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,11 +31,7 @@ impl OneHotParams {
     /// Output dimensionality: pass-through dims + indicator blocks.
     pub fn output_dim(&self) -> usize {
         let pass = self.input_dim as usize - self.encoded.len();
-        pass + self
-            .encoded
-            .iter()
-            .map(|&(_, c)| c as usize)
-            .sum::<usize>()
+        pass + self.encoded.iter().map(|&(_, c)| c as usize).sum::<usize>()
     }
 
     /// Operator annotations: memory-bound featurizer, fusible.
@@ -74,6 +70,47 @@ impl OneHotParams {
                 input.column_type()
             ))),
         }
+    }
+
+    /// Batch kernel: expands every row of the chunk (per-row logic
+    /// identical to [`Self::apply`]).
+    pub fn eval_batch(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
+        let in_dim = self.input_dim as usize;
+        let out_dim = self.output_dim();
+        let (x, got_dim, rows) = input.as_dense().ok_or_else(|| self.batch_err(input))?;
+        if got_dim != in_dim
+            || out.column_type() != (pretzel_data::ColumnType::F32Dense { len: out_dim })
+        {
+            return Err(self.batch_err(input));
+        }
+        let y = out.fill_dense(rows)?;
+        for (xr, yr) in x.chunks_exact(in_dim).zip(y.chunks_exact_mut(out_dim)) {
+            let mut w = 0usize;
+            let mut enc_iter = self.encoded.iter().peekable();
+            for (d, &v) in xr.iter().enumerate() {
+                if let Some(&&(ed, card)) = enc_iter.peek() {
+                    if ed as usize == d {
+                        enc_iter.next();
+                        let slot = (v.max(0.0) as usize).min(card as usize - 1);
+                        yr[w + slot] = 1.0;
+                        w += card as usize;
+                        continue;
+                    }
+                }
+                yr[w] = v;
+                w += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn batch_err(&self, input: &ColumnBatch) -> DataError {
+        DataError::Runtime(format!(
+            "onehot wants dense[{}] -> dense[{}] batch, got {:?}",
+            self.input_dim,
+            self.output_dim(),
+            input.column_type()
+        ))
     }
 }
 

@@ -8,7 +8,7 @@
 use crate::annotations::Annotations;
 use crate::params::ParamBlob;
 use pretzel_data::serde_bin::{wire, Cursor, Section};
-use pretzel_data::{DataError, Result, Vector};
+use pretzel_data::{ColumnBatch, DataError, Result, Vector};
 
 /// Scaler parameters: per-dimension offset and scale.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +60,32 @@ impl ScalerParams {
             ))),
         }
     }
+
+    /// Batch kernel: one flat pass over the chunk's row-major matrix — the
+    /// textbook columnar win (per-row loops identical to [`Self::apply`],
+    /// so scores stay bitwise-equal).
+    pub fn eval_batch(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
+        let dim = self.dim();
+        let (x, in_dim, rows) = input.as_dense().ok_or_else(|| self.batch_err(input))?;
+        if in_dim != dim || out.column_type() != (pretzel_data::ColumnType::F32Dense { len: dim }) {
+            return Err(self.batch_err(input));
+        }
+        let y = out.fill_dense(rows)?;
+        for (xr, yr) in x.chunks_exact(dim).zip(y.chunks_exact_mut(dim)) {
+            for i in 0..dim {
+                yr[i] = (xr[i] - self.offset[i]) * self.scale[i];
+            }
+        }
+        Ok(())
+    }
+
+    fn batch_err(&self, input: &ColumnBatch) -> DataError {
+        DataError::Runtime(format!(
+            "scaler wants dense[{}] batch, got {:?}",
+            self.dim(),
+            input.column_type()
+        ))
+    }
 }
 
 impl ParamBlob for ScalerParams {
@@ -77,7 +103,9 @@ impl ParamBlob for ScalerParams {
         let offset = Cursor::new(section.entry("offset")?).f32s()?;
         let scale = Cursor::new(section.entry("scale")?).f32s()?;
         if offset.len() != scale.len() {
-            return Err(DataError::Codec("scaler offset/scale length mismatch".into()));
+            return Err(DataError::Codec(
+                "scaler offset/scale length mismatch".into(),
+            ));
         }
         Ok(ScalerParams { offset, scale })
     }

@@ -8,7 +8,7 @@
 use crate::annotations::Annotations;
 use crate::params::ParamBlob;
 use pretzel_data::serde_bin::{wire, Cursor, Section};
-use pretzel_data::{DataError, Result, Vector};
+use pretzel_data::{ColumnBatch, DataError, Result, Vector};
 
 /// K-Means parameters: row-major centroid matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +72,41 @@ impl KMeansParams {
                 other.column_type()
             ))),
         }
+    }
+
+    /// Batch kernel: distances to every centroid for every row; the
+    /// centroid matrix stays cache-hot across the chunk (per-row math
+    /// identical to [`Self::apply`]).
+    pub fn eval_batch(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
+        let d = self.dim as usize;
+        let k = self.k as usize;
+        let (x, in_dim, rows) = input.as_dense().ok_or_else(|| {
+            DataError::Runtime(format!(
+                "kmeans wants dense[{}] batch, got {:?}",
+                self.dim,
+                input.column_type()
+            ))
+        })?;
+        if in_dim != d || out.column_type() != (pretzel_data::ColumnType::F32Dense { len: k }) {
+            return Err(DataError::Runtime(format!(
+                "kmeans wants dense[{d}] -> dense[{k}] batch, got {:?} -> {:?}",
+                input.column_type(),
+                out.column_type()
+            )));
+        }
+        let y = out.fill_dense(rows)?;
+        for (xr, yr) in x.chunks_exact(d).zip(y.chunks_exact_mut(k)) {
+            for (c, slot) in yr.iter_mut().enumerate() {
+                let row = &self.centroids[c * d..(c + 1) * d];
+                let mut acc = 0.0f32;
+                for i in 0..d {
+                    let diff = xr[i] - row[i];
+                    acc += diff * diff;
+                }
+                *slot = acc;
+            }
+        }
+        Ok(())
     }
 
     /// Index of the nearest centroid for `x` (used by tests/examples).

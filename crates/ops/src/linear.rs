@@ -13,7 +13,7 @@
 use crate::annotations::Annotations;
 use crate::params::ParamBlob;
 use pretzel_data::serde_bin::{wire, Cursor, Section};
-use pretzel_data::{DataError, Result, Vector};
+use pretzel_data::{ColRef, ColumnBatch, DataError, Result, Vector};
 
 /// Link/loss family of a linear model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,25 +65,32 @@ impl LinearParams {
     /// For a non-fused plan `offset` is 0 and the segment is the whole
     /// weight vector.
     pub fn partial_dot(&self, input: &Vector, offset: usize) -> Result<f32> {
+        self.partial_dot_row(ColRef::from_vector(input), offset)
+    }
+
+    /// Row-level [`Self::partial_dot`]: the one dot-product kernel both the
+    /// per-record and the columnar batch path execute, so batch scores are
+    /// bitwise-identical to single-record scores.
+    pub fn partial_dot_row(&self, input: ColRef<'_>, offset: usize) -> Result<f32> {
         match input {
-            Vector::Dense(x) => {
+            ColRef::Dense(x) => {
                 let seg = self.segment(offset, x.len())?;
                 // Slice zip: bounds-check-free, auto-vectorizes.
                 Ok(x.iter().zip(seg).map(|(a, b)| a * b).sum())
             }
-            Vector::Sparse {
+            ColRef::Sparse {
                 indices,
                 values,
                 dim,
             } => {
-                let seg = self.segment(offset, *dim as usize)?;
+                let seg = self.segment(offset, dim as usize)?;
                 let mut acc = 0.0f32;
                 for (&i, &v) in indices.iter().zip(values) {
                     acc += v * seg[i as usize];
                 }
                 Ok(acc)
             }
-            Vector::Scalar(x) => {
+            ColRef::Scalar(x) => {
                 let seg = self.segment(offset, 1)?;
                 Ok(x * seg[0])
             }
@@ -92,6 +99,48 @@ impl LinearParams {
                 other.column_type()
             ))),
         }
+    }
+
+    /// Batch kernel: scores every row of `input` into a scalar batch.
+    ///
+    /// One pass over the chunk keeps the weight vector hot in cache across
+    /// rows — the data-plane benefit chunked scheduling alone never had.
+    pub fn eval_batch(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
+        let rows = input.rows();
+        if out.column_type() != pretzel_data::ColumnType::F32Scalar {
+            return Err(DataError::Runtime(format!(
+                "linear model output must be scalar, got {:?}",
+                out.column_type()
+            )));
+        }
+        let y = out.fill_scalar(rows)?;
+        for (r, slot) in y.iter_mut().enumerate() {
+            let z = self.partial_dot_row(input.row(r), 0)? + self.bias;
+            *slot = self.link(z);
+        }
+        Ok(())
+    }
+
+    /// Batch kernel for the pushed-down partial dot: every row of `input`
+    /// against the weight segment at `offset`, no bias, no link.
+    pub fn partial_dot_batch(
+        &self,
+        input: &ColumnBatch,
+        offset: usize,
+        out: &mut ColumnBatch,
+    ) -> Result<()> {
+        let rows = input.rows();
+        if out.column_type() != pretzel_data::ColumnType::F32Scalar {
+            return Err(DataError::Runtime(format!(
+                "partial dot output must be scalar, got {:?}",
+                out.column_type()
+            )));
+        }
+        let y = out.fill_scalar(rows)?;
+        for (r, slot) in y.iter_mut().enumerate() {
+            *slot = self.partial_dot_row(input.row(r), offset)?;
+        }
+        Ok(())
     }
 
     fn segment(&self, offset: usize, len: usize) -> Result<&[f32]> {

@@ -27,7 +27,7 @@ use crate::text::tokenizer::TokenizerParams;
 use crate::tree::{EnsembleParams, MulticlassTreeParams};
 use pretzel_data::serde_bin::Section;
 use pretzel_data::vector::Span;
-use pretzel_data::{ColumnType, DataError, Result, Schema, Vector};
+use pretzel_data::{ColumnBatch, ColumnType, DataError, Result, Schema, Vector};
 use std::sync::Arc;
 
 /// Operator kind tag (fieldless mirror of [`Op`]).
@@ -192,6 +192,23 @@ fn one_input<'a>(inputs: &[&'a Vector]) -> Result<&'a Vector> {
     }
 }
 
+fn one_batch<'a>(inputs: &[&'a ColumnBatch]) -> Result<&'a ColumnBatch> {
+    match inputs {
+        [b] => Ok(b),
+        _ => Err(DataError::Runtime(format!(
+            "expected exactly one input batch, got {}",
+            inputs.len()
+        ))),
+    }
+}
+
+fn batch_at<'a>(inputs: &[&'a ColumnBatch], i: usize) -> Result<&'a ColumnBatch> {
+    inputs
+        .get(i)
+        .copied()
+        .ok_or_else(|| DataError::Runtime(format!("expected input batch at {i}")))
+}
+
 impl Op {
     /// The operator kind.
     pub fn kind(&self) -> OpKind {
@@ -272,9 +289,8 @@ impl Op {
                 }),
             }
         };
-        let text = |i: usize| -> Result<()> {
-            Schema::check_compat(name, ColumnType::Text, inputs[i])
-        };
+        let text =
+            |i: usize| -> Result<()> { Schema::check_compat(name, ColumnType::Text, inputs[i]) };
         match self {
             Op::CsvParse(p) => {
                 text(0)?;
@@ -383,6 +399,42 @@ impl Op {
             Op::TreeFeaturizer(p) => p.apply_featurize(one_input(inputs)?, out),
             Op::KMeans(p) => p.apply(one_input(inputs)?, out),
             Op::Pca(p) => p.apply(one_input(inputs)?, out),
+        }
+    }
+
+    /// Executes the operator's columnar batch kernel: `inputs` → `out`,
+    /// whole chunk at a time.
+    ///
+    /// Every operator family has a batch kernel; families where batching
+    /// genuinely vectorizes (dense math: scaler, imputer, binner, one-hot,
+    /// linear, bayes, kmeans, pca, trees) traverse the chunk's row-major
+    /// storage flat, while text featurizers iterate rows through the same
+    /// inner loops as [`Op::apply`] — either way the per-row arithmetic is
+    /// identical, so batch scores are bitwise-equal to per-record scores.
+    pub fn apply_batch(&self, inputs: &[&ColumnBatch], out: &mut ColumnBatch) -> Result<()> {
+        match self {
+            Op::CsvParse(p) => p.eval_batch(one_batch(inputs)?, out),
+            Op::Tokenizer(p) => p.eval_batch(one_batch(inputs)?, out),
+            Op::CharNgram(p) => p.eval_batch_char(one_batch(inputs)?, out),
+            Op::WordNgram(p) => {
+                let text = batch_at(inputs, 0)?;
+                let toks = batch_at(inputs, 1)?;
+                p.eval_batch_word(text, toks, out)
+            }
+            Op::HashingVectorizer(p) => p.eval_batch(one_batch(inputs)?, out),
+            Op::Concat(p) => p.eval_batch(inputs, out),
+            Op::Normalizer(p) => p.eval_batch(one_batch(inputs)?, out),
+            Op::Scaler(p) => p.eval_batch(one_batch(inputs)?, out),
+            Op::Imputer(p) => p.eval_batch(one_batch(inputs)?, out),
+            Op::Binner(p) => p.eval_batch(one_batch(inputs)?, out),
+            Op::OneHot(p) => p.eval_batch(one_batch(inputs)?, out),
+            Op::Linear(p) => p.eval_batch(one_batch(inputs)?, out),
+            Op::NaiveBayes(p) => p.eval_batch(one_batch(inputs)?, out),
+            Op::TreeEnsemble(p) => p.eval_batch(one_batch(inputs)?, out),
+            Op::MulticlassTree(p) => p.eval_batch(one_batch(inputs)?, out),
+            Op::TreeFeaturizer(p) => p.eval_batch_featurize(one_batch(inputs)?, out),
+            Op::KMeans(p) => p.eval_batch(one_batch(inputs)?, out),
+            Op::Pca(p) => p.eval_batch(one_batch(inputs)?, out),
         }
     }
 
@@ -539,9 +591,7 @@ impl Op {
             }
             "KMeans" => Op::KMeans(Arc::new(KMeansParams::from_entries(section)?)),
             "Pca" => Op::Pca(Arc::new(PcaParams::from_entries(section)?)),
-            other => {
-                return Err(DataError::Codec(format!("unknown operator kind `{other}`")))
-            }
+            other => return Err(DataError::Codec(format!("unknown operator kind `{other}`"))),
         })
     }
 }
@@ -549,6 +599,8 @@ impl Op {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::feat::normalizer::{NormKind, NormalizerParams};
+    use crate::feat::onehot::OneHotParams;
     use crate::linear::{LinearKind, LinearParams};
     use crate::text::ngram::NgramParams;
     use crate::text::tokenizer::TokenizerParams;
@@ -672,8 +724,8 @@ mod tests {
         use crate::text::hashing::HashingParams;
         use crate::tree::MulticlassTreeParams;
 
-        let ens = EnsembleParams::new(vec![Tree::leaf(2.0)], vec![1.0], EnsembleMode::Sum, 4)
-            .unwrap();
+        let ens =
+            EnsembleParams::new(vec![Tree::leaf(2.0)], vec![1.0], EnsembleMode::Sum, 4).unwrap();
         let all: Vec<Op> = vec![
             Op::CsvParse(Arc::new(CsvParams::select_text(1))),
             Op::Tokenizer(Arc::new(TokenizerParams::whitespace_punct())),
@@ -733,6 +785,126 @@ mod tests {
             entries: vec![],
         };
         assert!(Op::from_section(&unnamed).is_err());
+    }
+
+    #[test]
+    fn batch_kernels_match_per_record_for_every_family() {
+        use crate::synth;
+        use pretzel_data::ColumnBatch;
+
+        // One op per family with numeric input, exercised over a small
+        // batch of dense records; batch rows must be bitwise-equal to
+        // per-record outputs.
+        let dim = 8;
+        let numeric_ops: Vec<Op> = vec![
+            Op::Scaler(Arc::new(synth::scaler(1, dim))),
+            Op::Imputer(Arc::new(synth::imputer(2, dim))),
+            Op::Binner(Arc::new(synth::binner(3, dim, 4))),
+            Op::OneHot(Arc::new(OneHotParams::new(
+                dim as u32,
+                vec![(1, 3), (5, 2)],
+            ))),
+            Op::Normalizer(Arc::new(NormalizerParams::new(NormKind::L2, dim as u32))),
+            Op::Linear(Arc::new(synth::linear(4, dim, LinearKind::Logistic))),
+            Op::NaiveBayes(Arc::new(synth::naive_bayes(5, 3, dim))),
+            Op::TreeEnsemble(Arc::new(synth::ensemble(
+                6,
+                dim,
+                4,
+                3,
+                EnsembleMode::Average,
+            ))),
+            Op::TreeFeaturizer(Arc::new(synth::ensemble(7, dim, 3, 3, EnsembleMode::Sum))),
+            Op::KMeans(Arc::new(synth::kmeans(8, 4, dim))),
+            Op::Pca(Arc::new(synth::pca(9, 3, dim))),
+        ];
+        let records: Vec<Vector> = (0..5)
+            .map(|r| {
+                Vector::Dense(
+                    (0..dim)
+                        .map(|i| ((r * dim + i) as f32 * 0.37).sin() * 3.0)
+                        .collect(),
+                )
+            })
+            .collect();
+        for op in numeric_ops {
+            let out_ty = op
+                .output_type(&[ColumnType::F32Dense { len: dim }])
+                .unwrap();
+            // Batch path.
+            let mut input = ColumnBatch::with_type(ColumnType::F32Dense { len: dim });
+            for r in &records {
+                input.push_vector(r).unwrap();
+            }
+            let mut out_batch = ColumnBatch::with_type(out_ty);
+            op.apply_batch(&[&input], &mut out_batch).unwrap();
+            assert_eq!(out_batch.rows(), records.len(), "{}", op.kind().name());
+            // Per-record reference.
+            for (i, r) in records.iter().enumerate() {
+                let mut out = Vector::with_type(out_ty);
+                op.apply(&[r], &mut out).unwrap();
+                let mut row_as_batch = ColumnBatch::with_type(out_ty);
+                row_as_batch.push_vector(&out).unwrap();
+                assert_eq!(
+                    format!("{:?}", out_batch.row(i)),
+                    format!("{:?}", row_as_batch.row(0)),
+                    "{} row {i} diverges",
+                    op.kind().name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_text_chain_matches_per_record() {
+        use pretzel_data::ColumnBatch;
+        let tok = Op::Tokenizer(Arc::new(TokenizerParams::whitespace_punct()));
+        let wng = &sa_ops()[2];
+        let cng = &sa_ops()[1];
+        let lines = ["a NICE day", "", "bad nice bad", "punctuation, too!"];
+
+        let mut text = ColumnBatch::with_type(ColumnType::Text);
+        for l in &lines {
+            text.push_text(l).unwrap();
+        }
+        let mut toks = ColumnBatch::with_type(ColumnType::TokenList);
+        tok.apply_batch(&[&text], &mut toks).unwrap();
+        let mut cgrams = ColumnBatch::with_type(ColumnType::F32Sparse { len: 1 });
+        cng.apply_batch(&[&text], &mut cgrams).unwrap();
+        let mut wgrams = ColumnBatch::with_type(ColumnType::F32Sparse { len: 2 });
+        wng.apply_batch(&[&text, &toks], &mut wgrams).unwrap();
+
+        for (i, line) in lines.iter().enumerate() {
+            let tv = Vector::Text(line.to_string());
+            let mut tok_v = Vector::with_type(ColumnType::TokenList);
+            tok.apply(&[&tv], &mut tok_v).unwrap();
+            let mut cg = Vector::with_type(ColumnType::F32Sparse { len: 1 });
+            cng.apply(&[&tv], &mut cg).unwrap();
+            let mut wg = Vector::with_type(ColumnType::F32Sparse { len: 2 });
+            wng.apply(&[&tv, &tok_v], &mut wg).unwrap();
+
+            let mut ref_toks = ColumnBatch::with_type(ColumnType::TokenList);
+            ref_toks.push_vector(&tok_v).unwrap();
+            assert_eq!(
+                format!("{:?}", toks.row(i)),
+                format!("{:?}", ref_toks.row(0)),
+                "tokens row {i}"
+            );
+            let mut ref_cg = ColumnBatch::with_type(ColumnType::F32Sparse { len: 1 });
+            ref_cg.push_vector(&cg).unwrap();
+            assert_eq!(
+                format!("{:?}", cgrams.row(i)),
+                format!("{:?}", ref_cg.row(0)),
+                "char ngram row {i}"
+            );
+            let mut ref_wg = ColumnBatch::with_type(ColumnType::F32Sparse { len: 2 });
+            ref_wg.push_vector(&wg).unwrap();
+            assert_eq!(
+                format!("{:?}", wgrams.row(i)),
+                format!("{:?}", ref_wg.row(0)),
+                "word ngram row {i}"
+            );
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use crate::annotations::Annotations;
 use crate::params::ParamBlob;
 use pretzel_data::serde_bin::{wire, Cursor, Section};
-use pretzel_data::{DataError, Result, Vector};
+use pretzel_data::{ColumnBatch, DataError, Result, Vector};
 
 /// PCA parameters: mean vector plus row-major component matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,9 +25,7 @@ pub struct PcaParams {
 impl PcaParams {
     /// Creates a projector; validates matrix shapes.
     pub fn new(mean: Vec<f32>, components: Vec<f32>, m: u32, dim: u32) -> Result<Self> {
-        if mean.len() != dim as usize
-            || components.len() != (m as usize) * (dim as usize)
-            || m == 0
+        if mean.len() != dim as usize || components.len() != (m as usize) * (dim as usize) || m == 0
         {
             return Err(DataError::Codec(format!(
                 "pca shapes: mean {}, comps {}, m {m}, dim {dim}",
@@ -79,6 +77,40 @@ impl PcaParams {
                 other.column_type()
             ))),
         }
+    }
+
+    /// Batch kernel: projects every row of the chunk; the component matrix
+    /// stays cache-hot across rows (per-row math identical to
+    /// [`Self::apply`]).
+    pub fn eval_batch(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
+        let d = self.dim as usize;
+        let m = self.m as usize;
+        let (x, in_dim, rows) = input.as_dense().ok_or_else(|| {
+            DataError::Runtime(format!(
+                "pca wants dense[{}] batch, got {:?}",
+                self.dim,
+                input.column_type()
+            ))
+        })?;
+        if in_dim != d || out.column_type() != (pretzel_data::ColumnType::F32Dense { len: m }) {
+            return Err(DataError::Runtime(format!(
+                "pca wants dense[{d}] -> dense[{m}] batch, got {:?} -> {:?}",
+                input.column_type(),
+                out.column_type()
+            )));
+        }
+        let y = out.fill_dense(rows)?;
+        for (xr, yr) in x.chunks_exact(d).zip(y.chunks_exact_mut(m)) {
+            for (c, slot) in yr.iter_mut().enumerate() {
+                let row = &self.components[c * d..(c + 1) * d];
+                let mut acc = 0.0f32;
+                for i in 0..d {
+                    acc += (xr[i] - self.mean[i]) * row[i];
+                }
+                *slot = acc;
+            }
+        }
+        Ok(())
     }
 }
 

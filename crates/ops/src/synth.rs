@@ -245,7 +245,10 @@ mod tests {
 
     #[test]
     fn synthesis_is_deterministic() {
-        assert_eq!(linear(7, 32, LinearKind::Logistic), linear(7, 32, LinearKind::Logistic));
+        assert_eq!(
+            linear(7, 32, LinearKind::Logistic),
+            linear(7, 32, LinearKind::Logistic)
+        );
         assert_eq!(char_ngram(3, 3, 100), char_ngram(3, 3, 100));
         let v = vocabulary(1, 50);
         assert_eq!(word_ngram(9, 2, 40, &v), word_ngram(9, 2, 40, &v));

@@ -9,7 +9,7 @@
 use crate::annotations::Annotations;
 use crate::params::ParamBlob;
 use pretzel_data::serde_bin::{wire, Cursor, Section};
-use pretzel_data::{ColumnType, DataError, Result, Vector};
+use pretzel_data::{ColRef, ColumnBatch, ColumnType, DataError, Result, Vector};
 
 /// What the parser extracts from each line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +108,53 @@ impl CsvParams {
                 out.column_type()
             ))),
         }
+    }
+
+    /// Batch kernel: parses every text row of the chunk (field selection
+    /// and numeric parsing identical to [`Self::apply`]).
+    pub fn eval_batch(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
+        if out.column_type() != self.output_type() {
+            return Err(DataError::Runtime(format!(
+                "csv output batch variant mismatch: {:?}",
+                out.column_type()
+            )));
+        }
+        out.reset();
+        for r in 0..input.rows() {
+            let ColRef::Text(line) = input.row(r) else {
+                return Err(DataError::Runtime(format!(
+                    "csv parser wants text batch, got {:?}",
+                    input.column_type()
+                )));
+            };
+            match self.output {
+                CsvOutput::TextField { index } => {
+                    let field = split_field(line, self.separator, index).ok_or_else(|| {
+                        DataError::Runtime(format!("csv line has no field {index}: `{line}`"))
+                    })?;
+                    out.push_text(field)?;
+                }
+                CsvOutput::DenseFields { len } => {
+                    let dst = out.push_dense_row()?;
+                    let mut count = 0usize;
+                    for (i, field) in line.split(self.separator as char).enumerate() {
+                        if i >= len as usize {
+                            break;
+                        }
+                        dst[i] = field.trim().parse::<f32>().map_err(|e| {
+                            DataError::Runtime(format!("bad numeric field {i} `{field}`: {e}"))
+                        })?;
+                        count += 1;
+                    }
+                    if count < len as usize {
+                        return Err(DataError::Runtime(format!(
+                            "csv line has {count} fields, expected {len}"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 

@@ -10,7 +10,7 @@ use crate::annotations::Annotations;
 use crate::params::ParamBlob;
 use pretzel_data::hash::Fnv1a;
 use pretzel_data::serde_bin::{wire, Cursor, Section};
-use pretzel_data::{DataError, Result, Vector};
+use pretzel_data::{ColRef, ColumnBatch, DataError, Result, Vector};
 
 /// Parameters of the hashing vectorizer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +43,29 @@ impl HashingParams {
         Annotations::featurizer()
     }
 
+    /// Streams the bucket index of every `n`-byte window of `text` — the
+    /// one hashing loop both the per-record and the batch kernel run.
+    #[inline]
+    pub fn for_each_bucket(&self, text: &str, mut f: impl FnMut(u32)) {
+        let bytes = text.as_bytes();
+        let n = self.n as usize;
+        if bytes.len() < n || self.buckets == 0 {
+            return;
+        }
+        for w in bytes.windows(n) {
+            let mut h = Fnv1a::new();
+            for &b in w {
+                let fb = if self.fold_case && b.is_ascii_uppercase() {
+                    b | 0x20
+                } else {
+                    b
+                };
+                h.write(&[fb]);
+            }
+            f((h.finish() % u64::from(self.buckets)) as u32);
+        }
+    }
+
     /// Hashes every `n`-byte window of `text` into the output buckets.
     pub fn apply(&self, text: &str, out: &mut Vector) -> Result<()> {
         match out {
@@ -56,23 +79,34 @@ impl HashingParams {
             }
         }
         out.reset();
-        let bytes = text.as_bytes();
-        let n = self.n as usize;
-        if bytes.len() < n || self.buckets == 0 {
-            return Ok(());
-        }
-        for w in bytes.windows(n) {
-            let mut h = Fnv1a::new();
-            for &b in w {
-                let f = if self.fold_case && b.is_ascii_uppercase() {
-                    b | 0x20
-                } else {
-                    b
-                };
-                h.write(&[f]);
+        self.for_each_bucket(text, |idx| out.sparse_accumulate(idx, 1.0));
+        Ok(())
+    }
+
+    /// Batch kernel: every text row hashed into one CSR row (window order
+    /// and duplicate-summing identical to [`Self::apply`]).
+    pub fn eval_batch(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
+        match out {
+            ColumnBatch::Sparse { dim, .. } if *dim == self.buckets => {}
+            other => {
+                return Err(DataError::Runtime(format!(
+                    "hashing output batch mismatch: want sparse[{}], got {:?}",
+                    self.buckets,
+                    other.column_type()
+                )))
             }
-            let idx = (h.finish() % u64::from(self.buckets)) as u32;
-            out.sparse_accumulate(idx, 1.0);
+        }
+        out.reset();
+        for r in 0..input.rows() {
+            let ColRef::Text(text) = input.row(r) else {
+                return Err(DataError::Runtime(format!(
+                    "hashing vectorizer wants text batch, got {:?}",
+                    input.column_type()
+                )));
+            };
+            let mut row = out.begin_sparse_row()?;
+            self.for_each_bucket(text, |idx| row.accumulate(idx, 1.0));
+            row.finish();
         }
         Ok(())
     }

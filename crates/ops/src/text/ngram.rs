@@ -18,7 +18,7 @@ use crate::params::{hashmap_bytes, ParamBlob};
 use pretzel_data::hash::Fnv1a;
 use pretzel_data::serde_bin::{wire, Cursor, Section};
 use pretzel_data::vector::Span;
-use pretzel_data::{DataError, Result, Vector};
+use pretzel_data::{ColRef, ColumnBatch, DataError, Result, Vector};
 use std::collections::HashMap;
 
 /// Separator byte between tokens when hashing word n-grams.
@@ -38,7 +38,9 @@ fn fold(b: u8, fold_case: bool) -> u8 {
 #[derive(Debug, Clone)]
 pub struct NgramDict {
     keys: Vec<Box<str>>,
-    map: HashMap<u64, u32>,
+    // Keys are already FNV-1a hashes; a pass-through hasher avoids paying
+    // SipHash on every probe of the hottest loop in the SA workload.
+    map: HashMap<u64, u32, pretzel_data::hash::PrehashedBuild>,
     fold_case: bool,
 }
 
@@ -55,7 +57,8 @@ impl NgramDict {
     /// Later duplicates (after case folding) are ignored, keeping the first
     /// index, so dictionary indices are stable.
     pub fn new(keys: Vec<Box<str>>, fold_case: bool) -> Self {
-        let mut map = HashMap::with_capacity(keys.len());
+        let mut map: HashMap<u64, u32, pretzel_data::hash::PrehashedBuild> =
+            HashMap::with_capacity_and_hasher(keys.len(), Default::default());
         for (i, k) in keys.iter().enumerate() {
             let h = Self::hash_key(k, fold_case);
             map.entry(h).or_insert(i as u32);
@@ -221,11 +224,66 @@ impl NgramParams {
         Ok(())
     }
 
+    /// Batch character-level extraction: every text row into one CSR row.
+    /// Per-row match order and duplicate-summing are exactly
+    /// [`Self::apply_char`]'s, so rows are bitwise-identical.
+    pub fn eval_batch_char(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
+        self.check_batch_out(out)?;
+        out.reset();
+        for r in 0..input.rows() {
+            let ColRef::Text(text) = input.row(r) else {
+                return Err(DataError::Runtime(format!(
+                    "char ngram wants text batch, got {:?}",
+                    input.column_type()
+                )));
+            };
+            let mut row = out.begin_sparse_row()?;
+            self.for_each_char_match(text, |idx| row.accumulate(idx, 1.0));
+            row.finish();
+        }
+        Ok(())
+    }
+
+    /// Batch word-level extraction over parallel text and token batches.
+    pub fn eval_batch_word(
+        &self,
+        text: &ColumnBatch,
+        tokens: &ColumnBatch,
+        out: &mut ColumnBatch,
+    ) -> Result<()> {
+        self.check_batch_out(out)?;
+        out.reset();
+        for r in 0..text.rows() {
+            let (ColRef::Text(t), ColRef::Tokens(spans)) = (text.row(r), tokens.row(r)) else {
+                return Err(DataError::Runtime(format!(
+                    "word ngram wants text+token batches, got {:?}+{:?}",
+                    text.column_type(),
+                    tokens.column_type()
+                )));
+            };
+            let mut row = out.begin_sparse_row()?;
+            self.for_each_word_match(t, spans, |idx| row.accumulate(idx, 1.0));
+            row.finish();
+        }
+        Ok(())
+    }
+
     fn lengths(&self) -> std::ops::RangeInclusive<u32> {
         if self.all_lengths {
             1..=self.n
         } else {
             self.n..=self.n
+        }
+    }
+
+    fn check_batch_out(&self, out: &ColumnBatch) -> Result<()> {
+        match out {
+            ColumnBatch::Sparse { dim, .. } if *dim as usize == self.dim() => Ok(()),
+            other => Err(DataError::Runtime(format!(
+                "ngram output batch mismatch: want sparse[{}], got {:?}",
+                self.dim(),
+                other.column_type()
+            ))),
         }
     }
 
@@ -290,7 +348,11 @@ mod tests {
         match v {
             Vector::Sparse {
                 indices, values, ..
-            } => indices.iter().copied().zip(values.iter().copied()).collect(),
+            } => indices
+                .iter()
+                .copied()
+                .zip(values.iter().copied())
+                .collect(),
             _ => panic!("not sparse"),
         }
     }
@@ -377,7 +439,10 @@ mod tests {
         let q = NgramParams::from_entries(&section).unwrap();
         assert_eq!(p, q);
         assert_eq!(p.checksum(), q.checksum());
-        assert!(q.dict.probe(NgramDict::hash_key("not good", true)).is_some());
+        assert!(q
+            .dict
+            .probe(NgramDict::hash_key("not good", true))
+            .is_some());
     }
 
     #[test]

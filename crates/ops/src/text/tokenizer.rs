@@ -10,7 +10,7 @@ use crate::annotations::Annotations;
 use crate::params::ParamBlob;
 use pretzel_data::serde_bin::{wire, Cursor, Section};
 use pretzel_data::vector::Span;
-use pretzel_data::{DataError, Result, Vector};
+use pretzel_data::{ColRef, ColumnBatch, DataError, Result, Vector};
 
 /// Tokenizer parameters: the delimiter byte set.
 #[derive(Debug, Clone)]
@@ -75,6 +75,13 @@ impl TokenizerParams {
             }
         };
         spans.clear();
+        self.tokenize_append(text, spans);
+        Ok(())
+    }
+
+    /// The core span scan, appending to `spans` — shared by the per-record
+    /// and the columnar batch kernel so both emit identical spans.
+    fn tokenize_append(&self, text: &str, spans: &mut Vec<Span>) {
         let bytes = text.as_bytes();
         let mut start: Option<usize> = None;
         for (i, &b) in bytes.iter().enumerate() {
@@ -88,6 +95,25 @@ impl TokenizerParams {
         }
         if let Some(s) = start {
             spans.push(Span::new(s as u32, bytes.len() as u32));
+        }
+    }
+
+    /// Batch kernel: tokenizes every text row into one packed token batch.
+    /// Spans stay relative to each row's own text, so downstream batch
+    /// featurizers slice rows zero-copy exactly like the per-record path.
+    pub fn eval_batch(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
+        if !matches!(input, ColumnBatch::Text { .. }) {
+            return Err(DataError::Runtime(format!(
+                "tokenizer wants text batch, got {:?}",
+                input.column_type()
+            )));
+        }
+        out.reset();
+        for r in 0..input.rows() {
+            let ColRef::Text(text) = input.row(r) else {
+                unreachable!("text batch rows are text");
+            };
+            out.push_tokens_with(|spans| self.tokenize_append(text, spans))?;
         }
         Ok(())
     }

@@ -8,8 +8,9 @@
 
 use crate::annotations::Annotations;
 use crate::params::ParamBlob;
+use pretzel_data::batch::ColRef;
 use pretzel_data::serde_bin::{wire, Cursor, Section};
-use pretzel_data::{DataError, Result, Vector};
+use pretzel_data::{ColumnBatch, DataError, Result, Vector};
 
 /// A single decision tree in flat-array form.
 ///
@@ -158,17 +159,7 @@ impl Tree {
 /// reads return 0 (trees validated against the input dim never do this, but
 /// sparse semantics make absent == 0 the right default).
 pub fn feature_value(input: &Vector, idx: usize) -> f32 {
-    match input {
-        Vector::Dense(v) => v.get(idx).copied().unwrap_or(0.0),
-        Vector::Sparse {
-            indices, values, ..
-        } => match indices.binary_search(&(idx as u32)) {
-            Ok(p) => values[p],
-            Err(_) => 0.0,
-        },
-        Vector::Scalar(x) if idx == 0 => *x,
-        _ => 0.0,
-    }
+    ColRef::from_vector(input).feature(idx)
 }
 
 /// How an ensemble combines member scores.
@@ -278,11 +269,77 @@ impl EnsembleParams {
         Ok(())
     }
 
+    /// Batch kernel: scores every row of the chunk into a scalar batch;
+    /// the flat tree arrays stay cache-hot across rows (traversal identical
+    /// to [`Self::apply`]).
+    pub fn eval_batch(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
+        self.check_batch_input(input)?;
+        let rows = input.rows();
+        if out.column_type() != pretzel_data::ColumnType::F32Scalar {
+            return Err(DataError::Runtime(format!(
+                "ensemble output must be scalar, got {:?}",
+                out.column_type()
+            )));
+        }
+        let y = out.fill_scalar(rows)?;
+        for (r, slot) in y.iter_mut().enumerate() {
+            let row = input.row(r);
+            let mut acc = 0.0f32;
+            for (t, &w) in self.trees.iter().zip(&self.weights) {
+                acc += w * t.eval(|i| row.feature(i)).1;
+            }
+            if self.mode == EnsembleMode::Average {
+                acc /= self.trees.len() as f32;
+            }
+            *slot = acc;
+        }
+        Ok(())
+    }
+
+    /// Batch TreeFeaturizer: leaf one-hots for every row, packed into one
+    /// CSR batch (row construction identical to [`Self::apply_featurize`]).
+    pub fn eval_batch_featurize(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
+        self.check_batch_input(input)?;
+        match out {
+            ColumnBatch::Sparse { dim, .. } if *dim as usize == self.total_leaves() => {}
+            other => {
+                return Err(DataError::Runtime(format!(
+                    "tree featurizer wants sparse[{}] batch, got {:?}",
+                    self.total_leaves(),
+                    other.column_type()
+                )))
+            }
+        }
+        out.reset();
+        for r in 0..input.rows() {
+            let row = input.row(r);
+            let mut srow = out.begin_sparse_row()?;
+            let mut offset = 0u32;
+            for t in &self.trees {
+                let (leaf, _) = t.eval(|i| row.feature(i));
+                srow.accumulate(offset + leaf as u32, 1.0);
+                offset += t.leaves() as u32;
+            }
+            srow.finish();
+        }
+        Ok(())
+    }
+
     fn check_input(&self, input: &Vector) -> Result<()> {
         match input.column_type().dimension() {
             Some(d) if d == self.input_dim as usize => Ok(()),
             other => Err(DataError::Runtime(format!(
                 "ensemble wants numeric[{}], got {other:?}",
+                self.input_dim
+            ))),
+        }
+    }
+
+    fn check_batch_input(&self, input: &ColumnBatch) -> Result<()> {
+        match input.column_type().dimension() {
+            Some(d) if d == self.input_dim as usize => Ok(()),
+            other => Err(DataError::Runtime(format!(
+                "ensemble wants numeric[{}] batch, got {other:?}",
                 self.input_dim
             ))),
         }
@@ -393,6 +450,44 @@ impl MulticlassTreeParams {
             ))),
         }
     }
+
+    /// Batch kernel: per-class ensemble scores for every row (per-row
+    /// evaluation identical to [`Self::apply`]).
+    pub fn eval_batch(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
+        let classes = self.classes();
+        if out.column_type() != (pretzel_data::ColumnType::F32Dense { len: classes }) {
+            return Err(DataError::Runtime(format!(
+                "multiclass output wants dense[{classes}] batch, got {:?}",
+                out.column_type()
+            )));
+        }
+        match input.column_type().dimension() {
+            Some(d) if d == self.input_dim() as usize => {}
+            other => {
+                return Err(DataError::Runtime(format!(
+                    "multiclass wants numeric[{}] batch, got {other:?}",
+                    self.input_dim()
+                )))
+            }
+        }
+        let rows = input.rows();
+        let y = out.fill_dense(rows)?;
+        for r in 0..rows {
+            let row = input.row(r);
+            let yr = &mut y[r * classes..(r + 1) * classes];
+            for (c, ens) in self.per_class.iter().enumerate() {
+                let mut acc = 0.0f32;
+                for (t, &w) in ens.trees.iter().zip(&ens.weights) {
+                    acc += w * t.eval(|i| row.feature(i)).1;
+                }
+                if ens.mode == EnsembleMode::Average {
+                    acc /= ens.trees.len() as f32;
+                }
+                yr[c] = acc;
+            }
+        }
+        Ok(())
+    }
 }
 
 impl ParamBlob for MulticlassTreeParams {
@@ -492,8 +587,7 @@ mod tests {
     #[test]
     fn ensemble_sum_and_average() {
         let trees = vec![Tree::leaf(1.0), Tree::leaf(3.0)];
-        let sum =
-            EnsembleParams::new(trees.clone(), vec![1.0, 1.0], EnsembleMode::Sum, 2).unwrap();
+        let sum = EnsembleParams::new(trees.clone(), vec![1.0, 1.0], EnsembleMode::Sum, 2).unwrap();
         let avg = EnsembleParams::new(trees, vec![1.0, 1.0], EnsembleMode::Average, 2).unwrap();
         let x = Vector::Dense(vec![0.0, 0.0]);
         let mut out = Vector::Scalar(0.0);
@@ -562,8 +656,12 @@ mod tests {
     #[test]
     fn multiclass_round_trip() {
         let mk = |v: f32| {
-            EnsembleParams::new(vec![sample_tree(), Tree::leaf(v)], vec![1.0, 1.0],
-                EnsembleMode::Sum, 2)
+            EnsembleParams::new(
+                vec![sample_tree(), Tree::leaf(v)],
+                vec![1.0, 1.0],
+                EnsembleMode::Sum,
+                2,
+            )
             .unwrap()
         };
         let mc = MulticlassTreeParams::new(vec![mk(1.0), mk(2.0)]).unwrap();

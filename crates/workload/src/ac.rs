@@ -27,6 +27,11 @@ pub struct AcConfig {
     pub n_pipelines: usize,
     /// Input dimensionality (paper: 40).
     pub input_dim: usize,
+    /// Ingest pre-parsed dense records (`Record::Dense`) instead of CSV
+    /// text. The paper's AC pipelines read structured text; the dense
+    /// variant serves data-plane benchmarks where float parsing would
+    /// otherwise dominate the measurement.
+    pub dense_input: bool,
     /// Master seed.
     pub seed: u64,
 }
@@ -36,6 +41,7 @@ impl Default for AcConfig {
         AcConfig {
             n_pipelines: 250,
             input_dim: 40,
+            dense_input: false,
             seed: 0xacac,
         }
     }
@@ -47,6 +53,7 @@ impl AcConfig {
         AcConfig {
             n_pipelines: 8,
             input_dim: 12,
+            dense_input: false,
             seed: 0xacac,
         }
     }
@@ -92,19 +99,16 @@ pub fn build(config: &AcConfig) -> AcWorkload {
     AcWorkload { graphs, shapes }
 }
 
-fn build_pipeline(
-    config: &AcConfig,
-    k: usize,
-    shape: AcShape,
-    rng: &mut StdRng,
-) -> TransformGraph {
+fn build_pipeline(config: &AcConfig, k: usize, shape: AcShape, rng: &mut StdRng) -> TransformGraph {
     let dim = config.input_dim;
     let seed = config.seed ^ ((k as u64 + 1) << 8);
     let ctx = FlourContext::new();
-    let source = ctx
-        .csv(',')
-        .dense_features(dim as u32)
-        .with_stats(NodeStats::new(dim, 1.0));
+    let source = if config.dense_input {
+        ctx.dense_source(dim)
+    } else {
+        ctx.csv(',').dense_features(dim as u32)
+    }
+    .with_stats(NodeStats::new(dim, 1.0));
 
     // Dataset-derived featurizer parameters (imputation means, scaling
     // statistics, PCA bases, KMeans centroids) are functions of the shared
@@ -127,7 +131,11 @@ fn build_pipeline(
             let m = rng.gen_range(4..=dim.min(12));
             let kk = rng.gen_range(3..=8);
             let p = scaled
-                .pca(Arc::new(synth::pca(dataset_seed ^ (0x90 + m as u64), m, dim)))
+                .pca(Arc::new(synth::pca(
+                    dataset_seed ^ (0x90 + m as u64),
+                    m,
+                    dim,
+                )))
                 .with_stats(NodeStats::new(m, 1.0));
             let c = scaled
                 .kmeans(Arc::new(synth::kmeans(
@@ -145,7 +153,11 @@ fn build_pipeline(
             let depth = rng.gen_range(3..=6);
             let classes = rng.gen_range(3..=6);
             let p = scaled
-                .pca(Arc::new(synth::pca(dataset_seed ^ (0x90 + m as u64), m, dim)))
+                .pca(Arc::new(synth::pca(
+                    dataset_seed ^ (0x90 + m as u64),
+                    m,
+                    dim,
+                )))
                 .with_stats(NodeStats::new(m, 1.0));
             let c = scaled
                 .kmeans(Arc::new(synth::kmeans(

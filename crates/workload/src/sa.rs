@@ -221,18 +221,12 @@ mod tests {
         assert_eq!(w.char_versions.len(), 6);
         assert_eq!(w.word_versions.len(), 7);
         // Tokenizer checksum identical across all pipelines.
-        let toks: std::collections::HashSet<u64> = w
-            .graphs
-            .iter()
-            .map(|g| g.nodes[1].op.checksum())
-            .collect();
+        let toks: std::collections::HashSet<u64> =
+            w.graphs.iter().map(|g| g.nodes[1].op.checksum()).collect();
         assert_eq!(toks.len(), 1, "all pipelines share one Tokenizer");
         // Linear model unique per pipeline.
-        let linears: std::collections::HashSet<u64> = w
-            .graphs
-            .iter()
-            .map(|g| g.nodes[5].op.checksum())
-            .collect();
+        let linears: std::collections::HashSet<u64> =
+            w.graphs.iter().map(|g| g.nodes[5].op.checksum()).collect();
         assert_eq!(linears.len(), 10);
     }
 
@@ -265,14 +259,13 @@ mod tests {
         let w = build(&SaConfig::tiny());
         for (k, &(cv, _)) in w.assignment.iter().enumerate() {
             let node_checksum = w.graphs[k].nodes[2].op.checksum();
-            let version_checksum =
-                pretzel_core::graph::TransformGraph::from_model_image(
-                    &w.graphs[k].to_model_image(),
-                )
-                .unwrap()
-                .nodes[2]
-                    .op
-                    .checksum();
+            let version_checksum = pretzel_core::graph::TransformGraph::from_model_image(
+                &w.graphs[k].to_model_image(),
+            )
+            .unwrap()
+            .nodes[2]
+                .op
+                .checksum();
             assert_eq!(node_checksum, version_checksum);
             // And two pipelines with the same assigned version agree.
             if let Some(other) = w
@@ -281,10 +274,7 @@ mod tests {
                 .enumerate()
                 .find(|(j, &(c, _))| *j != k && c == cv)
             {
-                assert_eq!(
-                    w.graphs[other.0].nodes[2].op.checksum(),
-                    node_checksum
-                );
+                assert_eq!(w.graphs[other.0].nodes[2].op.checksum(), node_checksum);
             }
         }
     }

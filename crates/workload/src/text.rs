@@ -100,7 +100,9 @@ impl StructuredGen {
 
     /// One dense record with values in `[-2, 2]`.
     pub fn record(&mut self) -> Vec<f32> {
-        (0..self.dim).map(|_| self.rng.gen_range(-2.0..2.0)).collect()
+        (0..self.dim)
+            .map(|_| self.rng.gen_range(-2.0..2.0))
+            .collect()
     }
 
     /// One CSV line of the record (for pipelines ingesting CSV).

@@ -78,7 +78,10 @@ fn main() {
         scores.len(),
         scores.len() as f64 / elapsed.as_secs_f64()
     );
-    println!("mean forecast {mean:.3}; busiest event #{} at {:.3}", busiest.0, busiest.1);
+    println!(
+        "mean forecast {mean:.3}; busiest event #{} at {:.3}",
+        busiest.0, busiest.1
+    );
     println!(
         "scheduler executed {} stage events",
         runtime

@@ -56,7 +56,10 @@ fn print_plan(plan: &StagePlan) {
         } else {
             ""
         };
-        println!("  slot{i}: {} max_stored={}{role}", slot.ty, slot.max_stored);
+        println!(
+            "  slot{i}: {} max_stored={}{role}",
+            slot.ty, slot.max_stored
+        );
     }
     for (s, stage) in plan.stages.iter().enumerate() {
         println!(
@@ -96,6 +99,7 @@ fn main() {
     let ac = pretzel_workload::ac::build(&AcConfig {
         n_pipelines: 4,
         input_dim: 16,
+        dense_input: false,
         seed: 2,
     });
     // Index 3 is a "Full" AC pipeline (PCA ∥ KMeans ∥ TreeFeaturizer ∥

@@ -60,9 +60,7 @@ fn main() {
                 for i in 0..requests_each {
                     let id = ids[i % ids.len()];
                     let line = &lines[i % lines.len()];
-                    let score = client
-                        .predict_text(id, line, FLAG_RESULT_CACHE)
-                        .unwrap();
+                    let score = client.predict_text(id, line, FLAG_RESULT_CACHE).unwrap();
                     total += f64::from(score);
                 }
                 (start.elapsed(), total)

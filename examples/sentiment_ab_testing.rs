@@ -39,8 +39,7 @@ fn main() {
     for graph in &workload.graphs {
         let image = graph.to_model_image();
         file_bytes += image.len();
-        let reloaded =
-            pretzel_core::graph::TransformGraph::from_model_image(&image).unwrap();
+        let reloaded = pretzel_core::graph::TransformGraph::from_model_image(&image).unwrap();
         let plan = pretzel_core::oven::optimize(&reloaded).unwrap().plan;
         ids.push(runtime.register(plan).unwrap());
     }

@@ -49,7 +49,10 @@ fn dense_kitchen_sink(seed: u64) -> TransformGraph {
         .scale(Arc::new(synth::scaler(seed ^ 2, dim)));
     let binned = base.bin(Arc::new(synth::binner(seed ^ 3, dim, 4)));
     // Binned values are small integers: one-hot a couple of them.
-    let onehot = binned.one_hot(Arc::new(OneHotParams::new(dim as u32, vec![(0, 4), (3, 4)])));
+    let onehot = binned.one_hot(Arc::new(OneHotParams::new(
+        dim as u32,
+        vec![(0, 4), (3, 4)],
+    )));
     let pca = base.pca(Arc::new(synth::pca(seed ^ 4, 4, dim)));
     let km = base.kmeans(Arc::new(synth::kmeans(seed ^ 5, 3, dim)));
     let tf = base.tree_featurize(Arc::new(synth::ensemble(
@@ -184,10 +187,10 @@ fn optimizer_handles_normalizer_as_pipeline_breaker() {
     let graph = text_kitchen_sink(LinearKind::Logistic, 40);
     let optimized = pretzel_core::oven::optimize(&graph).unwrap();
     let has_concat = optimized.plan.stages.iter().any(|s| {
-        s.steps
-            .iter()
-            .any(|st| matches!(&st.op, pretzel_core::plan::StageOp::Op(op)
-                if op.kind() == OpKind::Concat))
+        s.steps.iter().any(|st| {
+            matches!(&st.op, pretzel_core::plan::StageOp::Op(op)
+                if op.kind() == OpKind::Concat)
+        })
     });
     assert!(
         has_concat,

@@ -28,7 +28,9 @@ fn sa_setup() -> (Vec<TransformGraph>, Vec<String>) {
         seed: 0x5a,
     });
     let mut gen = ReviewGen::new(1, 512, 1.2);
-    let lines = (0..10).map(|_| format!("4,{}", gen.review(8, 30))).collect();
+    let lines = (0..10)
+        .map(|_| format!("4,{}", gen.review(8, 30)))
+        .collect();
     (w.graphs, lines)
 }
 
@@ -36,6 +38,7 @@ fn ac_setup() -> (Vec<TransformGraph>, Vec<String>) {
     let w = pretzel_workload::ac::build(&AcConfig {
         n_pipelines: 12,
         input_dim: 16,
+        dense_input: false,
         seed: 0xac,
     });
     let mut gen = StructuredGen::new(2, 16);
@@ -150,7 +153,10 @@ fn repeated_predictions_are_deterministic() {
     });
     let plan = pretzel_core::oven::optimize(&graphs[0]).unwrap().plan;
     let id = runtime.register(plan).unwrap();
-    let first: Vec<f32> = lines.iter().map(|l| runtime.predict(id, l).unwrap()).collect();
+    let first: Vec<f32> = lines
+        .iter()
+        .map(|l| runtime.predict(id, l).unwrap())
+        .collect();
     for _ in 0..5 {
         for (line, &expect) in lines.iter().zip(&first) {
             assert_eq!(runtime.predict(id, line).unwrap(), expect);

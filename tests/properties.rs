@@ -1,8 +1,12 @@
-//! Property-based tests (proptest) on the reproduction's core invariants:
-//! optimizer semantics preservation, codec round-trips, pool and LRU
-//! behaviour, kernel layout equivalence.
+//! Property-style tests on the reproduction's core invariants: optimizer
+//! semantics preservation, codec round-trips, pool and LRU behaviour,
+//! kernel layout equivalence.
+//!
+//! The original suite used `proptest`; the offline build has no registry
+//! access, so the same invariants are checked over deterministic
+//! pseudo-random case sweeps generated with the vendored `rand` stub. Case
+//! counts match the old `ProptestConfig::with_cases` settings.
 
-use proptest::prelude::*;
 use pretzel_baseline::volcano;
 use pretzel_core::flour::FlourContext;
 use pretzel_core::graph::TransformGraph;
@@ -13,53 +17,56 @@ use pretzel_data::vector::Vector;
 use pretzel_data::ColumnType;
 use pretzel_ops::linear::LinearKind;
 use pretzel_ops::synth;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
-/// Strategy for a random SA-shaped pipeline (dictionary sizes, n-gram
-/// orders and branch structure vary).
-fn arb_sa_graph() -> impl Strategy<Value = TransformGraph> {
-    (
-        1u64..1000,     // seed
-        8usize..128,    // char dict entries
-        1u32..4,        // char n
-        8usize..64,     // word dict entries
-        1u32..3,        // word n
-        prop::bool::ANY, // include char branch
-    )
-        .prop_map(|(seed, char_entries, char_n, word_entries, word_n, both)| {
-            let vocab = synth::vocabulary(seed, 64);
-            let ctx = FlourContext::new();
-            let tokens = ctx.csv(',').select_text(1).tokenize();
-            let w = tokens.word_ngram(Arc::new(synth::word_ngram(
-                seed ^ 2,
-                word_n,
-                word_entries,
-                &vocab,
-            )));
-            let features = if both {
-                let c = tokens.char_ngram(Arc::new(synth::char_ngram(
-                    seed ^ 1,
-                    char_n,
-                    char_entries,
-                )));
-                c.concat(&w)
-            } else {
-                w
-            };
-            let dim = features.output_type().dimension().unwrap();
-            features
-                .classifier_linear(Arc::new(synth::linear(
-                    seed ^ 3,
-                    dim,
-                    LinearKind::Logistic,
-                )))
-                .graph()
-        })
+const CASES: u64 = 48;
+
+/// A random SA-shaped pipeline (dictionary sizes, n-gram orders and branch
+/// structure vary with the case seed).
+fn arb_sa_graph(rng: &mut StdRng) -> TransformGraph {
+    let seed = rng.gen_range(1u64..1000);
+    let char_entries = rng.gen_range(8usize..128);
+    let char_n = rng.gen_range(1u32..4);
+    let word_entries = rng.gen_range(8usize..64);
+    let word_n = rng.gen_range(1u32..3);
+    let both = rng.gen_bool(0.5);
+
+    let vocab = synth::vocabulary(seed, 64);
+    let ctx = FlourContext::new();
+    let tokens = ctx.csv(',').select_text(1).tokenize();
+    let w = tokens.word_ngram(Arc::new(synth::word_ngram(
+        seed ^ 2,
+        word_n,
+        word_entries,
+        &vocab,
+    )));
+    let features = if both {
+        let c = tokens.char_ngram(Arc::new(synth::char_ngram(seed ^ 1, char_n, char_entries)));
+        c.concat(&w)
+    } else {
+        w
+    };
+    let dim = features.output_type().dimension().unwrap();
+    features
+        .classifier_linear(Arc::new(synth::linear(seed ^ 3, dim, LinearKind::Logistic)))
+        .graph()
 }
 
-fn arb_line() -> impl Strategy<Value = String> {
-    (1u32..6, proptest::collection::vec("[a-z]{1,8}", 0..20))
-        .prop_map(|(rating, words)| format!("{rating},{}", words.join(" ")))
+/// A random CSV review line: `rating,word word ...`.
+fn arb_line(rng: &mut StdRng) -> String {
+    let rating = rng.gen_range(1u32..6);
+    let n_words = rng.gen_range(0usize..20);
+    let words: Vec<String> = (0..n_words)
+        .map(|_| {
+            let len = rng.gen_range(1usize..=8);
+            (0..len)
+                .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+                .collect()
+        })
+        .collect();
+    format!("{rating},{}", words.join(" "))
 }
 
 fn run_plan(plan: &ModelPlan, line: &str) -> f32 {
@@ -74,52 +81,63 @@ fn run_plan(plan: &ModelPlan, line: &str) -> f32 {
         .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The optimizer + compiler (fused and unfused) preserve the semantics
-    /// of arbitrary pipelines on arbitrary inputs.
-    #[test]
-    fn optimizer_preserves_semantics(graph in arb_sa_graph(), line in arb_line()) {
+/// The optimizer + compiler (fused and unfused) preserve the semantics of
+/// arbitrary pipelines on arbitrary inputs.
+#[test]
+fn optimizer_preserves_semantics() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5e3a_0000 + case);
+        let graph = arb_sa_graph(&mut rng);
+        let line = arb_line(&mut rng);
         let expect = volcano::execute(&graph, SourceRef::Text(&line)).unwrap();
         let logical = pretzel_core::oven::optimize(&graph).unwrap().plan;
         let store = ObjectStore::new();
         for fuse in [true, false] {
             let plan = ModelPlan::compile(
                 logical.clone(),
-                &CompileOptions { fuse_ngram_dot: fuse },
+                &CompileOptions {
+                    fuse_ngram_dot: fuse,
+                },
                 &store,
-            ).unwrap();
+            )
+            .unwrap();
             let got = run_plan(&plan, &line);
-            prop_assert!(
+            assert!(
                 (got - expect).abs() < 1e-4,
-                "fuse={fuse}: optimized {got} vs volcano {expect}"
+                "case {case} fuse={fuse}: optimized {got} vs volcano {expect}"
             );
         }
     }
+}
 
-    /// Model files round-trip losslessly for arbitrary pipelines.
-    #[test]
-    fn model_image_round_trip(graph in arb_sa_graph(), line in arb_line()) {
+/// Model files round-trip losslessly for arbitrary pipelines.
+#[test]
+fn model_image_round_trip() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x1000_0000 + case);
+        let graph = arb_sa_graph(&mut rng);
+        let line = arb_line(&mut rng);
         let image = graph.to_model_image();
         let reloaded = TransformGraph::from_model_image(&image).unwrap();
         let a = volcano::execute(&graph, SourceRef::Text(&line)).unwrap();
         let b = volcano::execute(&reloaded, SourceRef::Text(&line)).unwrap();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
         // Checksums survive the round trip (Object Store dedup relies on it).
         for (x, y) in graph.nodes.iter().zip(&reloaded.nodes) {
-            prop_assert_eq!(x.op.checksum(), y.op.checksum());
+            assert_eq!(x.op.checksum(), y.op.checksum(), "case {case}");
         }
     }
+}
 
-    /// Dense and sparse layouts of the same logical vector score equally
-    /// under every numeric operator that accepts both.
-    #[test]
-    fn dense_sparse_kernel_equivalence(
-        seed in 1u64..500,
-        values in proptest::collection::vec(-10.0f32..10.0, 4..32),
-    ) {
-        let dim = values.len();
+/// Dense and sparse layouts of the same logical vector score equally under
+/// every numeric operator that accepts both.
+#[test]
+fn dense_sparse_kernel_equivalence() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x2000_0000 + case);
+        let seed = rng.gen_range(1u64..500);
+        let dim = rng.gen_range(4usize..32);
+        let values: Vec<f32> = (0..dim).map(|_| rng.gen_range(-10.0f32..10.0)).collect();
         let dense = Vector::Dense(values.clone());
         let mut sparse = Vector::with_type(ColumnType::F32Sparse { len: dim });
         for (i, &v) in values.iter().enumerate() {
@@ -132,22 +150,32 @@ proptest! {
         let mut b = Vector::Scalar(0.0);
         linear.apply(&dense, &mut a).unwrap();
         linear.apply(&sparse, &mut b).unwrap();
-        prop_assert!((a.as_scalar().unwrap() - b.as_scalar().unwrap()).abs() < 1e-3);
+        assert!(
+            (a.as_scalar().unwrap() - b.as_scalar().unwrap()).abs() < 1e-3,
+            "case {case}: linear dense/sparse diverge"
+        );
 
         let ens = synth::ensemble(seed, dim, 3, 3, pretzel_ops::tree::EnsembleMode::Sum);
         ens.apply(&dense, &mut a).unwrap();
         ens.apply(&sparse, &mut b).unwrap();
-        prop_assert_eq!(a.as_scalar().unwrap(), b.as_scalar().unwrap());
+        assert_eq!(
+            a.as_scalar().unwrap(),
+            b.as_scalar().unwrap(),
+            "case {case}: ensemble dense/sparse diverge"
+        );
     }
+}
 
-    /// Pooled buffers never leak state between acquisitions.
-    #[test]
-    fn pool_buffers_come_back_clean(
-        fills in proptest::collection::vec(-5.0f32..5.0, 1..16),
-        rounds in 1usize..5,
-    ) {
+/// Pooled buffers never leak state between acquisitions.
+#[test]
+fn pool_buffers_come_back_clean() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x3000_0000 + case);
+        let len = rng.gen_range(1usize..16);
+        let fills: Vec<f32> = (0..len).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+        let rounds = rng.gen_range(1usize..5);
         let pool = VectorPool::new();
-        let ty = ColumnType::F32Dense { len: fills.len() };
+        let ty = ColumnType::F32Dense { len };
         for _ in 0..rounds {
             let mut v = pool.acquire(ty);
             if let Vector::Dense(d) = &mut v {
@@ -155,35 +183,46 @@ proptest! {
             }
             pool.release(v);
             let clean = pool.acquire(ty);
-            prop_assert!(clean.as_dense().unwrap().iter().all(|&x| x == 0.0));
+            assert!(
+                clean.as_dense().unwrap().iter().all(|&x| x == 0.0),
+                "case {case}: pooled buffer leaked state"
+            );
             pool.release(clean);
         }
     }
+}
 
-    /// The LRU cache never exceeds its budget and always retains the most
-    /// recent insertion (when it fits).
-    #[test]
-    fn lru_respects_budget(
-        ops in proptest::collection::vec((0u32..64, 1usize..40), 1..200),
-        budget in 40usize..400,
-    ) {
+/// The LRU cache never exceeds its budget and always retains the most
+/// recent insertion (when it fits).
+#[test]
+fn lru_respects_budget() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x4000_0000 + case);
+        let budget = rng.gen_range(40usize..400);
+        let n_ops = rng.gen_range(1usize..200);
         let mut lru = pretzel_core::lru::LruCache::<u32, u32>::new(budget);
-        for (i, &(key, cost)) in ops.iter().enumerate() {
+        for i in 0..n_ops {
+            let key = rng.gen_range(0u32..64);
+            let cost = rng.gen_range(1usize..40);
             lru.insert(key, i as u32, cost);
-            prop_assert!(lru.used_cost() <= budget);
+            assert!(lru.used_cost() <= budget, "case {case}: budget exceeded");
             if cost <= budget {
-                prop_assert_eq!(lru.get(&key), Some(&(i as u32)));
+                assert_eq!(lru.get(&key), Some(&(i as u32)), "case {case}");
             }
         }
     }
+}
 
-    /// Schema propagation never panics: it either types a graph or reports
-    /// a structured error.
-    #[test]
-    fn schema_propagation_total(graph in arb_sa_graph()) {
+/// Schema propagation never panics: it either types a graph or reports a
+/// structured error.
+#[test]
+fn schema_propagation_total() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5000_0000 + case);
+        let graph = arb_sa_graph(&mut rng);
         graph.validate_structure().unwrap();
         let types = graph.propagate_types().unwrap();
-        prop_assert_eq!(types.len(), graph.nodes.len());
-        prop_assert_eq!(*types.last().unwrap(), ColumnType::F32Scalar);
+        assert_eq!(types.len(), graph.nodes.len(), "case {case}");
+        assert_eq!(*types.last().unwrap(), ColumnType::F32Scalar, "case {case}");
     }
 }

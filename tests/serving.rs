@@ -25,7 +25,10 @@ fn small_workload(n: usize) -> (Vec<Arc<Vec<u8>>>, Vec<String>) {
     let mut gen = ReviewGen::new(3, 256, 1.2);
     let lines = (0..8).map(|_| format!("4,{}", gen.review(8, 20))).collect();
     (
-        w.graphs.iter().map(|g| Arc::new(g.to_model_image())).collect(),
+        w.graphs
+            .iter()
+            .map(|g| Arc::new(g.to_model_image()))
+            .collect(),
         lines,
     )
 }
@@ -35,8 +38,7 @@ fn serve_runtime(images: &[Arc<Vec<u8>>], config: RuntimeConfig) -> (Arc<Runtime
     let ids = images
         .iter()
         .map(|img| {
-            let graph =
-                pretzel_core::graph::TransformGraph::from_model_image(img).unwrap();
+            let graph = pretzel_core::graph::TransformGraph::from_model_image(img).unwrap();
             let plan = pretzel_core::oven::optimize(&graph).unwrap().plan;
             runtime.register(plan).unwrap()
         })
@@ -245,10 +247,7 @@ fn runtime_survives_malformed_inputs() {
     // ...and the runtime still serves afterwards.
     assert!(runtime.predict(ids[0], "3,still works").is_ok());
     // Batch with one bad record fails the batch, not the process.
-    let records = vec![
-        Record::Text("3,fine".into()),
-        Record::Dense(vec![1.0]),
-    ];
+    let records = vec![Record::Text("3,fine".into()), Record::Dense(vec![1.0])];
     assert!(runtime.predict_batch_wait(ids[0], records).is_err());
     assert!(runtime.predict(ids[0], "3,still works").is_ok());
 }

@@ -34,8 +34,7 @@ fn object_store_collapses_shared_featurizers() {
     let store = runtime.object_store();
     // Upper bound on unique objects: 1 csv + 1 tokenizer + versions +
     // 1 linear per pipeline (concat is optimized away by pushdown).
-    let max_unique =
-        2 + CHAR_VERSION_COUNTS.len() + WORD_VERSION_COUNTS.len() + w.graphs.len();
+    let max_unique = 2 + CHAR_VERSION_COUNTS.len() + WORD_VERSION_COUNTS.len() + w.graphs.len();
     assert!(
         store.len() <= max_unique,
         "store has {} unique objects, expected <= {max_unique}",
@@ -68,10 +67,8 @@ fn pretzel_memory_beats_per_instance_deployment() {
         ..RuntimeConfig::default()
     });
     for g in &w.graphs {
-        let graph = pretzel_core::graph::TransformGraph::from_model_image(
-            &g.to_model_image(),
-        )
-        .unwrap();
+        let graph =
+            pretzel_core::graph::TransformGraph::from_model_image(&g.to_model_image()).unwrap();
         let plan = pretzel_core::oven::optimize(&graph).unwrap().plan;
         runtime.register(plan).unwrap();
     }
@@ -125,10 +122,9 @@ fn shared_params_are_pointer_identical_across_plans() {
     };
     let mut plan_ids = Vec::new();
     for k in [a, b] {
-        let graph = pretzel_core::graph::TransformGraph::from_model_image(
-            &w.graphs[k].to_model_image(),
-        )
-        .unwrap();
+        let graph =
+            pretzel_core::graph::TransformGraph::from_model_image(&w.graphs[k].to_model_image())
+                .unwrap();
         let plan = pretzel_core::oven::optimize(&graph).unwrap().plan;
         plan_ids.push(runtime.register(plan).unwrap());
     }
@@ -169,7 +165,9 @@ fn sharing_does_not_change_predictions() {
         ..RuntimeConfig::default()
     });
     let mut gen = pretzel_workload::text::ReviewGen::new(5, 512, 1.2);
-    let lines: Vec<String> = (0..5).map(|_| format!("3,{}", gen.review(10, 20))).collect();
+    let lines: Vec<String> = (0..5)
+        .map(|_| format!("3,{}", gen.review(10, 20)))
+        .collect();
     for g in w.graphs.iter().take(10) {
         let plan = pretzel_core::oven::optimize(g).unwrap().plan;
         let id = shared_rt.register(plan).unwrap();

@@ -1,0 +1,296 @@
+//! Offline stub of `rand` 0.8.
+//!
+//! Implements the slice of the `rand` API the workspace uses — `StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::{gen, gen_range, gen_bool}` over
+//! integer and float ranges, and `seq::SliceRandom::shuffle` — on top of a
+//! xoshiro256++ core seeded through SplitMix64.
+//!
+//! The streams are deterministic and stable for a given seed, which is all
+//! the synthetic workload generators need (repeatable pipelines and
+//! request streams across runs and processes). They do *not* match the
+//! upstream `rand` streams for the same seed, so absolute numbers in
+//! generated workloads differ from builds using the registry crate — all
+//! experiments here are self-relative, so no comparison depends on that.
+
+/// The workspace's standard RNG: xoshiro256++.
+pub mod rngs {
+    /// Deterministic 256-bit-state generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+pub use rngs::StdRng;
+
+impl StdRng {
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Seedable construction (subset: `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Expands a 64-bit seed into the full generator state.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the standard way to seed xoshiro.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+/// Types samplable uniformly from a range (subset of `rand::distributions`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[low, high)`. `high > low` is the caller's
+    /// contract (as in upstream rand, violating it panics).
+    fn sample_half_open(rng: &mut StdRng, low: Self, high: Self) -> Self;
+    /// Uniform draw from `[low, high]`.
+    fn sample_closed(rng: &mut StdRng, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut StdRng, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (low as i128 + v as i128) as $t
+            }
+            fn sample_closed(rng: &mut StdRng, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (low as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut StdRng, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                low + unit * (high - low)
+            }
+            fn sample_closed(rng: &mut StdRng, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                let unit = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
+                low + unit * (high - low)
+            }
+        }
+    )*};
+}
+
+impl_sample_float!(f32, f64);
+
+/// A range argument to [`Rng::gen_range`] (subset: `a..b` and `a..=b`).
+pub trait SampleRange<T> {
+    /// Draws a value from the range.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, rng: &mut StdRng) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut StdRng) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_closed(rng, lo, hi)
+    }
+}
+
+/// Values producible by [`Rng::gen`] (subset: floats in `[0, 1)`, ints).
+pub trait Standard {
+    /// Draws one value.
+    fn draw(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for f32 {
+    fn draw(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Random value generation (subset of `rand::Rng`).
+pub trait Rng {
+    /// Draws a value of an inferred type.
+    fn gen<T: Standard>(&mut self) -> T;
+    /// Draws uniformly from a range.
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T;
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+        let u: f64 = self.gen();
+        u < p
+    }
+}
+
+/// Sequence helpers (subset of `rand::seq`).
+pub mod seq {
+    use super::{Rng, StdRng};
+
+    /// Slice shuffling (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+        /// Fisher–Yates shuffle in place.
+        fn shuffle(&mut self, rng: &mut StdRng);
+        /// Uniformly random element, `None` if empty.
+        fn choose<'a>(&'a self, rng: &mut StdRng) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle(&mut self, rng: &mut StdRng) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<'a>(&'a self, rng: &mut StdRng) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = r.gen_range(3..10);
+            assert!((3..10).contains(&v));
+            let w: i32 = r.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let f: f32 = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut r).is_some());
+    }
+
+    #[test]
+    fn uniformity_rough_check() {
+        let mut r = StdRng::seed_from_u64(13);
+        let mut buckets = [0usize; 10];
+        for _ in 0..10_000 {
+            buckets[r.gen_range(0..10usize)] += 1;
+        }
+        for &b in &buckets {
+            assert!((700..1300).contains(&b), "bucket count {b} out of range");
+        }
+    }
+}
