@@ -21,6 +21,7 @@
 
 use crate::object_store::{MatKey, MaterializationCache, ObjectStore};
 use crate::plan::{BufDef, Loc, LogicalStage, StageOp, StagePlan, Step};
+use pretzel_data::batch::ColRef;
 use pretzel_data::hash::{fnv1a, Fnv1a};
 use pretzel_data::pool::VectorPool;
 use pretzel_data::{ColumnBatch, ColumnType, DataError, Result, Vector};
@@ -77,8 +78,13 @@ pub struct ExecCtx {
     pub pool: Arc<VectorPool>,
     /// Sub-plan materialization cache, if enabled.
     pub cache: Option<Arc<MaterializationCache>>,
-    /// Hash of the current source record (materialization key component).
+    /// Hash of the current source record (materialization key component,
+    /// per-record path).
     pub source_hash: u64,
+    /// Per-row source hashes of the current chunk (materialization key
+    /// components, columnar path). Must hold one hash per chunk row before
+    /// a stage with cacheable steps executes in batch mode.
+    pub source_hashes: Vec<u64>,
     scratch: Vec<Vector>,
     batch_scratch: Vec<ColumnBatch>,
 }
@@ -90,6 +96,7 @@ impl ExecCtx {
             pool,
             cache: None,
             source_hash: 0,
+            source_hashes: Vec::new(),
             scratch: Vec::new(),
             batch_scratch: Vec::new(),
         }
@@ -202,13 +209,22 @@ impl PhysicalStage {
         result
     }
 
+    /// True if any step of this stage is a sub-plan materialization
+    /// candidate. The scheduler uses this to decide whether a columnar
+    /// chunk needs per-row source hashes before the stage runs.
+    pub fn has_cacheable_steps(&self) -> bool {
+        self.mat_steps.iter().any(Option::is_some)
+    }
+
     /// Executes the stage over a columnar working set: one kernel call per
     /// step for the whole chunk, instead of one per step *per record*.
     ///
     /// Stage-local scratch is leased as batches (one per scratch def per
-    /// chunk) and returned before the call ends. Sub-plan materialization
-    /// is a per-record optimization and does not apply here — the scheduler
-    /// routes chunks through the per-record path when the cache is on.
+    /// chunk) and returned before the call ends. With sub-plan
+    /// materialization enabled, cacheable steps run the chunk-level cache
+    /// probe (hit/miss partition + miss sub-batch) instead of the plain
+    /// whole-chunk kernel; `ctx.source_hashes` must then hold one hash per
+    /// chunk row.
     pub fn execute_batch(
         &self,
         slots: &mut [ColumnBatch],
@@ -220,7 +236,7 @@ impl PhysicalStage {
             let b = ctx.pool.acquire_batch(def.ty, rows);
             ctx.batch_scratch.push(b);
         }
-        let result = self.run_steps_batch(slots, ctx);
+        let result = self.run_steps_batch(slots, rows, ctx);
         let pool = Arc::clone(&ctx.pool);
         for b in ctx.batch_scratch.drain(..) {
             pool.release_batch(b);
@@ -228,28 +244,28 @@ impl PhysicalStage {
         result
     }
 
-    fn run_steps_batch(&self, slots: &mut [ColumnBatch], ctx: &mut ExecCtx) -> Result<()> {
-        for step in &self.steps {
-            let mut out = take_batch(slots, &mut ctx.batch_scratch, step.output);
-            let scratch = &ctx.batch_scratch;
-            let res = match step.inputs.as_slice() {
-                [] => Err(DataError::Runtime(format!(
-                    "step {} has no inputs",
-                    step.op.name()
-                ))),
-                [a] => step
-                    .op
-                    .apply_batch(&[batch_buf(slots, scratch, *a)], &mut out),
-                [a, b] => step.op.apply_batch(
-                    &[batch_buf(slots, scratch, *a), batch_buf(slots, scratch, *b)],
-                    &mut out,
-                ),
-                many => {
-                    let refs: Vec<&ColumnBatch> =
-                        many.iter().map(|&l| batch_buf(slots, scratch, l)).collect();
-                    step.op.apply_batch(&refs, &mut out)
+    fn run_steps_batch(
+        &self,
+        slots: &mut [ColumnBatch],
+        rows: usize,
+        ctx: &mut ExecCtx,
+    ) -> Result<()> {
+        for (step_idx, step) in self.steps.iter().enumerate() {
+            // Sub-plan materialization (paper §4.3) at chunk granularity:
+            // probe per row, batch-evaluate only the misses.
+            if let Some(step_sum) = self.mat_steps[step_idx] {
+                if let Some(cache) = ctx.cache.as_ref().map(Arc::clone) {
+                    let probe = ChunkCacheProbe {
+                        cache,
+                        pool: Arc::clone(&ctx.pool),
+                        step_sum,
+                    };
+                    probe.run_step(step, slots, rows, ctx)?;
+                    continue;
                 }
-            };
+            }
+            let mut out = take_batch(slots, &mut ctx.batch_scratch, step.output);
+            let res = apply_step_batch(step, slots, &ctx.batch_scratch, &mut out);
             put_batch(slots, &mut ctx.batch_scratch, step.output, out);
             res?;
         }
@@ -321,6 +337,274 @@ impl PhysicalStage {
             put_buf(slots, &mut ctx.scratch, step.output, out);
         }
         Ok(())
+    }
+}
+
+/// Runs one step's batch kernel over the chunk, reading inputs from
+/// `slots`/`scratch` into the (taken) output batch `out`.
+fn apply_step_batch(
+    step: &Step,
+    slots: &[ColumnBatch],
+    scratch: &[ColumnBatch],
+    out: &mut ColumnBatch,
+) -> Result<()> {
+    match step.inputs.as_slice() {
+        [] => Err(DataError::Runtime(format!(
+            "step {} has no inputs",
+            step.op.name()
+        ))),
+        [a] => step.op.apply_batch(&[batch_buf(slots, scratch, *a)], out),
+        [a, b] => step.op.apply_batch(
+            &[batch_buf(slots, scratch, *a), batch_buf(slots, scratch, *b)],
+            out,
+        ),
+        many => {
+            let refs: Vec<&ColumnBatch> =
+                many.iter().map(|&l| batch_buf(slots, scratch, l)).collect();
+            step.op.apply_batch(&refs, out)
+        }
+    }
+}
+
+/// One cacheable step's chunk-level materialization-cache probe.
+///
+/// The columnar analogue of the per-record cache branch in
+/// `PhysicalStage::run_steps`: hash-probe the cache once per row, partition
+/// the chunk into a hit set and a miss sub-batch
+/// ([`ColumnBatch::gather`]/[`ColumnBatch::push_row`] selection kernels),
+/// run the step's batch kernel only on the misses, insert the miss outputs,
+/// and scatter hits + computed rows back into one output batch in original
+/// row order.
+///
+/// Per-record cache semantics are preserved: every row issues one `get` per
+/// cacheable step and every miss one `put`, in row order. A row whose key
+/// duplicates an earlier in-chunk miss defers its probe until after the
+/// miss outputs are inserted, so it hits — exactly as it would when the
+/// chunk's records were processed one at a time.
+struct ChunkCacheProbe {
+    cache: Arc<MaterializationCache>,
+    pool: Arc<VectorPool>,
+    step_sum: u64,
+}
+
+/// Where a row's output comes from after the probe.
+enum RowSrc {
+    /// Cached value (probe hit, or deferred duplicate resolved after the
+    /// miss inserts).
+    Hit(Arc<Vector>),
+    /// Row of the computed miss sub-batch.
+    Miss(usize),
+    /// Duplicate of an in-chunk miss; resolved in the deferred pass.
+    Deferred,
+}
+
+impl ChunkCacheProbe {
+    fn run_step(
+        &self,
+        step: &Step,
+        slots: &mut [ColumnBatch],
+        rows: usize,
+        ctx: &mut ExecCtx,
+    ) -> Result<()> {
+        if ctx.source_hashes.len() != rows {
+            return Err(DataError::Runtime(format!(
+                "cache-aware batch execution wants {rows} source hashes, has {}",
+                ctx.source_hashes.len()
+            )));
+        }
+        // Phase 1: probe. Rows partition into hits, misses, and deferred
+        // duplicates of in-chunk misses.
+        let mut srcs: Vec<RowSrc> = Vec::with_capacity(rows);
+        let mut miss_rows: Vec<usize> = Vec::new();
+        let mut pending: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut deferred: Vec<usize> = Vec::new();
+        for (r, &input) in ctx.source_hashes.iter().enumerate() {
+            if pending.contains(&input) {
+                deferred.push(r);
+                srcs.push(RowSrc::Deferred);
+                continue;
+            }
+            let key = MatKey {
+                step: self.step_sum,
+                input,
+            };
+            match self.cache.get(key) {
+                Some(hit) => srcs.push(RowSrc::Hit(hit)),
+                None => {
+                    pending.insert(input);
+                    srcs.push(RowSrc::Miss(miss_rows.len()));
+                    miss_rows.push(r);
+                }
+            }
+        }
+        // All-miss fast path (cold caches, unique request streams): no
+        // sub-batch needed — run the kernel over the original slot batches
+        // exactly like the uncached path, then insert every output row.
+        // Duplicates would have been deferred, so all-miss implies all
+        // keys are unique.
+        if miss_rows.len() == rows {
+            return self.run_all_miss(step, slots, rows, ctx);
+        }
+        // Phase 2: batch-evaluate the misses over gathered sub-batches and
+        // insert the outputs (in row order, like the per-record path).
+        let out_ty = batch_buf(slots, &ctx.batch_scratch, step.output).column_type();
+        let miss_out = if miss_rows.is_empty() {
+            None
+        } else {
+            Some(self.eval_miss_rows(
+                step,
+                &miss_rows,
+                out_ty,
+                slots,
+                &ctx.batch_scratch,
+                &ctx.source_hashes,
+            )?)
+        };
+        // Phase 3: deferred duplicates probe now — after the inserts — so
+        // they hit, matching the per-record processing order.
+        for &r in &deferred {
+            let key = MatKey {
+                step: self.step_sum,
+                input: ctx.source_hashes[r],
+            };
+            let hit = match self.cache.get(key) {
+                Some(hit) => hit,
+                None => {
+                    // Inserted value already evicted (degenerate cache
+                    // budget): recompute this row alone, as the
+                    // per-record path would.
+                    let one = self.eval_miss_rows(
+                        step,
+                        &[r],
+                        out_ty,
+                        slots,
+                        &ctx.batch_scratch,
+                        &ctx.source_hashes,
+                    )?;
+                    let v = Arc::new(one.row(0).to_vector());
+                    self.pool.release_batch(one);
+                    v
+                }
+            };
+            srcs[r] = RowSrc::Hit(hit);
+        }
+        // Phase 4: scatter hits + computed rows into the output batch in
+        // original row order.
+        let mut out = take_batch(slots, &mut ctx.batch_scratch, step.output);
+        out.reset();
+        let mut res = Ok(());
+        for src in &srcs {
+            let row = match src {
+                RowSrc::Hit(v) => ColRef::from_vector(v),
+                RowSrc::Miss(j) => miss_out
+                    .as_ref()
+                    .expect("miss rows imply a miss batch")
+                    .row(*j),
+                RowSrc::Deferred => unreachable!("deferred rows resolved above"),
+            };
+            if let Err(e) = out.push_row(row) {
+                res = Err(e);
+                break;
+            }
+        }
+        put_batch(slots, &mut ctx.batch_scratch, step.output, out);
+        if let Some(b) = miss_out {
+            self.pool.release_batch(b);
+        }
+        res
+    }
+
+    /// Whole-chunk miss: runs the step's batch kernel in place (no
+    /// gather/scatter copies) and inserts every output row into the cache
+    /// in row order.
+    fn run_all_miss(
+        &self,
+        step: &Step,
+        slots: &mut [ColumnBatch],
+        rows: usize,
+        ctx: &mut ExecCtx,
+    ) -> Result<()> {
+        let mut out = take_batch(slots, &mut ctx.batch_scratch, step.output);
+        let mut res = apply_step_batch(step, slots, &ctx.batch_scratch, &mut out);
+        if res.is_ok() && out.rows() != rows {
+            res = Err(DataError::Runtime(format!(
+                "step {} produced {} rows for a {rows}-row chunk",
+                step.op.name(),
+                out.rows(),
+            )));
+        }
+        if res.is_ok() {
+            for (r, &input) in ctx.source_hashes.iter().enumerate() {
+                let key = MatKey {
+                    step: self.step_sum,
+                    input,
+                };
+                self.cache.put(key, Arc::new(out.row(r).to_vector()));
+            }
+        }
+        put_batch(slots, &mut ctx.batch_scratch, step.output, out);
+        res
+    }
+
+    /// Gathers `miss_rows` of the step's inputs into pooled sub-batches,
+    /// runs the step's batch kernel over them, and inserts every output row
+    /// into the cache; returns the computed miss batch (pooled — the caller
+    /// releases it).
+    fn eval_miss_rows(
+        &self,
+        step: &Step,
+        miss_rows: &[usize],
+        out_ty: ColumnType,
+        slots: &[ColumnBatch],
+        scratch: &[ColumnBatch],
+        hashes: &[u64],
+    ) -> Result<ColumnBatch> {
+        let mut gathered: Vec<ColumnBatch> = Vec::with_capacity(step.inputs.len());
+        let mut res = Ok(());
+        for &loc in &step.inputs {
+            let src = batch_buf(slots, scratch, loc);
+            let mut g = self.pool.acquire_batch(src.column_type(), miss_rows.len());
+            res = src.gather(miss_rows, &mut g);
+            gathered.push(g);
+            if res.is_err() {
+                break;
+            }
+        }
+        let mut miss_out = self.pool.acquire_batch(out_ty, miss_rows.len());
+        if res.is_ok() {
+            if step.inputs.is_empty() {
+                res = Err(DataError::Runtime(format!(
+                    "step {} has no inputs",
+                    step.op.name()
+                )));
+            } else {
+                let refs: Vec<&ColumnBatch> = gathered.iter().collect();
+                res = step.op.apply_batch(&refs, &mut miss_out);
+            }
+        }
+        if res.is_ok() && miss_out.rows() != miss_rows.len() {
+            res = Err(DataError::Runtime(format!(
+                "step {} produced {} rows for a {}-row miss sub-batch",
+                step.op.name(),
+                miss_out.rows(),
+                miss_rows.len()
+            )));
+        }
+        for g in gathered {
+            self.pool.release_batch(g);
+        }
+        if let Err(e) = res {
+            self.pool.release_batch(miss_out);
+            return Err(e);
+        }
+        for (j, &r) in miss_rows.iter().enumerate() {
+            let key = MatKey {
+                step: self.step_sum,
+                input: hashes[r],
+            };
+            self.cache.put(key, Arc::new(miss_out.row(j).to_vector()));
+        }
+        Ok(miss_out)
     }
 }
 
@@ -641,6 +925,11 @@ impl ModelPlan {
         }
         for src in sources {
             src.load_into_batch(&mut slots[0])?;
+        }
+        ctx.source_hashes.clear();
+        if ctx.cache.is_some() {
+            ctx.source_hashes
+                .extend(sources.iter().map(SourceRef::content_hash));
         }
         let rows = sources.len();
         for stage in &self.stages {
@@ -1023,6 +1312,222 @@ mod tests {
                     scores[i]
                 );
             }
+        }
+    }
+
+    #[test]
+    fn chunk_cache_probe_matches_per_record_cache_semantics() {
+        let (logical, _) = sa_logical(64, 64);
+        let store = ObjectStore::new();
+        // Fusion off so featurizer outputs stay cacheable.
+        let plan = ModelPlan::compile(
+            logical,
+            &CompileOptions {
+                fuse_ngram_dot: false,
+            },
+            &store,
+        )
+        .unwrap();
+        // Rows 0/2 and 1/5 duplicate on purpose: intra-chunk duplicates of
+        // a miss must still count as hits, like per-record processing.
+        let lines = [
+            "a nice product",
+            "utter garbage",
+            "a nice product",
+            "",
+            "quite ok really",
+            "utter garbage",
+        ];
+        let sources: Vec<SourceRef<'_>> = lines.iter().map(|l| SourceRef::Text(l)).collect();
+        let pool = Arc::new(VectorPool::new());
+
+        // Reference: the per-record cached path, cold then warm.
+        let ref_cache = Arc::new(MaterializationCache::new(1 << 20));
+        let mut ref_ctx = ExecCtx::new(Arc::clone(&pool)).with_cache(Arc::clone(&ref_cache));
+        let mut slots: Vec<Vector> = plan
+            .slot_types()
+            .iter()
+            .map(|&t| Vector::with_type(t))
+            .collect();
+        let mut expected = Vec::new();
+        let mut ref_stats = Vec::new();
+        for _ in 0..2 {
+            for line in &lines {
+                expected.push(
+                    plan.execute(SourceRef::Text(line), &mut slots, &mut ref_ctx)
+                        .unwrap(),
+                );
+            }
+            ref_stats.push(ref_cache.stats());
+        }
+
+        // Columnar chunk through the chunk-level probe, cold then warm.
+        let batch_cache = Arc::new(MaterializationCache::new(1 << 20));
+        let mut ctx = ExecCtx::new(Arc::clone(&pool)).with_cache(Arc::clone(&batch_cache));
+        let mut batch_slots: Vec<ColumnBatch> = plan
+            .batch_slot_types()
+            .iter()
+            .map(|&t| ColumnBatch::with_type(t))
+            .collect();
+        let mut scores = vec![0.0f32; lines.len()];
+        for pass in 0..2 {
+            plan.execute_batch(&sources, &mut batch_slots, &mut ctx, &mut scores)
+                .unwrap();
+            for (i, s) in scores.iter().enumerate() {
+                assert_eq!(
+                    s.to_bits(),
+                    expected[pass * lines.len() + i].to_bits(),
+                    "pass {pass} row {i}: batch {s} vs per-record {}",
+                    expected[pass * lines.len() + i]
+                );
+            }
+            let (h, m, _) = batch_cache.stats();
+            let (rh, rm, _) = ref_stats[pass];
+            assert_eq!(
+                (h, m),
+                (rh, rm),
+                "pass {pass}: chunk probe hit/miss counts diverge from per-record"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_cache_probe_all_miss_then_all_hit() {
+        let (logical, _) = sa_logical(32, 32);
+        let store = ObjectStore::new();
+        let plan = ModelPlan::compile(
+            logical,
+            &CompileOptions {
+                fuse_ngram_dot: false,
+            },
+            &store,
+        )
+        .unwrap();
+        // Unfused SA has 3 cacheable steps: Tokenizer, CharNgram, WordNgram.
+        let lines = ["alpha beta", "gamma", "delta epsilon zeta"];
+        let sources: Vec<SourceRef<'_>> = lines.iter().map(|l| SourceRef::Text(l)).collect();
+        let pool = Arc::new(VectorPool::new());
+        let cache = Arc::new(MaterializationCache::new(1 << 20));
+        let mut ctx = ExecCtx::new(Arc::clone(&pool)).with_cache(Arc::clone(&cache));
+        let mut slots: Vec<ColumnBatch> = plan
+            .batch_slot_types()
+            .iter()
+            .map(|&t| ColumnBatch::with_type(t))
+            .collect();
+        let mut scores = vec![0.0f32; lines.len()];
+        plan.execute_batch(&sources, &mut slots, &mut ctx, &mut scores)
+            .unwrap();
+        let (h, m, _) = cache.stats();
+        assert_eq!((h, m), (0, 3 * lines.len() as u64), "cold chunk: all miss");
+        let cold = scores.clone();
+        plan.execute_batch(&sources, &mut slots, &mut ctx, &mut scores)
+            .unwrap();
+        let (h, m, _) = cache.stats();
+        assert_eq!(
+            (h, m),
+            (3 * lines.len() as u64, 3 * lines.len() as u64),
+            "warm chunk: all hit, no new misses"
+        );
+        for (a, b) in cold.iter().zip(&scores) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn chunk_cache_probe_mixed_hit_miss_chunk() {
+        let (logical, _) = sa_logical(32, 32);
+        let store = ObjectStore::new();
+        let plan = ModelPlan::compile(
+            logical,
+            &CompileOptions {
+                fuse_ngram_dot: false,
+            },
+            &store,
+        )
+        .unwrap();
+        let pool = Arc::new(VectorPool::new());
+        let cache = Arc::new(MaterializationCache::new(1 << 20));
+        let mut ctx = ExecCtx::new(Arc::clone(&pool)).with_cache(Arc::clone(&cache));
+        let mut slots: Vec<ColumnBatch> = plan
+            .batch_slot_types()
+            .iter()
+            .map(|&t| ColumnBatch::with_type(t))
+            .collect();
+        // Warm the cache with "seen", then score a chunk mixing seen and
+        // unseen rows: the seen row hits, the unseen row batch-evaluates.
+        let mut out = vec![0.0f32; 1];
+        plan.execute_batch(
+            &[SourceRef::Text("seen before")],
+            &mut slots,
+            &mut ctx,
+            &mut out,
+        )
+        .unwrap();
+        let seen = out[0];
+        let sources = [
+            SourceRef::Text("brand new line"),
+            SourceRef::Text("seen before"),
+        ];
+        let mut scores = vec![0.0f32; 2];
+        plan.execute_batch(&sources, &mut slots, &mut ctx, &mut scores)
+            .unwrap();
+        assert_eq!(scores[1].to_bits(), seen.to_bits());
+        // Uncached reference for the new row.
+        let mut plain_ctx = ExecCtx::new(Arc::clone(&pool));
+        let mut vslots: Vec<Vector> = plan
+            .slot_types()
+            .iter()
+            .map(|&t| Vector::with_type(t))
+            .collect();
+        let fresh = plan
+            .execute(
+                SourceRef::Text("brand new line"),
+                &mut vslots,
+                &mut plain_ctx,
+            )
+            .unwrap();
+        assert_eq!(scores[0].to_bits(), fresh.to_bits());
+    }
+
+    #[test]
+    fn chunk_cache_probe_survives_degenerate_budget() {
+        // A budget too small to hold anything: every put evicts
+        // immediately, deferred duplicates recompute — scores must still
+        // be exact.
+        let (logical, _) = sa_logical(32, 32);
+        let store = ObjectStore::new();
+        let plan = ModelPlan::compile(
+            logical,
+            &CompileOptions {
+                fuse_ngram_dot: false,
+            },
+            &store,
+        )
+        .unwrap();
+        let pool = Arc::new(VectorPool::new());
+        let cache = Arc::new(MaterializationCache::new(1));
+        let mut ctx = ExecCtx::new(Arc::clone(&pool)).with_cache(cache);
+        let mut slots: Vec<ColumnBatch> = plan
+            .batch_slot_types()
+            .iter()
+            .map(|&t| ColumnBatch::with_type(t))
+            .collect();
+        let lines = ["dup line", "other", "dup line"];
+        let sources: Vec<SourceRef<'_>> = lines.iter().map(|l| SourceRef::Text(l)).collect();
+        let mut scores = vec![0.0f32; lines.len()];
+        plan.execute_batch(&sources, &mut slots, &mut ctx, &mut scores)
+            .unwrap();
+        let mut plain_ctx = ExecCtx::new(Arc::clone(&pool));
+        let mut vslots: Vec<Vector> = plan
+            .slot_types()
+            .iter()
+            .map(|&t| Vector::with_type(t))
+            .collect();
+        for (i, line) in lines.iter().enumerate() {
+            let expect = plan
+                .execute(SourceRef::Text(line), &mut vslots, &mut plain_ctx)
+                .unwrap();
+            assert_eq!(scores[i].to_bits(), expect.to_bits(), "row {i}");
         }
     }
 

@@ -95,10 +95,11 @@ impl BatchHandle {
 /// The working set a chunk carries between its stage events.
 ///
 /// `Columnar` is the default data plane: one [`ColumnBatch`] per plan slot
-/// for the whole chunk. `Records` is the per-record fallback — one vector
-/// working set per record — used when columnar execution is disabled or
-/// when sub-plan materialization (a per-record optimization) is on, and
-/// kept as the measured baseline for the columnar ablation.
+/// for the whole chunk (with sub-plan materialization on, cacheable steps
+/// probe the cache at chunk granularity). `Records` is the per-record
+/// fallback — one vector working set per record — used when columnar
+/// execution is disabled, and kept as the measured baseline for the
+/// columnar and cache×columnar ablations.
 enum ChunkWorkingSet {
     /// Not leased yet (before the chunk's first stage runs).
     Unleased,
@@ -208,9 +209,12 @@ impl Scheduler {
     /// With `columnar` set (the default data plane), each chunk leases one
     /// columnar working set and stages execute whole-chunk batch kernels;
     /// otherwise chunks carry per-record working sets and stages loop over
-    /// records (the pre-columnar behaviour, kept for the ablation). Chunks
-    /// fall back to per-record execution when sub-plan materialization is
-    /// enabled — the cache is keyed per record.
+    /// records (the pre-columnar behaviour, kept for the ablation). Sub-plan
+    /// materialization composes with columnar execution: cacheable steps
+    /// run the chunk-level cache probe (per-row hash probe, miss sub-batch)
+    /// inside [`PhysicalStage::execute_batch`].
+    ///
+    /// [`PhysicalStage::execute_batch`]: crate::physical::PhysicalStage::execute_batch
     pub fn new(
         n_executors: usize,
         pooling: bool,
@@ -220,7 +224,6 @@ impl Scheduler {
     ) -> Self {
         let shared = Arc::new(DualQueue::default());
         let stats = Arc::new(SchedStats::default());
-        let columnar = columnar && cache.is_none();
         let executors = (0..n_executors.max(1))
             .map(|i| {
                 let queue = Arc::clone(&shared);
@@ -248,6 +251,12 @@ impl Scheduler {
     /// Scheduler counters.
     pub fn stats(&self) -> &SchedStats {
         &self.stats
+    }
+
+    /// True if chunks execute over columnar working sets (regardless of
+    /// whether sub-plan materialization is enabled — the two compose).
+    pub fn columnar(&self) -> bool {
+        self.columnar
     }
 
     /// Reserves a dedicated executor (with its own pool and queue) for
@@ -416,6 +425,17 @@ fn run_chunk_stage(
     let stage = &task.plan.stages[task.stage];
     match &mut task.working {
         ChunkWorkingSet::Columnar(slots) => {
+            // Chunk-level cache probe inputs: one source hash per row
+            // (mirrors the per-record branch below, which hashes each
+            // record before its stage runs).
+            if ctx.cache.is_some() && stage.has_cacheable_steps() {
+                ctx.source_hashes.clear();
+                ctx.source_hashes.extend(
+                    task.records[start..end]
+                        .iter()
+                        .map(|r| r.as_source().content_hash()),
+                );
+            }
             if let Err(e) = stage.execute_batch(slots, n, ctx) {
                 finish_chunk_error(task, e);
                 return;
@@ -678,6 +698,49 @@ mod tests {
         let handle = sched.submit_batch(0, plan, vec![Record::Dense(vec![1.0])]);
         assert!(handle.wait().is_err());
         sched.shutdown();
+    }
+
+    #[test]
+    fn columnar_stays_on_with_materialization_cache() {
+        // Before the chunk-level cache probe, enabling the cache silently
+        // forced the per-record chunk loop; the two now compose.
+        let cache_a = Arc::new(MaterializationCache::new(1 << 20));
+        let cache_b = Arc::new(MaterializationCache::new(1 << 20));
+        let columnar = Scheduler::new(1, true, 4, true, Some(Arc::clone(&cache_a)));
+        let per_record = Scheduler::new(1, true, 4, false, Some(Arc::clone(&cache_b)));
+        assert!(columnar.columnar());
+        assert!(!per_record.columnar());
+        let plan = sa_plan(31);
+        let recs = records(11);
+        // Two passes each: cold cache, then warm cache.
+        for pass in 0..2 {
+            let a = columnar
+                .submit_batch(0, Arc::clone(&plan), recs.clone())
+                .wait()
+                .unwrap();
+            let b = per_record
+                .submit_batch(0, Arc::clone(&plan), recs.clone())
+                .wait()
+                .unwrap();
+            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "pass {pass} record {i}: columnar+cache {x} vs per-record+cache {y}"
+                );
+            }
+            let (ha, ma, _) = cache_a.stats();
+            let (hb, mb, _) = cache_b.stats();
+            assert_eq!(
+                (ha, ma),
+                (hb, mb),
+                "pass {pass}: cache hit/miss counts diverge between data planes"
+            );
+        }
+        let (hits, _, _) = cache_a.stats();
+        assert!(hits > 0, "warm pass should hit the cache");
+        columnar.shutdown();
+        per_record.shutdown();
     }
 
     #[test]

@@ -102,6 +102,26 @@ impl<'a> ColRef<'a> {
             _ => None,
         }
     }
+
+    /// Copies the row into an owned [`Vector`] (materialization-cache
+    /// insertion path: computed batch rows become cached per-record values).
+    pub fn to_vector(&self) -> Vector {
+        match self {
+            ColRef::Text(s) => Vector::Text((*s).to_string()),
+            ColRef::Tokens(t) => Vector::Tokens(t.to_vec()),
+            ColRef::Dense(d) => Vector::Dense(d.to_vec()),
+            ColRef::Sparse {
+                indices,
+                values,
+                dim,
+            } => Vector::Sparse {
+                indices: indices.to_vec(),
+                values: values.to_vec(),
+                dim: *dim,
+            },
+            ColRef::Scalar(x) => Vector::Scalar(*x),
+        }
+    }
 }
 
 /// A whole chunk of one column, stored contiguously.
@@ -397,12 +417,20 @@ impl ColumnBatch {
     /// match the batch's column type; used to assemble batches from
     /// per-record values (tests, harnesses, source loading).
     pub fn push_vector(&mut self, v: &Vector) -> Result<()> {
-        match (self, v) {
-            (b @ ColumnBatch::Text { .. }, Vector::Text(s)) => b.push_text(s),
-            (b @ ColumnBatch::Tokens { .. }, Vector::Tokens(t)) => {
+        self.push_row(ColRef::from_vector(v))
+    }
+
+    /// Appends one borrowed row (copying). The row's variant must match the
+    /// batch's column type. This is the scatter half of the chunk-level
+    /// cache probe: cached hit vectors and computed miss-batch rows are
+    /// recombined into one output batch in original row order.
+    pub fn push_row(&mut self, row: ColRef<'_>) -> Result<()> {
+        match (self, row) {
+            (b @ ColumnBatch::Text { .. }, ColRef::Text(s)) => b.push_text(s),
+            (b @ ColumnBatch::Tokens { .. }, ColRef::Tokens(t)) => {
                 b.push_tokens_with(|spans| spans.extend_from_slice(t))
             }
-            (ColumnBatch::Dense { data, dim, rows }, Vector::Dense(d)) if d.len() == *dim => {
+            (ColumnBatch::Dense { data, dim, rows }, ColRef::Dense(d)) if d.len() == *dim => {
                 data.extend_from_slice(d);
                 *rows += 1;
                 Ok(())
@@ -414,24 +442,48 @@ impl ColumnBatch {
                     values,
                     dim,
                 },
-                Vector::Sparse {
-                    indices: vi,
-                    values: vv,
-                    dim: vd,
+                ColRef::Sparse {
+                    indices: ri,
+                    values: rv,
+                    dim: rd,
                 },
-            ) if vd == dim => {
-                indices.extend_from_slice(vi);
-                values.extend_from_slice(vv);
+            ) if rd == *dim => {
+                indices.extend_from_slice(ri);
+                values.extend_from_slice(rv);
                 bounds.push(indices.len() as u32);
                 Ok(())
             }
-            (b @ ColumnBatch::Scalar(_), Vector::Scalar(x)) => b.push_scalar(*x),
-            (b, v) => Err(DataError::Runtime(format!(
+            (b @ ColumnBatch::Scalar(_), ColRef::Scalar(x)) => b.push_scalar(x),
+            (b, row) => Err(DataError::Runtime(format!(
                 "cannot push {:?} row into {:?} batch",
-                v.column_type(),
+                row.column_type(),
                 b.column_type()
             ))),
         }
+    }
+
+    /// Gathers the selected `rows` (by index, in the given order) into
+    /// `out`, which must share this batch's column type; `out` is cleared
+    /// first. This is the selection half of the chunk-level cache probe:
+    /// cache-miss rows are gathered into a sub-batch, batch-evaluated, and
+    /// scattered back via [`Self::push_row`].
+    pub fn gather(&self, rows: &[usize], out: &mut Self) -> Result<()> {
+        if out.column_type() != self.column_type() {
+            return Err(DataError::Runtime(format!(
+                "gather into {:?} batch from {:?} batch",
+                out.column_type(),
+                self.column_type()
+            )));
+        }
+        out.reset();
+        let have = self.rows();
+        for &r in rows {
+            if r >= have {
+                return Err(DataError::Runtime(format!("gather row {r} out of {have}")));
+            }
+            out.push_row(self.row(r))?;
+        }
+        Ok(())
     }
 
     /// Opens the next sparse row for accumulation. Rows must be finished
@@ -712,6 +764,89 @@ mod tests {
         assert_eq!(s.feature(4), 0.0);
         assert_eq!(ColRef::Scalar(5.0).feature(0), 5.0);
         assert_eq!(ColRef::Text("x").feature(0), 0.0);
+    }
+
+    #[test]
+    fn gather_selects_rows_in_order_for_every_variant() {
+        // Build a 3-row batch per variant, gather rows [2, 0], and check
+        // the sub-batch holds exactly those rows in that order.
+        let mut text = ColumnBatch::with_type(ColumnType::Text);
+        for s in ["a", "bb", "ccc"] {
+            text.push_text(s).unwrap();
+        }
+        let mut tokens = ColumnBatch::with_type(ColumnType::TokenList);
+        for n in [1usize, 0, 2] {
+            tokens
+                .push_tokens_with(|s| s.extend((0..n).map(|i| Span::new(i as u32, i as u32 + 1))))
+                .unwrap();
+        }
+        let mut dense = ColumnBatch::with_type(ColumnType::F32Dense { len: 2 });
+        for r in 0..3 {
+            dense
+                .push_dense_row()
+                .unwrap()
+                .copy_from_slice(&[r as f32, -(r as f32)]);
+        }
+        let mut sparse = ColumnBatch::with_type(ColumnType::F32Sparse { len: 8 });
+        for r in 0..3u32 {
+            let mut row = sparse.begin_sparse_row().unwrap();
+            row.accumulate(r, r as f32 + 1.0);
+            row.finish();
+        }
+        let mut scalar = ColumnBatch::with_type(ColumnType::F32Scalar);
+        for r in 0..3 {
+            scalar.push_scalar(r as f32 * 10.0).unwrap();
+        }
+        for b in [&text, &tokens, &dense, &sparse, &scalar] {
+            let mut sub = ColumnBatch::with_type(b.column_type());
+            b.gather(&[2, 0], &mut sub).unwrap();
+            assert_eq!(sub.rows(), 2);
+            for (j, &r) in [2usize, 0].iter().enumerate() {
+                assert_eq!(
+                    format!("{:?}", sub.row(j)),
+                    format!("{:?}", b.row(r)),
+                    "{:?} gathered row {j}",
+                    b.column_type()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gather_clears_stale_rows_and_handles_empty_selection() {
+        let mut b = ColumnBatch::with_type(ColumnType::F32Scalar);
+        b.push_scalar(1.0).unwrap();
+        let mut sub = ColumnBatch::with_type(ColumnType::F32Scalar);
+        sub.push_scalar(9.0).unwrap();
+        b.gather(&[], &mut sub).unwrap();
+        assert_eq!(sub.rows(), 0);
+    }
+
+    #[test]
+    fn gather_rejects_type_mismatch_and_out_of_range() {
+        let mut b = ColumnBatch::with_type(ColumnType::F32Scalar);
+        b.push_scalar(1.0).unwrap();
+        let mut wrong = ColumnBatch::with_type(ColumnType::Text);
+        assert!(b.gather(&[0], &mut wrong).is_err());
+        let mut sub = ColumnBatch::with_type(ColumnType::F32Scalar);
+        assert!(b.gather(&[1], &mut sub).is_err());
+    }
+
+    #[test]
+    fn push_row_round_trips_through_to_vector() {
+        let mut b = ColumnBatch::with_type(ColumnType::F32Sparse { len: 4 });
+        let mut row = b.begin_sparse_row().unwrap();
+        row.accumulate(1, 2.0);
+        row.accumulate(3, -1.0);
+        row.finish();
+        let v = b.row(0).to_vector();
+        let mut b2 = ColumnBatch::with_type(ColumnType::F32Sparse { len: 4 });
+        b2.push_row(ColRef::from_vector(&v)).unwrap();
+        assert_eq!(format!("{:?}", b2.row(0)), format!("{:?}", b.row(0)));
+        // Variant mismatch surfaces as an error, not a corrupt batch.
+        let mut scalars = ColumnBatch::with_type(ColumnType::F32Scalar);
+        assert!(scalars.push_row(ColRef::from_vector(&v)).is_err());
+        assert_eq!(scalars.rows(), 0);
     }
 
     #[test]

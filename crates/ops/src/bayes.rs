@@ -49,21 +49,13 @@ impl NaiveBayesParams {
         Annotations::compute()
     }
 
-    /// Scores `input` into a dense per-class log-score vector.
-    pub fn apply(&self, input: &Vector, out: &mut Vector) -> Result<()> {
-        let y = match out {
-            Vector::Dense(y) if y.len() == self.classes() => y,
-            other => {
-                return Err(DataError::Runtime(format!(
-                    "naive bayes output wants dense[{}], got {:?}",
-                    self.classes(),
-                    other.column_type()
-                )))
-            }
-        };
+    /// Scores one numeric row into the per-class slice `y`. Shared by the
+    /// per-record and batch kernels, so their bitwise agreement rests on
+    /// one implementation.
+    fn score_row(&self, row: ColRef<'_>, y: &mut [f32]) -> Result<()> {
         let d = self.dim as usize;
-        match input {
-            Vector::Dense(x) if x.len() == d => {
+        match row {
+            ColRef::Dense(x) if x.len() == d => {
                 for (c, slot) in y.iter_mut().enumerate() {
                     let row = &self.log_lik[c * d..(c + 1) * d];
                     let dot: f32 = x.iter().zip(row).map(|(a, b)| a * b).sum();
@@ -71,11 +63,11 @@ impl NaiveBayesParams {
                 }
                 Ok(())
             }
-            Vector::Sparse {
+            ColRef::Sparse {
                 indices,
                 values,
                 dim,
-            } if *dim as usize == d => {
+            } if dim as usize == d => {
                 for (c, slot) in y.iter_mut().enumerate() {
                     let row = &self.log_lik[c * d..(c + 1) * d];
                     let mut dot = 0.0f32;
@@ -93,10 +85,24 @@ impl NaiveBayesParams {
         }
     }
 
+    /// Scores `input` into a dense per-class log-score vector.
+    pub fn apply(&self, input: &Vector, out: &mut Vector) -> Result<()> {
+        let y = match out {
+            Vector::Dense(y) if y.len() == self.classes() => y,
+            other => {
+                return Err(DataError::Runtime(format!(
+                    "naive bayes output wants dense[{}], got {:?}",
+                    self.classes(),
+                    other.column_type()
+                )))
+            }
+        };
+        self.score_row(ColRef::from_vector(input), y)
+    }
+
     /// Batch kernel: per-class log scores for every row of the chunk
-    /// (per-row dot loops identical to [`Self::apply`]).
+    /// through the same [`Self::score_row`] as the per-record kernel.
     pub fn eval_batch(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
-        let d = self.dim as usize;
         let classes = self.classes();
         if out.column_type() != (pretzel_data::ColumnType::F32Dense { len: classes }) {
             return Err(DataError::Runtime(format!(
@@ -106,37 +112,8 @@ impl NaiveBayesParams {
         }
         let rows = input.rows();
         let y = out.fill_dense(rows)?;
-        for r in 0..rows {
-            let yr = &mut y[r * classes..(r + 1) * classes];
-            match input.row(r) {
-                ColRef::Dense(x) if x.len() == d => {
-                    for (c, slot) in yr.iter_mut().enumerate() {
-                        let row = &self.log_lik[c * d..(c + 1) * d];
-                        let dot: f32 = x.iter().zip(row).map(|(a, b)| a * b).sum();
-                        *slot = self.log_prior[c] + dot;
-                    }
-                }
-                ColRef::Sparse {
-                    indices,
-                    values,
-                    dim,
-                } if dim as usize == d => {
-                    for (c, slot) in yr.iter_mut().enumerate() {
-                        let row = &self.log_lik[c * d..(c + 1) * d];
-                        let mut dot = 0.0f32;
-                        for (&i, &v) in indices.iter().zip(values) {
-                            dot += v * row[i as usize];
-                        }
-                        *slot = self.log_prior[c] + dot;
-                    }
-                }
-                other => {
-                    return Err(DataError::Runtime(format!(
-                        "naive bayes wants numeric[{d}] batch, got {:?}",
-                        other.column_type()
-                    )))
-                }
-            }
+        for (r, yr) in y.chunks_exact_mut(classes).enumerate().take(rows) {
+            self.score_row(input.row(r), yr)?;
         }
         Ok(())
     }

@@ -39,6 +39,28 @@ impl OneHotParams {
         Annotations::featurizer()
     }
 
+    /// Encodes one dense row into its one-hot expansion. `y` must be
+    /// zeroed and sized [`Self::output_dim`]. Shared by the per-record and
+    /// batch kernels, so their bitwise agreement rests on one
+    /// implementation.
+    fn encode_row(&self, x: &[f32], y: &mut [f32]) {
+        let mut w = 0usize;
+        let mut enc_iter = self.encoded.iter().peekable();
+        for (d, &v) in x.iter().enumerate() {
+            if let Some(&&(ed, card)) = enc_iter.peek() {
+                if ed as usize == d {
+                    enc_iter.next();
+                    let slot = (v.max(0.0) as usize).min(card as usize - 1);
+                    y[w + slot] = 1.0;
+                    w += card as usize;
+                    continue;
+                }
+            }
+            y[w] = v;
+            w += 1;
+        }
+    }
+
     /// Encodes `input` (dense) into `out` (dense of [`Self::output_dim`]).
     pub fn apply(&self, input: &Vector, out: &mut Vector) -> Result<()> {
         match (input, out) {
@@ -46,21 +68,7 @@ impl OneHotParams {
                 if x.len() == self.input_dim as usize && y.len() == self.output_dim() =>
             {
                 y.fill(0.0);
-                let mut w = 0usize;
-                let mut enc_iter = self.encoded.iter().peekable();
-                for (d, &v) in x.iter().enumerate() {
-                    if let Some(&&(ed, card)) = enc_iter.peek() {
-                        if ed as usize == d {
-                            enc_iter.next();
-                            let slot = (v.max(0.0) as usize).min(card as usize - 1);
-                            y[w + slot] = 1.0;
-                            w += card as usize;
-                            continue;
-                        }
-                    }
-                    y[w] = v;
-                    w += 1;
-                }
+                self.encode_row(x, y);
                 Ok(())
             }
             (input, _) => Err(DataError::Runtime(format!(
@@ -72,8 +80,8 @@ impl OneHotParams {
         }
     }
 
-    /// Batch kernel: expands every row of the chunk (per-row logic
-    /// identical to [`Self::apply`]).
+    /// Batch kernel: expands every row of the chunk through the same
+    /// [`Self::encode_row`] as the per-record kernel.
     pub fn eval_batch(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
         let in_dim = self.input_dim as usize;
         let out_dim = self.output_dim();
@@ -85,21 +93,7 @@ impl OneHotParams {
         }
         let y = out.fill_dense(rows)?;
         for (xr, yr) in x.chunks_exact(in_dim).zip(y.chunks_exact_mut(out_dim)) {
-            let mut w = 0usize;
-            let mut enc_iter = self.encoded.iter().peekable();
-            for (d, &v) in xr.iter().enumerate() {
-                if let Some(&&(ed, card)) = enc_iter.peek() {
-                    if ed as usize == d {
-                        enc_iter.next();
-                        let slot = (v.max(0.0) as usize).min(card as usize - 1);
-                        yr[w + slot] = 1.0;
-                        w += card as usize;
-                        continue;
-                    }
-                }
-                yr[w] = v;
-                w += 1;
-            }
+            self.encode_row(xr, yr);
         }
         Ok(())
     }

@@ -38,6 +38,23 @@ impl KMeansParams {
         Annotations::compute()
     }
 
+    /// Squared Euclidean distances of one dense row to every centroid.
+    /// Shared by the per-record and batch kernels, so their bitwise
+    /// agreement rests on one implementation. The inner squared-distance
+    /// loop over two slices auto-vectorizes.
+    fn distances_row(&self, x: &[f32], y: &mut [f32]) {
+        let d = self.dim as usize;
+        for (c, slot) in y.iter_mut().enumerate() {
+            let row = &self.centroids[c * d..(c + 1) * d];
+            let mut acc = 0.0f32;
+            for i in 0..d {
+                let diff = x[i] - row[i];
+                acc += diff * diff;
+            }
+            *slot = acc;
+        }
+    }
+
     /// Computes squared Euclidean distances to every centroid
     /// (dense input → dense `k`-vector).
     pub fn apply(&self, input: &Vector, out: &mut Vector) -> Result<()> {
@@ -53,17 +70,7 @@ impl KMeansParams {
         };
         match out {
             Vector::Dense(y) if y.len() == self.k as usize => {
-                let d = self.dim as usize;
-                for (c, slot) in y.iter_mut().enumerate() {
-                    let row = &self.centroids[c * d..(c + 1) * d];
-                    // Squared-distance loop over two slices: auto-vectorizes.
-                    let mut acc = 0.0f32;
-                    for i in 0..d {
-                        let diff = x[i] - row[i];
-                        acc += diff * diff;
-                    }
-                    *slot = acc;
-                }
+                self.distances_row(x, y);
                 Ok(())
             }
             other => Err(DataError::Runtime(format!(
@@ -74,9 +81,9 @@ impl KMeansParams {
         }
     }
 
-    /// Batch kernel: distances to every centroid for every row; the
-    /// centroid matrix stays cache-hot across the chunk (per-row math
-    /// identical to [`Self::apply`]).
+    /// Batch kernel: distances to every centroid for every row through the
+    /// same [`Self::distances_row`] as the per-record kernel; the centroid
+    /// matrix stays cache-hot across the chunk.
     pub fn eval_batch(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
         let d = self.dim as usize;
         let k = self.k as usize;
@@ -96,15 +103,7 @@ impl KMeansParams {
         }
         let y = out.fill_dense(rows)?;
         for (xr, yr) in x.chunks_exact(d).zip(y.chunks_exact_mut(k)) {
-            for (c, slot) in yr.iter_mut().enumerate() {
-                let row = &self.centroids[c * d..(c + 1) * d];
-                let mut acc = 0.0f32;
-                for i in 0..d {
-                    let diff = xr[i] - row[i];
-                    acc += diff * diff;
-                }
-                *slot = acc;
-            }
+            self.distances_row(xr, yr);
         }
         Ok(())
     }

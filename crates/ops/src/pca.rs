@@ -46,6 +46,21 @@ impl PcaParams {
         Annotations::compute()
     }
 
+    /// Projects one dense row onto the components. Shared by the
+    /// per-record and batch kernels, so their bitwise agreement rests on
+    /// one implementation; the centered dot loop auto-vectorizes.
+    fn project_row(&self, x: &[f32], y: &mut [f32]) {
+        let d = self.dim as usize;
+        for (c, slot) in y.iter_mut().enumerate() {
+            let row = &self.components[c * d..(c + 1) * d];
+            let mut acc = 0.0f32;
+            for i in 0..d {
+                acc += (x[i] - self.mean[i]) * row[i];
+            }
+            *slot = acc;
+        }
+    }
+
     /// Projects `input` (dense `dim`) into `out` (dense `m`).
     pub fn apply(&self, input: &Vector, out: &mut Vector) -> Result<()> {
         let x = match input {
@@ -60,15 +75,7 @@ impl PcaParams {
         };
         match out {
             Vector::Dense(y) if y.len() == self.m as usize => {
-                let d = self.dim as usize;
-                for (c, slot) in y.iter_mut().enumerate() {
-                    let row = &self.components[c * d..(c + 1) * d];
-                    let mut acc = 0.0f32;
-                    for i in 0..d {
-                        acc += (x[i] - self.mean[i]) * row[i];
-                    }
-                    *slot = acc;
-                }
+                self.project_row(x, y);
                 Ok(())
             }
             other => Err(DataError::Runtime(format!(
@@ -79,9 +86,9 @@ impl PcaParams {
         }
     }
 
-    /// Batch kernel: projects every row of the chunk; the component matrix
-    /// stays cache-hot across rows (per-row math identical to
-    /// [`Self::apply`]).
+    /// Batch kernel: projects every row of the chunk through the same
+    /// [`Self::project_row`] as the per-record kernel; the component
+    /// matrix stays cache-hot across rows.
     pub fn eval_batch(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
         let d = self.dim as usize;
         let m = self.m as usize;
@@ -101,14 +108,7 @@ impl PcaParams {
         }
         let y = out.fill_dense(rows)?;
         for (xr, yr) in x.chunks_exact(d).zip(y.chunks_exact_mut(m)) {
-            for (c, slot) in yr.iter_mut().enumerate() {
-                let row = &self.components[c * d..(c + 1) * d];
-                let mut acc = 0.0f32;
-                for i in 0..d {
-                    acc += (xr[i] - self.mean[i]) * row[i];
-                }
-                *slot = acc;
-            }
+            self.project_row(xr, yr);
         }
         Ok(())
     }

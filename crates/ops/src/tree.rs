@@ -220,16 +220,25 @@ impl EnsembleParams {
         self.trees.iter().map(Tree::leaves).sum()
     }
 
-    /// Scores `input` into a scalar `out`.
-    pub fn apply(&self, input: &Vector, out: &mut Vector) -> Result<()> {
-        self.check_input(input)?;
+    /// Weighted ensemble score of one row, read through the feature
+    /// accessor `x`. Shared by the per-record and batch kernels (and by
+    /// [`MulticlassTreeParams`]), so their bitwise agreement rests on one
+    /// implementation.
+    pub fn score_row(&self, x: impl Fn(usize) -> f32) -> f32 {
         let mut acc = 0.0f32;
         for (t, &w) in self.trees.iter().zip(&self.weights) {
-            acc += w * t.eval(|i| feature_value(input, i)).1;
+            acc += w * t.eval(&x).1;
         }
         if self.mode == EnsembleMode::Average {
             acc /= self.trees.len() as f32;
         }
+        acc
+    }
+
+    /// Scores `input` into a scalar `out`.
+    pub fn apply(&self, input: &Vector, out: &mut Vector) -> Result<()> {
+        self.check_input(input)?;
+        let acc = self.score_row(|i| feature_value(input, i));
         match out {
             Vector::Scalar(s) => {
                 *s = acc;
@@ -269,9 +278,9 @@ impl EnsembleParams {
         Ok(())
     }
 
-    /// Batch kernel: scores every row of the chunk into a scalar batch;
-    /// the flat tree arrays stay cache-hot across rows (traversal identical
-    /// to [`Self::apply`]).
+    /// Batch kernel: scores every row of the chunk into a scalar batch
+    /// through the same [`Self::score_row`] as the per-record kernel; the
+    /// flat tree arrays stay cache-hot across rows.
     pub fn eval_batch(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
         self.check_batch_input(input)?;
         let rows = input.rows();
@@ -284,14 +293,7 @@ impl EnsembleParams {
         let y = out.fill_scalar(rows)?;
         for (r, slot) in y.iter_mut().enumerate() {
             let row = input.row(r);
-            let mut acc = 0.0f32;
-            for (t, &w) in self.trees.iter().zip(&self.weights) {
-                acc += w * t.eval(|i| row.feature(i)).1;
-            }
-            if self.mode == EnsembleMode::Average {
-                acc /= self.trees.len() as f32;
-            }
-            *slot = acc;
+            *slot = self.score_row(|i| row.feature(i));
         }
         Ok(())
     }
@@ -432,15 +434,29 @@ impl MulticlassTreeParams {
         Annotations::compute()
     }
 
+    /// Per-class ensemble scores of one row, read through the feature
+    /// accessor `x`. Shared by the per-record and batch kernels, so their
+    /// bitwise agreement rests on one implementation.
+    fn score_row(&self, x: impl Fn(usize) -> f32, y: &mut [f32]) {
+        for (ens, slot) in self.per_class.iter().zip(y.iter_mut()) {
+            *slot = ens.score_row(&x);
+        }
+    }
+
     /// Scores `input` into a dense per-class score vector.
     pub fn apply(&self, input: &Vector, out: &mut Vector) -> Result<()> {
+        match input.column_type().dimension() {
+            Some(d) if d == self.input_dim() as usize => {}
+            other => {
+                return Err(DataError::Runtime(format!(
+                    "multiclass wants numeric[{}], got {other:?}",
+                    self.input_dim()
+                )))
+            }
+        }
         match out {
             Vector::Dense(y) if y.len() == self.classes() => {
-                let mut scratch = Vector::Scalar(0.0);
-                for (c, ens) in self.per_class.iter().enumerate() {
-                    ens.apply(input, &mut scratch)?;
-                    y[c] = scratch.as_scalar().unwrap_or(0.0);
-                }
+                self.score_row(|i| feature_value(input, i), y);
                 Ok(())
             }
             other => Err(DataError::Runtime(format!(
@@ -451,8 +467,8 @@ impl MulticlassTreeParams {
         }
     }
 
-    /// Batch kernel: per-class ensemble scores for every row (per-row
-    /// evaluation identical to [`Self::apply`]).
+    /// Batch kernel: per-class ensemble scores for every row through the
+    /// same [`Self::score_row`] as the per-record kernel.
     pub fn eval_batch(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
         let classes = self.classes();
         if out.column_type() != (pretzel_data::ColumnType::F32Dense { len: classes }) {
@@ -472,19 +488,9 @@ impl MulticlassTreeParams {
         }
         let rows = input.rows();
         let y = out.fill_dense(rows)?;
-        for r in 0..rows {
+        for (r, yr) in y.chunks_exact_mut(classes).enumerate().take(rows) {
             let row = input.row(r);
-            let yr = &mut y[r * classes..(r + 1) * classes];
-            for (c, ens) in self.per_class.iter().enumerate() {
-                let mut acc = 0.0f32;
-                for (t, &w) in ens.trees.iter().zip(&ens.weights) {
-                    acc += w * t.eval(|i| row.feature(i)).1;
-                }
-                if ens.mode == EnsembleMode::Average {
-                    acc /= ens.trees.len() as f32;
-                }
-                yr[c] = acc;
-            }
+            self.score_row(|i| row.feature(i), yr);
         }
         Ok(())
     }

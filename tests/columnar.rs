@@ -270,6 +270,89 @@ fn per_record_fallback_matches_columnar() {
     }
 }
 
+/// One cache-enabled equivalence pass: the same records through a
+/// columnar+cache runtime and a per-record+cache runtime, cold then warm.
+/// Scores must be bitwise-identical and the two materialization caches
+/// must report identical hit/miss counts after every pass (single
+/// executor, so the probe order is deterministic in both planes).
+fn run_cached_case(case: &Case, records: &[Record], chunk_size: usize) {
+    let mk = |columnar: bool| {
+        Runtime::new(RuntimeConfig {
+            n_executors: 1,
+            chunk_size,
+            columnar,
+            materialization_budget: 64 << 20,
+            ..RuntimeConfig::default()
+        })
+    };
+    let col = mk(true);
+    let pr = mk(false);
+    let a = col.register(case.plan.clone()).expect("registers");
+    let b = pr.register(case.plan.clone()).expect("registers");
+    for pass in ["cold", "warm"] {
+        let xs = col
+            .predict_batch_wait(a, records.to_vec())
+            .expect("columnar+cache scores");
+        let ys = pr
+            .predict_batch_wait(b, records.to_vec())
+            .expect("per-record+cache scores");
+        for (i, (x, y)) in xs.iter().zip(&ys).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{} chunk={chunk_size} {pass} record {i}: columnar+cache {x} \
+                 vs per-record+cache {y}",
+                case.name
+            );
+        }
+        let (ch, cm, _) = col.materialization_cache().unwrap().stats();
+        let (ph, pm, _) = pr.materialization_cache().unwrap().stats();
+        assert_eq!(
+            (ch, cm),
+            (ph, pm),
+            "{} chunk={chunk_size} {pass}: cache hit/miss counts diverge",
+            case.name
+        );
+    }
+    // Pipelines with cacheable featurizer steps must exercise both hits
+    // (warm pass + intra-batch duplicates) and misses (cold pass).
+    let cacheable = case
+        .plan
+        .stages
+        .iter()
+        .any(|s| s.steps.iter().any(|st| st.op.cacheable()));
+    let (hits, misses, _) = col.materialization_cache().unwrap().stats();
+    if cacheable {
+        assert!(
+            hits > 0 && misses > 0,
+            "{} chunk={chunk_size}: sweep should exercise both hits and \
+             misses (hits {hits}, misses {misses})",
+            case.name
+        );
+    } else {
+        assert_eq!((hits, misses), (0, 0), "{}", case.name);
+    }
+}
+
+/// With the materialization cache enabled, columnar chunks run the
+/// chunk-level cache probe instead of falling back to per-record
+/// execution — bitwise-equal scores and exactly equal per-record cache
+/// hit/miss counts, for every operator family, at every chunk size, cold
+/// and warm.
+#[test]
+fn cache_on_columnar_matches_per_record_across_families_and_chunk_sizes() {
+    for case in cases() {
+        // Repeat a slice of the records so chunks mix cache hits, misses
+        // and intra-chunk duplicates.
+        let mut records: Vec<Record> = case.records[..case.records.len().min(120)].to_vec();
+        let dup: Vec<Record> = records[..records.len() / 3].to_vec();
+        records.extend(dup);
+        for chunk in CHUNK_SIZES {
+            run_cached_case(&case, &records, chunk);
+        }
+    }
+}
+
 /// Chunked execution boundaries: a batch whose size is not a multiple of
 /// the chunk size scores its tail chunk correctly.
 #[test]
