@@ -1,0 +1,197 @@
+//! Ablation: wire-to-columnar ingest vs Record-staged ingest.
+//!
+//! Both configurations serve the same plans over the same TCP FrontEnd
+//! with the same batch requests; the only variable is what the decoder
+//! builds. With `RuntimeConfig::wire_columnar` (the default) request bytes
+//! grow packed text spans, dense rows, or CSR triples straight into a
+//! pool-leased `ColumnBatch` that the scheduler's chunks bulk-load from;
+//! with it off, every record is first staged as an owned `Record` (one
+//! heap allocation + one copy per record between socket and kernel) and
+//! re-packed later. Scores are bitwise-identical; the win is ingest-side
+//! allocation and copy traffic, so the dense-ingest AC workload — where
+//! the data plane is the bottleneck — is the headline (and the CI gate).
+//!
+//! Knobs: `PRETZEL_PIPELINES`, `PRETZEL_SCALE`, `PRETZEL_BATCH`,
+//! `PRETZEL_CORES`, `PRETZEL_CLIENTS`, `PRETZEL_REPEAT`.
+
+use pretzel_bench::{env_usize, images_of, print_table, time_it, wire_predict_batch, BenchEntry};
+use pretzel_core::flour::FlourContext;
+use pretzel_core::frontend::{Client, FrontEnd, FrontEndConfig};
+use pretzel_core::runtime::{PlanId, Runtime, RuntimeConfig};
+use pretzel_core::scheduler::Record;
+use pretzel_ops::linear::LinearKind;
+use pretzel_ops::synth;
+use pretzel_workload::text::{ReviewGen, StructuredGen};
+use std::sync::Arc;
+
+/// A category's plan registrar: builds and registers its plans on a fresh
+/// runtime, returning the ids.
+type Registrar<'a> = &'a dyn Fn(&Runtime) -> Vec<PlanId>;
+
+/// Throughput of one ingest mode: `clients` connections stream batch
+/// requests for their share of the registered plans.
+fn wire_qps(
+    register: Registrar<'_>,
+    records: &[Record],
+    cores: usize,
+    clients: usize,
+    wire_columnar: bool,
+) -> f64 {
+    let runtime = Arc::new(Runtime::new(RuntimeConfig {
+        n_executors: cores,
+        chunk_size: 64,
+        wire_columnar,
+        ..RuntimeConfig::default()
+    }));
+    let ids = register(&runtime);
+    let fe = FrontEnd::serve(Arc::clone(&runtime), FrontEndConfig::default()).unwrap();
+    let addr = fe.addr();
+    // Warm pools, catalogs and the TCP stack outside the timed region.
+    {
+        let mut c = Client::connect(addr).unwrap();
+        for &id in &ids {
+            let _ = wire_predict_batch(&mut c, id, &records[..records.len().min(16)]).unwrap();
+        }
+    }
+    let clients = clients.clamp(1, ids.len());
+    let shards: Vec<&[PlanId]> = ids.chunks(ids.len().div_ceil(clients)).collect();
+    let total = ids.len() * records.len();
+    let repeats = env_usize("PRETZEL_REPEAT", 3).max(1);
+    let mut best = f64::MIN;
+    for _ in 0..repeats {
+        let (_, elapsed) = time_it(|| {
+            std::thread::scope(|scope| {
+                for shard in &shards {
+                    scope.spawn(move || {
+                        let mut c = Client::connect(addr).unwrap();
+                        for &id in *shard {
+                            wire_predict_batch(&mut c, id, records).unwrap();
+                        }
+                    });
+                }
+            });
+        });
+        best = best.max(total as f64 / elapsed.as_secs_f64());
+    }
+    fe.stop();
+    best
+}
+
+fn main() {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let cores = env_usize("PRETZEL_CORES", avail.saturating_sub(1).max(1)).max(1);
+    let clients = env_usize("PRETZEL_CLIENTS", cores.min(4)).max(1);
+    let batch = env_usize("PRETZEL_BATCH", 512);
+    let n_pipelines = pretzel_bench::n_pipelines();
+
+    // SA: text records (CSV line → tokenize → n-grams → linear).
+    let sa = pretzel_bench::sa_workload();
+    let mut reviews = ReviewGen::new(81, sa.vocab.len(), 1.2);
+    let sa_records: Vec<Record> = (0..batch)
+        .map(|_| Record::Text(format!("4,{}", reviews.review(10, 25))))
+        .collect();
+    let sa_images = images_of(&sa.graphs);
+    let register_sa = move |rt: &Runtime| pretzel_bench::register_all(rt, &sa_images).unwrap();
+
+    // Dense-ingest AC: pre-parsed feature vectors — the data-plane-bound
+    // headline configuration.
+    let ac_dense = pretzel_bench::ac_dense_workload();
+    let mut dense_gen = StructuredGen::new(83, pretzel_bench::ac_dense_config().input_dim);
+    let dense_records: Vec<Record> = (0..batch)
+        .map(|_| Record::Dense(dense_gen.record()))
+        .collect();
+    let ac_images = images_of(&ac_dense.graphs);
+    let register_ac = move |rt: &Runtime| pretzel_bench::register_all(rt, &ac_images).unwrap();
+
+    // Sparse ingest: CSR triples on the wire into sparse-source linear
+    // plans (pre-featurized request payloads).
+    let sparse_dim = 256u32;
+    let sparse_records: Vec<Record> = {
+        let mut gen = StructuredGen::new(85, 16);
+        (0..batch)
+            .map(|_| {
+                let dense = gen.record();
+                let indices: Vec<u32> = dense
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| ((i as u32) * 16 + (v.abs() * 13.0) as u32 % 16) % sparse_dim)
+                    .collect::<std::collections::BTreeSet<u32>>()
+                    .into_iter()
+                    .collect();
+                let values: Vec<f32> = indices.iter().map(|&i| (i as f32).sin()).collect();
+                Record::Sparse {
+                    indices,
+                    values,
+                    dim: sparse_dim,
+                }
+            })
+            .collect()
+    };
+    let register_sparse = move |rt: &Runtime| {
+        (0..n_pipelines)
+            .map(|i| {
+                let ctx = FlourContext::new();
+                let plan = ctx
+                    .sparse_source(sparse_dim as usize)
+                    .classifier_linear(Arc::new(synth::linear(
+                        100 + i as u64,
+                        sparse_dim as usize,
+                        LinearKind::Logistic,
+                    )))
+                    .plan()
+                    .unwrap();
+                rt.register(plan).unwrap()
+            })
+            .collect::<Vec<PlanId>>()
+    };
+
+    let categories: Vec<(&str, Registrar<'_>, &[Record])> = vec![
+        ("SA", &register_sa, &sa_records),
+        ("AC_dense", &register_ac, &dense_records),
+        ("SPARSE", &register_sparse, &sparse_records),
+    ];
+
+    let mut entries: Vec<BenchEntry> = Vec::new();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    let mut rows = Vec::new();
+    for (category, register, records) in categories {
+        let staged = wire_qps(register, records, cores, clients, false);
+        let columnar = wire_qps(register, records, cores, clients, true);
+        for (mode, v) in [("record_staged", staged), ("wire_columnar", columnar)] {
+            entries.push(BenchEntry {
+                category: category.into(),
+                mode: mode.into(),
+                chunk_size: 64,
+                cores,
+                records_per_sec: v,
+            });
+        }
+        speedups.push((category.to_string(), columnar / staged));
+        rows.push(vec![
+            category.to_string(),
+            format!("{staged:.0}"),
+            format!("{columnar:.0}"),
+            format!("{:.2}x", columnar / staged),
+        ]);
+    }
+
+    print_table(
+        &format!(
+            "Ablation: wire-to-columnar vs Record-staged ingest \
+             ({n_pipelines} models/category x {batch} records, {cores} cores, {clients} clients)"
+        ),
+        &["category", "record-staged", "wire-columnar", "speedup"],
+        &rows,
+    );
+    println!(
+        "  expected shape — wire-columnar wins where ingest is a visible \
+         fraction of the request (dense/sparse payloads); text workloads \
+         are parsing/matching-bound and move less"
+    );
+
+    pretzel_bench::write_bench_json("BENCH_wire_ingest.json", "wire_ingest", &entries, &speedups)
+        .expect("write BENCH_wire_ingest.json");
+    println!("\nwrote BENCH_wire_ingest.json");
+}

@@ -14,8 +14,10 @@
 //!   instead of the paper's ~1M, preserving all sharing ratios).
 //! * `PRETZEL_CORES` — executor counts for scaling experiments.
 
+use pretzel_core::frontend::Client;
 use pretzel_core::graph::TransformGraph;
 use pretzel_core::runtime::{PlanId, Runtime};
+use pretzel_core::scheduler::Record;
 use pretzel_data::Result;
 use pretzel_workload::ac::{self, AcConfig};
 use pretzel_workload::sa::{self, SaConfig};
@@ -113,6 +115,51 @@ pub fn register_all(runtime: &Runtime, images: &[Arc<Vec<u8>>]) -> Result<Vec<Pl
         .iter()
         .map(|img| register_image(runtime, img))
         .collect()
+}
+
+/// Sends a whole record batch through a FrontEnd client in one request,
+/// dispatching on the record kind (all records must share one kind).
+///
+/// # Panics
+///
+/// Panics on mixed record kinds — bench batches are homogeneous by
+/// construction.
+pub fn wire_predict_batch(client: &mut Client, id: PlanId, records: &[Record]) -> Result<Vec<f32>> {
+    match records.first() {
+        None => Ok(Vec::new()),
+        Some(Record::Text(_)) => {
+            let refs: Vec<&str> = records
+                .iter()
+                .map(|r| match r {
+                    Record::Text(s) => s.as_str(),
+                    _ => panic!("mixed record kinds in wire batch"),
+                })
+                .collect();
+            client.predict_text_batch(id, &refs, 0)
+        }
+        Some(Record::Dense(_)) => {
+            let refs: Vec<&[f32]> = records
+                .iter()
+                .map(|r| match r {
+                    Record::Dense(x) => x.as_slice(),
+                    _ => panic!("mixed record kinds in wire batch"),
+                })
+                .collect();
+            client.predict_dense_batch(id, &refs, 0)
+        }
+        Some(Record::Sparse { dim, .. }) => {
+            let rows: Vec<(&[u32], &[f32])> = records
+                .iter()
+                .map(|r| match r {
+                    Record::Sparse {
+                        indices, values, ..
+                    } => (indices.as_slice(), values.as_slice()),
+                    _ => panic!("mixed record kinds in wire batch"),
+                })
+                .collect();
+            client.predict_sparse_batch(id, &rows, *dim, 0)
+        }
+    }
 }
 
 /// Prints a fixed-width table with a title, like the paper's tables.

@@ -105,6 +105,17 @@ impl FlourContext {
         }
     }
 
+    /// Starts from a raw sparse numeric source of the given dimensionality
+    /// (pre-featurized requests arriving as CSR triples on the wire).
+    pub fn sparse_source(&self, dim: usize) -> Flour {
+        self.init(ColumnType::F32Sparse { len: dim });
+        Flour {
+            ctx: self.clone(),
+            node: Input::Source,
+            ty: ColumnType::F32Sparse { len: dim },
+        }
+    }
+
     /// Starts from a raw text source (no CSV framing).
     pub fn text_source(&self) -> Flour {
         self.init(ColumnType::Text);

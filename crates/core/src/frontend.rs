@@ -8,24 +8,38 @@
 //! results caching (LRU) and delayed batching — which are "orthogonal to
 //! PRETZEL's techniques, so both are applicable in a complementary manner".
 //!
+//! **Wire-to-columnar ingest** (the default, `RuntimeConfig::wire_columnar`):
+//! request decoding grows packed text spans, dense rows, or CSR triples
+//! straight into a pool-leased [`ColumnBatch`] via a
+//! [`BatchAssembler`], and that batch — with its per-row content hashes —
+//! is what the scheduler's chunks bulk-load from. The `Vec<Record>`
+//! staging copy (one heap allocation per record between socket and
+//! kernel) only exists on the ablation path (`wire_columnar = false`);
+//! scores are bitwise-identical either way.
+//!
 //! The wire protocol is deliberately small: length-prefixed frames, one
 //! request → one response, little-endian.
 //!
 //! ```text
 //! request  := u32 body_len · u32 plan_id · u8 kind · u8 flags ·
 //!             u16 n_records · record*
-//! record   := u32 len · bytes          (kind 0: UTF-8 text)
-//!           | u32 n   · f32*           (kind 1: dense)
+//! record   := u32 len · bytes            (kind 0: UTF-8 text)
+//!           | u32 n   · f32*             (kind 1: dense)
+//!           | u32 dim · u32 nnz ·
+//!             u32*nnz · f32*nnz          (kind 2: sparse CSR triple)
 //! response := u32 body_len · u8 status ·
 //!             (status 0: u16 n · f32*) | (status 1: u32 len · bytes)
 //! ```
 
 use crate::lru::LruCache;
+use crate::physical::SourceRef;
 use crate::runtime::{PlanId, Runtime};
 use crate::scheduler::Record;
 use parking_lot::Mutex;
-use pretzel_data::hash::{fnv1a, Fnv1a};
-use pretzel_data::{DataError, Result};
+use pretzel_data::hash::content_hash_sparse;
+use pretzel_data::ingest::validate_sparse_indices;
+use pretzel_data::serde_bin::Cursor;
+use pretzel_data::{BatchAssembler, ColumnType, DataError, Result};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -38,10 +52,17 @@ use std::time::Duration;
 const KIND_TEXT: u8 = 0;
 /// Dense record kind tag.
 const KIND_DENSE: u8 = 1;
+/// Sparse (CSR triple) record kind tag.
+const KIND_SPARSE: u8 = 2;
 /// Request flag: consult/populate the prediction-result cache.
 pub const FLAG_RESULT_CACHE: u8 = 0b01;
 /// Request flag: submit through the delayed batcher.
 pub const FLAG_DELAYED_BATCH: u8 = 0b10;
+
+/// Upper bound on one frame body. A length prefix above this is rejected
+/// with a clean protocol error *before* any allocation happens — a garbage
+/// or hostile prefix must never turn into a multi-gigabyte `vec![0; len]`.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
 
 /// FrontEnd configuration.
 #[derive(Debug, Clone, Default)]
@@ -52,7 +73,17 @@ pub struct FrontEndConfig {
     pub batch_delay: Option<Duration>,
 }
 
-type PendingBatch = Vec<(Record, mpsc::Sender<Result<f32>>)>;
+/// One plan's accumulated delayed-batch requests between flushes.
+enum PendingBatch {
+    /// Record-staged accumulation (`wire_columnar = false`).
+    Records(Vec<(Record, mpsc::Sender<Result<f32>>)>),
+    /// Wire-assembled accumulation: rows append to one per-plan column
+    /// batch as they arrive; the flush submits it without any re-packing.
+    Assembled {
+        assembler: BatchAssembler,
+        senders: Vec<mpsc::Sender<Result<f32>>>,
+    },
+}
 
 #[derive(Default)]
 struct Batcher {
@@ -164,25 +195,61 @@ fn flush_pending(batcher: &Batcher, runtime: &Runtime) {
         let mut pending = batcher.pending.lock();
         pending.drain().collect()
     };
-    for (plan, entries) in drained {
-        let (records, senders): (Vec<Record>, Vec<mpsc::Sender<Result<f32>>>) =
-            entries.into_iter().unzip();
-        match runtime.predict_batch_wait(plan, records) {
+    for (plan, pending) in drained {
+        let (outcome, senders) = match pending {
+            PendingBatch::Records(entries) => {
+                let (records, senders): (Vec<Record>, Vec<_>) = entries.into_iter().unzip();
+                (runtime.predict_batch_wait(plan, records), senders)
+            }
+            PendingBatch::Assembled { assembler, senders } => {
+                let (rows, hashes) = assembler.finish();
+                (
+                    runtime.predict_batch_assembled_wait(plan, rows, hashes),
+                    senders,
+                )
+            }
+        };
+        // A send error means that client disconnected mid-flush. That is
+        // its problem alone: log it and keep delivering to the rest of the
+        // flush instead of dropping the error (or the flush) on the floor.
+        let mut dropped = 0usize;
+        match outcome {
             Ok(scores) => {
                 for (s, tx) in scores.into_iter().zip(senders) {
-                    let _ = tx.send(Ok(s));
+                    if tx.send(Ok(s)).is_err() {
+                        dropped += 1;
+                    }
                 }
             }
             Err(e) => {
                 for tx in senders {
-                    let _ = tx.send(Err(e.clone()));
+                    if tx.send(Err(e.clone())).is_err() {
+                        dropped += 1;
+                    }
                 }
             }
+        }
+        if dropped > 0 {
+            eprintln!(
+                "pretzel frontend: dropped {dropped} delayed-batch result(s) for plan {plan}: \
+                 client(s) disconnected mid-flush"
+            );
         }
     }
 }
 
 type ResultCache = Arc<Mutex<LruCache<(PlanId, u64), f32>>>;
+
+/// One frame read off the wire.
+enum Frame {
+    /// A complete body.
+    Body(Vec<u8>),
+    /// Clean end of stream before a length prefix.
+    Eof,
+    /// The length prefix exceeded [`MAX_FRAME_BYTES`]; nothing allocated,
+    /// body unread.
+    Oversized(u64),
+}
 
 fn serve_connection(
     mut stream: TcpStream,
@@ -192,10 +259,19 @@ fn serve_connection(
 ) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
     loop {
-        let body = match read_frame(&mut stream) {
-            Ok(Some(b)) => b,
-            Ok(None) => return Ok(()), // clean EOF
-            Err(e) => return Err(e),
+        let body = match read_frame(&mut stream)? {
+            Frame::Body(b) => b,
+            Frame::Eof => return Ok(()), // clean EOF
+            Frame::Oversized(len) => {
+                // Refuse with a protocol error instead of allocating. The
+                // stream cannot be resynchronized past an unread body, so
+                // reply and close.
+                let reply = encode_err(&format!(
+                    "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte limit"
+                ));
+                let _ = write_frame(&mut stream, &reply);
+                return Ok(());
+            }
         };
         let reply = match handle_request(&body, &runtime, &cache, &batcher) {
             Ok(scores) => encode_ok(&scores),
@@ -205,42 +281,248 @@ fn serve_connection(
     }
 }
 
+/// Decoded request header fields.
+struct RequestHead {
+    plan: PlanId,
+    kind: u8,
+    flags: u8,
+    n: usize,
+}
+
 fn handle_request(
     body: &[u8],
     runtime: &Runtime,
     cache: &Option<ResultCache>,
     batcher: &Option<Arc<Batcher>>,
 ) -> Result<Vec<f32>> {
-    let mut cur = pretzel_data::serde_bin::Cursor::new(body);
+    let mut cur = Cursor::new(body);
     let plan = cur.u32()?;
     let kind_flags = cur.u32()?;
-    let kind = (kind_flags & 0xff) as u8;
-    let flags = ((kind_flags >> 8) & 0xff) as u8;
-    let n = (kind_flags >> 16) as usize;
+    let head = RequestHead {
+        plan,
+        kind: (kind_flags & 0xff) as u8,
+        flags: ((kind_flags >> 8) & 0xff) as u8,
+        n: (kind_flags >> 16) as usize,
+    };
+    if head.n == 0 {
+        // An empty batch still validates its plan id (as the pre-assembler
+        // path did by reaching the batch engine with zero records).
+        let _ = runtime.plan(plan)?;
+        return Ok(Vec::new());
+    }
+    if runtime.config().wire_columnar {
+        handle_request_columnar(head, cur, runtime, cache, batcher)
+    } else {
+        handle_request_staged(head, cur, runtime, cache, batcher)
+    }
+}
+
+/// The slot-0 batch type a request's records assemble into. Dense and
+/// sparse requests carry per-record dimensions; the first record's fixes
+/// the batch shape (later records must match it).
+///
+/// The peeked dimension is untrusted wire input and (for dense rows)
+/// drives the batch's capacity hint, so a prefix claiming more floats
+/// than the body holds is rejected here — before anything allocates,
+/// like every other hostile length prefix.
+fn wire_batch_type(kind: u8, cur: &Cursor<'_>) -> Result<ColumnType> {
+    match kind {
+        KIND_TEXT => Ok(ColumnType::Text),
+        KIND_DENSE => {
+            let mut peek = cur.clone();
+            let len = peek.u32()? as usize;
+            if len.saturating_mul(4) > peek.remaining() {
+                return Err(DataError::Codec(format!(
+                    "dense record claims {len} features, body holds {} bytes",
+                    peek.remaining()
+                )));
+            }
+            Ok(ColumnType::F32Dense { len })
+        }
+        KIND_SPARSE => {
+            let mut peek = cur.clone();
+            Ok(ColumnType::F32Sparse {
+                len: peek.u32()? as usize,
+            })
+        }
+        k => Err(DataError::Runtime(format!("bad record kind {k}"))),
+    }
+}
+
+/// Rows to size the assembler's batch lease for: enough for the request,
+/// but never hinting more storage than the body's bytes could actually
+/// fill (`n` itself is wire input; dense hints multiply by the row width).
+fn assembler_rows_hint(ty: &ColumnType, n: usize, body_remaining: usize) -> usize {
+    match ty {
+        ColumnType::F32Dense { len } => n.min(body_remaining / (4 * (*len).max(1))),
+        _ => n,
+    }
+}
+
+/// Wire-to-columnar request handling: decode rows straight into a
+/// pool-leased batch, then serve through the engine the flags select.
+fn handle_request_columnar(
+    head: RequestHead,
+    mut cur: Cursor<'_>,
+    runtime: &Runtime,
+    cache: &Option<ResultCache>,
+    batcher: &Option<Arc<Batcher>>,
+) -> Result<Vec<f32>> {
+    let RequestHead {
+        plan,
+        kind,
+        flags,
+        n,
+    } = head;
+    let pool = Arc::clone(runtime.ingest_pool());
+    let ty = wire_batch_type(kind, &cur)?;
+    let rows_hint = assembler_rows_hint(&ty, n, cur.remaining());
+    let mut asm = BatchAssembler::new(pool.acquire_batch(ty, rows_hint));
+    let release = |asm: BatchAssembler| pool.release_batch(asm.finish().0);
+    for _ in 0..n {
+        let decoded = match kind {
+            KIND_TEXT => asm.decode_text_row(&mut cur),
+            KIND_DENSE => asm.decode_dense_row(&mut cur),
+            _ => asm.decode_sparse_row(&mut cur),
+        };
+        if let Err(e) = decoded {
+            release(asm);
+            return Err(e);
+        }
+    }
+
+    // Prediction-result cache: single-record requests only (multi-record
+    // requests are batch jobs where caching individual rows buys little).
+    let use_cache = flags & FLAG_RESULT_CACHE != 0 && n == 1;
+    if use_cache {
+        if let Some(cache) = cache {
+            if let Some(&score) = cache.lock().get(&(plan, asm.hash(0))) {
+                release(asm);
+                return Ok(vec![score]);
+            }
+        }
+    }
+
+    if flags & FLAG_DELAYED_BATCH != 0 && n == 1 {
+        let Some(batcher) = batcher else {
+            release(asm);
+            return Err(DataError::Runtime(
+                "delayed batching not enabled on this front end".into(),
+            ));
+        };
+        let row_hash = asm.hash(0);
+        let (tx, rx) = mpsc::channel();
+        let appended = {
+            let mut pending = batcher.pending.lock();
+            let entry = pending.entry(plan).or_insert_with(|| {
+                // The per-plan accumulator leases its own batch; rows of
+                // the same plan pack together until the next flush.
+                PendingBatch::Assembled {
+                    assembler: BatchAssembler::new(pool.acquire_batch(asm.column_type(), 16)),
+                    senders: Vec::new(),
+                }
+            });
+            match entry {
+                PendingBatch::Assembled { assembler, senders } => {
+                    assembler.append_assembled(&asm).map(|()| senders.push(tx))
+                }
+                PendingBatch::Records(_) => Err(DataError::Runtime(
+                    "delayed batcher is accumulating staged records".into(),
+                )),
+            }
+        };
+        release(asm);
+        appended?;
+        let score = rx
+            .recv()
+            .map_err(|_| DataError::Runtime("batcher dropped request".into()))??;
+        // Populate the result cache exactly like the staged path does for
+        // delayed requests.
+        if use_cache {
+            if let Some(cache) = cache {
+                cache.lock().insert((plan, row_hash), score, 16);
+            }
+        }
+        return Ok(vec![score]);
+    }
+
+    let scores = if n == 1 {
+        // Request-response engine, straight off the assembled row.
+        let scored = SourceRef::from_row(asm.batch().row(0))
+            .and_then(|src| runtime.predict_source(plan, src));
+        match scored {
+            Ok(score) => {
+                if use_cache {
+                    if let Some(cache) = cache {
+                        cache.lock().insert((plan, asm.hash(0)), score, 16);
+                    }
+                }
+                release(asm);
+                vec![score]
+            }
+            Err(e) => {
+                release(asm);
+                return Err(e);
+            }
+        }
+    } else {
+        // Batch engine: the assembled batch is the submission — the lease
+        // returns to the ingest pool when the request completes.
+        let (rows, hashes) = asm.finish();
+        runtime.predict_batch_assembled_wait(plan, rows, hashes)?
+    };
+    Ok(scores)
+}
+
+/// Record-staged request handling (`wire_columnar = false`): the ablation
+/// control, decoding every record into an owned `Record` first.
+fn handle_request_staged(
+    head: RequestHead,
+    mut cur: Cursor<'_>,
+    runtime: &Runtime,
+    cache: &Option<ResultCache>,
+    batcher: &Option<Arc<Batcher>>,
+) -> Result<Vec<f32>> {
+    let RequestHead {
+        plan,
+        kind,
+        flags,
+        n,
+    } = head;
     let mut records = Vec::with_capacity(n.min(1 << 16));
     let mut hashes = Vec::with_capacity(n.min(1 << 16));
     for _ in 0..n {
         match kind {
             KIND_TEXT => {
                 let s = cur.str()?;
-                hashes.push(fnv1a(s.as_bytes()));
+                hashes.push(pretzel_data::hash::content_hash_text(&s));
                 records.push(Record::Text(s));
             }
             KIND_DENSE => {
                 let x = cur.f32s()?;
-                let mut h = Fnv1a::new();
-                for &v in &x {
-                    h.write_f32(v);
-                }
-                hashes.push(h.finish());
+                hashes.push(pretzel_data::hash::content_hash_dense(&x));
                 records.push(Record::Dense(x));
+            }
+            KIND_SPARSE => {
+                let dim = cur.u32()?;
+                let indices = cur.u32s()?;
+                validate_sparse_indices(&indices, dim)?;
+                let mut values = Vec::with_capacity(indices.len());
+                for _ in 0..indices.len() {
+                    values.push(cur.f32()?);
+                }
+                hashes.push(content_hash_sparse(&indices, &values, dim));
+                records.push(Record::Sparse {
+                    indices,
+                    values,
+                    dim,
+                });
             }
             k => return Err(DataError::Runtime(format!("bad record kind {k}"))),
         }
     }
 
-    // Prediction-result cache: single-record requests only (multi-record
-    // requests are batch jobs where caching individual rows buys little).
+    // Prediction-result cache: single-record requests only.
     let use_cache = flags & FLAG_RESULT_CACHE != 0 && records.len() == 1;
     if use_cache {
         if let Some(cache) = cache {
@@ -254,12 +536,22 @@ fn handle_request(
         match batcher {
             Some(batcher) => {
                 let (tx, rx) = mpsc::channel();
-                batcher
-                    .pending
-                    .lock()
-                    .entry(plan)
-                    .or_default()
-                    .push((records.pop().expect("one record"), tx));
+                {
+                    let mut pending = batcher.pending.lock();
+                    let entry = pending
+                        .entry(plan)
+                        .or_insert_with(|| PendingBatch::Records(Vec::new()));
+                    match entry {
+                        PendingBatch::Records(entries) => {
+                            entries.push((records.pop().expect("one record"), tx));
+                        }
+                        PendingBatch::Assembled { .. } => {
+                            return Err(DataError::Runtime(
+                                "delayed batcher is accumulating assembled rows".into(),
+                            ))
+                        }
+                    }
+                }
                 vec![rx
                     .recv()
                     .map_err(|_| DataError::Runtime("batcher dropped request".into()))??]
@@ -272,10 +564,7 @@ fn handle_request(
         }
     } else if records.len() == 1 {
         // Request-response engine.
-        vec![match &records[0] {
-            Record::Text(s) => runtime.predict(plan, s)?,
-            Record::Dense(x) => runtime.predict_dense(plan, x)?,
-        }]
+        vec![runtime.predict_source(plan, records[0].as_source())?]
     } else {
         runtime.predict_batch_wait(plan, records)?
     };
@@ -288,23 +577,20 @@ fn handle_request(
     Ok(scores)
 }
 
-fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Frame> {
     let mut len = [0u8; 4];
     match stream.read_exact(&mut len) {
         Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(Frame::Eof),
         Err(e) => return Err(e),
     }
     let len = u32::from_le_bytes(len) as usize;
-    if len > 64 << 20 {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "frame too large",
-        ));
+    if len > MAX_FRAME_BYTES {
+        return Ok(Frame::Oversized(len as u64));
     }
     let mut body = vec![0u8; len];
     stream.read_exact(&mut body)?;
-    Ok(Some(body))
+    Ok(Frame::Body(body))
 }
 
 fn write_frame(stream: &mut TcpStream, body: &[u8]) -> std::io::Result<()> {
@@ -347,10 +633,13 @@ impl Client {
     fn roundtrip(&mut self, request: &[u8]) -> Result<Vec<f32>> {
         let io_err = |e: std::io::Error| DataError::Runtime(format!("frontend io: {e}"));
         write_frame(&mut self.stream, request).map_err(io_err)?;
-        let body = read_frame(&mut self.stream)
-            .map_err(io_err)?
-            .ok_or_else(|| DataError::Runtime("frontend closed connection".into()))?;
-        decode_response(&body)
+        match read_frame(&mut self.stream).map_err(io_err)? {
+            Frame::Body(body) => decode_response(&body),
+            Frame::Eof => Err(DataError::Runtime("frontend closed connection".into())),
+            Frame::Oversized(len) => Err(DataError::Runtime(format!(
+                "frontend sent an oversized {len}-byte frame"
+            ))),
+        }
     }
 
     /// Scores one text record; `flags` selects external optimizations.
@@ -392,6 +681,35 @@ impl Client {
     ) -> Result<Vec<f32>> {
         self.roundtrip(&encode_request_dense(plan, records, flags))
     }
+
+    /// Scores one sparse record (sorted unique `indices` parallel to
+    /// `values`, logical dimensionality `dim`).
+    pub fn predict_sparse(
+        &mut self,
+        plan: PlanId,
+        indices: &[u32],
+        values: &[f32],
+        dim: u32,
+        flags: u8,
+    ) -> Result<f32> {
+        let rows = [(indices, values)];
+        let scores = self.roundtrip(&encode_request_sparse(plan, &rows, dim, flags))?;
+        scores
+            .first()
+            .copied()
+            .ok_or_else(|| DataError::Runtime("empty response".into()))
+    }
+
+    /// Scores a batch of sparse records sharing one dimensionality.
+    pub fn predict_sparse_batch(
+        &mut self,
+        plan: PlanId,
+        rows: &[(&[u32], &[f32])],
+        dim: u32,
+        flags: u8,
+    ) -> Result<Vec<f32>> {
+        self.roundtrip(&encode_request_sparse(plan, rows, dim, flags))
+    }
 }
 
 fn request_header(plan: PlanId, kind: u8, flags: u8, n: usize) -> Vec<u8> {
@@ -422,11 +740,26 @@ fn encode_request_dense(plan: PlanId, records: &[&[f32]], flags: u8) -> Vec<u8> 
     req
 }
 
+fn encode_request_sparse(plan: PlanId, rows: &[(&[u32], &[f32])], dim: u32, flags: u8) -> Vec<u8> {
+    let mut req = request_header(plan, KIND_SPARSE, flags, rows.len());
+    for (indices, values) in rows {
+        req.extend_from_slice(&dim.to_le_bytes());
+        req.extend_from_slice(&(indices.len() as u32).to_le_bytes());
+        for i in *indices {
+            req.extend_from_slice(&i.to_le_bytes());
+        }
+        for v in *values {
+            req.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    req
+}
+
 fn decode_response(body: &[u8]) -> Result<Vec<f32>> {
     let (&status, rest) = body
         .split_first()
         .ok_or_else(|| DataError::Runtime("empty frame".into()))?;
-    let mut cur = pretzel_data::serde_bin::Cursor::new(rest);
+    let mut cur = Cursor::new(rest);
     match status {
         0 => cur.f32s(),
         1 => {
@@ -447,6 +780,19 @@ mod tests {
     use pretzel_ops::synth;
 
     fn serve_sa(config: FrontEndConfig) -> (Arc<Runtime>, FrontEnd, PlanId) {
+        serve_sa_with(
+            config,
+            RuntimeConfig {
+                n_executors: 2,
+                ..RuntimeConfig::default()
+            },
+        )
+    }
+
+    fn serve_sa_with(
+        config: FrontEndConfig,
+        rt_config: RuntimeConfig,
+    ) -> (Arc<Runtime>, FrontEnd, PlanId) {
         let vocab = synth::vocabulary(0, 64);
         let ctx = FlourContext::new();
         let tokens = ctx.csv(',').select_text(1).tokenize();
@@ -457,10 +803,7 @@ mod tests {
             .classifier_linear(Arc::new(synth::linear(3, 128, LinearKind::Logistic)))
             .plan()
             .unwrap();
-        let rt = Arc::new(Runtime::new(RuntimeConfig {
-            n_executors: 2,
-            ..RuntimeConfig::default()
-        }));
+        let rt = Arc::new(Runtime::new(rt_config));
         let id = rt.register(logical).unwrap();
         let fe = FrontEnd::serve(Arc::clone(&rt), config).unwrap();
         (rt, fe, id)
@@ -540,6 +883,28 @@ mod tests {
     }
 
     #[test]
+    fn delayed_batching_staged_ablation_path() {
+        let (rt, fe, id) = serve_sa_with(
+            FrontEndConfig {
+                result_cache_bytes: 0,
+                batch_delay: Some(Duration::from_millis(2)),
+            },
+            RuntimeConfig {
+                n_executors: 2,
+                wire_columnar: false,
+                ..RuntimeConfig::default()
+            },
+        );
+        let local = rt.predict(id, "4,pretty good").unwrap();
+        let mut c = Client::connect(fe.addr()).unwrap();
+        let remote = c
+            .predict_text(id, "4,pretty good", FLAG_DELAYED_BATCH)
+            .unwrap();
+        assert_eq!(remote.to_bits(), local.to_bits());
+        fe.stop();
+    }
+
+    #[test]
     fn dense_records_over_the_wire() {
         let dim = 8;
         let ctx = FlourContext::new();
@@ -562,6 +927,85 @@ mod tests {
         let x = vec![0.25f32; dim];
         let remote = client.predict_dense(id, &x, 0).unwrap();
         assert!((remote - rt.predict_dense(id, &x).unwrap()).abs() < 1e-6);
+        fe.stop();
+    }
+
+    #[test]
+    fn sparse_records_over_the_wire() {
+        let dim = 16u32;
+        let ctx = FlourContext::new();
+        let logical = ctx
+            .sparse_source(dim as usize)
+            .classifier_linear(Arc::new(synth::linear(
+                5,
+                dim as usize,
+                LinearKind::Logistic,
+            )))
+            .plan()
+            .unwrap();
+        let rt = Arc::new(Runtime::new(RuntimeConfig::default()));
+        let id = rt.register(logical).unwrap();
+        let fe = FrontEnd::serve(Arc::clone(&rt), FrontEndConfig::default()).unwrap();
+        let mut client = Client::connect(fe.addr()).unwrap();
+        let (indices, values) = (vec![1u32, 7, 12], vec![0.5f32, -2.0, 1.25]);
+        let remote = client
+            .predict_sparse(id, &indices, &values, dim, 0)
+            .unwrap();
+        let local = rt.predict_sparse(id, &indices, &values, dim).unwrap();
+        assert_eq!(remote.to_bits(), local.to_bits());
+        // Batch sparse too.
+        let rows: Vec<(&[u32], &[f32])> =
+            vec![(&indices, &values), (&[0u32, 3][..], &[1.0f32, 2.0][..])];
+        let scores = client.predict_sparse_batch(id, &rows, dim, 0).unwrap();
+        assert_eq!(scores.len(), 2);
+        assert_eq!(scores[0].to_bits(), local.to_bits());
+        fe.stop();
+    }
+
+    #[test]
+    fn malformed_sparse_record_is_protocol_error() {
+        let dim = 8u32;
+        let ctx = FlourContext::new();
+        let logical = ctx
+            .sparse_source(dim as usize)
+            .classifier_linear(Arc::new(synth::linear(
+                6,
+                dim as usize,
+                LinearKind::Regression,
+            )))
+            .plan()
+            .unwrap();
+        let rt = Arc::new(Runtime::new(RuntimeConfig::default()));
+        let id = rt.register(logical).unwrap();
+        let fe = FrontEnd::serve(Arc::clone(&rt), FrontEndConfig::default()).unwrap();
+        let mut client = Client::connect(fe.addr()).unwrap();
+        // Out-of-dim index: rejected, connection stays usable.
+        let err = client
+            .predict_sparse(id, &[99], &[1.0], dim, 0)
+            .unwrap_err();
+        assert!(err.to_string().contains("out of dim"));
+        let ok = client.predict_sparse(id, &[2], &[1.0], dim, 0);
+        assert!(ok.is_ok());
+        fe.stop();
+    }
+
+    #[test]
+    fn oversized_frame_rejected_without_allocation() {
+        let (_rt, fe, _id) = serve_sa(FrontEndConfig::default());
+        let mut stream = TcpStream::connect(fe.addr()).unwrap();
+        // A hostile length prefix: ~4 GiB. The server must answer with a
+        // protocol error (not attempt the allocation) and close cleanly.
+        stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        let mut len = [0u8; 4];
+        stream.read_exact(&mut len).unwrap();
+        let len = u32::from_le_bytes(len) as usize;
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body).unwrap();
+        let err = decode_response(&body).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+        // Connection is closed afterwards.
+        let mut probe = [0u8; 1];
+        assert_eq!(stream.read(&mut probe).unwrap(), 0);
         fe.stop();
     }
 }

@@ -128,6 +128,16 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         }
     }
 
+    /// Fetches `key` **without** touching recency order or the hit/miss
+    /// counters — a pure read.
+    ///
+    /// The chunk-level cache probe uses this for its speculative partition
+    /// pass: the real `get`/`insert` bookkeeping is replayed afterwards in
+    /// original row order, so peeking must leave no trace.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&idx| &self.slab[idx].value)
+    }
+
     /// Inserts `key → value` with the given cost, evicting LRU entries as
     /// needed. An entry costlier than the whole budget is not cached.
     /// Replaces any existing entry for the key.
@@ -235,6 +245,20 @@ mod tests {
         assert!(c.get(&3).is_some());
         assert!(c.get(&4).is_some());
         assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn peek_reads_without_recency_or_counter_side_effects() {
+        let mut c: LruCache<u32, u32> = LruCache::new(30);
+        c.insert(1, 1, 10);
+        c.insert(2, 2, 10);
+        c.insert(3, 3, 10);
+        // Peeking 1 must NOT protect it: it stays LRU.
+        assert_eq!(c.peek(&1), Some(&1));
+        assert_eq!(c.peek(&99), None);
+        assert_eq!((c.hits(), c.misses()), (0, 0));
+        c.insert(4, 4, 10);
+        assert_eq!(c.peek(&1), None, "1 was still LRU and must be evicted");
     }
 
     #[test]

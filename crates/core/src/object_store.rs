@@ -133,6 +133,13 @@ impl MaterializationCache {
         self.lru.lock().get(&key).cloned()
     }
 
+    /// Looks up a materialized result without touching recency order or
+    /// the hit/miss counters (the chunk probe's speculative partition
+    /// pass; see [`crate::lru::LruCache::peek`]).
+    pub fn peek(&self, key: MatKey) -> Option<Arc<Vector>> {
+        self.lru.lock().peek(&key).cloned()
+    }
+
     /// Stores a materialized result (cost = value heap bytes + fixed
     /// overhead).
     pub fn put(&self, key: MatKey, value: Arc<Vector>) {

@@ -22,7 +22,7 @@
 use crate::object_store::{MatKey, MaterializationCache, ObjectStore};
 use crate::plan::{BufDef, Loc, LogicalStage, StageOp, StagePlan, Step};
 use pretzel_data::batch::ColRef;
-use pretzel_data::hash::{fnv1a, Fnv1a};
+use pretzel_data::hash::Fnv1a;
 use pretzel_data::pool::VectorPool;
 use pretzel_data::{ColumnBatch, ColumnType, DataError, Result, Vector};
 use pretzel_ops::Op;
@@ -369,33 +369,32 @@ fn apply_step_batch(
 /// One cacheable step's chunk-level materialization-cache probe.
 ///
 /// The columnar analogue of the per-record cache branch in
-/// `PhysicalStage::run_steps`: hash-probe the cache once per row, partition
-/// the chunk into a hit set and a miss sub-batch
-/// ([`ColumnBatch::gather`]/[`ColumnBatch::push_row`] selection kernels),
-/// run the step's batch kernel only on the misses, insert the miss outputs,
-/// and scatter hits + computed rows back into one output batch in original
-/// row order.
+/// `PhysicalStage::run_steps`: partition the chunk into a hit set and a
+/// miss sub-batch ([`ColumnBatch::gather`]/[`ColumnBatch::push_row`]
+/// selection kernels), run the step's batch kernel only on the misses, and
+/// scatter hits + computed rows back into one output batch in original row
+/// order.
 ///
-/// Per-record cache semantics are preserved: every row issues one `get` per
-/// cacheable step and every miss one `put`, in row order. A row whose key
-/// duplicates an earlier in-chunk miss defers its probe until after the
-/// miss outputs are inserted, so it hits — exactly as it would when the
-/// chunk's records were processed one at a time.
+/// Per-record cache semantics are preserved **exactly**, including LRU
+/// recency order and eviction victims under mid-chunk eviction pressure:
+///
+/// 1. a *speculative* partition pass peeks every row's key without
+///    touching recency or counters ([`MaterializationCache::peek`]);
+/// 2. the speculated misses batch-evaluate over gathered sub-batches,
+///    with no cache writes;
+/// 3. a *replay* pass then issues the real cache operations in original
+///    row order — one `get` per row, one `put` per `get` that missed —
+///    which is the identical operation sequence the per-record path
+///    produces, so the LRU list transitions through the same states. A
+///    replayed `get` that disagrees with the speculation (its entry was
+///    evicted by an earlier in-chunk insert, or an in-chunk duplicate's
+///    insert already landed) is handled the way the per-record path would:
+///    use the cached value on an unexpected hit, recompute the single row
+///    on an unexpected miss.
 struct ChunkCacheProbe {
     cache: Arc<MaterializationCache>,
     pool: Arc<VectorPool>,
     step_sum: u64,
-}
-
-/// Where a row's output comes from after the probe.
-enum RowSrc {
-    /// Cached value (probe hit, or deferred duplicate resolved after the
-    /// miss inserts).
-    Hit(Arc<Vector>),
-    /// Row of the computed miss sub-batch.
-    Miss(usize),
-    /// Duplicate of an in-chunk miss; resolved in the deferred pass.
-    Deferred,
 }
 
 impl ChunkCacheProbe {
@@ -412,111 +411,118 @@ impl ChunkCacheProbe {
                 ctx.source_hashes.len()
             )));
         }
-        // Phase 1: probe. Rows partition into hits, misses, and deferred
-        // duplicates of in-chunk misses.
-        let mut srcs: Vec<RowSrc> = Vec::with_capacity(rows);
+        // Phase 1: speculative partition via non-mutating peeks.
+        // `plan[r]` is `Some(j)` when row `r` is the first in-chunk
+        // occurrence of an uncached key and will be batch-computed at miss
+        // sub-batch row `j`; `None` when the row is expected to hit at
+        // replay time (peeked hit, or duplicate of an earlier in-chunk
+        // miss whose insert will have landed by then).
+        let mut plan: Vec<Option<usize>> = Vec::with_capacity(rows);
         let mut miss_rows: Vec<usize> = Vec::new();
         let mut pending: std::collections::HashSet<u64> = std::collections::HashSet::new();
-        let mut deferred: Vec<usize> = Vec::new();
         for (r, &input) in ctx.source_hashes.iter().enumerate() {
             if pending.contains(&input) {
-                deferred.push(r);
-                srcs.push(RowSrc::Deferred);
+                plan.push(None);
                 continue;
             }
             let key = MatKey {
                 step: self.step_sum,
                 input,
             };
-            match self.cache.get(key) {
-                Some(hit) => srcs.push(RowSrc::Hit(hit)),
+            match self.cache.peek(key) {
+                Some(_) => plan.push(None),
                 None => {
                     pending.insert(input);
-                    srcs.push(RowSrc::Miss(miss_rows.len()));
+                    plan.push(Some(miss_rows.len()));
                     miss_rows.push(r);
                 }
             }
         }
         // All-miss fast path (cold caches, unique request streams): no
         // sub-batch needed — run the kernel over the original slot batches
-        // exactly like the uncached path, then insert every output row.
-        // Duplicates would have been deferred, so all-miss implies all
-        // keys are unique.
+        // exactly like the uncached path, then replay the get/put pairs.
+        // Duplicates plan as `None`, so all-miss implies all keys unique.
         if miss_rows.len() == rows {
             return self.run_all_miss(step, slots, rows, ctx);
         }
-        // Phase 2: batch-evaluate the misses over gathered sub-batches and
-        // insert the outputs (in row order, like the per-record path).
+        // Phase 2: batch-evaluate the speculated misses over gathered
+        // sub-batches. No cache writes yet — those belong to the replay.
         let out_ty = batch_buf(slots, &ctx.batch_scratch, step.output).column_type();
         let miss_out = if miss_rows.is_empty() {
             None
         } else {
-            Some(self.eval_miss_rows(
-                step,
-                &miss_rows,
-                out_ty,
-                slots,
-                &ctx.batch_scratch,
-                &ctx.source_hashes,
-            )?)
+            Some(self.eval_miss_rows(step, &miss_rows, out_ty, slots, &ctx.batch_scratch)?)
         };
-        // Phase 3: deferred duplicates probe now — after the inserts — so
-        // they hit, matching the per-record processing order.
-        for &r in &deferred {
-            let key = MatKey {
-                step: self.step_sum,
-                input: ctx.source_hashes[r],
-            };
-            let hit = match self.cache.get(key) {
-                Some(hit) => hit,
-                None => {
-                    // Inserted value already evicted (degenerate cache
-                    // budget): recompute this row alone, as the
-                    // per-record path would.
-                    let one = self.eval_miss_rows(
-                        step,
-                        &[r],
-                        out_ty,
-                        slots,
-                        &ctx.batch_scratch,
-                        &ctx.source_hashes,
-                    )?;
-                    let v = Arc::new(one.row(0).to_vector());
-                    self.pool.release_batch(one);
-                    v
+        // Phase 3: replay the cache operations in original row order. From
+        // here on the cache sees exactly what the per-record path would
+        // have issued, so hit/miss counters, recency order, and eviction
+        // victims match it even under mid-chunk eviction pressure.
+        let replayed: Result<Vec<Arc<Vector>>> = (|| {
+            let mut srcs = Vec::with_capacity(rows);
+            for (r, row_plan) in plan.iter().enumerate() {
+                let key = MatKey {
+                    step: self.step_sum,
+                    input: ctx.source_hashes[r],
+                };
+                match self.cache.get(key) {
+                    Some(hit) => srcs.push(hit),
+                    None => {
+                        let value = match row_plan {
+                            Some(j) => Arc::new(
+                                miss_out
+                                    .as_ref()
+                                    .expect("miss rows imply a miss batch")
+                                    .row(*j)
+                                    .to_vector(),
+                            ),
+                            // Speculated hit whose entry an earlier replay
+                            // insert evicted, or a duplicate whose insert
+                            // was already evicted (degenerate budget):
+                            // recompute the row alone, as the per-record
+                            // path would on this miss.
+                            None => {
+                                let one = self.eval_miss_rows(
+                                    step,
+                                    &[r],
+                                    out_ty,
+                                    slots,
+                                    &ctx.batch_scratch,
+                                )?;
+                                let v = Arc::new(one.row(0).to_vector());
+                                self.pool.release_batch(one);
+                                v
+                            }
+                        };
+                        self.cache.put(key, Arc::clone(&value));
+                        srcs.push(value);
+                    }
                 }
-            };
-            srcs[r] = RowSrc::Hit(hit);
+            }
+            Ok(srcs)
+        })();
+        if let Some(b) = miss_out {
+            self.pool.release_batch(b);
         }
-        // Phase 4: scatter hits + computed rows into the output batch in
+        let srcs = replayed?;
+        // Phase 4: scatter the per-row values into the output batch in
         // original row order.
         let mut out = take_batch(slots, &mut ctx.batch_scratch, step.output);
         out.reset();
         let mut res = Ok(());
-        for src in &srcs {
-            let row = match src {
-                RowSrc::Hit(v) => ColRef::from_vector(v),
-                RowSrc::Miss(j) => miss_out
-                    .as_ref()
-                    .expect("miss rows imply a miss batch")
-                    .row(*j),
-                RowSrc::Deferred => unreachable!("deferred rows resolved above"),
-            };
-            if let Err(e) = out.push_row(row) {
+        for v in &srcs {
+            if let Err(e) = out.push_row(ColRef::from_vector(v)) {
                 res = Err(e);
                 break;
             }
         }
         put_batch(slots, &mut ctx.batch_scratch, step.output, out);
-        if let Some(b) = miss_out {
-            self.pool.release_batch(b);
-        }
         res
     }
 
     /// Whole-chunk miss: runs the step's batch kernel in place (no
-    /// gather/scatter copies) and inserts every output row into the cache
-    /// in row order.
+    /// gather/scatter copies), then replays the per-row `get` (miss) +
+    /// `put` pairs in row order — the same operation sequence the
+    /// per-record path issues on a cold chunk.
     fn run_all_miss(
         &self,
         step: &Step,
@@ -539,6 +545,11 @@ impl ChunkCacheProbe {
                     step: self.step_sum,
                     input,
                 };
+                // All keys are unique and were absent at peek time, and
+                // replay only inserts keys from this same set, so the get
+                // always misses; it is issued anyway to keep the counter
+                // and recency traffic identical to per-record execution.
+                let _ = self.cache.get(key);
                 self.cache.put(key, Arc::new(out.row(r).to_vector()));
             }
         }
@@ -546,10 +557,11 @@ impl ChunkCacheProbe {
         res
     }
 
-    /// Gathers `miss_rows` of the step's inputs into pooled sub-batches,
-    /// runs the step's batch kernel over them, and inserts every output row
-    /// into the cache; returns the computed miss batch (pooled — the caller
-    /// releases it).
+    /// Gathers `miss_rows` of the step's inputs into pooled sub-batches and
+    /// runs the step's batch kernel over them; returns the computed miss
+    /// batch (pooled — the caller releases it). Cache insertion is NOT done
+    /// here: the replay pass owns all cache writes so they land in original
+    /// row order.
     fn eval_miss_rows(
         &self,
         step: &Step,
@@ -557,7 +569,6 @@ impl ChunkCacheProbe {
         out_ty: ColumnType,
         slots: &[ColumnBatch],
         scratch: &[ColumnBatch],
-        hashes: &[u64],
     ) -> Result<ColumnBatch> {
         let mut gathered: Vec<ColumnBatch> = Vec::with_capacity(step.inputs.len());
         let mut res = Ok(());
@@ -596,13 +607,6 @@ impl ChunkCacheProbe {
         if let Err(e) = res {
             self.pool.release_batch(miss_out);
             return Err(e);
-        }
-        for (j, &r) in miss_rows.iter().enumerate() {
-            let key = MatKey {
-                step: self.step_sum,
-                input: hashes[r],
-            };
-            self.cache.put(key, Arc::new(miss_out.row(j).to_vector()));
         }
         Ok(miss_out)
     }
@@ -748,9 +752,42 @@ pub enum SourceRef<'a> {
     Text(&'a str),
     /// A dense numeric record.
     Dense(&'a [f32]),
+    /// A sparse numeric record (pre-featurized request payload): sorted
+    /// unique `indices` parallel to `values`.
+    Sparse {
+        /// Sorted, unique element indices.
+        indices: &'a [u32],
+        /// Values parallel to `indices`.
+        values: &'a [f32],
+        /// Logical dimensionality.
+        dim: u32,
+    },
 }
 
-impl SourceRef<'_> {
+impl<'a> SourceRef<'a> {
+    /// Borrows a row of a source [`ColumnBatch`] as a source record (the
+    /// bridge that lets wire-assembled batches feed the per-record engine
+    /// and the per-record scheduler fallback).
+    pub fn from_row(row: ColRef<'a>) -> Result<Self> {
+        match row {
+            ColRef::Text(s) => Ok(SourceRef::Text(s)),
+            ColRef::Dense(x) => Ok(SourceRef::Dense(x)),
+            ColRef::Sparse {
+                indices,
+                values,
+                dim,
+            } => Ok(SourceRef::Sparse {
+                indices,
+                values,
+                dim,
+            }),
+            other => Err(DataError::Runtime(format!(
+                "{:?} rows cannot be source records",
+                other.column_type()
+            ))),
+        }
+    }
+
     /// Copies the source into the (pooled) slot-0 buffer without
     /// reallocating when capacities suffice.
     pub fn load_into(&self, slot: &mut Vector) -> Result<()> {
@@ -762,6 +799,24 @@ impl SourceRef<'_> {
             }
             (SourceRef::Dense(x), Vector::Dense(dst)) if dst.len() == x.len() => {
                 dst.copy_from_slice(x);
+                Ok(())
+            }
+            (
+                SourceRef::Sparse {
+                    indices,
+                    values,
+                    dim,
+                },
+                Vector::Sparse {
+                    indices: di,
+                    values: dv,
+                    dim: dd,
+                },
+            ) if dd == dim => {
+                di.clear();
+                di.extend_from_slice(indices);
+                dv.clear();
+                dv.extend_from_slice(values);
                 Ok(())
             }
             (src, slot) => Err(DataError::Runtime(format!(
@@ -780,6 +835,18 @@ impl SourceRef<'_> {
                 row.copy_from_slice(x);
                 Ok(())
             }
+            (
+                SourceRef::Sparse {
+                    indices,
+                    values,
+                    dim,
+                },
+                ColumnBatch::Sparse { dim: dd, .. },
+            ) if dd == dim => slot.push_row(ColRef::Sparse {
+                indices,
+                values,
+                dim: *dim,
+            }),
             (src, slot) => Err(DataError::Runtime(format!(
                 "source {src:?} does not fit batch slot {:?}",
                 slot.column_type()
@@ -788,16 +855,18 @@ impl SourceRef<'_> {
     }
 
     /// Hash of the record content (materialization / result-cache key).
+    ///
+    /// Delegates to the shared helpers in [`pretzel_data::hash`] so wire
+    /// ingest, Record staging, and batch rows all key caches identically.
     pub fn content_hash(&self) -> u64 {
         match self {
-            SourceRef::Text(s) => fnv1a(s.as_bytes()),
-            SourceRef::Dense(x) => {
-                let mut h = Fnv1a::new();
-                for &v in *x {
-                    h.write_f32(v);
-                }
-                h.finish()
-            }
+            SourceRef::Text(s) => pretzel_data::hash::content_hash_text(s),
+            SourceRef::Dense(x) => pretzel_data::hash::content_hash_dense(x),
+            SourceRef::Sparse {
+                indices,
+                values,
+                dim,
+            } => pretzel_data::hash::content_hash_sparse(indices, values, *dim),
         }
     }
 }

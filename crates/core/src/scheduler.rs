@@ -36,6 +36,15 @@ pub enum Record {
     Text(String),
     /// A dense numeric record.
     Dense(Vec<f32>),
+    /// A sparse numeric record (pre-featurized payload).
+    Sparse {
+        /// Sorted, unique element indices.
+        indices: Vec<u32>,
+        /// Values parallel to `indices`.
+        values: Vec<f32>,
+        /// Logical dimensionality.
+        dim: u32,
+    },
 }
 
 impl Record {
@@ -44,6 +53,112 @@ impl Record {
         match self {
             Record::Text(s) => SourceRef::Text(s),
             Record::Dense(x) => SourceRef::Dense(x),
+            Record::Sparse {
+                indices,
+                values,
+                dim,
+            } => SourceRef::Sparse {
+                indices,
+                values,
+                dim: *dim,
+            },
+        }
+    }
+}
+
+/// A whole request's source rows assembled into one [`ColumnBatch`]
+/// (wire-to-columnar ingest), plus one content hash per row.
+///
+/// The scheduler's chunks share this read-only; when the last chunk drops
+/// its reference, the batch buffer returns to its *home* pool (the
+/// FrontEnd's ingest pool), so wire-assembled buffers recirculate instead
+/// of draining the pool one request at a time.
+#[derive(Debug)]
+pub struct AssembledBatch {
+    rows: ColumnBatch,
+    hashes: Vec<u64>,
+    home: Option<Arc<VectorPool>>,
+}
+
+impl AssembledBatch {
+    /// Wraps assembled rows and their parallel content hashes; `home` is
+    /// the pool the batch buffer returns to when the request completes.
+    pub fn new(rows: ColumnBatch, hashes: Vec<u64>, home: Option<Arc<VectorPool>>) -> Result<Self> {
+        if hashes.len() != rows.rows() {
+            return Err(DataError::Runtime(format!(
+                "assembled batch has {} rows but {} hashes",
+                rows.rows(),
+                hashes.len()
+            )));
+        }
+        Ok(AssembledBatch { rows, hashes, home })
+    }
+
+    /// The assembled source rows.
+    pub fn rows(&self) -> &ColumnBatch {
+        &self.rows
+    }
+
+    /// Number of assembled rows.
+    pub fn len(&self) -> usize {
+        self.rows.rows()
+    }
+
+    /// True if the request holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Per-row content hashes, parallel to the rows.
+    pub fn hashes(&self) -> &[u64] {
+        &self.hashes
+    }
+}
+
+impl Drop for AssembledBatch {
+    fn drop(&mut self) {
+        if let Some(pool) = self.home.take() {
+            pool.release_batch(std::mem::replace(
+                &mut self.rows,
+                ColumnBatch::Scalar(Vec::new()),
+            ));
+        }
+    }
+}
+
+/// The source rows a submitted batch executes over: staged `Record`s (the
+/// classic path, and the `wire_columnar = false` ablation control) or a
+/// wire-assembled [`AssembledBatch`].
+#[derive(Debug, Clone)]
+enum BatchInput {
+    /// One owned `Record` per row.
+    Records(Arc<Vec<Record>>),
+    /// All rows packed in one column batch.
+    Assembled(Arc<AssembledBatch>),
+}
+
+impl BatchInput {
+    fn len(&self) -> usize {
+        match self {
+            BatchInput::Records(r) => r.len(),
+            BatchInput::Assembled(a) => a.len(),
+        }
+    }
+
+    /// Borrows row `i` as a source record.
+    fn source_at(&self, i: usize) -> Result<SourceRef<'_>> {
+        match self {
+            BatchInput::Records(r) => Ok(r[i].as_source()),
+            BatchInput::Assembled(a) => SourceRef::from_row(a.rows.row(i)),
+        }
+    }
+
+    /// Content hash of row `i` (assembled inputs carry theirs from ingest;
+    /// staged records hash on demand, as the pre-assembler path always did).
+    fn hash_at(&self, i: usize) -> u64 {
+        match self {
+            BatchInput::Records(r) => r[i].as_source().content_hash(),
+            BatchInput::Assembled(a) => a.hashes[i],
         }
     }
 }
@@ -112,7 +227,7 @@ enum ChunkWorkingSet {
 /// A chunk event: one contiguous range of a batch at one stage.
 struct ChunkTask {
     plan: Arc<ModelPlan>,
-    records: Arc<Vec<Record>>,
+    input: BatchInput,
     range: (usize, usize),
     stage: usize,
     /// Working set, leased lazily at the chunk's first stage.
@@ -288,8 +403,23 @@ impl Scheduler {
         plan: Arc<ModelPlan>,
         records: Vec<Record>,
     ) -> BatchHandle {
-        let n = records.len();
-        let records = Arc::new(records);
+        self.submit_input(plan_id, plan, BatchInput::Records(Arc::new(records)))
+    }
+
+    /// Submits a wire-assembled request batch: the rows the FrontEnd built
+    /// straight from the wire become the rows chunks bulk-load from —
+    /// no `Record` round-trip.
+    pub fn submit_assembled(
+        &self,
+        plan_id: u32,
+        plan: Arc<ModelPlan>,
+        input: AssembledBatch,
+    ) -> BatchHandle {
+        self.submit_input(plan_id, plan, BatchInput::Assembled(Arc::new(input)))
+    }
+
+    fn submit_input(&self, plan_id: u32, plan: Arc<ModelPlan>, input: BatchInput) -> BatchHandle {
+        let n = input.len();
         let n_chunks = n.div_ceil(self.chunk_size).max(1);
         let state = Arc::new(BatchState {
             results: Mutex::new(vec![0.0; n]),
@@ -314,7 +444,7 @@ impl Scheduler {
             let end = (start + self.chunk_size).min(n);
             queue.push_low(ChunkTask {
                 plan: Arc::clone(&plan),
-                records: Arc::clone(&records),
+                input: input.clone(),
                 range: (start, end),
                 stage: 0,
                 working: ChunkWorkingSet::Unleased,
@@ -398,28 +528,39 @@ fn run_chunk_stage(
         if columnar {
             let mut slots: Vec<ColumnBatch> =
                 types.iter().map(|&t| pool.acquire_batch(t, n)).collect();
-            for i in 0..n {
-                let src = task.records[start + i].as_source();
-                if let Err(e) = src.load_into_batch(&mut slots[0]) {
-                    task.working = ChunkWorkingSet::Columnar(slots);
-                    finish_chunk_error(task, e);
-                    return;
-                }
-            }
+            // Wire-assembled inputs bulk-copy their row range into slot 0
+            // (one extend per backing buffer); staged records append one
+            // row each, as before.
+            let loaded = match &task.input {
+                BatchInput::Records(records) => records[start..end]
+                    .iter()
+                    .try_for_each(|r| r.as_source().load_into_batch(&mut slots[0])),
+                BatchInput::Assembled(a) => slots[0].extend_from_range(a.rows(), start, end),
+            };
             task.working = ChunkWorkingSet::Columnar(slots);
+            if let Err(e) = loaded {
+                finish_chunk_error(task, e);
+                return;
+            }
         } else {
             let mut leases: Vec<Vec<Vector>> = (0..n)
                 .map(|_| types.iter().map(|&t| pool.acquire(t)).collect())
                 .collect();
+            let mut loaded = Ok(());
             for (i, lease) in leases.iter_mut().enumerate() {
-                let src = task.records[start + i].as_source();
-                if let Err(e) = src.load_into(&mut lease[0]) {
-                    task.working = ChunkWorkingSet::Records(leases);
-                    finish_chunk_error(task, e);
-                    return;
+                loaded = task
+                    .input
+                    .source_at(start + i)
+                    .and_then(|src| src.load_into(&mut lease[0]));
+                if loaded.is_err() {
+                    break;
                 }
             }
             task.working = ChunkWorkingSet::Records(leases);
+            if let Err(e) = loaded {
+                finish_chunk_error(task, e);
+                return;
+            }
         }
     }
     let stage = &task.plan.stages[task.stage];
@@ -430,11 +571,19 @@ fn run_chunk_stage(
             // record before its stage runs).
             if ctx.cache.is_some() && stage.has_cacheable_steps() {
                 ctx.source_hashes.clear();
-                ctx.source_hashes.extend(
-                    task.records[start..end]
-                        .iter()
-                        .map(|r| r.as_source().content_hash()),
-                );
+                match &task.input {
+                    BatchInput::Records(records) => ctx.source_hashes.extend(
+                        records[start..end]
+                            .iter()
+                            .map(|r| r.as_source().content_hash()),
+                    ),
+                    // Assembled inputs carry their hashes from ingest
+                    // (computed over the same bytes with the same shared
+                    // helpers, so cache keys are identical).
+                    BatchInput::Assembled(a) => {
+                        ctx.source_hashes.extend_from_slice(&a.hashes()[start..end]);
+                    }
+                }
             }
             if let Err(e) = stage.execute_batch(slots, n, ctx) {
                 finish_chunk_error(task, e);
@@ -444,7 +593,7 @@ fn run_chunk_stage(
         ChunkWorkingSet::Records(leases) => {
             for (i, lease) in leases.iter_mut().enumerate() {
                 if ctx.cache.is_some() {
-                    ctx.source_hash = task.records[start + i].as_source().content_hash();
+                    ctx.source_hash = task.input.hash_at(start + i);
                 }
                 if let Err(e) = stage.execute(lease, ctx) {
                     finish_chunk_error(task, e);

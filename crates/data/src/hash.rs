@@ -68,6 +68,39 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h.finish()
 }
 
+/// Content hash of a text source record.
+///
+/// The canonical per-record identity used by the sub-plan materialization
+/// cache and the FrontEnd result cache. Every ingest path (Record staging,
+/// wire-to-columnar assembly, batch rows) must produce the same hash for
+/// the same record bytes, so these helpers are the single definition.
+pub fn content_hash_text(s: &str) -> u64 {
+    fnv1a(s.as_bytes())
+}
+
+/// Content hash of a dense source record (bit patterns, in order).
+pub fn content_hash_dense(xs: &[f32]) -> u64 {
+    let mut h = Fnv1a::new();
+    for &v in xs {
+        h.write_f32(v);
+    }
+    h.finish()
+}
+
+/// Content hash of a sparse source record: dimensionality, then the sorted
+/// indices, then the parallel values.
+pub fn content_hash_sparse(indices: &[u32], values: &[f32], dim: u32) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(&dim.to_le_bytes());
+    for &i in indices {
+        h.write(&i.to_le_bytes());
+    }
+    for &v in values {
+        h.write_f32(v);
+    }
+    h.finish()
+}
+
 /// SplitMix64: fast avalanche finalizer used to derive independent seeds.
 ///
 /// Workload synthesis derives per-pipeline / per-operator seeds from a master

@@ -1,0 +1,368 @@
+//! Wire-to-columnar ingest: assemble a [`ColumnBatch`] straight from
+//! decoded request bytes.
+//!
+//! The FrontEnd's original ingest path decoded every wire record into an
+//! owned `Record` (a `String` or `Vec<f32>` per record) and only later
+//! re-packed those into the columnar working set the batch engine executes
+//! over — one full staging copy plus one heap allocation per record between
+//! the socket and the kernel. A [`BatchAssembler`] removes that stage: the
+//! decoder grows packed text spans, dense rows, or CSR triples directly
+//! into a (pool-leased) [`ColumnBatch`], so the batch the kernel consumes
+//! is the thing the ingest path builds — the same discipline as
+//! constant-time pooled allocation on the hot path.
+//!
+//! The assembler also records one content hash per row as it decodes
+//! (see [`crate::hash::content_hash_text`] and friends). Those hashes are
+//! the canonical per-record identities used by the FrontEnd result cache
+//! and the sub-plan materialization cache, so every ingest path produces
+//! identical keys for identical record bytes.
+
+use crate::batch::{ColRef, ColumnBatch};
+use crate::hash::{content_hash_dense, content_hash_sparse, content_hash_text, Fnv1a};
+use crate::schema::ColumnType;
+use crate::serde_bin::Cursor;
+use crate::{DataError, Result};
+
+/// Assembles one request's worth of source rows into a [`ColumnBatch`],
+/// recording a content hash per row.
+#[derive(Debug)]
+pub struct BatchAssembler {
+    rows: ColumnBatch,
+    hashes: Vec<u64>,
+}
+
+impl BatchAssembler {
+    /// Wraps a (typically pool-leased) batch; any stale rows are cleared.
+    pub fn new(mut rows: ColumnBatch) -> Self {
+        rows.reset();
+        BatchAssembler {
+            rows,
+            hashes: Vec::new(),
+        }
+    }
+
+    /// Column type of the assembled rows.
+    pub fn column_type(&self) -> ColumnType {
+        self.rows.column_type()
+    }
+
+    /// Number of assembled rows.
+    pub fn rows(&self) -> usize {
+        self.rows.rows()
+    }
+
+    /// True if nothing was assembled yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Borrows the assembled rows.
+    pub fn batch(&self) -> &ColumnBatch {
+        &self.rows
+    }
+
+    /// Per-row content hashes, parallel to the rows.
+    pub fn hashes(&self) -> &[u64] {
+        &self.hashes
+    }
+
+    /// Content hash of row `i`.
+    pub fn hash(&self, i: usize) -> u64 {
+        self.hashes[i]
+    }
+
+    /// Takes the assembled batch and its per-row hashes.
+    pub fn finish(self) -> (ColumnBatch, Vec<u64>) {
+        (self.rows, self.hashes)
+    }
+
+    /// Appends a text row.
+    pub fn push_text(&mut self, s: &str) -> Result<()> {
+        self.rows.push_text(s)?;
+        self.hashes.push(content_hash_text(s));
+        Ok(())
+    }
+
+    /// Appends a dense row; its length must match the batch width.
+    pub fn push_dense(&mut self, xs: &[f32]) -> Result<()> {
+        self.rows.push_row(ColRef::Dense(xs))?;
+        self.hashes.push(content_hash_dense(xs));
+        Ok(())
+    }
+
+    /// Appends a sparse row; `indices` must be strictly increasing and
+    /// below the batch dimensionality (a malformed row is a data error, not
+    /// a panic — this is the ingest boundary).
+    pub fn push_sparse(&mut self, indices: &[u32], values: &[f32]) -> Result<()> {
+        let dim = match self.rows.column_type() {
+            ColumnType::F32Sparse { len } => len as u32,
+            other => {
+                return Err(DataError::Runtime(format!(
+                    "cannot push a sparse row into a {other} batch"
+                )))
+            }
+        };
+        if indices.len() != values.len() {
+            return Err(DataError::Codec(format!(
+                "sparse row has {} indices but {} values",
+                indices.len(),
+                values.len()
+            )));
+        }
+        validate_sparse_indices(indices, dim)?;
+        self.rows.push_row(ColRef::Sparse {
+            indices,
+            values,
+            dim,
+        })?;
+        self.hashes.push(content_hash_sparse(indices, values, dim));
+        Ok(())
+    }
+
+    /// Appends all rows (and hashes) of `other`: the delayed batcher merges
+    /// single-request assemblers into its per-plan accumulator with one
+    /// bulk copy.
+    pub fn append_assembled(&mut self, other: &BatchAssembler) -> Result<()> {
+        self.rows.extend_from_range(&other.rows, 0, other.rows())?;
+        self.hashes.extend_from_slice(&other.hashes);
+        Ok(())
+    }
+
+    /// Decodes one wire text record (`u32 len · bytes`) straight into the
+    /// packed text buffer — no intermediate `String`.
+    pub fn decode_text_row(&mut self, cur: &mut Cursor<'_>) -> Result<()> {
+        let s = cur.str_ref()?;
+        self.push_text(s)
+    }
+
+    /// Decodes one wire dense record (`u32 n · f32*n`) straight into the
+    /// row-major matrix, hashing as it copies.
+    pub fn decode_dense_row(&mut self, cur: &mut Cursor<'_>) -> Result<()> {
+        let dim = match self.rows.column_type() {
+            ColumnType::F32Dense { len } => len,
+            other => {
+                return Err(DataError::Runtime(format!(
+                    "cannot decode a dense row into a {other} batch"
+                )))
+            }
+        };
+        let n = cur.u32()? as usize;
+        cur.check_claim(n, 4)?;
+        if n != dim {
+            return Err(DataError::Codec(format!(
+                "dense record has {n} features, batch rows have {dim}"
+            )));
+        }
+        let row = self.rows.push_dense_row()?;
+        let mut h = Fnv1a::new();
+        for slot in row.iter_mut() {
+            let v = cur.f32()?;
+            *slot = v;
+            h.write_f32(v);
+        }
+        self.hashes.push(h.finish());
+        Ok(())
+    }
+
+    /// Decodes one wire sparse record (CSR triple:
+    /// `u32 dim · u32 nnz · u32*nnz indices · f32*nnz values`) straight
+    /// into the CSR arrays, validating indices at the ingest boundary.
+    pub fn decode_sparse_row(&mut self, cur: &mut Cursor<'_>) -> Result<()> {
+        let dim = match self.rows.column_type() {
+            ColumnType::F32Sparse { len } => len as u32,
+            other => {
+                return Err(DataError::Runtime(format!(
+                    "cannot decode a sparse row into a {other} batch"
+                )))
+            }
+        };
+        let rdim = cur.u32()?;
+        if rdim != dim {
+            return Err(DataError::Codec(format!(
+                "sparse record has dim {rdim}, batch rows have {dim}"
+            )));
+        }
+        let nnz = cur.u32()? as usize;
+        cur.check_claim(nnz, 8)?;
+        let (bounds, indices, values) = match &mut self.rows {
+            ColumnBatch::Sparse {
+                bounds,
+                indices,
+                values,
+                ..
+            } => (bounds, indices, values),
+            _ => unreachable!("column type checked above"),
+        };
+        let tail = indices.len();
+        let mut decode = || -> Result<u64> {
+            for _ in 0..nnz {
+                indices.push(cur.u32()?);
+            }
+            validate_sparse_indices(&indices[tail..], dim)?;
+            for _ in 0..nnz {
+                values.push(cur.f32()?);
+            }
+            Ok(content_hash_sparse(&indices[tail..], &values[tail..], dim))
+        };
+        match decode() {
+            Ok(hash) => {
+                bounds.push(indices.len() as u32);
+                self.hashes.push(hash);
+                Ok(())
+            }
+            Err(e) => {
+                // Roll the half-decoded row back so the assembler stays
+                // consistent for the error reply path.
+                indices.truncate(tail);
+                values.truncate(tail);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Checks that a wire sparse row's indices are strictly increasing and
+/// within the dimensionality — the ingest-boundary validation every decode
+/// path (columnar or Record-staged) applies to CSR triples.
+pub fn validate_sparse_indices(indices: &[u32], dim: u32) -> Result<()> {
+    for (i, &idx) in indices.iter().enumerate() {
+        if idx >= dim {
+            return Err(DataError::Codec(format!(
+                "sparse index {idx} out of dim {dim}"
+            )));
+        }
+        if i > 0 && indices[i - 1] >= idx {
+            return Err(DataError::Codec(format!(
+                "sparse indices must be strictly increasing, got {} then {idx}",
+                indices[i - 1]
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serde_bin::wire;
+
+    #[test]
+    fn text_rows_assemble_with_hashes() {
+        let mut a = BatchAssembler::new(ColumnBatch::with_type(ColumnType::Text));
+        a.push_text("hello").unwrap();
+        a.push_text("").unwrap();
+        let mut body = Vec::new();
+        wire::put_str(&mut body, "world");
+        let mut cur = Cursor::new(&body);
+        a.decode_text_row(&mut cur).unwrap();
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.hash(0), content_hash_text("hello"));
+        assert_eq!(a.hash(2), content_hash_text("world"));
+        let (rows, hashes) = a.finish();
+        assert!(matches!(rows.row(2), ColRef::Text("world")));
+        assert_eq!(hashes.len(), 3);
+    }
+
+    #[test]
+    fn dense_rows_decode_straight_into_matrix() {
+        let mut a = BatchAssembler::new(ColumnBatch::with_type(ColumnType::F32Dense { len: 3 }));
+        let mut body = Vec::new();
+        wire::put_f32s(&mut body, &[1.0, -2.0, 0.5]);
+        wire::put_f32s(&mut body, &[4.0, 5.0, 6.0]);
+        let mut cur = Cursor::new(&body);
+        a.decode_dense_row(&mut cur).unwrap();
+        a.decode_dense_row(&mut cur).unwrap();
+        assert_eq!(a.rows(), 2);
+        assert_eq!(a.hash(0), content_hash_dense(&[1.0, -2.0, 0.5]));
+        let (rows, _) = a.finish();
+        let (data, dim, n) = rows.as_dense().unwrap();
+        assert_eq!((dim, n), (3, 2));
+        assert_eq!(data, &[1.0, -2.0, 0.5, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn dense_width_mismatch_is_clean_error() {
+        let mut a = BatchAssembler::new(ColumnBatch::with_type(ColumnType::F32Dense { len: 3 }));
+        let mut body = Vec::new();
+        wire::put_f32s(&mut body, &[1.0, 2.0]);
+        let mut cur = Cursor::new(&body);
+        assert!(a.decode_dense_row(&mut cur).is_err());
+        assert_eq!(a.rows(), 0);
+    }
+
+    #[test]
+    fn sparse_rows_decode_as_csr_triples() {
+        let mut a = BatchAssembler::new(ColumnBatch::with_type(ColumnType::F32Sparse { len: 8 }));
+        let mut body = Vec::new();
+        wire::put_u32(&mut body, 8); // dim
+        wire::put_u32(&mut body, 2); // nnz
+        wire::put_u32(&mut body, 1);
+        wire::put_u32(&mut body, 5);
+        wire::put_f32(&mut body, 2.0);
+        wire::put_f32(&mut body, -1.0);
+        let mut cur = Cursor::new(&body);
+        a.decode_sparse_row(&mut cur).unwrap();
+        assert_eq!(a.rows(), 1);
+        assert_eq!(a.hash(0), content_hash_sparse(&[1, 5], &[2.0, -1.0], 8));
+        let (rows, _) = a.finish();
+        match rows.row(0) {
+            ColRef::Sparse {
+                indices, values, ..
+            } => {
+                assert_eq!(indices, &[1, 5]);
+                assert_eq!(values, &[2.0, -1.0]);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn malformed_sparse_rows_roll_back() {
+        let mut a = BatchAssembler::new(ColumnBatch::with_type(ColumnType::F32Sparse { len: 4 }));
+        // Out-of-dim index.
+        let mut body = Vec::new();
+        wire::put_u32(&mut body, 4);
+        wire::put_u32(&mut body, 1);
+        wire::put_u32(&mut body, 9);
+        wire::put_f32(&mut body, 1.0);
+        assert!(a.decode_sparse_row(&mut Cursor::new(&body)).is_err());
+        // Non-increasing indices.
+        let mut body = Vec::new();
+        wire::put_u32(&mut body, 4);
+        wire::put_u32(&mut body, 2);
+        wire::put_u32(&mut body, 2);
+        wire::put_u32(&mut body, 2);
+        wire::put_f32(&mut body, 1.0);
+        wire::put_f32(&mut body, 1.0);
+        assert!(a.decode_sparse_row(&mut Cursor::new(&body)).is_err());
+        // Wrong dim.
+        let mut body = Vec::new();
+        wire::put_u32(&mut body, 5);
+        assert!(a.decode_sparse_row(&mut Cursor::new(&body)).is_err());
+        assert_eq!(a.rows(), 0);
+        // The assembler is still usable after rejected rows.
+        a.push_sparse(&[0, 3], &[1.0, 2.0]).unwrap();
+        assert_eq!(a.rows(), 1);
+    }
+
+    #[test]
+    fn hostile_length_prefixes_rejected_before_allocation() {
+        let mut a = BatchAssembler::new(ColumnBatch::with_type(ColumnType::F32Dense { len: 3 }));
+        let mut body = Vec::new();
+        wire::put_u32(&mut body, u32::MAX); // claims 4 billion floats
+        assert!(a.decode_dense_row(&mut Cursor::new(&body)).is_err());
+        let mut s = BatchAssembler::new(ColumnBatch::with_type(ColumnType::F32Sparse { len: 4 }));
+        let mut body = Vec::new();
+        wire::put_u32(&mut body, 4);
+        wire::put_u32(&mut body, u32::MAX); // claims 4 billion nnz
+        assert!(s.decode_sparse_row(&mut Cursor::new(&body)).is_err());
+    }
+
+    #[test]
+    fn new_clears_stale_pooled_rows() {
+        let mut b = ColumnBatch::with_type(ColumnType::Text);
+        b.push_text("stale").unwrap();
+        let a = BatchAssembler::new(b);
+        assert!(a.is_empty());
+    }
+}

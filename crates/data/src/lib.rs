@@ -11,6 +11,9 @@
 //! * [`batch`] — [`batch::ColumnBatch`], the columnar chunk representation
 //!   the batch engine executes over (dense row-major matrices, CSR sparse
 //!   batches, packed text/token rows).
+//! * [`ingest`] — [`ingest::BatchAssembler`], wire-to-columnar ingest:
+//!   request decoding grows packed text, dense rows, or CSR triples
+//!   straight into a pool-leased batch, with per-row content hashes.
 //! * [`pool`] — pre-allocated, size-classed vector *and batch* pools used
 //!   by PRETZEL to avoid allocation on the prediction path (paper §4.2.1).
 //! * [`serde_bin`] — the hand-rolled, length-prefixed binary model-file
@@ -29,6 +32,7 @@ pub mod alloc_meter;
 pub mod batch;
 pub mod error;
 pub mod hash;
+pub mod ingest;
 pub mod pool;
 pub mod schema;
 pub mod serde_bin;
@@ -36,5 +40,6 @@ pub mod vector;
 
 pub use batch::{ColRef, ColumnBatch};
 pub use error::{DataError, Result};
+pub use ingest::BatchAssembler;
 pub use schema::{ColumnType, Schema};
 pub use vector::Vector;

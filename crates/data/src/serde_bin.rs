@@ -110,12 +110,21 @@ impl<'a> Cursor<'a> {
         Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    /// Reads a length-prefixed UTF-8 string.
-    pub fn str(&mut self) -> Result<String> {
+    /// Reads a length-prefixed UTF-8 string, borrowing the input bytes.
+    ///
+    /// The zero-copy variant of [`Self::str`]: wire-to-columnar ingest
+    /// packs the borrowed bytes straight into a [`crate::ColumnBatch`]
+    /// without an intermediate `String`.
+    pub fn str_ref(&mut self) -> Result<&'a str> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec())
+        std::str::from_utf8(bytes)
             .map_err(|e| DataError::Codec(format!("invalid UTF-8 in string: {e}")))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        self.str_ref().map(str::to_owned)
     }
 
     /// Reads a length-prefixed `f32` vector.
@@ -148,7 +157,7 @@ impl<'a> Cursor<'a> {
 
     // Rejects length prefixes that claim more data than the input holds,
     // before `Vec::with_capacity` can be asked for absurd amounts.
-    fn check_claim(&self, len: usize, elem: usize) -> Result<()> {
+    pub(crate) fn check_claim(&self, len: usize, elem: usize) -> Result<()> {
         if len.saturating_mul(elem) > self.remaining() {
             return Err(DataError::Codec(format!(
                 "length prefix {len} exceeds remaining {} bytes",

@@ -198,11 +198,7 @@ fn run_case(case: &Case, chunk_size: usize, pooling: bool, columnar: bool) {
     assert_eq!(batch.len(), case.records.len());
     // Reference: the request-response engine's per-record path.
     for (i, r) in case.records.iter().enumerate() {
-        let inline = match r {
-            Record::Text(line) => rt.predict(id, line),
-            Record::Dense(x) => rt.predict_dense(id, x),
-        }
-        .expect("inline scores");
+        let inline = rt.predict_source(id, r.as_source()).expect("inline scores");
         assert_eq!(
             batch[i].to_bits(),
             inline.to_bits(),

@@ -1,0 +1,434 @@
+//! Wire-to-columnar ingest equivalence sweep.
+//!
+//! The FrontEnd can ingest requests two ways: the Record-staged path
+//! (decode every wire record into an owned `Record`, then re-pack) and
+//! wire-to-columnar assembly (`RuntimeConfig::wire_columnar`, the default:
+//! decode straight into a pool-leased `ColumnBatch`). The contract is that
+//! the two are *bitwise* interchangeable — same scores for every record
+//! kind (text / dense / sparse), every request style (single / batch /
+//! delayed-batch), and every chunk size — with the request-response
+//! engine's per-record scores as the common reference.
+
+use pretzel_core::flour::FlourContext;
+use pretzel_core::frontend::{
+    Client, FrontEnd, FrontEndConfig, FLAG_DELAYED_BATCH, FLAG_RESULT_CACHE,
+};
+use pretzel_core::physical::SourceRef;
+use pretzel_core::plan::StagePlan;
+use pretzel_core::runtime::{Runtime, RuntimeConfig};
+use pretzel_ops::linear::LinearKind;
+use pretzel_ops::synth;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One record kind's worth of test material: a plan plus request rows.
+enum Kind {
+    Text(Vec<String>),
+    Dense(Vec<Vec<f32>>),
+    Sparse {
+        rows: Vec<(Vec<u32>, Vec<f32>)>,
+        dim: u32,
+    },
+}
+
+fn text_case() -> (StagePlan, Kind) {
+    let vocab = synth::vocabulary(0, 64);
+    let ctx = FlourContext::new();
+    let tokens = ctx.csv(',').select_text(1).tokenize();
+    let c = tokens.char_ngram(Arc::new(synth::char_ngram(1, 3, 64)));
+    let w = tokens.word_ngram(Arc::new(synth::word_ngram(2, 2, 64, &vocab)));
+    let plan = c
+        .concat(&w)
+        .classifier_linear(Arc::new(synth::linear(3, 128, LinearKind::Logistic)))
+        .plan()
+        .unwrap();
+    let lines = (0..9)
+        .map(|i| format!("{},review number {i} was {}", 1 + i % 5, vocab[i % 16]))
+        .collect();
+    (plan, Kind::Text(lines))
+}
+
+fn dense_case() -> (StagePlan, Kind) {
+    let dim = 6;
+    let ctx = FlourContext::new();
+    let plan = ctx
+        .dense_source(dim)
+        .scale(Arc::new(synth::scaler(7, dim)))
+        .regressor_tree(Arc::new(synth::ensemble(
+            8,
+            dim,
+            2,
+            3,
+            pretzel_ops::tree::EnsembleMode::Sum,
+        )))
+        .plan()
+        .unwrap();
+    let rows = (0..9)
+        .map(|i| {
+            (0..dim)
+                .map(|j| (i * dim + j) as f32 * 0.25 - 3.0)
+                .collect()
+        })
+        .collect();
+    (plan, Kind::Dense(rows))
+}
+
+fn sparse_case() -> (StagePlan, Kind) {
+    let dim = 32u32;
+    let ctx = FlourContext::new();
+    let plan = ctx
+        .sparse_source(dim as usize)
+        .classifier_linear(Arc::new(synth::linear(
+            9,
+            dim as usize,
+            LinearKind::Logistic,
+        )))
+        .plan()
+        .unwrap();
+    let rows = (0..9u32)
+        .map(|i| {
+            let indices: Vec<u32> = (0..=(i % 4)).map(|j| i % 7 + j * 5).collect();
+            let values: Vec<f32> = indices.iter().map(|&x| x as f32 * 0.5 - 1.0).collect();
+            (indices, values)
+        })
+        .collect();
+    (plan, Kind::Sparse { rows, dim })
+}
+
+/// Request-response reference scores from a plain runtime (no frontend).
+fn reference_scores(plan: &StagePlan, kind: &Kind) -> Vec<f32> {
+    let rt = Runtime::new(RuntimeConfig {
+        n_executors: 1,
+        ..RuntimeConfig::default()
+    });
+    let id = rt.register(plan.clone()).unwrap();
+    match kind {
+        Kind::Text(lines) => lines.iter().map(|l| rt.predict(id, l).unwrap()).collect(),
+        Kind::Dense(rows) => rows
+            .iter()
+            .map(|x| rt.predict_dense(id, x).unwrap())
+            .collect(),
+        Kind::Sparse { rows, dim } => rows
+            .iter()
+            .map(|(i, v)| {
+                rt.predict_source(
+                    id,
+                    SourceRef::Sparse {
+                        indices: i,
+                        values: v,
+                        dim: *dim,
+                    },
+                )
+                .unwrap()
+            })
+            .collect(),
+    }
+}
+
+fn singles(client: &mut Client, id: u32, kind: &Kind, flags: u8) -> Vec<f32> {
+    match kind {
+        Kind::Text(lines) => lines
+            .iter()
+            .map(|l| client.predict_text(id, l, flags).unwrap())
+            .collect(),
+        Kind::Dense(rows) => rows
+            .iter()
+            .map(|x| client.predict_dense(id, x, flags).unwrap())
+            .collect(),
+        Kind::Sparse { rows, dim } => rows
+            .iter()
+            .map(|(i, v)| client.predict_sparse(id, i, v, *dim, flags).unwrap())
+            .collect(),
+    }
+}
+
+fn batch(client: &mut Client, id: u32, kind: &Kind) -> Vec<f32> {
+    match kind {
+        Kind::Text(lines) => {
+            let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+            client.predict_text_batch(id, &refs, 0).unwrap()
+        }
+        Kind::Dense(rows) => {
+            let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+            client.predict_dense_batch(id, &refs, 0).unwrap()
+        }
+        Kind::Sparse { rows, dim } => {
+            let refs: Vec<(&[u32], &[f32])> = rows
+                .iter()
+                .map(|(i, v)| (i.as_slice(), v.as_slice()))
+                .collect();
+            client.predict_sparse_batch(id, &refs, *dim, 0).unwrap()
+        }
+    }
+}
+
+fn assert_bits(label: &str, got: &[f32], want: &[f32]) {
+    assert_eq!(got.len(), want.len(), "{label}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{label} record {i}: {g} vs reference {w}"
+        );
+    }
+}
+
+#[test]
+fn wire_columnar_bitwise_matches_record_staged_everywhere() {
+    for (name, (plan, kind)) in [
+        ("text", text_case()),
+        ("dense", dense_case()),
+        ("sparse", sparse_case()),
+    ] {
+        let reference = reference_scores(&plan, &kind);
+        for chunk_size in [1usize, 7, 64] {
+            for wire_columnar in [true, false] {
+                let label = format!("{name} chunk={chunk_size} wire_columnar={wire_columnar}");
+                let rt = Arc::new(Runtime::new(RuntimeConfig {
+                    n_executors: 2,
+                    chunk_size,
+                    wire_columnar,
+                    ..RuntimeConfig::default()
+                }));
+                let id = rt.register(plan.clone()).unwrap();
+                let fe = FrontEnd::serve(
+                    Arc::clone(&rt),
+                    FrontEndConfig {
+                        result_cache_bytes: 1 << 14,
+                        batch_delay: Some(Duration::from_millis(1)),
+                    },
+                )
+                .unwrap();
+                let mut client = Client::connect(fe.addr()).unwrap();
+
+                assert_bits(
+                    &format!("{label} single"),
+                    &singles(&mut client, id, &kind, 0),
+                    &reference,
+                );
+                assert_bits(
+                    &format!("{label} batch"),
+                    &batch(&mut client, id, &kind),
+                    &reference,
+                );
+                assert_bits(
+                    &format!("{label} delayed"),
+                    &singles(&mut client, id, &kind, FLAG_DELAYED_BATCH),
+                    &reference,
+                );
+                // Delayed batching combined with the result cache: the
+                // first pass populates, the second serves repeats.
+                assert_bits(
+                    &format!("{label} delayed+cached"),
+                    &singles(
+                        &mut client,
+                        id,
+                        &kind,
+                        FLAG_DELAYED_BATCH | FLAG_RESULT_CACHE,
+                    ),
+                    &reference,
+                );
+                assert_bits(
+                    &format!("{label} delayed+cached repeat"),
+                    &singles(
+                        &mut client,
+                        id,
+                        &kind,
+                        FLAG_DELAYED_BATCH | FLAG_RESULT_CACHE,
+                    ),
+                    &reference,
+                );
+                // Result-cached repeats serve the same bits.
+                assert_bits(
+                    &format!("{label} cached"),
+                    &singles(&mut client, id, &kind, FLAG_RESULT_CACHE),
+                    &reference,
+                );
+                assert_bits(
+                    &format!("{label} cached-repeat"),
+                    &singles(&mut client, id, &kind, FLAG_RESULT_CACHE),
+                    &reference,
+                );
+                fe.stop();
+            }
+        }
+    }
+}
+
+#[test]
+fn wire_ingest_composes_with_materialization_cache() {
+    // The assembled path ships ingest-computed hashes to the scheduler;
+    // the staged path hashes on demand. Both must key the sub-plan
+    // materialization cache identically: same scores AND same hit/miss
+    // counters, cold and warm.
+    let (plan, kind) = text_case();
+    let lines = match &kind {
+        Kind::Text(l) => l.clone(),
+        _ => unreachable!(),
+    };
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    let mut stats = Vec::new();
+    let mut scores = Vec::new();
+    for wire_columnar in [true, false] {
+        let rt = Arc::new(Runtime::new(RuntimeConfig {
+            n_executors: 1,
+            chunk_size: 4,
+            materialization_budget: 1 << 20,
+            wire_columnar,
+            ..RuntimeConfig::default()
+        }));
+        let id = rt.register(plan.clone()).unwrap();
+        let fe = FrontEnd::serve(Arc::clone(&rt), FrontEndConfig::default()).unwrap();
+        let mut client = Client::connect(fe.addr()).unwrap();
+        let cold = client.predict_text_batch(id, &refs, 0).unwrap();
+        let warm = client.predict_text_batch(id, &refs, 0).unwrap();
+        let (h, m, _) = rt.materialization_cache().unwrap().stats();
+        assert!(h > 0, "warm pass should hit the cache");
+        stats.push((h, m));
+        scores.push((cold, warm));
+        fe.stop();
+    }
+    assert_eq!(stats[0], stats[1], "cache counters diverge between modes");
+    for ((a_cold, a_warm), (b_cold, b_warm)) in scores.iter().zip(scores.iter().skip(1)) {
+        assert_bits("cold", a_cold, b_cold);
+        assert_bits("warm", a_warm, b_warm);
+    }
+}
+
+#[test]
+fn delayed_flush_survives_client_disconnect() {
+    // One delayed-batch client vanishes right after writing its request;
+    // its flush slot must not wedge or poison the flush (sender failures
+    // are logged and skipped), and every other rider of the same flush
+    // still gets its (correct) score.
+    let (plan, kind) = dense_case();
+    let rows = match &kind {
+        Kind::Dense(r) => r.clone(),
+        _ => unreachable!(),
+    };
+    let reference = reference_scores(&plan, &kind);
+    let rt = Arc::new(Runtime::new(RuntimeConfig {
+        n_executors: 2,
+        ..RuntimeConfig::default()
+    }));
+    let id = rt.register(plan).unwrap();
+    let fe = FrontEnd::serve(
+        Arc::clone(&rt),
+        FrontEndConfig {
+            result_cache_bytes: 0,
+            batch_delay: Some(Duration::from_millis(20)),
+        },
+    )
+    .unwrap();
+    let addr = fe.addr();
+    // The doomed client: writes a delayed request, then drops the socket
+    // without reading the response.
+    {
+        use std::io::Write;
+        let mut doomed = std::net::TcpStream::connect(addr).unwrap();
+        let mut req = Vec::new();
+        req.extend_from_slice(&id.to_le_bytes());
+        let kind_flags = 1u32 | (u32::from(FLAG_DELAYED_BATCH) << 8) | (1u32 << 16);
+        req.extend_from_slice(&kind_flags.to_le_bytes());
+        req.extend_from_slice(&(rows[0].len() as u32).to_le_bytes());
+        for v in &rows[0] {
+            req.extend_from_slice(&v.to_le_bytes());
+        }
+        doomed.write_all(&(req.len() as u32).to_le_bytes()).unwrap();
+        doomed.write_all(&req).unwrap();
+        // Dropped here, before the flush fires.
+    }
+    // Healthy riders of the same (and later) flushes.
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let row = rows[i + 1].clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.predict_dense(id, &row, FLAG_DELAYED_BATCH).unwrap()
+            })
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        let got = h.join().unwrap();
+        assert_eq!(got.to_bits(), reference[i + 1].to_bits(), "rider {i} score");
+    }
+    fe.stop();
+}
+
+#[test]
+fn hostile_dense_dim_prefix_rejected_before_allocation() {
+    use std::io::{Read, Write};
+    // A tiny, well-framed request whose first dense record claims 4
+    // billion features: the wire-columnar decoder must refuse it before
+    // sizing any batch from that dimension (a ~16 GiB allocation).
+    let (plan, _) = dense_case();
+    let rt = Arc::new(Runtime::new(RuntimeConfig::default()));
+    let id = rt.register(plan).unwrap();
+    let fe = FrontEnd::serve(Arc::clone(&rt), FrontEndConfig::default()).unwrap();
+    for n_records in [1u32, 60000] {
+        let mut stream = std::net::TcpStream::connect(fe.addr()).unwrap();
+        let mut req = Vec::new();
+        req.extend_from_slice(&id.to_le_bytes());
+        let kind_flags = 1u32 | (n_records << 16); // kind 1 = dense
+        req.extend_from_slice(&kind_flags.to_le_bytes());
+        req.extend_from_slice(&u32::MAX.to_le_bytes()); // hostile dim
+        stream.write_all(&(req.len() as u32).to_le_bytes()).unwrap();
+        stream.write_all(&req).unwrap();
+        let mut len = [0u8; 4];
+        stream.read_exact(&mut len).unwrap();
+        let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+        stream.read_exact(&mut body).unwrap();
+        assert_eq!(body[0], 1, "status byte should mark an error");
+    }
+    // Still serving afterwards.
+    let mut client = Client::connect(fe.addr()).unwrap();
+    assert!(client.predict_dense(id, &[0.0; 6], 0).is_ok());
+    fe.stop();
+}
+
+#[test]
+fn empty_requests_still_validate_the_plan() {
+    let (plan, _) = text_case();
+    for wire_columnar in [true, false] {
+        let rt = Arc::new(Runtime::new(RuntimeConfig {
+            wire_columnar,
+            ..RuntimeConfig::default()
+        }));
+        let id = rt.register(plan.clone()).unwrap();
+        let fe = FrontEnd::serve(Arc::clone(&rt), FrontEndConfig::default()).unwrap();
+        let mut client = Client::connect(fe.addr()).unwrap();
+        // Empty batch for a registered plan: clean empty response.
+        assert_eq!(client.predict_text_batch(id, &[], 0).unwrap(), vec![]);
+        // Empty batch for an unknown plan: still an error.
+        let err = client.predict_text_batch(99, &[], 0).unwrap_err();
+        assert!(err.to_string().contains("unknown plan"), "{err}");
+        fe.stop();
+    }
+}
+
+#[test]
+fn garbage_length_prefix_never_allocates() {
+    use std::io::{Read, Write};
+    let (plan, _) = dense_case();
+    let rt = Arc::new(Runtime::new(RuntimeConfig::default()));
+    let _id = rt.register(plan).unwrap();
+    let fe = FrontEnd::serve(Arc::clone(&rt), FrontEndConfig::default()).unwrap();
+    for prefix in [u32::MAX, (64 << 20) + 1, 0x8000_0000] {
+        let mut stream = std::net::TcpStream::connect(fe.addr()).unwrap();
+        stream.write_all(&prefix.to_le_bytes()).unwrap();
+        // The server must reply with a protocol error frame, not attempt
+        // the allocation or kill the process.
+        let mut len = [0u8; 4];
+        stream.read_exact(&mut len).unwrap();
+        let len = u32::from_le_bytes(len) as usize;
+        assert!(len < 1 << 16, "error reply should be small, got {len}");
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body).unwrap();
+        assert_eq!(body[0], 1, "status byte should mark an error");
+    }
+    // The front end is still healthy afterwards.
+    let mut client = Client::connect(fe.addr()).unwrap();
+    let scores = client.predict_dense(0, &[0.0; 6], 0);
+    assert!(scores.is_ok());
+    fe.stop();
+}
