@@ -1,0 +1,248 @@
+//! Ablation: online model lifecycle under churn.
+//!
+//! The runtime deploys a catalog of SA-shaped models behind stable
+//! aliases, serves Zipf-skewed alias-addressed traffic, and then lives
+//! through a full churn cycle: every slot deploys version k+1, swaps its
+//! alias, and undeploys version k — while scorer threads keep hitting the
+//! aliases. Measured:
+//!
+//! * **p99 latency during churn vs. static catalog** — lifecycle
+//!   operations (deploy compiles, undeploy drains + reclaims) must not
+//!   wreck the data plane;
+//! * **resident bytes over the cycle** — after tearing everything down,
+//!   `ObjectStore::unique_bytes`, the stage catalog, and the plan count
+//!   must return **exactly** to the empty baseline (the ref-counted
+//!   Object Store leak check; the process exits non-zero on a leak, which
+//!   is the CI gate).
+//!
+//! Knobs: `PRETZEL_CHURN_SLOTS`, `PRETZEL_CHURN_VERSIONS`,
+//! `PRETZEL_CHURN_SCORERS`, `PRETZEL_CHURN_REQUESTS`, `PRETZEL_CORES`.
+
+use pretzel_bench::{env_usize, fmt_dur, print_table};
+use pretzel_core::lifecycle::DeployOptions;
+use pretzel_core::runtime::{PlanId, Runtime, RuntimeConfig};
+use pretzel_workload::churn::{self, ChurnConfig, ChurnWorkload};
+use pretzel_workload::load::{LatencyRecorder, Zipf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Deploys `slot`'s `version` and swaps the slot's alias onto it.
+fn deploy_and_swap(
+    runtime: &Runtime,
+    workload: &ChurnWorkload,
+    slot: usize,
+    version: usize,
+) -> PlanId {
+    let id = runtime
+        .deploy(workload.image(slot, version), DeployOptions::default())
+        .expect("deploy churn image");
+    runtime
+        .swap(&ChurnWorkload::alias(slot), id)
+        .expect("swap alias onto new version");
+    id
+}
+
+/// Runs `n_scorers` alias-addressed scorer threads until `stop` flips,
+/// merging their latency samples.
+fn score_until(
+    runtime: &Arc<Runtime>,
+    workload: &ChurnWorkload,
+    n_slots: usize,
+    n_scorers: usize,
+    stop: &Arc<AtomicBool>,
+) -> LatencyRecorder {
+    let mut merged = LatencyRecorder::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_scorers)
+            .map(|t| {
+                let runtime = Arc::clone(runtime);
+                let stop = Arc::clone(stop);
+                let lines = &workload.lines;
+                scope.spawn(move || {
+                    let mut zipf = Zipf::new(n_slots, 2.0, 0x5c0 + t as u64);
+                    let mut rec = LatencyRecorder::new();
+                    let mut i = t;
+                    while !stop.load(Ordering::Relaxed) {
+                        let alias = ChurnWorkload::alias(zipf.sample());
+                        let line = &lines[i % lines.len()];
+                        let start = Instant::now();
+                        runtime
+                            .predict_source_alias(
+                                &alias,
+                                pretzel_core::physical::SourceRef::Text(line),
+                            )
+                            .expect("alias-addressed predict must never be lost");
+                        rec.record(start.elapsed());
+                        i += 1;
+                    }
+                    rec
+                })
+            })
+            .collect();
+        for h in handles {
+            merged.merge(&h.join().unwrap());
+        }
+    });
+    merged
+}
+
+fn main() {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let cores = env_usize("PRETZEL_CORES", avail.saturating_sub(1).max(1)).max(1);
+    let n_slots = env_usize("PRETZEL_CHURN_SLOTS", 12).max(1);
+    let n_versions = env_usize("PRETZEL_CHURN_VERSIONS", 3).max(2);
+    let n_scorers = env_usize("PRETZEL_CHURN_SCORERS", 2).max(1);
+    let static_requests = env_usize("PRETZEL_CHURN_REQUESTS", 2_000);
+
+    let workload = churn::build(&ChurnConfig {
+        n_slots,
+        n_versions,
+        ..ChurnConfig::default()
+    });
+    let runtime = Arc::new(Runtime::new(RuntimeConfig {
+        n_executors: cores,
+        ..RuntimeConfig::default()
+    }));
+    let store = Arc::clone(runtime.object_store());
+    assert_eq!(store.unique_bytes(), 0, "empty baseline");
+
+    // ---- Static catalog: deploy round 0, measure serving latency. ------
+    let mut live: Vec<PlanId> = (0..n_slots)
+        .map(|slot| deploy_and_swap(&runtime, &workload, slot, 0))
+        .collect();
+    let static_bytes = store.unique_bytes();
+    let static_catalog = runtime.catalog_size();
+    let mut static_lat = LatencyRecorder::with_capacity(static_requests);
+    {
+        let mut zipf = Zipf::new(n_slots, 2.0, 0x57a7);
+        for i in 0..static_requests {
+            let alias = ChurnWorkload::alias(zipf.sample());
+            let line = &workload.lines[i % workload.lines.len()];
+            let start = Instant::now();
+            runtime
+                .predict_source_alias(&alias, pretzel_core::physical::SourceRef::Text(line))
+                .unwrap();
+            static_lat.record(start.elapsed());
+        }
+    }
+
+    // ---- Churn cycle: versions 1..k roll through under live traffic. ---
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut peak_bytes = static_bytes;
+    let mut churn_lat = LatencyRecorder::new();
+    std::thread::scope(|scope| {
+        let scorer_runtime = Arc::clone(&runtime);
+        let scorer_stop = Arc::clone(&stop);
+        let scorer_workload = &workload;
+        let scorer = scope.spawn(move || {
+            score_until(
+                &scorer_runtime,
+                scorer_workload,
+                n_slots,
+                n_scorers,
+                &scorer_stop,
+            )
+        });
+        for version in 1..n_versions {
+            for (slot, slot_live) in live.iter_mut().enumerate() {
+                let next = deploy_and_swap(&runtime, &workload, slot, version);
+                peak_bytes = peak_bytes.max(store.unique_bytes());
+                let report = runtime.undeploy(*slot_live).expect("undeploy previous");
+                assert!(
+                    report.freed_param_bytes > 0,
+                    "old version's unique weights must be reclaimed"
+                );
+                *slot_live = next;
+                // Give the scorers a beat between lifecycle ops so the
+                // recorded latencies reflect serving *during* churn.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        stop.store(true, Ordering::Relaxed);
+        churn_lat = scorer.join().unwrap();
+    });
+    let (deploys, undeploys, swaps) = runtime.lifecycle_stats().counts();
+
+    // ---- Teardown: a FULL cycle ends empty. The leak check. ------------
+    for id in live {
+        runtime.undeploy(id).expect("final undeploy");
+    }
+    let final_bytes = store.unique_bytes();
+    let final_catalog = runtime.catalog_size();
+    let final_plans = runtime.plan_count();
+    let leak_ok = final_bytes == 0 && final_catalog == 0 && final_plans == 0;
+
+    let p = |r: &mut LatencyRecorder, q: f64| r.quantile(q).unwrap_or_default();
+    let static_p50 = p(&mut static_lat, 0.50);
+    let static_p99 = p(&mut static_lat, 0.99);
+    let churn_p50 = p(&mut churn_lat, 0.50);
+    let churn_p99 = p(&mut churn_lat, 0.99);
+
+    print_table(
+        &format!(
+            "Ablation: model churn ({n_slots} slots x {n_versions} versions, \
+             {n_scorers} scorers, {cores} cores)"
+        ),
+        &["phase", "p50", "p99", "resident", "catalog"],
+        &[
+            vec![
+                "static".into(),
+                fmt_dur(static_p50),
+                fmt_dur(static_p99),
+                format!("{:.1} MB", static_bytes as f64 / 1e6),
+                format!("{static_catalog}"),
+            ],
+            vec![
+                "churn".into(),
+                fmt_dur(churn_p50),
+                fmt_dur(churn_p99),
+                format!("{:.1} MB peak", peak_bytes as f64 / 1e6),
+                "-".into(),
+            ],
+            vec![
+                "drained".into(),
+                "-".into(),
+                "-".into(),
+                format!("{:.1} MB", final_bytes as f64 / 1e6),
+                format!("{final_catalog}"),
+            ],
+        ],
+    );
+    println!(
+        "  churn: {deploys} deploys, {undeploys} undeploys, {swaps} swaps; \
+         {} churn-phase requests, 0 lost",
+        churn_lat.len()
+    );
+    println!(
+        "  leak check: unique_bytes {final_bytes}, catalog {final_catalog}, \
+         plans {final_plans} after full cycle -> {}",
+        if leak_ok { "ok" } else { "LEAK" }
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"model_churn\",\n  \"resident\": {{\"baseline_bytes\": 0, \
+         \"static_bytes\": {static_bytes}, \"peak_bytes\": {peak_bytes}, \
+         \"final_bytes\": {final_bytes}, \"static_catalog\": {static_catalog}, \
+         \"final_catalog\": {final_catalog}, \"final_plans\": {final_plans}}},\n  \
+         \"latency_us\": {{\"static_p50\": {:.1}, \"static_p99\": {:.1}, \
+         \"churn_p50\": {:.1}, \"churn_p99\": {:.1}}},\n  \
+         \"churn\": {{\"deploys\": {deploys}, \"undeploys\": {undeploys}, \
+         \"swaps\": {swaps}, \"churn_requests\": {}}},\n  \"leak_ok\": {leak_ok}\n}}\n",
+        static_p50.as_secs_f64() * 1e6,
+        static_p99.as_secs_f64() * 1e6,
+        churn_p50.as_secs_f64() * 1e6,
+        churn_p99.as_secs_f64() * 1e6,
+        churn_lat.len(),
+    );
+    std::fs::write("BENCH_model_churn.json", json).expect("write BENCH_model_churn.json");
+    println!("\nwrote BENCH_model_churn.json");
+
+    if !leak_ok {
+        eprintln!("model-churn leak check FAILED");
+        std::process::exit(1);
+    }
+}

@@ -17,20 +17,36 @@
 //! kernel) only exists on the ablation path (`wire_columnar = false`);
 //! scores are bitwise-identical either way.
 //!
+//! **Model lifecycle over the wire**: the admin verbs `DEPLOY` /
+//! `UNDEPLOY` / `SWAP` / `LIST` ride the same frame format (distinct
+//! `kind` values), so the whole lifecycle — push a serialized model file,
+//! flip an alias to the new version, retire the old one — is driveable
+//! remotely through [`Client::deploy`], [`Client::undeploy`],
+//! [`Client::swap`] and [`Client::list`]. Prediction requests may address
+//! a plan **by alias** ([`FLAG_PLAN_ALIAS`]): the server resolves the
+//! alias per attempt and transparently retries when the bound version
+//! retires mid-request, so `swap` + `undeploy(old)` never loses an
+//! alias-addressed request.
+//!
 //! The wire protocol is deliberately small: length-prefixed frames, one
 //! request → one response, little-endian.
 //!
 //! ```text
 //! request  := u32 body_len · u32 plan_id · u8 kind · u8 flags ·
-//!             u16 n_records · record*
+//!             u16 n_records · (alias?) · record*      (kinds 0-2)
+//!           | u32 body_len · u32 plan_id · u8 kind · u8 flags ·
+//!             u16 0 · admin_body                      (kinds 0x10-0x13)
+//! alias    := u32 len · bytes              (present iff flags & 0b100)
 //! record   := u32 len · bytes            (kind 0: UTF-8 text)
 //!           | u32 n   · f32*             (kind 1: dense)
 //!           | u32 dim · u32 nnz ·
 //!             u32*nnz · f32*nnz          (kind 2: sparse CSR triple)
 //! response := u32 body_len · u8 status ·
-//!             (status 0: u16 n · f32*) | (status 1: u32 len · bytes)
+//!             (status 0: u32 n · f32*) | (status 1: u32 len · bytes) |
+//!             (status 2: admin payload)
 //! ```
 
+use crate::lifecycle::{PlanInfo, UndeployReport};
 use crate::lru::LruCache;
 use crate::physical::SourceRef;
 use crate::runtime::{PlanId, Runtime};
@@ -54,10 +70,22 @@ const KIND_TEXT: u8 = 0;
 const KIND_DENSE: u8 = 1;
 /// Sparse (CSR triple) record kind tag.
 const KIND_SPARSE: u8 = 2;
+/// Admin verb: deploy a serialized model file.
+const ADMIN_DEPLOY: u8 = 0x10;
+/// Admin verb: undeploy (retire + drain + reclaim) a plan.
+const ADMIN_UNDEPLOY: u8 = 0x11;
+/// Admin verb: atomically repoint an alias to a plan.
+const ADMIN_SWAP: u8 = 0x12;
+/// Admin verb: list deployed plans and aliases.
+const ADMIN_LIST: u8 = 0x13;
 /// Request flag: consult/populate the prediction-result cache.
 pub const FLAG_RESULT_CACHE: u8 = 0b01;
 /// Request flag: submit through the delayed batcher.
 pub const FLAG_DELAYED_BATCH: u8 = 0b10;
+/// Request flag: the body starts with an alias string; the header's
+/// `plan_id` is ignored and the alias's current binding serves the
+/// request (retrying across concurrent swaps/undeploys).
+pub const FLAG_PLAN_ALIAS: u8 = 0b100;
 
 /// Upper bound on one frame body. A length prefix above this is rejected
 /// with a clean protocol error *before* any allocation happens — a garbage
@@ -274,11 +302,20 @@ fn serve_connection(
             }
         };
         let reply = match handle_request(&body, &runtime, &cache, &batcher) {
-            Ok(scores) => encode_ok(&scores),
+            Ok(Reply::Scores(scores)) => encode_ok(&scores),
+            Ok(Reply::Admin(payload)) => encode_admin(&payload),
             Err(e) => encode_err(&e.to_string()),
         };
         write_frame(&mut stream, &reply)?;
     }
+}
+
+/// What a request produced: prediction scores or an admin payload.
+enum Reply {
+    /// Per-record prediction scores (status 0).
+    Scores(Vec<f32>),
+    /// Verb-specific admin payload (status 2).
+    Admin(Vec<u8>),
 }
 
 /// Decoded request header fields.
@@ -294,7 +331,7 @@ fn handle_request(
     runtime: &Runtime,
     cache: &Option<ResultCache>,
     batcher: &Option<Arc<Batcher>>,
-) -> Result<Vec<f32>> {
+) -> Result<Reply> {
     let mut cur = Cursor::new(body);
     let plan = cur.u32()?;
     let kind_flags = cur.u32()?;
@@ -304,10 +341,46 @@ fn handle_request(
         flags: ((kind_flags >> 8) & 0xff) as u8,
         n: (kind_flags >> 16) as usize,
     };
+    if matches!(
+        head.kind,
+        ADMIN_DEPLOY | ADMIN_UNDEPLOY | ADMIN_SWAP | ADMIN_LIST
+    ) {
+        return handle_admin(&head, cur, runtime).map(Reply::Admin);
+    }
+    if head.flags & FLAG_PLAN_ALIAS != 0 {
+        // Alias addressing: resolve per attempt; a request that loses the
+        // race with a concurrent undeploy of the swapped-from version
+        // re-resolves and lands on the alias's current binding.
+        let alias = cur.str()?;
+        let records = cur.clone();
+        return runtime
+            .with_alias(&alias, |id| {
+                let head = RequestHead {
+                    plan: id,
+                    kind: head.kind,
+                    flags: head.flags & !FLAG_PLAN_ALIAS,
+                    n: head.n,
+                };
+                serve_records(head, records.clone(), runtime, cache, batcher)
+            })
+            .map(Reply::Scores);
+    }
+    serve_records(head, cur, runtime, cache, batcher).map(Reply::Scores)
+}
+
+/// Serves a (plan-id-addressed) prediction request through the engine the
+/// flags select.
+fn serve_records(
+    head: RequestHead,
+    cur: Cursor<'_>,
+    runtime: &Runtime,
+    cache: &Option<ResultCache>,
+    batcher: &Option<Arc<Batcher>>,
+) -> Result<Vec<f32>> {
     if head.n == 0 {
         // An empty batch still validates its plan id (as the pre-assembler
         // path did by reaching the batch engine with zero records).
-        let _ = runtime.plan(plan)?;
+        let _ = runtime.plan(head.plan)?;
         return Ok(Vec::new());
     }
     if runtime.config().wire_columnar {
@@ -315,6 +388,54 @@ fn handle_request(
     } else {
         handle_request_staged(head, cur, runtime, cache, batcher)
     }
+}
+
+/// Executes one admin verb, returning the verb-specific payload.
+fn handle_admin(head: &RequestHead, mut cur: Cursor<'_>, runtime: &Runtime) -> Result<Vec<u8>> {
+    use pretzel_data::serde_bin::wire;
+    let mut payload = Vec::new();
+    match head.kind {
+        ADMIN_DEPLOY => {
+            let alias = cur.str()?;
+            let reserved = cur.u32()? != 0;
+            let image = cur.bytes()?;
+            let id = runtime.deploy(
+                image,
+                crate::lifecycle::DeployOptions {
+                    alias: (!alias.is_empty()).then_some(alias),
+                    reserved,
+                },
+            )?;
+            wire::put_u32(&mut payload, id);
+        }
+        ADMIN_UNDEPLOY => {
+            let report = runtime.undeploy(head.plan)?;
+            wire::put_u64(&mut payload, report.freed_param_bytes as u64);
+            wire::put_u32(&mut payload, report.freed_params as u32);
+            wire::put_u32(&mut payload, report.dropped_stages as u32);
+            wire::put_u32(&mut payload, report.dropped_aliases as u32);
+        }
+        ADMIN_SWAP => {
+            let alias = cur.str()?;
+            let previous = runtime.swap(&alias, head.plan)?;
+            wire::put_u32(&mut payload, previous.unwrap_or(u32::MAX));
+        }
+        ADMIN_LIST => {
+            let plans = runtime.list_plans();
+            wire::put_u32(&mut payload, plans.len() as u32);
+            for info in plans {
+                wire::put_u32(&mut payload, info.id);
+                wire::put_u32(&mut payload, u32::from(info.retired));
+                wire::put_u32(&mut payload, info.in_flight as u32);
+                wire::put_u32(&mut payload, info.aliases.len() as u32);
+                for alias in &info.aliases {
+                    wire::put_str(&mut payload, alias);
+                }
+            }
+        }
+        k => return Err(DataError::Runtime(format!("bad admin kind {k:#x}"))),
+    }
+    Ok(payload)
 }
 
 /// The slot-0 batch type a request's records assemble into. Dense and
@@ -616,6 +737,13 @@ fn encode_err(msg: &str) -> Vec<u8> {
     body
 }
 
+fn encode_admin(payload: &[u8]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(1 + payload.len());
+    body.push(2u8);
+    body.extend_from_slice(payload);
+    body
+}
+
 /// A blocking client for the FrontEnd protocol.
 #[derive(Debug)]
 pub struct Client {
@@ -630,14 +758,30 @@ impl Client {
         Ok(Client { stream })
     }
 
-    fn roundtrip(&mut self, request: &[u8]) -> Result<Vec<f32>> {
+    fn roundtrip_raw(&mut self, request: &[u8]) -> Result<Vec<u8>> {
         let io_err = |e: std::io::Error| DataError::Runtime(format!("frontend io: {e}"));
         write_frame(&mut self.stream, request).map_err(io_err)?;
         match read_frame(&mut self.stream).map_err(io_err)? {
-            Frame::Body(body) => decode_response(&body),
+            Frame::Body(body) => Ok(body),
             Frame::Eof => Err(DataError::Runtime("frontend closed connection".into())),
             Frame::Oversized(len) => Err(DataError::Runtime(format!(
                 "frontend sent an oversized {len}-byte frame"
+            ))),
+        }
+    }
+
+    fn roundtrip(&mut self, request: &[u8]) -> Result<Vec<f32>> {
+        decode_response(&self.roundtrip_raw(request)?)
+    }
+
+    fn roundtrip_admin(&mut self, request: &[u8]) -> Result<Vec<u8>> {
+        let body = self.roundtrip_raw(request)?;
+        match body.split_first() {
+            Some((2, payload)) => Ok(payload.to_vec()),
+            Some((1, _)) => Err(decode_response(&body).unwrap_err()),
+            other => Err(DataError::Runtime(format!(
+                "bad admin response status {:?}",
+                other.map(|(s, _)| s)
             ))),
         }
     }
@@ -710,6 +854,93 @@ impl Client {
     ) -> Result<Vec<f32>> {
         self.roundtrip(&encode_request_sparse(plan, rows, dim, flags))
     }
+
+    /// Scores one text record addressed by **alias**: the server resolves
+    /// the alias's current version per attempt, so requests ride through
+    /// concurrent `swap`/`undeploy` without observing a gap.
+    pub fn predict_text_alias(&mut self, alias: &str, line: &str, flags: u8) -> Result<f32> {
+        let req = encode_request_text_alias(alias, std::slice::from_ref(&line), flags);
+        let scores = self.roundtrip(&req)?;
+        scores
+            .first()
+            .copied()
+            .ok_or_else(|| DataError::Runtime("empty response".into()))
+    }
+
+    /// Scores a batch of text records addressed by alias.
+    pub fn predict_text_batch_alias(
+        &mut self,
+        alias: &str,
+        lines: &[&str],
+        flags: u8,
+    ) -> Result<Vec<f32>> {
+        self.roundtrip(&encode_request_text_alias(alias, lines, flags))
+    }
+
+    /// Deploys a serialized model file on the server; optionally binds an
+    /// alias and reserves a dedicated executor. Returns the new plan id.
+    pub fn deploy(&mut self, image: &[u8], alias: Option<&str>, reserved: bool) -> Result<PlanId> {
+        use pretzel_data::serde_bin::wire;
+        let mut req = request_header(0, ADMIN_DEPLOY, 0, 0);
+        wire::put_str(&mut req, alias.unwrap_or(""));
+        wire::put_u32(&mut req, u32::from(reserved));
+        wire::put_u64(&mut req, image.len() as u64);
+        req.extend_from_slice(image);
+        let payload = self.roundtrip_admin(&req)?;
+        Cursor::new(&payload).u32()
+    }
+
+    /// Undeploys a plan on the server (retire, drain, reclaim); returns
+    /// what was freed.
+    pub fn undeploy(&mut self, plan: PlanId) -> Result<UndeployReport> {
+        let req = request_header(plan, ADMIN_UNDEPLOY, 0, 0);
+        let payload = self.roundtrip_admin(&req)?;
+        let mut cur = Cursor::new(&payload);
+        Ok(UndeployReport {
+            freed_param_bytes: cur.u64()? as usize,
+            freed_params: cur.u32()? as usize,
+            dropped_stages: cur.u32()? as usize,
+            dropped_aliases: cur.u32()? as usize,
+        })
+    }
+
+    /// Atomically repoints `alias` to `plan` on the server; returns the
+    /// previously bound plan, if any.
+    pub fn swap(&mut self, alias: &str, plan: PlanId) -> Result<Option<PlanId>> {
+        use pretzel_data::serde_bin::wire;
+        let mut req = request_header(plan, ADMIN_SWAP, 0, 0);
+        wire::put_str(&mut req, alias);
+        let payload = self.roundtrip_admin(&req)?;
+        let previous = Cursor::new(&payload).u32()?;
+        Ok((previous != u32::MAX).then_some(previous))
+    }
+
+    /// Lists every plan the server knows (tombstones included) with
+    /// lifecycle state and bound aliases.
+    pub fn list(&mut self) -> Result<Vec<PlanInfo>> {
+        let req = request_header(0, ADMIN_LIST, 0, 0);
+        let payload = self.roundtrip_admin(&req)?;
+        let mut cur = Cursor::new(&payload);
+        let n = cur.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let id = cur.u32()?;
+            let retired = cur.u32()? != 0;
+            let in_flight = cur.u32()? as usize;
+            let n_aliases = cur.u32()? as usize;
+            let mut aliases = Vec::with_capacity(n_aliases.min(64));
+            for _ in 0..n_aliases {
+                aliases.push(cur.str()?);
+            }
+            out.push(PlanInfo {
+                id,
+                retired,
+                in_flight,
+                aliases,
+            });
+        }
+        Ok(out)
+    }
 }
 
 fn request_header(plan: PlanId, kind: u8, flags: u8, n: usize) -> Vec<u8> {
@@ -722,6 +953,16 @@ fn request_header(plan: PlanId, kind: u8, flags: u8, n: usize) -> Vec<u8> {
 
 fn encode_request_text(plan: PlanId, lines: &[&str], flags: u8) -> Vec<u8> {
     let mut req = request_header(plan, KIND_TEXT, flags, lines.len());
+    for line in lines {
+        req.extend_from_slice(&(line.len() as u32).to_le_bytes());
+        req.extend_from_slice(line.as_bytes());
+    }
+    req
+}
+
+fn encode_request_text_alias(alias: &str, lines: &[&str], flags: u8) -> Vec<u8> {
+    let mut req = request_header(0, KIND_TEXT, flags | FLAG_PLAN_ALIAS, lines.len());
+    pretzel_data::serde_bin::wire::put_str(&mut req, alias);
     for line in lines {
         req.extend_from_slice(&(line.len() as u32).to_le_bytes());
         req.extend_from_slice(line.as_bytes());
@@ -778,6 +1019,7 @@ mod tests {
     use crate::runtime::RuntimeConfig;
     use pretzel_ops::linear::LinearKind;
     use pretzel_ops::synth;
+    use std::sync::atomic::AtomicUsize;
 
     fn serve_sa(config: FrontEndConfig) -> (Arc<Runtime>, FrontEnd, PlanId) {
         serve_sa_with(
@@ -986,6 +1228,127 @@ mod tests {
         assert!(err.to_string().contains("out of dim"));
         let ok = client.predict_sparse(id, &[2], &[1.0], dim, 0);
         assert!(ok.is_ok());
+        fe.stop();
+    }
+
+    #[test]
+    fn lifecycle_admin_verbs_over_the_wire() {
+        let (rt, fe, seed_id) = serve_sa(FrontEndConfig::default());
+        let mut client = Client::connect(fe.addr()).unwrap();
+
+        // DEPLOY: push two versions of a model file.
+        let image_of = |seed: u64| {
+            let vocab = synth::vocabulary(0, 64);
+            let ctx = FlourContext::new();
+            let tokens = ctx.csv(',').select_text(1).tokenize();
+            let c = tokens.char_ngram(Arc::new(synth::char_ngram(1, 3, 64)));
+            let w = tokens.word_ngram(Arc::new(synth::word_ngram(2, 2, 64, &vocab)));
+            c.concat(&w)
+                .classifier_linear(Arc::new(synth::linear(seed, 128, LinearKind::Logistic)))
+                .graph()
+                .to_model_image()
+        };
+        let v1 = client.deploy(&image_of(100), Some("sa"), false).unwrap();
+        let line = "5,a really nice product";
+        let v1_score = client.predict_text_alias("sa", line, 0).unwrap();
+        assert_eq!(
+            v1_score.to_bits(),
+            rt.predict(v1, line).unwrap().to_bits(),
+            "alias serves the deployed version"
+        );
+
+        // SWAP: deploy v2, repoint, retire v1.
+        let v2 = client.deploy(&image_of(101), None, false).unwrap();
+        assert_eq!(client.swap("sa", v2).unwrap(), Some(v1));
+        let v2_score = client.predict_text_alias("sa", line, 0).unwrap();
+        assert_eq!(v2_score.to_bits(), rt.predict(v2, line).unwrap().to_bits());
+
+        // UNDEPLOY v1: frees its unique weights, keeps shared featurizers.
+        let report = client.undeploy(v1).unwrap();
+        assert!(report.freed_param_bytes > 0, "v1's linear weights freed");
+        let err = client.predict_text(v1, line, 0).unwrap_err();
+        assert!(err.to_string().contains("retired"), "{err}");
+        // The alias still serves v2 without a gap.
+        let again = client.predict_text_alias("sa", line, 0).unwrap();
+        assert_eq!(again.to_bits(), v2_score.to_bits());
+
+        // LIST reflects the lifecycle state.
+        let plans = client.list().unwrap();
+        let find = |id| plans.iter().find(|p| p.id == id).unwrap();
+        assert!(!find(seed_id).retired);
+        assert!(find(v1).retired);
+        assert!(find(v1).aliases.is_empty());
+        assert_eq!(find(v2).aliases, vec!["sa".to_string()]);
+        fe.stop();
+    }
+
+    #[test]
+    fn alias_requests_survive_swap_and_undeploy_churn() {
+        let (rt, fe, v1) = serve_sa(FrontEndConfig::default());
+        rt.swap("live", v1).unwrap();
+        let line = "4,steady request stream";
+        let addr = fe.addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let scored = Arc::new(AtomicUsize::new(0));
+        let scorers: Vec<_> = (0..3)
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                let scored = Arc::clone(&scored);
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    let mut scores = Vec::new();
+                    while !stop.load(Ordering::Relaxed) {
+                        scores.push(c.predict_text_alias("live", line, 0).unwrap());
+                        scored.fetch_add(1, Ordering::Relaxed);
+                    }
+                    scores
+                })
+            })
+            .collect();
+        // Churn versions under the scorers: each version is an identical
+        // pipeline with fresh weights; every response must match one of
+        // the deployed versions bitwise.
+        let mut references = vec![rt.predict(v1, line).unwrap()];
+        let mut current = v1;
+        let mut admin = Client::connect(addr).unwrap();
+        for seed in 0..6u64 {
+            // Gate each round on scorer progress so churn overlaps traffic.
+            let floor = scored.load(Ordering::Relaxed) + 3;
+            while scored.load(Ordering::Relaxed) < floor {
+                std::thread::yield_now();
+            }
+            let vocab = synth::vocabulary(0, 64);
+            let ctx = FlourContext::new();
+            let tokens = ctx.csv(',').select_text(1).tokenize();
+            let c = tokens.char_ngram(Arc::new(synth::char_ngram(1, 3, 64)));
+            let w = tokens.word_ngram(Arc::new(synth::word_ngram(2, 2, 64, &vocab)));
+            let image = c
+                .concat(&w)
+                .classifier_linear(Arc::new(synth::linear(
+                    500 + seed,
+                    128,
+                    LinearKind::Logistic,
+                )))
+                .graph()
+                .to_model_image();
+            let next = admin.deploy(&image, None, false).unwrap();
+            references.push(rt.predict(next, line).unwrap());
+            assert_eq!(admin.swap("live", next).unwrap(), Some(current));
+            admin.undeploy(current).unwrap();
+            current = next;
+        }
+        stop.store(true, Ordering::Relaxed);
+        let mut total = 0usize;
+        for s in scorers {
+            for score in s.join().unwrap() {
+                total += 1;
+                assert!(
+                    references.iter().any(|r| r.to_bits() == score.to_bits()),
+                    "score {score} matches no deployed version"
+                );
+            }
+        }
+        assert!(total > 0, "scorers made progress during churn");
         fe.stop();
     }
 

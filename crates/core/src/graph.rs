@@ -149,8 +149,13 @@ impl TransformGraph {
                 wire::put_u32(&mut manifest, 1);
                 wire::put_u32(&mut manifest, len as u32);
             }
+            ColumnType::F32Sparse { len } => {
+                wire::put_u32(&mut manifest, 2);
+                wire::put_u32(&mut manifest, len as u32);
+            }
             other => {
-                // Only text/dense sources are exported; enforced by Flour.
+                // Only text/dense/sparse sources are exported; enforced by
+                // Flour.
                 wire::put_u32(&mut manifest, 0);
                 debug_assert!(false, "unexpected source type {other}");
             }
@@ -211,6 +216,9 @@ impl TransformGraph {
         let source_type = match cur.u32()? {
             0 => ColumnType::Text,
             1 => ColumnType::F32Dense {
+                len: cur.u32()? as usize,
+            },
+            2 => ColumnType::F32Sparse {
                 len: cur.u32()? as usize,
             },
             t => return Err(DataError::Codec(format!("bad source tag {t}"))),
@@ -397,6 +405,23 @@ mod tests {
         };
         let g2 = TransformGraph::from_model_image(&g.to_model_image()).unwrap();
         assert_eq!(g2.source_type, ColumnType::F32Dense { len: 8 });
+    }
+
+    #[test]
+    fn sparse_source_round_trips_in_image() {
+        use pretzel_ops::linear::LinearKind;
+        let g = TransformGraph {
+            source_type: ColumnType::F32Sparse { len: 32 },
+            nodes: vec![TNode {
+                op: Op::Linear(Arc::new(synth::linear(4, 32, LinearKind::Logistic))),
+                inputs: vec![Input::Source],
+                stats: NodeStats::default(),
+            }],
+            output: 0,
+        };
+        let g2 = TransformGraph::from_model_image(&g.to_model_image()).unwrap();
+        assert_eq!(g2.source_type, ColumnType::F32Sparse { len: 32 });
+        assert_eq!(g2.nodes[0].op.checksum(), g.nodes[0].op.checksum());
     }
 
     #[test]

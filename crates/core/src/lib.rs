@@ -19,6 +19,9 @@
 //! **On-line phase** (paper §4.2):
 //! * [`runtime`] — plan registration (physical stages interned in a
 //!   catalog), the request-response engine and the batch engine.
+//! * [`lifecycle`] — the model lifecycle control plane: per-plan admission
+//!   gates with drain-on-undeploy, alias swaps, churn counters; composed
+//!   by the runtime's `deploy`/`undeploy`/`swap`/`list`.
 //! * [`scheduler`] — executors pulling stage events from a shared pair of
 //!   priority queues; reservation-based scheduling.
 //! * [`frontend`] — TCP front end with prediction caching and delayed
@@ -56,6 +59,7 @@
 pub mod flour;
 pub mod frontend;
 pub mod graph;
+pub mod lifecycle;
 pub mod lru;
 pub mod object_store;
 pub mod oven;
@@ -66,6 +70,7 @@ pub mod scheduler;
 pub mod stats;
 
 pub use flour::FlourContext;
+pub use lifecycle::{DeployOptions, PlanInfo, UndeployReport};
 pub use object_store::ObjectStore;
 pub use physical::ModelPlan;
 pub use runtime::{Runtime, RuntimeConfig};

@@ -1,0 +1,314 @@
+//! The model lifecycle control plane: admission gates, aliases, counters.
+//!
+//! PRETZEL's headline scenario is a runtime serving *hundreds to thousands*
+//! of model pipelines under constant churn — new versions deploy, old ones
+//! retire, aliases flip — so deployed models must be first-class **mutable**
+//! state, not append-only catalog rows. This module holds the control-plane
+//! primitives the [`crate::runtime::Runtime`] composes into
+//! `deploy`/`undeploy`/`swap`/`list`:
+//!
+//! * [`PlanGate`] — a per-plan admission gate plus in-flight counter. Every
+//!   submission (request-response call or batch) holds a [`GatePass`] for
+//!   its lifetime; `undeploy` *retires* the gate (new submissions fail fast
+//!   with [`DataError::PlanRetired`]) and then waits for the count to drain
+//!   to zero, so outstanding `BatchHandle`s complete on the old plan. The
+//!   retire/drain discipline follows the epoch-style reclamation of
+//!   Blelloch & Wei (arXiv:2008.04296): writers announce an epoch flip
+//!   (retire), readers finish inside their epoch (passes drain), and only
+//!   then is memory reclaimed.
+//! * [`AliasMap`] — named endpoints. `swap` atomically repoints a stable
+//!   alias from version *k* to version *k+1* (a single pointer flip under
+//!   the write lock, the LL/SC-style version-pointer move of
+//!   arXiv:1911.09671), so alias-addressed clients never observe a gap:
+//!   every request resolves to *some* deployed version.
+//! * [`DeployOptions`] / [`UndeployReport`] / [`PlanInfo`] — the admin
+//!   surface types the wire protocol serializes.
+//! * [`LifecycleStats`] — monotonic churn counters.
+//!
+//! The reclamation half of the lifecycle (freeing parameters whose last
+//! plan retired) lives in the ref-counted
+//! [`crate::object_store::ObjectStore`]; see `retain_plan`/`release_plan`.
+
+use crate::runtime::PlanId;
+use parking_lot::{Condvar, Mutex, RwLock};
+use pretzel_data::{DataError, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-plan admission state: retired flag + in-flight submission count.
+#[derive(Debug)]
+struct GateState {
+    retired: bool,
+    in_flight: usize,
+}
+
+/// Admission gate and in-flight counter of one deployed plan.
+///
+/// The gate is the drain mechanism behind `undeploy`: submissions `enter`
+/// (failing fast once retired) and hold the returned [`GatePass`] until the
+/// work completes; `retire` + [`PlanGate::wait_drained`] gives the caller a
+/// point in time after which no execution can touch the plan.
+#[derive(Debug)]
+pub struct PlanGate {
+    state: Mutex<GateState>,
+    drained: Condvar,
+}
+
+impl PlanGate {
+    /// Creates an open gate with nothing in flight.
+    pub fn new() -> Arc<Self> {
+        Arc::new(PlanGate {
+            state: Mutex::new(GateState {
+                retired: false,
+                in_flight: 0,
+            }),
+            drained: Condvar::new(),
+        })
+    }
+
+    /// Admits one submission, or rejects it with
+    /// [`DataError::PlanRetired`] once the plan was retired. The returned
+    /// pass decrements the in-flight count when dropped.
+    pub fn enter(self: &Arc<Self>, id: PlanId) -> Result<GatePass> {
+        let mut g = self.state.lock();
+        if g.retired {
+            return Err(DataError::PlanRetired(id));
+        }
+        g.in_flight += 1;
+        Ok(GatePass {
+            gate: Arc::clone(self),
+        })
+    }
+
+    /// Marks the plan retired; returns `true` on the first retire (the
+    /// caller that wins owns the teardown), `false` if already retired.
+    pub fn retire(&self) -> bool {
+        let mut g = self.state.lock();
+        !std::mem::replace(&mut g.retired, true)
+    }
+
+    /// Blocks until every admitted submission has completed.
+    pub fn wait_drained(&self) {
+        let mut g = self.state.lock();
+        while g.in_flight > 0 {
+            self.drained.wait(&mut g);
+        }
+    }
+
+    /// True once [`Self::retire`] ran.
+    pub fn is_retired(&self) -> bool {
+        self.state.lock().retired
+    }
+
+    /// Number of submissions currently holding a pass.
+    pub fn in_flight(&self) -> usize {
+        self.state.lock().in_flight
+    }
+}
+
+/// One admitted submission's hold on its plan: keeps `undeploy` from
+/// completing until this work finishes. Dropped by the request-response
+/// engine at return, and by the scheduler when a batch's last chunk
+/// completes.
+#[derive(Debug)]
+pub struct GatePass {
+    gate: Arc<PlanGate>,
+}
+
+impl Drop for GatePass {
+    fn drop(&mut self) {
+        let mut g = self.gate.state.lock();
+        g.in_flight -= 1;
+        if g.in_flight == 0 {
+            self.gate.drained.notify_all();
+        }
+    }
+}
+
+/// Named serving endpoints: alias → deployed plan version.
+///
+/// `repoint` is the `swap` primitive: a single map write under the lock,
+/// so concurrent resolvers see either the old or the new version — never
+/// neither.
+#[derive(Debug, Default)]
+pub struct AliasMap {
+    inner: RwLock<HashMap<String, PlanId>>,
+}
+
+impl AliasMap {
+    /// Creates an empty alias map.
+    pub fn new() -> Self {
+        AliasMap::default()
+    }
+
+    /// Resolves an alias to its current plan, if bound.
+    pub fn resolve(&self, alias: &str) -> Option<PlanId> {
+        self.inner.read().get(alias).copied()
+    }
+
+    /// Atomically repoints `alias` to `id`, returning the previous binding.
+    pub fn repoint(&self, alias: &str, id: PlanId) -> Option<PlanId> {
+        self.inner.write().insert(alias.to_string(), id)
+    }
+
+    /// Removes every alias bound to `id` (undeploy cleanup); returns how
+    /// many were dropped.
+    pub fn drop_plan(&self, id: PlanId) -> usize {
+        let mut inner = self.inner.write();
+        let before = inner.len();
+        inner.retain(|_, bound| *bound != id);
+        before - inner.len()
+    }
+
+    /// All bindings, sorted by alias (admin LIST payload).
+    pub fn snapshot(&self) -> Vec<(String, PlanId)> {
+        let mut all: Vec<(String, PlanId)> = self
+            .inner
+            .read()
+            .iter()
+            .map(|(a, &id)| (a.clone(), id))
+            .collect();
+        all.sort();
+        all
+    }
+
+    /// Number of bound aliases.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True if no alias is bound.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+/// Options for [`crate::runtime::Runtime::deploy`].
+#[derive(Debug, Clone, Default)]
+pub struct DeployOptions {
+    /// Bind (or repoint) this alias to the new plan on success.
+    pub alias: Option<String>,
+    /// Reserve a dedicated executor + pool for the plan (paper §4.2.2).
+    pub reserved: bool,
+}
+
+/// What an `undeploy` reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UndeployReport {
+    /// Parameter heap bytes freed from the Object Store (objects whose
+    /// plan refcount hit zero).
+    pub freed_param_bytes: usize,
+    /// Parameter objects freed from the Object Store.
+    pub freed_params: usize,
+    /// Physical stages garbage-collected from the runtime catalog.
+    pub dropped_stages: usize,
+    /// Aliases that pointed at the plan and were unbound.
+    pub dropped_aliases: usize,
+}
+
+/// One row of the admin `LIST` view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanInfo {
+    /// The plan id.
+    pub id: PlanId,
+    /// True once the plan was undeployed (tombstone: lookups keep failing
+    /// with a clean [`DataError::PlanRetired`] instead of "unknown plan").
+    pub retired: bool,
+    /// Submissions currently holding a gate pass.
+    pub in_flight: usize,
+    /// Aliases currently bound to this plan, sorted.
+    pub aliases: Vec<String>,
+}
+
+/// Monotonic churn counters (benchmarks and the admin surface read these).
+#[derive(Debug, Default)]
+pub struct LifecycleStats {
+    deploys: AtomicU64,
+    undeploys: AtomicU64,
+    swaps: AtomicU64,
+}
+
+impl LifecycleStats {
+    /// Records one completed deploy.
+    pub fn note_deploy(&self) {
+        self.deploys.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed undeploy.
+    pub fn note_undeploy(&self) {
+        self.undeploys.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed alias swap.
+    pub fn note_swap(&self) {
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(deploys, undeploys, swaps)` so far.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (
+            self.deploys.load(Ordering::Relaxed),
+            self.undeploys.load(Ordering::Relaxed),
+            self.swaps.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_admits_until_retired() {
+        let gate = PlanGate::new();
+        let pass = gate.enter(7).unwrap();
+        assert_eq!(gate.in_flight(), 1);
+        assert!(gate.retire(), "first retire wins");
+        assert!(!gate.retire(), "second retire loses");
+        let err = gate.enter(7).unwrap_err();
+        assert!(matches!(err, DataError::PlanRetired(7)));
+        drop(pass);
+        assert_eq!(gate.in_flight(), 0);
+        gate.wait_drained(); // returns immediately
+    }
+
+    #[test]
+    fn wait_drained_blocks_until_passes_drop() {
+        let gate = PlanGate::new();
+        let pass = gate.enter(1).unwrap();
+        gate.retire();
+        let g2 = Arc::clone(&gate);
+        let waiter = std::thread::spawn(move || {
+            g2.wait_drained();
+            std::time::Instant::now()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let released_at = std::time::Instant::now();
+        drop(pass);
+        let drained_at = waiter.join().unwrap();
+        assert!(drained_at >= released_at, "drain must wait for the pass");
+    }
+
+    #[test]
+    fn alias_repoint_is_atomic_flip() {
+        let aliases = AliasMap::new();
+        assert!(aliases.resolve("sentiment").is_none());
+        assert_eq!(aliases.repoint("sentiment", 3), None);
+        assert_eq!(aliases.repoint("sentiment", 4), Some(3));
+        assert_eq!(aliases.resolve("sentiment"), Some(4));
+        aliases.repoint("other", 4);
+        assert_eq!(aliases.drop_plan(4), 2);
+        assert!(aliases.is_empty());
+    }
+
+    #[test]
+    fn stats_count() {
+        let s = LifecycleStats::default();
+        s.note_deploy();
+        s.note_deploy();
+        s.note_undeploy();
+        s.note_swap();
+        assert_eq!(s.counts(), (2, 1, 1));
+    }
+}

@@ -12,22 +12,86 @@
 //! The same component hosts the sub-plan materialization cache (§4.3):
 //! results of cacheable featurizer steps, keyed by `(step checksum, input
 //! hash)`, with LRU eviction under a byte budget.
+//!
+//! **Lifecycle GC:** the store is *ref-counted per plan*. Registration
+//! calls [`ObjectStore::retain_plan`] (one reference per unique parameter
+//! checksum a plan shares), undeploy calls [`ObjectStore::release_plan`],
+//! and parameters whose count hits zero are freed on the spot — so
+//! [`ObjectStore::unique_bytes`] returns to baseline after a full
+//! deploy→undeploy churn cycle instead of growing monotonically. The
+//! counting discipline mirrors the constant-time concurrent alloc/free of
+//! Blelloch & Wei (arXiv:2008.04296): acquisition and release are both a
+//! single locked counter update, independent of how many plans share the
+//! object.
 
 use crate::lru::LruCache;
+use crate::plan::{StageOp, StagePlan, Step};
 use parking_lot::Mutex;
 use pretzel_data::Vector;
 use pretzel_ops::Op;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// One resident parameter object plus its plan refcount.
+#[derive(Debug)]
+struct StoreEntry {
+    op: Op,
+    /// How many *deployed plans* reference this checksum (one per plan,
+    /// however many steps reuse it). Entries interned ahead of retention
+    /// (image loading, ad-hoc compiles) sit at zero until a registration
+    /// retains them — or until [`ObjectStore::sweep_unreferenced`] reaps
+    /// them after a failed deploy.
+    plan_refs: u64,
+}
 
 /// Checksum-keyed store of shared operator parameters.
 #[derive(Debug, Default)]
 pub struct ObjectStore {
-    ops: Mutex<HashMap<u64, Op>>,
+    ops: Mutex<HashMap<u64, StoreEntry>>,
     interned: AtomicU64,
     reused: AtomicU64,
     bytes_saved: AtomicU64,
+    released: AtomicU64,
+    released_bytes: AtomicU64,
+}
+
+/// Calls `f` with every parameter-carrying [`Op`] a step references
+/// (fused steps carry two). The enumeration mirrors the interning walk in
+/// [`crate::physical::intern_plan`], so retain/release touch exactly the
+/// checksums registration interned.
+fn step_param_ops(step: &Step, mut f: impl FnMut(Op)) {
+    match &step.op {
+        StageOp::Op(op) => f(op.clone()),
+        StageOp::PartialDot { linear, .. } | StageOp::Combine { linear } => {
+            f(Op::Linear(Arc::clone(linear)))
+        }
+        StageOp::FusedCharNgramDot { ngram, linear, .. } => {
+            f(Op::CharNgram(Arc::clone(ngram)));
+            f(Op::Linear(Arc::clone(linear)));
+        }
+        StageOp::FusedWordNgramDot { ngram, linear, .. } => {
+            f(Op::WordNgram(Arc::clone(ngram)));
+            f(Op::Linear(Arc::clone(linear)));
+        }
+    }
+}
+
+/// The unique `(checksum, op)` parameter set of a plan.
+fn plan_param_set(plan: &StagePlan) -> Vec<(u64, Op)> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for stage in &plan.stages {
+        for step in &stage.steps {
+            step_param_ops(step, |op| {
+                let sum = op.checksum();
+                if seen.insert(sum) {
+                    out.push((sum, op));
+                }
+            });
+        }
+    }
+    out
 }
 
 impl ObjectStore {
@@ -48,19 +112,127 @@ impl ObjectStore {
         match ops.get(&key) {
             // Re-interning the canonical instance itself is a no-op (and
             // must not inflate the dedup counters).
-            Some(existing) if existing.params_addr() == op.params_addr() => op,
+            Some(existing) if existing.op.params_addr() == op.params_addr() => op,
             Some(existing) => {
                 self.reused.fetch_add(1, Ordering::Relaxed);
                 self.bytes_saved
                     .fetch_add(op.heap_bytes() as u64, Ordering::Relaxed);
-                existing.clone()
+                existing.op.clone()
             }
             None => {
                 self.interned.fetch_add(1, Ordering::Relaxed);
-                ops.insert(key, op.clone());
+                ops.insert(
+                    key,
+                    StoreEntry {
+                        op: op.clone(),
+                        plan_refs: 0,
+                    },
+                );
                 op
             }
         }
+    }
+
+    /// Records one deployed plan's reference on every unique parameter
+    /// object it shares (call once per registration, after interning).
+    ///
+    /// An entry missing from the store (swept between intern and retain by
+    /// a concurrent failed deploy) is re-inserted from the plan's own
+    /// canonical instance, so retention never loses parameters.
+    pub fn retain_plan(&self, plan: &StagePlan) {
+        let mut ops = self.ops.lock();
+        for (sum, op) in plan_param_set(plan) {
+            ops.entry(sum)
+                .or_insert(StoreEntry { op, plan_refs: 0 })
+                .plan_refs += 1;
+        }
+    }
+
+    /// Releases one plan's references; parameters whose count hits zero are
+    /// freed immediately. Returns `(objects freed, heap bytes freed)` — the
+    /// reclamation half of `undeploy`.
+    pub fn release_plan(&self, plan: &StagePlan) -> (usize, usize) {
+        let mut ops = self.ops.lock();
+        let mut freed = 0usize;
+        let mut freed_bytes = 0usize;
+        for (sum, _) in plan_param_set(plan) {
+            let Some(entry) = ops.get_mut(&sum) else {
+                continue;
+            };
+            entry.plan_refs = entry.plan_refs.saturating_sub(1);
+            if entry.plan_refs == 0 {
+                freed_bytes += entry.op.heap_bytes();
+                freed += 1;
+                ops.remove(&sum);
+            }
+        }
+        self.released.fetch_add(freed as u64, Ordering::Relaxed);
+        self.released_bytes
+            .fetch_add(freed_bytes as u64, Ordering::Relaxed);
+        (freed, freed_bytes)
+    }
+
+    /// Drops the given checksums if (still) unreferenced — the targeted
+    /// cleanup a successful deploy runs over its image's operators, so
+    /// parameters the optimizer compiled away (e.g. a pushed-down Concat)
+    /// do not linger as zero-ref residents. Returns the heap bytes freed.
+    pub fn release_unreferenced(&self, checksums: impl IntoIterator<Item = u64>) -> usize {
+        let mut ops = self.ops.lock();
+        let mut freed_bytes = 0usize;
+        let mut freed = 0u64;
+        for sum in checksums {
+            if let Some(entry) = ops.get(&sum) {
+                if entry.plan_refs == 0 {
+                    freed_bytes += entry.op.heap_bytes();
+                    freed += 1;
+                    ops.remove(&sum);
+                }
+            }
+        }
+        self.released.fetch_add(freed, Ordering::Relaxed);
+        self.released_bytes
+            .fetch_add(freed_bytes as u64, Ordering::Relaxed);
+        freed_bytes
+    }
+
+    /// Drops every entry no deployed plan references (the cleanup pass a
+    /// failed deploy runs so half-loaded images do not pin parameters).
+    /// Returns the heap bytes freed.
+    pub fn sweep_unreferenced(&self) -> usize {
+        let mut ops = self.ops.lock();
+        let mut freed_bytes = 0usize;
+        let mut freed = 0u64;
+        ops.retain(|_, entry| {
+            if entry.plan_refs == 0 {
+                freed_bytes += entry.op.heap_bytes();
+                freed += 1;
+                false
+            } else {
+                true
+            }
+        });
+        self.released.fetch_add(freed, Ordering::Relaxed);
+        self.released_bytes
+            .fetch_add(freed_bytes as u64, Ordering::Relaxed);
+        freed_bytes
+    }
+
+    /// Plan refcount of a checksum (0 when absent or never retained).
+    pub fn plan_refs(&self, checksum: u64) -> u64 {
+        self.ops
+            .lock()
+            .get(&checksum)
+            .map_or(0, |entry| entry.plan_refs)
+    }
+
+    /// Parameter objects freed by release paths so far.
+    pub fn release_count(&self) -> u64 {
+        self.released.load(Ordering::Relaxed)
+    }
+
+    /// Parameter heap bytes freed by release paths so far.
+    pub fn released_bytes(&self) -> u64 {
+        self.released_bytes.load(Ordering::Relaxed)
     }
 
     /// Looks up the canonical operator for a parameter checksum, if loaded.
@@ -68,7 +240,7 @@ impl ObjectStore {
     /// Loaders use this to skip deserializing model-file sections whose
     /// parameters are already resident (the fast-load path of §5.1).
     pub fn get(&self, checksum: u64) -> Option<Op> {
-        let hit = self.ops.lock().get(&checksum).cloned();
+        let hit = self.ops.lock().get(&checksum).map(|e| e.op.clone());
         if let Some(op) = &hit {
             self.reused.fetch_add(1, Ordering::Relaxed);
             // The caller was about to deserialize a private copy of these
@@ -91,7 +263,7 @@ impl ObjectStore {
 
     /// Total heap bytes of the unique parameter objects.
     pub fn unique_bytes(&self) -> usize {
-        self.ops.lock().values().map(Op::heap_bytes).sum()
+        self.ops.lock().values().map(|e| e.op.heap_bytes()).sum()
     }
 
     /// Heap bytes avoided by returning shared instances.
@@ -204,6 +376,78 @@ mod tests {
         }
         assert_eq!(store.bytes_saved(), 3 * bytes as u64);
         assert_eq!(store.unique_bytes(), bytes);
+    }
+
+    #[test]
+    fn retain_release_frees_at_zero_refs() {
+        use crate::plan::{BufDef, Loc, LogicalStage};
+        use pretzel_data::ColumnType;
+        use pretzel_ops::linear::LinearKind;
+
+        let shared = Arc::new(synth::char_ngram(1, 3, 64));
+        let plan_with_linear = |seed: u64| {
+            let lin = Arc::new(synth::linear(seed, 64, LinearKind::Logistic));
+            StagePlan {
+                source_type: ColumnType::Text,
+                slots: vec![
+                    BufDef::new(ColumnType::Text, 64),
+                    BufDef::new(ColumnType::F32Sparse { len: 64 }, 16),
+                    BufDef::new(ColumnType::F32Scalar, 1),
+                ],
+                stages: vec![LogicalStage {
+                    steps: vec![
+                        Step {
+                            op: StageOp::Op(Op::CharNgram(Arc::clone(&shared))),
+                            inputs: vec![Loc::Slot(0)],
+                            output: Loc::Slot(1),
+                        },
+                        Step {
+                            op: StageOp::Op(Op::Linear(lin)),
+                            inputs: vec![Loc::Slot(1)],
+                            output: Loc::Slot(2),
+                        },
+                    ],
+                    scratch: vec![],
+                    reads: vec![0],
+                    writes: vec![1, 2],
+                    dense: false,
+                    vectorizable: false,
+                }],
+                output_slot: 2,
+                stats: crate::stats::NodeStats::default(),
+            }
+        };
+        let store = ObjectStore::new();
+        let mut a = plan_with_linear(1);
+        let mut b = plan_with_linear(2);
+        crate::physical::intern_plan(&mut a, &store);
+        store.retain_plan(&a);
+        crate::physical::intern_plan(&mut b, &store);
+        store.retain_plan(&b);
+        let shared_sum = Op::CharNgram(Arc::clone(&shared)).checksum();
+        assert_eq!(store.plan_refs(shared_sum), 2, "featurizer shared by both");
+        assert_eq!(store.len(), 3, "1 shared ngram + 2 unique linears");
+
+        let (freed_a, bytes_a) = store.release_plan(&a);
+        assert_eq!(freed_a, 1, "only plan A's linear dies");
+        assert!(bytes_a > 0);
+        assert_eq!(store.plan_refs(shared_sum), 1);
+        let (freed_b, _) = store.release_plan(&b);
+        assert_eq!(freed_b, 2, "B's linear AND the now-unshared ngram die");
+        assert!(store.is_empty(), "full churn returns the store to empty");
+        assert_eq!(store.unique_bytes(), 0);
+        assert_eq!(store.release_count(), 3);
+    }
+
+    #[test]
+    fn sweep_unreferenced_reaps_orphans_only() {
+        let store = ObjectStore::new();
+        let orphan = store.intern(Op::Tokenizer(Arc::new(TokenizerParams::whitespace_punct())));
+        assert_eq!(store.plan_refs(orphan.checksum()), 0);
+        assert_eq!(store.len(), 1);
+        let freed = store.sweep_unreferenced();
+        assert!(freed > 0);
+        assert!(store.is_empty());
     }
 
     #[test]

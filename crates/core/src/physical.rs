@@ -194,13 +194,26 @@ impl PhysicalStage {
     /// call ends; the reusable container in `ctx` keeps this allocation-free
     /// after warm-up.
     pub fn execute(&self, slots: &mut [Vector], ctx: &mut ExecCtx) -> Result<()> {
+        self.execute_with_source(None, slots, ctx)
+    }
+
+    /// Like [`Self::execute`], optionally serving slot-0 reads straight off
+    /// a borrowed source row (the request-response engine's borrowed-source
+    /// execute). Steps without a borrowed kernel trigger a one-time
+    /// materialization into slot 0 and proceed on the classic path.
+    pub(crate) fn execute_with_source(
+        &self,
+        source: Option<&mut BorrowedSource<'_>>,
+        slots: &mut [Vector],
+        ctx: &mut ExecCtx,
+    ) -> Result<()> {
         // Acquire scratch into the reusable container.
         debug_assert!(ctx.scratch.is_empty());
         for def in &self.scratch {
             let v = ctx.pool.acquire(def.ty);
             ctx.scratch.push(v);
         }
-        let result = self.run_steps(slots, ctx);
+        let result = self.run_steps(source, slots, ctx);
         // Always return scratch, also on error paths.
         let pool = Arc::clone(&ctx.pool);
         for v in ctx.scratch.drain(..) {
@@ -272,7 +285,12 @@ impl PhysicalStage {
         Ok(())
     }
 
-    fn run_steps(&self, slots: &mut [Vector], ctx: &mut ExecCtx) -> Result<()> {
+    fn run_steps(
+        &self,
+        mut source: Option<&mut BorrowedSource<'_>>,
+        slots: &mut [Vector],
+        ctx: &mut ExecCtx,
+    ) -> Result<()> {
         for (step_idx, step) in self.steps.iter().enumerate() {
             // Sub-plan materialization (paper §4.3): shared featurizer steps
             // keyed by (precomputed step checksum, source hash).
@@ -289,6 +307,55 @@ impl PhysicalStage {
                     out.clone_from(&hit);
                     put_buf(slots, &mut ctx.scratch, step.output, out);
                     continue;
+                }
+            }
+
+            // Borrowed-source fast path: a step whose first input is the
+            // (not yet materialized) source runs its row-level kernel off
+            // the borrowed row — no slot-0 copy. Steps without a borrowed
+            // kernel materialize the source once and fall through.
+            if let Some(bs) = source.as_deref_mut() {
+                if !bs.loaded && step.inputs.contains(&Loc::Slot(0)) {
+                    let mut handled = false;
+                    if step.inputs.first() == Some(&Loc::Slot(0))
+                        && !step.inputs[1..].contains(&Loc::Slot(0))
+                    {
+                        let mut out = take_buf(slots, &mut ctx.scratch, step.output);
+                        let res = match step.inputs[1..] {
+                            [] => step.op.apply_row(bs.src.as_row(), &[], &mut out),
+                            [a] => step.op.apply_row(
+                                bs.src.as_row(),
+                                &[buf(slots, &ctx.scratch, a)],
+                                &mut out,
+                            ),
+                            ref many => {
+                                let refs: Vec<&Vector> =
+                                    many.iter().map(|&l| buf(slots, &ctx.scratch, l)).collect();
+                                step.op.apply_row(bs.src.as_row(), &refs, &mut out)
+                            }
+                        };
+                        match res {
+                            Err(e) => {
+                                put_buf(slots, &mut ctx.scratch, step.output, out);
+                                return Err(e);
+                            }
+                            Ok(applied) => {
+                                if applied {
+                                    if let (Some(key), Some(cache)) = (mat_key, ctx.cache.as_ref())
+                                    {
+                                        cache.put(key, Arc::new(out.clone()));
+                                    }
+                                }
+                                handled = applied;
+                                put_buf(slots, &mut ctx.scratch, step.output, out);
+                            }
+                        }
+                    }
+                    if handled {
+                        continue;
+                    }
+                    bs.src.load_into(&mut slots[0])?;
+                    bs.loaded = true;
                 }
             }
 
@@ -745,6 +812,15 @@ fn loc_code(loc: Loc) -> u64 {
     }
 }
 
+/// The borrowed source of a borrowed-source execution: the request row is
+/// served to slot-0 readers directly and materialized into the pooled
+/// slot-0 vector only if some step lacks a borrowed kernel — at most once
+/// per request, and never on the SA/text and sparse-linear hot paths.
+pub(crate) struct BorrowedSource<'a> {
+    src: SourceRef<'a>,
+    loaded: bool,
+}
+
 /// A borrowed source record handed to plan execution.
 #[derive(Debug, Clone, Copy)]
 pub enum SourceRef<'a> {
@@ -854,6 +930,24 @@ impl<'a> SourceRef<'a> {
         }
     }
 
+    /// Borrows the source as a batch-row reference (the shape the row-level
+    /// kernels of the borrowed-source execute consume).
+    pub fn as_row(&self) -> ColRef<'a> {
+        match *self {
+            SourceRef::Text(s) => ColRef::Text(s),
+            SourceRef::Dense(x) => ColRef::Dense(x),
+            SourceRef::Sparse {
+                indices,
+                values,
+                dim,
+            } => ColRef::Sparse {
+                indices,
+                values,
+                dim,
+            },
+        }
+    }
+
     /// Hash of the record content (materialization / result-cache key).
     ///
     /// Delegates to the shared helpers in [`pretzel_data::hash`] so wire
@@ -947,6 +1041,45 @@ impl ModelPlan {
         };
         for stage in &self.stages {
             stage.execute(slots, ctx)?;
+        }
+        slots[self.output_slot as usize]
+            .as_scalar()
+            .ok_or_else(|| DataError::Runtime("plan output is not scalar".into()))
+    }
+
+    /// Executes the full plan inline, scoring **straight off the borrowed
+    /// source** instead of copying it into the pooled slot-0 vector first
+    /// (the request-response engine's borrowed-source execute).
+    ///
+    /// Steps reading the source dispatch through row-level kernels
+    /// ([`crate::plan::StageOp::apply_row`]); a step without a borrowed
+    /// kernel for this source shape materializes slot 0 once and the plan
+    /// continues on the classic path. Scores are bitwise-identical to
+    /// [`Self::execute`] either way.
+    pub fn execute_borrowed(
+        &self,
+        source: SourceRef<'_>,
+        slots: &mut [Vector],
+        ctx: &mut ExecCtx,
+    ) -> Result<f32> {
+        if slots.len() != self.slots.len() {
+            return Err(DataError::Runtime(format!(
+                "lease has {} slots, plan wants {}",
+                slots.len(),
+                self.slots.len()
+            )));
+        }
+        ctx.source_hash = if ctx.cache.is_some() {
+            source.content_hash()
+        } else {
+            0
+        };
+        let mut borrowed = BorrowedSource {
+            src: source,
+            loaded: false,
+        };
+        for stage in &self.stages {
+            stage.execute_with_source(Some(&mut borrowed), slots, ctx)?;
         }
         slots[self.output_slot as usize]
             .as_scalar()

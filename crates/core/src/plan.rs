@@ -204,6 +204,65 @@ impl StageOp {
 }
 
 impl StageOp {
+    /// Executes the step with input 0 supplied as a borrowed source row
+    /// (`rest` holds inputs 1..) — the step-level dispatch behind the
+    /// request-response engine's borrowed-source execute.
+    ///
+    /// Returns `Ok(true)` if the step ran off the borrowed row (same
+    /// arithmetic as [`StageOp::apply`], bitwise), `Ok(false)` if this step
+    /// shape needs a materialized slot-0 vector (the caller copies the
+    /// source once and retries through [`StageOp::apply`]).
+    pub fn apply_row(&self, row: ColRef<'_>, rest: &[&Vector], out: &mut Vector) -> Result<bool> {
+        match (self, row) {
+            (StageOp::Op(op), row) => op.apply_row(row, rest, out),
+            (StageOp::PartialDot { linear, offset }, row) => {
+                let z = linear.partial_dot_row(row, *offset as usize)?;
+                write_scalar(out, z).map(|()| true)
+            }
+            (
+                StageOp::FusedCharNgramDot {
+                    ngram,
+                    linear,
+                    offset,
+                },
+                ColRef::Text(text),
+            ) => {
+                let weights = &linear.weights;
+                let off = *offset as usize;
+                if off + ngram.dim() > weights.len() {
+                    return Err(DataError::Runtime("fused dot weight segment OOB".into()));
+                }
+                let mut acc = 0.0f32;
+                ngram.for_each_char_match(text, |idx| acc += weights[off + idx as usize]);
+                write_scalar(out, acc).map(|()| true)
+            }
+            (
+                StageOp::FusedWordNgramDot {
+                    ngram,
+                    linear,
+                    offset,
+                },
+                ColRef::Text(text),
+            ) => {
+                let spans = rest
+                    .first()
+                    .and_then(|v| v.as_tokens())
+                    .ok_or_else(|| DataError::Runtime("fused word dot expects tokens".into()))?;
+                let weights = &linear.weights;
+                let off = *offset as usize;
+                if off + ngram.dim() > weights.len() {
+                    return Err(DataError::Runtime("fused dot weight segment OOB".into()));
+                }
+                let mut acc = 0.0f32;
+                ngram.for_each_word_match(text, spans, |idx| acc += weights[off + idx as usize]);
+                write_scalar(out, acc).map(|()| true)
+            }
+            // Combine never reads the source; fused dots over a non-text
+            // row fall back to the materialized path's error reporting.
+            _ => Ok(false),
+        }
+    }
+
     /// Executes the step's columnar batch kernel: whole chunk in, whole
     /// chunk out. Per-row arithmetic (including the fused n-gram·dot
     /// accumulation order) is identical to [`StageOp::apply`], so batch

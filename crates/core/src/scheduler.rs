@@ -19,6 +19,7 @@
 //! emulating container-style isolation while still sharing parameters
 //! (paper §4.2.2).
 
+use crate::lifecycle::GatePass;
 use crate::object_store::MaterializationCache;
 use crate::physical::{ExecCtx, ModelPlan, SourceRef};
 use parking_lot::{Condvar, Mutex};
@@ -172,6 +173,9 @@ struct BatchState {
     done: Condvar,
     done_lock: Mutex<bool>,
     completed_at: Mutex<Option<std::time::Instant>>,
+    /// The submission's hold on its plan's lifecycle gate, released when
+    /// the last chunk completes — `undeploy` drains against exactly this.
+    gate: Mutex<Option<GatePass>>,
 }
 
 /// Handle for awaiting a submitted batch.
@@ -271,6 +275,20 @@ impl DualQueue {
         self.cv.notify_one();
     }
 
+    /// Enqueues at low priority unless the queue was closed, in which case
+    /// the task is handed back so the submitter can fall over to the shared
+    /// queue (a reserved queue closes when its plan is unreserved; its
+    /// executor may already have exited).
+    fn try_push_low(&self, t: ChunkTask) -> Option<ChunkTask> {
+        let mut g = self.inner.lock();
+        if g.closed {
+            return Some(t);
+        }
+        g.low.push_back(t);
+        self.cv.notify_one();
+        None
+    }
+
     /// Pops the next event, preferring the high-priority queue; returns
     /// `None` once closed and drained.
     fn pop(&self) -> Option<ChunkTask> {
@@ -304,13 +322,20 @@ pub struct SchedStats {
     pub records_done: AtomicU64,
 }
 
+/// One plan's reserved executor: its private queue plus the thread handle,
+/// so [`Scheduler::unreserve`] can close the queue and join the thread.
+#[derive(Debug)]
+struct ReservedExec {
+    queue: Arc<DualQueue>,
+    handle: Option<JoinHandle<()>>,
+}
+
 /// The stage scheduler: executors, shared queues, reservations.
 #[derive(Debug)]
 pub struct Scheduler {
     shared: Arc<DualQueue>,
     executors: Vec<JoinHandle<()>>,
-    reserved: Mutex<std::collections::HashMap<u32, Arc<DualQueue>>>,
-    reserved_executors: Mutex<Vec<JoinHandle<()>>>,
+    reserved: Mutex<std::collections::HashMap<u32, ReservedExec>>,
     stats: Arc<SchedStats>,
     pooling: bool,
     chunk_size: usize,
@@ -354,7 +379,6 @@ impl Scheduler {
             shared,
             executors,
             reserved: Mutex::new(std::collections::HashMap::new()),
-            reserved_executors: Mutex::new(Vec::new()),
             stats,
             pooling,
             chunk_size: chunk_size.max(1),
@@ -391,8 +415,37 @@ impl Scheduler {
             .name(format!("pretzel-reserved-{plan_id}"))
             .spawn(move || executor_loop(q, stats, pooling, columnar, cache))
             .expect("spawn reserved executor");
-        reserved.insert(plan_id, queue);
-        self.reserved_executors.lock().push(handle);
+        reserved.insert(
+            plan_id,
+            ReservedExec {
+                queue,
+                handle: Some(handle),
+            },
+        );
+    }
+
+    /// Tears down a plan's reservation: removes the queue from the routing
+    /// map (new submissions fall back to the shared queue), signals
+    /// shutdown, lets the dedicated executor drain its remaining events,
+    /// and joins the thread — the reverse of [`Self::reserve`], so churned
+    /// reserved plans no longer leak a thread and pool forever.
+    ///
+    /// Returns `true` if a reservation existed.
+    pub fn unreserve(&self, plan_id: u32) -> bool {
+        let slot = self.reserved.lock().remove(&plan_id);
+        let Some(mut res) = slot else {
+            return false;
+        };
+        res.queue.close();
+        if let Some(handle) = res.handle.take() {
+            let _ = handle.join();
+        }
+        true
+    }
+
+    /// Number of live reservations (tests and the admin surface).
+    pub fn reserved_count(&self) -> usize {
+        self.reserved.lock().len()
     }
 
     /// Submits a batch of records for `plan`; chunks enter the low-priority
@@ -403,7 +456,25 @@ impl Scheduler {
         plan: Arc<ModelPlan>,
         records: Vec<Record>,
     ) -> BatchHandle {
-        self.submit_input(plan_id, plan, BatchInput::Records(Arc::new(records)))
+        self.submit_input(plan_id, plan, BatchInput::Records(Arc::new(records)), None)
+    }
+
+    /// [`Self::submit_batch`] carrying the submission's lifecycle gate
+    /// pass; the pass is released when the batch's last chunk completes,
+    /// which is the event `undeploy`'s drain waits for.
+    pub fn submit_batch_gated(
+        &self,
+        plan_id: u32,
+        plan: Arc<ModelPlan>,
+        records: Vec<Record>,
+        gate: GatePass,
+    ) -> BatchHandle {
+        self.submit_input(
+            plan_id,
+            plan,
+            BatchInput::Records(Arc::new(records)),
+            Some(gate),
+        )
     }
 
     /// Submits a wire-assembled request batch: the rows the FrontEnd built
@@ -415,10 +486,32 @@ impl Scheduler {
         plan: Arc<ModelPlan>,
         input: AssembledBatch,
     ) -> BatchHandle {
-        self.submit_input(plan_id, plan, BatchInput::Assembled(Arc::new(input)))
+        self.submit_input(plan_id, plan, BatchInput::Assembled(Arc::new(input)), None)
     }
 
-    fn submit_input(&self, plan_id: u32, plan: Arc<ModelPlan>, input: BatchInput) -> BatchHandle {
+    /// [`Self::submit_assembled`] carrying a lifecycle gate pass.
+    pub fn submit_assembled_gated(
+        &self,
+        plan_id: u32,
+        plan: Arc<ModelPlan>,
+        input: AssembledBatch,
+        gate: GatePass,
+    ) -> BatchHandle {
+        self.submit_input(
+            plan_id,
+            plan,
+            BatchInput::Assembled(Arc::new(input)),
+            Some(gate),
+        )
+    }
+
+    fn submit_input(
+        &self,
+        plan_id: u32,
+        plan: Arc<ModelPlan>,
+        input: BatchInput,
+        gate: Option<GatePass>,
+    ) -> BatchHandle {
         let n = input.len();
         let n_chunks = n.div_ceil(self.chunk_size).max(1);
         let state = Arc::new(BatchState {
@@ -428,6 +521,9 @@ impl Scheduler {
             done: Condvar::new(),
             done_lock: Mutex::new(n == 0),
             completed_at: Mutex::new((n == 0).then(std::time::Instant::now)),
+            // Empty batches complete synchronously: the pass (if any) drops
+            // here rather than waiting for a chunk that will never run.
+            gate: Mutex::new(if n == 0 { None } else { gate }),
         });
         if n == 0 {
             return BatchHandle { state };
@@ -436,13 +532,13 @@ impl Scheduler {
             let reserved = self.reserved.lock();
             reserved
                 .get(&plan_id)
-                .cloned()
+                .map(|r| Arc::clone(&r.queue))
                 .unwrap_or_else(|| Arc::clone(&self.shared))
         };
         let mut start = 0usize;
         while start < n {
             let end = (start + self.chunk_size).min(n);
-            queue.push_low(ChunkTask {
+            let task = ChunkTask {
                 plan: Arc::clone(&plan),
                 input: input.clone(),
                 range: (start, end),
@@ -450,7 +546,13 @@ impl Scheduler {
                 working: ChunkWorkingSet::Unleased,
                 lease_pool: None,
                 state: Arc::clone(&state),
-            });
+            };
+            // A reserved queue that closed between routing and push (the
+            // plan was unreserved concurrently) hands the task back; it
+            // then runs on the shared executors instead of being lost.
+            if let Some(task) = queue.try_push_low(task) {
+                self.shared.push_low(task);
+            }
             start = end;
         }
         BatchHandle { state }
@@ -458,31 +560,30 @@ impl Scheduler {
 
     /// Closes the queues and joins every executor.
     pub fn shutdown(mut self) {
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
         self.shared.close();
-        for (_, q) in self.reserved.lock().drain() {
-            q.close();
+        let mut reserved: Vec<ReservedExec> =
+            self.reserved.lock().drain().map(|(_, r)| r).collect();
+        for r in &reserved {
+            r.queue.close();
         }
         for h in self.executors.drain(..) {
             let _ = h.join();
         }
-        for h in self.reserved_executors.lock().drain(..) {
-            let _ = h.join();
+        for r in &mut reserved {
+            if let Some(h) = r.handle.take() {
+                let _ = h.join();
+            }
         }
     }
 }
 
 impl Drop for Scheduler {
     fn drop(&mut self) {
-        self.shared.close();
-        for (_, q) in self.reserved.lock().drain() {
-            q.close();
-        }
-        for h in self.executors.drain(..) {
-            let _ = h.join();
-        }
-        for h in self.reserved_executors.lock().drain(..) {
-            let _ = h.join();
-        }
+        self.teardown();
     }
 }
 
@@ -678,6 +779,10 @@ fn finish_chunk_error(mut task: ChunkTask, err: DataError) {
 
 fn complete_chunk(state: Arc<BatchState>) {
     if state.remaining_chunks.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Last chunk: release the plan's lifecycle gate pass before waking
+        // the waiter — once the handle observes completion, `undeploy`'s
+        // drain has nothing left to wait on for this batch.
+        drop(state.gate.lock().take());
         *state.completed_at.lock() = Some(std::time::Instant::now());
         let mut done = state.done_lock.lock();
         *done = true;
@@ -898,6 +1003,38 @@ mod tests {
         let sched = Scheduler::new(2, false, 4, true, None);
         let scores = sched.submit_batch(0, plan, records(9)).wait().unwrap();
         assert_eq!(scores.len(), 9);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn unreserve_drains_and_joins_the_dedicated_executor() {
+        let plan = sa_plan(41);
+        let sched = Scheduler::new(1, true, 4, true, None);
+        sched.reserve(3);
+        assert_eq!(sched.reserved_count(), 1);
+        let h = sched.submit_batch(3, Arc::clone(&plan), records(13));
+        assert_eq!(h.wait().unwrap().len(), 13);
+        assert!(sched.unreserve(3), "reservation existed");
+        assert_eq!(sched.reserved_count(), 0);
+        assert!(!sched.unreserve(3), "second unreserve is a no-op");
+        // Post-unreserve traffic for the plan flows through the shared
+        // queue: nothing is lost.
+        let h2 = sched.submit_batch(3, plan, records(5));
+        assert_eq!(h2.wait().unwrap().len(), 5);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn reserve_unreserve_churn_does_not_leak_threads() {
+        let plan = sa_plan(43);
+        let sched = Scheduler::new(1, true, 4, true, None);
+        for round in 0..20u32 {
+            sched.reserve(round);
+            let h = sched.submit_batch(round, Arc::clone(&plan), records(3));
+            assert_eq!(h.wait().unwrap().len(), 3);
+            assert!(sched.unreserve(round));
+        }
+        assert_eq!(sched.reserved_count(), 0);
         sched.shutdown();
     }
 

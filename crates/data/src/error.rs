@@ -32,6 +32,10 @@ pub enum DataError {
     Pool(String),
     /// A runtime invariant was violated (catalogue lookups, plan binding...).
     Runtime(String),
+    /// The addressed plan was undeployed: new submissions are rejected fast
+    /// while any in-flight work completes on the retiring plan (model
+    /// lifecycle drain protocol).
+    PlanRetired(u32),
 }
 
 impl fmt::Display for DataError {
@@ -50,6 +54,7 @@ impl fmt::Display for DataError {
             DataError::Codec(msg) => write!(f, "model file codec error: {msg}"),
             DataError::Pool(msg) => write!(f, "vector pool error: {msg}"),
             DataError::Runtime(msg) => write!(f, "runtime error: {msg}"),
+            DataError::PlanRetired(id) => write!(f, "plan {id} is retired (undeployed)"),
         }
     }
 }

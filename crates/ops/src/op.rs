@@ -25,6 +25,7 @@ use crate::text::hashing::HashingParams;
 use crate::text::ngram::NgramParams;
 use crate::text::tokenizer::TokenizerParams;
 use crate::tree::{EnsembleParams, MulticlassTreeParams};
+use pretzel_data::batch::ColRef;
 use pretzel_data::serde_bin::Section;
 use pretzel_data::vector::Span;
 use pretzel_data::{ColumnBatch, ColumnType, DataError, Result, Schema, Vector};
@@ -399,6 +400,50 @@ impl Op {
             Op::TreeFeaturizer(p) => p.apply_featurize(one_input(inputs)?, out),
             Op::KMeans(p) => p.apply(one_input(inputs)?, out),
             Op::Pca(p) => p.apply(one_input(inputs)?, out),
+        }
+    }
+
+    /// Executes the operator with input 0 supplied as a **borrowed row**
+    /// (`rest` holds inputs 1..): the borrowed-source execute of the
+    /// request-response engine, which scores straight off the wire-assembled
+    /// row instead of copying it into the pooled slot-0 vector first.
+    ///
+    /// Returns `Ok(true)` when the operator ran off the borrowed row
+    /// (bitwise-identical arithmetic to [`Op::apply`] — the same row-level
+    /// kernels the batch path uses), `Ok(false)` when this operator has no
+    /// borrowed kernel for the row shape and the caller must materialize
+    /// the source once and retry through [`Op::apply`].
+    pub fn apply_row(&self, row: ColRef<'_>, rest: &[&Vector], out: &mut Vector) -> Result<bool> {
+        match (self, row) {
+            (Op::CsvParse(p), ColRef::Text(s)) => p.apply(s, out).map(|()| true),
+            (Op::Tokenizer(p), ColRef::Text(s)) => p.apply(s, out).map(|()| true),
+            (Op::CharNgram(p), ColRef::Text(s)) => p.apply_char(s, out).map(|()| true),
+            (Op::WordNgram(p), ColRef::Text(s)) => {
+                let toks = tokens_input(rest, 0)?;
+                p.apply_word(s, toks, out).map(|()| true)
+            }
+            (Op::HashingVectorizer(p), ColRef::Text(s)) => p.apply(s, out).map(|()| true),
+            (
+                Op::Linear(p),
+                row @ (ColRef::Dense(_) | ColRef::Sparse { .. } | ColRef::Scalar(_)),
+            ) => {
+                // Same kernel chain as `LinearParams::apply`: dot + bias +
+                // link over the one shared row-level dot product.
+                let z = p.partial_dot_row(row, 0)? + p.bias;
+                match out {
+                    Vector::Scalar(s) => {
+                        *s = p.link(z);
+                        Ok(true)
+                    }
+                    other => Err(DataError::Runtime(format!(
+                        "linear model output must be scalar, got {:?}",
+                        other.column_type()
+                    ))),
+                }
+            }
+            // No borrowed kernel for this (operator, row shape): the caller
+            // falls back to a one-time slot-0 materialization.
+            _ => Ok(false),
         }
     }
 

@@ -19,8 +19,11 @@
 //!   featurizer hit rates are realistic.
 //! * [`load`] — Zipf popularity sampling (the paper's heavy-load skew,
 //!   α = 2) and latency recording (percentiles / CDFs).
+//! * [`churn`] — Zipf-driven deploy/score/undeploy model-churn cycles over
+//!   stable aliases (the model-lifecycle workload).
 
 pub mod ac;
+pub mod churn;
 pub mod load;
 pub mod sa;
 pub mod text;

@@ -1,0 +1,551 @@
+//! Model lifecycle invariants: hot deploy/undeploy/swap under concurrency,
+//! ref-counted Object Store reclamation, and the drain protocol.
+//!
+//! The acceptance bar (ISSUE 4): `unique_bytes`/catalog size return to
+//! baseline after churn, `swap` loses zero in-flight or concurrent
+//! requests (bitwise-identical scores on whichever version each request
+//! landed on), and undeployed plans reject new submissions with a clean
+//! `PlanRetired` error.
+
+use pretzel_core::flour::FlourContext;
+use pretzel_core::lifecycle::DeployOptions;
+use pretzel_core::physical::SourceRef;
+use pretzel_core::runtime::{PlanId, Runtime, RuntimeConfig};
+use pretzel_core::scheduler::Record;
+use pretzel_data::DataError;
+use pretzel_ops::linear::LinearKind;
+use pretzel_ops::synth;
+use pretzel_workload::churn::{self, ChurnConfig, ChurnEvent, ChurnWorkload};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn sa_image(seed: u64) -> Vec<u8> {
+    let vocab = synth::vocabulary(0, 64);
+    let ctx = FlourContext::new();
+    let tokens = ctx.csv(',').select_text(1).tokenize();
+    let c = tokens.char_ngram(Arc::new(synth::char_ngram(1, 3, 64)));
+    let w = tokens.word_ngram(Arc::new(synth::word_ngram(2, 2, 64, &vocab)));
+    c.concat(&w)
+        .classifier_linear(Arc::new(synth::linear(seed, 128, LinearKind::Logistic)))
+        .graph()
+        .to_model_image()
+}
+
+#[test]
+fn deploy_undeploy_returns_store_and_catalog_to_baseline() {
+    let rt = Runtime::new(RuntimeConfig {
+        n_executors: 2,
+        ..RuntimeConfig::default()
+    });
+    let store = Arc::clone(rt.object_store());
+    assert_eq!(store.unique_bytes(), 0);
+    assert_eq!(rt.catalog_size(), 0);
+
+    // Deploy N models sharing featurizers, score them, undeploy them all.
+    let ids: Vec<PlanId> = (0..6)
+        .map(|k| {
+            rt.deploy(&sa_image(900 + k), DeployOptions::default())
+                .unwrap()
+        })
+        .collect();
+    assert!(store.unique_bytes() > 0);
+    assert!(rt.catalog_size() > 0);
+    assert_eq!(rt.plan_count(), 6);
+    for &id in &ids {
+        let score = rt.predict(id, "5,quite nice overall").unwrap();
+        assert!((0.0..=1.0).contains(&score));
+    }
+    for &id in &ids {
+        rt.undeploy(id).unwrap();
+    }
+    assert_eq!(store.unique_bytes(), 0, "all parameters reclaimed");
+    assert_eq!(rt.catalog_size(), 0, "all stages collected");
+    assert_eq!(rt.plan_count(), 0);
+
+    // Tombstones stay addressable with a clean PlanRetired.
+    for &id in &ids {
+        let err = rt.predict(id, "1,x").unwrap_err();
+        assert!(matches!(err, DataError::PlanRetired(i) if i == id), "{err}");
+        let batch_err = rt
+            .predict_batch_wait(id, vec![Record::Text("1,x".into())])
+            .unwrap_err();
+        assert!(
+            matches!(batch_err, DataError::PlanRetired(_)),
+            "{batch_err}"
+        );
+    }
+    // Double undeploy is PlanRetired, unknown id stays "unknown".
+    assert!(matches!(
+        rt.undeploy(ids[0]).unwrap_err(),
+        DataError::PlanRetired(_)
+    ));
+    assert!(rt
+        .undeploy(10_000)
+        .unwrap_err()
+        .to_string()
+        .contains("unknown"));
+}
+
+#[test]
+fn undeploy_drains_in_flight_batches_before_reclaiming() {
+    let rt = Arc::new(Runtime::new(RuntimeConfig {
+        n_executors: 2,
+        chunk_size: 4,
+        ..RuntimeConfig::default()
+    }));
+    let id = rt
+        .deploy(&sa_image(7101), DeployOptions::default())
+        .unwrap();
+    let records: Vec<Record> = (0..200)
+        .map(|i| Record::Text(format!("4,review number {i} is fine")))
+        .collect();
+    // Reference scores before any churn.
+    let expect = rt.predict_batch_wait(id, records.clone()).unwrap();
+
+    // Submit a large batch, then undeploy concurrently: the batch must
+    // complete with correct scores (drain), and the store must be empty
+    // afterwards.
+    let handle = rt.predict_batch(id, records).unwrap();
+    let rt2 = Arc::clone(&rt);
+    let undeployer = std::thread::spawn(move || rt2.undeploy(id).unwrap());
+    let scores = handle.wait().unwrap();
+    assert_eq!(scores.len(), expect.len());
+    for (i, (a, b)) in scores.iter().zip(&expect).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "record {i} diverged during drain");
+    }
+    let report = undeployer.join().unwrap();
+    assert!(report.freed_param_bytes > 0);
+    assert_eq!(rt.object_store().unique_bytes(), 0);
+    assert_eq!(rt.plan_count(), 0);
+}
+
+#[test]
+fn undeploy_joins_reserved_executor() {
+    let rt = Runtime::new(RuntimeConfig {
+        n_executors: 1,
+        ..RuntimeConfig::default()
+    });
+    let id = rt
+        .deploy(
+            &sa_image(7202),
+            DeployOptions {
+                alias: Some("res".into()),
+                reserved: true,
+            },
+        )
+        .unwrap();
+    assert_eq!(rt.reserved_count(), 1);
+    let scores = rt
+        .predict_batch_wait(id, vec![Record::Text("1,ok".into()); 5])
+        .unwrap();
+    assert_eq!(scores.len(), 5);
+    rt.undeploy(id).unwrap();
+    assert_eq!(rt.reserved_count(), 0, "dedicated executor torn down");
+    assert_eq!(rt.resolve("res"), None, "alias unbound on undeploy");
+}
+
+#[test]
+fn swap_loses_no_concurrent_requests() {
+    let rt = Arc::new(Runtime::new(RuntimeConfig {
+        n_executors: 2,
+        ..RuntimeConfig::default()
+    }));
+    let line = "5,the same request every time";
+    let v0 = rt
+        .deploy(
+            &sa_image(7300),
+            DeployOptions {
+                alias: Some("live".into()),
+                reserved: false,
+            },
+        )
+        .unwrap();
+    let mut references = vec![rt.predict(v0, line).unwrap()];
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let lost = Arc::new(AtomicUsize::new(0));
+    let scored = Arc::new(AtomicUsize::new(0));
+    let scorers: Vec<_> = (0..4)
+        .map(|_| {
+            let rt = Arc::clone(&rt);
+            let stop = Arc::clone(&stop);
+            let lost = Arc::clone(&lost);
+            let scored = Arc::clone(&scored);
+            std::thread::spawn(move || {
+                let mut scores = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    match rt.predict_source_alias("live", SourceRef::Text(line)) {
+                        Ok(s) => {
+                            scores.push(s);
+                            scored.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            lost.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                scores
+            })
+        })
+        .collect();
+
+    // Roll 8 versions through the alias while the scorers hammer it;
+    // gate each round on scorer progress so the churn genuinely overlaps
+    // live traffic (release builds can finish all rounds in microseconds).
+    let mut current = v0;
+    for k in 0..8u64 {
+        let floor = scored.load(Ordering::Relaxed) + 4;
+        while scored.load(Ordering::Relaxed) < floor {
+            std::thread::yield_now();
+        }
+        let next = rt
+            .deploy(&sa_image(7301 + k), DeployOptions::default())
+            .unwrap();
+        references.push(rt.predict(next, line).unwrap());
+        assert_eq!(rt.swap("live", next).unwrap(), Some(current));
+        rt.undeploy(current).unwrap();
+        current = next;
+    }
+    stop.store(true, Ordering::Relaxed);
+    let mut total = 0usize;
+    for s in scorers {
+        for score in s.join().unwrap() {
+            total += 1;
+            assert!(
+                references.iter().any(|r| r.to_bits() == score.to_bits()),
+                "score {score} matches no deployed version"
+            );
+        }
+    }
+    assert_eq!(lost.load(Ordering::Relaxed), 0, "no alias request lost");
+    assert!(total > 0, "scorers made progress");
+    let (deploys, undeploys, swaps) = rt.lifecycle_stats().counts();
+    // 1 aliased deploy + 8 version deploys; 8 undeploys; 8 explicit swaps
+    // (the deploy-time alias bind is not a swap).
+    assert_eq!((deploys, undeploys, swaps), (9, 8, 8));
+}
+
+#[test]
+fn concurrent_deploy_score_undeploy_stress() {
+    let rt = Arc::new(Runtime::new(RuntimeConfig {
+        n_executors: 2,
+        chunk_size: 8,
+        ..RuntimeConfig::default()
+    }));
+    let n_threads = 4;
+    let cycles = 6;
+    let workers: Vec<_> = (0..n_threads)
+        .map(|t| {
+            let rt = Arc::clone(&rt);
+            std::thread::spawn(move || {
+                for c in 0..cycles {
+                    let seed = 8000 + (t * 100 + c) as u64;
+                    let id = rt
+                        .deploy(&sa_image(seed), DeployOptions::default())
+                        .unwrap();
+                    let line = format!("3,thread {t} cycle {c}");
+                    let single = rt.predict(id, &line).unwrap();
+                    let batch = rt
+                        .predict_batch_wait(id, vec![Record::Text(line.clone()); 17])
+                        .unwrap();
+                    for s in batch {
+                        assert_eq!(s.to_bits(), single.to_bits());
+                    }
+                    let report = rt.undeploy(id).unwrap();
+                    assert!(report.freed_param_bytes > 0);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    assert_eq!(rt.plan_count(), 0);
+    assert_eq!(
+        rt.object_store().unique_bytes(),
+        0,
+        "stress churn leaks parameters"
+    );
+    assert_eq!(rt.catalog_size(), 0, "stress churn leaks stages");
+}
+
+#[test]
+fn churn_script_replays_cleanly_and_returns_to_baseline() {
+    let workload = churn::build(&ChurnConfig::tiny());
+    let rt = Runtime::new(RuntimeConfig {
+        n_executors: 2,
+        ..RuntimeConfig::default()
+    });
+    let mut live: Vec<Option<PlanId>> = vec![None; 3];
+    let mut previous: Vec<Option<PlanId>> = vec![None; 3];
+    let mut line = 0usize;
+    for event in &workload.events {
+        match *event {
+            ChurnEvent::Deploy { slot, version } => {
+                let id = rt
+                    .deploy(workload.image(slot, version), DeployOptions::default())
+                    .unwrap();
+                rt.swap(&ChurnWorkload::alias(slot), id).unwrap();
+                previous[slot] = live[slot].replace(id);
+            }
+            ChurnEvent::UndeployPrevious { slot } => {
+                let id = previous[slot]
+                    .take()
+                    .expect("script retires a live version");
+                rt.undeploy(id).unwrap();
+            }
+            ChurnEvent::Score { slot, n } => {
+                if live[slot].is_none() {
+                    continue; // slot not deployed yet this round
+                }
+                for _ in 0..n {
+                    let text = &workload.lines[line % workload.lines.len()];
+                    line += 1;
+                    rt.predict_source_alias(&ChurnWorkload::alias(slot), SourceRef::Text(text))
+                        .unwrap();
+                }
+            }
+        }
+    }
+    for id in live.into_iter().flatten() {
+        rt.undeploy(id).unwrap();
+    }
+    assert_eq!(rt.object_store().unique_bytes(), 0);
+    assert_eq!(rt.catalog_size(), 0);
+    assert_eq!(rt.plan_count(), 0);
+}
+
+/// ObjectStore intern/release property test: random interleavings of
+/// retain and release over plans with overlapping parameter sets must keep
+/// the store's contents equal to a reference model, and end empty.
+#[test]
+fn object_store_retain_release_property() {
+    use pretzel_core::object_store::ObjectStore;
+    use pretzel_core::physical::intern_plan;
+    use std::collections::HashMap;
+
+    // 8 plans drawing featurizers from a pool of 3, unique weights each.
+    let shared: Vec<Arc<pretzel_ops::text::ngram::NgramParams>> = (0..3)
+        .map(|v| Arc::new(synth::char_ngram(v as u64, 3, 64 + v * 16)))
+        .collect();
+    let logical_plans: Vec<_> = (0..8)
+        .map(|k| {
+            let ctx = FlourContext::new();
+            let feats = ctx
+                .text_source()
+                .char_ngram(Arc::clone(&shared[k % shared.len()]));
+            feats
+                .classifier_linear(Arc::new(synth::linear(
+                    9000 + k as u64,
+                    shared[k % shared.len()].dim(),
+                    LinearKind::Logistic,
+                )))
+                .plan()
+                .unwrap()
+        })
+        .collect();
+
+    // xorshift PRNG: deterministic, dependency-free schedule.
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+
+    let store = ObjectStore::new();
+    // Reference model: per-checksum refcount + byte size.
+    let mut refcounts: HashMap<u64, (u64, usize)> = HashMap::new();
+    let mut retained: Vec<pretzel_core::plan::StagePlan> = Vec::new();
+
+    let unique_params = |plan: &pretzel_core::plan::StagePlan| {
+        let mut set: HashMap<u64, usize> = HashMap::new();
+        for stage in &plan.stages {
+            for step in &stage.steps {
+                if let pretzel_core::plan::StageOp::Op(op) = &step.op {
+                    set.insert(op.checksum(), op.heap_bytes());
+                }
+            }
+        }
+        set
+    };
+
+    for round in 0..400 {
+        let retain = retained.is_empty() || (next() % 2 == 0 && retained.len() < 16);
+        if retain {
+            let mut plan = logical_plans[(next() % 8) as usize].clone();
+            intern_plan(&mut plan, &store);
+            store.retain_plan(&plan);
+            for (sum, bytes) in unique_params(&plan) {
+                let slot = refcounts.entry(sum).or_insert((0, bytes));
+                slot.0 += 1;
+            }
+            retained.push(plan);
+        } else {
+            let plan = retained.swap_remove((next() % retained.len() as u64) as usize);
+            store.release_plan(&plan);
+            for (sum, _) in unique_params(&plan) {
+                let slot = refcounts.get_mut(&sum).unwrap();
+                slot.0 -= 1;
+                if slot.0 == 0 {
+                    refcounts.remove(&sum);
+                }
+            }
+        }
+        // Invariant: store contents == reference model.
+        let expect_bytes: usize = refcounts.values().map(|&(_, b)| b).sum();
+        assert_eq!(
+            store.unique_bytes(),
+            expect_bytes,
+            "round {round}: resident bytes diverge from reference"
+        );
+        assert_eq!(store.len(), refcounts.len(), "round {round}");
+        for (&sum, &(count, _)) in &refcounts {
+            assert_eq!(
+                store.plan_refs(sum),
+                count,
+                "round {round} checksum {sum:#x}"
+            );
+        }
+    }
+    for plan in retained.drain(..) {
+        store.release_plan(&plan);
+    }
+    assert!(store.is_empty(), "full release must empty the store");
+    assert_eq!(store.unique_bytes(), 0);
+}
+
+#[test]
+fn borrowed_source_execute_is_bitwise_identical() {
+    // The request-response engine now scores off the borrowed source; its
+    // scores must be bitwise-identical to batch execution (which loads
+    // sources into columnar slots) across text, dense, and sparse plans.
+    let rt = Runtime::new(RuntimeConfig {
+        n_executors: 1,
+        ..RuntimeConfig::default()
+    });
+    let text_id = rt
+        .deploy(&sa_image(7777), DeployOptions::default())
+        .unwrap();
+    let lines: Vec<String> = (0..9)
+        .map(|i| format!("{},review {i} ok", 1 + i % 5))
+        .collect();
+    let records: Vec<Record> = lines.iter().map(|l| Record::Text(l.clone())).collect();
+    let batch = rt.predict_batch_wait(text_id, records).unwrap();
+    for (line, b) in lines.iter().zip(&batch) {
+        assert_eq!(rt.predict(text_id, line).unwrap().to_bits(), b.to_bits());
+    }
+
+    // Dense pipeline (falls back to a one-time slot-0 materialization).
+    let dim = 8;
+    let ctx = FlourContext::new();
+    let dense_plan = ctx
+        .dense_source(dim)
+        .scale(Arc::new(synth::scaler(1, dim)))
+        .regressor_tree(Arc::new(synth::ensemble(
+            2,
+            dim,
+            3,
+            3,
+            pretzel_ops::tree::EnsembleMode::Average,
+        )))
+        .plan()
+        .unwrap();
+    let dense_id = rt.register(dense_plan).unwrap();
+    let x: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.7).sin()).collect();
+    let single = rt.predict_dense(dense_id, &x).unwrap();
+    let via_batch = rt
+        .predict_batch_wait(dense_id, vec![Record::Dense(x.clone())])
+        .unwrap();
+    assert_eq!(single.to_bits(), via_batch[0].to_bits());
+
+    // Sparse-linear pipeline (fully borrowed path).
+    let sdim = 16usize;
+    let ctx = FlourContext::new();
+    let sparse_plan = ctx
+        .sparse_source(sdim)
+        .classifier_linear(Arc::new(synth::linear(5, sdim, LinearKind::Logistic)))
+        .plan()
+        .unwrap();
+    let sparse_id = rt.register(sparse_plan).unwrap();
+    let (indices, values) = (vec![1u32, 7, 12], vec![0.5f32, -2.0, 1.25]);
+    let single = rt
+        .predict_sparse(sparse_id, &indices, &values, sdim as u32)
+        .unwrap();
+    let via_batch = rt
+        .predict_batch_wait(
+            sparse_id,
+            vec![Record::Sparse {
+                indices,
+                values,
+                dim: sdim as u32,
+            }],
+        )
+        .unwrap();
+    assert_eq!(single.to_bits(), via_batch[0].to_bits());
+}
+
+#[test]
+fn tombstones_are_bounded_under_continuous_churn() {
+    // Retired ids keep failing with PlanRetired up to the tombstone cap;
+    // beyond it the oldest compact away (degrading to "unknown plan"),
+    // so control-plane state cannot grow without bound.
+    let rt = Runtime::new(RuntimeConfig {
+        n_executors: 1,
+        ..RuntimeConfig::default()
+    });
+    let tiny_plan = || {
+        let ctx = FlourContext::new();
+        ctx.text_source()
+            .char_ngram(Arc::new(synth::char_ngram(3, 2, 8)))
+            .classifier_linear(Arc::new(synth::linear(4, 8, LinearKind::Logistic)))
+            .plan()
+            .unwrap()
+    };
+    let cycles = 1100usize; // > TOMBSTONE_CAP (1024)
+    for _ in 0..cycles {
+        let id = rt.register(tiny_plan()).unwrap();
+        rt.undeploy(id).unwrap();
+    }
+    let listed = rt.list_plans();
+    assert!(
+        listed.len() <= 1024,
+        "tombstones unbounded: {} entries",
+        listed.len()
+    );
+    // Recent tombstones still report PlanRetired; the oldest degraded.
+    let newest = (cycles - 1) as PlanId;
+    assert!(matches!(
+        rt.predict(newest, "x").unwrap_err(),
+        DataError::PlanRetired(_)
+    ));
+    assert!(rt
+        .predict(0, "x")
+        .unwrap_err()
+        .to_string()
+        .contains("unknown"));
+    assert_eq!(rt.object_store().unique_bytes(), 0);
+}
+
+#[test]
+fn sparse_plans_deploy_from_model_images() {
+    // Sparse sources round-trip through the serde_bin manifest (new tag),
+    // so pre-featurized pipelines are hot-deployable too.
+    let sdim = 24usize;
+    let ctx = FlourContext::new();
+    let graph = ctx
+        .sparse_source(sdim)
+        .classifier_linear(Arc::new(synth::linear(11, sdim, LinearKind::Regression)))
+        .graph();
+    let rt = Runtime::new(RuntimeConfig::default());
+    let id = rt
+        .deploy(&graph.to_model_image(), DeployOptions::default())
+        .unwrap();
+    let score = rt
+        .predict_sparse(id, &[2, 9], &[1.0, -1.0], sdim as u32)
+        .unwrap();
+    assert!(score.is_finite());
+    rt.undeploy(id).unwrap();
+    assert_eq!(rt.object_store().unique_bytes(), 0);
+}
