@@ -1,0 +1,226 @@
+//! Ablation: flat prefiltered n-gram probe vs the `HashMap` control.
+//!
+//! Same runtime, same plans, same records — the only variable is
+//! `RuntimeConfig::flat_ngram_probe`: with it on (the default) the n-gram
+//! matching kernels fold each row once, hash every window of every length
+//! into a scratch ring (incrementally across lengths), and bulk-probe the
+//! flat bitmap-prefiltered table with software prefetch; with it
+//! off they run the classic per-window fold+hash+`HashMap` probe. Scores
+//! are bitwise-identical (enforced by `tests/ngram_probe.rs`); the
+//! variable is matching-path throughput on the matching-bound SA workload
+//! (paper Figure 1: the Char/WordNgram featurizers dominate SA time).
+//!
+//! Reported per chunk size for the batch engine plus a request-response
+//! row, and written to `BENCH_ngram_probe.json` with the headline
+//! `SA` speedup = flat ÷ hashmap. CI gates flat ≥ control.
+//!
+//! Knobs: `PRETZEL_PIPELINES`, `PRETZEL_SCALE`, `PRETZEL_BATCH`,
+//! `PRETZEL_CORES`, `PRETZEL_CHUNKS`, `PRETZEL_REPEAT`.
+
+use pretzel_bench::{env_f64, env_usize, images_of, print_table, time_it, BenchEntry};
+use pretzel_core::runtime::{Runtime, RuntimeConfig};
+use pretzel_core::scheduler::Record;
+use pretzel_workload::sa::SaConfig;
+use pretzel_workload::text::ReviewGen;
+use std::sync::Arc;
+
+/// The SA configuration this ablation measures. Unlike the generic bench
+/// harness (scale default 0.25, sized for quick whole-suite runs), the
+/// dictionary probe is the variable under test here, so the default scale
+/// is 1.0 — the workload's own defaults (~20k-entry char dictionaries,
+/// capped by the trigram alphabet; 5k-entry word dictionaries), still far
+/// below the paper's ~1M entries but inside the matching-bound regime the
+/// paper describes. `PRETZEL_SCALE` overrides as usual.
+fn probe_sa_config() -> SaConfig {
+    let scale = env_f64("PRETZEL_SCALE", 1.0).clamp(0.001, 8.0);
+    SaConfig {
+        n_pipelines: pretzel_bench::n_pipelines(),
+        char_entries: ((20_000.0 * scale) as usize).max(64),
+        word_entries_small: ((200.0 * scale) as usize).max(16),
+        word_entries_large: ((5_000.0 * scale) as usize).max(32),
+        vocab_size: ((8_000.0 * scale) as usize).max(128),
+        ..SaConfig::default()
+    }
+}
+
+/// Batch-engine throughput under one probe-knob setting. Record sets are
+/// cloned *outside* the timed region: the clone is harness scaffolding,
+/// and on a matching-bound workload its allocator traffic would dilute
+/// the ratio under test.
+fn batch_qps(
+    images: &[Arc<Vec<u8>>],
+    records: &[Record],
+    cores: usize,
+    chunk_size: usize,
+    flat: bool,
+) -> f64 {
+    let runtime = Runtime::new(RuntimeConfig {
+        n_executors: cores,
+        chunk_size,
+        flat_ngram_probe: flat,
+        ..RuntimeConfig::default()
+    });
+    let ids = pretzel_bench::register_all(&runtime, images).unwrap();
+    for &id in &ids {
+        let _ = runtime
+            .predict_batch_wait(id, records[..records.len().min(16)].to_vec())
+            .unwrap();
+    }
+    let total = ids.len() * records.len();
+    let repeats = env_usize("PRETZEL_REPEAT", 5).max(1);
+    let mut best = f64::MIN;
+    for _ in 0..repeats {
+        let sets: Vec<Vec<Record>> = ids.iter().map(|_| records.to_vec()).collect();
+        let (_, elapsed) = time_it(|| {
+            let handles: Vec<_> = ids
+                .iter()
+                .zip(sets)
+                .map(|(&id, set)| runtime.predict_batch(id, set).unwrap())
+                .collect();
+            for h in handles {
+                h.wait().unwrap();
+            }
+        });
+        best = best.max(total as f64 / elapsed.as_secs_f64());
+    }
+    best
+}
+
+/// Request-response (single-record, borrowed-source) throughput under one
+/// probe-knob setting — the latency path runs the same matching kernels.
+fn rr_qps(images: &[Arc<Vec<u8>>], records: &[Record], flat: bool) -> f64 {
+    let runtime = Runtime::new(RuntimeConfig {
+        n_executors: 1,
+        flat_ngram_probe: flat,
+        ..RuntimeConfig::default()
+    });
+    let ids = pretzel_bench::register_all(&runtime, images).unwrap();
+    let lines: Vec<&str> = records
+        .iter()
+        .map(|r| match r {
+            Record::Text(s) => s.as_str(),
+            _ => unreachable!("SA records are text"),
+        })
+        .collect();
+    for &id in &ids {
+        let _ = runtime.predict(id, lines[0]).unwrap();
+    }
+    let total = ids.len() * lines.len();
+    let repeats = env_usize("PRETZEL_REPEAT", 5).max(1);
+    let mut best = f64::MIN;
+    for _ in 0..repeats {
+        let (_, elapsed) = time_it(|| {
+            for &id in &ids {
+                for &line in &lines {
+                    let _ = runtime.predict(id, line).unwrap();
+                }
+            }
+        });
+        best = best.max(total as f64 / elapsed.as_secs_f64());
+    }
+    best
+}
+
+fn chunk_sizes() -> Vec<usize> {
+    std::env::var("PRETZEL_CHUNKS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![64, 256])
+}
+
+fn main() {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let cores = env_usize("PRETZEL_CORES", avail.saturating_sub(1).max(1)).max(1);
+    let batch = env_usize("PRETZEL_BATCH", 512);
+    let chunks = chunk_sizes();
+
+    let sa = pretzel_workload::sa::build(&probe_sa_config());
+    let mut reviews = ReviewGen::new(71, sa.vocab.len(), 1.2);
+    let records: Vec<Record> = (0..batch)
+        .map(|_| Record::Text(format!("4,{}", reviews.review(10, 25))))
+        .collect();
+    let images = images_of(&sa.graphs);
+
+    let mut entries: Vec<BenchEntry> = Vec::new();
+    let mut rows = Vec::new();
+    let mut best_ratio: f64 = 0.0;
+    for &chunk in &chunks {
+        let hashmap = batch_qps(&images, &records, cores, chunk, false);
+        let flat = batch_qps(&images, &records, cores, chunk, true);
+        for (mode, v) in [("hashmap", hashmap), ("flat", flat)] {
+            entries.push(BenchEntry {
+                category: "SA".into(),
+                mode: mode.into(),
+                chunk_size: chunk,
+                cores,
+                records_per_sec: v,
+            });
+        }
+        best_ratio = best_ratio.max(flat / hashmap);
+        rows.push(vec![
+            "SA-batch".into(),
+            chunk.to_string(),
+            format!("{hashmap:.0}"),
+            format!("{flat:.0}"),
+            format!("{:.2}x", flat / hashmap),
+        ]);
+    }
+
+    let rr_hashmap = rr_qps(&images, &records[..records.len().min(64)], false);
+    let rr_flat = rr_qps(&images, &records[..records.len().min(64)], true);
+    for (mode, v) in [("hashmap", rr_hashmap), ("flat", rr_flat)] {
+        entries.push(BenchEntry {
+            category: "SA_rr".into(),
+            mode: mode.into(),
+            chunk_size: 1,
+            cores: 1,
+            records_per_sec: v,
+        });
+    }
+    rows.push(vec![
+        "SA-rr".into(),
+        "1".into(),
+        format!("{rr_hashmap:.0}"),
+        format!("{rr_flat:.0}"),
+        format!("{:.2}x", rr_flat / rr_hashmap),
+    ]);
+
+    // Headline `SA` = the best knob-flip ratio across the measured SA
+    // configurations (batch chunk sizes and the request-response engine),
+    // the same best-over-configurations convention `ablation_columnar`
+    // uses for its per-category headline: the probe path serves both
+    // engines, and which one exposes it best varies with core count and
+    // scheduler overhead.
+    let rr_ratio = rr_flat / rr_hashmap;
+    let speedups = vec![
+        ("SA".to_string(), best_ratio.max(rr_ratio)),
+        ("SA_batch".to_string(), best_ratio),
+        ("SA_rr".to_string(), rr_ratio),
+    ];
+
+    print_table(
+        &format!(
+            "Ablation: flat prefiltered n-gram probe vs HashMap control \
+             ({} models x {batch} records, {cores} cores)",
+            images.len()
+        ),
+        &["engine", "chunk", "hashmap", "flat", "speedup"],
+        &rows,
+    );
+    println!(
+        "  expected shape — the SA pipelines are matching-bound, so the \
+         probe-path rewrite is the bottleneck variable; dictionaries large \
+         enough to spill L2 gain the most from the prefilter + prefetch"
+    );
+
+    pretzel_bench::write_bench_json("BENCH_ngram_probe.json", "ngram_probe", &entries, &speedups)
+        .expect("write BENCH_ngram_probe.json");
+    println!("\nwrote BENCH_ngram_probe.json");
+}

@@ -498,7 +498,21 @@ fn handle_request_columnar(
     let pool = Arc::clone(runtime.ingest_pool());
     let ty = wire_batch_type(kind, &cur)?;
     let rows_hint = assembler_rows_hint(&ty, n, cur.remaining());
-    let mut asm = BatchAssembler::new(pool.acquire_batch(ty, rows_hint));
+    // Per-row content hashing is only worth a pass over every record byte
+    // when something will consume the hashes: the sub-plan materialization
+    // cache, or this request's result-cache lookup (single-record requests
+    // against a configured cache — the only shape the result cache
+    // serves). Otherwise decode without it — on matching-bound text
+    // workloads that pass was the wire-columnar path's measurable
+    // overhead vs Record staging.
+    let want_hashes = runtime.materialization_cache().is_some()
+        || (flags & FLAG_RESULT_CACHE != 0 && n == 1 && cache.is_some());
+    let lease = pool.acquire_batch(ty, rows_hint);
+    let mut asm = if want_hashes {
+        BatchAssembler::new(lease)
+    } else {
+        BatchAssembler::new_unhashed(lease)
+    };
     let release = |asm: BatchAssembler| pool.release_batch(asm.finish().0);
     for _ in 0..n {
         let decoded = match kind {
@@ -514,7 +528,9 @@ fn handle_request_columnar(
 
     // Prediction-result cache: single-record requests only (multi-record
     // requests are batch jobs where caching individual rows buys little).
-    let use_cache = flags & FLAG_RESULT_CACHE != 0 && n == 1;
+    // `use_cache` implies `want_hashes` above, so `asm.hash(0)` is always
+    // populated on this path.
+    let use_cache = flags & FLAG_RESULT_CACHE != 0 && n == 1 && cache.is_some();
     if use_cache {
         if let Some(cache) = cache {
             if let Some(&score) = cache.lock().get(&(plan, asm.hash(0))) {
@@ -531,15 +547,24 @@ fn handle_request_columnar(
                 "delayed batching not enabled on this front end".into(),
             ));
         };
-        let row_hash = asm.hash(0);
+        // Only a result-cache insert reads this, and `use_cache` implies
+        // the assembler hashed at decode.
+        let row_hash = if use_cache { asm.hash(0) } else { 0 };
         let (tx, rx) = mpsc::channel();
         let appended = {
             let mut pending = batcher.pending.lock();
             let entry = pending.entry(plan).or_insert_with(|| {
                 // The per-plan accumulator leases its own batch; rows of
-                // the same plan pack together until the next flush.
+                // the same plan pack together until the next flush. It
+                // starts unhashed unless the materialization cache needs
+                // hashes; a hashed request appending later upgrades it.
+                let lease = pool.acquire_batch(asm.column_type(), 16);
                 PendingBatch::Assembled {
-                    assembler: BatchAssembler::new(pool.acquire_batch(asm.column_type(), 16)),
+                    assembler: if runtime.materialization_cache().is_some() {
+                        BatchAssembler::new(lease)
+                    } else {
+                        BatchAssembler::new_unhashed(lease)
+                    },
                     senders: Vec::new(),
                 }
             });

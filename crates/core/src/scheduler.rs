@@ -84,8 +84,12 @@ pub struct AssembledBatch {
 impl AssembledBatch {
     /// Wraps assembled rows and their parallel content hashes; `home` is
     /// the pool the batch buffer returns to when the request completes.
+    ///
+    /// `hashes` may be **empty** (the ingest path skips hashing when no
+    /// cache will consume it); consumers then hash rows on demand through
+    /// [`Self::hash_of`].
     pub fn new(rows: ColumnBatch, hashes: Vec<u64>, home: Option<Arc<VectorPool>>) -> Result<Self> {
-        if hashes.len() != rows.rows() {
+        if !hashes.is_empty() && hashes.len() != rows.rows() {
             return Err(DataError::Runtime(format!(
                 "assembled batch has {} rows but {} hashes",
                 rows.rows(),
@@ -93,6 +97,17 @@ impl AssembledBatch {
             )));
         }
         Ok(AssembledBatch { rows, hashes, home })
+    }
+
+    /// Content hash of row `i`: the ingest-time hash when recorded,
+    /// otherwise computed from the packed row (same bytes, same shared
+    /// helpers, same value).
+    pub fn hash_of(&self, i: usize) -> u64 {
+        if self.hashes.is_empty() {
+            pretzel_data::ingest::hash_row(self.rows.row(i))
+        } else {
+            self.hashes[i]
+        }
     }
 
     /// The assembled source rows.
@@ -154,12 +169,13 @@ impl BatchInput {
         }
     }
 
-    /// Content hash of row `i` (assembled inputs carry theirs from ingest;
-    /// staged records hash on demand, as the pre-assembler path always did).
+    /// Content hash of row `i` (assembled inputs carry theirs from ingest
+    /// when recorded; staged records and unhashed assemblies hash on
+    /// demand, as the pre-assembler path always did).
     fn hash_at(&self, i: usize) -> u64 {
         match self {
             BatchInput::Records(r) => r[i].as_source().content_hash(),
-            BatchInput::Assembled(a) => a.hashes[i],
+            BatchInput::Assembled(a) => a.hash_of(i),
         }
     }
 }
@@ -322,19 +338,30 @@ pub struct SchedStats {
     pub records_done: AtomicU64,
 }
 
-/// One plan's reserved executor: its private queue plus the thread handle,
-/// so [`Scheduler::unreserve`] can close the queue and join the thread.
+/// One plan's reserved executor: its private queue, pool and thread
+/// handle, so [`Scheduler::unreserve`] can close the queue and join the
+/// thread, and deploy-time warming can reach the pool.
 #[derive(Debug)]
 struct ReservedExec {
     queue: Arc<DualQueue>,
+    pool: Arc<VectorPool>,
     handle: Option<JoinHandle<()>>,
 }
+
+/// How many working sets deploy-time warming pre-leases per executor pool:
+/// one for the chunk in flight plus one for a chunk whose lease is still
+/// queued between stages.
+const WARM_WORKING_SETS: usize = 2;
 
 /// The stage scheduler: executors, shared queues, reservations.
 #[derive(Debug)]
 pub struct Scheduler {
     shared: Arc<DualQueue>,
     executors: Vec<JoinHandle<()>>,
+    /// The per-executor pools, kept visible so deploy-time plan warming
+    /// can pre-lease working sets ("allocated per Executor to improve
+    /// locality", paper §4.2.1 — warming fills each executor's own pool).
+    exec_pools: Vec<Arc<VectorPool>>,
     reserved: Mutex<std::collections::HashMap<u32, ReservedExec>>,
     stats: Arc<SchedStats>,
     pooling: bool,
@@ -364,20 +391,27 @@ impl Scheduler {
     ) -> Self {
         let shared = Arc::new(DualQueue::default());
         let stats = Arc::new(SchedStats::default());
-        let executors = (0..n_executors.max(1))
-            .map(|i| {
+        let exec_pools: Vec<Arc<VectorPool>> = (0..n_executors.max(1))
+            .map(|_| Arc::new(new_pool(pooling)))
+            .collect();
+        let executors = exec_pools
+            .iter()
+            .enumerate()
+            .map(|(i, pool)| {
                 let queue = Arc::clone(&shared);
                 let stats = Arc::clone(&stats);
                 let cache = cache.clone();
+                let pool = Arc::clone(pool);
                 std::thread::Builder::new()
                     .name(format!("pretzel-exec-{i}"))
-                    .spawn(move || executor_loop(queue, stats, pooling, columnar, cache))
+                    .spawn(move || executor_loop(queue, stats, pool, columnar, cache))
                     .expect("spawn executor")
             })
             .collect();
         Scheduler {
             shared,
             executors,
+            exec_pools,
             reserved: Mutex::new(std::collections::HashMap::new()),
             stats,
             pooling,
@@ -407,21 +441,73 @@ impl Scheduler {
         }
         let queue = Arc::new(DualQueue::default());
         let stats = Arc::clone(&self.stats);
-        let pooling = self.pooling;
         let columnar = self.columnar;
         let cache = self.cache.clone();
+        let pool = Arc::new(new_pool(self.pooling));
         let q = Arc::clone(&queue);
+        let p = Arc::clone(&pool);
         let handle = std::thread::Builder::new()
             .name(format!("pretzel-reserved-{plan_id}"))
-            .spawn(move || executor_loop(q, stats, pooling, columnar, cache))
+            .spawn(move || executor_loop(q, stats, p, columnar, cache))
             .expect("spawn reserved executor");
         reserved.insert(
             plan_id,
             ReservedExec {
                 queue,
+                pool,
                 handle: Some(handle),
             },
         );
+    }
+
+    /// Deploy-time plan warming for the batch engine: pre-leases the
+    /// pools that will actually serve `plan_id` — its dedicated pool when
+    /// the plan is reserved, the shared executor pools otherwise — with
+    /// the plan's working-set and scratch buffers, sized from training
+    /// statistics, so the first post-deploy (or post-swap) chunk pays no
+    /// pool misses. The same upfront-payment discipline the
+    /// request-response pool gets at registration (paper §4.2.1), without
+    /// parking working sets in pools the plan's chunks never lease from.
+    pub fn warm_plan(&self, plan_id: u32, plan: &ModelPlan) {
+        if !self.pooling {
+            return;
+        }
+        let reserved = self.reserved.lock();
+        let own_reserved = reserved.get(&plan_id).map(|r| &r.pool);
+        let pools: Vec<&Arc<VectorPool>> = match own_reserved {
+            Some(pool) => vec![pool],
+            None => self.exec_pools.iter().collect(),
+        };
+        for pool in pools {
+            let defs = plan
+                .slots
+                .iter()
+                .chain(plan.stages.iter().flat_map(|s| s.scratch.iter()));
+            for def in defs {
+                if self.columnar {
+                    pool.warm_batches(def.ty, self.chunk_size, def.max_stored, WARM_WORKING_SETS);
+                } else {
+                    pool.warm_sized(def.ty, def.max_stored, self.chunk_size * WARM_WORKING_SETS);
+                }
+            }
+        }
+    }
+
+    /// Aggregate `(hits, misses)` across every executor pool (shared and
+    /// reserved) — the observable the deploy-time warming tests gate on.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        let reserved = self.reserved.lock();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for pool in self
+            .exec_pools
+            .iter()
+            .chain(reserved.values().map(|r| &r.pool))
+        {
+            hits += pool.stats().hits();
+            misses += pool.stats().misses();
+        }
+        (hits, misses)
     }
 
     /// Tears down a plan's reservation: removes the queue from the routing
@@ -587,20 +673,24 @@ impl Drop for Scheduler {
     }
 }
 
-fn executor_loop(
-    queue: Arc<DualQueue>,
-    stats: Arc<SchedStats>,
-    pooling: bool,
-    columnar: bool,
-    cache: Option<Arc<MaterializationCache>>,
-) {
-    // Per-executor resources, allocated once: "vector pools are allocated
-    // per Executor to improve locality" (paper §4.2.1).
-    let pool = Arc::new(if pooling {
+/// Builds one executor's pool ("vector pools are allocated per Executor to
+/// improve locality", paper §4.2.1); the scheduler keeps a handle so
+/// deploy-time warming and stats can reach it.
+fn new_pool(pooling: bool) -> VectorPool {
+    if pooling {
         VectorPool::new()
     } else {
         VectorPool::disabled()
-    });
+    }
+}
+
+fn executor_loop(
+    queue: Arc<DualQueue>,
+    stats: Arc<SchedStats>,
+    pool: Arc<VectorPool>,
+    columnar: bool,
+    cache: Option<Arc<MaterializationCache>>,
+) {
     let mut ctx = ExecCtx::new(Arc::clone(&pool));
     if let Some(c) = cache {
         ctx = ctx.with_cache(c);
@@ -680,9 +770,15 @@ fn run_chunk_stage(
                     ),
                     // Assembled inputs carry their hashes from ingest
                     // (computed over the same bytes with the same shared
-                    // helpers, so cache keys are identical).
+                    // helpers, so cache keys are identical); an unhashed
+                    // assembly — built while no cache was configured —
+                    // hashes its rows here instead.
                     BatchInput::Assembled(a) => {
-                        ctx.source_hashes.extend_from_slice(&a.hashes()[start..end]);
+                        if a.hashes().is_empty() {
+                            ctx.source_hashes.extend((start..end).map(|i| a.hash_of(i)));
+                        } else {
+                            ctx.source_hashes.extend_from_slice(&a.hashes()[start..end]);
+                        }
                     }
                 }
             }

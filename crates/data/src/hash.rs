@@ -45,6 +45,14 @@ impl Fnv1a {
         self.state = h;
     }
 
+    /// Feeds one byte: the hot-loop form of `write(&[b])`, used by the
+    /// incremental n-gram window hashing where a position's length-`k` hash
+    /// extends its length-`k−1` hash one byte at a time.
+    #[inline(always)]
+    pub fn push_byte(&mut self, b: u8) {
+        self.state = (self.state ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+
     /// Feeds a little-endian `u64` into the hash state.
     pub fn write_u64(&mut self, v: u64) {
         self.write(&v.to_le_bytes());
@@ -183,6 +191,15 @@ mod tests {
         h.write(b"foo");
         h.write(b"bar");
         assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn push_byte_equals_write() {
+        let mut a = Fnv1a::new();
+        for &b in b"foobar" {
+            a.push_byte(b);
+        }
+        assert_eq!(a.finish(), fnv1a(b"foobar"));
     }
 
     #[test]

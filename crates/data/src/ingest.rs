@@ -16,6 +16,14 @@
 //! the canonical per-record identities used by the FrontEnd result cache
 //! and the sub-plan materialization cache, so every ingest path produces
 //! identical keys for identical record bytes.
+//!
+//! Hashing is **opt-out**: when no cache will consume the hashes (no
+//! materialization cache configured, no result-cache flag on the request)
+//! the decoder skips the extra pass over every record's bytes
+//! ([`BatchAssembler::new_unhashed`]) — on matching-bound text workloads
+//! that pass was a measurable share of the ingest path. An unhashed
+//! assembler upgrades itself on demand ([`BatchAssembler::ensure_hashes`]),
+//! producing the identical hashes from the packed rows.
 
 use crate::batch::{ColRef, ColumnBatch};
 use crate::hash::{content_hash_dense, content_hash_sparse, content_hash_text, Fnv1a};
@@ -29,15 +37,31 @@ use crate::{DataError, Result};
 pub struct BatchAssembler {
     rows: ColumnBatch,
     hashes: Vec<u64>,
+    hashing: bool,
 }
 
 impl BatchAssembler {
     /// Wraps a (typically pool-leased) batch; any stale rows are cleared.
-    pub fn new(mut rows: ColumnBatch) -> Self {
+    /// Rows are content-hashed as they decode.
+    pub fn new(rows: ColumnBatch) -> Self {
+        Self::with_hashing(rows, true)
+    }
+
+    /// Like [`Self::new`], but skips per-row content hashing — the fast
+    /// path when no cache will consume the hashes. [`Self::finish`] then
+    /// returns an empty hash vector (consumers compute on demand), and
+    /// [`Self::ensure_hashes`] upgrades in place if a hash-needing request
+    /// joins the batch later.
+    pub fn new_unhashed(rows: ColumnBatch) -> Self {
+        Self::with_hashing(rows, false)
+    }
+
+    fn with_hashing(mut rows: ColumnBatch, hashing: bool) -> Self {
         rows.reset();
         BatchAssembler {
             rows,
             hashes: Vec::new(),
+            hashing,
         }
     }
 
@@ -61,17 +85,41 @@ impl BatchAssembler {
         &self.rows
     }
 
-    /// Per-row content hashes, parallel to the rows.
+    /// Per-row content hashes, parallel to the rows (empty when assembled
+    /// without hashing).
     pub fn hashes(&self) -> &[u64] {
         &self.hashes
     }
 
+    /// True if this assembler records content hashes as rows decode.
+    pub fn is_hashing(&self) -> bool {
+        self.hashing
+    }
+
     /// Content hash of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the assembler was built unhashed and
+    /// [`Self::ensure_hashes`] has not run — callers that need hashes
+    /// decide so at construction time.
     pub fn hash(&self, i: usize) -> u64 {
         self.hashes[i]
     }
 
-    /// Takes the assembled batch and its per-row hashes.
+    /// Upgrades an unhashed assembler in place: computes the content hash
+    /// of every row not yet covered (from the packed row bytes, via the
+    /// same shared helpers, so the hashes are identical to decode-time
+    /// hashing) and turns hashing on for subsequent rows.
+    pub fn ensure_hashes(&mut self) {
+        for i in self.hashes.len()..self.rows.rows() {
+            self.hashes.push(hash_row(self.rows.row(i)));
+        }
+        self.hashing = true;
+    }
+
+    /// Takes the assembled batch and its per-row hashes (empty when
+    /// assembled without hashing).
     pub fn finish(self) -> (ColumnBatch, Vec<u64>) {
         (self.rows, self.hashes)
     }
@@ -79,14 +127,18 @@ impl BatchAssembler {
     /// Appends a text row.
     pub fn push_text(&mut self, s: &str) -> Result<()> {
         self.rows.push_text(s)?;
-        self.hashes.push(content_hash_text(s));
+        if self.hashing {
+            self.hashes.push(content_hash_text(s));
+        }
         Ok(())
     }
 
     /// Appends a dense row; its length must match the batch width.
     pub fn push_dense(&mut self, xs: &[f32]) -> Result<()> {
         self.rows.push_row(ColRef::Dense(xs))?;
-        self.hashes.push(content_hash_dense(xs));
+        if self.hashing {
+            self.hashes.push(content_hash_dense(xs));
+        }
         Ok(())
     }
 
@@ -115,16 +167,32 @@ impl BatchAssembler {
             values,
             dim,
         })?;
-        self.hashes.push(content_hash_sparse(indices, values, dim));
+        if self.hashing {
+            self.hashes.push(content_hash_sparse(indices, values, dim));
+        }
         Ok(())
     }
 
     /// Appends all rows (and hashes) of `other`: the delayed batcher merges
     /// single-request assemblers into its per-plan accumulator with one
     /// bulk copy.
+    ///
+    /// Hashing state follows the **accumulator**, not the appended
+    /// request: an unhashed accumulator exists precisely because none of
+    /// its downstream consumers read hashes, so a hashed request joining
+    /// it simply drops its hashes (any later on-demand consumer goes
+    /// through [`Self::ensure_hashes`]/`hash_of`); a hashed accumulator
+    /// fed an unhashed request gap-fills from the packed rows (identical
+    /// bytes, identical hashes).
     pub fn append_assembled(&mut self, other: &BatchAssembler) -> Result<()> {
         self.rows.extend_from_range(&other.rows, 0, other.rows())?;
-        self.hashes.extend_from_slice(&other.hashes);
+        if self.hashing {
+            if other.hashing {
+                self.hashes.extend_from_slice(&other.hashes);
+            } else {
+                self.ensure_hashes();
+            }
+        }
         Ok(())
     }
 
@@ -154,13 +222,19 @@ impl BatchAssembler {
             )));
         }
         let row = self.rows.push_dense_row()?;
-        let mut h = Fnv1a::new();
-        for slot in row.iter_mut() {
-            let v = cur.f32()?;
-            *slot = v;
-            h.write_f32(v);
+        if self.hashing {
+            let mut h = Fnv1a::new();
+            for slot in row.iter_mut() {
+                let v = cur.f32()?;
+                *slot = v;
+                h.write_f32(v);
+            }
+            self.hashes.push(h.finish());
+        } else {
+            for slot in row.iter_mut() {
+                *slot = cur.f32()?;
+            }
         }
-        self.hashes.push(h.finish());
         Ok(())
     }
 
@@ -194,6 +268,7 @@ impl BatchAssembler {
             _ => unreachable!("column type checked above"),
         };
         let tail = indices.len();
+        let hashing = self.hashing;
         let mut decode = || -> Result<u64> {
             for _ in 0..nnz {
                 indices.push(cur.u32()?);
@@ -202,12 +277,18 @@ impl BatchAssembler {
             for _ in 0..nnz {
                 values.push(cur.f32()?);
             }
-            Ok(content_hash_sparse(&indices[tail..], &values[tail..], dim))
+            Ok(if hashing {
+                content_hash_sparse(&indices[tail..], &values[tail..], dim)
+            } else {
+                0
+            })
         };
         match decode() {
             Ok(hash) => {
                 bounds.push(indices.len() as u32);
-                self.hashes.push(hash);
+                if hashing {
+                    self.hashes.push(hash);
+                }
                 Ok(())
             }
             Err(e) => {
@@ -218,6 +299,23 @@ impl BatchAssembler {
                 Err(e)
             }
         }
+    }
+}
+
+/// Content hash of one packed source row — the same identity the
+/// decode-time hashing produces for the same bytes (shared helpers from
+/// [`crate::hash`]). Non-source rows (tokens, scalars) hash to 0; they
+/// never key a cache.
+pub fn hash_row(row: ColRef<'_>) -> u64 {
+    match row {
+        ColRef::Text(s) => content_hash_text(s),
+        ColRef::Dense(xs) => content_hash_dense(xs),
+        ColRef::Sparse {
+            indices,
+            values,
+            dim,
+        } => content_hash_sparse(indices, values, dim),
+        ColRef::Tokens(_) | ColRef::Scalar(_) => 0,
     }
 }
 
@@ -364,5 +462,88 @@ mod tests {
         b.push_text("stale").unwrap();
         let a = BatchAssembler::new(b);
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn unhashed_assembly_skips_hashes_and_upgrades_on_demand() {
+        let mut a = BatchAssembler::new_unhashed(ColumnBatch::with_type(ColumnType::Text));
+        assert!(!a.is_hashing());
+        a.push_text("hello").unwrap();
+        let mut body = Vec::new();
+        wire::put_str(&mut body, "world");
+        a.decode_text_row(&mut Cursor::new(&body)).unwrap();
+        assert_eq!(a.rows(), 2);
+        assert!(a.hashes().is_empty(), "no hashing pass on the fast path");
+        // Upgrading computes the identical hashes from the packed rows.
+        a.ensure_hashes();
+        assert!(a.is_hashing());
+        assert_eq!(a.hash(0), content_hash_text("hello"));
+        assert_eq!(a.hash(1), content_hash_text("world"));
+        // Rows pushed after the upgrade hash at decode time again.
+        a.push_text("later").unwrap();
+        assert_eq!(a.hash(2), content_hash_text("later"));
+    }
+
+    #[test]
+    fn unhashed_dense_and_sparse_rows_decode_identically() {
+        let mut hashed =
+            BatchAssembler::new(ColumnBatch::with_type(ColumnType::F32Dense { len: 3 }));
+        let mut plain =
+            BatchAssembler::new_unhashed(ColumnBatch::with_type(ColumnType::F32Dense { len: 3 }));
+        let mut body = Vec::new();
+        wire::put_f32s(&mut body, &[1.0, -2.0, 0.5]);
+        hashed.decode_dense_row(&mut Cursor::new(&body)).unwrap();
+        plain.decode_dense_row(&mut Cursor::new(&body)).unwrap();
+        assert_eq!(hashed.batch(), plain.batch(), "same decoded rows");
+        assert!(plain.hashes().is_empty());
+
+        let mut sp =
+            BatchAssembler::new_unhashed(ColumnBatch::with_type(ColumnType::F32Sparse { len: 8 }));
+        sp.push_sparse(&[1, 5], &[2.0, -1.0]).unwrap();
+        assert!(sp.hashes().is_empty());
+        sp.ensure_hashes();
+        assert_eq!(sp.hash(0), content_hash_sparse(&[1, 5], &[2.0, -1.0], 8));
+    }
+
+    #[test]
+    fn append_assembled_follows_accumulator_hashing() {
+        // Unhashed accumulator: stays lazy no matter what joins it — its
+        // consumers do not read hashes (that is why it is unhashed).
+        let mut acc = BatchAssembler::new_unhashed(ColumnBatch::with_type(ColumnType::Text));
+        let mut plain = BatchAssembler::new_unhashed(ColumnBatch::with_type(ColumnType::Text));
+        plain.push_text("quiet").unwrap();
+        acc.append_assembled(&plain).unwrap();
+        assert!(acc.hashes().is_empty(), "unhashed + unhashed stays lazy");
+        let mut hashed = BatchAssembler::new(ColumnBatch::with_type(ColumnType::Text));
+        hashed.push_text("loud").unwrap();
+        acc.append_assembled(&hashed).unwrap();
+        assert!(
+            acc.hashes().is_empty(),
+            "a hashed request must not force hashing onto a consumer-less accumulator"
+        );
+        // On-demand upgrade still produces the full, correct hash set.
+        acc.ensure_hashes();
+        assert_eq!(acc.hash(0), content_hash_text("quiet"));
+        assert_eq!(acc.hash(1), content_hash_text("loud"));
+
+        // Hashed accumulator: gap-fills when an unhashed request joins.
+        let mut hacc = BatchAssembler::new(ColumnBatch::with_type(ColumnType::Text));
+        hacc.push_text("first").unwrap();
+        let mut lazy = BatchAssembler::new_unhashed(ColumnBatch::with_type(ColumnType::Text));
+        lazy.push_text("second").unwrap();
+        hacc.append_assembled(&lazy).unwrap();
+        assert_eq!(hacc.hashes().len(), 2);
+        assert_eq!(hacc.hash(0), content_hash_text("first"));
+        assert_eq!(hacc.hash(1), content_hash_text("second"));
+    }
+
+    #[test]
+    fn hash_row_matches_decode_time_hashing() {
+        let mut b = ColumnBatch::with_type(ColumnType::Text);
+        b.push_text("same bytes").unwrap();
+        assert_eq!(hash_row(b.row(0)), content_hash_text("same bytes"));
+        let mut d = ColumnBatch::with_type(ColumnType::F32Dense { len: 2 });
+        d.push_row(ColRef::Dense(&[1.5, -2.5])).unwrap();
+        assert_eq!(hash_row(d.row(0)), content_hash_dense(&[1.5, -2.5]));
     }
 }

@@ -24,6 +24,10 @@
 //!   live heap bytes per configuration (paper §5.1).
 //! * [`hash`] — small non-cryptographic hash utilities (feature hashing,
 //!   parameter checksums, input hashing for sub-plan materialization).
+//! * [`probe`] — [`probe::FlatProbeTable`], the bitmap-prefiltered
+//!   one-line-per-probe open-addressing table behind the n-gram
+//!   dictionary's matching path, and the process-wide flat-vs-`HashMap`
+//!   probe knob.
 //!
 //! [`pretzel-core`]: ../pretzel_core/index.html
 //! [`pretzel-baseline`]: ../pretzel_baseline/index.html
@@ -34,6 +38,7 @@ pub mod error;
 pub mod hash;
 pub mod ingest;
 pub mod pool;
+pub mod probe;
 pub mod schema;
 pub mod serde_bin;
 pub mod vector;

@@ -175,6 +175,27 @@ impl VectorPool {
             .fetch_sub(count as u64, Ordering::Relaxed);
     }
 
+    /// Pre-populates the batch free list with `count` batches of type
+    /// `ty`, each with storage reserved for `rows` rows of `stored_hint`
+    /// stored elements. Deploy-time plan warming for the batch engine: the
+    /// first post-deploy chunk leases a pre-built working set instead of
+    /// paying a pool miss. Like [`Self::warm_sized`], warming is the
+    /// upfront payment made at initialization/deploy time, so it leaves
+    /// the hit/miss/release counters untouched.
+    pub fn warm_batches(&self, ty: ColumnType, rows: usize, stored_hint: usize, count: usize) {
+        if !self.enabled {
+            return;
+        }
+        let mut g = self.batches.lock();
+        let class = g.entry(BatchClass::of(ty)).or_default();
+        for _ in 0..count {
+            if class.len() >= self.max_per_class {
+                break;
+            }
+            class.push(ColumnBatch::with_capacity_hint(ty, rows, stored_hint));
+        }
+    }
+
     /// Acquires a cleared buffer of type `ty`.
     pub fn acquire(&self, ty: ColumnType) -> Vector {
         if self.enabled {

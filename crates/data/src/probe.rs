@@ -1,0 +1,359 @@
+//! Flat open-addressing probe table for prehashed `u64` keys.
+//!
+//! The n-gram featurizers of the SA pipelines probe million-entry
+//! dictionaries once per candidate window (paper Figure 1, Table 1), and
+//! the dominant outcome is a **miss**: most windows of real text are not
+//! dictionary entries. A general-purpose `HashMap` pays for that miss with
+//! group-probing machinery sized for arbitrary keys; this table is
+//! purpose-built for the one case the matching kernels have — keys that
+//! are already good 64-bit hashes, a table built once and never mutated on
+//! the serving path — and optimizes the miss:
+//!
+//! * **power-of-two, load ≤ 0.5** open addressing with linear probing, so
+//!   the home-slot index is one multiply+shift away from the key and most
+//!   misses land on an empty home slot;
+//! * an **occupancy bitmap** (1 bit per slot, 128× denser than the slot
+//!   array) in front: a miss whose home slot is empty — the majority at
+//!   these loads — is rejected by one bit test in a structure small
+//!   enough to stay cache-resident when the slots cannot;
+//! * **interleaved `(hash, value)` slots**: the full 64-bit hash is both
+//!   membership tag and confirmation and shares its cache line with the
+//!   value, so a probe that survives the bitmap touches exactly one slot
+//!   cache line, hit or miss;
+//! * the slot index is a pure function of the key, which is what lets bulk
+//!   kernels **software-prefetch** the next window's slot while probing the
+//!   current one ([`FlatProbeTable::prefetch`]) — the memory-level
+//!   parallelism a chained `HashMap::get` loop never exposes.
+//!
+//! [`flat_probe`] is the process-wide knob (default on) selecting this
+//! table over the `HashMap` control path in the n-gram kernels; both paths
+//! return identical hits for identical keys, so flipping it mid-run changes
+//! throughput, never results.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Fibonacci-hashing multiplier (2^64 / φ).
+const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Process-wide probe-path selector: flat table (default) vs `HashMap`.
+static FLAT_PROBE: AtomicBool = AtomicBool::new(true);
+
+/// Selects the probe path the n-gram matching kernels use: `true` (the
+/// default) probes the flat table, `false` keeps the `HashMap` control
+/// path. Both are bitwise-identical in results; the knob is the ablation
+/// switch (`RuntimeConfig::flat_ngram_probe` at the runtime layer).
+pub fn set_flat_probe(on: bool) {
+    FLAT_PROBE.store(on, Ordering::Relaxed);
+}
+
+/// True if the flat probe table is the active matching path.
+pub fn flat_probe() -> bool {
+    FLAT_PROBE.load(Ordering::Relaxed)
+}
+
+/// Table bytes above which bulk probe loops bother issuing software
+/// prefetch: a table this size no longer sits in L1/L2, so overlapping
+/// the next window's load pays; below it the prefetch instruction is pure
+/// overhead on a cache-resident structure.
+const PREFETCH_BYTES: usize = 256 << 10;
+
+/// A build-once, probe-many open-addressing table keyed by prehashed
+/// `u64`s. First insert per key wins (the n-gram dictionary's stable-index
+/// rule); there is no removal, so probe chains never cross tombstones.
+///
+/// Storage is an interleaved `(hash, value)` slot array behind the
+/// occupancy bitmap: the full 64-bit hash is both the membership tag and
+/// the confirmation, and it shares its cache line with the value — so a
+/// probe that survives the bitmap touches exactly **one** slot cache line,
+/// hit or miss. (A separate byte-tag lane was measured and rejected here:
+/// under multi-model serving the table is cold more often than hot, and a
+/// split tag lane turns every cold probe into two line fills. A 16-wide
+/// SIMD tag group scan à la Swiss tables remains the follow-up that could
+/// beat this layout for long chains.)
+#[derive(Debug, Clone)]
+pub struct FlatProbeTable {
+    /// `capacity - 1`; capacity is a power of two ≥ 2.
+    mask: usize,
+    /// `64 - log2(capacity)`: Fibonacci hashing takes the top bits.
+    shift: u32,
+    /// Interleaved slots; a slot is occupied iff its bitmap bit is set.
+    slots: Box<[Slot]>,
+    /// Occupancy bitmap, one bit per slot: the prefilter (8× denser than
+    /// even a byte-tag lane, so it stays cache-resident when the slot
+    /// array cannot) and the empty-slot oracle for chain termination.
+    bitmap: Box<[u64]>,
+    /// Precomputed: table large enough that bulk probes should prefetch.
+    prefetch_pays: bool,
+    len: usize,
+}
+
+/// One slot: full key hash (membership + confirmation) and its value.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    hash: u64,
+    val: u32,
+}
+
+impl FlatProbeTable {
+    /// Creates a table sized for `entries` keys at load factor ≤ 0.5
+    /// (power-of-two snapping keeps typical loads near 0.25–0.5). The low
+    /// load is deliberate and measured: the bitmap prefilter's whole
+    /// mechanism is rejecting empty-home misses with one bit test, and at
+    /// ≤ 0.5 that covers most misses while chains stay short — a tighter
+    /// 0.625 variant (hashbrown-parity footprint) cost the matching path
+    /// its entire end-to-end win.
+    pub fn with_capacity(entries: usize) -> Self {
+        let capacity = entries.saturating_mul(2).next_power_of_two().max(2);
+        let heap = capacity * std::mem::size_of::<Slot>() + capacity.div_ceil(64) * 8;
+        FlatProbeTable {
+            mask: capacity - 1,
+            shift: 64 - capacity.trailing_zeros(),
+            slots: vec![Slot::default(); capacity].into_boxed_slice(),
+            bitmap: vec![0u64; capacity.div_ceil(64)].into_boxed_slice(),
+            prefetch_pays: heap > PREFETCH_BYTES,
+            len: 0,
+        }
+    }
+
+    /// Builds a table from `(hash, value)` pairs, first pair per hash wins.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u64, u32)>) -> Self {
+        let iter = pairs.into_iter();
+        let mut t = FlatProbeTable::with_capacity(iter.size_hint().0);
+        for (h, v) in iter {
+            t.insert_first(h, v);
+        }
+        t
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slot count (power of two).
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    #[inline]
+    fn home(&self, hash: u64) -> usize {
+        // Fibonacci hashing: FNV-1a avalanches its high bits well; one
+        // multiply spreads any residual structure across the top `log2(cap)`
+        // bits the index uses.
+        (hash.wrapping_mul(GOLDEN) >> self.shift) as usize & self.mask
+    }
+
+    #[inline]
+    fn occupied(&self, i: usize) -> bool {
+        self.bitmap[i >> 6] & (1u64 << (i & 63)) != 0
+    }
+
+    /// Inserts `(hash, val)` if `hash` is absent; returns `false` (keeping
+    /// the resident value) when the key was already present. Grows by
+    /// rebuilding when the 0.5 load bound would be exceeded — tables are
+    /// built offline (dictionary construction), never on the serving path.
+    pub fn insert_first(&mut self, hash: u64, val: u32) -> bool {
+        if (self.len + 1) * 2 > self.capacity() {
+            self.grow();
+        }
+        let mut i = self.home(hash);
+        loop {
+            if !self.occupied(i) {
+                self.slots[i] = Slot { hash, val };
+                self.bitmap[i >> 6] |= 1u64 << (i & 63);
+                self.len += 1;
+                return true;
+            }
+            if self.slots[i].hash == hash {
+                return false;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        // `capacity + 1` entries always snaps to the next power of two, so
+        // every grow at least doubles (including the minimum-size table).
+        let mut bigger = FlatProbeTable::with_capacity(self.capacity() + 1);
+        for (i, s) in self.slots.iter().enumerate() {
+            if self.occupied(i) {
+                bigger.insert_first(s.hash, s.val);
+            }
+        }
+        *self = bigger;
+    }
+
+    /// Probes `hash`, returning its value if present.
+    #[inline]
+    pub fn probe(&self, hash: u64) -> Option<u32> {
+        let mut i = self.home(hash);
+        // Prefilter: an empty home slot — the dominant miss at load
+        // ≤ 0.5 — is rejected by one bit of the bitmap without touching
+        // the slot array. The bitmap is 128× denser than the slots, so it
+        // stays cache-resident when they cannot.
+        if !self.occupied(i) {
+            return None;
+        }
+        loop {
+            if self.slots[i].hash == hash {
+                return Some(self.slots[i].val);
+            }
+            i = (i + 1) & self.mask;
+            if !self.occupied(i) {
+                return None;
+            }
+        }
+    }
+
+    /// True when bulk probe loops should software-prefetch ahead: the
+    /// table spills the fast cache levels, so overlapping the next
+    /// window's load hides latency instead of wasting an instruction.
+    #[inline]
+    pub fn prefetch_pays(&self) -> bool {
+        self.prefetch_pays
+    }
+
+    /// Prefetches the home slot of `hash` into L1 (tag and hash lanes).
+    /// Bulk probe loops call this a few windows ahead so the dependent
+    /// loads of [`FlatProbeTable::probe`] overlap across windows.
+    #[inline]
+    pub fn prefetch(&self, hash: u64) {
+        let i = self.home(hash);
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `i <= mask`, so the pointer is in-bounds of the slot
+        // allocation; prefetch has no architectural effect beyond caches.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(self.slots.as_ptr().add(i).cast::<i8>(), _MM_HINT_T0);
+        }
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: in-bounds pointer; PRFM is a hint with no side effects.
+        unsafe {
+            let slot_ptr = self.slots.as_ptr().add(i);
+            std::arch::asm!(
+                "prfm pldl1keep, [{s}]",
+                s = in(reg) slot_ptr,
+                options(nostack, preserves_flags),
+            );
+        }
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        let _ = i;
+    }
+
+    /// Heap bytes of the table (slot array + bitmap).
+    pub fn heap_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<Slot>() + self.bitmap.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::splitmix64;
+
+    #[test]
+    fn empty_table_misses_everything() {
+        let t = FlatProbeTable::with_capacity(0);
+        assert!(t.is_empty());
+        for h in [0u64, 1, u64::MAX, 0xdead_beef] {
+            assert_eq!(t.probe(h), None);
+        }
+    }
+
+    #[test]
+    fn inserted_keys_are_found_and_first_wins() {
+        let mut t = FlatProbeTable::with_capacity(4);
+        assert!(t.insert_first(42, 7));
+        assert!(!t.insert_first(42, 9), "duplicate hash keeps first value");
+        assert_eq!(t.probe(42), Some(7));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut t = FlatProbeTable::with_capacity(1);
+        for k in 0..1000u64 {
+            t.insert_first(splitmix64(k), k as u32);
+        }
+        assert_eq!(t.len(), 1000);
+        assert!(t.capacity() >= 2000);
+        for k in 0..1000u64 {
+            assert_eq!(t.probe(splitmix64(k)), Some(k as u32), "key {k}");
+        }
+        for k in 1000..2000u64 {
+            assert_eq!(t.probe(splitmix64(k)), None, "absent key {k}");
+        }
+    }
+
+    #[test]
+    fn adversarial_low_entropy_hashes_still_resolve() {
+        // Sequential "hashes" (worst case for the tag byte and the home
+        // index) must still round-trip: linear probing + full-hash confirm.
+        let mut t = FlatProbeTable::with_capacity(64);
+        for h in 0..64u64 {
+            assert!(t.insert_first(h, (h * 3) as u32));
+        }
+        for h in 0..64u64 {
+            assert_eq!(t.probe(h), Some((h * 3) as u32));
+        }
+        assert_eq!(t.probe(64), None);
+    }
+
+    #[test]
+    fn matches_hashmap_reference_over_random_keys() {
+        let mut t = FlatProbeTable::with_capacity(0);
+        let mut reference = std::collections::HashMap::new();
+        let mut h = 0x1234_5678u64;
+        for k in 0..5000u32 {
+            h = splitmix64(h ^ u64::from(k % 997)); // forced duplicates
+            t.insert_first(h, k);
+            reference.entry(h).or_insert(k);
+        }
+        for (&hash, &val) in &reference {
+            assert_eq!(t.probe(hash), Some(val));
+        }
+        assert_eq!(t.len(), reference.len());
+        let mut probe = 99u64;
+        for _ in 0..5000 {
+            probe = splitmix64(probe);
+            assert_eq!(t.probe(probe), reference.get(&probe).copied());
+        }
+    }
+
+    #[test]
+    fn from_pairs_builds_first_wins() {
+        let t = FlatProbeTable::from_pairs([(1, 10), (2, 20), (1, 30)]);
+        assert_eq!(t.probe(1), Some(10));
+        assert_eq!(t.probe(2), Some(20));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn heap_bytes_scale_with_capacity() {
+        let small = FlatProbeTable::with_capacity(4);
+        let big = FlatProbeTable::with_capacity(4096);
+        assert!(big.heap_bytes() > small.heap_bytes() * 100);
+    }
+
+    #[test]
+    fn prefetch_is_safe_on_any_key() {
+        let t = FlatProbeTable::from_pairs([(7, 1)]);
+        for h in [0u64, 7, u64::MAX] {
+            t.prefetch(h); // must not fault
+        }
+    }
+
+    #[test]
+    fn knob_round_trips() {
+        assert!(flat_probe(), "flat probing is the default");
+        set_flat_probe(false);
+        assert!(!flat_probe());
+        set_flat_probe(true);
+        assert!(flat_probe());
+    }
+}

@@ -41,16 +41,24 @@ impl ScalerParams {
         Annotations::compute()
     }
 
+    /// Applies the affine map to one dense row. Shared by the per-record,
+    /// batch, and borrowed-row kernels, so their bitwise agreement rests on
+    /// one implementation; the single pass over three slices
+    /// auto-vectorizes.
+    #[inline]
+    pub(crate) fn scale_row(&self, x: &[f32], y: &mut [f32]) {
+        for i in 0..x.len() {
+            y[i] = (x[i] - self.offset[i]) * self.scale[i];
+        }
+    }
+
     /// Applies the affine map from `input` into `out` (dense → dense).
     pub fn apply(&self, input: &Vector, out: &mut Vector) -> Result<()> {
         match (input, out) {
             (Vector::Dense(x), Vector::Dense(y))
                 if x.len() == self.dim() && y.len() == self.dim() =>
             {
-                // Single pass over three slices: auto-vectorizes.
-                for i in 0..x.len() {
-                    y[i] = (x[i] - self.offset[i]) * self.scale[i];
-                }
+                self.scale_row(x, y);
                 Ok(())
             }
             (input, _) => Err(DataError::Runtime(format!(
@@ -72,9 +80,7 @@ impl ScalerParams {
         }
         let y = out.fill_dense(rows)?;
         for (xr, yr) in x.chunks_exact(dim).zip(y.chunks_exact_mut(dim)) {
-            for i in 0..dim {
-                yr[i] = (xr[i] - self.offset[i]) * self.scale[i];
-            }
+            self.scale_row(xr, yr);
         }
         Ok(())
     }

@@ -441,6 +441,26 @@ impl Op {
                     ))),
                 }
             }
+            // Dense featurizer chain: scaler and PCA score straight off the
+            // borrowed dense row through the same row helpers their apply
+            // and eval_batch kernels share, so dense pipelines no longer
+            // pay the one-time slot-0 materialization copy. Shape
+            // mismatches fall back (`Ok(false)`) so the classic path
+            // reports its usual errors.
+            (Op::Scaler(p), ColRef::Dense(x)) if x.len() == p.dim() => match out {
+                Vector::Dense(y) if y.len() == p.dim() => {
+                    p.scale_row(x, y);
+                    Ok(true)
+                }
+                _ => Ok(false),
+            },
+            (Op::Pca(p), ColRef::Dense(x)) if x.len() == p.dim as usize => match out {
+                Vector::Dense(y) if y.len() == p.m as usize => {
+                    p.project_row(x, y);
+                    Ok(true)
+                }
+                _ => Ok(false),
+            },
             // No borrowed kernel for this (operator, row shape): the caller
             // falls back to a one-time slot-0 materialization.
             _ => Ok(false),

@@ -47,9 +47,11 @@ impl PcaParams {
     }
 
     /// Projects one dense row onto the components. Shared by the
-    /// per-record and batch kernels, so their bitwise agreement rests on
-    /// one implementation; the centered dot loop auto-vectorizes.
-    fn project_row(&self, x: &[f32], y: &mut [f32]) {
+    /// per-record, batch, and borrowed-row kernels, so their bitwise
+    /// agreement rests on one implementation; the centered dot loop
+    /// auto-vectorizes.
+    #[inline]
+    pub(crate) fn project_row(&self, x: &[f32], y: &mut [f32]) {
         let d = self.dim as usize;
         for (c, slot) in y.iter_mut().enumerate() {
             let row = &self.components[c * d..(c + 1) * d];

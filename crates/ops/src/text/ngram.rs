@@ -6,16 +6,41 @@
 //! (paper Table 1) — which is why sharing their parameters across pipelines
 //! (Figure 3) dominates the memory experiments.
 //!
-//! The kernel is allocation-free: candidate n-grams are *hashed in place*
-//! (streaming FNV-1a over case-folded bytes) and probed against a
-//! `hash → dictionary index` map; matches accumulate counts into a sparse
+//! The kernel is allocation-free after warm-up: candidate n-grams are
+//! hashed with streaming FNV-1a over case-folded bytes and probed against a
+//! `hash → dictionary index` table; matches accumulate counts into a sparse
 //! output vector. Distinct n-grams colliding on the 64-bit hash would share
 //! a count slot; at dictionary sizes up to 2^20 the collision probability is
 //! below 2^-24 and has no effect on the systems behaviour being measured.
+//!
+//! **Matching path** (the SA bottleneck, paper Figure 1/Table 1): by
+//! default the kernels run a three-phase row loop —
+//!
+//! 1. **fold once**: the row's bytes are case-folded once into a pooled
+//!    (thread-local) scratch buffer instead of branch-folding every byte
+//!    of every window in the hot loop;
+//! 2. **incremental window hashing** into a scratch ring: FNV-1a is
+//!    prefix-extendable, so with `all_lengths = true` a start position's
+//!    length-`k` hash extends its length-`k−1` hash — all lengths `1..=n`
+//!    per position cost one pass (`O(n)` byte-steps per position instead
+//!    of `O(n²)`). Hashes land grouped by length so emission order stays
+//!    identical to the classic per-length window sweep;
+//! 3. **bulk probing** of the [`pretzel_data::probe::FlatProbeTable`] in a
+//!    tight loop that software-prefetches the slot a few windows ahead —
+//!    the probe loop is ILP/cache-friendly instead of dependency-chained
+//!    per window.
+//!
+//! The classic kernel (per-window fold+hash, `HashMap` probe) is kept as
+//! the ablation control behind [`pretzel_data::probe::flat_probe`]
+//! (`RuntimeConfig::flat_ngram_probe` at the runtime layer). Both paths
+//! emit the identical match sequence — same FNV-1a values, same
+//! first-index-wins duplicate semantics, same per-row match order — so
+//! scores are bitwise-identical with the knob on or off.
 
 use crate::annotations::Annotations;
 use crate::params::{hashmap_bytes, ParamBlob};
 use pretzel_data::hash::Fnv1a;
+use pretzel_data::probe::FlatProbeTable;
 use pretzel_data::serde_bin::{wire, Cursor, Section};
 use pretzel_data::vector::Span;
 use pretzel_data::{ColRef, ColumnBatch, DataError, Result, Vector};
@@ -23,6 +48,11 @@ use std::collections::HashMap;
 
 /// Separator byte between tokens when hashing word n-grams.
 const WORD_SEP: u8 = 0x1f;
+
+/// How many windows ahead the bulk probe loop prefetches. Far enough to
+/// cover a memory load's latency at one probe per iteration, near enough
+/// that the prefetched line is still resident when its turn comes.
+const PREFETCH_AHEAD: usize = 8;
 
 #[inline]
 fn fold(b: u8, fold_case: bool) -> u8 {
@@ -33,14 +63,162 @@ fn fold(b: u8, fold_case: bool) -> u8 {
     }
 }
 
+/// Per-thread matching scratch: the case-folded row and the window-hash
+/// ring, reused across rows so the three-phase kernel is allocation-free
+/// after warm-up.
+#[derive(Debug, Default)]
+struct MatchScratch {
+    /// The row's bytes, case-folded once.
+    folded: Vec<u8>,
+    /// Window hashes, grouped by n-gram length. Grow-only: every slot in
+    /// `0..` the active length is overwritten by hash generation before
+    /// the probe pass reads it, so stale tails are never re-zeroed.
+    hashes: Vec<u64>,
+    /// `(offset, len)` of each length group inside `hashes`, in ascending
+    /// length order (the classic emission order).
+    groups: Vec<(usize, usize)>,
+}
+
+/// Retention bound on the thread-local hash ring, in entries (8 MiB).
+/// Typical rows need a few hundred slots; one pathological row (a frame
+/// body can be up to 64 MiB of text) must not pin its high-water mark on
+/// the executor thread forever.
+const SCRATCH_RETAIN_HASHES: usize = 1 << 20;
+
+/// Retention bound on the thread-local folded-row buffer, in bytes.
+const SCRATCH_RETAIN_FOLDED: usize = 1 << 20;
+
+/// Makes `hashes[..len]` addressable without re-zeroing the prefix on
+/// every row (each active slot is written before it is read).
+#[inline]
+fn reserve_hashes(hashes: &mut Vec<u64>, len: usize) {
+    if hashes.len() < len {
+        hashes.resize(len, 0);
+    }
+}
+
+impl MatchScratch {
+    /// Releases capacity an outlier row grew beyond the retention bounds,
+    /// so per-thread scratch stays sized for the steady-state row mix.
+    #[inline]
+    fn trim(&mut self) {
+        if self.hashes.capacity() > SCRATCH_RETAIN_HASHES {
+            self.hashes.truncate(SCRATCH_RETAIN_HASHES);
+            self.hashes.shrink_to(SCRATCH_RETAIN_HASHES);
+        }
+        if self.folded.capacity() > SCRATCH_RETAIN_FOLDED {
+            self.folded.truncate(SCRATCH_RETAIN_FOLDED);
+            self.folded.shrink_to(SCRATCH_RETAIN_FOLDED);
+        }
+    }
+}
+
+std::thread_local! {
+    static MATCH_SCRATCH: std::cell::RefCell<MatchScratch> =
+        std::cell::RefCell::new(MatchScratch::default());
+}
+
+/// Runs `f` with the thread's matching scratch. A plain `borrow_mut` —
+/// the kernels never re-enter (callbacks only accumulate), and this runs
+/// once per row per kernel, so the borrow must not cost a 3-vec move the
+/// way a take/put-back would. A hypothetical re-entrant kernel panics
+/// loudly here instead of corrupting state.
+#[inline]
+fn with_scratch<R>(f: impl FnOnce(&mut MatchScratch) -> R) -> R {
+    MATCH_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        let out = f(&mut scratch);
+        scratch.trim();
+        out
+    })
+}
+
+/// The row bytes the matching kernels hash: case-folded once into the
+/// scratch buffer (one pass, no per-window branch) — or, when the
+/// dictionary is case-sensitive, borrowed straight from the input with no
+/// copy at all.
+#[inline]
+fn folded_bytes<'a>(folded: &'a mut Vec<u8>, text: &'a str, fold_case: bool) -> &'a [u8] {
+    if fold_case {
+        folded.clear();
+        folded.extend(
+            text.bytes()
+                .map(|b| if b.is_ascii_uppercase() { b | 0x20 } else { b }),
+        );
+        folded
+    } else {
+        text.as_bytes()
+    }
+}
+
+/// Probes one length group's hashes against the flat table in a tight
+/// loop and streams the hit indices in window order. When the table is
+/// large enough to spill cache, the loop prefetches [`PREFETCH_AHEAD`]
+/// windows ahead so the probes' loads overlap; for cache-resident tables
+/// the prefetch instruction would be pure overhead and is skipped.
+#[inline]
+fn probe_group(table: &FlatProbeTable, hashes: &[u64], f: &mut impl FnMut(u32)) {
+    let n = hashes.len();
+    if table.prefetch_pays() && n > PREFETCH_AHEAD {
+        for j in 0..n - PREFETCH_AHEAD {
+            table.prefetch(hashes[j + PREFETCH_AHEAD]);
+            if let Some(idx) = table.probe(hashes[j]) {
+                f(idx);
+            }
+        }
+        for &h in &hashes[n - PREFETCH_AHEAD..] {
+            if let Some(idx) = table.probe(h) {
+                f(idx);
+            }
+        }
+    } else {
+        for &h in hashes {
+            if let Some(idx) = table.probe(h) {
+                f(idx);
+            }
+        }
+    }
+}
+
+/// Fills `hashes[..windows]` with the FNV-1a hash of every length-`k` byte
+/// window of `bytes`, monomorphized per small `k` so the byte steps fully
+/// unroll (adjacent windows are independent, so the multiply chains of
+/// several windows retire in parallel).
+#[inline]
+fn hash_exact_windows<const K: usize>(bytes: &[u8], hashes: &mut [u64]) {
+    for (w, out) in bytes.windows(K).zip(hashes.iter_mut()) {
+        let mut h = Fnv1a::new();
+        for &b in w {
+            h.push_byte(b);
+        }
+        *out = h.finish();
+    }
+}
+
+/// Generic-`k` fallback of [`hash_exact_windows`].
+fn hash_exact_windows_dyn(bytes: &[u8], k: usize, hashes: &mut [u64]) {
+    for (w, out) in bytes.windows(k).zip(hashes.iter_mut()) {
+        let mut h = Fnv1a::new();
+        for &b in w {
+            h.push_byte(b);
+        }
+        *out = h.finish();
+    }
+}
+
 /// A trained n-gram dictionary: the keys (owned, for size realism and
-/// serialization) plus a derived hash → index probe table.
+/// serialization) plus two derived hash → index probe structures — the
+/// [`FlatProbeTable`] the default matching path bulk-probes, and the
+/// `HashMap` the ablation-control path probes (also kept for point
+/// lookups). Both are built with the same first-index-wins rule, so they
+/// resolve every hash identically.
 #[derive(Debug, Clone)]
 pub struct NgramDict {
     keys: Vec<Box<str>>,
     // Keys are already FNV-1a hashes; a pass-through hasher avoids paying
-    // SipHash on every probe of the hottest loop in the SA workload.
+    // SipHash on every probe of the control path.
     map: HashMap<u64, u32, pretzel_data::hash::PrehashedBuild>,
+    flat: FlatProbeTable,
     fold_case: bool,
 }
 
@@ -59,13 +237,17 @@ impl NgramDict {
     pub fn new(keys: Vec<Box<str>>, fold_case: bool) -> Self {
         let mut map: HashMap<u64, u32, pretzel_data::hash::PrehashedBuild> =
             HashMap::with_capacity_and_hasher(keys.len(), Default::default());
+        let mut flat = FlatProbeTable::with_capacity(keys.len());
         for (i, k) in keys.iter().enumerate() {
             let h = Self::hash_key(k, fold_case);
+            // Same first-wins rule in both tables, so probe paths agree.
             map.entry(h).or_insert(i as u32);
+            flat.insert_first(h, i as u32);
         }
         NgramDict {
             keys,
             map,
+            flat,
             fold_case,
         }
     }
@@ -85,10 +267,24 @@ impl NgramDict {
         &self.keys
     }
 
-    /// Probes a precomputed hash.
+    /// Probes a precomputed hash through the `HashMap` control path.
     #[inline]
     pub fn probe(&self, hash: u64) -> Option<u32> {
         self.map.get(&hash).copied()
+    }
+
+    /// Probes a precomputed hash through the flat table (the default
+    /// matching path). Identical results to [`Self::probe`] by
+    /// construction; exposed so equivalence tests can compare the paths
+    /// directly.
+    #[inline]
+    pub fn probe_flat(&self, hash: u64) -> Option<u32> {
+        self.flat.probe(hash)
+    }
+
+    /// The flat probe table (matching-kernel internals and tests).
+    pub fn flat_table(&self) -> &FlatProbeTable {
+        &self.flat
     }
 
     /// Hashes a dictionary key the same way the kernels hash input windows:
@@ -108,11 +304,14 @@ impl NgramDict {
         h.finish()
     }
 
-    /// Heap bytes: key storage plus the probe table.
+    /// Heap bytes: key storage plus both probe structures (the flat table
+    /// that serves matching and the `HashMap` kept as the ablation
+    /// control).
     pub fn heap_bytes(&self) -> usize {
         let keys: usize = self.keys.iter().map(|k| k.len()).sum();
         keys + self.keys.capacity() * std::mem::size_of::<Box<str>>()
             + hashmap_bytes(self.map.len(), self.map.capacity())
+            + self.flat.heap_bytes()
     }
 }
 
@@ -155,8 +354,35 @@ impl NgramParams {
     /// This is the fusion hook (paper §2): a fused `ngram → dot-product`
     /// physical stage accumulates `weights[offset + idx]` directly in the
     /// callback and never materializes the sparse feature vector at all.
+    ///
+    /// Hits stream in the classic order — lengths ascending, window start
+    /// positions ascending — on both probe paths, so every consumer
+    /// (sparse accumulation, fused f32 dot) is bitwise-identical with the
+    /// flat-probe knob on or off.
     #[inline]
     pub fn for_each_char_match(&self, text: &str, mut f: impl FnMut(u32)) {
+        if pretzel_data::probe::flat_probe() {
+            self.char_match_flat(text, &mut f);
+        } else {
+            self.char_match_control(text, &mut f);
+        }
+    }
+
+    /// Streams every dictionary hit at word level (`spans` over `text`).
+    ///
+    /// Fusion hook, see [`Self::for_each_char_match`].
+    #[inline]
+    pub fn for_each_word_match(&self, text: &str, spans: &[Span], mut f: impl FnMut(u32)) {
+        if pretzel_data::probe::flat_probe() {
+            self.word_match_flat(text, spans, &mut f);
+        } else {
+            self.word_match_control(text, spans, &mut f);
+        }
+    }
+
+    /// Classic character kernel (the ablation control): per-window fold +
+    /// hash, dependency-chained `HashMap` probe per window.
+    fn char_match_control(&self, text: &str, f: &mut impl FnMut(u32)) {
         let bytes = text.as_bytes();
         for k in self.lengths() {
             let k = k as usize;
@@ -166,7 +392,7 @@ impl NgramParams {
             for w in bytes.windows(k) {
                 let mut h = Fnv1a::new();
                 for &b in w {
-                    h.write(&[fold(b, self.fold_case)]);
+                    h.push_byte(fold(b, self.fold_case));
                 }
                 if let Some(idx) = self.dict.probe(h.finish()) {
                     f(idx);
@@ -175,11 +401,8 @@ impl NgramParams {
         }
     }
 
-    /// Streams every dictionary hit at word level (`spans` over `text`).
-    ///
-    /// Fusion hook, see [`Self::for_each_char_match`].
-    #[inline]
-    pub fn for_each_word_match(&self, text: &str, spans: &[Span], mut f: impl FnMut(u32)) {
+    /// Classic word kernel (the ablation control).
+    fn word_match_control(&self, text: &str, spans: &[Span], f: &mut impl FnMut(u32)) {
         let bytes = text.as_bytes();
         for k in self.lengths() {
             let k = k as usize;
@@ -190,10 +413,10 @@ impl NgramParams {
                 let mut h = Fnv1a::new();
                 for (ti, sp) in w.iter().enumerate() {
                     if ti > 0 {
-                        h.write(&[WORD_SEP]);
+                        h.push_byte(WORD_SEP);
                     }
                     for &b in &bytes[sp.start as usize..sp.end as usize] {
-                        h.write(&[fold(b, self.fold_case)]);
+                        h.push_byte(fold(b, self.fold_case));
                     }
                 }
                 if let Some(idx) = self.dict.probe(h.finish()) {
@@ -201,6 +424,146 @@ impl NgramParams {
                 }
             }
         }
+    }
+
+    /// Character kernel, flat path: fold once → hash every window of every
+    /// length into the scratch ring (incrementally across lengths when
+    /// `all_lengths`) → bulk-probe per length group with prefetch.
+    ///
+    /// The split hash-then-probe structure exists to overlap probe loads
+    /// across windows, which only pays when the table spills cache; for a
+    /// cache-resident table the exact-length kernel takes a fused
+    /// single pass over the folded row instead (same hashes, same window
+    /// order, no scratch-ring traffic).
+    fn char_match_flat(&self, text: &str, f: &mut impl FnMut(u32)) {
+        if !self.all_lengths && !self.dict.flat.prefetch_pays() {
+            return self.char_match_flat_resident(text, f);
+        }
+        with_scratch(|s| {
+            let MatchScratch {
+                folded,
+                hashes,
+                groups,
+            } = s;
+            let bytes = folded_bytes(folded, text, self.fold_case);
+            let m = bytes.len();
+            groups.clear();
+            if self.all_lengths {
+                // One group per length 1..=n; group k starts at `off` and
+                // holds the hashes of windows starting at 0..=(m-k).
+                let n = self.n as usize;
+                let mut off = 0usize;
+                for k in 1..=n {
+                    let cnt = m.saturating_sub(k - 1);
+                    groups.push((off, cnt));
+                    off += cnt;
+                }
+                reserve_hashes(hashes, off);
+                // Incremental hashing: position i's length-k hash extends
+                // its length-(k-1) hash by one byte — O(n) steps per
+                // position for all n lengths.
+                for i in 0..m {
+                    let mut h = Fnv1a::new();
+                    let kmax = n.min(m - i);
+                    for k in 1..=kmax {
+                        h.push_byte(bytes[i + k - 1]);
+                        let (goff, _) = groups[k - 1];
+                        hashes[goff + i] = h.finish();
+                    }
+                }
+            } else {
+                // Exact length: FNV cannot roll a window, so each window
+                // hashes its k bytes — but over the pre-folded buffer, with
+                // adjacent windows independent (ILP), into the same ring.
+                let k = self.n as usize;
+                let cnt = if k > 0 && m >= k { m - k + 1 } else { 0 };
+                groups.push((0, cnt));
+                reserve_hashes(hashes, cnt);
+                let hashes = &mut hashes[..cnt];
+                if cnt > 0 {
+                    match k {
+                        1 => hash_exact_windows::<1>(bytes, hashes),
+                        2 => hash_exact_windows::<2>(bytes, hashes),
+                        3 => hash_exact_windows::<3>(bytes, hashes),
+                        4 => hash_exact_windows::<4>(bytes, hashes),
+                        5 => hash_exact_windows::<5>(bytes, hashes),
+                        _ => hash_exact_windows_dyn(bytes, k, hashes),
+                    }
+                }
+            }
+            for &(off, cnt) in groups.iter() {
+                probe_group(&self.dict.flat, &hashes[off..off + cnt], f);
+            }
+        });
+    }
+
+    /// Exact-length character kernel over a cache-resident flat table:
+    /// fold once, then hash + probe each window in one pass (adjacent
+    /// windows stay independent, so the multiply chains still overlap) —
+    /// no scratch ring, no prefetch, same emission order.
+    fn char_match_flat_resident(&self, text: &str, f: &mut impl FnMut(u32)) {
+        with_scratch(|s| {
+            let bytes = folded_bytes(&mut s.folded, text, self.fold_case);
+            let k = self.n as usize;
+            if k == 0 || bytes.len() < k {
+                return;
+            }
+            let table = &self.dict.flat;
+            for w in bytes.windows(k) {
+                let mut h = Fnv1a::new();
+                for &b in w {
+                    h.push_byte(b);
+                }
+                if let Some(idx) = table.probe(h.finish()) {
+                    f(idx);
+                }
+            }
+        });
+    }
+
+    /// Word kernel, flat path: fold the row once, extend each start
+    /// token's hash across window lengths (separator + next token per
+    /// step), then bulk-probe per length group with prefetch.
+    fn word_match_flat(&self, text: &str, spans: &[Span], f: &mut impl FnMut(u32)) {
+        with_scratch(|s| {
+            let MatchScratch {
+                folded,
+                hashes,
+                groups,
+            } = s;
+            let bytes = folded_bytes(folded, text, self.fold_case);
+            let t = spans.len();
+            groups.clear();
+            let n = self.n as usize;
+            let (k_lo, k_hi) = if self.all_lengths { (1, n) } else { (n, n) };
+            let mut off = 0usize;
+            for k in k_lo..=k_hi {
+                let cnt = if k > 0 && t >= k { t - k + 1 } else { 0 };
+                groups.push((off, cnt));
+                off += cnt;
+            }
+            reserve_hashes(hashes, off);
+            for i in 0..t {
+                let mut h = Fnv1a::new();
+                let kmax = k_hi.min(t - i);
+                for k in 1..=kmax {
+                    if k > 1 {
+                        h.push_byte(WORD_SEP);
+                    }
+                    let sp = spans[i + k - 1];
+                    for &b in &bytes[sp.start as usize..sp.end as usize] {
+                        h.push_byte(b);
+                    }
+                    if k >= k_lo {
+                        let (goff, _) = groups[k - k_lo];
+                        hashes[goff + i] = h.finish();
+                    }
+                }
+            }
+            for &(off, cnt) in groups.iter() {
+                probe_group(&self.dict.flat, &hashes[off..off + cnt], f);
+            }
+        });
     }
 
     /// Character-level extraction: hash every byte window of each length.

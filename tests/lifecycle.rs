@@ -87,6 +87,45 @@ fn deploy_undeploy_returns_store_and_catalog_to_baseline() {
 }
 
 #[test]
+fn deploy_warms_batch_engine_pools_to_no_miss() {
+    // One executor makes the lease sequence deterministic: the first
+    // post-deploy batch must be served entirely from the working sets
+    // deploy-time warming pre-leased — zero batch-engine pool misses.
+    let rt = Runtime::new(RuntimeConfig {
+        n_executors: 1,
+        chunk_size: 8,
+        ..RuntimeConfig::default()
+    });
+    let id = rt
+        .deploy(&sa_image(4242), DeployOptions::default())
+        .unwrap();
+    let (_, misses_after_deploy) = rt.scheduler_pool_stats();
+    let records: Vec<Record> = (0..24)
+        .map(|i| Record::Text(format!("5,review number {i} was pretty nice")))
+        .collect();
+    let scores = rt.predict_batch_wait(id, records.clone()).unwrap();
+    assert_eq!(scores.len(), 24);
+    let (hits, misses) = rt.scheduler_pool_stats();
+    assert_eq!(
+        misses, misses_after_deploy,
+        "first post-deploy batch paid a pool miss despite deploy-time warming"
+    );
+    assert!(hits > 0, "chunks should lease the pre-warmed working sets");
+
+    // Swap-style redeploy: a second model's first batch is warm too.
+    let id2 = rt
+        .deploy(&sa_image(4243), DeployOptions::default())
+        .unwrap();
+    let (_, misses_before) = rt.scheduler_pool_stats();
+    rt.predict_batch_wait(id2, records).unwrap();
+    let (_, misses_after) = rt.scheduler_pool_stats();
+    assert_eq!(
+        misses_after, misses_before,
+        "first post-swap batch paid a pool miss despite deploy-time warming"
+    );
+}
+
+#[test]
 fn undeploy_drains_in_flight_batches_before_reclaiming() {
     let rt = Arc::new(Runtime::new(RuntimeConfig {
         n_executors: 2,

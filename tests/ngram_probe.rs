@@ -1,0 +1,318 @@
+//! Flat-probe matching-path equivalence and property suite.
+//!
+//! The n-gram matching kernel has two physical paths: the default flat
+//! prefiltered table (incremental window hashing, bulk prefetched probes)
+//! and the classic per-window `HashMap` probe kept as the ablation control
+//! (`RuntimeConfig::flat_ngram_probe = false`). The contract locked in
+//! here: the two paths are **bitwise interchangeable** — identical hit
+//! indices and duplicate resolution at the dictionary level, identical
+//! match sequences at the kernel level, and identical `apply` /
+//! `eval_batch` / fused-dot / end-to-end scores — over randomized
+//! dictionaries and texts, including the degenerate shapes (empty and
+//! one-entry dictionaries, texts shorter than the window, table sizes
+//! straddling power-of-two resize boundaries).
+//!
+//! The probe knob is process-global, and these tests flip it; that is safe
+//! to run concurrently with every other test precisely because of the
+//! property being tested — the paths differ in throughput, never in bits.
+
+use pretzel_core::plan::StageOp;
+use pretzel_data::hash::splitmix64;
+use pretzel_data::probe::set_flat_probe;
+use pretzel_data::vector::Span;
+use pretzel_data::{ColumnBatch, ColumnType, Vector};
+use pretzel_ops::synth;
+use pretzel_ops::text::ngram::{NgramDict, NgramParams};
+use pretzel_ops::text::tokenizer::TokenizerParams;
+use std::sync::Arc;
+
+/// Serializes knob flips within this test binary: the knob is process
+/// global, and two tests toggling it concurrently would (harmlessly, since
+/// the paths are bitwise-identical — but weakening the comparison) race.
+static KNOB_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Runs `f` twice — flat path, then `HashMap` control — restoring the
+/// default (flat) afterwards, and returns both results.
+fn on_both_paths<R>(mut f: impl FnMut() -> R) -> (R, R) {
+    let _guard = KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_flat_probe(true);
+    let flat = f();
+    set_flat_probe(false);
+    let control = f();
+    set_flat_probe(true);
+    (flat, control)
+}
+
+/// Deterministic pseudo-random generator for dictionary/text synthesis.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = splitmix64(self.0);
+        self.0
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// A random text over a small alphabet (dense dictionary hits) with mixed
+/// case and some punctuation/whitespace.
+fn random_text(rng: &mut Rng, len: usize) -> String {
+    const ALPHABET: &[u8] = b"abcdefgABCDEFG ,.x";
+    (0..len)
+        .map(|_| ALPHABET[rng.below(ALPHABET.len())] as char)
+        .collect()
+}
+
+/// A random dictionary of `entries` keys of length `1..=max_len` over the
+/// same alphabet (so texts actually hit), with deliberate duplicates.
+fn random_keys(rng: &mut Rng, entries: usize, max_len: usize) -> Vec<Box<str>> {
+    const ALPHABET: &[u8] = b"abcdefgABCDEFG";
+    (0..entries)
+        .map(|_| {
+            let len = 1 + rng.below(max_len);
+            let k: String = (0..len)
+                .map(|_| ALPHABET[rng.below(ALPHABET.len())] as char)
+                .collect();
+            k.into_boxed_str()
+        })
+        .collect()
+}
+
+fn collect_char_matches(p: &NgramParams, text: &str) -> Vec<u32> {
+    let mut hits = Vec::new();
+    p.for_each_char_match(text, |idx| hits.push(idx));
+    hits
+}
+
+fn collect_word_matches(p: &NgramParams, text: &str, spans: &[Span]) -> Vec<u32> {
+    let mut hits = Vec::new();
+    p.for_each_word_match(text, spans, |idx| hits.push(idx));
+    hits
+}
+
+#[test]
+fn dict_probe_paths_agree_on_keys_and_misses() {
+    let mut rng = Rng(0xfeed_face);
+    // Sizes straddle the flat table's power-of-two growth boundaries
+    // (capacity = next_pow2(2·len)), including the degenerate dictionaries.
+    for entries in [0usize, 1, 2, 3, 4, 7, 8, 9, 31, 32, 33, 127, 128, 129, 1000] {
+        for fold_case in [true, false] {
+            let dict = NgramDict::new(random_keys(&mut rng, entries, 4), fold_case);
+            // Every key resolves identically (first-index-wins duplicates
+            // included) on both paths.
+            for key in dict.keys() {
+                let h = NgramDict::hash_key(key, fold_case);
+                assert_eq!(
+                    dict.probe(h),
+                    dict.probe_flat(h),
+                    "entries={entries} key={key:?}"
+                );
+                assert!(dict.probe(h).is_some());
+            }
+            // Random hashes (overwhelmingly misses) resolve identically.
+            for _ in 0..500 {
+                let h = rng.next();
+                assert_eq!(dict.probe(h), dict.probe_flat(h), "entries={entries}");
+            }
+            assert_eq!(dict.flat_table().len(), {
+                let mut uniq = std::collections::HashSet::new();
+                dict.keys()
+                    .iter()
+                    .filter(|k| uniq.insert(NgramDict::hash_key(k, fold_case)))
+                    .count()
+            });
+        }
+    }
+}
+
+#[test]
+fn duplicate_keys_resolve_first_index_wins_on_both_paths() {
+    // "AB" and "ab" collide after folding; "ab" again collides exactly.
+    let keys: Vec<Box<str>> = ["AB", "ab", "cd", "ab", "CD"]
+        .iter()
+        .map(|s| Box::from(*s))
+        .collect();
+    let dict = NgramDict::new(keys, true);
+    let h_ab = NgramDict::hash_key("ab", true);
+    let h_cd = NgramDict::hash_key("cd", true);
+    assert_eq!(dict.probe(h_ab), Some(0));
+    assert_eq!(dict.probe_flat(h_ab), Some(0));
+    assert_eq!(dict.probe(h_cd), Some(2));
+    assert_eq!(dict.probe_flat(h_cd), Some(2));
+}
+
+#[test]
+fn char_match_sequences_identical_across_paths() {
+    let mut rng = Rng(0x1234_5678);
+    let tok = TokenizerParams::whitespace_punct();
+    for case in 0..40 {
+        let entries = [0, 1, 3, 50, 400][case % 5];
+        let n = 1 + (case % 4) as u32;
+        let all_lengths = case % 2 == 0;
+        let fold_case = case % 3 != 0;
+        let p = NgramParams::new(
+            n,
+            all_lengths,
+            fold_case,
+            random_keys(&mut rng, entries, n as usize),
+        );
+        for text_len in [0usize, 1, 2, 5, 40, 300] {
+            let text = random_text(&mut rng, text_len);
+            let (flat, control) = on_both_paths(|| collect_char_matches(&p, &text));
+            assert_eq!(
+                flat, control,
+                "char case={case} n={n} all={all_lengths} fold={fold_case} len={text_len}"
+            );
+            // Word-level over the same material.
+            let mut toks = Vector::with_type(ColumnType::TokenList);
+            tok.apply(&text, &mut toks).unwrap();
+            let spans = toks.as_tokens().unwrap();
+            let (flat_w, control_w) = on_both_paths(|| collect_word_matches(&p, &text, spans));
+            assert_eq!(flat_w, control_w, "word case={case} len={text_len}");
+        }
+    }
+}
+
+#[test]
+fn word_match_sequences_identical_on_vocabulary_texts() {
+    // Texts drawn from the dictionary's own vocabulary: high hit density,
+    // which exercises the duplicate-summing and emission-order contract
+    // harder than random misses do.
+    let vocab = synth::vocabulary(7, 64);
+    let p = Arc::new(synth::word_ngram(9, 2, 128, &vocab));
+    let tok = TokenizerParams::whitespace_punct();
+    let mut rng = Rng(0xabcd);
+    for sentence_len in [0usize, 1, 2, 3, 8, 25] {
+        let sentence: Vec<&str> = (0..sentence_len)
+            .map(|_| vocab[rng.below(vocab.len())].as_str())
+            .collect();
+        let text = sentence.join(" ");
+        let mut toks = Vector::with_type(ColumnType::TokenList);
+        tok.apply(&text, &mut toks).unwrap();
+        let spans = toks.as_tokens().unwrap();
+        let (flat, control) = on_both_paths(|| collect_word_matches(&p, &text, spans));
+        assert_eq!(flat, control, "sentence_len={sentence_len}");
+        assert!(sentence_len < 2 || !flat.is_empty() || p.dim() == 0);
+    }
+}
+
+#[test]
+fn apply_and_eval_batch_outputs_bitwise_identical_across_paths() {
+    let mut rng = Rng(0x5151);
+    let p = NgramParams::new(3, true, true, random_keys(&mut rng, 300, 3));
+    let texts: Vec<String> = (0..17).map(|i| random_text(&mut rng, i * 13)).collect();
+
+    let run = |p: &NgramParams, texts: &[String]| {
+        // Per-record sparse outputs.
+        let singles: Vec<Vec<(u32, u32)>> = texts
+            .iter()
+            .map(|t| {
+                let mut out = Vector::with_type(ColumnType::F32Sparse { len: p.dim() });
+                p.apply_char(t, &mut out).unwrap();
+                match out {
+                    Vector::Sparse {
+                        indices, values, ..
+                    } => indices
+                        .into_iter()
+                        .zip(values.into_iter().map(f32::to_bits))
+                        .collect(),
+                    _ => unreachable!(),
+                }
+            })
+            .collect();
+        // Batch CSR output.
+        let mut input = ColumnBatch::with_type(ColumnType::Text);
+        for t in texts {
+            input.push_text(t).unwrap();
+        }
+        let mut out = ColumnBatch::with_type(ColumnType::F32Sparse { len: p.dim() });
+        p.eval_batch_char(&input, &mut out).unwrap();
+        let batch = format!("{out:?}");
+        (singles, batch)
+    };
+    let (flat, control) = on_both_paths(|| run(&p, &texts));
+    assert_eq!(flat.0, control.0, "per-record sparse outputs diverge");
+    assert_eq!(flat.1, control.1, "batch CSR output diverges");
+}
+
+#[test]
+fn fused_dot_scores_bitwise_identical_across_paths() {
+    // The fused n-gram·dot accumulates f32 in emission order, so this is
+    // the strictest consumer: any reordering between the paths shows up
+    // in the last bits of the sum.
+    let ngram = Arc::new(synth::char_ngram(5, 3, 512));
+    let lin = Arc::new(synth::linear(
+        6,
+        512,
+        pretzel_ops::linear::LinearKind::Regression,
+    ));
+    let mut rng = Rng(0x9988);
+    let step = StageOp::FusedCharNgramDot {
+        ngram,
+        linear: lin,
+        offset: 0,
+    };
+    for len in [0usize, 3, 10, 120, 800] {
+        let text = Vector::Text(random_text(&mut rng, len));
+        let (a, b) = on_both_paths(|| {
+            let mut out = Vector::Scalar(0.0);
+            step.apply(&[&text], &mut out).unwrap();
+            out.as_scalar().unwrap()
+        });
+        assert_eq!(a.to_bits(), b.to_bits(), "fused dot len={len}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn end_to_end_sa_scores_bitwise_identical_across_probe_knob() {
+    use pretzel_core::runtime::{Runtime, RuntimeConfig};
+    use pretzel_core::scheduler::Record;
+    use pretzel_workload::sa::{self, SaConfig};
+    use pretzel_workload::text::ReviewGen;
+
+    let w = sa::build(&SaConfig::tiny());
+    let mut reviews = ReviewGen::new(3, w.vocab.len(), 1.2);
+    let records: Vec<Record> = (0..40)
+        .map(|_| Record::Text(format!("4,{}", reviews.review(5, 18))))
+        .collect();
+
+    let score_all = |flat: bool| -> Vec<(u32, u32)> {
+        let rt = Runtime::new(RuntimeConfig {
+            n_executors: 2,
+            chunk_size: 7,
+            flat_ngram_probe: flat,
+            ..RuntimeConfig::default()
+        });
+        let mut out = Vec::new();
+        for g in &w.graphs {
+            let plan = pretzel_core::oven::optimize(g).unwrap().plan;
+            let id = rt.register(plan).unwrap();
+            // Request-response engine (borrowed-source execute).
+            let Record::Text(line) = &records[0] else {
+                unreachable!()
+            };
+            let rr = rt.predict(id, line).unwrap();
+            // Batch engine (columnar chunks).
+            let batch = rt.predict_batch_wait(id, records.clone()).unwrap();
+            out.push((
+                rr.to_bits(),
+                batch.iter().map(|s| s.to_bits()).fold(0, |a, b| a ^ b),
+            ));
+        }
+        out
+    };
+    let (flat, control) = {
+        let _guard = KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let flat = score_all(true);
+        let control = score_all(false);
+        set_flat_probe(true);
+        (flat, control)
+    };
+    assert_eq!(
+        flat, control,
+        "SA end-to-end scores diverge across the probe knob"
+    );
+}
