@@ -1,0 +1,326 @@
+//! Ablation: explicit SIMD data plane vs the lane-identical scalar path.
+//!
+//! Same runtime, same plans, same records — the only variable is the
+//! process SIMD knob ([`pretzel_data::simd::set_simd`]): with it on (the
+//! default, given AVX2) the dense kernels run 8-lane AVX2 blocks and the
+//! probe table's long chains run 16-wide SSE2 tag-group scans; with it off
+//! every kernel runs the scalar fallback restructured into the same 8
+//! strided lanes. Scores are bitwise-identical by construction (enforced
+//! by `tests/simd.rs`); the variable is pure kernel throughput.
+//!
+//! Measured: end-to-end dense-ingest AC and SA through the batch engine at
+//! each chunk size, plus kernel-level kmeans and PCA batch microbenches
+//! (dense operator families whose end-to-end share is diluted by parsing
+//! and scheduling) and a long-chain probe microbench at load ~0.9 (the
+//! group scan's target regime — serving-path tables at load ≤ 0.5 rarely
+//! chain past the two-slot fast path). Written to `BENCH_simd.json` with
+//! one headline speedup (simd ÷ scalar) per family; CI gates dense AC and
+//! the probe microbench at ≥ ~1.0.
+//!
+//! Knobs: `PRETZEL_PIPELINES`, `PRETZEL_SCALE`, `PRETZEL_BATCH`,
+//! `PRETZEL_CORES`, `PRETZEL_CHUNKS`, `PRETZEL_REPEAT`.
+
+use pretzel_bench::{env_usize, images_of, print_table, time_it, BenchEntry};
+use pretzel_core::runtime::{Runtime, RuntimeConfig};
+use pretzel_core::scheduler::Record;
+use pretzel_data::hash::splitmix64;
+use pretzel_data::probe::FlatProbeTable;
+use pretzel_data::{ColumnBatch, ColumnType};
+use pretzel_ops::kmeans::KMeansParams;
+use pretzel_ops::pca::PcaParams;
+use pretzel_workload::text::{ReviewGen, StructuredGen};
+use std::sync::Arc;
+
+/// Best-of-N timing of one already-warm closure, as records/sec.
+fn best_qps(total: usize, repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::MIN;
+    for _ in 0..repeats.max(1) {
+        let (_, elapsed) = time_it(&mut f);
+        best = best.max(total as f64 / elapsed.as_secs_f64());
+    }
+    best
+}
+
+/// End-to-end batch-engine throughput for one workload under the current
+/// SIMD knob setting (set by the caller before the runtime is built).
+fn batch_qps(images: &[Arc<Vec<u8>>], records: &[Record], cores: usize, chunk_size: usize) -> f64 {
+    let runtime = Runtime::new(RuntimeConfig {
+        n_executors: cores,
+        chunk_size,
+        ..RuntimeConfig::default()
+    });
+    let ids = pretzel_bench::register_all(&runtime, images).unwrap();
+    for &id in &ids {
+        let _ = runtime
+            .predict_batch_wait(id, records[..records.len().min(16)].to_vec())
+            .unwrap();
+    }
+    let total = ids.len() * records.len();
+    let repeats = env_usize("PRETZEL_REPEAT", 5).max(1);
+    let mut best = f64::MIN;
+    for _ in 0..repeats {
+        // Record sets clone outside the timed region: harness scaffolding
+        // must not dilute the kernel ratio under test.
+        let sets: Vec<Vec<Record>> = ids.iter().map(|_| records.to_vec()).collect();
+        let (_, elapsed) = time_it(|| {
+            let handles: Vec<_> = ids
+                .iter()
+                .zip(sets)
+                .map(|(&id, set)| runtime.predict_batch(id, set).unwrap())
+                .collect();
+            for h in handles {
+                h.wait().unwrap();
+            }
+        });
+        best = best.max(total as f64 / elapsed.as_secs_f64());
+    }
+    best
+}
+
+fn randf(h: &mut u64) -> f32 {
+    *h = splitmix64(*h);
+    ((*h % 2000) as f32 - 1000.0) / 997.0
+}
+
+/// Fills a dense column batch with deterministic pseudo-random rows.
+fn dense_batch(rows: usize, dim: usize, seed: u64) -> ColumnBatch {
+    let mut b = ColumnBatch::with_type(ColumnType::F32Dense { len: dim });
+    let data = b.fill_dense(rows).unwrap();
+    let mut h = seed;
+    for v in data.iter_mut() {
+        *v = randf(&mut h);
+    }
+    b
+}
+
+/// Kernel-level kmeans microbench: distances of every row to every
+/// centroid through the operator's own batch kernel.
+fn kmeans_qps(rows: usize, repeats: usize) -> f64 {
+    const K: usize = 64;
+    const DIM: usize = 256;
+    let mut h = 0x6b6du64;
+    let centroids: Vec<f32> = (0..K * DIM).map(|_| randf(&mut h)).collect();
+    let params = KMeansParams::new(centroids, K as u32, DIM as u32).unwrap();
+    let input = dense_batch(rows, DIM, 0x1a);
+    let mut out = ColumnBatch::with_type(ColumnType::F32Dense { len: K });
+    params.eval_batch(&input, &mut out).unwrap(); // warm
+    best_qps(rows, repeats, || {
+        params.eval_batch(&input, &mut out).unwrap();
+        std::hint::black_box(&out);
+    })
+}
+
+/// Kernel-level PCA microbench: every row projected onto every component
+/// through the operator's own batch kernel.
+fn pca_qps(rows: usize, repeats: usize) -> f64 {
+    const M: usize = 64;
+    const DIM: usize = 256;
+    let mut h = 0x9ca0u64;
+    let mean: Vec<f32> = (0..DIM).map(|_| randf(&mut h)).collect();
+    let components: Vec<f32> = (0..M * DIM).map(|_| randf(&mut h)).collect();
+    let params = PcaParams::new(mean, components, M as u32, DIM as u32).unwrap();
+    let input = dense_batch(rows, DIM, 0x1b);
+    let mut out = ColumnBatch::with_type(ColumnType::F32Dense { len: M });
+    params.eval_batch(&input, &mut out).unwrap(); // warm
+    best_qps(rows, repeats, || {
+        params.eval_batch(&input, &mut out).unwrap();
+        std::hint::black_box(&out);
+    })
+}
+
+/// Long-chain probe microbench: a table at load ~0.9 (chains run many
+/// slots, so misses and deep hits take the chain-scan path) probed with a
+/// hit/miss mix, in probes/sec.
+fn probe_longchain_qps(repeats: usize) -> f64 {
+    const ENTRIES: usize = 60_000;
+    const PROBES: usize = 1 << 18;
+    let mut h = 0xf1a7u64;
+    let pairs: Vec<(u64, u32)> = (0..ENTRIES)
+        .map(|i| {
+            h = splitmix64(h);
+            (h, i as u32)
+        })
+        .collect();
+    let table = FlatProbeTable::from_pairs_with_load(pairs.iter().copied(), 0.9);
+    // Probe stream: half present keys, half absent, deterministically
+    // interleaved.
+    let mut g = 0x9e37u64;
+    let stream: Vec<u64> = (0..PROBES)
+        .map(|i| {
+            if i % 2 == 0 {
+                pairs[(i * 7919) % ENTRIES].0
+            } else {
+                g = splitmix64(g);
+                g
+            }
+        })
+        .collect();
+    let mut sink = 0u64;
+    for &k in &stream[..1024] {
+        sink ^= u64::from(table.probe(k).unwrap_or(0)); // warm
+    }
+    let qps = best_qps(PROBES, repeats, || {
+        let mut acc = 0u64;
+        for &k in &stream {
+            acc = acc.wrapping_add(u64::from(table.probe(k).unwrap_or(1)));
+        }
+        sink ^= acc;
+    });
+    std::hint::black_box(sink);
+    qps
+}
+
+fn chunk_sizes() -> Vec<usize> {
+    std::env::var("PRETZEL_CHUNKS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![64, 256])
+}
+
+fn main() {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let cores = env_usize("PRETZEL_CORES", avail.saturating_sub(1).max(1)).max(1);
+    let batch = env_usize("PRETZEL_BATCH", 512);
+    let repeats = env_usize("PRETZEL_REPEAT", 5).max(1);
+    let chunks = chunk_sizes();
+
+    if !std::arch::is_x86_feature_detected!("avx2") {
+        println!("note: AVX2 absent — the \"simd\" rows run the probe group scan only");
+    }
+
+    let ac = pretzel_bench::ac_dense_workload();
+    let mut dense_gen = StructuredGen::new(73, pretzel_bench::ac_dense_config().input_dim);
+    let ac_records: Vec<Record> = (0..batch)
+        .map(|_| Record::Dense(dense_gen.record()))
+        .collect();
+    let ac_images = images_of(&ac.graphs);
+
+    let sa = pretzel_bench::sa_workload();
+    let mut reviews = ReviewGen::new(71, sa.vocab.len(), 1.2);
+    let sa_records: Vec<Record> = (0..batch)
+        .map(|_| Record::Text(format!("4,{}", reviews.review(10, 25))))
+        .collect();
+    let sa_images = images_of(&sa.graphs);
+
+    let mut entries: Vec<BenchEntry> = Vec::new();
+    let mut rows = Vec::new();
+    let mut best: std::collections::HashMap<&str, f64> = Default::default();
+
+    for &chunk in &chunks {
+        for (cat, images, records) in [
+            ("AC_dense", &ac_images, &ac_records),
+            ("SA", &sa_images, &sa_records),
+        ] {
+            pretzel_data::simd::set_simd(Some(false));
+            let scalar = batch_qps(images, records, cores, chunk);
+            pretzel_data::simd::set_simd(Some(true));
+            let simd = batch_qps(images, records, cores, chunk);
+            pretzel_data::simd::set_simd(None);
+            for (mode, v) in [("scalar", scalar), ("simd", simd)] {
+                entries.push(BenchEntry {
+                    category: cat.into(),
+                    mode: mode.into(),
+                    chunk_size: chunk,
+                    cores,
+                    records_per_sec: v,
+                });
+            }
+            let ratio = simd / scalar;
+            let slot = best.entry(cat).or_insert(0.0);
+            *slot = slot.max(ratio);
+            rows.push(vec![
+                cat.into(),
+                chunk.to_string(),
+                format!("{scalar:.0}"),
+                format!("{simd:.0}"),
+                format!("{ratio:.2}x"),
+            ]);
+        }
+    }
+
+    // Kernel microbenches: one row each, chunk column = batch rows.
+    let micro_rows = 4096;
+    for (cat, f) in [
+        ("kmeans", kmeans_qps as fn(usize, usize) -> f64),
+        ("PCA", pca_qps as fn(usize, usize) -> f64),
+    ] {
+        pretzel_data::simd::set_simd(Some(false));
+        let scalar = f(micro_rows, repeats);
+        pretzel_data::simd::set_simd(Some(true));
+        let simd = f(micro_rows, repeats);
+        pretzel_data::simd::set_simd(None);
+        for (mode, v) in [("scalar", scalar), ("simd", simd)] {
+            entries.push(BenchEntry {
+                category: cat.into(),
+                mode: mode.into(),
+                chunk_size: micro_rows,
+                cores: 1,
+                records_per_sec: v,
+            });
+        }
+        best.insert(cat, simd / scalar);
+        rows.push(vec![
+            cat.into(),
+            micro_rows.to_string(),
+            format!("{scalar:.0}"),
+            format!("{simd:.0}"),
+            format!("{:.2}x", simd / scalar),
+        ]);
+    }
+
+    pretzel_data::simd::set_simd(Some(false));
+    let probe_scalar = probe_longchain_qps(repeats);
+    pretzel_data::simd::set_simd(Some(true));
+    let probe_simd = probe_longchain_qps(repeats);
+    pretzel_data::simd::set_simd(None);
+    for (mode, v) in [("scalar", probe_scalar), ("simd", probe_simd)] {
+        entries.push(BenchEntry {
+            category: "probe_longchain".into(),
+            mode: mode.into(),
+            chunk_size: 1,
+            cores: 1,
+            records_per_sec: v,
+        });
+    }
+    best.insert("probe_longchain", probe_simd / probe_scalar);
+    rows.push(vec![
+        "probe_longchain".into(),
+        "1".into(),
+        format!("{probe_scalar:.0}"),
+        format!("{probe_simd:.0}"),
+        format!("{:.2}x", probe_simd / probe_scalar),
+    ]);
+
+    let speedups: Vec<(String, f64)> = ["AC_dense", "SA", "kmeans", "PCA", "probe_longchain"]
+        .iter()
+        .map(|&k| (k.to_string(), best.get(k).copied().unwrap_or(0.0)))
+        .collect();
+
+    print_table(
+        &format!(
+            "Ablation: explicit SIMD data plane vs lane-identical scalar \
+             ({} AC + {} SA models x {batch} records, {cores} cores)",
+            ac_images.len(),
+            sa_images.len()
+        ),
+        &["family", "chunk/rows", "scalar", "simd", "speedup"],
+        &rows,
+    );
+    println!(
+        "  expected shape — kernel microbenches (kmeans, PCA) show the raw \
+         8-lane win; end-to-end AC dilutes it with parsing and scheduling; \
+         SA is matching-bound so its dense share is small; probe_longchain \
+         isolates the 16-wide tag-group chain scan at load ~0.9"
+    );
+
+    pretzel_bench::write_bench_json("BENCH_simd.json", "simd", &entries, &speedups)
+        .expect("write BENCH_simd.json");
+    println!("\nwrote BENCH_simd.json");
+}

@@ -85,18 +85,26 @@ pub struct ExecCtx {
     /// components, columnar path). Must hold one hash per chunk row before
     /// a stage with cacheable steps executes in batch mode.
     pub source_hashes: Vec<u64>,
+    /// The n-gram probe path this context's executions run
+    /// (`RuntimeConfig::flat_ngram_probe`): installed as a thread-scoped
+    /// override around every plan execution, so each runtime in a process
+    /// gets its own path instead of fighting over the process-wide knob.
+    pub flat_probe: bool,
     scratch: Vec<Vector>,
     batch_scratch: Vec<ColumnBatch>,
 }
 
 impl ExecCtx {
-    /// Creates a context over a pool.
+    /// Creates a context over a pool. The probe path defaults to the
+    /// ambient knob at construction time; runtimes override it from their
+    /// config via [`Self::with_flat_probe`].
     pub fn new(pool: Arc<VectorPool>) -> Self {
         ExecCtx {
             pool,
             cache: None,
             source_hash: 0,
             source_hashes: Vec::new(),
+            flat_probe: pretzel_data::probe::flat_probe(),
             scratch: Vec::new(),
             batch_scratch: Vec::new(),
         }
@@ -105,6 +113,12 @@ impl ExecCtx {
     /// Enables sub-plan materialization.
     pub fn with_cache(mut self, cache: Arc<MaterializationCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Pins the n-gram probe path for this context's executions.
+    pub fn with_flat_probe(mut self, flat: bool) -> Self {
+        self.flat_probe = flat;
         self
     }
 }
@@ -1039,6 +1053,8 @@ impl ModelPlan {
         } else {
             0
         };
+        // The context's probe path governs every kernel in this execution.
+        let _probe = pretzel_data::probe::scoped_flat_probe(ctx.flat_probe);
         for stage in &self.stages {
             stage.execute(slots, ctx)?;
         }
@@ -1078,6 +1094,8 @@ impl ModelPlan {
             src: source,
             loaded: false,
         };
+        // The context's probe path governs every kernel in this execution.
+        let _probe = pretzel_data::probe::scoped_flat_probe(ctx.flat_probe);
         for stage in &self.stages {
             stage.execute_with_source(Some(&mut borrowed), slots, ctx)?;
         }
@@ -1134,6 +1152,8 @@ impl ModelPlan {
                 .extend(sources.iter().map(SourceRef::content_hash));
         }
         let rows = sources.len();
+        // The context's probe path governs every kernel in this execution.
+        let _probe = pretzel_data::probe::scoped_flat_probe(ctx.flat_probe);
         for stage in &self.stages {
             stage.execute_batch(slots, rows, ctx)?;
         }

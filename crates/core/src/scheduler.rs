@@ -368,6 +368,9 @@ pub struct Scheduler {
     chunk_size: usize,
     columnar: bool,
     cache: Option<Arc<MaterializationCache>>,
+    /// The n-gram probe path this scheduler's executors run (per-runtime;
+    /// installed on each executor's `ExecCtx`).
+    flat_probe: bool,
 }
 
 impl Scheduler {
@@ -388,6 +391,7 @@ impl Scheduler {
         chunk_size: usize,
         columnar: bool,
         cache: Option<Arc<MaterializationCache>>,
+        flat_probe: bool,
     ) -> Self {
         let shared = Arc::new(DualQueue::default());
         let stats = Arc::new(SchedStats::default());
@@ -404,7 +408,7 @@ impl Scheduler {
                 let pool = Arc::clone(pool);
                 std::thread::Builder::new()
                     .name(format!("pretzel-exec-{i}"))
-                    .spawn(move || executor_loop(queue, stats, pool, columnar, cache))
+                    .spawn(move || executor_loop(queue, stats, pool, columnar, cache, flat_probe))
                     .expect("spawn executor")
             })
             .collect();
@@ -418,6 +422,7 @@ impl Scheduler {
             chunk_size: chunk_size.max(1),
             columnar,
             cache,
+            flat_probe,
         }
     }
 
@@ -443,12 +448,13 @@ impl Scheduler {
         let stats = Arc::clone(&self.stats);
         let columnar = self.columnar;
         let cache = self.cache.clone();
+        let flat_probe = self.flat_probe;
         let pool = Arc::new(new_pool(self.pooling));
         let q = Arc::clone(&queue);
         let p = Arc::clone(&pool);
         let handle = std::thread::Builder::new()
             .name(format!("pretzel-reserved-{plan_id}"))
-            .spawn(move || executor_loop(q, stats, p, columnar, cache))
+            .spawn(move || executor_loop(q, stats, p, columnar, cache, flat_probe))
             .expect("spawn reserved executor");
         reserved.insert(
             plan_id,
@@ -690,8 +696,9 @@ fn executor_loop(
     pool: Arc<VectorPool>,
     columnar: bool,
     cache: Option<Arc<MaterializationCache>>,
+    flat_probe: bool,
 ) {
-    let mut ctx = ExecCtx::new(Arc::clone(&pool));
+    let mut ctx = ExecCtx::new(Arc::clone(&pool)).with_flat_probe(flat_probe);
     if let Some(c) = cache {
         ctx = ctx.with_cache(c);
     }
@@ -919,7 +926,7 @@ mod tests {
     #[test]
     fn batch_results_match_inline_execution() {
         let plan = sa_plan(3);
-        let sched = Scheduler::new(2, true, 4, true, None);
+        let sched = Scheduler::new(2, true, 4, true, None, true);
         let recs = records(17);
         let handle = sched.submit_batch(0, Arc::clone(&plan), recs.clone());
         let scores = handle.wait().unwrap();
@@ -947,7 +954,7 @@ mod tests {
     #[test]
     fn empty_batch_completes_immediately() {
         let plan = sa_plan(1);
-        let sched = Scheduler::new(1, true, 8, true, None);
+        let sched = Scheduler::new(1, true, 8, true, None, true);
         let scores = sched.submit_batch(0, plan, vec![]).wait().unwrap();
         assert!(scores.is_empty());
         sched.shutdown();
@@ -956,7 +963,7 @@ mod tests {
     #[test]
     fn concurrent_batches_across_plans() {
         let plans: Vec<_> = (0..4).map(sa_plan).collect();
-        let sched = Scheduler::new(4, true, 8, true, None);
+        let sched = Scheduler::new(4, true, 8, true, None, true);
         let handles: Vec<_> = plans
             .iter()
             .enumerate()
@@ -978,7 +985,7 @@ mod tests {
     #[test]
     fn errors_propagate_to_handle() {
         let plan = sa_plan(5);
-        let sched = Scheduler::new(2, true, 4, true, None);
+        let sched = Scheduler::new(2, true, 4, true, None, true);
         // Dense record into a text pipeline: source load fails.
         let handle = sched.submit_batch(0, plan, vec![Record::Dense(vec![1.0, 2.0])]);
         assert!(handle.wait().is_err());
@@ -988,7 +995,7 @@ mod tests {
     #[test]
     fn reserved_plan_executes_on_dedicated_queue() {
         let plan = sa_plan(9);
-        let sched = Scheduler::new(1, true, 4, true, None);
+        let sched = Scheduler::new(1, true, 4, true, None, true);
         sched.reserve(7);
         let h = sched.submit_batch(7, Arc::clone(&plan), records(5));
         assert_eq!(h.wait().unwrap().len(), 5);
@@ -1002,8 +1009,8 @@ mod tests {
     fn columnar_and_per_record_chunks_agree_bitwise() {
         let plan = sa_plan(21);
         let recs = records(37);
-        let columnar = Scheduler::new(2, true, 8, true, None);
-        let per_record = Scheduler::new(2, true, 8, false, None);
+        let columnar = Scheduler::new(2, true, 8, true, None, true);
+        let per_record = Scheduler::new(2, true, 8, false, None, true);
         let a = columnar
             .submit_batch(0, Arc::clone(&plan), recs.clone())
             .wait()
@@ -1020,7 +1027,7 @@ mod tests {
     #[test]
     fn per_record_fallback_still_correct() {
         let plan = sa_plan(23);
-        let sched = Scheduler::new(2, true, 4, false, None);
+        let sched = Scheduler::new(2, true, 4, false, None, true);
         let recs = records(9);
         let scores = sched
             .submit_batch(0, Arc::clone(&plan), recs.clone())
@@ -1043,7 +1050,7 @@ mod tests {
     #[test]
     fn columnar_errors_propagate_and_release_leases() {
         let plan = sa_plan(25);
-        let sched = Scheduler::new(1, true, 4, true, None);
+        let sched = Scheduler::new(1, true, 4, true, None, true);
         // Dense record into a text pipeline: batch source load fails.
         let handle = sched.submit_batch(0, plan, vec![Record::Dense(vec![1.0])]);
         assert!(handle.wait().is_err());
@@ -1056,8 +1063,8 @@ mod tests {
         // forced the per-record chunk loop; the two now compose.
         let cache_a = Arc::new(MaterializationCache::new(1 << 20));
         let cache_b = Arc::new(MaterializationCache::new(1 << 20));
-        let columnar = Scheduler::new(1, true, 4, true, Some(Arc::clone(&cache_a)));
-        let per_record = Scheduler::new(1, true, 4, false, Some(Arc::clone(&cache_b)));
+        let columnar = Scheduler::new(1, true, 4, true, Some(Arc::clone(&cache_a)), true);
+        let per_record = Scheduler::new(1, true, 4, false, Some(Arc::clone(&cache_b)), true);
         assert!(columnar.columnar());
         assert!(!per_record.columnar());
         let plan = sa_plan(31);
@@ -1096,7 +1103,7 @@ mod tests {
     #[test]
     fn pooling_disabled_still_correct() {
         let plan = sa_plan(11);
-        let sched = Scheduler::new(2, false, 4, true, None);
+        let sched = Scheduler::new(2, false, 4, true, None, true);
         let scores = sched.submit_batch(0, plan, records(9)).wait().unwrap();
         assert_eq!(scores.len(), 9);
         sched.shutdown();
@@ -1105,7 +1112,7 @@ mod tests {
     #[test]
     fn unreserve_drains_and_joins_the_dedicated_executor() {
         let plan = sa_plan(41);
-        let sched = Scheduler::new(1, true, 4, true, None);
+        let sched = Scheduler::new(1, true, 4, true, None, true);
         sched.reserve(3);
         assert_eq!(sched.reserved_count(), 1);
         let h = sched.submit_batch(3, Arc::clone(&plan), records(13));
@@ -1123,7 +1130,7 @@ mod tests {
     #[test]
     fn reserve_unreserve_churn_does_not_leak_threads() {
         let plan = sa_plan(43);
-        let sched = Scheduler::new(1, true, 4, true, None);
+        let sched = Scheduler::new(1, true, 4, true, None, true);
         for round in 0..20u32 {
             sched.reserve(round);
             let h = sched.submit_batch(round, Arc::clone(&plan), records(3));
@@ -1137,7 +1144,7 @@ mod tests {
     #[test]
     fn drop_without_shutdown_joins_cleanly() {
         let plan = sa_plan(13);
-        let sched = Scheduler::new(2, true, 4, true, None);
+        let sched = Scheduler::new(2, true, 4, true, None, true);
         let h = sched.submit_batch(0, plan, records(3));
         let _ = h.wait().unwrap();
         drop(sched);

@@ -26,14 +26,22 @@
 //!   parameter checksums, input hashing for sub-plan materialization).
 //! * [`probe`] — [`probe::FlatProbeTable`], the bitmap-prefiltered
 //!   one-line-per-probe open-addressing table behind the n-gram
-//!   dictionary's matching path, and the process-wide flat-vs-`HashMap`
-//!   probe knob.
+//!   dictionary's matching path (with a 16-wide SIMD tag-group scan for
+//!   long chains), and the flat-vs-`HashMap` probe knob (process default
+//!   plus per-thread scoped override).
+//! * [`simd`] — the explicit SIMD kernels of the dense data plane: 8-lane
+//!   f32 dots/distances/affine maps with runtime AVX2 dispatch and a
+//!   bitwise-identical lane-structured scalar fallback, behind the
+//!   process-wide SIMD knob.
+//! * [`calibrate`] — one-shot startup measurement (pointer-chase timing)
+//!   of the cache threshold behind `FlatProbeTable::prefetch_pays`.
 //!
 //! [`pretzel-core`]: ../pretzel_core/index.html
 //! [`pretzel-baseline`]: ../pretzel_baseline/index.html
 
 pub mod alloc_meter;
 pub mod batch;
+pub mod calibrate;
 pub mod error;
 pub mod hash;
 pub mod ingest;
@@ -41,6 +49,7 @@ pub mod pool;
 pub mod probe;
 pub mod schema;
 pub mod serde_bin;
+pub mod simd;
 pub mod vector;
 
 pub use batch::{ColRef, ColumnBatch};

@@ -20,56 +20,101 @@
 //!   membership tag and confirmation and shares its cache line with the
 //!   value, so a probe that survives the bitmap touches exactly one slot
 //!   cache line, hit or miss;
+//! * a **byte-tag lane scanned 16 slots at a time** for the chains the
+//!   fast path cannot settle: once a probe survives the bitmap *and*
+//!   mismatches two slots, it is in long-chain territory, where an SSE2
+//!   `_mm_cmpeq_epi8`/`movemask` sweep over a whole 16-slot tag group
+//!   per step beats walking slots one 16-byte line at a time. The tag
+//!   lane is deliberately **not** consulted by the one-/two-slot fast
+//!   path — an earlier always-on byte-tag design was measured and
+//!   rejected because it turned every cold probe into two line fills;
+//!   here the extra lane is only touched when a chain is already long,
+//!   amortizing its line fill across 16 slots per step;
 //! * the slot index is a pure function of the key, which is what lets bulk
 //!   kernels **software-prefetch** the next window's slot while probing the
 //!   current one ([`FlatProbeTable::prefetch`]) — the memory-level
-//!   parallelism a chained `HashMap::get` loop never exposes.
+//!   parallelism a chained `HashMap::get` loop never exposes. Whether a
+//!   table is big enough for prefetch to pay is decided against the
+//!   startup-calibrated cache threshold in [`crate::calibrate`], not a
+//!   hard-coded constant.
 //!
-//! [`flat_probe`] is the process-wide knob (default on) selecting this
-//! table over the `HashMap` control path in the n-gram kernels; both paths
-//! return identical hits for identical keys, so flipping it mid-run changes
-//! throughput, never results.
+//! [`flat_probe`] selects this table over the `HashMap` control path in
+//! the n-gram kernels; both paths return identical hits for identical
+//! keys, so flipping it mid-run changes throughput, never results. The
+//! process-wide default ([`set_flat_probe`]) can be overridden per thread
+//! and scope via [`scoped_flat_probe`], which is how each runtime applies
+//! its own `RuntimeConfig::flat_ngram_probe` without fighting other
+//! runtimes (or tests) in the same process.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Fibonacci-hashing multiplier (2^64 / φ).
 const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
 
-/// Process-wide probe-path selector: flat table (default) vs `HashMap`.
+/// Slots per tag-group scan step (one SSE2 register of byte tags).
+const GROUP: usize = 16;
+
+/// Process-wide probe-path default: flat table (default) vs `HashMap`.
 static FLAT_PROBE: AtomicBool = AtomicBool::new(true);
 
-/// Selects the probe path the n-gram matching kernels use: `true` (the
-/// default) probes the flat table, `false` keeps the `HashMap` control
-/// path. Both are bitwise-identical in results; the knob is the ablation
-/// switch (`RuntimeConfig::flat_ngram_probe` at the runtime layer).
+thread_local! {
+    /// Per-thread override of [`FLAT_PROBE`], installed by
+    /// [`scoped_flat_probe`] for the duration of a plan execution.
+    static TL_FLAT: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+/// Sets the process-wide default probe path the n-gram matching kernels
+/// use: `true` (the default) probes the flat table, `false` keeps the
+/// `HashMap` control path. Both are bitwise-identical in results; the
+/// knob is the ablation switch. Threads inside a
+/// [`scoped_flat_probe`] scope don't see changes until the scope ends.
 pub fn set_flat_probe(on: bool) {
     FLAT_PROBE.store(on, Ordering::Relaxed);
 }
 
-/// True if the flat probe table is the active matching path.
+/// True if the flat probe table is the active matching path on this
+/// thread: the innermost [`scoped_flat_probe`] scope if one is active,
+/// the process-wide default otherwise.
 pub fn flat_probe() -> bool {
-    FLAT_PROBE.load(Ordering::Relaxed)
+    TL_FLAT
+        .with(Cell::get)
+        .unwrap_or_else(|| FLAT_PROBE.load(Ordering::Relaxed))
 }
 
-/// Table bytes above which bulk probe loops bother issuing software
-/// prefetch: a table this size no longer sits in L1/L2, so overlapping
-/// the next window's load pays; below it the prefetch instruction is pure
-/// overhead on a cache-resident structure.
-const PREFETCH_BYTES: usize = 256 << 10;
+/// RAII guard restoring the previous probe-path selection on drop.
+#[must_use = "dropping the guard immediately restores the previous probe path"]
+#[derive(Debug)]
+pub struct ProbePathGuard {
+    prev: Option<bool>,
+}
+
+/// Overrides the probe path for the current thread until the returned
+/// guard drops (scopes nest). This is how `ExecCtx` pins each plan
+/// execution to its runtime's configured path without a process-wide
+/// write racing other runtimes in the same process.
+pub fn scoped_flat_probe(on: bool) -> ProbePathGuard {
+    ProbePathGuard {
+        prev: TL_FLAT.with(|c| c.replace(Some(on))),
+    }
+}
+
+impl Drop for ProbePathGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        TL_FLAT.with(|c| c.set(prev));
+    }
+}
 
 /// A build-once, probe-many open-addressing table keyed by prehashed
 /// `u64`s. First insert per key wins (the n-gram dictionary's stable-index
 /// rule); there is no removal, so probe chains never cross tombstones.
 ///
 /// Storage is an interleaved `(hash, value)` slot array behind the
-/// occupancy bitmap: the full 64-bit hash is both the membership tag and
-/// the confirmation, and it shares its cache line with the value — so a
-/// probe that survives the bitmap touches exactly **one** slot cache line,
-/// hit or miss. (A separate byte-tag lane was measured and rejected here:
-/// under multi-model serving the table is cold more often than hot, and a
-/// split tag lane turns every cold probe into two line fills. A 16-wide
-/// SIMD tag group scan à la Swiss tables remains the follow-up that could
-/// beat this layout for long chains.)
+/// occupancy bitmap, plus a byte-tag lane consulted only by the long-chain
+/// group scan: the fast path (home slot, one overflow slot) touches
+/// exactly **one** slot cache line per probe, hit or miss, exactly as
+/// before the tag lane existed.
 #[derive(Debug, Clone)]
 pub struct FlatProbeTable {
     /// `capacity - 1`; capacity is a power of two ≥ 2.
@@ -82,6 +127,9 @@ pub struct FlatProbeTable {
     /// even a byte-tag lane, so it stays cache-resident when the slot
     /// array cannot) and the empty-slot oracle for chain termination.
     bitmap: Box<[u64]>,
+    /// One tag byte per slot (a secondary byte of the Fibonacci product),
+    /// read **only** by the ≥ 2-step chain scan, 16 at a time.
+    tags: Box<[u8]>,
     /// Precomputed: table large enough that bulk probes should prefetch.
     prefetch_pays: bool,
     len: usize,
@@ -103,14 +151,20 @@ impl FlatProbeTable {
     /// 0.625 variant (hashbrown-parity footprint) cost the matching path
     /// its entire end-to-end win.
     pub fn with_capacity(entries: usize) -> Self {
-        let capacity = entries.saturating_mul(2).next_power_of_two().max(2);
-        let heap = capacity * std::mem::size_of::<Slot>() + capacity.div_ceil(64) * 8;
+        Self::with_slot_count(entries.saturating_mul(2).next_power_of_two().max(2))
+    }
+
+    /// Allocates a table with exactly `capacity` slots (power of two ≥ 2).
+    fn with_slot_count(capacity: usize) -> Self {
+        debug_assert!(capacity.is_power_of_two() && capacity >= 2);
+        let heap = capacity * (std::mem::size_of::<Slot>() + 1) + capacity.div_ceil(64) * 8;
         FlatProbeTable {
             mask: capacity - 1,
             shift: 64 - capacity.trailing_zeros(),
             slots: vec![Slot::default(); capacity].into_boxed_slice(),
             bitmap: vec![0u64; capacity.div_ceil(64)].into_boxed_slice(),
-            prefetch_pays: heap > PREFETCH_BYTES,
+            tags: vec![0u8; capacity].into_boxed_slice(),
+            prefetch_pays: heap > crate::calibrate::prefetch_threshold(),
             len: 0,
         }
     }
@@ -121,6 +175,25 @@ impl FlatProbeTable {
         let mut t = FlatProbeTable::with_capacity(iter.size_hint().0);
         for (h, v) in iter {
             t.insert_first(h, v);
+        }
+        t
+    }
+
+    /// Builds a table at an explicit load factor (clamped to keep at least
+    /// one empty slot, which probe termination relies on) instead of the
+    /// serving-path ≤ 0.5 bound. Chains get long well before load 0.9 —
+    /// this is how tests and microbenches exercise the group-scan path
+    /// without million-entry fixtures.
+    pub fn from_pairs_with_load(pairs: impl IntoIterator<Item = (u64, u32)>, load: f64) -> Self {
+        let pairs: Vec<(u64, u32)> = pairs.into_iter().collect();
+        let load = load.clamp(0.05, 0.95);
+        let capacity = ((pairs.len() as f64 / load).ceil() as usize)
+            .max(pairs.len() + 1)
+            .next_power_of_two()
+            .max(2);
+        let mut t = FlatProbeTable::with_slot_count(capacity);
+        for (h, v) in pairs {
+            t.insert_no_grow(h, v);
         }
         t
     }
@@ -148,6 +221,14 @@ impl FlatProbeTable {
         (hash.wrapping_mul(GOLDEN) >> self.shift) as usize & self.mask
     }
 
+    /// The group-scan tag: a byte of the same Fibonacci product the home
+    /// index comes from, taken below the index bits so adversarial keys
+    /// that collide on the home slot still usually differ in tag.
+    #[inline]
+    fn tag_of(hash: u64) -> u8 {
+        (hash.wrapping_mul(GOLDEN) >> 8) as u8
+    }
+
     #[inline]
     fn occupied(&self, i: usize) -> bool {
         self.bitmap[i >> 6] & (1u64 << (i & 63)) != 0
@@ -161,10 +242,18 @@ impl FlatProbeTable {
         if (self.len + 1) * 2 > self.capacity() {
             self.grow();
         }
+        self.insert_no_grow(hash, val)
+    }
+
+    /// The insert body, without the load-bound grow: also used by
+    /// [`FlatProbeTable::from_pairs_with_load`] to build beyond load 0.5.
+    fn insert_no_grow(&mut self, hash: u64, val: u32) -> bool {
+        debug_assert!(self.len < self.capacity(), "no empty slot left");
         let mut i = self.home(hash);
         loop {
             if !self.occupied(i) {
                 self.slots[i] = Slot { hash, val };
+                self.tags[i] = Self::tag_of(hash);
                 self.bitmap[i >> 6] |= 1u64 << (i & 63);
                 self.len += 1;
                 return true;
@@ -189,9 +278,14 @@ impl FlatProbeTable {
     }
 
     /// Probes `hash`, returning its value if present.
+    ///
+    /// The fast path is unchanged from the tag-free design — bitmap
+    /// prefilter, then at most two slot compares — so the overwhelmingly
+    /// common short probes never touch the tag lane. Only a chain that
+    /// survives both compares falls through to [`Self::probe_chain`].
     #[inline]
     pub fn probe(&self, hash: u64) -> Option<u32> {
-        let mut i = self.home(hash);
+        let i = self.home(hash);
         // Prefilter: an empty home slot — the dominant miss at load
         // ≤ 0.5 — is rejected by one bit of the bitmap without touching
         // the slot array. The bitmap is 128× denser than the slots, so it
@@ -199,28 +293,120 @@ impl FlatProbeTable {
         if !self.occupied(i) {
             return None;
         }
+        if self.slots[i].hash == hash {
+            return Some(self.slots[i].val);
+        }
+        let j = (i + 1) & self.mask;
+        if !self.occupied(j) {
+            return None;
+        }
+        if self.slots[j].hash == hash {
+            return Some(self.slots[j].val);
+        }
+        self.probe_chain((j + 1) & self.mask, hash)
+    }
+
+    /// Continues a probe chain from slot `start` (the third slot of the
+    /// chain; `start`'s occupancy has not been checked yet). Dispatches to
+    /// the 16-wide tag-group scan when SIMD is enabled and the table has
+    /// at least one full group; the scalar walk is the fallback and the
+    /// bitwise-equivalence control.
+    #[cold]
+    fn probe_chain(&self, start: usize, hash: u64) -> Option<u32> {
+        #[cfg(target_arch = "x86_64")]
+        if self.capacity() >= GROUP && crate::simd::probe_simd() {
+            // SAFETY: SSE2 is baseline on x86_64; capacity checked ≥ GROUP.
+            return unsafe { self.probe_chain_sse2(start, hash) };
+        }
+        self.probe_chain_scalar(start, hash)
+    }
+
+    /// The scalar chain walk: one slot per step, terminated by the first
+    /// empty slot. Exactly the pre-SIMD loop.
+    fn probe_chain_scalar(&self, start: usize, hash: u64) -> Option<u32> {
+        let mut i = start;
         loop {
+            if !self.occupied(i) {
+                return None;
+            }
             if self.slots[i].hash == hash {
                 return Some(self.slots[i].val);
             }
             i = (i + 1) & self.mask;
-            if !self.occupied(i) {
+        }
+    }
+
+    /// The 16 occupancy bits covering the 16-aligned group at `group`.
+    /// Capacity is a power of two ≥ 16 here, so an aligned group never
+    /// straddles a bitmap word.
+    #[cfg(target_arch = "x86_64")]
+    #[inline]
+    fn occ16(&self, group: usize) -> u32 {
+        ((self.bitmap[group >> 6] >> (group & 63)) & 0xffff) as u32
+    }
+
+    /// Swiss-table-style chain scan: per step, compare one 16-slot group's
+    /// byte tags against the key's tag in one `_mm_cmpeq_epi8` and check
+    /// the group's 16 occupancy bits, then confirm tag candidates (in
+    /// ascending slot order, so first-wins duplicates resolve exactly like
+    /// the scalar walk) against the full 64-bit hash. Candidates at or
+    /// past the group's first empty slot are masked out — the scalar walk
+    /// would have stopped there — which also terminates the scan.
+    ///
+    /// # Safety
+    /// Requires SSE2 (baseline on x86_64) and `capacity() >= GROUP`.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "sse2")]
+    unsafe fn probe_chain_sse2(&self, start: usize, hash: u64) -> Option<u32> {
+        use std::arch::x86_64::*;
+        let needle = _mm_set1_epi8(Self::tag_of(hash) as i8);
+        let mut group = start & !(GROUP - 1);
+        // Slots of the first group before `start` belong to earlier chain
+        // positions the fast path already handled; mask them out.
+        let mut window = (0xffffu32 << (start & (GROUP - 1))) & 0xffff;
+        loop {
+            let occ = self.occ16(group);
+            let tags = _mm_loadu_si128(self.tags.as_ptr().add(group).cast());
+            let eq = _mm_movemask_epi8(_mm_cmpeq_epi8(tags, needle)) as u32;
+            let empties = !occ & window;
+            // The chain the scalar walk would traverse ends at the first
+            // empty slot in the window; only candidates before it count.
+            let in_chain = if empties != 0 {
+                window & ((1u32 << empties.trailing_zeros()) - 1)
+            } else {
+                window
+            };
+            let mut cand = eq & occ & in_chain;
+            while cand != 0 {
+                let pos = group + cand.trailing_zeros() as usize;
+                if self.slots[pos].hash == hash {
+                    return Some(self.slots[pos].val);
+                }
+                cand &= cand - 1;
+            }
+            if empties != 0 {
                 return None;
             }
+            group = (group + GROUP) & self.mask;
+            window = 0xffff;
         }
     }
 
     /// True when bulk probe loops should software-prefetch ahead: the
-    /// table spills the fast cache levels, so overlapping the next
+    /// table spills the fast cache levels — per the startup-calibrated
+    /// threshold of [`crate::calibrate`] — so overlapping the next
     /// window's load hides latency instead of wasting an instruction.
     #[inline]
     pub fn prefetch_pays(&self) -> bool {
         self.prefetch_pays
     }
 
-    /// Prefetches the home slot of `hash` into L1 (tag and hash lanes).
-    /// Bulk probe loops call this a few windows ahead so the dependent
-    /// loads of [`FlatProbeTable::probe`] overlap across windows.
+    /// Prefetches the home slot of `hash` into L1. Bulk probe loops call
+    /// this a few windows ahead so the dependent loads of
+    /// [`FlatProbeTable::probe`] overlap across windows. (The tag lane is
+    /// not prefetched: only ≥ 2-step chains read it, and prefetching it
+    /// for every window would recreate the two-line-fill cost the lazy
+    /// tag design exists to avoid.)
     #[inline]
     pub fn prefetch(&self, hash: u64) {
         let i = self.home(hash);
@@ -245,9 +431,9 @@ impl FlatProbeTable {
         let _ = i;
     }
 
-    /// Heap bytes of the table (slot array + bitmap).
+    /// Heap bytes of the table (slot array + bitmap + tag lane).
     pub fn heap_bytes(&self) -> usize {
-        self.slots.len() * std::mem::size_of::<Slot>() + self.bitmap.len() * 8
+        self.slots.len() * std::mem::size_of::<Slot>() + self.bitmap.len() * 8 + self.tags.len()
     }
 }
 
@@ -333,6 +519,108 @@ mod tests {
         assert_eq!(t.len(), 2);
     }
 
+    /// Multiplicative inverse of [`GOLDEN`] mod 2^64 (odd → invertible),
+    /// by Newton iteration. Lets tests construct keys with a chosen
+    /// Fibonacci product — i.e. a chosen home slot.
+    fn golden_inverse() -> u64 {
+        let mut inv = GOLDEN;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(GOLDEN.wrapping_mul(inv)));
+        }
+        assert_eq!(GOLDEN.wrapping_mul(inv), 1);
+        inv
+    }
+
+    /// A key whose Fibonacci product is exactly `product`: home slot =
+    /// top bits of `product`, group-scan tag = `(product >> 8) as u8`.
+    fn key_with_product(product: u64) -> u64 {
+        product.wrapping_mul(golden_inverse())
+    }
+
+    #[test]
+    fn same_home_chain_of_40_resolves_through_group_scan() {
+        // 40 keys whose Fibonacci products all have zero top bits — every
+        // one homes on slot 0 — with distinct tag bytes: the chain spans
+        // 3 tag groups, so hits at every depth and the trailing miss all
+        // exercise the SSE2 scan (and must agree with the scalar walk,
+        // which `probe_chain` falls back to when SIMD is off — the
+        // tests/simd.rs sweep runs both).
+        let keys: Vec<u64> = (0..40u64)
+            .map(|k| key_with_product((k << 8) | 0xa5))
+            .collect();
+        let mut t = FlatProbeTable::from_pairs_with_load(
+            keys.iter().enumerate().map(|(v, &h)| (h, v as u32)),
+            0.5,
+        );
+        for (v, &h) in keys.iter().enumerate() {
+            assert_eq!(t.probe(h), Some(v as u32), "depth {v}");
+        }
+        // A missing key homed into the same chain whose tag *collides*
+        // with the depth-5 key's (261 & 0xff == 5): full-hash confirm
+        // must reject the candidate, then the first empty slot must
+        // terminate the scan with None.
+        let absent = key_with_product((261u64 << 8) | 0xa5);
+        assert_eq!(t.probe(absent), None);
+        // And extending the table later still finds everything.
+        assert!(t.insert_first(absent, 777));
+        assert_eq!(t.probe(absent), Some(777));
+    }
+
+    #[test]
+    fn chain_wrapping_past_capacity_end_resolves() {
+        // Home the chain on the last slot of the table so the group scan
+        // wraps group addressing past the end: keys' products put home at
+        // capacity-1, chain spills into slots 0, 1, 2, ...
+        let t = {
+            let keys: Vec<u64> = (0..24u64)
+                .map(|k| key_with_product(((k + 1) << 8) | (u64::MAX << 57)))
+                .collect();
+            FlatProbeTable::from_pairs_with_load(
+                keys.iter().enumerate().map(|(v, &h)| (h, v as u32)),
+                0.3,
+            )
+        };
+        let keys: Vec<u64> = (0..24u64)
+            .map(|k| key_with_product(((k + 1) << 8) | (u64::MAX << 57)))
+            .collect();
+        for (v, &h) in keys.iter().enumerate() {
+            assert_eq!(t.probe(h), Some(v as u32), "depth {v}");
+        }
+        assert_eq!(t.probe(key_with_product(u64::MAX << 57 | (70 << 8))), None);
+    }
+
+    #[test]
+    fn high_load_table_matches_hashmap_reference() {
+        // Load ~0.9: chains run long enough that essentially every miss
+        // takes the group-scan path. Results must still match a HashMap.
+        let mut reference = std::collections::HashMap::new();
+        let mut h = 0xfeed_f00du64;
+        let pairs: Vec<(u64, u32)> = (0..7000u32)
+            .map(|k| {
+                h = splitmix64(h);
+                (h, k)
+            })
+            .collect();
+        for &(hash, v) in &pairs {
+            reference.entry(hash).or_insert(v);
+        }
+        let t = FlatProbeTable::from_pairs_with_load(pairs.iter().copied(), 0.9);
+        assert!(
+            t.len() * 10 >= t.capacity() * 8,
+            "load factor too low to exercise long chains: {}/{}",
+            t.len(),
+            t.capacity()
+        );
+        for (&hash, &val) in &reference {
+            assert_eq!(t.probe(hash), Some(val));
+        }
+        let mut probe = 3u64;
+        for _ in 0..20_000 {
+            probe = splitmix64(probe);
+            assert_eq!(t.probe(probe), reference.get(&probe).copied());
+        }
+    }
+
     #[test]
     fn heap_bytes_scale_with_capacity() {
         let small = FlatProbeTable::with_capacity(4);
@@ -349,11 +637,21 @@ mod tests {
     }
 
     #[test]
-    fn knob_round_trips() {
+    fn knob_round_trips_and_scopes_nest() {
         assert!(flat_probe(), "flat probing is the default");
         set_flat_probe(false);
         assert!(!flat_probe());
         set_flat_probe(true);
         assert!(flat_probe());
+        {
+            let _outer = scoped_flat_probe(false);
+            assert!(!flat_probe(), "scope overrides the process default");
+            {
+                let _inner = scoped_flat_probe(true);
+                assert!(flat_probe(), "inner scope wins");
+            }
+            assert!(!flat_probe(), "inner drop restores outer scope");
+        }
+        assert!(flat_probe(), "outer drop restores the process default");
     }
 }

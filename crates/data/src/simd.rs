@@ -1,0 +1,513 @@
+//! Explicit SIMD kernels for the dense data plane.
+//!
+//! Auto-vectorization carried the dense `eval_batch` kernels through PR 1-5;
+//! this module makes the vector shape explicit so it stops depending on the
+//! optimizer's mood: every f32 reduction kernel (linear dots dense and
+//! CSR-gather, PCA's centered dots, kmeans' squared distances) runs **8
+//! strided partial-sum lanes** — lane `j` accumulates elements `j`, `j+8`,
+//! `j+16`, … — followed by one **fixed sequential horizontal reduction**
+//! over the lane array. The scalar fallback is restructured into exactly
+//! the same lanes and the same reduction order, so the SIMD and scalar
+//! paths are **bitwise-identical** (AVX2 `mul_ps`/`add_ps` are the same
+//! correctly-rounded IEEE ops per lane as scalar `*`/`+`; FMA is
+//! deliberately not used because fused rounding would break the contract).
+//!
+//! Dispatch is at runtime via `is_x86_feature_detected!` (AVX2 for the
+//! 8-lane f32 kernels, SSE2 for the probe-table tag-group scan in
+//! [`crate::probe`]), behind one process knob:
+//!
+//! * `PRETZEL_SIMD=0|off|false|scalar` in the environment forces the scalar
+//!   fallback (how CI runs the whole test suite down the scalar path on any
+//!   hardware);
+//! * [`set_simd`] overrides the environment programmatically
+//!   (`RuntimeConfig::simd` at the runtime layer; the ablation switch).
+//!
+//! On non-x86_64 hardware, or when AVX2 is absent, the scalar lanes are the
+//! only path — same bits, lower throughput.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Partial-sum lanes per f32 reduction kernel (one AVX2 `__m256`).
+pub const LANES: usize = 8;
+
+/// Programmatic override: 0 = auto (environment + detection), 1 = forced
+/// on (still requires hardware support), 2 = forced off.
+static FORCE: AtomicU8 = AtomicU8::new(0);
+
+/// Forces the SIMD paths on (`Some(true)`), off (`Some(false)`), or back
+/// to the default environment + hardware dispatch (`None`). Forcing on
+/// never engages SIMD on hardware without the required features — the knob
+/// selects between bitwise-identical paths, never unsound ones.
+pub fn set_simd(force: Option<bool>) {
+    let v = match force {
+        None => 0,
+        Some(true) => 1,
+        Some(false) => 2,
+    };
+    FORCE.store(v, Ordering::Relaxed);
+}
+
+/// The environment default, read once: `PRETZEL_SIMD=0|off|false|scalar`
+/// disables, anything else (or unset) enables.
+fn env_enabled() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("PRETZEL_SIMD") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "off" | "false" | "scalar"
+        ),
+        Err(_) => true,
+    })
+}
+
+#[inline]
+fn knob_on() -> bool {
+    match FORCE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => env_enabled(),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn hw_avx2() -> bool {
+    static HW: OnceLock<bool> = OnceLock::new();
+    *HW.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn hw_avx2() -> bool {
+    false
+}
+
+/// True when the dense 8-lane f32 kernels dispatch to AVX2.
+#[inline]
+pub fn dense_simd() -> bool {
+    knob_on() && hw_avx2()
+}
+
+/// True when the probe table's 16-wide tag-group chain scan dispatches to
+/// SSE2 (baseline on x86_64, so this is just the knob there).
+#[inline]
+pub fn probe_simd() -> bool {
+    cfg!(target_arch = "x86_64") && knob_on()
+}
+
+/// The fixed horizontal reduction: lanes summed left to right, starting
+/// from `0.0` (matching the scalar kernels' accumulator initialization).
+/// This order is part of the bitwise contract between the paths — and it
+/// keeps short inputs (`n <= 8`, one element per lane) exactly equal to
+/// the pre-SIMD sequential loops.
+#[inline]
+pub fn reduce_lanes(lanes: [f32; LANES]) -> f32 {
+    let mut acc = 0.0f32;
+    for v in lanes {
+        acc += v;
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// Scalar lane-structured kernels (the always-available fallback and the
+// bitwise reference; public so equivalence tests can pin SIMD against them).
+// ---------------------------------------------------------------------------
+
+/// Scalar 8-lane dot product of `a[i] * b[i]` over `min(len_a, len_b)`.
+pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let mut lanes = [0.0f32; LANES];
+    let mut i = 0;
+    while i + LANES <= n {
+        for j in 0..LANES {
+            lanes[j] += a[i + j] * b[i + j];
+        }
+        i += LANES;
+    }
+    let mut j = 0;
+    while i < n {
+        lanes[j] += a[i] * b[i];
+        i += 1;
+        j += 1;
+    }
+    reduce_lanes(lanes)
+}
+
+/// Scalar 8-lane centered dot: `(x[i] - mean[i]) * w[i]` (PCA projection).
+pub fn centered_dot_scalar(x: &[f32], mean: &[f32], w: &[f32]) -> f32 {
+    let n = x.len().min(mean.len()).min(w.len());
+    let mut lanes = [0.0f32; LANES];
+    let mut i = 0;
+    while i + LANES <= n {
+        for j in 0..LANES {
+            lanes[j] += (x[i + j] - mean[i + j]) * w[i + j];
+        }
+        i += LANES;
+    }
+    let mut j = 0;
+    while i < n {
+        lanes[j] += (x[i] - mean[i]) * w[i];
+        i += 1;
+        j += 1;
+    }
+    reduce_lanes(lanes)
+}
+
+/// Scalar 8-lane squared Euclidean distance (kmeans).
+pub fn squared_distance_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let mut lanes = [0.0f32; LANES];
+    let mut i = 0;
+    while i + LANES <= n {
+        for j in 0..LANES {
+            let d = a[i + j] - b[i + j];
+            lanes[j] += d * d;
+        }
+        i += LANES;
+    }
+    let mut j = 0;
+    while i < n {
+        let d = a[i] - b[i];
+        lanes[j] += d * d;
+        i += 1;
+        j += 1;
+    }
+    reduce_lanes(lanes)
+}
+
+/// Scalar CSR-gather dot: `values[p] * seg[indices[p]]` in 8 strided
+/// lanes. Out-of-range indices panic exactly like the pre-SIMD indexed
+/// loop did.
+pub fn sparse_dot_scalar(indices: &[u32], values: &[f32], seg: &[f32]) -> f32 {
+    let n = indices.len().min(values.len());
+    let mut lanes = [0.0f32; LANES];
+    let mut i = 0;
+    while i + LANES <= n {
+        for j in 0..LANES {
+            lanes[j] += values[i + j] * seg[indices[i + j] as usize];
+        }
+        i += LANES;
+    }
+    let mut j = 0;
+    while i < n {
+        lanes[j] += values[i] * seg[indices[i] as usize];
+        i += 1;
+        j += 1;
+    }
+    reduce_lanes(lanes)
+}
+
+/// Scalar affine map `y[i] = (x[i] - offset[i]) * scale[i]` (Scaler).
+/// Elementwise, so lane structure is irrelevant to the bits — the SIMD
+/// twin is trivially identical.
+pub fn scale_into_scalar(x: &[f32], offset: &[f32], scale: &[f32], y: &mut [f32]) {
+    for i in 0..x.len() {
+        y[i] = (x[i] - offset[i]) * scale[i];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels: the same lanes, the same reduction, 8 elements per step.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{reduce_lanes, LANES};
+    use std::arch::x86_64::*;
+
+    #[inline]
+    unsafe fn spill(acc: __m256) -> [f32; LANES] {
+        let mut lanes = [0.0f32; LANES];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        lanes
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + LANES <= n {
+            let x = _mm256_loadu_ps(a.as_ptr().add(i));
+            let w = _mm256_loadu_ps(b.as_ptr().add(i));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(x, w));
+            i += LANES;
+        }
+        let mut lanes = spill(acc);
+        let mut j = 0;
+        while i < n {
+            lanes[j] += a[i] * b[i];
+            i += 1;
+            j += 1;
+        }
+        reduce_lanes(lanes)
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn centered_dot(x: &[f32], mean: &[f32], w: &[f32]) -> f32 {
+        let n = x.len().min(mean.len()).min(w.len());
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + LANES <= n {
+            let xv = _mm256_loadu_ps(x.as_ptr().add(i));
+            let mv = _mm256_loadu_ps(mean.as_ptr().add(i));
+            let wv = _mm256_loadu_ps(w.as_ptr().add(i));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_sub_ps(xv, mv), wv));
+            i += LANES;
+        }
+        let mut lanes = spill(acc);
+        let mut j = 0;
+        while i < n {
+            lanes[j] += (x[i] - mean[i]) * w[i];
+            i += 1;
+            j += 1;
+        }
+        reduce_lanes(lanes)
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + LANES <= n {
+            let d = _mm256_sub_ps(
+                _mm256_loadu_ps(a.as_ptr().add(i)),
+                _mm256_loadu_ps(b.as_ptr().add(i)),
+            );
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
+            i += LANES;
+        }
+        let mut lanes = spill(acc);
+        let mut j = 0;
+        while i < n {
+            let d = a[i] - b[i];
+            lanes[j] += d * d;
+            i += 1;
+            j += 1;
+        }
+        reduce_lanes(lanes)
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support **and** that every index in
+    /// `indices[..n]` is `< seg.len()` (the gather has no bounds checks).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sparse_dot_unchecked(indices: &[u32], values: &[f32], seg: &[f32]) -> f32 {
+        let n = indices.len().min(values.len());
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + LANES <= n {
+            let idx = _mm256_loadu_si256(indices.as_ptr().add(i).cast());
+            let gathered = _mm256_i32gather_ps::<4>(seg.as_ptr(), idx);
+            let v = _mm256_loadu_ps(values.as_ptr().add(i));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(v, gathered));
+            i += LANES;
+        }
+        let mut lanes = spill(acc);
+        let mut j = 0;
+        while i < n {
+            lanes[j] += values[i] * *seg.get_unchecked(indices[i] as usize);
+            i += 1;
+            j += 1;
+        }
+        reduce_lanes(lanes)
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support and that `offset`, `scale`,
+    /// and `y` are at least `x.len()` long.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale_into(x: &[f32], offset: &[f32], scale: &[f32], y: &mut [f32]) {
+        let n = x.len();
+        let mut i = 0;
+        while i + LANES <= n {
+            let xv = _mm256_loadu_ps(x.as_ptr().add(i));
+            let ov = _mm256_loadu_ps(offset.as_ptr().add(i));
+            let sv = _mm256_loadu_ps(scale.as_ptr().add(i));
+            _mm256_storeu_ps(
+                y.as_mut_ptr().add(i),
+                _mm256_mul_ps(_mm256_sub_ps(xv, ov), sv),
+            );
+            i += LANES;
+        }
+        while i < n {
+            y[i] = (x[i] - offset[i]) * scale[i];
+            i += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatchers: the one entry point each operator kernel calls.
+// ---------------------------------------------------------------------------
+
+/// Dot product over `min(len_a, len_b)` elements: 8 strided lanes + fixed
+/// reduction; AVX2 when available and enabled, bitwise-identical scalar
+/// lanes otherwise.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if dense_simd() {
+        // SAFETY: dense_simd() verified AVX2.
+        return unsafe { avx2::dot(a, b) };
+    }
+    dot_scalar(a, b)
+}
+
+/// Centered dot product `(x - mean) · w` (PCA projection row kernel).
+#[inline]
+pub fn centered_dot(x: &[f32], mean: &[f32], w: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if dense_simd() {
+        // SAFETY: dense_simd() verified AVX2.
+        return unsafe { avx2::centered_dot(x, mean, w) };
+    }
+    centered_dot_scalar(x, mean, w)
+}
+
+/// Squared Euclidean distance (kmeans distance row kernel).
+#[inline]
+pub fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if dense_simd() {
+        // SAFETY: dense_simd() verified AVX2.
+        return unsafe { avx2::squared_distance(a, b) };
+    }
+    squared_distance_scalar(a, b)
+}
+
+/// CSR-gather dot product against a dense weight segment. The AVX2 path
+/// validates the whole index set in one cheap (auto-vectorizing) max scan
+/// and then gathers without per-element bounds checks; any out-of-range
+/// index falls back to the scalar kernel, which panics exactly like the
+/// pre-SIMD indexed loop.
+#[inline]
+pub fn sparse_dot(indices: &[u32], values: &[f32], seg: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if dense_simd() && seg.len() <= i32::MAX as usize {
+        let n = indices.len().min(values.len());
+        let mut max = 0u32;
+        for &i in &indices[..n] {
+            max = max.max(i);
+        }
+        if n == 0 || (max as usize) < seg.len() {
+            // SAFETY: dense_simd() verified AVX2; every index < seg.len().
+            return unsafe { avx2::sparse_dot_unchecked(indices, values, seg) };
+        }
+    }
+    sparse_dot_scalar(indices, values, seg)
+}
+
+/// Affine per-dimension map `y = (x - offset) * scale` (Scaler row
+/// kernel). Elementwise, so both paths are trivially bitwise-identical.
+#[inline]
+pub fn scale_into(x: &[f32], offset: &[f32], scale: &[f32], y: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if dense_simd() && offset.len() >= x.len() && scale.len() >= x.len() && y.len() >= x.len() {
+        // SAFETY: dense_simd() verified AVX2; lengths checked above.
+        return unsafe { avx2::scale_into(x, offset, scale, y) };
+    }
+    scale_into_scalar(x, offset, scale, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::splitmix64;
+
+    fn vecf(seed: u64, n: usize) -> Vec<f32> {
+        let mut h = seed;
+        (0..n)
+            .map(|_| {
+                h = splitmix64(h);
+                ((h % 2000) as f32 - 1000.0) / 97.0
+            })
+            .collect()
+    }
+
+    const DIMS: [usize; 10] = [0, 1, 3, 7, 8, 9, 16, 31, 100, 1000];
+
+    #[test]
+    fn dispatch_matches_scalar_lanes_bitwise() {
+        for &n in &DIMS {
+            let a = vecf(0xa + n as u64, n);
+            let b = vecf(0xb + n as u64, n);
+            assert_eq!(dot(&a, &b).to_bits(), dot_scalar(&a, &b).to_bits(), "n={n}");
+            assert_eq!(
+                centered_dot(&a, &b, &a).to_bits(),
+                centered_dot_scalar(&a, &b, &a).to_bits(),
+                "n={n}"
+            );
+            assert_eq!(
+                squared_distance(&a, &b).to_bits(),
+                squared_distance_scalar(&a, &b).to_bits(),
+                "n={n}"
+            );
+            let mut y1 = vec![0.0f32; n];
+            let mut y2 = vec![0.0f32; n];
+            scale_into(&a, &b, &a, &mut y1);
+            scale_into_scalar(&a, &b, &a, &mut y2);
+            assert_eq!(
+                y1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                y2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_dot_matches_scalar_bitwise() {
+        for &n in &DIMS {
+            let seg = vecf(0x5e9 + n as u64, 512);
+            let values = vecf(0x7a1 + n as u64, n);
+            let mut h = 0x1d1 + n as u64;
+            let indices: Vec<u32> = (0..n)
+                .map(|_| {
+                    h = splitmix64(h);
+                    (h % 512) as u32
+                })
+                .collect();
+            assert_eq!(
+                sparse_dot(&indices, &values, &seg).to_bits(),
+                sparse_dot_scalar(&indices, &values, &seg).to_bits(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn short_inputs_reduce_exactly_like_sequential_sums() {
+        // One element per lane + sequential reduction == the pre-SIMD
+        // sequential loop for n <= LANES; this is what keeps small-dim
+        // golden scores unchanged.
+        let a = [1.0f32, -2.0, 0.5, 3.0];
+        let b = [1.0f32, 1.0, 2.0, 0.0];
+        let sequential: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        assert_eq!(dot_scalar(&a, &b).to_bits(), sequential.to_bits());
+    }
+
+    #[test]
+    fn forced_scalar_knob_switches_dispatch() {
+        set_simd(Some(false));
+        assert!(!dense_simd());
+        assert!(!probe_simd());
+        set_simd(Some(true));
+        assert_eq!(dense_simd(), hw_avx2());
+        set_simd(None);
+    }
+
+    #[test]
+    fn truncating_zip_semantics_preserved() {
+        // Mismatched lengths truncate like the old iterator zips did.
+        let a = vecf(1, 20);
+        let b = vecf(2, 13);
+        assert_eq!(dot(&a, &b).to_bits(), dot_scalar(&a[..13], &b).to_bits());
+    }
+}

@@ -43,13 +43,12 @@ impl ScalerParams {
 
     /// Applies the affine map to one dense row. Shared by the per-record,
     /// batch, and borrowed-row kernels, so their bitwise agreement rests on
-    /// one implementation; the single pass over three slices
-    /// auto-vectorizes.
+    /// one implementation; the single pass over three slices runs the
+    /// explicit 8-wide affine kernel (AVX2 or its identical scalar twin —
+    /// the map is elementwise, so the paths are trivially bitwise-equal).
     #[inline]
     pub(crate) fn scale_row(&self, x: &[f32], y: &mut [f32]) {
-        for i in 0..x.len() {
-            y[i] = (x[i] - self.offset[i]) * self.scale[i];
-        }
+        pretzel_data::simd::scale_into(x, &self.offset, &self.scale, y);
     }
 
     /// Applies the affine map from `input` into `out` (dense → dense).

@@ -40,18 +40,14 @@ impl KMeansParams {
 
     /// Squared Euclidean distances of one dense row to every centroid.
     /// Shared by the per-record and batch kernels, so their bitwise
-    /// agreement rests on one implementation. The inner squared-distance
-    /// loop over two slices auto-vectorizes.
+    /// agreement rests on one implementation. Each centroid's distance
+    /// runs the explicit 8-lane squared-distance kernel (AVX2 or its
+    /// lane-identical scalar twin).
     fn distances_row(&self, x: &[f32], y: &mut [f32]) {
         let d = self.dim as usize;
         for (c, slot) in y.iter_mut().enumerate() {
             let row = &self.centroids[c * d..(c + 1) * d];
-            let mut acc = 0.0f32;
-            for i in 0..d {
-                let diff = x[i] - row[i];
-                acc += diff * diff;
-            }
-            *slot = acc;
+            *slot = pretzel_data::simd::squared_distance(x, row);
         }
     }
 

@@ -75,8 +75,9 @@ impl LinearParams {
         match input {
             ColRef::Dense(x) => {
                 let seg = self.segment(offset, x.len())?;
-                // Slice zip: bounds-check-free, auto-vectorizes.
-                Ok(x.iter().zip(seg).map(|(a, b)| a * b).sum())
+                // Explicit 8-lane dot (AVX2 or the lane-identical scalar
+                // fallback, per the SIMD knob).
+                Ok(pretzel_data::simd::dot(x, seg))
             }
             ColRef::Sparse {
                 indices,
@@ -84,11 +85,9 @@ impl LinearParams {
                 dim,
             } => {
                 let seg = self.segment(offset, dim as usize)?;
-                let mut acc = 0.0f32;
-                for (&i, &v) in indices.iter().zip(values) {
-                    acc += v * seg[i as usize];
-                }
-                Ok(acc)
+                // CSR-gather dot: AVX2 `vgatherdps` after a one-pass index
+                // validation, or the lane-identical scalar fallback.
+                Ok(pretzel_data::simd::sparse_dot(indices, values, seg))
             }
             ColRef::Scalar(x) => {
                 let seg = self.segment(offset, 1)?;

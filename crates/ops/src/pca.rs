@@ -48,18 +48,14 @@ impl PcaParams {
 
     /// Projects one dense row onto the components. Shared by the
     /// per-record, batch, and borrowed-row kernels, so their bitwise
-    /// agreement rests on one implementation; the centered dot loop
-    /// auto-vectorizes.
+    /// agreement rests on one implementation; each centered dot runs the
+    /// explicit 8-lane kernel (AVX2 or its lane-identical scalar twin).
     #[inline]
     pub(crate) fn project_row(&self, x: &[f32], y: &mut [f32]) {
         let d = self.dim as usize;
         for (c, slot) in y.iter_mut().enumerate() {
             let row = &self.components[c * d..(c + 1) * d];
-            let mut acc = 0.0f32;
-            for i in 0..d {
-                acc += (x[i] - self.mean[i]) * row[i];
-            }
-            *slot = acc;
+            *slot = pretzel_data::simd::centered_dot(x, &self.mean, row);
         }
     }
 

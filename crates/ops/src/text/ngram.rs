@@ -207,17 +207,19 @@ fn hash_exact_windows_dyn(bytes: &[u8], k: usize, hashes: &mut [u64]) {
 }
 
 /// A trained n-gram dictionary: the keys (owned, for size realism and
-/// serialization) plus two derived hash → index probe structures — the
-/// [`FlatProbeTable`] the default matching path bulk-probes, and the
-/// `HashMap` the ablation-control path probes (also kept for point
-/// lookups). Both are built with the same first-index-wins rule, so they
+/// serialization) plus derived hash → index probe structures — the
+/// [`FlatProbeTable`] the default matching path bulk-probes, and a
+/// `HashMap` control path built **lazily on first knob-off probe**: a
+/// paper-scale dictionary's control map costs tens of MB, and a serving
+/// process that never flips the ablation knob should not pay idle heap
+/// for it. Both structures use the same first-index-wins rule, so they
 /// resolve every hash identically.
 #[derive(Debug, Clone)]
 pub struct NgramDict {
     keys: Vec<Box<str>>,
     // Keys are already FNV-1a hashes; a pass-through hasher avoids paying
-    // SipHash on every probe of the control path.
-    map: HashMap<u64, u32, pretzel_data::hash::PrehashedBuild>,
+    // SipHash on every probe of the control path. Built on first use.
+    control: std::sync::OnceLock<HashMap<u64, u32, pretzel_data::hash::PrehashedBuild>>,
     flat: FlatProbeTable,
     fold_case: bool,
 }
@@ -235,21 +237,31 @@ impl NgramDict {
     /// Later duplicates (after case folding) are ignored, keeping the first
     /// index, so dictionary indices are stable.
     pub fn new(keys: Vec<Box<str>>, fold_case: bool) -> Self {
-        let mut map: HashMap<u64, u32, pretzel_data::hash::PrehashedBuild> =
-            HashMap::with_capacity_and_hasher(keys.len(), Default::default());
         let mut flat = FlatProbeTable::with_capacity(keys.len());
         for (i, k) in keys.iter().enumerate() {
-            let h = Self::hash_key(k, fold_case);
-            // Same first-wins rule in both tables, so probe paths agree.
-            map.entry(h).or_insert(i as u32);
-            flat.insert_first(h, i as u32);
+            flat.insert_first(Self::hash_key(k, fold_case), i as u32);
         }
         NgramDict {
             keys,
-            map,
+            control: std::sync::OnceLock::new(),
             flat,
             fold_case,
         }
+    }
+
+    /// The `HashMap` control path, built on first use with the same
+    /// first-wins rule as the flat table (so both paths agree on every
+    /// hash — including duplicate keys).
+    fn control_map(&self) -> &HashMap<u64, u32, pretzel_data::hash::PrehashedBuild> {
+        self.control.get_or_init(|| {
+            let mut map: HashMap<u64, u32, pretzel_data::hash::PrehashedBuild> =
+                HashMap::with_capacity_and_hasher(self.keys.len(), Default::default());
+            for (i, k) in self.keys.iter().enumerate() {
+                map.entry(Self::hash_key(k, self.fold_case))
+                    .or_insert(i as u32);
+            }
+            map
+        })
     }
 
     /// Number of dictionary entries (= featurizer output dimensionality).
@@ -267,10 +279,11 @@ impl NgramDict {
         &self.keys
     }
 
-    /// Probes a precomputed hash through the `HashMap` control path.
+    /// Probes a precomputed hash through the `HashMap` control path
+    /// (building it on first use).
     #[inline]
     pub fn probe(&self, hash: u64) -> Option<u32> {
-        self.map.get(&hash).copied()
+        self.control_map().get(&hash).copied()
     }
 
     /// Probes a precomputed hash through the flat table (the default
@@ -304,13 +317,17 @@ impl NgramDict {
         h.finish()
     }
 
-    /// Heap bytes: key storage plus both probe structures (the flat table
-    /// that serves matching and the `HashMap` kept as the ablation
-    /// control).
+    /// Heap bytes: key storage plus the probe structures — the flat table
+    /// that serves matching, and the `HashMap` ablation control **only if
+    /// it has actually been built** (it is lazy; an idle control path
+    /// costs nothing).
     pub fn heap_bytes(&self) -> usize {
         let keys: usize = self.keys.iter().map(|k| k.len()).sum();
         keys + self.keys.capacity() * std::mem::size_of::<Box<str>>()
-            + hashmap_bytes(self.map.len(), self.map.capacity())
+            + self
+                .control
+                .get()
+                .map_or(0, |m| hashmap_bytes(m.len(), m.capacity()))
             + self.flat.heap_bytes()
     }
 }
@@ -360,8 +377,18 @@ impl NgramParams {
     /// (sparse accumulation, fused f32 dot) is bitwise-identical with the
     /// flat-probe knob on or off.
     #[inline]
-    pub fn for_each_char_match(&self, text: &str, mut f: impl FnMut(u32)) {
-        if pretzel_data::probe::flat_probe() {
+    pub fn for_each_char_match(&self, text: &str, f: impl FnMut(u32)) {
+        self.for_each_char_match_with(pretzel_data::probe::flat_probe(), text, f);
+    }
+
+    /// [`Self::for_each_char_match`] with the probe path chosen by the
+    /// caller instead of the ambient knob — how a runtime threads its own
+    /// `RuntimeConfig::flat_ngram_probe` down to the kernel (via the
+    /// `ExecCtx` probe-path scope) and how tests/benches A/B the paths
+    /// without touching process state.
+    #[inline]
+    pub fn for_each_char_match_with(&self, flat: bool, text: &str, mut f: impl FnMut(u32)) {
+        if flat {
             self.char_match_flat(text, &mut f);
         } else {
             self.char_match_control(text, &mut f);
@@ -372,8 +399,21 @@ impl NgramParams {
     ///
     /// Fusion hook, see [`Self::for_each_char_match`].
     #[inline]
-    pub fn for_each_word_match(&self, text: &str, spans: &[Span], mut f: impl FnMut(u32)) {
-        if pretzel_data::probe::flat_probe() {
+    pub fn for_each_word_match(&self, text: &str, spans: &[Span], f: impl FnMut(u32)) {
+        self.for_each_word_match_with(pretzel_data::probe::flat_probe(), text, spans, f);
+    }
+
+    /// [`Self::for_each_word_match`] with the probe path chosen by the
+    /// caller; see [`Self::for_each_char_match_with`].
+    #[inline]
+    pub fn for_each_word_match_with(
+        &self,
+        flat: bool,
+        text: &str,
+        spans: &[Span],
+        mut f: impl FnMut(u32),
+    ) {
+        if flat {
             self.word_match_flat(text, spans, &mut f);
         } else {
             self.word_match_control(text, spans, &mut f);

@@ -1,0 +1,288 @@
+//! SIMD data-plane correctness: the vectorized kernels and the scalar
+//! fallback are the SAME function, not merely close. The scalar path is
+//! restructured into the identical 8 strided partial-sum lanes with the
+//! identical fixed reduction order, so forcing the knob off must not
+//! change a single output bit — across the full runtime, the operator
+//! batch kernels, and the probe table's chain scans.
+//!
+//! The process-wide knob ([`pretzel_data::simd::set_simd`]) is shared by
+//! every test thread in this binary, so each test serializes on `KNOB`
+//! and restores the auto setting on exit (including panic).
+
+use pretzel_baseline::{volcano, BlackBoxModel};
+use pretzel_core::graph::TransformGraph;
+use pretzel_core::physical::SourceRef;
+use pretzel_core::runtime::{Runtime, RuntimeConfig};
+use pretzel_core::scheduler::Record;
+use pretzel_data::hash::splitmix64;
+use pretzel_data::probe::FlatProbeTable;
+use pretzel_data::{ColumnBatch, ColumnType};
+use pretzel_ops::kmeans::KMeansParams;
+use pretzel_ops::pca::PcaParams;
+use pretzel_workload::ac::AcConfig;
+use pretzel_workload::sa::SaConfig;
+use pretzel_workload::text::{ReviewGen, StructuredGen};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+const TOL: f32 = 1e-4;
+
+static KNOB: Mutex<()> = Mutex::new(());
+
+/// Serializes knob-mutating tests and restores auto dispatch on drop, so
+/// a panicking test cannot leak a forced setting into its successors.
+struct KnobLock<'a> {
+    _guard: MutexGuard<'a, ()>,
+}
+
+impl<'a> KnobLock<'a> {
+    fn take() -> Self {
+        let guard = match KNOB.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        Self { _guard: guard }
+    }
+}
+
+impl Drop for KnobLock<'_> {
+    fn drop(&mut self) {
+        pretzel_data::simd::set_simd(None);
+    }
+}
+
+fn sa_setup() -> (Vec<TransformGraph>, Vec<String>) {
+    let w = pretzel_workload::sa::build(&SaConfig {
+        n_pipelines: 8,
+        char_entries: 512,
+        word_entries_small: 64,
+        word_entries_large: 256,
+        vocab_size: 512,
+        seed: 0x51,
+    });
+    let mut gen = ReviewGen::new(9, 512, 1.2);
+    let lines = (0..8).map(|_| format!("4,{}", gen.review(8, 30))).collect();
+    (w.graphs, lines)
+}
+
+fn ac_setup() -> (Vec<TransformGraph>, Vec<String>) {
+    let w = pretzel_workload::ac::build(&AcConfig {
+        n_pipelines: 8,
+        input_dim: 16,
+        dense_input: false,
+        seed: 0xa1,
+    });
+    let mut gen = StructuredGen::new(4, 16);
+    let lines = (0..8).map(|_| gen.csv_line()).collect();
+    (w.graphs, lines)
+}
+
+fn ac_dense_setup() -> (Vec<TransformGraph>, Vec<Record>) {
+    let w = pretzel_workload::ac::build(&AcConfig {
+        n_pipelines: 8,
+        input_dim: 100,
+        dense_input: true,
+        seed: 0xa2,
+    });
+    let mut gen = StructuredGen::new(5, 100);
+    let records = (0..32).map(|_| Record::Dense(gen.record())).collect();
+    (w.graphs, records)
+}
+
+/// Runs every pipeline through the runtime and both baselines, asserting
+/// agreement within tolerance — the standard equivalence sweep, but under
+/// whatever SIMD dispatch setting the caller forced.
+fn check_equivalence(graphs: &[TransformGraph], lines: &[String], label: &str) {
+    let runtime = Runtime::new(RuntimeConfig {
+        n_executors: 2,
+        ..RuntimeConfig::default()
+    });
+    for (k, graph) in graphs.iter().enumerate() {
+        let image = Arc::new(graph.to_model_image());
+        let plan = pretzel_core::oven::optimize(graph).unwrap().plan;
+        let id = runtime.register(plan).unwrap();
+        let mut blackbox = BlackBoxModel::from_image(image);
+        for line in lines {
+            let expect = volcano::execute(graph, SourceRef::Text(line)).unwrap();
+            let bb = blackbox.predict(SourceRef::Text(line)).unwrap();
+            let rr = runtime.predict(id, line).unwrap();
+            assert!(
+                (bb - expect).abs() < TOL,
+                "[{label}] pipeline {k}: blackbox {bb} vs volcano {expect}"
+            );
+            assert!(
+                (rr - expect).abs() < TOL,
+                "[{label}] pipeline {k}: pretzel {rr} vs volcano {expect}"
+            );
+        }
+    }
+}
+
+/// Full prediction vector for a workload under the current knob setting,
+/// through both the request-response and the batch engines. A fresh
+/// runtime per call, so no cache built under one setting can serve the
+/// other.
+fn predictions(graphs: &[TransformGraph], records: &[Record]) -> Vec<f32> {
+    let runtime = Runtime::new(RuntimeConfig {
+        n_executors: 2,
+        ..RuntimeConfig::default()
+    });
+    let mut out = Vec::new();
+    for graph in graphs {
+        let plan = pretzel_core::oven::optimize(graph).unwrap().plan;
+        let id = runtime.register(plan).unwrap();
+        out.extend(runtime.predict_batch_wait(id, records.to_vec()).unwrap());
+        if let Some(Record::Text(_)) = records.first() {
+            for r in records {
+                if let Record::Text(line) = r {
+                    out.push(runtime.predict(id, line).unwrap());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn forced_scalar_sweep_passes_equivalence() {
+    let _lock = KnobLock::take();
+    pretzel_data::simd::set_simd(Some(false));
+    let (sa_graphs, sa_lines) = sa_setup();
+    check_equivalence(&sa_graphs, &sa_lines, "sa/forced-scalar");
+    let (ac_graphs, ac_lines) = ac_setup();
+    check_equivalence(&ac_graphs, &ac_lines, "ac/forced-scalar");
+}
+
+#[test]
+fn forced_simd_sweep_passes_equivalence() {
+    let _lock = KnobLock::take();
+    pretzel_data::simd::set_simd(Some(true));
+    let (sa_graphs, sa_lines) = sa_setup();
+    check_equivalence(&sa_graphs, &sa_lines, "sa/forced-simd");
+    let (ac_graphs, ac_lines) = ac_setup();
+    check_equivalence(&ac_graphs, &ac_lines, "ac/forced-simd");
+}
+
+#[test]
+fn simd_on_and_off_are_bitwise_identical_end_to_end() {
+    let _lock = KnobLock::take();
+
+    let (sa_graphs, sa_lines) = sa_setup();
+    let sa_records: Vec<Record> = sa_lines.iter().map(|l| Record::Text(l.clone())).collect();
+    let (ac_graphs, ac_records) = ac_dense_setup();
+
+    pretzel_data::simd::set_simd(Some(false));
+    let sa_scalar = predictions(&sa_graphs, &sa_records);
+    let ac_scalar = predictions(&ac_graphs, &ac_records);
+
+    pretzel_data::simd::set_simd(Some(true));
+    let sa_simd = predictions(&sa_graphs, &sa_records);
+    let ac_simd = predictions(&ac_graphs, &ac_records);
+
+    assert_eq!(sa_scalar.len(), sa_simd.len());
+    assert_eq!(ac_scalar.len(), ac_simd.len());
+    for (i, (a, b)) in sa_scalar.iter().zip(&sa_simd).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "SA prediction {i} differs: scalar {a} vs simd {b}"
+        );
+    }
+    for (i, (a, b)) in ac_scalar.iter().zip(&ac_simd).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "AC-dense prediction {i} differs: scalar {a} vs simd {b}"
+        );
+    }
+}
+
+fn randf(h: &mut u64) -> f32 {
+    *h = splitmix64(*h);
+    ((*h % 2000) as f32 - 1000.0) / 997.0
+}
+
+fn filled_dense(rows: usize, dim: usize, seed: u64) -> ColumnBatch {
+    let mut b = ColumnBatch::with_type(ColumnType::F32Dense { len: dim });
+    let data = b.fill_dense(rows).unwrap();
+    let mut h = seed;
+    for v in data.iter_mut() {
+        *v = randf(&mut h);
+    }
+    b
+}
+
+#[test]
+fn kmeans_and_pca_batch_kernels_bitwise_identical_across_knob() {
+    let _lock = KnobLock::take();
+    const K: usize = 17; // deliberately not a multiple of the lane width
+    const DIM: usize = 103;
+    const ROWS: usize = 57;
+
+    let mut h = 0xbeu64;
+    let centroids: Vec<f32> = (0..K * DIM).map(|_| randf(&mut h)).collect();
+    let mean: Vec<f32> = (0..DIM).map(|_| randf(&mut h)).collect();
+    let components: Vec<f32> = (0..K * DIM).map(|_| randf(&mut h)).collect();
+    let km = KMeansParams::new(centroids, K as u32, DIM as u32).unwrap();
+    let pca = PcaParams::new(mean, components, K as u32, DIM as u32).unwrap();
+    let input = filled_dense(ROWS, DIM, 0x7e);
+
+    let run = |simd: bool| -> (Vec<f32>, Vec<f32>) {
+        pretzel_data::simd::set_simd(Some(simd));
+        let mut km_out = ColumnBatch::with_type(ColumnType::F32Dense { len: K });
+        let mut pca_out = ColumnBatch::with_type(ColumnType::F32Dense { len: K });
+        km.eval_batch(&input, &mut km_out).unwrap();
+        pca.eval_batch(&input, &mut pca_out).unwrap();
+        let (a, _, _) = km_out.as_dense().unwrap();
+        let (b, _, _) = pca_out.as_dense().unwrap();
+        (a.to_vec(), b.to_vec())
+    };
+
+    let (km_scalar, pca_scalar) = run(false);
+    let (km_simd, pca_simd) = run(true);
+    assert_eq!(km_scalar.len(), ROWS * K);
+    for (i, (a, b)) in km_scalar.iter().zip(&km_simd).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "kmeans distance {i}: {a} vs {b}");
+    }
+    for (i, (a, b)) in pca_scalar.iter().zip(&pca_simd).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "pca projection {i}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn high_load_probe_table_agrees_across_chain_scan_paths() {
+    let _lock = KnobLock::take();
+    // Load 0.9 over 60k keys makes multi-hundred-slot clusters all but
+    // certain, so both deep hits and misses walk chains far past 16
+    // steps — the group-scan regime.
+    const ENTRIES: usize = 60_000;
+    let mut h = 0x90u64;
+    let pairs: Vec<(u64, u32)> = (0..ENTRIES)
+        .map(|i| {
+            h = splitmix64(h);
+            (h, i as u32)
+        })
+        .collect();
+    let table = FlatProbeTable::from_pairs_with_load(pairs.iter().copied(), 0.9);
+
+    let mut g = 0x15u64;
+    let stream: Vec<u64> = (0..50_000)
+        .map(|i| {
+            if i % 2 == 0 {
+                pairs[(i * 6007) % ENTRIES].0
+            } else {
+                g = splitmix64(g);
+                g
+            }
+        })
+        .collect();
+
+    pretzel_data::simd::set_simd(Some(false));
+    let scalar: Vec<Option<u32>> = stream.iter().map(|&k| table.probe(k)).collect();
+    pretzel_data::simd::set_simd(Some(true));
+    let simd: Vec<Option<u32>> = stream.iter().map(|&k| table.probe(k)).collect();
+
+    let hits = scalar.iter().filter(|r| r.is_some()).count();
+    assert!(hits >= 25_000, "probe stream must exercise hits: {hits}");
+    assert!(hits < stream.len(), "probe stream must exercise misses");
+    assert_eq!(scalar, simd, "chain-scan paths must agree on every probe");
+}
