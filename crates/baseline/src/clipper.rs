@@ -204,7 +204,7 @@ mod tests {
     use crate::blackbox::BlackBoxModel;
     use crate::container::{Container, ContainerConfig};
     use pretzel_core::flour::FlourContext;
-    use pretzel_core::frontend::{Client, FLAG_RESULT_CACHE};
+    use pretzel_core::frontend::{Client, PredictRequest};
     use pretzel_core::physical::SourceRef;
     use pretzel_ops::linear::LinearKind;
     use pretzel_ops::synth;
@@ -253,7 +253,9 @@ mod tests {
         for (i, image) in images.iter().enumerate() {
             let mut reference = BlackBoxModel::from_image(Arc::clone(image));
             let expect = reference.predict(SourceRef::Text("5,nice thing")).unwrap();
-            let got = client.predict_text(i as u32, "5,nice thing", 0).unwrap();
+            let got = client
+                .predict(&PredictRequest::text("5,nice thing").plan(i as u32))
+                .unwrap();
             assert!((got - expect).abs() < 1e-6, "plan {i}: {got} vs {expect}");
         }
         fe.stop();
@@ -266,7 +268,9 @@ mod tests {
     fn unknown_plan_is_an_error() {
         let (containers, fe, _) = deploy(1);
         let mut client = Client::connect(fe.addr()).unwrap();
-        assert!(client.predict_text(9, "1,x", 0).is_err());
+        assert!(client
+            .predict(&PredictRequest::text("1,x").plan(9))
+            .is_err());
         fe.stop();
         for c in containers {
             c.stop();
@@ -294,12 +298,12 @@ mod tests {
         .unwrap();
         let mut client = Client::connect(fe.addr()).unwrap();
         let a = client
-            .predict_text(0, "5,same line", FLAG_RESULT_CACHE)
+            .predict(&PredictRequest::text("5,same line").plan(0).cached())
             .unwrap();
         // Kill the container: a cache hit must still answer.
         container.stop();
         let b = client
-            .predict_text(0, "5,same line", FLAG_RESULT_CACHE)
+            .predict(&PredictRequest::text("5,same line").plan(0).cached())
             .unwrap();
         assert_eq!(a, b);
         fe.stop();
@@ -310,7 +314,7 @@ mod tests {
         let (containers, fe, _) = deploy(1);
         let mut client = Client::connect(fe.addr()).unwrap();
         let scores = client
-            .predict_text_batch(0, &["1,a", "5,great stuff", "2,so so"], 0)
+            .predict_many(&PredictRequest::text_batch(["1,a", "5,great stuff", "2,so so"]).plan(0))
             .unwrap();
         assert_eq!(scores.len(), 3);
         fe.stop();

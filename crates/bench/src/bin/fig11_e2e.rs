@@ -8,7 +8,7 @@
 use pretzel_baseline::clipper::{ClipperConfig, ClipperFrontEnd};
 use pretzel_baseline::container::{Container, ContainerConfig};
 use pretzel_bench::{env_usize, fmt_dur, images_of, print_table, time_it};
-use pretzel_core::frontend::{Client, FrontEnd, FrontEndConfig};
+use pretzel_core::frontend::{Client, FrontEnd, FrontEndConfig, PredictRequest};
 use pretzel_core::runtime::{Runtime, RuntimeConfig};
 use pretzel_workload::load::LatencyRecorder;
 use pretzel_workload::text::{ReviewGen, StructuredGen};
@@ -35,13 +35,16 @@ fn measure_pretzel(images: &[Arc<Vec<u8>>], lines: &[String]) -> E2eResult {
     for (k, &id) in ids.iter().enumerate() {
         let line = &lines[k % lines.len()];
         for _ in 0..3 {
-            let _ = client.predict_text(id, line, 0).unwrap();
+            let _ = client
+                .predict(&PredictRequest::text(line.clone()).plan(id))
+                .unwrap();
         }
         for _ in 0..20 {
             // Raw prediction latency (in-process) vs client-observed.
             let (_, d_pred) = time_it(|| runtime.predict(id, line).unwrap());
             prediction.record(d_pred);
-            let (_, d_e2e) = time_it(|| client.predict_text(id, line, 0).unwrap());
+            let req = PredictRequest::text(line.clone()).plan(id);
+            let (_, d_e2e) = time_it(|| client.predict(&req).unwrap());
             client_server.record(d_e2e);
         }
     }
@@ -78,10 +81,13 @@ fn measure_clipper(images: &[Arc<Vec<u8>>], lines: &[String]) -> LatencyRecorder
     for k in 0..containers.len() {
         let line = &lines[k % lines.len()];
         for _ in 0..3 {
-            let _ = client.predict_text(k as u32, line, 0).unwrap();
+            let _ = client
+                .predict(&PredictRequest::text(line.clone()).plan(k as u32))
+                .unwrap();
         }
         for _ in 0..20 {
-            let (_, d) = time_it(|| client.predict_text(k as u32, line, 0).unwrap());
+            let req = PredictRequest::text(line.clone()).plan(k as u32);
+            let (_, d) = time_it(|| client.predict(&req).unwrap());
             rec.record(d);
         }
     }

@@ -9,7 +9,7 @@
 use pretzel_baseline::clipper::{ClipperConfig, ClipperFrontEnd};
 use pretzel_baseline::container::{Container, ContainerConfig};
 use pretzel_bench::{env_usize, fmt_dur, images_of, print_table};
-use pretzel_core::frontend::{Client, FrontEnd, FrontEndConfig};
+use pretzel_core::frontend::{Client, FrontEnd, FrontEndConfig, PredictRequest};
 use pretzel_core::runtime::{Runtime, RuntimeConfig};
 use pretzel_workload::load::{LatencyRecorder, Zipf};
 use pretzel_workload::text::StructuredGen;
@@ -58,7 +58,10 @@ fn drive(
                     let model = zipf.sample() as u32;
                     let x = &records[count % records.len()];
                     let t0 = Instant::now();
-                    if client.predict_text(model, x, 0).is_ok() {
+                    if client
+                        .predict(&PredictRequest::text(x.clone()).plan(model))
+                        .is_ok()
+                    {
                         rec.record(t0.elapsed());
                         count += 1;
                     }

@@ -14,7 +14,7 @@
 //!   instead of the paper's ~1M, preserving all sharing ratios).
 //! * `PRETZEL_CORES` — executor counts for scaling experiments.
 
-use pretzel_core::frontend::Client;
+use pretzel_core::frontend::{Client, Payload, PredictRequest};
 use pretzel_core::graph::TransformGraph;
 use pretzel_core::runtime::{PlanId, Runtime};
 use pretzel_core::scheduler::Record;
@@ -122,44 +122,26 @@ pub fn register_all(runtime: &Runtime, images: &[Arc<Vec<u8>>]) -> Result<Vec<Pl
 ///
 /// # Panics
 ///
-/// Panics on mixed record kinds — bench batches are homogeneous by
+/// Errors on mixed record kinds — bench batches are homogeneous by
 /// construction.
 pub fn wire_predict_batch(client: &mut Client, id: PlanId, records: &[Record]) -> Result<Vec<f32>> {
-    match records.first() {
-        None => Ok(Vec::new()),
-        Some(Record::Text(_)) => {
-            let refs: Vec<&str> = records
-                .iter()
-                .map(|r| match r {
-                    Record::Text(s) => s.as_str(),
-                    _ => panic!("mixed record kinds in wire batch"),
-                })
-                .collect();
-            client.predict_text_batch(id, &refs, 0)
-        }
-        Some(Record::Dense(_)) => {
-            let refs: Vec<&[f32]> = records
-                .iter()
-                .map(|r| match r {
-                    Record::Dense(x) => x.as_slice(),
-                    _ => panic!("mixed record kinds in wire batch"),
-                })
-                .collect();
-            client.predict_dense_batch(id, &refs, 0)
-        }
-        Some(Record::Sparse { dim, .. }) => {
-            let rows: Vec<(&[u32], &[f32])> = records
-                .iter()
-                .map(|r| match r {
-                    Record::Sparse {
-                        indices, values, ..
-                    } => (indices.as_slice(), values.as_slice()),
-                    _ => panic!("mixed record kinds in wire batch"),
-                })
-                .collect();
-            client.predict_sparse_batch(id, &rows, *dim, 0)
-        }
-    }
+    let payloads: Vec<Payload> = records
+        .iter()
+        .map(|r| match r {
+            Record::Text(s) => Payload::Text(s.clone()),
+            Record::Dense(x) => Payload::Dense(x.clone()),
+            Record::Sparse {
+                indices,
+                values,
+                dim,
+            } => Payload::Sparse {
+                indices: indices.clone(),
+                values: values.clone(),
+                dim: *dim,
+            },
+        })
+        .collect();
+    client.predict_many(&PredictRequest::batch(payloads).plan(id))
 }
 
 /// Prints a fixed-width table with a title, like the paper's tables.

@@ -8,14 +8,63 @@
 //! results caching (LRU) and delayed batching — which are "orthogonal to
 //! PRETZEL's techniques, so both are applicable in a complementary manner".
 //!
-//! **Wire-to-columnar ingest** (the default, `RuntimeConfig::wire_columnar`):
-//! request decoding grows packed text spans, dense rows, or CSR triples
-//! straight into a pool-leased [`ColumnBatch`] via a
-//! [`BatchAssembler`], and that batch — with its per-row content hashes —
-//! is what the scheduler's chunks bulk-load from. The `Vec<Record>`
-//! staging copy (one heap allocation per record between socket and
-//! kernel) only exists on the ablation path (`wire_columnar = false`);
-//! scores are bitwise-identical either way.
+//! **Connection scaling** — serving runs in one of two modes:
+//!
+//! * **Reactor pool** (the default on linux/x86-64,
+//!   [`FrontEndConfig::reactor_threads`] `> 0`): a fixed pool of event-loop
+//!   threads drives every connection over non-blocking sockets via epoll.
+//!   Per-connection state lives in a lock-free fixed-size slab
+//!   ([`ConnSlab`](slab) — pointer-width-CAS free list, per-slot generation
+//!   counters), frames assemble incrementally from readiness events, and
+//!   batch/delayed completions are *pushed* back to the owning reactor
+//!   through a completion queue + eventfd wake instead of parking a thread
+//!   per request. Thousands of idle or pipelined connections cost a few
+//!   slab slots, not a thread stack each.
+//! * **Thread-per-connection** (`reactor_threads = 0`, and the fallback on
+//!   targets without the raw-syscall reactor): the classic blocking loop —
+//!   one spawned thread per accepted socket. Kept as the ablation control
+//!   for the `ablation_frontend` bench.
+//!
+//! Both modes speak both protocol versions and produce bitwise-identical
+//! scores.
+//!
+//! **Wire protocol v2 (multiplexed)** — frames are self-describing per
+//! connection; see [`wire`] for the codecs:
+//!
+//! ```text
+//! v1 frame := u32 body_len · body                    (one request in flight)
+//! v2 frame := magic "PZW\xB2" · u8 version · u8 flags · u16 reserved ·
+//!             u32 request_id · u32 body_len · body   (pipelined, out of order)
+//! ```
+//!
+//! A v2 connection may pipeline many requests; responses carry the
+//! request's `request_id` and may return **out of order** (a delayed-batch
+//! request does not block a fast inline request behind it). The v2 magic,
+//! read as a little-endian u32, exceeds [`MAX_FRAME_BYTES`], so no valid
+//! v1 length prefix can alias it and both versions share one port with no
+//! negotiation. Request *bodies* are identical across versions:
+//!
+//! ```text
+//! body     := u32 plan_id · u8 kind · u8 flags · u16 n_records ·
+//!             (alias?) · record*                     (kinds 0-2)
+//!           | u32 plan_id · u8 kind · u8 flags · u16 0 · admin_body
+//!                                                    (kinds 0x10-0x13)
+//! alias    := u32 len · bytes              (present iff flags & 0b100)
+//! record   := u32 len · bytes            (kind 0: UTF-8 text)
+//!           | u32 n   · f32*             (kind 1: dense)
+//!           | u32 dim · u32 nnz ·
+//!             u32*nnz · f32*nnz          (kind 2: sparse CSR triple)
+//! response := u8 status ·
+//!             (status 0: u32 n · f32*) | (status 1: u32 len · bytes) |
+//!             (status 2: admin payload)
+//! ```
+//!
+//! **Client surface** — [`PredictRequest`] is the typed request builder
+//! ([`Payload`] + [`Target`] + cache/delay toggles); [`Client::predict`] /
+//! [`Client::predict_many`] serve it sequentially over v1 or v2, and
+//! [`Session::submit`] pipelines it over v2, resolving each
+//! [`PendingPredict`] independently of submission order. The old
+//! `predict_*` method family survives as thin deprecated wrappers.
 //!
 //! **Model lifecycle over the wire**: the admin verbs `DEPLOY` /
 //! `UNDEPLOY` / `SWAP` / `LIST` ride the same frame format (distinct
@@ -27,26 +76,19 @@
 //! alias per attempt and transparently retries when the bound version
 //! retires mid-request, so `swap` + `undeploy(old)` never loses an
 //! alias-addressed request.
-//!
-//! The wire protocol is deliberately small: length-prefixed frames, one
-//! request → one response, little-endian.
-//!
-//! ```text
-//! request  := u32 body_len · u32 plan_id · u8 kind · u8 flags ·
-//!             u16 n_records · (alias?) · record*      (kinds 0-2)
-//!           | u32 body_len · u32 plan_id · u8 kind · u8 flags ·
-//!             u16 0 · admin_body                      (kinds 0x10-0x13)
-//! alias    := u32 len · bytes              (present iff flags & 0b100)
-//! record   := u32 len · bytes            (kind 0: UTF-8 text)
-//!           | u32 n   · f32*             (kind 1: dense)
-//!           | u32 dim · u32 nnz ·
-//!             u32*nnz · f32*nnz          (kind 2: sparse CSR triple)
-//! response := u32 body_len · u8 status ·
-//!             (status 0: u32 n · f32*) | (status 1: u32 len · bytes) |
-//!             (status 2: admin payload)
-//! ```
 
-use crate::lifecycle::{PlanInfo, UndeployReport};
+pub mod wire;
+
+mod client;
+mod reactor;
+mod slab;
+mod sys;
+
+pub use client::{Client, Payload, PendingPredict, PredictRequest, Session, Target};
+pub use wire::{
+    FLAG_DELAYED_BATCH, FLAG_PLAN_ALIAS, FLAG_RESULT_CACHE, MAX_FRAME_BYTES, WIRE_MAGIC, WIRE_V2,
+};
+
 use crate::lru::LruCache;
 use crate::physical::SourceRef;
 use crate::runtime::{PlanId, Runtime};
@@ -57,65 +99,163 @@ use pretzel_data::ingest::validate_sparse_indices;
 use pretzel_data::serde_bin::Cursor;
 use pretzel_data::{BatchAssembler, ColumnType, DataError, Result};
 use std::collections::HashMap;
-use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
-
-/// Record kind tag on the wire.
-const KIND_TEXT: u8 = 0;
-/// Dense record kind tag.
-const KIND_DENSE: u8 = 1;
-/// Sparse (CSR triple) record kind tag.
-const KIND_SPARSE: u8 = 2;
-/// Admin verb: deploy a serialized model file.
-const ADMIN_DEPLOY: u8 = 0x10;
-/// Admin verb: undeploy (retire + drain + reclaim) a plan.
-const ADMIN_UNDEPLOY: u8 = 0x11;
-/// Admin verb: atomically repoint an alias to a plan.
-const ADMIN_SWAP: u8 = 0x12;
-/// Admin verb: list deployed plans and aliases.
-const ADMIN_LIST: u8 = 0x13;
-/// Request flag: consult/populate the prediction-result cache.
-pub const FLAG_RESULT_CACHE: u8 = 0b01;
-/// Request flag: submit through the delayed batcher.
-pub const FLAG_DELAYED_BATCH: u8 = 0b10;
-/// Request flag: the body starts with an alias string; the header's
-/// `plan_id` is ignored and the alias's current binding serves the
-/// request (retrying across concurrent swaps/undeploys).
-pub const FLAG_PLAN_ALIAS: u8 = 0b100;
-
-/// Upper bound on one frame body. A length prefix above this is rejected
-/// with a clean protocol error *before* any allocation happens — a garbage
-/// or hostile prefix must never turn into a multi-gigabyte `vec![0; len]`.
-pub const MAX_FRAME_BYTES: usize = 64 << 20;
+use wire::{
+    ADMIN_DEPLOY, ADMIN_LIST, ADMIN_SWAP, ADMIN_UNDEPLOY, KIND_DENSE, KIND_SPARSE, KIND_TEXT,
+};
 
 /// FrontEnd configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct FrontEndConfig {
     /// Byte budget of the prediction-result cache; 0 disables it.
     pub result_cache_bytes: usize,
     /// Flush interval of the delayed batcher; `None` disables it.
     pub batch_delay: Option<Duration>,
+    /// Event-loop reactor threads serving every connection. `0` selects
+    /// the thread-per-connection fallback (also used on targets without
+    /// the raw-syscall reactor regardless of this knob). The default is
+    /// the machine's available parallelism, clamped to `1..=4` — reactors
+    /// are I/O-bound; the scheduler's executors own the compute.
+    pub reactor_threads: usize,
+    /// Connection-slab capacity in reactor mode: the most sockets held
+    /// open at once. Accepts beyond it are refused (closed immediately)
+    /// rather than queued. Ignored in thread-per-connection mode.
+    pub max_connections: usize,
+}
+
+impl Default for FrontEndConfig {
+    fn default() -> Self {
+        FrontEndConfig {
+            result_cache_bytes: 0,
+            batch_delay: None,
+            reactor_threads: default_reactor_threads(),
+            max_connections: 4096,
+        }
+    }
+}
+
+fn default_reactor_threads() -> usize {
+    if !sys::SUPPORTED {
+        return 0;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 4)
+}
+
+/// Connection-plane counters, exposed for tests and the
+/// `ablation_frontend` bench. All monotone except `open_connections`.
+#[derive(Debug, Default)]
+pub struct FrontEndStats {
+    open: AtomicUsize,
+    accepted: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl FrontEndStats {
+    /// Sockets currently held open (reactor mode: occupied slab slots).
+    pub fn open_connections(&self) -> usize {
+        self.open.load(Ordering::Acquire)
+    }
+
+    /// Connections accepted since the front end started.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Acquire)
+    }
+
+    /// Framing violations that closed a connection (oversized prefix,
+    /// unknown version, duplicate in-flight request id, ...).
+    pub fn protocol_errors(&self) -> u64 {
+        self.protocol_errors.load(Ordering::Acquire)
+    }
+
+    fn note_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+type ResultCache = Arc<Mutex<LruCache<(PlanId, u64), f32>>>;
+
+/// Everything one request dispatch needs, shared by both serving modes.
+struct ServerShared {
+    runtime: Arc<Runtime>,
+    cache: Option<ResultCache>,
+    batcher: Option<Arc<Batcher>>,
+}
+
+/// Where a request's eventual result goes.
+///
+/// The blocking path computes in place and returns [`Dispatch::Ready`];
+/// the reactor path hands asynchronous work a [`reactor::CompletionHandle`]
+/// and returns [`Dispatch::Pending`] — the completion re-enters the owning
+/// reactor through its queue instead of parking this thread.
+#[derive(Clone)]
+enum Responder {
+    /// Thread-per-connection: block until the result exists.
+    Blocking,
+    /// Reactor: push the encoded response to the connection's reactor.
+    Reactor(reactor::CompletionHandle),
+}
+
+/// Outcome of dispatching one request frame.
+enum Dispatch {
+    /// The encoded response body, ready to write.
+    Ready(Vec<u8>),
+    /// The response will arrive later through the [`Responder`]'s
+    /// completion handle (reactor mode only).
+    Pending,
 }
 
 /// One plan's accumulated delayed-batch requests between flushes.
 enum PendingBatch {
     /// Record-staged accumulation (`wire_columnar = false`).
-    Records(Vec<(Record, mpsc::Sender<Result<f32>>)>),
+    Records(Vec<(Record, DelayedWaiter)>),
     /// Wire-assembled accumulation: rows append to one per-plan column
     /// batch as they arrive; the flush submits it without any re-packing.
     Assembled {
         assembler: BatchAssembler,
-        senders: Vec<mpsc::Sender<Result<f32>>>,
+        waiters: Vec<DelayedWaiter>,
     },
 }
 
-#[derive(Default)]
+/// One delayed-batch requester awaiting the next flush.
+struct DelayedWaiter {
+    sink: ResultSink,
+    /// `(plan, row_hash)` to populate the result cache with on success.
+    cache_key: Option<(PlanId, u64)>,
+}
+
+/// How a flushed delayed-batch score reaches its requester.
+enum ResultSink {
+    /// A blocked connection thread waiting on the channel.
+    Channel(mpsc::Sender<Result<f32>>),
+    /// A reactor connection; the flush pushes the encoded response.
+    Reactor(reactor::CompletionHandle),
+}
+
+impl ResultSink {
+    /// Delivers the result; `false` means the requester is gone.
+    fn deliver(self, result: Result<f32>) -> bool {
+        match self {
+            ResultSink::Channel(tx) => tx.send(result).is_ok(),
+            ResultSink::Reactor(handle) => {
+                handle.complete_single(result);
+                true
+            }
+        }
+    }
+}
+
 struct Batcher {
     pending: Mutex<HashMap<PlanId, PendingBatch>>,
+    /// The front end's result cache: flush-time inserts for delayed
+    /// requests that asked for caching.
+    cache: Option<ResultCache>,
 }
 
 /// A running TCP front end.
@@ -123,13 +263,16 @@ pub struct FrontEnd {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    reactor: Option<reactor::ReactorPool>,
     flush_thread: Option<JoinHandle<()>>,
+    stats: Arc<FrontEndStats>,
 }
 
 impl std::fmt::Debug for FrontEnd {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FrontEnd")
             .field("addr", &self.addr)
+            .field("reactor", &self.reactor.is_some())
             .finish()
     }
 }
@@ -140,12 +283,23 @@ impl FrontEnd {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(FrontEndStats::default());
         let cache = (config.result_cache_bytes > 0).then(|| {
             Arc::new(Mutex::new(LruCache::<(PlanId, u64), f32>::new(
                 config.result_cache_bytes,
             )))
         });
-        let batcher = config.batch_delay.map(|_| Arc::new(Batcher::default()));
+        let batcher = config.batch_delay.map(|_| {
+            Arc::new(Batcher {
+                pending: Mutex::new(HashMap::new()),
+                cache: cache.clone(),
+            })
+        });
+        let shared = Arc::new(ServerShared {
+            runtime: Arc::clone(&runtime),
+            cache,
+            batcher: batcher.clone(),
+        });
 
         // Delayed-batching flusher: every tick, drain pending requests per
         // plan and submit them as one batch (paper §4.3).
@@ -165,33 +319,55 @@ impl FrontEnd {
             _ => None,
         };
 
-        let accept_stop = Arc::clone(&stop);
-        let accept_thread = std::thread::spawn(move || {
-            for conn in listener.incoming() {
-                if accept_stop.load(Ordering::Relaxed) {
-                    break;
+        let (accept_thread, reactor) = if config.reactor_threads > 0 && sys::SUPPORTED {
+            let pool = reactor::ReactorPool::start(
+                listener,
+                Arc::clone(&shared),
+                Arc::clone(&stats),
+                config.reactor_threads,
+                config.max_connections,
+            )?;
+            (None, Some(pool))
+        } else {
+            let accept_stop = Arc::clone(&stop);
+            let accept_stats = Arc::clone(&stats);
+            let handle = std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    accept_stats.accepted.fetch_add(1, Ordering::AcqRel);
+                    accept_stats.open.fetch_add(1, Ordering::AcqRel);
+                    let shared = Arc::clone(&shared);
+                    let stats = Arc::clone(&accept_stats);
+                    std::thread::spawn(move || {
+                        let _ = serve_connection(stream, &shared, &stats);
+                        stats.open.fetch_sub(1, Ordering::AcqRel);
+                    });
                 }
-                let Ok(stream) = conn else { continue };
-                let runtime = Arc::clone(&runtime);
-                let cache = cache.clone();
-                let batcher = batcher.clone();
-                std::thread::spawn(move || {
-                    let _ = serve_connection(stream, runtime, cache, batcher);
-                });
-            }
-        });
+            });
+            (Some(handle), None)
+        };
 
         Ok(FrontEnd {
             addr,
             stop,
-            accept_thread: Some(accept_thread),
+            accept_thread,
+            reactor,
             flush_thread,
+            stats,
         })
     }
 
     /// The address clients connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Connection-plane counters.
+    pub fn stats(&self) -> &FrontEndStats {
+        &self.stats
     }
 
     /// Stops accepting and joins the service threads.
@@ -201,8 +377,13 @@ impl FrontEnd {
 
     fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        // Unblock the accept loop.
-        let _ = TcpStream::connect(self.addr);
+        if let Some(pool) = self.reactor.take() {
+            pool.stop();
+        }
+        if self.accept_thread.is_some() {
+            // Unblock the accept loop.
+            let _ = TcpStream::connect(self.addr);
+        }
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
@@ -224,34 +405,38 @@ fn flush_pending(batcher: &Batcher, runtime: &Runtime) {
         pending.drain().collect()
     };
     for (plan, pending) in drained {
-        let (outcome, senders) = match pending {
+        let (outcome, waiters) = match pending {
             PendingBatch::Records(entries) => {
-                let (records, senders): (Vec<Record>, Vec<_>) = entries.into_iter().unzip();
-                (runtime.predict_batch_wait(plan, records), senders)
+                let (records, waiters): (Vec<Record>, Vec<_>) = entries.into_iter().unzip();
+                (runtime.predict_batch_wait(plan, records), waiters)
             }
-            PendingBatch::Assembled { assembler, senders } => {
+            PendingBatch::Assembled { assembler, waiters } => {
                 let (rows, hashes) = assembler.finish();
                 (
                     runtime.predict_batch_assembled_wait(plan, rows, hashes),
-                    senders,
+                    waiters,
                 )
             }
         };
-        // A send error means that client disconnected mid-flush. That is
-        // its problem alone: log it and keep delivering to the rest of the
-        // flush instead of dropping the error (or the flush) on the floor.
+        // A delivery failure means that client disconnected mid-flush.
+        // That is its problem alone: log it and keep delivering to the
+        // rest of the flush instead of dropping the error (or the flush)
+        // on the floor.
         let mut dropped = 0usize;
         match outcome {
             Ok(scores) => {
-                for (s, tx) in scores.into_iter().zip(senders) {
-                    if tx.send(Ok(s)).is_err() {
+                for (s, waiter) in scores.into_iter().zip(waiters) {
+                    if let (Some((plan, hash)), Some(cache)) = (waiter.cache_key, &batcher.cache) {
+                        cache.lock().insert((plan, hash), s, 16);
+                    }
+                    if !waiter.sink.deliver(Ok(s)) {
                         dropped += 1;
                     }
                 }
             }
             Err(e) => {
-                for tx in senders {
-                    if tx.send(Err(e.clone())).is_err() {
+                for waiter in waiters {
+                    if !waiter.sink.deliver(Err(e.clone())) {
                         dropped += 1;
                     }
                 }
@@ -266,59 +451,65 @@ fn flush_pending(batcher: &Batcher, runtime: &Runtime) {
     }
 }
 
-type ResultCache = Arc<Mutex<LruCache<(PlanId, u64), f32>>>;
-
-/// One frame read off the wire.
-enum Frame {
-    /// A complete body.
-    Body(Vec<u8>),
-    /// Clean end of stream before a length prefix.
-    Eof,
-    /// The length prefix exceeded [`MAX_FRAME_BYTES`]; nothing allocated,
-    /// body unread.
-    Oversized(u64),
-}
-
+/// The blocking (thread-per-connection) serving loop; speaks v1 and v2.
 fn serve_connection(
     mut stream: TcpStream,
-    runtime: Arc<Runtime>,
-    cache: Option<ResultCache>,
-    batcher: Option<Arc<Batcher>>,
+    shared: &ServerShared,
+    stats: &FrontEndStats,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true)?;
     loop {
-        let body = match read_frame(&mut stream)? {
-            Frame::Body(b) => b,
-            Frame::Eof => return Ok(()), // clean EOF
-            Frame::Oversized(len) => {
+        match wire::read_frame(&mut stream)? {
+            wire::ReadFrame::V1(body) => {
+                let reply = serve_frame_blocking(shared, &body);
+                wire::write_v1(&mut stream, &reply)?;
+            }
+            wire::ReadFrame::V2 { request_id, body } => {
+                let reply = serve_frame_blocking(shared, &body);
+                wire::write_v2(&mut stream, request_id, &reply)?;
+            }
+            wire::ReadFrame::Eof => return Ok(()),
+            wire::ReadFrame::Oversized(len) => {
                 // Refuse with a protocol error instead of allocating. The
                 // stream cannot be resynchronized past an unread body, so
                 // reply and close.
-                let reply = encode_err(&format!(
+                stats.note_protocol_error();
+                let reply = wire::encode_err(&format!(
                     "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte limit"
                 ));
-                let _ = write_frame(&mut stream, &reply);
+                let _ = wire::write_v1(&mut stream, &reply);
                 return Ok(());
             }
-        };
-        let reply = match handle_request(&body, &runtime, &cache, &batcher) {
-            Ok(Reply::Scores(scores)) => encode_ok(&scores),
-            Ok(Reply::Admin(payload)) => encode_admin(&payload),
-            Err(e) => encode_err(&e.to_string()),
-        };
-        write_frame(&mut stream, &reply)?;
+            wire::ReadFrame::BadVersion(v) => {
+                stats.note_protocol_error();
+                let reply = wire::encode_err(&format!("unsupported wire version {v}"));
+                let _ = wire::write_v1(&mut stream, &reply);
+                return Ok(());
+            }
+        }
     }
 }
 
-/// What a request produced: prediction scores or an admin payload.
-enum Reply {
-    /// Per-record prediction scores (status 0).
-    Scores(Vec<f32>),
-    /// Verb-specific admin payload (status 2).
-    Admin(Vec<u8>),
+/// Dispatches one frame on the blocking path, where every request
+/// resolves in place.
+fn serve_frame_blocking(shared: &ServerShared, body: &[u8]) -> Vec<u8> {
+    match serve_frame(shared, body, &Responder::Blocking) {
+        Dispatch::Ready(reply) => reply,
+        Dispatch::Pending => unreachable!("blocking dispatch always resolves in place"),
+    }
+}
+
+/// Dispatches one request frame: the encoded response, or `Pending` when
+/// a reactor responder will receive it asynchronously.
+fn serve_frame(shared: &ServerShared, body: &[u8], responder: &Responder) -> Dispatch {
+    match handle_request(shared, body, responder) {
+        Ok(dispatch) => dispatch,
+        Err(e) => Dispatch::Ready(wire::encode_err(&e.to_string())),
+    }
 }
 
 /// Decoded request header fields.
+#[derive(Clone, Copy)]
 struct RequestHead {
     plan: PlanId,
     kind: u8,
@@ -326,12 +517,7 @@ struct RequestHead {
     n: usize,
 }
 
-fn handle_request(
-    body: &[u8],
-    runtime: &Runtime,
-    cache: &Option<ResultCache>,
-    batcher: &Option<Arc<Batcher>>,
-) -> Result<Reply> {
+fn handle_request(shared: &ServerShared, body: &[u8], responder: &Responder) -> Result<Dispatch> {
     let mut cur = Cursor::new(body);
     let plan = cur.u32()?;
     let kind_flags = cur.u32()?;
@@ -345,27 +531,27 @@ fn handle_request(
         head.kind,
         ADMIN_DEPLOY | ADMIN_UNDEPLOY | ADMIN_SWAP | ADMIN_LIST
     ) {
-        return handle_admin(&head, cur, runtime).map(Reply::Admin);
+        return handle_admin(&head, cur, &shared.runtime)
+            .map(|payload| Dispatch::Ready(wire::encode_admin(&payload)));
     }
     if head.flags & FLAG_PLAN_ALIAS != 0 {
         // Alias addressing: resolve per attempt; a request that loses the
         // race with a concurrent undeploy of the swapped-from version
-        // re-resolves and lands on the alias's current binding.
+        // re-resolves and lands on the alias's current binding. Admission
+        // for batch submissions is synchronous, so a `Pending` dispatch is
+        // already past the retirement race by the time it returns.
         let alias = cur.str()?;
         let records = cur.clone();
-        return runtime
-            .with_alias(&alias, |id| {
-                let head = RequestHead {
-                    plan: id,
-                    kind: head.kind,
-                    flags: head.flags & !FLAG_PLAN_ALIAS,
-                    n: head.n,
-                };
-                serve_records(head, records.clone(), runtime, cache, batcher)
-            })
-            .map(Reply::Scores);
+        return shared.runtime.with_alias(&alias, |id| {
+            let head = RequestHead {
+                plan: id,
+                flags: head.flags & !FLAG_PLAN_ALIAS,
+                ..head
+            };
+            serve_records(head, records.clone(), shared, responder)
+        });
     }
-    serve_records(head, cur, runtime, cache, batcher).map(Reply::Scores)
+    serve_records(head, cur, shared, responder)
 }
 
 /// Serves a (plan-id-addressed) prediction request through the engine the
@@ -373,20 +559,19 @@ fn handle_request(
 fn serve_records(
     head: RequestHead,
     cur: Cursor<'_>,
-    runtime: &Runtime,
-    cache: &Option<ResultCache>,
-    batcher: &Option<Arc<Batcher>>,
-) -> Result<Vec<f32>> {
+    shared: &ServerShared,
+    responder: &Responder,
+) -> Result<Dispatch> {
     if head.n == 0 {
         // An empty batch still validates its plan id (as the pre-assembler
         // path did by reaching the batch engine with zero records).
-        let _ = runtime.plan(head.plan)?;
-        return Ok(Vec::new());
+        let _ = shared.runtime.plan(head.plan)?;
+        return Ok(Dispatch::Ready(wire::encode_ok(&[])));
     }
-    if runtime.config().wire_columnar {
-        handle_request_columnar(head, cur, runtime, cache, batcher)
+    if shared.runtime.config().wire_columnar {
+        handle_request_columnar(head, cur, shared, responder)
     } else {
-        handle_request_staged(head, cur, runtime, cache, batcher)
+        handle_request_staged(head, cur, shared, responder)
     }
 }
 
@@ -485,16 +670,17 @@ fn assembler_rows_hint(ty: &ColumnType, n: usize, body_remaining: usize) -> usiz
 fn handle_request_columnar(
     head: RequestHead,
     mut cur: Cursor<'_>,
-    runtime: &Runtime,
-    cache: &Option<ResultCache>,
-    batcher: &Option<Arc<Batcher>>,
-) -> Result<Vec<f32>> {
+    shared: &ServerShared,
+    responder: &Responder,
+) -> Result<Dispatch> {
     let RequestHead {
         plan,
         kind,
         flags,
         n,
     } = head;
+    let runtime = &*shared.runtime;
+    let cache = &shared.cache;
     let pool = Arc::clone(runtime.ingest_pool());
     let ty = wire_batch_type(kind, &cur)?;
     let rows_hint = assembler_rows_hint(&ty, n, cur.remaining());
@@ -535,22 +721,29 @@ fn handle_request_columnar(
         if let Some(cache) = cache {
             if let Some(&score) = cache.lock().get(&(plan, asm.hash(0))) {
                 release(asm);
-                return Ok(vec![score]);
+                return Ok(Dispatch::Ready(wire::encode_ok(&[score])));
             }
         }
     }
 
     if flags & FLAG_DELAYED_BATCH != 0 && n == 1 {
-        let Some(batcher) = batcher else {
+        let Some(batcher) = &shared.batcher else {
             release(asm);
             return Err(DataError::Runtime(
                 "delayed batching not enabled on this front end".into(),
             ));
         };
-        // Only a result-cache insert reads this, and `use_cache` implies
-        // the assembler hashed at decode.
-        let row_hash = if use_cache { asm.hash(0) } else { 0 };
-        let (tx, rx) = mpsc::channel();
+        // Only a flush-time result-cache insert reads this, and
+        // `use_cache` implies the assembler hashed at decode.
+        let cache_key = use_cache.then(|| (plan, asm.hash(0)));
+        let (sink, rx) = match responder {
+            Responder::Blocking => {
+                let (tx, rx) = mpsc::channel();
+                (ResultSink::Channel(tx), Some(rx))
+            }
+            Responder::Reactor(handle) => (ResultSink::Reactor(handle.clone()), None),
+        };
+        let waiter = DelayedWaiter { sink, cache_key };
         let appended = {
             let mut pending = batcher.pending.lock();
             let entry = pending.entry(plan).or_insert_with(|| {
@@ -565,13 +758,13 @@ fn handle_request_columnar(
                     } else {
                         BatchAssembler::new_unhashed(lease)
                     },
-                    senders: Vec::new(),
+                    waiters: Vec::new(),
                 }
             });
             match entry {
-                PendingBatch::Assembled { assembler, senders } => {
-                    assembler.append_assembled(&asm).map(|()| senders.push(tx))
-                }
+                PendingBatch::Assembled { assembler, waiters } => assembler
+                    .append_assembled(&asm)
+                    .map(|()| waiters.push(waiter)),
                 PendingBatch::Records(_) => Err(DataError::Runtime(
                     "delayed batcher is accumulating staged records".into(),
                 )),
@@ -579,24 +772,22 @@ fn handle_request_columnar(
         };
         release(asm);
         appended?;
-        let score = rx
-            .recv()
-            .map_err(|_| DataError::Runtime("batcher dropped request".into()))??;
-        // Populate the result cache exactly like the staged path does for
-        // delayed requests.
-        if use_cache {
-            if let Some(cache) = cache {
-                cache.lock().insert((plan, row_hash), score, 16);
+        return match rx {
+            Some(rx) => {
+                let score = rx
+                    .recv()
+                    .map_err(|_| DataError::Runtime("batcher dropped request".into()))??;
+                Ok(Dispatch::Ready(wire::encode_ok(&[score])))
             }
-        }
-        return Ok(vec![score]);
+            None => Ok(Dispatch::Pending),
+        };
     }
 
-    let scores = if n == 1 {
+    if n == 1 {
         // Request-response engine, straight off the assembled row.
         let scored = SourceRef::from_row(asm.batch().row(0))
             .and_then(|src| runtime.predict_source(plan, src));
-        match scored {
+        return match scored {
             Ok(score) => {
                 if use_cache {
                     if let Some(cache) = cache {
@@ -604,20 +795,31 @@ fn handle_request_columnar(
                     }
                 }
                 release(asm);
-                vec![score]
+                Ok(Dispatch::Ready(wire::encode_ok(&[score])))
             }
             Err(e) => {
                 release(asm);
-                return Err(e);
+                Err(e)
             }
+        };
+    }
+
+    // Batch engine: the assembled batch is the submission — the lease
+    // returns to the ingest pool when the request completes.
+    let (rows, hashes) = asm.finish();
+    match responder {
+        Responder::Blocking => {
+            let scores = runtime.predict_batch_assembled_wait(plan, rows, hashes)?;
+            Ok(Dispatch::Ready(wire::encode_ok(&scores)))
         }
-    } else {
-        // Batch engine: the assembled batch is the submission — the lease
-        // returns to the ingest pool when the request completes.
-        let (rows, hashes) = asm.finish();
-        runtime.predict_batch_assembled_wait(plan, rows, hashes)?
-    };
-    Ok(scores)
+        Responder::Reactor(handle) => {
+            let handle = handle.clone();
+            runtime
+                .predict_batch_assembled(plan, rows, hashes)?
+                .on_complete(move |result| handle.complete_result(result));
+            Ok(Dispatch::Pending)
+        }
+    }
 }
 
 /// Record-staged request handling (`wire_columnar = false`): the ablation
@@ -625,16 +827,17 @@ fn handle_request_columnar(
 fn handle_request_staged(
     head: RequestHead,
     mut cur: Cursor<'_>,
-    runtime: &Runtime,
-    cache: &Option<ResultCache>,
-    batcher: &Option<Arc<Batcher>>,
-) -> Result<Vec<f32>> {
+    shared: &ServerShared,
+    responder: &Responder,
+) -> Result<Dispatch> {
     let RequestHead {
         plan,
         kind,
         flags,
         n,
     } = head;
+    let runtime = &*shared.runtime;
+    let cache = &shared.cache;
     let mut records = Vec::with_capacity(n.min(1 << 16));
     let mut hashes = Vec::with_capacity(n.min(1 << 16));
     for _ in 0..n {
@@ -669,381 +872,95 @@ fn handle_request_staged(
     }
 
     // Prediction-result cache: single-record requests only.
-    let use_cache = flags & FLAG_RESULT_CACHE != 0 && records.len() == 1;
+    let use_cache = flags & FLAG_RESULT_CACHE != 0 && records.len() == 1 && cache.is_some();
     if use_cache {
         if let Some(cache) = cache {
             if let Some(&score) = cache.lock().get(&(plan, hashes[0])) {
-                return Ok(vec![score]);
+                return Ok(Dispatch::Ready(wire::encode_ok(&[score])));
             }
         }
     }
 
-    let scores = if flags & FLAG_DELAYED_BATCH != 0 && records.len() == 1 {
-        match batcher {
-            Some(batcher) => {
+    if flags & FLAG_DELAYED_BATCH != 0 && records.len() == 1 {
+        let Some(batcher) = &shared.batcher else {
+            return Err(DataError::Runtime(
+                "delayed batching not enabled on this front end".into(),
+            ));
+        };
+        let cache_key = use_cache.then(|| (plan, hashes[0]));
+        let (sink, rx) = match responder {
+            Responder::Blocking => {
                 let (tx, rx) = mpsc::channel();
-                {
-                    let mut pending = batcher.pending.lock();
-                    let entry = pending
-                        .entry(plan)
-                        .or_insert_with(|| PendingBatch::Records(Vec::new()));
-                    match entry {
-                        PendingBatch::Records(entries) => {
-                            entries.push((records.pop().expect("one record"), tx));
-                        }
-                        PendingBatch::Assembled { .. } => {
-                            return Err(DataError::Runtime(
-                                "delayed batcher is accumulating assembled rows".into(),
-                            ))
-                        }
-                    }
+                (ResultSink::Channel(tx), Some(rx))
+            }
+            Responder::Reactor(handle) => (ResultSink::Reactor(handle.clone()), None),
+        };
+        {
+            let mut pending = batcher.pending.lock();
+            let entry = pending
+                .entry(plan)
+                .or_insert_with(|| PendingBatch::Records(Vec::new()));
+            match entry {
+                PendingBatch::Records(entries) => {
+                    entries.push((
+                        records.pop().expect("one record"),
+                        DelayedWaiter { sink, cache_key },
+                    ));
                 }
-                vec![rx
+                PendingBatch::Assembled { .. } => {
+                    return Err(DataError::Runtime(
+                        "delayed batcher is accumulating assembled rows".into(),
+                    ))
+                }
+            }
+        }
+        return match rx {
+            Some(rx) => {
+                let score = rx
                     .recv()
-                    .map_err(|_| DataError::Runtime("batcher dropped request".into()))??]
+                    .map_err(|_| DataError::Runtime("batcher dropped request".into()))??;
+                Ok(Dispatch::Ready(wire::encode_ok(&[score])))
             }
-            None => {
-                return Err(DataError::Runtime(
-                    "delayed batching not enabled on this front end".into(),
-                ))
-            }
-        }
-    } else if records.len() == 1 {
+            None => Ok(Dispatch::Pending),
+        };
+    }
+
+    if records.len() == 1 {
         // Request-response engine.
-        vec![runtime.predict_source(plan, records[0].as_source())?]
-    } else {
-        runtime.predict_batch_wait(plan, records)?
-    };
-
-    if use_cache {
-        if let Some(cache) = cache {
-            cache.lock().insert((plan, hashes[0]), scores[0], 16);
-        }
-    }
-    Ok(scores)
-}
-
-fn read_frame(stream: &mut TcpStream) -> std::io::Result<Frame> {
-    let mut len = [0u8; 4];
-    match stream.read_exact(&mut len) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(Frame::Eof),
-        Err(e) => return Err(e),
-    }
-    let len = u32::from_le_bytes(len) as usize;
-    if len > MAX_FRAME_BYTES {
-        return Ok(Frame::Oversized(len as u64));
-    }
-    let mut body = vec![0u8; len];
-    stream.read_exact(&mut body)?;
-    Ok(Frame::Body(body))
-}
-
-fn write_frame(stream: &mut TcpStream, body: &[u8]) -> std::io::Result<()> {
-    stream.write_all(&(body.len() as u32).to_le_bytes())?;
-    stream.write_all(body)
-}
-
-fn encode_ok(scores: &[f32]) -> Vec<u8> {
-    let mut body = Vec::with_capacity(5 + scores.len() * 4);
-    body.push(0u8);
-    body.extend_from_slice(&(scores.len() as u32).to_le_bytes());
-    for &s in scores {
-        body.extend_from_slice(&s.to_le_bytes());
-    }
-    body
-}
-
-fn encode_err(msg: &str) -> Vec<u8> {
-    let mut body = Vec::with_capacity(5 + msg.len());
-    body.push(1u8);
-    body.extend_from_slice(&(msg.len() as u32).to_le_bytes());
-    body.extend_from_slice(msg.as_bytes());
-    body
-}
-
-fn encode_admin(payload: &[u8]) -> Vec<u8> {
-    let mut body = Vec::with_capacity(1 + payload.len());
-    body.push(2u8);
-    body.extend_from_slice(payload);
-    body
-}
-
-/// A blocking client for the FrontEnd protocol.
-#[derive(Debug)]
-pub struct Client {
-    stream: TcpStream,
-}
-
-impl Client {
-    /// Connects to a FrontEnd.
-    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Client { stream })
-    }
-
-    fn roundtrip_raw(&mut self, request: &[u8]) -> Result<Vec<u8>> {
-        let io_err = |e: std::io::Error| DataError::Runtime(format!("frontend io: {e}"));
-        write_frame(&mut self.stream, request).map_err(io_err)?;
-        match read_frame(&mut self.stream).map_err(io_err)? {
-            Frame::Body(body) => Ok(body),
-            Frame::Eof => Err(DataError::Runtime("frontend closed connection".into())),
-            Frame::Oversized(len) => Err(DataError::Runtime(format!(
-                "frontend sent an oversized {len}-byte frame"
-            ))),
-        }
-    }
-
-    fn roundtrip(&mut self, request: &[u8]) -> Result<Vec<f32>> {
-        decode_response(&self.roundtrip_raw(request)?)
-    }
-
-    fn roundtrip_admin(&mut self, request: &[u8]) -> Result<Vec<u8>> {
-        let body = self.roundtrip_raw(request)?;
-        match body.split_first() {
-            Some((2, payload)) => Ok(payload.to_vec()),
-            Some((1, _)) => Err(decode_response(&body).unwrap_err()),
-            other => Err(DataError::Runtime(format!(
-                "bad admin response status {:?}",
-                other.map(|(s, _)| s)
-            ))),
-        }
-    }
-
-    /// Scores one text record; `flags` selects external optimizations.
-    pub fn predict_text(&mut self, plan: PlanId, line: &str, flags: u8) -> Result<f32> {
-        let req = encode_request_text(plan, std::slice::from_ref(&line), flags);
-        let scores = self.roundtrip(&req)?;
-        scores
-            .first()
-            .copied()
-            .ok_or_else(|| DataError::Runtime("empty response".into()))
-    }
-
-    /// Scores a batch of text records.
-    pub fn predict_text_batch(
-        &mut self,
-        plan: PlanId,
-        lines: &[&str],
-        flags: u8,
-    ) -> Result<Vec<f32>> {
-        self.roundtrip(&encode_request_text(plan, lines, flags))
-    }
-
-    /// Scores one dense record.
-    pub fn predict_dense(&mut self, plan: PlanId, x: &[f32], flags: u8) -> Result<f32> {
-        let req = encode_request_dense(plan, std::slice::from_ref(&x), flags);
-        let scores = self.roundtrip(&req)?;
-        scores
-            .first()
-            .copied()
-            .ok_or_else(|| DataError::Runtime("empty response".into()))
-    }
-
-    /// Scores a batch of dense records.
-    pub fn predict_dense_batch(
-        &mut self,
-        plan: PlanId,
-        records: &[&[f32]],
-        flags: u8,
-    ) -> Result<Vec<f32>> {
-        self.roundtrip(&encode_request_dense(plan, records, flags))
-    }
-
-    /// Scores one sparse record (sorted unique `indices` parallel to
-    /// `values`, logical dimensionality `dim`).
-    pub fn predict_sparse(
-        &mut self,
-        plan: PlanId,
-        indices: &[u32],
-        values: &[f32],
-        dim: u32,
-        flags: u8,
-    ) -> Result<f32> {
-        let rows = [(indices, values)];
-        let scores = self.roundtrip(&encode_request_sparse(plan, &rows, dim, flags))?;
-        scores
-            .first()
-            .copied()
-            .ok_or_else(|| DataError::Runtime("empty response".into()))
-    }
-
-    /// Scores a batch of sparse records sharing one dimensionality.
-    pub fn predict_sparse_batch(
-        &mut self,
-        plan: PlanId,
-        rows: &[(&[u32], &[f32])],
-        dim: u32,
-        flags: u8,
-    ) -> Result<Vec<f32>> {
-        self.roundtrip(&encode_request_sparse(plan, rows, dim, flags))
-    }
-
-    /// Scores one text record addressed by **alias**: the server resolves
-    /// the alias's current version per attempt, so requests ride through
-    /// concurrent `swap`/`undeploy` without observing a gap.
-    pub fn predict_text_alias(&mut self, alias: &str, line: &str, flags: u8) -> Result<f32> {
-        let req = encode_request_text_alias(alias, std::slice::from_ref(&line), flags);
-        let scores = self.roundtrip(&req)?;
-        scores
-            .first()
-            .copied()
-            .ok_or_else(|| DataError::Runtime("empty response".into()))
-    }
-
-    /// Scores a batch of text records addressed by alias.
-    pub fn predict_text_batch_alias(
-        &mut self,
-        alias: &str,
-        lines: &[&str],
-        flags: u8,
-    ) -> Result<Vec<f32>> {
-        self.roundtrip(&encode_request_text_alias(alias, lines, flags))
-    }
-
-    /// Deploys a serialized model file on the server; optionally binds an
-    /// alias and reserves a dedicated executor. Returns the new plan id.
-    pub fn deploy(&mut self, image: &[u8], alias: Option<&str>, reserved: bool) -> Result<PlanId> {
-        use pretzel_data::serde_bin::wire;
-        let mut req = request_header(0, ADMIN_DEPLOY, 0, 0);
-        wire::put_str(&mut req, alias.unwrap_or(""));
-        wire::put_u32(&mut req, u32::from(reserved));
-        wire::put_u64(&mut req, image.len() as u64);
-        req.extend_from_slice(image);
-        let payload = self.roundtrip_admin(&req)?;
-        Cursor::new(&payload).u32()
-    }
-
-    /// Undeploys a plan on the server (retire, drain, reclaim); returns
-    /// what was freed.
-    pub fn undeploy(&mut self, plan: PlanId) -> Result<UndeployReport> {
-        let req = request_header(plan, ADMIN_UNDEPLOY, 0, 0);
-        let payload = self.roundtrip_admin(&req)?;
-        let mut cur = Cursor::new(&payload);
-        Ok(UndeployReport {
-            freed_param_bytes: cur.u64()? as usize,
-            freed_params: cur.u32()? as usize,
-            dropped_stages: cur.u32()? as usize,
-            dropped_aliases: cur.u32()? as usize,
-        })
-    }
-
-    /// Atomically repoints `alias` to `plan` on the server; returns the
-    /// previously bound plan, if any.
-    pub fn swap(&mut self, alias: &str, plan: PlanId) -> Result<Option<PlanId>> {
-        use pretzel_data::serde_bin::wire;
-        let mut req = request_header(plan, ADMIN_SWAP, 0, 0);
-        wire::put_str(&mut req, alias);
-        let payload = self.roundtrip_admin(&req)?;
-        let previous = Cursor::new(&payload).u32()?;
-        Ok((previous != u32::MAX).then_some(previous))
-    }
-
-    /// Lists every plan the server knows (tombstones included) with
-    /// lifecycle state and bound aliases.
-    pub fn list(&mut self) -> Result<Vec<PlanInfo>> {
-        let req = request_header(0, ADMIN_LIST, 0, 0);
-        let payload = self.roundtrip_admin(&req)?;
-        let mut cur = Cursor::new(&payload);
-        let n = cur.u32()? as usize;
-        let mut out = Vec::with_capacity(n.min(1 << 16));
-        for _ in 0..n {
-            let id = cur.u32()?;
-            let retired = cur.u32()? != 0;
-            let in_flight = cur.u32()? as usize;
-            let n_aliases = cur.u32()? as usize;
-            let mut aliases = Vec::with_capacity(n_aliases.min(64));
-            for _ in 0..n_aliases {
-                aliases.push(cur.str()?);
+        let score = runtime.predict_source(plan, records[0].as_source())?;
+        if use_cache {
+            if let Some(cache) = cache {
+                cache.lock().insert((plan, hashes[0]), score, 16);
             }
-            out.push(PlanInfo {
-                id,
-                retired,
-                in_flight,
-                aliases,
-            });
         }
-        Ok(out)
+        return Ok(Dispatch::Ready(wire::encode_ok(&[score])));
     }
-}
 
-fn request_header(plan: PlanId, kind: u8, flags: u8, n: usize) -> Vec<u8> {
-    let mut req = Vec::new();
-    req.extend_from_slice(&plan.to_le_bytes());
-    let kind_flags = u32::from(kind) | (u32::from(flags) << 8) | ((n as u32) << 16);
-    req.extend_from_slice(&kind_flags.to_le_bytes());
-    req
-}
-
-fn encode_request_text(plan: PlanId, lines: &[&str], flags: u8) -> Vec<u8> {
-    let mut req = request_header(plan, KIND_TEXT, flags, lines.len());
-    for line in lines {
-        req.extend_from_slice(&(line.len() as u32).to_le_bytes());
-        req.extend_from_slice(line.as_bytes());
-    }
-    req
-}
-
-fn encode_request_text_alias(alias: &str, lines: &[&str], flags: u8) -> Vec<u8> {
-    let mut req = request_header(0, KIND_TEXT, flags | FLAG_PLAN_ALIAS, lines.len());
-    pretzel_data::serde_bin::wire::put_str(&mut req, alias);
-    for line in lines {
-        req.extend_from_slice(&(line.len() as u32).to_le_bytes());
-        req.extend_from_slice(line.as_bytes());
-    }
-    req
-}
-
-fn encode_request_dense(plan: PlanId, records: &[&[f32]], flags: u8) -> Vec<u8> {
-    let mut req = request_header(plan, KIND_DENSE, flags, records.len());
-    for x in records {
-        req.extend_from_slice(&(x.len() as u32).to_le_bytes());
-        for v in *x {
-            req.extend_from_slice(&v.to_le_bytes());
+    match responder {
+        Responder::Blocking => {
+            let scores = runtime.predict_batch_wait(plan, records)?;
+            Ok(Dispatch::Ready(wire::encode_ok(&scores)))
         }
-    }
-    req
-}
-
-fn encode_request_sparse(plan: PlanId, rows: &[(&[u32], &[f32])], dim: u32, flags: u8) -> Vec<u8> {
-    let mut req = request_header(plan, KIND_SPARSE, flags, rows.len());
-    for (indices, values) in rows {
-        req.extend_from_slice(&dim.to_le_bytes());
-        req.extend_from_slice(&(indices.len() as u32).to_le_bytes());
-        for i in *indices {
-            req.extend_from_slice(&i.to_le_bytes());
+        Responder::Reactor(handle) => {
+            let handle = handle.clone();
+            runtime
+                .predict_batch(plan, records)?
+                .on_complete(move |result| handle.complete_result(result));
+            Ok(Dispatch::Pending)
         }
-        for v in *values {
-            req.extend_from_slice(&v.to_le_bytes());
-        }
-    }
-    req
-}
-
-fn decode_response(body: &[u8]) -> Result<Vec<f32>> {
-    let (&status, rest) = body
-        .split_first()
-        .ok_or_else(|| DataError::Runtime("empty frame".into()))?;
-    let mut cur = Cursor::new(rest);
-    match status {
-        0 => cur.f32s(),
-        1 => {
-            let len = cur.u32()? as usize;
-            let msg = String::from_utf8_lossy(&rest[4..(4 + len).min(rest.len())]).into_owned();
-            Err(DataError::Runtime(format!("server error: {msg}")))
-        }
-        s => Err(DataError::Runtime(format!("bad response status {s}"))),
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use crate::flour::FlourContext;
     use crate::runtime::RuntimeConfig;
     use pretzel_ops::linear::LinearKind;
     use pretzel_ops::synth;
+    use std::io::{Read, Write};
     use std::sync::atomic::AtomicUsize;
 
     fn serve_sa(config: FrontEndConfig) -> (Arc<Runtime>, FrontEnd, PlanId) {
@@ -1087,6 +1004,19 @@ mod tests {
     }
 
     #[test]
+    fn thread_per_connection_ablation_still_serves() {
+        let (rt, fe, id) = serve_sa(FrontEndConfig {
+            reactor_threads: 0,
+            ..FrontEndConfig::default()
+        });
+        let mut client = Client::connect(fe.addr()).unwrap();
+        let remote = client.predict_text(id, "5,a nice product", 0).unwrap();
+        let local = rt.predict(id, "5,a nice product").unwrap();
+        assert_eq!(remote.to_bits(), local.to_bits());
+        fe.stop();
+    }
+
+    #[test]
     fn batch_request_over_the_wire() {
         let (rt, fe, id) = serve_sa(FrontEndConfig::default());
         let mut client = Client::connect(fe.addr()).unwrap();
@@ -1112,7 +1042,7 @@ mod tests {
     fn result_cache_serves_repeats() {
         let (_rt, fe, id) = serve_sa(FrontEndConfig {
             result_cache_bytes: 1 << 16,
-            batch_delay: None,
+            ..FrontEndConfig::default()
         });
         let mut client = Client::connect(fe.addr()).unwrap();
         let a = client
@@ -1128,8 +1058,8 @@ mod tests {
     #[test]
     fn delayed_batching_returns_correct_scores() {
         let (rt, fe, id) = serve_sa(FrontEndConfig {
-            result_cache_bytes: 0,
             batch_delay: Some(Duration::from_millis(2)),
+            ..FrontEndConfig::default()
         });
         let addr = fe.addr();
         let local = rt.predict(id, "4,pretty good").unwrap();
@@ -1153,8 +1083,8 @@ mod tests {
     fn delayed_batching_staged_ablation_path() {
         let (rt, fe, id) = serve_sa_with(
             FrontEndConfig {
-                result_cache_bytes: 0,
                 batch_delay: Some(Duration::from_millis(2)),
+                ..FrontEndConfig::default()
             },
             RuntimeConfig {
                 n_executors: 2,
@@ -1389,11 +1319,12 @@ mod tests {
         let len = u32::from_le_bytes(len) as usize;
         let mut body = vec![0u8; len];
         stream.read_exact(&mut body).unwrap();
-        let err = decode_response(&body).unwrap_err();
+        let err = wire::decode_response(&body).unwrap_err();
         assert!(err.to_string().contains("exceeds"), "{err}");
         // Connection is closed afterwards.
         let mut probe = [0u8; 1];
         assert_eq!(stream.read(&mut probe).unwrap(), 0);
+        assert_eq!(fe.stats().protocol_errors(), 1);
         fe.stop();
     }
 }

@@ -1,0 +1,659 @@
+//! Client surface for the FrontEnd protocol.
+//!
+//! [`PredictRequest`] is the typed request builder: a payload (or batch of
+//! payloads), a [`Target`] (plan id or alias), and the external-optimization
+//! toggles as methods. [`Client`] serves it sequentially — over v1
+//! ([`Client::connect`], the baseline-compatible default) or v2
+//! ([`Client::connect_v2`]) — and [`Session`] pipelines it over v2:
+//! [`Session::submit`] returns immediately with a [`PendingPredict`], and
+//! responses resolve **out of submission order** as the server completes
+//! them, matched by request id.
+//!
+//! The old `predict_*` method family survives as thin deprecated wrappers
+//! over the builder encoding (byte-identical frames).
+
+use super::wire::{self, ReadFrame};
+use super::{FLAG_DELAYED_BATCH, FLAG_PLAN_ALIAS, FLAG_RESULT_CACHE};
+use crate::lifecycle::{PlanInfo, UndeployReport};
+use crate::runtime::PlanId;
+use parking_lot::{Condvar, Mutex};
+use pretzel_data::serde_bin::Cursor;
+use pretzel_data::{DataError, Result};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+fn io_err(e: std::io::Error) -> DataError {
+    DataError::Runtime(format!("frontend io: {e}"))
+}
+
+/// One prediction record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A UTF-8 text record (kind 0).
+    Text(String),
+    /// A dense feature vector (kind 1).
+    Dense(Vec<f32>),
+    /// A sparse CSR row (kind 2): sorted unique `indices` parallel to
+    /// `values`, logical dimensionality `dim`.
+    Sparse {
+        indices: Vec<u32>,
+        values: Vec<f32>,
+        dim: u32,
+    },
+}
+
+impl Payload {
+    fn kind(&self) -> u8 {
+        match self {
+            Payload::Text(_) => wire::KIND_TEXT,
+            Payload::Dense(_) => wire::KIND_DENSE,
+            Payload::Sparse { .. } => wire::KIND_SPARSE,
+        }
+    }
+
+    fn encode_into(&self, req: &mut Vec<u8>) {
+        match self {
+            Payload::Text(line) => {
+                req.extend_from_slice(&(line.len() as u32).to_le_bytes());
+                req.extend_from_slice(line.as_bytes());
+            }
+            Payload::Dense(x) => {
+                req.extend_from_slice(&(x.len() as u32).to_le_bytes());
+                for v in x {
+                    req.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Payload::Sparse {
+                indices,
+                values,
+                dim,
+            } => {
+                req.extend_from_slice(&dim.to_le_bytes());
+                req.extend_from_slice(&(indices.len() as u32).to_le_bytes());
+                for i in indices {
+                    req.extend_from_slice(&i.to_le_bytes());
+                }
+                for v in values {
+                    req.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+    }
+}
+
+/// Which plan a request addresses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// A concrete plan id.
+    Plan(PlanId),
+    /// An alias: the server resolves its current binding per attempt and
+    /// retries transparently across concurrent `swap`/`undeploy`.
+    Alias(String),
+}
+
+/// A typed prediction request: payload(s), target, and the external
+/// optimizations as toggles.
+///
+/// ```no_run
+/// # use pretzel_core::frontend::{Client, PredictRequest};
+/// # let mut client: Client = unimplemented!();
+/// let score = client.predict(
+///     &PredictRequest::text("5,a nice product").plan(3).cached(),
+/// )?;
+/// let scores = client.predict_many(
+///     &PredictRequest::dense_batch(vec![vec![0.5; 8], vec![0.25; 8]]).alias("ranker"),
+/// )?;
+/// # Ok::<(), pretzel_data::DataError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictRequest {
+    target: Option<Target>,
+    payloads: Vec<Payload>,
+    cached: bool,
+    delayed: bool,
+}
+
+impl PredictRequest {
+    /// A request over explicit payloads (may mix batch sizes, not kinds).
+    pub fn batch(payloads: Vec<Payload>) -> PredictRequest {
+        PredictRequest {
+            target: None,
+            payloads,
+            cached: false,
+            delayed: false,
+        }
+    }
+
+    /// A single text record.
+    pub fn text(line: impl Into<String>) -> PredictRequest {
+        Self::batch(vec![Payload::Text(line.into())])
+    }
+
+    /// A batch of text records.
+    pub fn text_batch<S: Into<String>>(lines: impl IntoIterator<Item = S>) -> PredictRequest {
+        Self::batch(lines.into_iter().map(|l| Payload::Text(l.into())).collect())
+    }
+
+    /// A single dense record.
+    pub fn dense(x: Vec<f32>) -> PredictRequest {
+        Self::batch(vec![Payload::Dense(x)])
+    }
+
+    /// A batch of dense records.
+    pub fn dense_batch(rows: impl IntoIterator<Item = Vec<f32>>) -> PredictRequest {
+        Self::batch(rows.into_iter().map(Payload::Dense).collect())
+    }
+
+    /// A single sparse record.
+    pub fn sparse(indices: Vec<u32>, values: Vec<f32>, dim: u32) -> PredictRequest {
+        Self::batch(vec![Payload::Sparse {
+            indices,
+            values,
+            dim,
+        }])
+    }
+
+    /// Addresses the request at a concrete plan id.
+    pub fn plan(mut self, id: PlanId) -> PredictRequest {
+        self.target = Some(Target::Plan(id));
+        self
+    }
+
+    /// Addresses the request at an alias (resolved server-side per
+    /// attempt, riding through concurrent swaps and undeploys).
+    pub fn alias(mut self, alias: impl Into<String>) -> PredictRequest {
+        self.target = Some(Target::Alias(alias.into()));
+        self
+    }
+
+    /// Consults/populates the server's prediction-result cache
+    /// (single-record requests only; ignored for batches server-side).
+    pub fn cached(mut self) -> PredictRequest {
+        self.cached = true;
+        self
+    }
+
+    /// Submits through the server's delayed batcher (paper §4.3).
+    pub fn delayed(mut self) -> PredictRequest {
+        self.delayed = true;
+        self
+    }
+
+    /// Encodes the request body (shared by every transport).
+    pub(super) fn encode(&self) -> Result<Vec<u8>> {
+        let target = self.target.as_ref().ok_or_else(|| {
+            DataError::Runtime("predict request needs a target: .plan(id) or .alias(name)".into())
+        })?;
+        let kind = match self.payloads.first() {
+            Some(first) => {
+                let kind = first.kind();
+                if self.payloads.iter().any(|p| p.kind() != kind) {
+                    return Err(DataError::Runtime(
+                        "predict request mixes payload kinds; batches are homogeneous".into(),
+                    ));
+                }
+                kind
+            }
+            // An empty batch still validates its target server-side; kind
+            // is irrelevant without records.
+            None => wire::KIND_TEXT,
+        };
+        let mut flags = 0u8;
+        if self.cached {
+            flags |= FLAG_RESULT_CACHE;
+        }
+        if self.delayed {
+            flags |= FLAG_DELAYED_BATCH;
+        }
+        let (plan, alias) = match target {
+            Target::Plan(id) => (*id, None),
+            Target::Alias(a) => {
+                flags |= FLAG_PLAN_ALIAS;
+                (0, Some(a.as_str()))
+            }
+        };
+        let mut req = wire::request_header(plan, kind, flags, self.payloads.len());
+        if let Some(alias) = alias {
+            pretzel_data::serde_bin::wire::put_str(&mut req, alias);
+        }
+        for p in &self.payloads {
+            p.encode_into(&mut req);
+        }
+        Ok(req)
+    }
+}
+
+/// A blocking, sequential client for the FrontEnd protocol.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    proto: u8,
+    next_id: u32,
+}
+
+impl Client {
+    /// Connects speaking wire **v1** — the maximally compatible framing
+    /// (also understood by the Clipper-style baseline front end).
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        Self::connect_proto(addr, 1)
+    }
+
+    /// Connects speaking wire **v2**: every request carries a request id
+    /// and the response echoes it. Still sequential — use [`Session`] for
+    /// pipelining.
+    pub fn connect_v2(addr: SocketAddr) -> std::io::Result<Client> {
+        Self::connect_proto(addr, wire::WIRE_V2)
+    }
+
+    fn connect_proto(addr: SocketAddr, proto: u8) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            proto,
+            next_id: 0,
+        })
+    }
+
+    /// Scores a single-record request.
+    pub fn predict(&mut self, request: &PredictRequest) -> Result<f32> {
+        let scores = self.predict_many(request)?;
+        scores
+            .first()
+            .copied()
+            .ok_or_else(|| DataError::Runtime("empty response".into()))
+    }
+
+    /// Scores a request with any number of records.
+    pub fn predict_many(&mut self, request: &PredictRequest) -> Result<Vec<f32>> {
+        self.roundtrip(&request.encode()?)
+    }
+
+    fn roundtrip_raw(&mut self, request: &[u8]) -> Result<Vec<u8>> {
+        if self.proto == 1 {
+            wire::write_v1(&mut self.stream, request).map_err(io_err)?;
+        } else {
+            let id = self.next_id;
+            self.next_id = self.next_id.wrapping_add(1);
+            wire::write_v2(&mut self.stream, id, request).map_err(io_err)?;
+        }
+        match wire::read_frame(&mut self.stream).map_err(io_err)? {
+            ReadFrame::V1(body) => Ok(body),
+            ReadFrame::V2 { request_id, body } => {
+                // Sequential client: exactly one request in flight, so the
+                // echoed id must be the one just assigned.
+                if request_id != self.next_id.wrapping_sub(1) && request_id != u32::MAX {
+                    return Err(DataError::Runtime(format!(
+                        "response for request {request_id} arrived out of turn"
+                    )));
+                }
+                Ok(body)
+            }
+            ReadFrame::Eof => Err(DataError::Runtime("frontend closed connection".into())),
+            ReadFrame::Oversized(len) => Err(DataError::Runtime(format!(
+                "frontend sent an oversized {len}-byte frame"
+            ))),
+            ReadFrame::BadVersion(v) => Err(DataError::Runtime(format!(
+                "frontend sent unknown wire version {v}"
+            ))),
+        }
+    }
+
+    fn roundtrip(&mut self, request: &[u8]) -> Result<Vec<f32>> {
+        wire::decode_response(&self.roundtrip_raw(request)?)
+    }
+
+    fn roundtrip_admin(&mut self, request: &[u8]) -> Result<Vec<u8>> {
+        let body = self.roundtrip_raw(request)?;
+        match body.split_first() {
+            Some((2, payload)) => Ok(payload.to_vec()),
+            Some((1, _)) => Err(wire::decode_response(&body).unwrap_err()),
+            other => Err(DataError::Runtime(format!(
+                "bad admin response status {:?}",
+                other.map(|(s, _)| s)
+            ))),
+        }
+    }
+
+    /// Scores one text record; `flags` selects external optimizations.
+    #[deprecated(since = "0.1.0", note = "use `predict` with `PredictRequest::text`")]
+    pub fn predict_text(&mut self, plan: PlanId, line: &str, flags: u8) -> Result<f32> {
+        let req = wire::encode_request_text(plan, std::slice::from_ref(&line), flags);
+        let scores = self.roundtrip(&req)?;
+        scores
+            .first()
+            .copied()
+            .ok_or_else(|| DataError::Runtime("empty response".into()))
+    }
+
+    /// Scores a batch of text records.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `predict_many` with `PredictRequest::text_batch`"
+    )]
+    pub fn predict_text_batch(
+        &mut self,
+        plan: PlanId,
+        lines: &[&str],
+        flags: u8,
+    ) -> Result<Vec<f32>> {
+        self.roundtrip(&wire::encode_request_text(plan, lines, flags))
+    }
+
+    /// Scores one dense record.
+    #[deprecated(since = "0.1.0", note = "use `predict` with `PredictRequest::dense`")]
+    pub fn predict_dense(&mut self, plan: PlanId, x: &[f32], flags: u8) -> Result<f32> {
+        let req = wire::encode_request_dense(plan, std::slice::from_ref(&x), flags);
+        let scores = self.roundtrip(&req)?;
+        scores
+            .first()
+            .copied()
+            .ok_or_else(|| DataError::Runtime("empty response".into()))
+    }
+
+    /// Scores a batch of dense records.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `predict_many` with `PredictRequest::dense_batch`"
+    )]
+    pub fn predict_dense_batch(
+        &mut self,
+        plan: PlanId,
+        records: &[&[f32]],
+        flags: u8,
+    ) -> Result<Vec<f32>> {
+        self.roundtrip(&wire::encode_request_dense(plan, records, flags))
+    }
+
+    /// Scores one sparse record (sorted unique `indices` parallel to
+    /// `values`, logical dimensionality `dim`).
+    #[deprecated(since = "0.1.0", note = "use `predict` with `PredictRequest::sparse`")]
+    pub fn predict_sparse(
+        &mut self,
+        plan: PlanId,
+        indices: &[u32],
+        values: &[f32],
+        dim: u32,
+        flags: u8,
+    ) -> Result<f32> {
+        let rows = [(indices, values)];
+        let scores = self.roundtrip(&wire::encode_request_sparse(plan, &rows, dim, flags))?;
+        scores
+            .first()
+            .copied()
+            .ok_or_else(|| DataError::Runtime("empty response".into()))
+    }
+
+    /// Scores a batch of sparse records sharing one dimensionality.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `predict_many` with `PredictRequest::batch` of sparse payloads"
+    )]
+    pub fn predict_sparse_batch(
+        &mut self,
+        plan: PlanId,
+        rows: &[(&[u32], &[f32])],
+        dim: u32,
+        flags: u8,
+    ) -> Result<Vec<f32>> {
+        self.roundtrip(&wire::encode_request_sparse(plan, rows, dim, flags))
+    }
+
+    /// Scores one text record addressed by **alias**.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `predict` with `PredictRequest::text(..).alias(..)`"
+    )]
+    pub fn predict_text_alias(&mut self, alias: &str, line: &str, flags: u8) -> Result<f32> {
+        let req = wire::encode_request_text_alias(alias, std::slice::from_ref(&line), flags);
+        let scores = self.roundtrip(&req)?;
+        scores
+            .first()
+            .copied()
+            .ok_or_else(|| DataError::Runtime("empty response".into()))
+    }
+
+    /// Scores a batch of text records addressed by alias.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `predict_many` with `PredictRequest::text_batch(..).alias(..)`"
+    )]
+    pub fn predict_text_batch_alias(
+        &mut self,
+        alias: &str,
+        lines: &[&str],
+        flags: u8,
+    ) -> Result<Vec<f32>> {
+        self.roundtrip(&wire::encode_request_text_alias(alias, lines, flags))
+    }
+
+    /// Deploys a serialized model file on the server; optionally binds an
+    /// alias and reserves a dedicated executor. Returns the new plan id.
+    pub fn deploy(&mut self, image: &[u8], alias: Option<&str>, reserved: bool) -> Result<PlanId> {
+        use pretzel_data::serde_bin::wire as w;
+        let mut req = wire::request_header(0, wire::ADMIN_DEPLOY, 0, 0);
+        w::put_str(&mut req, alias.unwrap_or(""));
+        w::put_u32(&mut req, u32::from(reserved));
+        w::put_u64(&mut req, image.len() as u64);
+        req.extend_from_slice(image);
+        let payload = self.roundtrip_admin(&req)?;
+        Cursor::new(&payload).u32()
+    }
+
+    /// Undeploys a plan on the server (retire, drain, reclaim); returns
+    /// what was freed.
+    pub fn undeploy(&mut self, plan: PlanId) -> Result<UndeployReport> {
+        let req = wire::request_header(plan, wire::ADMIN_UNDEPLOY, 0, 0);
+        let payload = self.roundtrip_admin(&req)?;
+        let mut cur = Cursor::new(&payload);
+        Ok(UndeployReport {
+            freed_param_bytes: cur.u64()? as usize,
+            freed_params: cur.u32()? as usize,
+            dropped_stages: cur.u32()? as usize,
+            dropped_aliases: cur.u32()? as usize,
+        })
+    }
+
+    /// Atomically repoints `alias` to `plan` on the server; returns the
+    /// previously bound plan, if any.
+    pub fn swap(&mut self, alias: &str, plan: PlanId) -> Result<Option<PlanId>> {
+        use pretzel_data::serde_bin::wire as w;
+        let mut req = wire::request_header(plan, wire::ADMIN_SWAP, 0, 0);
+        w::put_str(&mut req, alias);
+        let payload = self.roundtrip_admin(&req)?;
+        let previous = Cursor::new(&payload).u32()?;
+        Ok((previous != u32::MAX).then_some(previous))
+    }
+
+    /// Lists every plan the server knows (tombstones included) with
+    /// lifecycle state and bound aliases.
+    pub fn list(&mut self) -> Result<Vec<PlanInfo>> {
+        let req = wire::request_header(0, wire::ADMIN_LIST, 0, 0);
+        let payload = self.roundtrip_admin(&req)?;
+        let mut cur = Cursor::new(&payload);
+        let n = cur.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let id = cur.u32()?;
+            let retired = cur.u32()? != 0;
+            let in_flight = cur.u32()? as usize;
+            let n_aliases = cur.u32()? as usize;
+            let mut aliases = Vec::with_capacity(n_aliases.min(64));
+            for _ in 0..n_aliases {
+                aliases.push(cur.str()?);
+            }
+            out.push(PlanInfo {
+                id,
+                retired,
+                in_flight,
+                aliases,
+            });
+        }
+        Ok(out)
+    }
+}
+
+struct WriteHalf {
+    stream: TcpStream,
+    next_id: u32,
+}
+
+struct SessionState {
+    /// Responses decoded but not yet claimed by their waiter.
+    done: HashMap<u32, Result<Vec<f32>>>,
+    /// Whether some waiter currently holds the read side.
+    reading: bool,
+    /// Set once the socket dies; every current and future wait fails.
+    dead: Option<String>,
+}
+
+struct SessionInner {
+    writer: Mutex<WriteHalf>,
+    reader: Mutex<TcpStream>,
+    state: Mutex<SessionState>,
+    cv: Condvar,
+}
+
+/// A pipelined v2 connection: submit many requests without waiting,
+/// resolve each [`PendingPredict`] in any order.
+///
+/// Waiting is cooperative: whichever waiter needs a response next takes
+/// the read side, decodes one frame, files it by request id, and wakes
+/// the others — no dedicated reader thread.
+///
+/// ```no_run
+/// # use pretzel_core::frontend::{PredictRequest, Session};
+/// # let session: Session = unimplemented!();
+/// let a = session.submit(&PredictRequest::text("1,slow").plan(3).delayed())?;
+/// let b = session.submit(&PredictRequest::text("5,fast").plan(3))?;
+/// let fast = b.wait_one()?; // resolves before `a`'s flush
+/// let slow = a.wait_one()?;
+/// # Ok::<(), pretzel_data::DataError>(())
+/// ```
+#[derive(Clone)]
+pub struct Session {
+    inner: Arc<SessionInner>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session").finish()
+    }
+}
+
+impl Session {
+    /// Connects a pipelined v2 session.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Session> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        Ok(Session {
+            inner: Arc::new(SessionInner {
+                writer: Mutex::new(WriteHalf { stream, next_id: 0 }),
+                reader: Mutex::new(reader),
+                state: Mutex::new(SessionState {
+                    done: HashMap::new(),
+                    reading: false,
+                    dead: None,
+                }),
+                cv: Condvar::new(),
+            }),
+        })
+    }
+
+    /// Sends the request without waiting; the returned handle resolves it.
+    pub fn submit(&self, request: &PredictRequest) -> Result<PendingPredict> {
+        let body = request.encode()?;
+        let id = {
+            let mut w = self.inner.writer.lock();
+            let id = w.next_id;
+            w.next_id = w.next_id.wrapping_add(1);
+            wire::write_v2(&mut w.stream, id, &body).map_err(io_err)?;
+            id
+        };
+        Ok(PendingPredict {
+            inner: Arc::clone(&self.inner),
+            id,
+        })
+    }
+}
+
+/// One in-flight pipelined request; resolves independently of submission
+/// order.
+pub struct PendingPredict {
+    inner: Arc<SessionInner>,
+    id: u32,
+}
+
+impl std::fmt::Debug for PendingPredict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingPredict")
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+impl PendingPredict {
+    /// The request id this handle resolves.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Blocks until this request's response arrives (other waiters'
+    /// responses are filed for them along the way).
+    pub fn wait(self) -> Result<Vec<f32>> {
+        loop {
+            {
+                let mut st = self.inner.state.lock();
+                loop {
+                    if let Some(result) = st.done.remove(&self.id) {
+                        return result;
+                    }
+                    if let Some(msg) = &st.dead {
+                        return Err(DataError::Runtime(msg.clone()));
+                    }
+                    if !st.reading {
+                        st.reading = true;
+                        break; // become the reader
+                    }
+                    self.inner.cv.wait(&mut st);
+                }
+            }
+            // Read exactly one frame outside the state lock, then file it.
+            let frame = {
+                let mut rd = self.inner.reader.lock();
+                wire::read_frame(&mut *rd)
+            };
+            let mut st = self.inner.state.lock();
+            st.reading = false;
+            match frame {
+                Ok(ReadFrame::V2 { request_id, body }) => {
+                    st.done.insert(request_id, wire::decode_response(&body));
+                }
+                Ok(ReadFrame::Eof) => st.dead = Some("frontend closed connection".into()),
+                Ok(ReadFrame::V1(_)) => {
+                    st.dead = Some("frontend answered a pipelined request with a v1 frame".into())
+                }
+                Ok(ReadFrame::Oversized(len)) => {
+                    st.dead = Some(format!("frontend sent an oversized {len}-byte frame"))
+                }
+                Ok(ReadFrame::BadVersion(v)) => {
+                    st.dead = Some(format!("frontend sent unknown wire version {v}"))
+                }
+                Err(e) => st.dead = Some(format!("frontend io: {e}")),
+            }
+            drop(st);
+            self.inner.cv.notify_all();
+        }
+    }
+
+    /// Like [`Self::wait`], for single-record requests.
+    pub fn wait_one(self) -> Result<f32> {
+        let scores = self.wait()?;
+        scores
+            .first()
+            .copied()
+            .ok_or_else(|| DataError::Runtime("empty response".into()))
+    }
+}

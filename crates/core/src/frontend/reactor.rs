@@ -1,0 +1,628 @@
+//! Event-loop reactor pool: the connection-scalable serving mode.
+//!
+//! A fixed set of reactor threads shares one non-blocking listener and a
+//! lock-free [`ConnSlab`] of per-connection state. Each reactor owns an
+//! epoll instance; readiness events drive a per-connection state machine —
+//! read into a buffer, incrementally parse frames ([`wire::parse_frame`]),
+//! dispatch through the same request logic the blocking path uses, and
+//! drain a write-back queue under `EPOLLOUT`. Requests whose results
+//! materialize later (batch engine, delayed batcher) register a
+//! [`CompletionHandle`]; the completing thread pushes the encoded response
+//! onto the owning reactor's queue and pokes its eventfd, so no thread
+//! ever parks per request.
+//!
+//! Connection identity is the slab token `(slot, generation)` packed into
+//! the epoll user-data word. The generation check makes every stale
+//! reference — a late completion for a closed connection, a readiness
+//! event harvested in the same batch as the close — drop harmlessly
+//! instead of touching a recycled slot.
+
+use super::slab::ConnSlab;
+use super::sys::{self, Epoll, EpollEvent, EventFd};
+use super::wire::{self, Parse};
+use super::{serve_frame, Dispatch, FrontEndStats, Responder, ServerShared};
+use crossbeam::queue::SegQueue;
+use pretzel_data::Result;
+use std::collections::{BTreeMap, HashSet};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Epoll user-data word for the shared listener.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Epoll user-data word for a reactor's wake eventfd.
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+
+/// Cap on unanswered pipelined requests per v2 connection; beyond it the
+/// peer is violating flow control and the connection closes.
+const MAX_IN_FLIGHT: usize = 4096;
+
+/// Read-side scratch buffer per reactor thread.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Compact the write queue once this many bytes are already flushed.
+const WRITE_COMPACT_BYTES: usize = 64 * 1024;
+
+fn pack_token(slot: u32, generation: u32) -> u64 {
+    (u64::from(generation) << 32) | u64::from(slot)
+}
+
+#[cfg(unix)]
+fn raw_fd(stream: &TcpStream) -> i32 {
+    use std::os::fd::AsRawFd;
+    stream.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_fd(_stream: &TcpStream) -> i32 {
+    -1 // unreachable: `sys::SUPPORTED` gates pool construction
+}
+
+/// How a queued response is framed back to the client.
+#[derive(Clone, Copy, Debug)]
+enum ResponseTag {
+    /// v1 carries no request id; `seq` restores submission order.
+    V1 { seq: u64 },
+    /// v2 echoes the request id; responses emit as they complete.
+    V2 { request_id: u32 },
+}
+
+/// A finished request's encoded response, en route to its reactor.
+struct Completion {
+    slot: u32,
+    generation: u32,
+    tag: ResponseTag,
+    body: Vec<u8>,
+}
+
+/// One reactor's inbound completion lane.
+struct ReactorIo {
+    completions: SegQueue<Completion>,
+    wake: EventFd,
+}
+
+/// State shared by every reactor thread and every completion handle.
+struct ReactorShared {
+    slab: ConnSlab<Conn>,
+    ios: Vec<ReactorIo>,
+    stop: AtomicBool,
+    stats: Arc<FrontEndStats>,
+    server: Arc<ServerShared>,
+    listener: TcpListener,
+}
+
+/// Routes one request's eventual response back to the reactor that owns
+/// its connection. Valid across connection close: a stale handle fails
+/// the slab generation check and the completion is dropped.
+#[derive(Clone)]
+pub(super) struct CompletionHandle {
+    shared: Arc<ReactorShared>,
+    reactor: usize,
+    slot: u32,
+    generation: u32,
+    tag: ResponseTag,
+}
+
+impl CompletionHandle {
+    /// Queues an encoded response body and wakes the owning reactor.
+    fn complete(&self, body: Vec<u8>) {
+        let io = &self.shared.ios[self.reactor];
+        io.completions.push(Completion {
+            slot: self.slot,
+            generation: self.generation,
+            tag: self.tag,
+            body,
+        });
+        io.wake.signal();
+    }
+
+    /// Completes with a whole-batch outcome.
+    pub(super) fn complete_result(&self, result: Result<Vec<f32>>) {
+        let body = match result {
+            Ok(scores) => wire::encode_ok(&scores),
+            Err(e) => wire::encode_err(&e.to_string()),
+        };
+        self.complete(body);
+    }
+
+    /// Completes with a single-record outcome (delayed batcher).
+    pub(super) fn complete_single(&self, result: Result<f32>) {
+        self.complete_result(result.map(|s| vec![s]));
+    }
+}
+
+impl std::fmt::Debug for CompletionHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompletionHandle")
+            .field("reactor", &self.reactor)
+            .field("slot", &self.slot)
+            .field("generation", &self.generation)
+            .field("tag", &self.tag)
+            .finish()
+    }
+}
+
+/// Protocol state a connection locks into at its first frame.
+enum Proto {
+    /// No frame seen yet; either version may arrive.
+    Unknown,
+    /// v1: strictly ordered responses. Out-of-order completions park in
+    /// `ready` until every earlier response has emitted.
+    V1 {
+        next_seq: u64,
+        next_emit: u64,
+        ready: BTreeMap<u64, Vec<u8>>,
+    },
+    /// v2: responses emit as they complete, tagged by request id.
+    V2 { in_flight: HashSet<u32> },
+}
+
+/// Per-connection state machine, owned by exactly one reactor thread.
+struct Conn {
+    stream: TcpStream,
+    fd: i32,
+    token: u64,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Whether `EPOLLOUT` is currently in the epoll interest set.
+    want_write: bool,
+    proto: Proto,
+    /// Set on a fatal protocol error: flush queued bytes, then close.
+    close_after_flush: bool,
+}
+
+/// What to do with a connection after handling an event.
+#[derive(PartialEq)]
+enum Action {
+    Keep,
+    Close,
+}
+
+/// The running reactor pool.
+pub(super) struct ReactorPool {
+    shared: Arc<ReactorShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ReactorPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactorPool")
+            .field("threads", &self.threads.len())
+            .field("slab", &self.shared.slab)
+            .finish()
+    }
+}
+
+impl ReactorPool {
+    /// Spawns `threads` reactors sharing `listener` and the request
+    /// dispatch state. Fails fast if any epoll/eventfd cannot be created.
+    pub(super) fn start(
+        listener: TcpListener,
+        server: Arc<ServerShared>,
+        stats: Arc<FrontEndStats>,
+        threads: usize,
+        max_connections: usize,
+    ) -> std::io::Result<ReactorPool> {
+        listener.set_nonblocking(true)?;
+        let threads = threads.max(1);
+        let mut epolls = Vec::with_capacity(threads);
+        let mut ios = Vec::with_capacity(threads);
+        let listener_fd = {
+            #[cfg(unix)]
+            {
+                use std::os::fd::AsRawFd;
+                listener.as_raw_fd()
+            }
+            #[cfg(not(unix))]
+            {
+                -1
+            }
+        };
+        for _ in 0..threads {
+            let ep = Epoll::new()?;
+            let wake = EventFd::new()?;
+            // Level-triggered: every reactor polls the shared listener and
+            // races to accept; losers see `WouldBlock`.
+            ep.add(listener_fd, sys::EPOLLIN, TOKEN_LISTENER)?;
+            ep.add(wake.raw(), sys::EPOLLIN, TOKEN_WAKE)?;
+            epolls.push(ep);
+            ios.push(ReactorIo {
+                completions: SegQueue::new(),
+                wake,
+            });
+        }
+        let shared = Arc::new(ReactorShared {
+            slab: ConnSlab::new(max_connections.max(1)),
+            ios,
+            stop: AtomicBool::new(false),
+            stats,
+            server,
+            listener,
+        });
+        let threads = epolls
+            .into_iter()
+            .enumerate()
+            .map(|(i, ep)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pretzel-reactor-{i}"))
+                    .spawn(move || run_reactor(shared, ep, i))
+                    .expect("spawn reactor thread")
+            })
+            .collect();
+        Ok(ReactorPool { shared, threads })
+    }
+
+    /// Signals every reactor and joins them; open connections close.
+    pub(super) fn stop(self) {
+        self.shared.stop.store(true, Ordering::Release);
+        for io in &self.shared.ios {
+            io.wake.signal();
+        }
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn run_reactor(shared: Arc<ReactorShared>, ep: Epoll, me: usize) {
+    let mut events = [EpollEvent::zeroed(); 256];
+    // Slots this thread accepted; connections never migrate between
+    // reactors, which is what makes `slab.with` access exclusive.
+    let mut owned: HashSet<u32> = HashSet::new();
+    let mut scratch = vec![0u8; READ_CHUNK];
+    while !shared.stop.load(Ordering::Acquire) {
+        let n = match ep.wait(&mut events, 100) {
+            Ok(n) => n,
+            Err(_) => continue,
+        };
+        for event in events.iter().take(n) {
+            // Copy out of the packed struct before taking references.
+            let data = event.data;
+            let readiness = event.events;
+            match data {
+                TOKEN_WAKE => shared.ios[me].wake.drain(),
+                TOKEN_LISTENER => accept_ready(&shared, &ep, &mut owned),
+                token => {
+                    let slot = (token & 0xffff_ffff) as u32;
+                    let generation = (token >> 32) as u32;
+                    if !owned.contains(&slot) || shared.slab.generation(slot) != generation {
+                        continue; // stale event for a recycled slot
+                    }
+                    // Safety: this thread accepted the slot and is its only
+                    // accessor until `teardown`.
+                    let action = unsafe {
+                        shared.slab.with(slot, |conn| {
+                            conn_event(&shared, &ep, me, readiness, conn, &mut scratch)
+                        })
+                    };
+                    if action == Action::Close {
+                        teardown(&shared, &ep, &mut owned, slot);
+                    }
+                }
+            }
+        }
+        drain_completions(&shared, &ep, me, &mut owned);
+    }
+    // Shutdown: close everything this reactor owns.
+    for slot in owned.drain() {
+        // Safety: owner teardown; no other accessor exists.
+        let conn = unsafe { shared.slab.remove(slot) };
+        let _ = ep.delete(conn.fd);
+        shared.stats.open.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn accept_ready(shared: &Arc<ReactorShared>, ep: &Epoll, owned: &mut HashSet<u32>) {
+    loop {
+        let stream = match shared.listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(_) => return,
+        };
+        shared.stats.accepted.fetch_add(1, Ordering::AcqRel);
+        if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+            continue;
+        }
+        let fd = raw_fd(&stream);
+        let conn = Conn {
+            stream,
+            fd,
+            token: 0,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            want_write: false,
+            proto: Proto::Unknown,
+            close_after_flush: false,
+        };
+        let Some((slot, generation)) = shared.slab.insert(conn) else {
+            // Slab full: refuse by dropping (closing) the socket.
+            continue;
+        };
+        let token = pack_token(slot, generation);
+        // Safety: we just claimed the slot; nobody else references it.
+        unsafe { shared.slab.with(slot, |c| c.token = token) };
+        if ep.add(fd, sys::EPOLLIN | sys::EPOLLRDHUP, token).is_err() {
+            unsafe { shared.slab.remove(slot) };
+            continue;
+        }
+        owned.insert(slot);
+        shared.stats.open.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+fn teardown(shared: &Arc<ReactorShared>, ep: &Epoll, owned: &mut HashSet<u32>, slot: u32) {
+    owned.remove(&slot);
+    // Safety: owner teardown, outside any `with` on this slot.
+    let conn = unsafe { shared.slab.remove(slot) };
+    let _ = ep.delete(conn.fd);
+    shared.stats.open.fetch_sub(1, Ordering::AcqRel);
+    // Dropping `conn` closes the socket. In-flight completions for it
+    // fail the generation check and vanish — same outcome as a blocking
+    // connection thread exiting with results undelivered.
+}
+
+fn conn_event(
+    shared: &Arc<ReactorShared>,
+    ep: &Epoll,
+    me: usize,
+    readiness: u32,
+    conn: &mut Conn,
+    scratch: &mut [u8],
+) -> Action {
+    if readiness & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+        return Action::Close;
+    }
+    if readiness & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0 {
+        if read_ready(shared, me, conn, scratch) == Action::Close {
+            return Action::Close;
+        }
+        // Replies queued by inline dispatch flush eagerly; most round
+        // trips never arm `EPOLLOUT` at all.
+        if flush(ep, conn) == Action::Close {
+            return Action::Close;
+        }
+    }
+    if readiness & sys::EPOLLOUT != 0 {
+        return flush(ep, conn);
+    }
+    Action::Keep
+}
+
+/// Reads everything available, then parses and dispatches every complete
+/// frame in the buffer.
+fn read_ready(
+    shared: &Arc<ReactorShared>,
+    me: usize,
+    conn: &mut Conn,
+    scratch: &mut [u8],
+) -> Action {
+    let mut saw_eof = false;
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                saw_eof = true;
+                break;
+            }
+            Ok(n) => conn.read_buf.extend_from_slice(&scratch[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Action::Close,
+        }
+    }
+
+    let mut pos = 0;
+    while !conn.close_after_flush {
+        match wire::parse_frame(&conn.read_buf[pos..]) {
+            Parse::NeedMore => break,
+            Parse::Reject(msg) => {
+                shared.stats.note_protocol_error();
+                queue_protocol_error(conn, &msg);
+                pos = conn.read_buf.len(); // stream is unrecoverable
+                break;
+            }
+            Parse::Frame {
+                version,
+                request_id,
+                body,
+                consumed,
+            } => {
+                let body = pos + body.start..pos + body.end;
+                pos += consumed;
+                let tag = match frame_tag(shared, conn, version, request_id) {
+                    Ok(tag) => tag,
+                    Err(()) => {
+                        pos = conn.read_buf.len();
+                        break;
+                    }
+                };
+                let handle = CompletionHandle {
+                    shared: Arc::clone(shared),
+                    reactor: me,
+                    slot: (conn.token & 0xffff_ffff) as u32,
+                    generation: (conn.token >> 32) as u32,
+                    tag,
+                };
+                let dispatch = serve_frame(
+                    &shared.server,
+                    &conn.read_buf[body],
+                    &Responder::Reactor(handle),
+                );
+                if let Dispatch::Ready(reply) = dispatch {
+                    queue_response(conn, tag, &reply);
+                }
+            }
+        }
+    }
+    if pos > 0 {
+        conn.read_buf.drain(..pos);
+    }
+    if saw_eof {
+        return Action::Close;
+    }
+    Action::Keep
+}
+
+/// Locks in (or validates) the connection's protocol version for one
+/// frame and assigns its response tag. `Err` means a fatal violation was
+/// queued and the rest of the buffer must be discarded.
+fn frame_tag(
+    shared: &ReactorShared,
+    conn: &mut Conn,
+    version: u8,
+    request_id: u32,
+) -> std::result::Result<ResponseTag, ()> {
+    if matches!(conn.proto, Proto::Unknown) {
+        conn.proto = if version == 1 {
+            Proto::V1 {
+                next_seq: 0,
+                next_emit: 0,
+                ready: BTreeMap::new(),
+            }
+        } else {
+            Proto::V2 {
+                in_flight: HashSet::new(),
+            }
+        };
+    }
+    match &mut conn.proto {
+        Proto::V1 {
+            next_seq: seq_counter,
+            ..
+        } if version == 1 => {
+            let seq = *seq_counter;
+            *seq_counter += 1;
+            Ok(ResponseTag::V1 { seq })
+        }
+        Proto::V2 { in_flight } if version != 1 => {
+            if in_flight.len() >= MAX_IN_FLIGHT {
+                shared.stats.note_protocol_error();
+                queue_protocol_error(
+                    conn,
+                    &format!("more than {MAX_IN_FLIGHT} pipelined requests in flight"),
+                );
+                return Err(());
+            }
+            if !in_flight.insert(request_id) {
+                shared.stats.note_protocol_error();
+                queue_protocol_error(
+                    conn,
+                    &format!("duplicate in-flight request id {request_id}"),
+                );
+                return Err(());
+            }
+            Ok(ResponseTag::V2 { request_id })
+        }
+        _ => {
+            // A connection that switches framing mid-stream is confused;
+            // trusting its future prefixes would mis-frame everything.
+            shared.stats.note_protocol_error();
+            queue_protocol_error(conn, "wire version changed mid-connection");
+            Err(())
+        }
+    }
+}
+
+/// Queues one response under the connection's ordering discipline.
+fn queue_response(conn: &mut Conn, tag: ResponseTag, body: &[u8]) {
+    match (&mut conn.proto, tag) {
+        (
+            Proto::V1 {
+                next_emit, ready, ..
+            },
+            ResponseTag::V1 { seq },
+        ) => {
+            // v1 clients read responses in request order; park completions
+            // until every earlier one has emitted.
+            ready.insert(seq, body.to_vec());
+            while let Some(b) = ready.remove(next_emit) {
+                wire::encode_v1_into(&mut conn.write_buf, &b);
+                *next_emit += 1;
+            }
+        }
+        (Proto::V2 { in_flight }, ResponseTag::V2 { request_id }) => {
+            in_flight.remove(&request_id);
+            wire::encode_v2_into(&mut conn.write_buf, request_id, body);
+        }
+        // A completion can race a protocol error that reset expectations;
+        // frame it to match its request so the client can still decode it.
+        (_, ResponseTag::V1 { .. }) => wire::encode_v1_into(&mut conn.write_buf, body),
+        (_, ResponseTag::V2 { request_id }) => {
+            wire::encode_v2_into(&mut conn.write_buf, request_id, body)
+        }
+    }
+}
+
+/// Queues a fatal protocol-error reply (framed per the connection's
+/// locked-in version) and marks the connection to close once flushed.
+fn queue_protocol_error(conn: &mut Conn, msg: &str) {
+    let body = wire::encode_err(msg);
+    match &conn.proto {
+        // No request id to echo: `u32::MAX` marks a connection-level error.
+        Proto::V2 { .. } => wire::encode_v2_into(&mut conn.write_buf, u32::MAX, &body),
+        _ => wire::encode_v1_into(&mut conn.write_buf, &body),
+    }
+    conn.close_after_flush = true;
+}
+
+/// Writes as much queued output as the socket accepts, arming or
+/// disarming `EPOLLOUT` interest as the backlog requires.
+fn flush(ep: &Epoll, conn: &mut Conn) -> Action {
+    while conn.write_pos < conn.write_buf.len() {
+        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+            Ok(0) => return Action::Close,
+            Ok(n) => conn.write_pos += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Action::Close,
+        }
+    }
+    if conn.write_pos >= conn.write_buf.len() {
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+        if conn.close_after_flush {
+            return Action::Close;
+        }
+        if conn.want_write {
+            conn.want_write = false;
+            let _ = ep.modify(conn.fd, sys::EPOLLIN | sys::EPOLLRDHUP, conn.token);
+        }
+    } else {
+        if !conn.want_write {
+            conn.want_write = true;
+            let _ = ep.modify(
+                conn.fd,
+                sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLOUT,
+                conn.token,
+            );
+        }
+        if conn.write_pos >= WRITE_COMPACT_BYTES {
+            conn.write_buf.drain(..conn.write_pos);
+            conn.write_pos = 0;
+        }
+    }
+    Action::Keep
+}
+
+/// Applies queued completions to their connections' write queues.
+fn drain_completions(shared: &Arc<ReactorShared>, ep: &Epoll, me: usize, owned: &mut HashSet<u32>) {
+    while let Some(c) = shared.ios[me].completions.pop() {
+        if !owned.contains(&c.slot) || shared.slab.generation(c.slot) != c.generation {
+            continue; // connection closed while the request ran
+        }
+        // Safety: this thread owns the slot (checked above).
+        let action = unsafe {
+            shared.slab.with(c.slot, |conn| {
+                queue_response(conn, c.tag, &c.body);
+                flush(ep, conn)
+            })
+        };
+        if action == Action::Close {
+            teardown(shared, ep, owned, c.slot);
+        }
+    }
+}

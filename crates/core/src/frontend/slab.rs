@@ -1,0 +1,230 @@
+//! Lock-free fixed-size slab for per-connection reactor state.
+//!
+//! Accept and close are the FrontEnd's hot control-plane path; under a
+//! reactor pool they race across threads, so the free list is a Treiber
+//! stack of slot indices whose head packs `(aba_tag << 32) | (index + 1)`
+//! into one `AtomicU64` — the pointer-width-CAS recipe of Blelloch & Wei's
+//! constant-time fixed-size allocation: a tag bump on every successful
+//! push/pop makes the classic ABA reuse race unobservable, and both
+//! `insert` and `remove` are O(1) with no global lock.
+//!
+//! Each slot additionally carries a **generation** counter, bumped on
+//! every `remove`: completion tokens `(slot, generation)` handed to the
+//! scheduler stay valid identifiers even after the connection closes and
+//! the slot is recycled — a stale completion simply fails the generation
+//! check and is dropped instead of writing into someone else's connection.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// Sentinel for "no next slot" in the free list (indices store `i + 1`).
+const NIL: u32 = 0;
+
+struct Slot<T> {
+    /// Free-list link: `next_index + 1`, or [`NIL`].
+    next: AtomicU32,
+    /// Bumped on every `remove`; tokens carry the value they observed.
+    generation: AtomicU32,
+    value: UnsafeCell<Option<T>>,
+}
+
+/// A fixed-capacity concurrent slab. `insert`/`remove` are lock-free;
+/// value access is single-owner (the reactor thread that owns the slot).
+pub(crate) struct ConnSlab<T> {
+    slots: Box<[Slot<T>]>,
+    /// Packed Treiber head: `(tag << 32) | (index + 1)`.
+    head: AtomicU64,
+    occupied: AtomicUsize,
+}
+
+// Safety: values move in through `insert` and out through `remove`; between
+// those, `with` hands out exclusive access only to the slot's unique owner
+// (enforced by the caller per the method contracts below).
+unsafe impl<T: Send> Sync for ConnSlab<T> {}
+unsafe impl<T: Send> Send for ConnSlab<T> {}
+
+impl<T> ConnSlab<T> {
+    /// Builds a slab of `capacity` slots, all free.
+    pub(crate) fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1).min(u32::MAX as usize - 1);
+        let slots: Box<[Slot<T>]> = (0..capacity)
+            .map(|i| Slot {
+                // Thread the initial free list 0 -> 1 -> ... -> NIL.
+                next: AtomicU32::new(if i + 1 < capacity { i as u32 + 2 } else { NIL }),
+                generation: AtomicU32::new(0),
+                value: UnsafeCell::new(None),
+            })
+            .collect();
+        ConnSlab {
+            slots,
+            head: AtomicU64::new(1), // index 0, tag 0
+            occupied: AtomicUsize::new(0),
+        }
+    }
+
+    /// Total slot count.
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slots currently holding a value.
+    pub(crate) fn occupied(&self) -> usize {
+        self.occupied.load(Ordering::Acquire)
+    }
+
+    /// Claims a free slot for `value`; returns its `(slot, generation)`
+    /// token, or `None` (with `value` given back) when the slab is full.
+    pub(crate) fn insert(&self, value: T) -> Option<(u32, u32)> {
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            let link = (head & 0xffff_ffff) as u32;
+            if link == NIL {
+                return None; // slab full
+            }
+            let index = link - 1;
+            let next = self.slots[index as usize].next.load(Ordering::Acquire);
+            let tag = head >> 32;
+            let new_head = ((tag + 1) << 32) | u64::from(next);
+            match self.head.compare_exchange_weak(
+                head,
+                new_head,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    // The slot is exclusively ours until pushed back.
+                    unsafe { *self.slots[index as usize].value.get() = Some(value) };
+                    self.occupied.fetch_add(1, Ordering::AcqRel);
+                    let generation = self.slots[index as usize]
+                        .generation
+                        .load(Ordering::Acquire);
+                    return Some((index, generation));
+                }
+                Err(current) => head = current,
+            }
+        }
+    }
+
+    /// The slot's current generation (for validating completion tokens).
+    pub(crate) fn generation(&self, slot: u32) -> u32 {
+        self.slots[slot as usize].generation.load(Ordering::Acquire)
+    }
+
+    /// Runs `f` with exclusive access to the slot's value.
+    ///
+    /// # Safety
+    /// The caller must be the slot's unique owner (it obtained `slot` from
+    /// [`Self::insert`] and has not yet called [`Self::remove`]), and must
+    /// not re-enter `with`/`remove` for the *same* slot from `f`.
+    pub(crate) unsafe fn with<R>(&self, slot: u32, f: impl FnOnce(&mut T) -> R) -> R {
+        let value = &mut *self.slots[slot as usize].value.get();
+        f(value.as_mut().expect("slot occupied by owner"))
+    }
+
+    /// Takes the value out, bumps the generation (invalidating outstanding
+    /// tokens), and returns the slot to the free list.
+    ///
+    /// # Safety
+    /// Same ownership contract as [`Self::with`]; after `remove` the slot
+    /// token must not be used again.
+    pub(crate) unsafe fn remove(&self, slot: u32) -> T {
+        let value = (*self.slots[slot as usize].value.get())
+            .take()
+            .expect("slot occupied by owner");
+        // Invalidate tokens before the slot becomes claimable again.
+        self.slots[slot as usize]
+            .generation
+            .fetch_add(1, Ordering::AcqRel);
+        self.occupied.fetch_sub(1, Ordering::AcqRel);
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            let link = (head & 0xffff_ffff) as u32;
+            self.slots[slot as usize]
+                .next
+                .store(link, Ordering::Release);
+            let tag = head >> 32;
+            let new_head = ((tag + 1) << 32) | u64::from(slot + 1);
+            match self.head.compare_exchange_weak(
+                head,
+                new_head,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return value,
+                Err(current) => head = current,
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for ConnSlab<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConnSlab")
+            .field("capacity", &self.capacity())
+            .field("occupied", &self.occupied())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_remove_roundtrip_and_capacity() {
+        let slab = ConnSlab::new(2);
+        let (a, _) = slab.insert(10u32).unwrap();
+        let (b, _) = slab.insert(20u32).unwrap();
+        assert_eq!(slab.occupied(), 2);
+        assert!(slab.insert(30).is_none(), "full slab refuses");
+        unsafe {
+            assert_eq!(slab.with(a, |v| *v), 10);
+            assert_eq!(slab.remove(b), 20);
+        }
+        let (c, _) = slab.insert(40).unwrap();
+        unsafe {
+            assert_eq!(slab.with(c, |v| *v), 40);
+            slab.remove(a);
+            slab.remove(c);
+        }
+        assert_eq!(slab.occupied(), 0);
+    }
+
+    #[test]
+    fn generation_invalidates_stale_tokens() {
+        let slab = ConnSlab::new(1);
+        let (slot, gen0) = slab.insert(1u8).unwrap();
+        unsafe { slab.remove(slot) };
+        let (slot2, gen1) = slab.insert(2u8).unwrap();
+        assert_eq!(slot, slot2, "single slot recycles");
+        assert_ne!(gen0, gen1, "recycled slot has a fresh generation");
+        assert_eq!(slab.generation(slot), gen1);
+        unsafe { slab.remove(slot2) };
+    }
+
+    #[test]
+    fn concurrent_churn_never_double_allocates() {
+        let slab = Arc::new(ConnSlab::new(8));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let slab = Arc::clone(&slab);
+                std::thread::spawn(move || {
+                    for i in 0..2000u32 {
+                        if let Some((slot, _)) = slab.insert(t * 10_000 + i) {
+                            // Exclusive ownership: the value we read must be
+                            // exactly the one we put in.
+                            let seen = unsafe { slab.with(slot, |v| *v) };
+                            assert_eq!(seen, t * 10_000 + i);
+                            unsafe { slab.remove(slot) };
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(slab.occupied(), 0, "all slots returned");
+    }
+}

@@ -1,0 +1,287 @@
+//! Minimal epoll + eventfd bindings for the reactor.
+//!
+//! The workspace carries no libc binding (offline, vendored-stub deps
+//! only), so the handful of syscalls the event loop needs are issued
+//! directly via the x86-64 Linux `syscall` instruction. Everything is
+//! gated on `linux` + `x86_64`; other targets get a stub module whose
+//! [`SUPPORTED`] flag routes `FrontEnd::serve` to the blocking
+//! thread-per-connection path instead.
+
+/// Whether the reactor's readiness primitives exist on this target.
+pub(crate) const SUPPORTED: bool = cfg!(all(target_os = "linux", target_arch = "x86_64"));
+
+/// Readiness: fd readable.
+pub(crate) const EPOLLIN: u32 = 0x001;
+/// Readiness: fd writable.
+pub(crate) const EPOLLOUT: u32 = 0x004;
+/// Error condition on the fd.
+pub(crate) const EPOLLERR: u32 = 0x008;
+/// Hang-up (peer closed both directions).
+pub(crate) const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write side (half-close); delivered with `EPOLLIN`.
+pub(crate) const EPOLLRDHUP: u32 = 0x2000;
+
+/// One `epoll_wait` readiness record. Layout must match the kernel's
+/// packed 12-byte `struct epoll_event` on x86-64.
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub(crate) struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+impl EpollEvent {
+    pub(crate) const fn zeroed() -> Self {
+        EpollEvent { events: 0, data: 0 }
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod imp {
+    use super::EpollEvent;
+    use std::io;
+
+    const SYS_READ: usize = 0;
+    const SYS_WRITE: usize = 1;
+    const SYS_CLOSE: usize = 3;
+    const SYS_EPOLL_WAIT: usize = 232;
+    const SYS_EPOLL_CTL: usize = 233;
+    const SYS_EVENTFD2: usize = 290;
+    const SYS_EPOLL_CREATE1: usize = 291;
+
+    const EPOLL_CTL_ADD: usize = 1;
+    const EPOLL_CTL_DEL: usize = 2;
+    const EPOLL_CTL_MOD: usize = 3;
+    const EPOLL_CLOEXEC: usize = 0x80000;
+    const EFD_NONBLOCK: usize = 0x800;
+    const EFD_CLOEXEC: usize = 0x80000;
+    const EAGAIN: i32 = 11;
+    const EINTR: i32 = 4;
+
+    /// Issues one raw syscall; returns the kernel's raw result (negative
+    /// errno on failure).
+    #[inline]
+    unsafe fn syscall4(n: usize, a1: usize, a2: usize, a3: usize, a4: usize) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: isize) -> io::Result<usize> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    /// An epoll instance (closed on drop).
+    #[derive(Debug)]
+    pub(crate) struct Epoll {
+        fd: i32,
+    }
+
+    impl Epoll {
+        pub(crate) fn new() -> io::Result<Epoll> {
+            let fd = check(unsafe { syscall4(SYS_EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0) })?;
+            Ok(Epoll { fd: fd as i32 })
+        }
+
+        fn ctl(&self, op: usize, fd: i32, events: u32, data: u64) -> io::Result<()> {
+            let ev = EpollEvent { events, data };
+            let ptr = if op == EPOLL_CTL_DEL {
+                std::ptr::null()
+            } else {
+                &ev as *const EpollEvent
+            };
+            check(unsafe {
+                syscall4(
+                    SYS_EPOLL_CTL,
+                    self.fd as usize,
+                    op,
+                    fd as usize,
+                    ptr as usize,
+                )
+            })
+            .map(|_| ())
+        }
+
+        /// Registers `fd` with the given interest set; `data` comes back in
+        /// every readiness record for it.
+        pub(crate) fn add(&self, fd: i32, events: u32, data: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, events, data)
+        }
+
+        /// Replaces `fd`'s interest set.
+        pub(crate) fn modify(&self, fd: i32, events: u32, data: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, events, data)
+        }
+
+        /// Deregisters `fd`.
+        pub(crate) fn delete(&self, fd: i32) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Blocks up to `timeout_ms` for readiness; fills `events` and
+        /// returns how many records arrived (0 on timeout).
+        pub(crate) fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+            loop {
+                let ret = unsafe {
+                    syscall4(
+                        SYS_EPOLL_WAIT,
+                        self.fd as usize,
+                        events.as_mut_ptr() as usize,
+                        events.len(),
+                        timeout_ms as usize,
+                    )
+                };
+                if ret == -(EINTR as isize) {
+                    continue; // retry interrupted waits transparently
+                }
+                return check(ret);
+            }
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            unsafe { syscall4(SYS_CLOSE, self.fd as usize, 0, 0, 0) };
+        }
+    }
+
+    /// A non-blocking eventfd used to wake a reactor out of `epoll_wait`
+    /// when a completion lands on its queue (closed on drop).
+    #[derive(Debug)]
+    pub(crate) struct EventFd {
+        fd: i32,
+    }
+
+    impl EventFd {
+        pub(crate) fn new() -> io::Result<EventFd> {
+            let fd = check(unsafe { syscall4(SYS_EVENTFD2, 0, EFD_NONBLOCK | EFD_CLOEXEC, 0, 0) })?;
+            Ok(EventFd { fd: fd as i32 })
+        }
+
+        pub(crate) fn raw(&self) -> i32 {
+            self.fd
+        }
+
+        /// Signals the fd (wakes a blocked `epoll_wait`). A full counter
+        /// (`EAGAIN`) already guarantees a pending wakeup, so it is not an
+        /// error.
+        pub(crate) fn signal(&self) {
+            let one = 1u64.to_ne_bytes();
+            unsafe {
+                syscall4(SYS_WRITE, self.fd as usize, one.as_ptr() as usize, 8, 0);
+            }
+        }
+
+        /// Drains the counter so the next `signal` wakes again.
+        pub(crate) fn drain(&self) {
+            let mut buf = [0u8; 8];
+            loop {
+                let ret = unsafe {
+                    syscall4(SYS_READ, self.fd as usize, buf.as_mut_ptr() as usize, 8, 0)
+                };
+                if ret == -(EAGAIN as isize) || ret <= 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    impl Drop for EventFd {
+        fn drop(&mut self) {
+            unsafe { syscall4(SYS_CLOSE, self.fd as usize, 0, 0, 0) };
+        }
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod imp {
+    //! Stub for targets without the raw-syscall reactor: `SUPPORTED` is
+    //! false there, so `FrontEnd::serve` never constructs these.
+    use super::EpollEvent;
+    use std::io;
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "reactor readiness primitives are only wired up on linux/x86_64",
+        ))
+    }
+
+    #[derive(Debug)]
+    pub(crate) struct Epoll;
+
+    impl Epoll {
+        pub(crate) fn new() -> io::Result<Epoll> {
+            unsupported()
+        }
+        pub(crate) fn add(&self, _fd: i32, _events: u32, _data: u64) -> io::Result<()> {
+            unsupported()
+        }
+        pub(crate) fn modify(&self, _fd: i32, _events: u32, _data: u64) -> io::Result<()> {
+            unsupported()
+        }
+        pub(crate) fn delete(&self, _fd: i32) -> io::Result<()> {
+            unsupported()
+        }
+        pub(crate) fn wait(
+            &self,
+            _events: &mut [EpollEvent],
+            _timeout_ms: i32,
+        ) -> io::Result<usize> {
+            unsupported()
+        }
+    }
+
+    #[derive(Debug)]
+    pub(crate) struct EventFd;
+
+    impl EventFd {
+        pub(crate) fn new() -> io::Result<EventFd> {
+            unsupported()
+        }
+        pub(crate) fn raw(&self) -> i32 {
+            -1
+        }
+        pub(crate) fn signal(&self) {}
+        pub(crate) fn drain(&self) {}
+    }
+}
+
+pub(crate) use imp::{Epoll, EventFd};
+
+#[cfg(all(test, target_os = "linux", target_arch = "x86_64"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eventfd_wakes_epoll_and_drains() {
+        let ep = Epoll::new().unwrap();
+        let efd = EventFd::new().unwrap();
+        ep.add(efd.raw(), EPOLLIN, 0xfeed).unwrap();
+        let mut events = [EpollEvent::zeroed(); 4];
+        // Nothing signalled: a short wait times out empty.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+        efd.signal();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let data = events[0].data;
+        assert_eq!(data, 0xfeed);
+        efd.drain();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0, "drained fd is quiet");
+        ep.delete(efd.raw()).unwrap();
+    }
+}

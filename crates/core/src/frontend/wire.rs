@@ -1,0 +1,420 @@
+//! Frame codecs for the FrontEnd protocol: v1 (length-prefixed, one
+//! request in flight) and v2 (versioned header carrying a per-request
+//! `request_id`, so one connection can pipeline many predicts and receive
+//! responses out of order).
+//!
+//! ```text
+//! v1 frame := u32 body_len · body
+//! v2 frame := magic[4] · u8 version · u8 flags · u16 reserved ·
+//!             u32 request_id · u32 body_len · body
+//! ```
+//!
+//! The two are self-describing on one socket: the v2 magic
+//! `50 5A 57 B2` ("PZW·"), read as a little-endian u32, is `0xB2575A50` —
+//! far above [`MAX_FRAME_BYTES`] — so no valid v1 length prefix can ever
+//! alias it, and the parser needs no out-of-band negotiation. Responses
+//! use the frame format of the request they answer; v2 responses echo the
+//! request's `request_id`.
+
+use pretzel_data::{DataError, Result};
+use std::io::{ErrorKind, Read, Write};
+
+/// Record kind tag on the wire.
+pub(crate) const KIND_TEXT: u8 = 0;
+/// Dense record kind tag.
+pub(crate) const KIND_DENSE: u8 = 1;
+/// Sparse (CSR triple) record kind tag.
+pub(crate) const KIND_SPARSE: u8 = 2;
+/// Admin verb: deploy a serialized model file.
+pub(crate) const ADMIN_DEPLOY: u8 = 0x10;
+/// Admin verb: undeploy (retire + drain + reclaim) a plan.
+pub(crate) const ADMIN_UNDEPLOY: u8 = 0x11;
+/// Admin verb: atomically repoint an alias to a plan.
+pub(crate) const ADMIN_SWAP: u8 = 0x12;
+/// Admin verb: list deployed plans and aliases.
+pub(crate) const ADMIN_LIST: u8 = 0x13;
+
+/// Request flag: consult/populate the prediction-result cache.
+pub const FLAG_RESULT_CACHE: u8 = 0b01;
+/// Request flag: submit through the delayed batcher.
+pub const FLAG_DELAYED_BATCH: u8 = 0b10;
+/// Request flag: the body starts with an alias string; the header's
+/// `plan_id` is ignored and the alias's current binding serves the
+/// request (retrying across concurrent swaps/undeploys).
+pub const FLAG_PLAN_ALIAS: u8 = 0b100;
+
+/// Upper bound on one frame body. A length prefix above this is rejected
+/// with a clean protocol error *before* any allocation happens — a garbage
+/// or hostile prefix must never turn into a multi-gigabyte `vec![0; len]`.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// v2 frame magic. Its little-endian u32 value (`0xB2575A50`) exceeds
+/// [`MAX_FRAME_BYTES`], so a v1 parser sees it as an oversized prefix and
+/// a version-aware parser can branch on the first four bytes alone.
+pub const WIRE_MAGIC: [u8; 4] = [0x50, 0x5A, 0x57, 0xB2];
+/// Current protocol version carried in byte 4 of a v2 header.
+pub const WIRE_V2: u8 = 2;
+/// Fixed v2 header size: magic(4) + version(1) + flags(1) + reserved(2) +
+/// request_id(4) + body_len(4).
+pub const V2_HEADER_BYTES: usize = 16;
+
+/// One frame read off a blocking stream.
+#[derive(Debug)]
+pub(crate) enum ReadFrame {
+    /// A complete v1 body.
+    V1(Vec<u8>),
+    /// A complete v2 body with its request id.
+    V2 { request_id: u32, body: Vec<u8> },
+    /// Clean end of stream at a frame boundary.
+    Eof,
+    /// The length prefix exceeded [`MAX_FRAME_BYTES`]; nothing allocated,
+    /// body unread (the stream cannot be resynchronized past it).
+    Oversized(u64),
+    /// A v2 header with an unknown version byte; body unread.
+    BadVersion(u8),
+}
+
+/// Reads one frame (v1 or v2, autodetected) off a blocking stream.
+pub(crate) fn read_frame(stream: &mut impl Read) -> std::io::Result<ReadFrame> {
+    let mut head = [0u8; 4];
+    match stream.read_exact(&mut head) {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(ReadFrame::Eof),
+        Err(e) => return Err(e),
+    }
+    if head == WIRE_MAGIC {
+        let mut rest = [0u8; V2_HEADER_BYTES - 4];
+        stream.read_exact(&mut rest)?;
+        let version = rest[0];
+        if version != WIRE_V2 {
+            return Ok(ReadFrame::BadVersion(version));
+        }
+        let request_id = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        let len = u32::from_le_bytes([rest[8], rest[9], rest[10], rest[11]]) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Ok(ReadFrame::Oversized(len as u64));
+        }
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body)?;
+        return Ok(ReadFrame::V2 { request_id, body });
+    }
+    let len = u32::from_le_bytes(head) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Ok(ReadFrame::Oversized(len as u64));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok(ReadFrame::V1(body))
+}
+
+/// Writes one v1 frame.
+pub(crate) fn write_v1(stream: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(body);
+    stream.write_all(&frame)
+}
+
+/// Writes one v2 frame carrying `request_id`.
+pub(crate) fn write_v2(
+    stream: &mut impl Write,
+    request_id: u32,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut frame = Vec::with_capacity(V2_HEADER_BYTES + body.len());
+    encode_v2_into(&mut frame, request_id, body);
+    stream.write_all(&frame)
+}
+
+/// Appends one encoded v2 frame to `out` (the reactor's write queue).
+pub(crate) fn encode_v2_into(out: &mut Vec<u8>, request_id: u32, body: &[u8]) {
+    out.extend_from_slice(&WIRE_MAGIC);
+    out.push(WIRE_V2);
+    out.push(0); // flags
+    out.extend_from_slice(&[0, 0]); // reserved
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+}
+
+/// Appends one encoded v1 frame to `out`.
+pub(crate) fn encode_v1_into(out: &mut Vec<u8>, body: &[u8]) {
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+}
+
+/// Outcome of scanning a connection's read buffer for the next frame.
+#[derive(Debug, PartialEq)]
+pub(crate) enum Parse {
+    /// Not enough buffered bytes yet.
+    NeedMore,
+    /// One complete frame: protocol version (1 or 2), the request id
+    /// (0 for v1 frames, which carry none), the body's byte range within
+    /// the scanned slice, and how many bytes the frame consumed.
+    Frame {
+        version: u8,
+        request_id: u32,
+        body: std::ops::Range<usize>,
+        consumed: usize,
+    },
+    /// Unrecoverable framing violation (oversized prefix, unknown
+    /// version): the stream cannot be resynchronized — reply and close.
+    Reject(String),
+}
+
+/// Incremental, allocation-free frame scan for the reactor's per-connection
+/// read buffers. Never blocks: returns [`Parse::NeedMore`] until a whole
+/// frame is buffered.
+pub(crate) fn parse_frame(buf: &[u8]) -> Parse {
+    if buf.len() < 4 {
+        return Parse::NeedMore;
+    }
+    if buf[..4] == WIRE_MAGIC {
+        if buf.len() < V2_HEADER_BYTES {
+            return Parse::NeedMore;
+        }
+        let version = buf[4];
+        if version != WIRE_V2 {
+            return Parse::Reject(format!("unsupported wire version {version}"));
+        }
+        let request_id = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+        let len = u32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Parse::Reject(format!(
+                "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte limit"
+            ));
+        }
+        if buf.len() < V2_HEADER_BYTES + len {
+            return Parse::NeedMore;
+        }
+        return Parse::Frame {
+            version: WIRE_V2,
+            request_id,
+            body: V2_HEADER_BYTES..V2_HEADER_BYTES + len,
+            consumed: V2_HEADER_BYTES + len,
+        };
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Parse::Reject(format!(
+            "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte limit"
+        ));
+    }
+    if buf.len() < 4 + len {
+        return Parse::NeedMore;
+    }
+    Parse::Frame {
+        version: 1,
+        request_id: 0,
+        body: 4..4 + len,
+        consumed: 4 + len,
+    }
+}
+
+// ---- Request/response body codecs (shared by clients and the server) ----
+
+/// Encodes a request header: plan id plus packed kind/flags/record count.
+pub(crate) fn request_header(plan: u32, kind: u8, flags: u8, n: usize) -> Vec<u8> {
+    let mut req = Vec::new();
+    req.extend_from_slice(&plan.to_le_bytes());
+    let kind_flags = u32::from(kind) | (u32::from(flags) << 8) | ((n as u32) << 16);
+    req.extend_from_slice(&kind_flags.to_le_bytes());
+    req
+}
+
+pub(crate) fn encode_request_text(plan: u32, lines: &[&str], flags: u8) -> Vec<u8> {
+    let mut req = request_header(plan, KIND_TEXT, flags, lines.len());
+    for line in lines {
+        req.extend_from_slice(&(line.len() as u32).to_le_bytes());
+        req.extend_from_slice(line.as_bytes());
+    }
+    req
+}
+
+pub(crate) fn encode_request_text_alias(alias: &str, lines: &[&str], flags: u8) -> Vec<u8> {
+    let mut req = request_header(0, KIND_TEXT, flags | FLAG_PLAN_ALIAS, lines.len());
+    pretzel_data::serde_bin::wire::put_str(&mut req, alias);
+    for line in lines {
+        req.extend_from_slice(&(line.len() as u32).to_le_bytes());
+        req.extend_from_slice(line.as_bytes());
+    }
+    req
+}
+
+pub(crate) fn encode_request_dense(plan: u32, records: &[&[f32]], flags: u8) -> Vec<u8> {
+    let mut req = request_header(plan, KIND_DENSE, flags, records.len());
+    for x in records {
+        req.extend_from_slice(&(x.len() as u32).to_le_bytes());
+        for v in *x {
+            req.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    req
+}
+
+pub(crate) fn encode_request_sparse(
+    plan: u32,
+    rows: &[(&[u32], &[f32])],
+    dim: u32,
+    flags: u8,
+) -> Vec<u8> {
+    let mut req = request_header(plan, KIND_SPARSE, flags, rows.len());
+    for (indices, values) in rows {
+        req.extend_from_slice(&dim.to_le_bytes());
+        req.extend_from_slice(&(indices.len() as u32).to_le_bytes());
+        for i in *indices {
+            req.extend_from_slice(&i.to_le_bytes());
+        }
+        for v in *values {
+            req.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    req
+}
+
+/// Encodes a success response body (status 0 + scores).
+pub(crate) fn encode_ok(scores: &[f32]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(5 + scores.len() * 4);
+    body.push(0u8);
+    body.extend_from_slice(&(scores.len() as u32).to_le_bytes());
+    for &s in scores {
+        body.extend_from_slice(&s.to_le_bytes());
+    }
+    body
+}
+
+/// Encodes an error response body (status 1 + message).
+pub(crate) fn encode_err(msg: &str) -> Vec<u8> {
+    let mut body = Vec::with_capacity(5 + msg.len());
+    body.push(1u8);
+    body.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+    body.extend_from_slice(msg.as_bytes());
+    body
+}
+
+/// Encodes an admin response body (status 2 + verb-specific payload).
+pub(crate) fn encode_admin(payload: &[u8]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(1 + payload.len());
+    body.push(2u8);
+    body.extend_from_slice(payload);
+    body
+}
+
+/// Decodes a response body into scores (or the server's error).
+pub(crate) fn decode_response(body: &[u8]) -> Result<Vec<f32>> {
+    use pretzel_data::serde_bin::Cursor;
+    let (&status, rest) = body
+        .split_first()
+        .ok_or_else(|| DataError::Runtime("empty frame".into()))?;
+    let mut cur = Cursor::new(rest);
+    match status {
+        0 => cur.f32s(),
+        1 => {
+            let len = cur.u32()? as usize;
+            let msg = String::from_utf8_lossy(&rest[4..(4 + len).min(rest.len())]).into_owned();
+            Err(DataError::Runtime(format!("server error: {msg}")))
+        }
+        s => Err(DataError::Runtime(format!("bad response status {s}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magic_cannot_alias_a_valid_v1_prefix() {
+        let as_len = u32::from_le_bytes(WIRE_MAGIC) as usize;
+        assert!(
+            as_len > MAX_FRAME_BYTES,
+            "magic {as_len:#x} must exceed MAX_FRAME_BYTES so v1/v2 detection is unambiguous"
+        );
+    }
+
+    #[test]
+    fn incremental_parse_v2_roundtrip() {
+        let mut buf = Vec::new();
+        encode_v2_into(&mut buf, 42, b"hello");
+        encode_v2_into(&mut buf, 43, b"world!");
+        // Every prefix short of the first full frame needs more bytes.
+        for cut in 0..V2_HEADER_BYTES + 5 {
+            assert_eq!(parse_frame(&buf[..cut]), Parse::NeedMore, "cut {cut}");
+        }
+        let Parse::Frame {
+            version,
+            request_id,
+            body,
+            consumed,
+        } = parse_frame(&buf)
+        else {
+            panic!("expected a frame");
+        };
+        assert_eq!((version, request_id), (WIRE_V2, 42));
+        assert_eq!(&buf[body], b"hello");
+        let Parse::Frame {
+            request_id, body, ..
+        } = parse_frame(&buf[consumed..])
+        else {
+            panic!("expected second frame");
+        };
+        assert_eq!(request_id, 43);
+        assert_eq!(&buf[consumed..][body], b"world!");
+    }
+
+    #[test]
+    fn incremental_parse_v1_roundtrip() {
+        let mut buf = Vec::new();
+        encode_v1_into(&mut buf, b"abc");
+        let Parse::Frame {
+            version,
+            request_id,
+            body,
+            consumed,
+        } = parse_frame(&buf)
+        else {
+            panic!("expected a frame");
+        };
+        assert_eq!((version, request_id, consumed), (1, 0, 7));
+        assert_eq!(&buf[body], b"abc");
+    }
+
+    #[test]
+    fn hostile_prefixes_reject_without_allocation() {
+        // v1 oversized prefix.
+        let huge = (u32::MAX).to_le_bytes();
+        assert!(matches!(parse_frame(&huge), Parse::Reject(_)));
+        // v2 oversized body length.
+        let mut v2 = WIRE_MAGIC.to_vec();
+        v2.extend_from_slice(&[WIRE_V2, 0, 0, 0]);
+        v2.extend_from_slice(&7u32.to_le_bytes());
+        v2.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(parse_frame(&v2), Parse::Reject(_)));
+        // Unknown version byte.
+        let mut bad = WIRE_MAGIC.to_vec();
+        bad.extend_from_slice(&[9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        match parse_frame(&bad) {
+            Parse::Reject(msg) => assert!(msg.contains("version 9"), "{msg}"),
+            other => panic!("expected reject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocking_reader_matches_incremental_parser() {
+        let mut buf = Vec::new();
+        encode_v1_into(&mut buf, b"one");
+        encode_v2_into(&mut buf, 7, b"two");
+        let mut cursor = std::io::Cursor::new(buf);
+        match read_frame(&mut cursor).unwrap() {
+            ReadFrame::V1(b) => assert_eq!(b, b"one"),
+            other => panic!("{other:?}"),
+        }
+        match read_frame(&mut cursor).unwrap() {
+            ReadFrame::V2 { request_id, body } => {
+                assert_eq!(request_id, 7);
+                assert_eq!(body, b"two");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(read_frame(&mut cursor).unwrap(), ReadFrame::Eof));
+    }
+}

@@ -129,6 +129,18 @@ impl AssembledBatch {
     pub fn hashes(&self) -> &[u64] {
         &self.hashes
     }
+
+    /// Disassembles the batch into `(rows, hashes, home pool)` without
+    /// running the drop-return — the zero-copy single-chunk path *moves*
+    /// the rows into the chunk's slot 0 and returns them to `home` itself
+    /// when the chunk releases its working set.
+    pub(crate) fn into_parts(self) -> (ColumnBatch, Vec<u64>, Option<Arc<VectorPool>>) {
+        let mut this = std::mem::ManuallyDrop::new(self);
+        let rows = std::mem::replace(&mut this.rows, ColumnBatch::Scalar(Vec::new()));
+        let hashes = std::mem::take(&mut this.hashes);
+        let home = this.home.take();
+        (rows, hashes, home)
+    }
 }
 
 impl Drop for AssembledBatch {
@@ -151,6 +163,34 @@ enum BatchInput {
     Records(Arc<Vec<Record>>),
     /// All rows packed in one column batch.
     Assembled(Arc<AssembledBatch>),
+    /// The rows themselves were *moved* into the chunk's slot 0 (zero-copy
+    /// single-chunk ingest); only their count and ingest-time hashes
+    /// remain addressable here.
+    Moved(Arc<MovedMeta>),
+}
+
+/// What survives of a moved assembled batch: its shape and hashes. The
+/// rows live in the (single) chunk's slot 0.
+#[derive(Debug)]
+struct MovedMeta {
+    len: usize,
+    hashes: Vec<u64>,
+}
+
+/// A moved batch riding its chunk task to stage 0, where it becomes
+/// slot 0 outright instead of being bulk-copied into a leased batch.
+struct MovedSource {
+    rows: ColumnBatch,
+    home: Option<Arc<VectorPool>>,
+}
+
+/// Where a chunk's slot 0 goes when the working set releases.
+enum SlotZero {
+    /// Leased from the executor pool like every other slot (the default).
+    Leased,
+    /// The moved request batch: returns to its home ingest pool (or is
+    /// dropped when it had none) instead of the executor pool.
+    Moved { home: Option<Arc<VectorPool>> },
 }
 
 impl BatchInput {
@@ -158,6 +198,7 @@ impl BatchInput {
         match self {
             BatchInput::Records(r) => r.len(),
             BatchInput::Assembled(a) => a.len(),
+            BatchInput::Moved(m) => m.len,
         }
     }
 
@@ -166,6 +207,9 @@ impl BatchInput {
         match self {
             BatchInput::Records(r) => Ok(r[i].as_source()),
             BatchInput::Assembled(a) => SourceRef::from_row(a.rows.row(i)),
+            BatchInput::Moved(_) => Err(DataError::Runtime(
+                "moved batch rows live in the chunk working set".into(),
+            )),
         }
     }
 
@@ -176,12 +220,18 @@ impl BatchInput {
         match self {
             BatchInput::Records(r) => r[i].as_source().content_hash(),
             BatchInput::Assembled(a) => a.hash_of(i),
+            // Moves only happen with ingest-time hashes present whenever a
+            // cache could consume them (see `prepare_assembled`).
+            BatchInput::Moved(m) => m.hashes.get(i).copied().unwrap_or(0),
         }
     }
 }
 
+/// Continuation invoked when a batch's last chunk completes (the reactor
+/// FrontEnd's completion routing — no thread blocks on the handle).
+type CompletionFn = Box<dyn FnOnce(Result<Vec<f32>>) + Send + 'static>;
+
 /// Shared state of one in-flight batch request.
-#[derive(Debug)]
 struct BatchState {
     results: Mutex<Vec<f32>>,
     error: Mutex<Option<DataError>>,
@@ -192,6 +242,32 @@ struct BatchState {
     /// The submission's hold on its plan's lifecycle gate, released when
     /// the last chunk completes — `undeploy` drains against exactly this.
     gate: Mutex<Option<GatePass>>,
+    /// Registered by [`BatchHandle::on_complete`]; taken (under
+    /// `done_lock`) by the completing chunk and invoked with the harvest.
+    watcher: Mutex<Option<CompletionFn>>,
+}
+
+impl std::fmt::Debug for BatchState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchState")
+            .field(
+                "remaining_chunks",
+                &self.remaining_chunks.load(Ordering::Relaxed),
+            )
+            .field("done", &*self.done_lock.lock())
+            .finish()
+    }
+}
+
+impl BatchState {
+    /// Takes the final outcome: the first error if any chunk failed, the
+    /// scores otherwise. Call only after `done` is observed.
+    fn harvest(&self) -> Result<Vec<f32>> {
+        if let Some(err) = self.error.lock().take() {
+            return Err(err);
+        }
+        Ok(std::mem::take(&mut *self.results.lock()))
+    }
 }
 
 /// Handle for awaiting a submitted batch.
@@ -220,10 +296,28 @@ impl BatchHandle {
             .completed_at
             .lock()
             .unwrap_or_else(std::time::Instant::now);
-        if let Some(err) = self.state.error.lock().take() {
-            return Err(err);
+        self.state.harvest().map(|scores| (scores, at))
+    }
+
+    /// Registers a continuation invoked (once, from the executor thread
+    /// that completes the last chunk) with the batch's outcome — the
+    /// non-blocking alternative to [`Self::wait`] that lets a reactor
+    /// route completions back to itself instead of parking a thread per
+    /// in-flight request. If the batch already completed, `f` runs
+    /// immediately on the caller.
+    pub fn on_complete(self, f: impl FnOnce(Result<Vec<f32>>) + Send + 'static) {
+        let mut f = Some(f);
+        {
+            let done = self.state.done_lock.lock();
+            if !*done {
+                // The completing chunk takes the watcher under `done_lock`
+                // after setting `done`, so exactly one side runs it.
+                *self.state.watcher.lock() = Some(Box::new(f.take().expect("unconsumed")));
+            }
         }
-        Ok((std::mem::take(&mut *self.state.results.lock()), at))
+        if let Some(f) = f {
+            f(self.state.harvest());
+        }
     }
 }
 
@@ -254,6 +348,12 @@ struct ChunkTask {
     working: ChunkWorkingSet,
     /// Pool the working set came from (returned there on completion).
     lease_pool: Option<Arc<VectorPool>>,
+    /// A moved assembled batch riding along to stage 0 (zero-copy
+    /// single-chunk ingest); taken there to become slot 0.
+    moved: Option<MovedSource>,
+    /// Where slot 0 returns on release (diverges from `lease_pool` only
+    /// after a move).
+    slot_zero: SlotZero,
     state: Arc<BatchState>,
 }
 
@@ -548,7 +648,13 @@ impl Scheduler {
         plan: Arc<ModelPlan>,
         records: Vec<Record>,
     ) -> BatchHandle {
-        self.submit_input(plan_id, plan, BatchInput::Records(Arc::new(records)), None)
+        self.submit_input(
+            plan_id,
+            plan,
+            BatchInput::Records(Arc::new(records)),
+            None,
+            None,
+        )
     }
 
     /// [`Self::submit_batch`] carrying the submission's lifecycle gate
@@ -566,19 +672,22 @@ impl Scheduler {
             plan,
             BatchInput::Records(Arc::new(records)),
             Some(gate),
+            None,
         )
     }
 
     /// Submits a wire-assembled request batch: the rows the FrontEnd built
     /// straight from the wire become the rows chunks bulk-load from —
-    /// no `Record` round-trip.
+    /// no `Record` round-trip. A request that fits one chunk skips even
+    /// the bulk load: its batch is *moved* into the chunk's slot 0.
     pub fn submit_assembled(
         &self,
         plan_id: u32,
         plan: Arc<ModelPlan>,
         input: AssembledBatch,
     ) -> BatchHandle {
-        self.submit_input(plan_id, plan, BatchInput::Assembled(Arc::new(input)), None)
+        let (input, moved) = self.prepare_assembled(input);
+        self.submit_input(plan_id, plan, input, None, moved)
     }
 
     /// [`Self::submit_assembled`] carrying a lifecycle gate pass.
@@ -589,12 +698,30 @@ impl Scheduler {
         input: AssembledBatch,
         gate: GatePass,
     ) -> BatchHandle {
-        self.submit_input(
-            plan_id,
-            plan,
-            BatchInput::Assembled(Arc::new(input)),
-            Some(gate),
-        )
+        let (input, moved) = self.prepare_assembled(input);
+        self.submit_input(plan_id, plan, input, Some(gate), moved)
+    }
+
+    /// Zero-copy decision for an assembled submission: a non-empty request
+    /// that fits one columnar chunk moves its batch into slot 0 outright.
+    /// The move is skipped when a materialization cache is configured but
+    /// the assembly carries no ingest-time hashes — hashing on demand
+    /// needs the rows addressable from the input, which a move gives up.
+    fn prepare_assembled(&self, input: AssembledBatch) -> (BatchInput, Option<MovedSource>) {
+        let n = input.len();
+        let movable = self.columnar
+            && n > 0
+            && n <= self.chunk_size
+            && (self.cache.is_none() || !input.hashes().is_empty());
+        if movable {
+            let (rows, hashes, home) = input.into_parts();
+            (
+                BatchInput::Moved(Arc::new(MovedMeta { len: n, hashes })),
+                Some(MovedSource { rows, home }),
+            )
+        } else {
+            (BatchInput::Assembled(Arc::new(input)), None)
+        }
     }
 
     fn submit_input(
@@ -603,6 +730,7 @@ impl Scheduler {
         plan: Arc<ModelPlan>,
         input: BatchInput,
         gate: Option<GatePass>,
+        mut moved: Option<MovedSource>,
     ) -> BatchHandle {
         let n = input.len();
         let n_chunks = n.div_ceil(self.chunk_size).max(1);
@@ -616,6 +744,7 @@ impl Scheduler {
             // Empty batches complete synchronously: the pass (if any) drops
             // here rather than waiting for a chunk that will never run.
             gate: Mutex::new(if n == 0 { None } else { gate }),
+            watcher: Mutex::new(None),
         });
         if n == 0 {
             return BatchHandle { state };
@@ -637,6 +766,10 @@ impl Scheduler {
                 stage: 0,
                 working: ChunkWorkingSet::Unleased,
                 lease_pool: None,
+                // A movable submission is single-chunk by construction, so
+                // the take hands the rows to the only task there is.
+                moved: moved.take(),
+                slot_zero: SlotZero::Leased,
                 state: Arc::clone(&state),
             };
             // A reserved queue that closed between routing and push (the
@@ -724,21 +857,46 @@ fn run_chunk_stage(
         let types = task.plan.slot_types();
         task.lease_pool = Some(Arc::clone(pool));
         if columnar {
-            let mut slots: Vec<ColumnBatch> =
-                types.iter().map(|&t| pool.acquire_batch(t, n)).collect();
-            // Wire-assembled inputs bulk-copy their row range into slot 0
-            // (one extend per backing buffer); staged records append one
-            // row each, as before.
-            let loaded = match &task.input {
-                BatchInput::Records(records) => records[start..end]
-                    .iter()
-                    .try_for_each(|r| r.as_source().load_into_batch(&mut slots[0])),
-                BatchInput::Assembled(a) => slots[0].extend_from_range(a.rows(), start, end),
-            };
-            task.working = ChunkWorkingSet::Columnar(slots);
-            if let Err(e) = loaded {
-                finish_chunk_error(task, e);
-                return;
+            if let Some(m) = task.moved.take() {
+                // Zero-copy single-chunk ingest: the wire-assembled batch
+                // *is* slot 0 — nothing leased for it, nothing copied.
+                if m.rows.column_type() != types[0] {
+                    let err = DataError::Runtime(format!(
+                        "plan takes {} sources, request assembled {} rows",
+                        types[0],
+                        m.rows.column_type()
+                    ));
+                    if let Some(home) = m.home {
+                        home.release_batch(m.rows);
+                    }
+                    finish_chunk_error(task, err);
+                    return;
+                }
+                let mut slots: Vec<ColumnBatch> = Vec::with_capacity(types.len());
+                slots.push(m.rows);
+                for &t in &types[1..] {
+                    slots.push(pool.acquire_batch(t, n));
+                }
+                task.slot_zero = SlotZero::Moved { home: m.home };
+                task.working = ChunkWorkingSet::Columnar(slots);
+            } else {
+                let mut slots: Vec<ColumnBatch> =
+                    types.iter().map(|&t| pool.acquire_batch(t, n)).collect();
+                // Wire-assembled inputs bulk-copy their row range into
+                // slot 0 (one extend per backing buffer); staged records
+                // append one row each, as before.
+                let loaded = match &task.input {
+                    BatchInput::Records(records) => records[start..end]
+                        .iter()
+                        .try_for_each(|r| r.as_source().load_into_batch(&mut slots[0])),
+                    BatchInput::Assembled(a) => slots[0].extend_from_range(a.rows(), start, end),
+                    BatchInput::Moved(_) => unreachable!("moved source taken above"),
+                };
+                task.working = ChunkWorkingSet::Columnar(slots);
+                if let Err(e) = loaded {
+                    finish_chunk_error(task, e);
+                    return;
+                }
             }
         } else {
             let mut leases: Vec<Vec<Vector>> = (0..n)
@@ -786,6 +944,12 @@ fn run_chunk_stage(
                         } else {
                             ctx.source_hashes.extend_from_slice(&a.hashes()[start..end]);
                         }
+                    }
+                    // A moved batch always carries ingest-time hashes when
+                    // a cache is configured (`prepare_assembled` refuses
+                    // the move otherwise).
+                    BatchInput::Moved(m) => {
+                        ctx.source_hashes.extend_from_slice(&m.hashes[start..end]);
                     }
                 }
             }
@@ -865,6 +1029,19 @@ fn release_leases(task: &mut ChunkTask) {
                 }
             }
             ChunkWorkingSet::Columnar(slots) => {
+                let mut slots = slots.into_iter();
+                // A moved slot 0 returns to its home ingest pool, not the
+                // executor pool it was never leased from.
+                if let SlotZero::Moved { home } =
+                    std::mem::replace(&mut task.slot_zero, SlotZero::Leased)
+                {
+                    if let Some(rows) = slots.next() {
+                        match home {
+                            Some(h) => h.release_batch(rows),
+                            None => drop(rows),
+                        }
+                    }
+                }
                 for b in slots {
                     pool.release_batch(b);
                 }
@@ -887,9 +1064,18 @@ fn complete_chunk(state: Arc<BatchState>) {
         // drain has nothing left to wait on for this batch.
         drop(state.gate.lock().take());
         *state.completed_at.lock() = Some(std::time::Instant::now());
-        let mut done = state.done_lock.lock();
-        *done = true;
-        state.done.notify_all();
+        let watcher = {
+            let mut done = state.done_lock.lock();
+            *done = true;
+            state.done.notify_all();
+            // Taken under `done_lock` so a concurrent `on_complete`
+            // either registered before this (we run it) or observes
+            // `done` and runs itself — never both, never neither.
+            state.watcher.lock().take()
+        };
+        if let Some(watcher) = watcher {
+            watcher(state.harvest());
+        }
     }
 }
 

@@ -6,7 +6,7 @@
 //! cargo run -p pretzel-bench --release --example frontend_serving
 //! ```
 
-use pretzel_core::frontend::{Client, FrontEnd, FrontEndConfig, FLAG_RESULT_CACHE};
+use pretzel_core::frontend::{Client, FrontEnd, FrontEndConfig, PredictRequest};
 use pretzel_core::runtime::{Runtime, RuntimeConfig};
 use pretzel_workload::sa::SaConfig;
 use pretzel_workload::text::ReviewGen;
@@ -35,6 +35,7 @@ fn main() {
         FrontEndConfig {
             result_cache_bytes: 4 << 20,
             batch_delay: Some(Duration::from_millis(1)),
+            ..FrontEndConfig::default()
         },
     )
     .unwrap();
@@ -60,7 +61,9 @@ fn main() {
                 for i in 0..requests_each {
                     let id = ids[i % ids.len()];
                     let line = &lines[i % lines.len()];
-                    let score = client.predict_text(id, line, FLAG_RESULT_CACHE).unwrap();
+                    let score = client
+                        .predict(&PredictRequest::text(line.as_str()).plan(id).cached())
+                        .unwrap();
                     total += f64::from(score);
                 }
                 (start.elapsed(), total)

@@ -1,0 +1,573 @@
+//! Wire protocol v2 + reactor FrontEnd integration.
+//!
+//! The reactor FrontEnd serves two protocol generations on one port:
+//! length-prefixed v1 frames (strict request-response, answered in
+//! submission order) and v2 frames (magic + version + request_id header,
+//! many requests in flight per connection, responses completing out of
+//! order). The contract here is threefold: scores are bitwise identical
+//! across every client generation and request style, hostile framing
+//! fails cleanly without wedging a reactor or leaking slab slots, and a
+//! pipelined load survives rolling model swaps with zero lost requests.
+
+use pretzel_core::frontend::{
+    Client, FrontEnd, FrontEndConfig, PredictRequest, Session, MAX_FRAME_BYTES, WIRE_MAGIC, WIRE_V2,
+};
+use pretzel_core::runtime::{Runtime, RuntimeConfig};
+use pretzel_data::{BatchAssembler, ColumnType};
+use pretzel_workload::sa::SaConfig;
+use pretzel_workload::text::ReviewGen;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn small_workload(n: usize) -> (Vec<Arc<Vec<u8>>>, Vec<String>) {
+    let w = pretzel_workload::sa::build(&SaConfig {
+        n_pipelines: n,
+        char_entries: 256,
+        word_entries_small: 32,
+        word_entries_large: 128,
+        vocab_size: 256,
+        seed: 0xF2,
+    });
+    let mut gen = ReviewGen::new(7, 256, 1.2);
+    let lines = (0..6).map(|_| format!("4,{}", gen.review(8, 20))).collect();
+    (
+        w.graphs
+            .iter()
+            .map(|g| Arc::new(g.to_model_image()))
+            .collect(),
+        lines,
+    )
+}
+
+fn serve_runtime(images: &[Arc<Vec<u8>>]) -> (Arc<Runtime>, Vec<u32>) {
+    let runtime = Arc::new(Runtime::new(RuntimeConfig {
+        n_executors: 1,
+        ..RuntimeConfig::default()
+    }));
+    let ids = images
+        .iter()
+        .map(|img| {
+            let graph = pretzel_core::graph::TransformGraph::from_model_image(img).unwrap();
+            let plan = pretzel_core::oven::optimize(&graph).unwrap().plan;
+            runtime.register(plan).unwrap()
+        })
+        .collect();
+    (runtime, ids)
+}
+
+/// Polls the front end's open-connection gauge down to `want` — teardown
+/// after a disconnect is asynchronous on the reactor (the next epoll wake
+/// observes the EOF), so tests wait rather than assert instantly.
+fn await_open_connections(fe: &FrontEnd, want: usize) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while fe.stats().open_connections() != want {
+        assert!(
+            Instant::now() < deadline,
+            "open connections stuck at {} (want {want})",
+            fe.stats().open_connections()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+// ---- raw-frame helpers (hostile clients speak bytes, not the Client) ----
+
+/// Encodes a v1 single-text request body (plan · kind|flags|n · record).
+fn text_request_body(plan: u32, flags: u8, line: &str) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&plan.to_le_bytes());
+    let kind_flags = (u32::from(flags) << 8) | (1u32 << 16); // kind=text(0), n=1
+    body.extend_from_slice(&kind_flags.to_le_bytes());
+    body.extend_from_slice(&(line.len() as u32).to_le_bytes());
+    body.extend_from_slice(line.as_bytes());
+    body
+}
+
+fn v1_frame(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+fn v2_frame(request_id: u32, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + body.len());
+    out.extend_from_slice(&WIRE_MAGIC);
+    out.push(WIRE_V2);
+    out.push(0); // flags
+    out.extend_from_slice(&[0, 0]); // reserved
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+fn read_exact_or_eof(stream: &mut TcpStream, buf: &mut [u8]) -> bool {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return false,
+            Ok(n) => filled += n,
+            Err(e) => panic!("read failed: {e}"),
+        }
+    }
+    true
+}
+
+/// Reads one v1 response frame; `None` on clean EOF.
+fn read_v1_response(stream: &mut TcpStream) -> Option<Vec<u8>> {
+    let mut len = [0u8; 4];
+    if !read_exact_or_eof(stream, &mut len) {
+        return None;
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    let mut body = vec![0u8; len];
+    assert!(read_exact_or_eof(stream, &mut body), "truncated v1 body");
+    Some(body)
+}
+
+/// Reads one v2 response frame as `(request_id, body)`; `None` on EOF.
+fn read_v2_response(stream: &mut TcpStream) -> Option<(u32, Vec<u8>)> {
+    let mut header = [0u8; 16];
+    if !read_exact_or_eof(stream, &mut header) {
+        return None;
+    }
+    assert_eq!(&header[..4], &WIRE_MAGIC, "response lost v2 framing");
+    assert_eq!(header[4], WIRE_V2);
+    let request_id = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    let len = u32::from_le_bytes(header[12..16].try_into().unwrap()) as usize;
+    assert!(len <= MAX_FRAME_BYTES);
+    let mut body = vec![0u8; len];
+    assert!(read_exact_or_eof(stream, &mut body), "truncated v2 body");
+    Some((request_id, body))
+}
+
+/// Decodes a score response body (status 0 · n · f32s).
+fn scores_of(body: &[u8]) -> Vec<f32> {
+    assert_eq!(
+        body[0], 0,
+        "expected a score response, got status {}",
+        body[0]
+    );
+    let n = u32::from_le_bytes(body[1..5].try_into().unwrap()) as usize;
+    (0..n)
+        .map(|i| f32::from_le_bytes(body[5 + 4 * i..9 + 4 * i].try_into().unwrap()))
+        .collect()
+}
+
+// ---- bitwise equivalence across client generations ----------------------
+
+/// Drives one client mode through the {single, batch, delayed} styles
+/// against one plan, returning scores in line order per style.
+fn run_matrix(addr: SocketAddr, mode: &str, id: u32, lines: &[String]) -> Vec<Vec<f32>> {
+    let single_reqs: Vec<PredictRequest> = lines
+        .iter()
+        .map(|l| PredictRequest::text(l.as_str()).plan(id))
+        .collect();
+    let delayed_reqs: Vec<PredictRequest> = lines
+        .iter()
+        .map(|l| PredictRequest::text(l.as_str()).plan(id).delayed())
+        .collect();
+    let batch_req = PredictRequest::text_batch(lines.iter().map(String::as_str)).plan(id);
+    match mode {
+        "v1" | "v2-sequential" => {
+            let mut client = if mode == "v1" {
+                Client::connect(addr).unwrap()
+            } else {
+                Client::connect_v2(addr).unwrap()
+            };
+            let singles = single_reqs
+                .iter()
+                .map(|r| client.predict(r).unwrap())
+                .collect();
+            let batch = client.predict_many(&batch_req).unwrap();
+            let delayed = delayed_reqs
+                .iter()
+                .map(|r| client.predict(r).unwrap())
+                .collect();
+            vec![singles, batch, delayed]
+        }
+        "v2-pipelined" => {
+            let session = Session::connect(addr).unwrap();
+            let pending: Vec<_> = single_reqs
+                .iter()
+                .map(|r| session.submit(r).unwrap())
+                .collect();
+            let singles = pending.into_iter().map(|p| p.wait_one().unwrap()).collect();
+            let batch = session.submit(&batch_req).unwrap().wait().unwrap();
+            // Delayed singles submitted together: they accumulate in the
+            // Batcher and flush as one batch — the fill pattern pipelining
+            // exists to produce.
+            let pending: Vec<_> = delayed_reqs
+                .iter()
+                .map(|r| session.submit(r).unwrap())
+                .collect();
+            let delayed = pending.into_iter().map(|p| p.wait_one().unwrap()).collect();
+            vec![singles, batch, delayed]
+        }
+        other => panic!("unknown mode {other}"),
+    }
+}
+
+#[test]
+fn scores_bitwise_identical_across_client_generations() {
+    let (images, lines) = small_workload(2);
+    let (runtime, ids) = serve_runtime(&images);
+    let fe = FrontEnd::serve(
+        Arc::clone(&runtime),
+        FrontEndConfig {
+            batch_delay: Some(Duration::from_millis(5)),
+            ..FrontEndConfig::default()
+        },
+    )
+    .unwrap();
+    let id = ids[0];
+    let reference: Vec<f32> = lines
+        .iter()
+        .map(|l| runtime.predict(id, l).unwrap())
+        .collect();
+
+    for mode in ["v1", "v2-sequential", "v2-pipelined"] {
+        let styles = run_matrix(fe.addr(), mode, id, &lines);
+        for (style, got) in ["single", "batch", "delayed"].iter().zip(&styles) {
+            assert_eq!(got.len(), reference.len(), "{mode}/{style} cardinality");
+            for (i, (g, want)) in got.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    want.to_bits(),
+                    "{mode}/{style} row {i}: {g} vs {want}"
+                );
+            }
+        }
+    }
+    fe.stop();
+}
+
+#[test]
+fn pipelined_responses_resolve_out_of_submission_order() {
+    let (images, lines) = small_workload(1);
+    let (runtime, ids) = serve_runtime(&images);
+    let fe = FrontEnd::serve(
+        Arc::clone(&runtime),
+        FrontEndConfig {
+            batch_delay: Some(Duration::from_millis(400)),
+            ..FrontEndConfig::default()
+        },
+    )
+    .unwrap();
+    let id = ids[0];
+    let want = runtime.predict(id, &lines[0]).unwrap();
+
+    let session = Session::connect(fe.addr()).unwrap();
+    // First submission parks in the delayed Batcher for 400ms; the second
+    // is inline and must overtake it on the same connection.
+    let slow = session
+        .submit(&PredictRequest::text(lines[0].as_str()).plan(id).delayed())
+        .unwrap();
+    let fast = session
+        .submit(&PredictRequest::text(lines[0].as_str()).plan(id))
+        .unwrap();
+    let started = Instant::now();
+    let fast_score = fast.wait_one().unwrap();
+    let fast_elapsed = started.elapsed();
+    let slow_score = slow.wait_one().unwrap();
+    let slow_elapsed = started.elapsed();
+    assert_eq!(fast_score.to_bits(), want.to_bits());
+    assert_eq!(slow_score.to_bits(), want.to_bits());
+    assert!(
+        fast_elapsed < Duration::from_millis(300),
+        "inline response waited behind the delayed flush: {fast_elapsed:?}"
+    );
+    assert!(
+        slow_elapsed >= Duration::from_millis(300),
+        "delayed response flushed early"
+    );
+    fe.stop();
+}
+
+#[test]
+fn v1_pipelined_responses_stay_in_submission_order() {
+    // A v1 client may pipeline writes, but v1 has no request ids — the
+    // reactor must answer strictly in submission order even when a later
+    // request's plan finishes first.
+    let (images, lines) = small_workload(3);
+    let (runtime, ids) = serve_runtime(&images);
+    let fe = FrontEnd::serve(Arc::clone(&runtime), FrontEndConfig::default()).unwrap();
+    let expected: Vec<f32> = ids
+        .iter()
+        .map(|&id| runtime.predict(id, &lines[0]).unwrap())
+        .collect();
+
+    let mut stream = TcpStream::connect(fe.addr()).unwrap();
+    let mut burst = Vec::new();
+    for &id in &ids {
+        burst.extend_from_slice(&v1_frame(&text_request_body(id, 0, &lines[0])));
+    }
+    stream.write_all(&burst).unwrap();
+    for want in &expected {
+        let body = read_v1_response(&mut stream).expect("server closed mid-pipeline");
+        let got = scores_of(&body);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].to_bits(), want.to_bits());
+    }
+    drop(stream);
+    fe.stop();
+}
+
+// ---- hostile framing -----------------------------------------------------
+
+#[test]
+fn truncated_v2_frame_then_disconnect_releases_the_slot() {
+    let (images, lines) = small_workload(1);
+    let (runtime, ids) = serve_runtime(&images);
+    let fe = FrontEnd::serve(Arc::clone(&runtime), FrontEndConfig::default()).unwrap();
+
+    // Half a v2 header, then a hard disconnect: the parser must sit in
+    // NeedMore (not reject, not wedge) and EOF must tear the state down.
+    let mut stream = TcpStream::connect(fe.addr()).unwrap();
+    stream.write_all(&WIRE_MAGIC).unwrap();
+    stream.write_all(&[WIRE_V2, 0, 0]).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    drop(stream);
+    await_open_connections(&fe, 0);
+
+    // The front end still serves.
+    let mut client = Client::connect_v2(fe.addr()).unwrap();
+    let got = client
+        .predict(&PredictRequest::text(lines[0].as_str()).plan(ids[0]))
+        .unwrap();
+    assert_eq!(
+        got.to_bits(),
+        runtime.predict(ids[0], &lines[0]).unwrap().to_bits()
+    );
+    drop(client);
+    fe.stop();
+}
+
+#[test]
+fn unknown_version_byte_is_rejected_with_an_error() {
+    let (images, _) = small_workload(1);
+    let (runtime, _) = serve_runtime(&images);
+    let fe = FrontEnd::serve(Arc::clone(&runtime), FrontEndConfig::default()).unwrap();
+
+    let mut stream = TcpStream::connect(fe.addr()).unwrap();
+    let mut frame = v2_frame(1, &[0u8; 8]);
+    frame[4] = 9; // future protocol version
+    stream.write_all(&frame).unwrap();
+    // The connection had not locked a protocol generation, so the reject
+    // comes back v1-framed, then the server closes.
+    let body = read_v1_response(&mut stream).expect("no error response");
+    assert_eq!(body[0], 1, "expected an error status");
+    assert!(
+        read_v1_response(&mut stream).is_none(),
+        "expected close after reject"
+    );
+    await_open_connections(&fe, 0);
+    assert_eq!(fe.stats().protocol_errors(), 1);
+    fe.stop();
+}
+
+#[test]
+fn duplicate_in_flight_request_id_is_a_protocol_error() {
+    let (images, lines) = small_workload(1);
+    let (runtime, ids) = serve_runtime(&images);
+    let fe = FrontEnd::serve(
+        Arc::clone(&runtime),
+        FrontEndConfig {
+            // Long delay keeps the first request in flight while its
+            // request_id is replayed.
+            batch_delay: Some(Duration::from_secs(2)),
+            ..FrontEndConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut stream = TcpStream::connect(fe.addr()).unwrap();
+    let body = text_request_body(
+        ids[0],
+        pretzel_core::frontend::FLAG_DELAYED_BATCH,
+        &lines[0],
+    );
+    stream.write_all(&v2_frame(7, &body)).unwrap();
+    stream.write_all(&v2_frame(7, &body)).unwrap();
+    let (request_id, body) = read_v2_response(&mut stream).expect("no protocol error");
+    assert_eq!(
+        request_id,
+        u32::MAX,
+        "connection-level errors use the sentinel id"
+    );
+    assert_eq!(body[0], 1, "expected an error status");
+    assert!(
+        read_v2_response(&mut stream).is_none(),
+        "expected close after reject"
+    );
+    await_open_connections(&fe, 0);
+    assert_eq!(fe.stats().protocol_errors(), 1);
+    fe.stop();
+}
+
+#[test]
+fn mid_pipeline_disconnects_leak_no_slab_slots() {
+    let (images, lines) = small_workload(1);
+    let (runtime, ids) = serve_runtime(&images);
+    let fe = FrontEnd::serve(
+        Arc::clone(&runtime),
+        FrontEndConfig {
+            batch_delay: Some(Duration::from_millis(200)),
+            ..FrontEndConfig::default()
+        },
+    )
+    .unwrap();
+    let id = ids[0];
+
+    // Repeatedly park pipelined requests in the Batcher and vanish before
+    // the flush: every completion then targets a dead generation, and the
+    // slot must return to the slab free list each time.
+    for round in 0..12 {
+        let session = Session::connect(fe.addr()).unwrap();
+        for _ in 0..4 {
+            session
+                .submit(&PredictRequest::text(lines[0].as_str()).plan(id).delayed())
+                .unwrap();
+        }
+        drop(session);
+        if round % 3 == 0 {
+            await_open_connections(&fe, 0);
+        }
+    }
+    // Accepts lag the connects on a loaded box (the backlog drains when
+    // the reactor thread gets scheduled), so wait for the count rather
+    // than asserting it instantly.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while fe.stats().accepted() < 12 {
+        assert!(
+            Instant::now() < deadline,
+            "only {} of 12 connections accepted",
+            fe.stats().accepted()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    await_open_connections(&fe, 0);
+    assert_eq!(fe.stats().accepted(), 12);
+
+    // Slots freed: a fresh pipelined session still completes normally.
+    let session = Session::connect(fe.addr()).unwrap();
+    let got = session
+        .submit(&PredictRequest::text(lines[0].as_str()).plan(id))
+        .unwrap()
+        .wait_one()
+        .unwrap();
+    assert_eq!(
+        got.to_bits(),
+        runtime.predict(id, &lines[0]).unwrap().to_bits()
+    );
+    drop(session);
+    fe.stop();
+}
+
+// ---- lifecycle under pipelined load --------------------------------------
+
+#[test]
+fn rolling_swap_and_undeploy_lose_zero_pipelined_requests() {
+    let (images, lines) = small_workload(4);
+    let runtime = Arc::new(Runtime::new(RuntimeConfig {
+        n_executors: 1,
+        ..RuntimeConfig::default()
+    }));
+    let fe = FrontEnd::serve(Arc::clone(&runtime), FrontEndConfig::default()).unwrap();
+    let addr = fe.addr();
+
+    let mut admin = Client::connect(addr).unwrap();
+    let mut live = admin.deploy(&images[0], Some("live"), false).unwrap();
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let loader = {
+        let stop = Arc::clone(&stop);
+        let lines = lines.clone();
+        std::thread::spawn(move || {
+            let session = Session::connect(addr).unwrap();
+            let mut completed = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let pending: Vec<_> = (0..8)
+                    .map(|i| {
+                        session
+                            .submit(
+                                &PredictRequest::text(lines[i % lines.len()].as_str())
+                                    .alias("live"),
+                            )
+                            .unwrap()
+                    })
+                    .collect();
+                for p in pending {
+                    // Zero loss: every pipelined request resolves to a
+                    // score even while the alias target churns.
+                    p.wait_one().unwrap();
+                    completed += 1;
+                }
+            }
+            completed
+        })
+    };
+
+    // Roll the alias through every image, undeploying each old plan while
+    // the pipelined load is in full flight.
+    for img in images.iter().cycle().skip(1).take(8) {
+        let next = admin.deploy(img, None, false).unwrap();
+        let swapped = admin.swap("live", next).unwrap();
+        assert_eq!(swapped, Some(live));
+        admin.undeploy(live).unwrap();
+        live = next;
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let completed = loader.join().unwrap();
+    assert!(completed > 0, "load thread never completed a request");
+    fe.stop();
+}
+
+// ---- zero-copy single-chunk ingest ---------------------------------------
+
+#[test]
+fn single_chunk_assembled_batch_moves_rows_and_matches_record_path() {
+    // A single-chunk assembled request *moves* its ColumnBatch into the
+    // chunk's slot 0 — no bulk copy — and the buffers return to the ingest
+    // pool when the chunk retires. Observables: bitwise-equal scores vs
+    // the inline path, and pool release accounting.
+    let (images, lines) = small_workload(1);
+    let runtime = Arc::new(Runtime::new(RuntimeConfig {
+        n_executors: 1,
+        chunk_size: 64, // > lines.len(): everything lands in one chunk
+        ..RuntimeConfig::default()
+    }));
+    let graph = pretzel_core::graph::TransformGraph::from_model_image(&images[0]).unwrap();
+    let id = runtime
+        .register(pretzel_core::oven::optimize(&graph).unwrap().plan)
+        .unwrap();
+    let reference: Vec<f32> = lines
+        .iter()
+        .map(|l| runtime.predict(id, l).unwrap())
+        .collect();
+
+    let pool = Arc::clone(runtime.ingest_pool());
+    let released_before = pool.stats().released();
+    let mut asm = BatchAssembler::new(pool.acquire_batch(ColumnType::Text, lines.len()));
+    for line in &lines {
+        asm.push_text(line).unwrap();
+    }
+    let (rows, hashes) = asm.finish();
+    let got = runtime
+        .predict_batch_assembled_wait(id, rows, hashes)
+        .unwrap();
+
+    assert_eq!(got.len(), reference.len());
+    for (i, (g, want)) in got.iter().zip(&reference).enumerate() {
+        assert_eq!(g.to_bits(), want.to_bits(), "row {i}: {g} vs {want}");
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while pool.stats().released() <= released_before {
+        assert!(Instant::now() < deadline, "moved batch never returned home");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}

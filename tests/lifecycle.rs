@@ -528,8 +528,9 @@ fn borrowed_source_execute_is_bitwise_identical() {
 #[test]
 fn tombstones_are_bounded_under_continuous_churn() {
     // Retired ids keep failing with PlanRetired up to the tombstone cap;
-    // beyond it the oldest compact away (degrading to "unknown plan"),
-    // so control-plane state cannot grow without bound.
+    // beyond it the oldest compact away, but the retired-epoch watermark
+    // keeps reporting them as PlanRetired exactly, so control-plane state
+    // cannot grow without bound and old ids never degrade to "unknown".
     let rt = Runtime::new(RuntimeConfig {
         n_executors: 1,
         ..RuntimeConfig::default()
@@ -553,14 +554,20 @@ fn tombstones_are_bounded_under_continuous_churn() {
         "tombstones unbounded: {} entries",
         listed.len()
     );
-    // Recent tombstones still report PlanRetired; the oldest degraded.
+    // Recent tombstones still report PlanRetired — and so do the oldest,
+    // compacted ones, via the epoch watermark.
     let newest = (cycles - 1) as PlanId;
     assert!(matches!(
         rt.predict(newest, "x").unwrap_err(),
         DataError::PlanRetired(_)
     ));
+    assert!(matches!(
+        rt.predict(0, "x").unwrap_err(),
+        DataError::PlanRetired(0)
+    ));
+    // A genuinely never-registered id is still distinguishable.
     assert!(rt
-        .predict(0, "x")
+        .predict(cycles as PlanId + 7, "x")
         .unwrap_err()
         .to_string()
         .contains("unknown"));

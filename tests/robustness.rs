@@ -4,7 +4,7 @@
 //! failures; a serving system that dies on one bad request is not a
 //! serving system).
 
-use pretzel_core::frontend::{Client, FrontEnd, FrontEndConfig};
+use pretzel_core::frontend::{Client, FrontEnd, FrontEndConfig, PredictRequest};
 use pretzel_core::graph::TransformGraph;
 use pretzel_core::runtime::{Runtime, RuntimeConfig};
 use pretzel_ops::linear::LinearKind;
@@ -67,7 +67,9 @@ fn frontend_survives_garbage_frames() {
 
     // The front end still serves well-formed requests afterwards.
     let mut client = Client::connect(addr).unwrap();
-    let score = client.predict_text(id, "3,still alive", 0).unwrap();
+    let score = client
+        .predict(&PredictRequest::text("3,still alive").plan(id))
+        .unwrap();
     assert!(score.is_finite());
     fe.stop();
 }
@@ -168,14 +170,20 @@ fn oversized_and_empty_requests_handled() {
     let (_rt, fe, id) = serve_one();
     let mut client = Client::connect(fe.addr()).unwrap();
     // Zero-record batch.
-    let scores = client.predict_text_batch(id, &[], 0).unwrap();
+    let scores = client
+        .predict_many(&PredictRequest::batch(Vec::new()).plan(id))
+        .unwrap();
     assert!(scores.is_empty());
     // A very long line still scores.
     let long = format!("5,{}", "word ".repeat(20_000));
-    let score = client.predict_text(id, &long, 0).unwrap();
+    let score = client
+        .predict(&PredictRequest::text(long).plan(id))
+        .unwrap();
     assert!(score.is_finite());
     // Empty text field.
-    let score = client.predict_text(id, "5,", 0).unwrap();
+    let score = client
+        .predict(&PredictRequest::text("5,").plan(id))
+        .unwrap();
     assert!(score.is_finite());
     fe.stop();
 }

@@ -3,7 +3,7 @@
 
 use pretzel_baseline::clipper::{ClipperConfig, ClipperFrontEnd};
 use pretzel_baseline::container::{Container, ContainerConfig};
-use pretzel_core::frontend::{Client, FrontEnd, FrontEndConfig, FLAG_DELAYED_BATCH};
+use pretzel_core::frontend::{Client, FrontEnd, FrontEndConfig, PredictRequest};
 use pretzel_core::runtime::{RegisterOptions, Runtime, RuntimeConfig};
 use pretzel_core::scheduler::Record;
 use pretzel_workload::sa::SaConfig;
@@ -72,7 +72,9 @@ fn concurrent_clients_over_tcp_get_consistent_answers() {
                 let mut client = Client::connect(addr).unwrap();
                 for round in 0..20 {
                     let k = (t + round) % ids.len();
-                    let got = client.predict_text(ids[k], &lines[0], 0).unwrap();
+                    let got = client
+                        .predict(&PredictRequest::text(lines[0].clone()).plan(ids[k]))
+                        .unwrap();
                     assert!((got - expected[k]).abs() < 1e-6);
                 }
             })
@@ -160,6 +162,7 @@ fn delayed_batching_coalesces_and_answers_correctly() {
         FrontEndConfig {
             result_cache_bytes: 0,
             batch_delay: Some(Duration::from_millis(3)),
+            ..FrontEndConfig::default()
         },
     )
     .unwrap();
@@ -171,7 +174,9 @@ fn delayed_batching_coalesces_and_answers_correctly() {
             let id = ids[0];
             std::thread::spawn(move || {
                 let mut client = Client::connect(addr).unwrap();
-                client.predict_text(id, &line, FLAG_DELAYED_BATCH).unwrap()
+                client
+                    .predict(&PredictRequest::text(line).plan(id).delayed())
+                    .unwrap()
             })
         })
         .collect();
@@ -217,8 +222,12 @@ fn clipper_and_pretzel_agree_end_to_end() {
     let mut cclient = Client::connect(cfe.addr()).unwrap();
     for (k, &id) in ids.iter().enumerate() {
         for line in &lines {
-            let p = pclient.predict_text(id, line, 0).unwrap();
-            let c = cclient.predict_text(k as u32, line, 0).unwrap();
+            let p = pclient
+                .predict(&PredictRequest::text(line.clone()).plan(id))
+                .unwrap();
+            let c = cclient
+                .predict(&PredictRequest::text(line.clone()).plan(k as u32))
+                .unwrap();
             assert!(
                 (p - c).abs() < 1e-5,
                 "plan {k} `{line}`: pretzel {p} vs clipper {c}"

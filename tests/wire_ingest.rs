@@ -11,7 +11,8 @@
 
 use pretzel_core::flour::FlourContext;
 use pretzel_core::frontend::{
-    Client, FrontEnd, FrontEndConfig, FLAG_DELAYED_BATCH, FLAG_RESULT_CACHE,
+    Client, FrontEnd, FrontEndConfig, Payload, PredictRequest, FLAG_DELAYED_BATCH,
+    FLAG_RESULT_CACHE,
 };
 use pretzel_core::physical::SourceRef;
 use pretzel_core::plan::StagePlan;
@@ -125,41 +126,65 @@ fn reference_scores(plan: &StagePlan, kind: &Kind) -> Vec<f32> {
     }
 }
 
-fn singles(client: &mut Client, id: u32, kind: &Kind, flags: u8) -> Vec<f32> {
-    match kind {
-        Kind::Text(lines) => lines
-            .iter()
-            .map(|l| client.predict_text(id, l, flags).unwrap())
-            .collect(),
-        Kind::Dense(rows) => rows
-            .iter()
-            .map(|x| client.predict_dense(id, x, flags).unwrap())
-            .collect(),
-        Kind::Sparse { rows, dim } => rows
-            .iter()
-            .map(|(i, v)| client.predict_sparse(id, i, v, *dim, flags).unwrap())
-            .collect(),
+/// Applies raw `FLAG_*` toggles through the builder's methods.
+fn with_flags(req: PredictRequest, flags: u8) -> PredictRequest {
+    let req = if flags & FLAG_RESULT_CACHE != 0 {
+        req.cached()
+    } else {
+        req
+    };
+    if flags & FLAG_DELAYED_BATCH != 0 {
+        req.delayed()
+    } else {
+        req
     }
 }
 
-fn batch(client: &mut Client, id: u32, kind: &Kind) -> Vec<f32> {
-    match kind {
-        Kind::Text(lines) => {
-            let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
-            client.predict_text_batch(id, &refs, 0).unwrap()
-        }
-        Kind::Dense(rows) => {
-            let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
-            client.predict_dense_batch(id, &refs, 0).unwrap()
-        }
+fn single_request(id: u32, kind: &Kind, row: usize, flags: u8) -> PredictRequest {
+    let req = match kind {
+        Kind::Text(lines) => PredictRequest::text(lines[row].clone()),
+        Kind::Dense(rows) => PredictRequest::dense(rows[row].clone()),
         Kind::Sparse { rows, dim } => {
-            let refs: Vec<(&[u32], &[f32])> = rows
-                .iter()
-                .map(|(i, v)| (i.as_slice(), v.as_slice()))
-                .collect();
-            client.predict_sparse_batch(id, &refs, *dim, 0).unwrap()
+            PredictRequest::sparse(rows[row].0.clone(), rows[row].1.clone(), *dim)
         }
+    };
+    with_flags(req.plan(id), flags)
+}
+
+fn kind_len(kind: &Kind) -> usize {
+    match kind {
+        Kind::Text(lines) => lines.len(),
+        Kind::Dense(rows) => rows.len(),
+        Kind::Sparse { rows, .. } => rows.len(),
     }
+}
+
+fn singles(client: &mut Client, id: u32, kind: &Kind, flags: u8) -> Vec<f32> {
+    (0..kind_len(kind))
+        .map(|row| {
+            client
+                .predict(&single_request(id, kind, row, flags))
+                .unwrap()
+        })
+        .collect()
+}
+
+fn batch(client: &mut Client, id: u32, kind: &Kind) -> Vec<f32> {
+    let payloads = match kind {
+        Kind::Text(lines) => lines.iter().map(|l| Payload::Text(l.clone())).collect(),
+        Kind::Dense(rows) => rows.iter().map(|x| Payload::Dense(x.clone())).collect(),
+        Kind::Sparse { rows, dim } => rows
+            .iter()
+            .map(|(i, v)| Payload::Sparse {
+                indices: i.clone(),
+                values: v.clone(),
+                dim: *dim,
+            })
+            .collect(),
+    };
+    client
+        .predict_many(&PredictRequest::batch(payloads).plan(id))
+        .unwrap()
 }
 
 fn assert_bits(label: &str, got: &[f32], want: &[f32]) {
@@ -196,6 +221,7 @@ fn wire_columnar_bitwise_matches_record_staged_everywhere() {
                     FrontEndConfig {
                         result_cache_bytes: 1 << 14,
                         batch_delay: Some(Duration::from_millis(1)),
+                        ..FrontEndConfig::default()
                     },
                 )
                 .unwrap();
@@ -280,8 +306,9 @@ fn wire_ingest_composes_with_materialization_cache() {
         let id = rt.register(plan.clone()).unwrap();
         let fe = FrontEnd::serve(Arc::clone(&rt), FrontEndConfig::default()).unwrap();
         let mut client = Client::connect(fe.addr()).unwrap();
-        let cold = client.predict_text_batch(id, &refs, 0).unwrap();
-        let warm = client.predict_text_batch(id, &refs, 0).unwrap();
+        let req = PredictRequest::text_batch(refs.iter().copied()).plan(id);
+        let cold = client.predict_many(&req).unwrap();
+        let warm = client.predict_many(&req).unwrap();
         let (h, m, _) = rt.materialization_cache().unwrap().stats();
         assert!(h > 0, "warm pass should hit the cache");
         stats.push((h, m));
@@ -317,6 +344,7 @@ fn delayed_flush_survives_client_disconnect() {
         FrontEndConfig {
             result_cache_bytes: 0,
             batch_delay: Some(Duration::from_millis(20)),
+            ..FrontEndConfig::default()
         },
     )
     .unwrap();
@@ -344,7 +372,8 @@ fn delayed_flush_survives_client_disconnect() {
             let row = rows[i + 1].clone();
             std::thread::spawn(move || {
                 let mut c = Client::connect(addr).unwrap();
-                c.predict_dense(id, &row, FLAG_DELAYED_BATCH).unwrap()
+                c.predict(&PredictRequest::dense(row).plan(id).delayed())
+                    .unwrap()
             })
         })
         .collect();
@@ -382,7 +411,9 @@ fn hostile_dense_dim_prefix_rejected_before_allocation() {
     }
     // Still serving afterwards.
     let mut client = Client::connect(fe.addr()).unwrap();
-    assert!(client.predict_dense(id, &[0.0; 6], 0).is_ok());
+    assert!(client
+        .predict(&PredictRequest::dense(vec![0.0; 6]).plan(id))
+        .is_ok());
     fe.stop();
 }
 
@@ -398,9 +429,16 @@ fn empty_requests_still_validate_the_plan() {
         let fe = FrontEnd::serve(Arc::clone(&rt), FrontEndConfig::default()).unwrap();
         let mut client = Client::connect(fe.addr()).unwrap();
         // Empty batch for a registered plan: clean empty response.
-        assert_eq!(client.predict_text_batch(id, &[], 0).unwrap(), vec![]);
+        assert_eq!(
+            client
+                .predict_many(&PredictRequest::batch(Vec::new()).plan(id))
+                .unwrap(),
+            vec![]
+        );
         // Empty batch for an unknown plan: still an error.
-        let err = client.predict_text_batch(99, &[], 0).unwrap_err();
+        let err = client
+            .predict_many(&PredictRequest::batch(Vec::new()).plan(99))
+            .unwrap_err();
         assert!(err.to_string().contains("unknown plan"), "{err}");
         fe.stop();
     }
@@ -428,7 +466,7 @@ fn garbage_length_prefix_never_allocates() {
     }
     // The front end is still healthy afterwards.
     let mut client = Client::connect(fe.addr()).unwrap();
-    let scores = client.predict_dense(0, &[0.0; 6], 0);
+    let scores = client.predict(&PredictRequest::dense(vec![0.0; 6]).plan(0));
     assert!(scores.is_ok());
     fe.stop();
 }
