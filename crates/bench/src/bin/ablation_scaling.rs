@@ -1,0 +1,154 @@
+//! Ablation: sharded execution plane vs the shared-everything plane,
+//! across core counts.
+//!
+//! Same plans, same records, same chunking — the only variable is
+//! `RuntimeConfig::sharded`: per-executor run queues with two-choice work
+//! stealing and lock-free per-core pool arenas (the default) versus the
+//! single shared queue with mutex-backed pools (the ablation control).
+//! The workload is dense-ingest AC — the data-plane-bound configuration,
+//! where queue and pool contention is the bottleneck variable rather than
+//! shared parsing/matching work — swept over a core-count curve so the
+//! report shows how each plane scales.
+//!
+//! Scores are bitwise-identical between the planes (asserted here on the
+//! first batch); the report is throughput only.
+//!
+//! Knobs: `PRETZEL_PIPELINES`, `PRETZEL_SCALE`, `PRETZEL_BATCH`,
+//! `PRETZEL_CHUNK`, `PRETZEL_REPEAT`, and `PRETZEL_SCALE_CORES`
+//! (comma-separated executor counts, default `1,2,4,8`).
+
+use pretzel_bench::{env_usize, images_of, print_table, time_it, BenchEntry};
+use pretzel_core::runtime::{Runtime, RuntimeConfig};
+use pretzel_core::scheduler::Record;
+use pretzel_workload::text::StructuredGen;
+use std::sync::Arc;
+
+fn run(
+    images: &[Arc<Vec<u8>>],
+    records: &[Record],
+    cores: usize,
+    chunk_size: usize,
+    sharded: bool,
+) -> (f64, Vec<f32>, u64) {
+    let runtime = Runtime::new(RuntimeConfig {
+        n_executors: cores,
+        chunk_size,
+        sharded,
+        ..RuntimeConfig::default()
+    });
+    let ids = pretzel_bench::register_all(&runtime, images).unwrap();
+    // Warm pools, catalogs and branch predictors outside the timed region.
+    for &id in &ids {
+        let _ = runtime
+            .predict_batch_wait(id, records[..records.len().min(16)].to_vec())
+            .unwrap();
+    }
+    // One full batch kept for the cross-plane equivalence check.
+    let reference = runtime
+        .predict_batch_wait(ids[0], records.to_vec())
+        .unwrap();
+    let total = ids.len() * records.len();
+    // Repeat and keep the best run: sustained throughput, not an unlucky
+    // scheduling tail.
+    let repeats = env_usize("PRETZEL_REPEAT", 3).max(1);
+    let mut best = f64::MIN;
+    for _ in 0..repeats {
+        let (_, elapsed) = time_it(|| {
+            let handles: Vec<_> = ids
+                .iter()
+                .map(|&id| runtime.predict_batch(id, records.to_vec()).unwrap())
+                .collect();
+            for h in handles {
+                h.wait().unwrap();
+            }
+        });
+        best = best.max(total as f64 / elapsed.as_secs_f64());
+    }
+    let steals = runtime
+        .scheduler_stats()
+        .steals
+        .load(std::sync::atomic::Ordering::Relaxed);
+    (best, reference, steals)
+}
+
+fn core_counts() -> Vec<usize> {
+    std::env::var("PRETZEL_SCALE_CORES")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+fn main() {
+    let batch = env_usize("PRETZEL_BATCH", 512);
+    let chunk = env_usize("PRETZEL_CHUNK", 64);
+    let cores = core_counts();
+
+    // Dense-ingest AC: pre-parsed feature vectors through the dense
+    // kernels, the configuration where the execution plane is the
+    // bottleneck.
+    let ac_dense = pretzel_bench::ac_dense_workload();
+    let mut gen = StructuredGen::new(73, pretzel_bench::ac_dense_config().input_dim);
+    let records: Vec<Record> = (0..batch).map(|_| Record::Dense(gen.record())).collect();
+    let images = images_of(&ac_dense.graphs);
+
+    let mut entries: Vec<BenchEntry> = Vec::new();
+    let mut rows = Vec::new();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+
+    for &n in &cores {
+        let (shared, ref_shared, _) = run(&images, &records, n, chunk, false);
+        let (sharded, ref_sharded, steals) = run(&images, &records, n, chunk, true);
+        // The ablation contract: sharding moves work and buffers, never
+        // the math.
+        assert_eq!(ref_shared.len(), ref_sharded.len());
+        for (i, (a, b)) in ref_shared.iter().zip(&ref_sharded).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "record {i}: sharded and shared planes disagree at {n} cores"
+            );
+        }
+        for (mode, v) in [("shared", shared), ("sharded", sharded)] {
+            entries.push(BenchEntry {
+                category: "AC_dense".into(),
+                mode: mode.into(),
+                chunk_size: chunk,
+                cores: n,
+                records_per_sec: v,
+            });
+        }
+        speedups.push((format!("cores_{n}"), sharded / shared));
+        rows.push(vec![
+            n.to_string(),
+            format!("{shared:.0}"),
+            format!("{sharded:.0}"),
+            format!("{:.2}x", sharded / shared),
+            steals.to_string(),
+        ]);
+    }
+
+    print_table(
+        &format!(
+            "Ablation: sharded vs shared execution plane \
+             ({} models x {} dense records, chunk {chunk})",
+            images.len(),
+            batch
+        ),
+        &["cores", "shared", "sharded", "speedup", "steals"],
+        &rows,
+    );
+    println!(
+        "  expected shape — the planes tie at 1 core (one queue either \
+         way); the sharded win grows with cores as the shared queue and \
+         pool mutexes become the bottleneck"
+    );
+
+    pretzel_bench::write_bench_json("BENCH_scaling.json", "scaling", &entries, &speedups)
+        .expect("write BENCH_scaling.json");
+    println!("\nwrote BENCH_scaling.json");
+}

@@ -11,6 +11,13 @@
 //! onto the owning reactor's queue and pokes its eventfd, so no thread
 //! ever parks per request.
 //!
+//! Completion routing is independent of the scheduler's execution plane:
+//! the handle is keyed by connection token, not by executor, so a chunk
+//! whose final stage ran on a *stealing* worker (sharded plane) completes
+//! through exactly the same path as one that never migrated. Ingest
+//! buffers leased here return to the runtime's ingest arena from whichever
+//! executor finished the request — the pool's cross-thread return path.
+//!
 //! Connection identity is the slab token `(slot, generation)` packed into
 //! the epoll user-data word. The generation check makes every stale
 //! reference — a late completion for a closed connection, a readiness

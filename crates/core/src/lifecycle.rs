@@ -227,6 +227,7 @@ pub struct LifecycleStats {
     deploys: AtomicU64,
     undeploys: AtomicU64,
     swaps: AtomicU64,
+    stages_reused: AtomicU64,
 }
 
 impl LifecycleStats {
@@ -243,6 +244,19 @@ impl LifecycleStats {
     /// Records one completed alias swap.
     pub fn note_swap(&self) {
         self.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` physical stages a compile served from catalog residency
+    /// instead of rebuilding — the redeploy fast path (`catalog_gc=false`
+    /// keeps retired stages resident precisely so this counter moves on
+    /// re-deploys of a recently retired version).
+    pub fn note_stages_reused(&self, n: u64) {
+        self.stages_reused.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Physical stages served from catalog residency at compile time.
+    pub fn stages_reused(&self) -> u64 {
+        self.stages_reused.load(Ordering::Relaxed)
     }
 
     /// `(deploys, undeploys, swaps)` so far.

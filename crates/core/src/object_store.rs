@@ -23,10 +23,18 @@
 //! Blelloch & Wei (arXiv:2008.04296): acquisition and release are both a
 //! single locked counter update, independent of how many plans share the
 //! object.
+//!
+//! **Sharded read path:** the parameter map is split across
+//! [`STORE_SHARDS`] reader-writer shards keyed by checksum, so the
+//! read-mostly lookups ([`ObjectStore::get`], the intern fast path) run
+//! under shared read locks and never contend with each other; only the
+//! deploy/undeploy write paths take a shard's write lock, and only for
+//! the checksums that hash there. Ref-count lifecycle semantics are
+//! unchanged — each entry's refcount still moves under its shard lock.
 
 use crate::lru::LruCache;
 use crate::plan::{StageOp, StagePlan, Step};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use pretzel_data::Vector;
 use pretzel_ops::Op;
 use std::collections::{HashMap, HashSet};
@@ -45,15 +53,41 @@ struct StoreEntry {
     plan_refs: u64,
 }
 
+/// Shard count of the parameter map. Lookups are read-mostly (every load
+/// and every compile probes; only deploy/undeploy writes), so the map is
+/// split into reader-writer shards keyed by checksum: concurrent readers
+/// share a shard lock, and writers serialize only within one shard.
+const STORE_SHARDS: usize = 16;
+
+/// Maps a parameter checksum to its shard. Checksums are already
+/// well-mixed digests, but a Fibonacci multiply keeps the shard choice
+/// robust if a parameter kind ever produces structured low bits.
+fn shard_of(checksum: u64) -> usize {
+    (checksum.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize & (STORE_SHARDS - 1)
+}
+
 /// Checksum-keyed store of shared operator parameters.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ObjectStore {
-    ops: Mutex<HashMap<u64, StoreEntry>>,
+    shards: Vec<RwLock<HashMap<u64, StoreEntry>>>,
     interned: AtomicU64,
     reused: AtomicU64,
     bytes_saved: AtomicU64,
     released: AtomicU64,
     released_bytes: AtomicU64,
+}
+
+impl Default for ObjectStore {
+    fn default() -> Self {
+        ObjectStore {
+            shards: (0..STORE_SHARDS).map(|_| RwLock::default()).collect(),
+            interned: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+            bytes_saved: AtomicU64::new(0),
+            released: AtomicU64::new(0),
+            released_bytes: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Calls `f` with every parameter-carrying [`Op`] a step references
@@ -108,10 +142,28 @@ impl ObjectStore {
     /// the canonical instance.
     pub fn intern(&self, op: Op) -> Op {
         let key = op.checksum();
-        let mut ops = self.ops.lock();
+        let shard = &self.shards[shard_of(key)];
+        // Fast path under the read lock: most interns during steady-state
+        // deploys find the canonical instance already resident.
+        {
+            let ops = shard.read();
+            match ops.get(&key) {
+                // Re-interning the canonical instance itself is a no-op
+                // (and must not inflate the dedup counters).
+                Some(existing) if existing.op.params_addr() == op.params_addr() => return op,
+                Some(existing) => {
+                    self.reused.fetch_add(1, Ordering::Relaxed);
+                    self.bytes_saved
+                        .fetch_add(op.heap_bytes() as u64, Ordering::Relaxed);
+                    return existing.op.clone();
+                }
+                None => {}
+            }
+        }
+        let mut ops = shard.write();
+        // Re-check under the write lock: a racing intern of the same
+        // checksum may have published between the two acquisitions.
         match ops.get(&key) {
-            // Re-interning the canonical instance itself is a no-op (and
-            // must not inflate the dedup counters).
             Some(existing) if existing.op.params_addr() == op.params_addr() => op,
             Some(existing) => {
                 self.reused.fetch_add(1, Ordering::Relaxed);
@@ -140,8 +192,8 @@ impl ObjectStore {
     /// a concurrent failed deploy) is re-inserted from the plan's own
     /// canonical instance, so retention never loses parameters.
     pub fn retain_plan(&self, plan: &StagePlan) {
-        let mut ops = self.ops.lock();
         for (sum, op) in plan_param_set(plan) {
+            let mut ops = self.shards[shard_of(sum)].write();
             ops.entry(sum)
                 .or_insert(StoreEntry { op, plan_refs: 0 })
                 .plan_refs += 1;
@@ -152,10 +204,10 @@ impl ObjectStore {
     /// freed immediately. Returns `(objects freed, heap bytes freed)` — the
     /// reclamation half of `undeploy`.
     pub fn release_plan(&self, plan: &StagePlan) -> (usize, usize) {
-        let mut ops = self.ops.lock();
         let mut freed = 0usize;
         let mut freed_bytes = 0usize;
         for (sum, _) in plan_param_set(plan) {
+            let mut ops = self.shards[shard_of(sum)].write();
             let Some(entry) = ops.get_mut(&sum) else {
                 continue;
             };
@@ -177,10 +229,10 @@ impl ObjectStore {
     /// parameters the optimizer compiled away (e.g. a pushed-down Concat)
     /// do not linger as zero-ref residents. Returns the heap bytes freed.
     pub fn release_unreferenced(&self, checksums: impl IntoIterator<Item = u64>) -> usize {
-        let mut ops = self.ops.lock();
         let mut freed_bytes = 0usize;
         let mut freed = 0u64;
         for sum in checksums {
+            let mut ops = self.shards[shard_of(sum)].write();
             if let Some(entry) = ops.get(&sum) {
                 if entry.plan_refs == 0 {
                     freed_bytes += entry.op.heap_bytes();
@@ -199,18 +251,20 @@ impl ObjectStore {
     /// failed deploy runs so half-loaded images do not pin parameters).
     /// Returns the heap bytes freed.
     pub fn sweep_unreferenced(&self) -> usize {
-        let mut ops = self.ops.lock();
         let mut freed_bytes = 0usize;
         let mut freed = 0u64;
-        ops.retain(|_, entry| {
-            if entry.plan_refs == 0 {
-                freed_bytes += entry.op.heap_bytes();
-                freed += 1;
-                false
-            } else {
-                true
-            }
-        });
+        for shard in &self.shards {
+            let mut ops = shard.write();
+            ops.retain(|_, entry| {
+                if entry.plan_refs == 0 {
+                    freed_bytes += entry.op.heap_bytes();
+                    freed += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
         self.released.fetch_add(freed, Ordering::Relaxed);
         self.released_bytes
             .fetch_add(freed_bytes as u64, Ordering::Relaxed);
@@ -219,8 +273,8 @@ impl ObjectStore {
 
     /// Plan refcount of a checksum (0 when absent or never retained).
     pub fn plan_refs(&self, checksum: u64) -> u64 {
-        self.ops
-            .lock()
+        self.shards[shard_of(checksum)]
+            .read()
             .get(&checksum)
             .map_or(0, |entry| entry.plan_refs)
     }
@@ -240,7 +294,10 @@ impl ObjectStore {
     /// Loaders use this to skip deserializing model-file sections whose
     /// parameters are already resident (the fast-load path of §5.1).
     pub fn get(&self, checksum: u64) -> Option<Op> {
-        let hit = self.ops.lock().get(&checksum).map(|e| e.op.clone());
+        let hit = self.shards[shard_of(checksum)]
+            .read()
+            .get(&checksum)
+            .map(|e| e.op.clone());
         if let Some(op) = &hit {
             self.reused.fetch_add(1, Ordering::Relaxed);
             // The caller was about to deserialize a private copy of these
@@ -253,17 +310,20 @@ impl ObjectStore {
 
     /// Number of unique parameter objects stored.
     pub fn len(&self) -> usize {
-        self.ops.lock().len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// True if nothing was interned yet.
     pub fn is_empty(&self) -> bool {
-        self.ops.lock().is_empty()
+        self.shards.iter().all(|s| s.read().is_empty())
     }
 
     /// Total heap bytes of the unique parameter objects.
     pub fn unique_bytes(&self) -> usize {
-        self.ops.lock().values().map(|e| e.op.heap_bytes()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.read().values().map(|e| e.op.heap_bytes()).sum::<usize>())
+            .sum()
     }
 
     /// Heap bytes avoided by returning shared instances.
@@ -448,6 +508,51 @@ mod tests {
         let freed = store.sweep_unreferenced();
         assert!(freed > 0);
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn concurrent_intern_and_get_across_shards() {
+        // Readers hammer `get` while writers intern fresh and duplicate
+        // parameters: every lookup must return the canonical instance and
+        // the dedup counters must balance exactly.
+        let store = Arc::new(ObjectStore::new());
+        let dicts: Vec<_> = (0..8)
+            .map(|i| Arc::new(synth::char_ngram(i, 3, 32)))
+            .collect();
+        let sums: Vec<u64> = dicts
+            .iter()
+            .map(|d| Op::CharNgram(Arc::clone(d)).checksum())
+            .collect();
+        for d in &dicts {
+            store.intern(Op::CharNgram(Arc::clone(d)));
+        }
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                let dicts = dicts.clone();
+                let sums = sums.clone();
+                std::thread::spawn(move || {
+                    for round in 0..200 {
+                        let i = (t + round) % dicts.len();
+                        let hit = store.get(sums[i]).expect("interned above");
+                        assert_eq!(
+                            hit.params_addr(),
+                            Op::CharNgram(Arc::clone(&dicts[i])).params_addr()
+                        );
+                        // A duplicate allocation interns to the canonical one.
+                        let dup = store
+                            .intern(Op::CharNgram(Arc::new(synth::char_ngram(i as u64, 3, 32))));
+                        assert_eq!(dup.params_addr(), hit.params_addr());
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(store.len(), dicts.len(), "no duplicate entries published");
+        // 4 threads x 200 rounds: one reuse per `get` + one per dup intern.
+        assert_eq!(store.reuse_count(), 4 * 200 * 2);
     }
 
     #[test]

@@ -177,20 +177,39 @@ fn put_batch(slots: &mut [ColumnBatch], scratch: &mut [ColumnBatch], loc: Loc, b
     }
 }
 
+/// The cheap first half of stage compilation: fused steps plus the stage
+/// signature, computed **before** the full physical stage is built. The
+/// runtime catalog probes the signature and, on a hit, serves the resident
+/// stage and throws this away — the redeploy fast path that makes
+/// `catalog_gc=false` re-deploys skip stage construction entirely.
+#[derive(Debug)]
+pub struct PreparedStage {
+    steps: Vec<Step>,
+    scratch: Vec<BufDef>,
+    reads: Vec<u32>,
+    writes: Vec<u32>,
+    /// The catalog-interning signature the finished stage will carry.
+    pub signature: u64,
+    dense: bool,
+    vectorizable: bool,
+}
+
 impl PhysicalStage {
     /// Compiles a logical stage into its physical implementation.
     pub fn compile(logical: &LogicalStage, opts: &CompileOptions) -> Self {
+        Self::finish(Self::prepare(logical, opts))
+    }
+
+    /// First half of [`Self::compile`]: operator fusion and the stage
+    /// signature, cheap enough to run just to probe the catalog.
+    pub fn prepare(logical: &LogicalStage, opts: &CompileOptions) -> PreparedStage {
         let mut steps = logical.steps.clone();
         let mut scratch = logical.scratch.clone();
         if opts.fuse_ngram_dot {
             fuse_ngram_dot(&mut steps, &mut scratch);
         }
         let signature = signature_of(&steps, &scratch, logical.dense, logical.vectorizable);
-        let mat_steps = steps
-            .iter()
-            .map(|s| s.op.cacheable().then(|| s.op.checksum()))
-            .collect();
-        PhysicalStage {
+        PreparedStage {
             steps,
             scratch,
             reads: logical.reads.clone(),
@@ -198,6 +217,25 @@ impl PhysicalStage {
             signature,
             dense: logical.dense,
             vectorizable: logical.vectorizable,
+        }
+    }
+
+    /// Second half of [`Self::compile`]: builds the executable stage from
+    /// the prepared parts (catalog misses only).
+    pub fn finish(prepared: PreparedStage) -> Self {
+        let mat_steps = prepared
+            .steps
+            .iter()
+            .map(|s| s.op.cacheable().then(|| s.op.checksum()))
+            .collect();
+        PhysicalStage {
+            steps: prepared.steps,
+            scratch: prepared.scratch,
+            reads: prepared.reads,
+            writes: prepared.writes,
+            signature: prepared.signature,
+            dense: prepared.dense,
+            vectorizable: prepared.vectorizable,
             mat_steps,
         }
     }
@@ -919,7 +957,9 @@ impl<'a> SourceRef<'a> {
     /// Appends the source as one row of the (pooled) slot-0 batch.
     pub fn load_into_batch(&self, slot: &mut ColumnBatch) -> Result<()> {
         match (self, &mut *slot) {
-            (SourceRef::Text(s), ColumnBatch::Text { .. }) => slot.push_text(s),
+            (SourceRef::Text(s), ColumnBatch::Text { .. } | ColumnBatch::TextSpans { .. }) => {
+                slot.push_text(s)
+            }
             (SourceRef::Dense(x), ColumnBatch::Dense { dim, .. }) if *dim == x.len() => {
                 let row = slot.push_dense_row()?;
                 row.copy_from_slice(x);
@@ -998,10 +1038,21 @@ pub struct ModelPlan {
 impl ModelPlan {
     /// Compiles a validated logical plan, interning operator parameters in
     /// the Object Store.
-    pub fn compile(
+    pub fn compile(logical: StagePlan, opts: &CompileOptions, store: &ObjectStore) -> Result<Self> {
+        Self::compile_with_catalog(logical, opts, store, |_| None)
+    }
+
+    /// [`Self::compile`] with a stage-residency probe: each stage's
+    /// signature is prepared first and offered to `lookup`; a hit serves
+    /// the resident [`PhysicalStage`] (identity and all — warm catalog
+    /// entries survive a redeploy intact) and skips construction. The
+    /// runtime threads its catalog through here so `catalog_gc=false`
+    /// re-deploys of a retired version reuse its resident stages.
+    pub fn compile_with_catalog(
         mut logical: StagePlan,
         opts: &CompileOptions,
         store: &ObjectStore,
+        mut lookup: impl FnMut(u64) -> Option<Arc<PhysicalStage>>,
     ) -> Result<Self> {
         logical.validate()?;
         // Parameter interning: rewrite every step to reference the
@@ -1014,7 +1065,11 @@ impl ModelPlan {
         let stages = logical
             .stages
             .iter()
-            .map(|ls| Arc::new(PhysicalStage::compile(ls, opts)))
+            .map(|ls| {
+                let prepared = PhysicalStage::prepare(ls, opts);
+                lookup(prepared.signature)
+                    .unwrap_or_else(|| Arc::new(PhysicalStage::finish(prepared)))
+            })
             .collect();
         Ok(ModelPlan {
             source_type: logical.source_type,

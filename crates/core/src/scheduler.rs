@@ -18,6 +18,20 @@
 //! (and vector pool); its events bypass the shared queues entirely,
 //! emulating container-style isolation while still sharing parameters
 //! (paper §4.2.2).
+//!
+//! **Sharded execution plane** (`SchedulerConfig::sharded`, the default):
+//! instead of one shared queue pair that every executor contends on, each
+//! executor owns its own [`DualQueue`] and vector-pool arena; submissions
+//! round-robin chunks across the worker queues, and a worker that runs dry
+//! *steals* — randomized two-choice victim selection, preferring the
+//! victim's low queue (stage-0 chunks whose working sets the thief leases
+//! from its **own** arena) over its high queue (started chunks whose
+//! buffers live in the victim's arena and go home via lock-free cross-core
+//! return). Stolen chunks re-enter the *thief's* queue for later stages,
+//! so a chunk migrates at most once per dry spell. Reserved executors stay
+//! outside the steal set. `sharded = false` keeps the original
+//! shared-everything plane as the measured ablation control; scores and
+//! cache hit/miss counts are bitwise-identical either way.
 
 use crate::lifecycle::GatePass;
 use crate::object_store::MaterializationCache;
@@ -423,11 +437,60 @@ impl DualQueue {
         }
     }
 
+    /// Non-blocking owner pop, same priority order as [`Self::pop`].
+    fn try_pop(&self) -> Option<ChunkTask> {
+        let mut g = self.inner.lock();
+        if let Some(t) = g.high.pop_front() {
+            return Some(t);
+        }
+        g.low.pop_front()
+    }
+
+    /// Steals one event for another worker. Priority is *inverted*
+    /// relative to the owner: the low queue first — a stage-0 chunk has no
+    /// working set yet, so the thief leases from its own arena and keeps
+    /// locality — falling back to a started chunk, whose buffers return to
+    /// the victim's arena through the lock-free cross-core return path.
+    fn steal(&self) -> Option<ChunkTask> {
+        let mut g = self.inner.lock();
+        if let Some(t) = g.low.pop_front() {
+            return Some(t);
+        }
+        g.high.pop_front()
+    }
+
+    /// Queued event count (a snapshot; used for two-choice victim ranking).
+    fn approx_len(&self) -> usize {
+        let g = self.inner.lock();
+        g.high.len() + g.low.len()
+    }
+
+    /// Parks the owner until new work, a close, or `timeout`. Returns
+    /// `true` when the queue is closed *and* drained — the owner's signal
+    /// to exit (its queue can no longer grow: submissions stop before
+    /// close, and workers only re-push to their own queue).
+    fn park(&self, timeout: std::time::Duration) -> bool {
+        let mut g = self.inner.lock();
+        if !g.high.is_empty() || !g.low.is_empty() {
+            return false;
+        }
+        if g.closed {
+            return true;
+        }
+        self.cv.wait_for(&mut g, timeout);
+        g.closed && g.high.is_empty() && g.low.is_empty()
+    }
+
     fn close(&self) {
         self.inner.lock().closed = true;
         self.cv.notify_all();
     }
 }
+
+/// How long a dry sharded worker parks before rescanning the steal set.
+/// Short enough that a newly-loaded victim is noticed quickly, long enough
+/// that idle workers cost ~zero CPU.
+const STEAL_RESCAN_PARK: std::time::Duration = std::time::Duration::from_micros(200);
 
 /// Scheduler counters exposed to benchmarks and tests.
 #[derive(Debug, Default)]
@@ -436,6 +499,8 @@ pub struct SchedStats {
     pub stage_events: AtomicU64,
     /// Records fully scored.
     pub records_done: AtomicU64,
+    /// Chunk events taken from another worker's queue (sharded plane).
+    pub steals: AtomicU64,
 }
 
 /// One plan's reserved executor: its private queue, pool and thread
@@ -453,15 +518,75 @@ struct ReservedExec {
 /// queued between stages.
 const WARM_WORKING_SETS: usize = 2;
 
-/// The stage scheduler: executors, shared queues, reservations.
+/// Construction parameters of a [`Scheduler`].
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Executor thread count.
+    pub n_executors: usize,
+    /// Pool (vs allocate) working-set buffers.
+    pub pooling: bool,
+    /// Records per chunk event.
+    pub chunk_size: usize,
+    /// Columnar (vs per-record) working sets.
+    pub columnar: bool,
+    /// Sub-plan materialization cache, if enabled.
+    pub cache: Option<Arc<MaterializationCache>>,
+    /// Flat (vs `HashMap`) n-gram probe path.
+    pub flat_probe: bool,
+    /// Per-executor run queues + work stealing + lock-free pool arenas
+    /// (vs the shared-everything plane, kept as the ablation control).
+    pub sharded: bool,
+}
+
+/// The submission plane: where unreserved chunks go and executors pull.
+#[derive(Debug)]
+enum Plane {
+    /// One queue pair every executor blocks on (ablation control).
+    Shared(Arc<DualQueue>),
+    /// One queue pair per executor; chunks round-robin across workers and
+    /// dry workers steal from each other.
+    Sharded {
+        workers: Vec<Arc<DualQueue>>,
+        next: AtomicUsize,
+    },
+}
+
+impl Plane {
+    /// Enqueues a new chunk at low priority.
+    fn push_low(&self, t: ChunkTask) {
+        match self {
+            Plane::Shared(q) => q.push_low(t),
+            Plane::Sharded { workers, next } => {
+                let i = next.fetch_add(1, Ordering::Relaxed) % workers.len();
+                workers[i].push_low(t);
+            }
+        }
+    }
+
+    fn close(&self) {
+        match self {
+            Plane::Shared(q) => q.close(),
+            Plane::Sharded { workers, .. } => {
+                for q in workers {
+                    q.close();
+                }
+            }
+        }
+    }
+}
+
+/// The stage scheduler: executors, run queues, reservations.
 #[derive(Debug)]
 pub struct Scheduler {
-    shared: Arc<DualQueue>,
+    plane: Plane,
     executors: Vec<JoinHandle<()>>,
     /// The per-executor pools, kept visible so deploy-time plan warming
     /// can pre-lease working sets ("allocated per Executor to improve
     /// locality", paper §4.2.1 — warming fills each executor's own pool).
     exec_pools: Vec<Arc<VectorPool>>,
+    /// The shared arena behind every per-core arena in sharded mode:
+    /// arena-dry acquires refill from it, arena-full releases spill to it.
+    fallback_pool: Option<Arc<VectorPool>>,
     reserved: Mutex<std::collections::HashMap<u32, ReservedExec>>,
     stats: Arc<SchedStats>,
     pooling: bool,
@@ -474,7 +599,28 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// Starts `n_executors` executor threads, each with its own vector pool.
+    /// Starts `n_executors` executor threads, each with its own vector
+    /// pool, on the sharded plane. See [`Self::with_config`].
+    pub fn new(
+        n_executors: usize,
+        pooling: bool,
+        chunk_size: usize,
+        columnar: bool,
+        cache: Option<Arc<MaterializationCache>>,
+        flat_probe: bool,
+    ) -> Self {
+        Self::with_config(SchedulerConfig {
+            n_executors,
+            pooling,
+            chunk_size,
+            columnar,
+            cache,
+            flat_probe,
+            sharded: true,
+        })
+    }
+
+    /// Starts the executor threads described by `cfg`.
     ///
     /// With `columnar` set (the default data plane), each chunk leases one
     /// columnar working set and stages execute whole-chunk batch kernels;
@@ -484,45 +630,78 @@ impl Scheduler {
     /// run the chunk-level cache probe (per-row hash probe, miss sub-batch)
     /// inside [`PhysicalStage::execute_batch`].
     ///
+    /// With `sharded` set (the default plane), each executor owns a run
+    /// queue and a lock-free pool arena fronting one shared fallback
+    /// arena; see the module docs for the steal policy.
+    ///
     /// [`PhysicalStage::execute_batch`]: crate::physical::PhysicalStage::execute_batch
-    pub fn new(
-        n_executors: usize,
-        pooling: bool,
-        chunk_size: usize,
-        columnar: bool,
-        cache: Option<Arc<MaterializationCache>>,
-        flat_probe: bool,
-    ) -> Self {
-        let shared = Arc::new(DualQueue::default());
+    pub fn with_config(cfg: SchedulerConfig) -> Self {
+        let n = cfg.n_executors.max(1);
         let stats = Arc::new(SchedStats::default());
-        let exec_pools: Vec<Arc<VectorPool>> = (0..n_executors.max(1))
-            .map(|_| Arc::new(new_pool(pooling)))
+        let fallback_pool = (cfg.sharded && cfg.pooling).then(|| Arc::new(VectorPool::arena()));
+        let exec_pools: Vec<Arc<VectorPool>> = (0..n)
+            .map(|_| Arc::new(build_pool(cfg.pooling, fallback_pool.as_ref())))
             .collect();
-        let executors = exec_pools
-            .iter()
-            .enumerate()
-            .map(|(i, pool)| {
-                let queue = Arc::clone(&shared);
-                let stats = Arc::clone(&stats);
-                let cache = cache.clone();
-                let pool = Arc::clone(pool);
-                std::thread::Builder::new()
-                    .name(format!("pretzel-exec-{i}"))
-                    .spawn(move || executor_loop(queue, stats, pool, columnar, cache, flat_probe))
-                    .expect("spawn executor")
-            })
-            .collect();
+        let (plane, executors) = if cfg.sharded {
+            let workers: Vec<Arc<DualQueue>> =
+                (0..n).map(|_| Arc::new(DualQueue::default())).collect();
+            let executors = exec_pools
+                .iter()
+                .enumerate()
+                .map(|(i, pool)| {
+                    let queues = workers.clone();
+                    let stats = Arc::clone(&stats);
+                    let cache = cfg.cache.clone();
+                    let pool = Arc::clone(pool);
+                    let (columnar, flat_probe) = (cfg.columnar, cfg.flat_probe);
+                    std::thread::Builder::new()
+                        .name(format!("pretzel-exec-{i}"))
+                        .spawn(move || {
+                            sharded_worker_loop(i, queues, stats, pool, columnar, cache, flat_probe)
+                        })
+                        .expect("spawn executor")
+                })
+                .collect();
+            (
+                Plane::Sharded {
+                    workers,
+                    next: AtomicUsize::new(0),
+                },
+                executors,
+            )
+        } else {
+            let shared = Arc::new(DualQueue::default());
+            let executors = exec_pools
+                .iter()
+                .enumerate()
+                .map(|(i, pool)| {
+                    let queue = Arc::clone(&shared);
+                    let stats = Arc::clone(&stats);
+                    let cache = cfg.cache.clone();
+                    let pool = Arc::clone(pool);
+                    let (columnar, flat_probe) = (cfg.columnar, cfg.flat_probe);
+                    std::thread::Builder::new()
+                        .name(format!("pretzel-exec-{i}"))
+                        .spawn(move || {
+                            executor_loop(queue, stats, pool, columnar, cache, flat_probe)
+                        })
+                        .expect("spawn executor")
+                })
+                .collect();
+            (Plane::Shared(shared), executors)
+        };
         Scheduler {
-            shared,
+            plane,
             executors,
             exec_pools,
+            fallback_pool,
             reserved: Mutex::new(std::collections::HashMap::new()),
             stats,
-            pooling,
-            chunk_size: chunk_size.max(1),
-            columnar,
-            cache,
-            flat_probe,
+            pooling: cfg.pooling,
+            chunk_size: cfg.chunk_size.max(1),
+            columnar: cfg.columnar,
+            cache: cfg.cache,
+            flat_probe: cfg.flat_probe,
         }
     }
 
@@ -549,7 +728,7 @@ impl Scheduler {
         let columnar = self.columnar;
         let cache = self.cache.clone();
         let flat_probe = self.flat_probe;
-        let pool = Arc::new(new_pool(self.pooling));
+        let pool = Arc::new(build_pool(self.pooling, self.fallback_pool.as_ref()));
         let q = Arc::clone(&queue);
         let p = Arc::clone(&pool);
         let handle = std::thread::Builder::new()
@@ -749,12 +928,9 @@ impl Scheduler {
         if n == 0 {
             return BatchHandle { state };
         }
-        let queue = {
+        let reserved_queue = {
             let reserved = self.reserved.lock();
-            reserved
-                .get(&plan_id)
-                .map(|r| Arc::clone(&r.queue))
-                .unwrap_or_else(|| Arc::clone(&self.shared))
+            reserved.get(&plan_id).map(|r| Arc::clone(&r.queue))
         };
         let mut start = 0usize;
         while start < n {
@@ -772,11 +948,17 @@ impl Scheduler {
                 slot_zero: SlotZero::Leased,
                 state: Arc::clone(&state),
             };
-            // A reserved queue that closed between routing and push (the
-            // plan was unreserved concurrently) hands the task back; it
-            // then runs on the shared executors instead of being lost.
-            if let Some(task) = queue.try_push_low(task) {
-                self.shared.push_low(task);
+            match &reserved_queue {
+                // A reserved queue that closed between routing and push
+                // (the plan was unreserved concurrently) hands the task
+                // back; it then runs on the general plane instead of
+                // being lost.
+                Some(q) => {
+                    if let Some(task) = q.try_push_low(task) {
+                        self.plane.push_low(task);
+                    }
+                }
+                None => self.plane.push_low(task),
             }
             start = end;
         }
@@ -789,7 +971,7 @@ impl Scheduler {
     }
 
     fn teardown(&mut self) {
-        self.shared.close();
+        self.plane.close();
         let mut reserved: Vec<ReservedExec> =
             self.reserved.lock().drain().map(|(_, r)| r).collect();
         for r in &reserved {
@@ -814,12 +996,17 @@ impl Drop for Scheduler {
 
 /// Builds one executor's pool ("vector pools are allocated per Executor to
 /// improve locality", paper §4.2.1); the scheduler keeps a handle so
-/// deploy-time warming and stats can reach it.
-fn new_pool(pooling: bool) -> VectorPool {
-    if pooling {
-        VectorPool::new()
-    } else {
-        VectorPool::disabled()
+/// deploy-time warming and stats can reach it. On the sharded plane each
+/// executor fronts the scheduler-wide fallback arena with a lock-free
+/// arena of its own; on the shared plane (and for the ablation control)
+/// each executor gets the mutex-backed pool.
+fn build_pool(pooling: bool, fallback: Option<&Arc<VectorPool>>) -> VectorPool {
+    if !pooling {
+        return VectorPool::disabled();
+    }
+    match fallback {
+        Some(global) => VectorPool::arena().with_fallback(Arc::clone(global)),
+        None => VectorPool::new(),
     }
 }
 
@@ -838,6 +1025,84 @@ fn executor_loop(
     while let Some(task) = queue.pop() {
         run_chunk_stage(task, &queue, &pool, &mut ctx, &stats, columnar);
     }
+}
+
+/// One sharded-plane worker: drain the own queue, then try stealing, then
+/// park briefly and rescan. Chunks always re-enter the queue of the worker
+/// that ran their last stage — including stolen ones, which re-enter the
+/// THIEF's queue — so once submissions stop, a queue that is closed and
+/// empty can never refill and the worker exits.
+fn sharded_worker_loop(
+    idx: usize,
+    queues: Vec<Arc<DualQueue>>,
+    stats: Arc<SchedStats>,
+    pool: Arc<VectorPool>,
+    columnar: bool,
+    cache: Option<Arc<MaterializationCache>>,
+    flat_probe: bool,
+) {
+    let mut ctx = ExecCtx::new(Arc::clone(&pool)).with_flat_probe(flat_probe);
+    if let Some(c) = cache {
+        ctx = ctx.with_cache(c);
+    }
+    let own = Arc::clone(&queues[idx]);
+    // Per-worker xorshift state, seeded from the worker index so workers
+    // probe victims in different orders.
+    let mut rng: u64 = 0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(idx as u64 + 1) | 1;
+    loop {
+        if let Some(task) = own.try_pop() {
+            run_chunk_stage(task, &own, &pool, &mut ctx, &stats, columnar);
+            continue;
+        }
+        if let Some(task) = steal_from(&queues, idx, &mut rng) {
+            stats.steals.fetch_add(1, Ordering::Relaxed);
+            run_chunk_stage(task, &own, &pool, &mut ctx, &stats, columnar);
+            continue;
+        }
+        // Nothing local and every probed victim was dry: park on the own
+        // queue (a push wakes the worker immediately) with a short timeout
+        // so the steal set gets rescanned even without a local push.
+        if own.park(STEAL_RESCAN_PARK) {
+            return;
+        }
+    }
+}
+
+/// Two-choice steal: probe two distinct victims, try the longer queue
+/// first, then the other. Steals prefer the victim's LOW queue — stage-0
+/// chunks have not leased buffers yet, so stolen new work leases from the
+/// thief's own arena and stays local, while started (HIGH) chunks carry
+/// leases whose buffers would travel home over the cross-core return
+/// path. The own queue at `idx` is never probed.
+fn steal_from(queues: &[Arc<DualQueue>], idx: usize, rng: &mut u64) -> Option<ChunkTask> {
+    let n = queues.len();
+    if n <= 1 {
+        return None;
+    }
+    let mut pick = || {
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        let r = (*rng as usize) % (n - 1);
+        if r >= idx {
+            r + 1
+        } else {
+            r
+        }
+    };
+    let a = pick();
+    let mut b = pick();
+    if n > 2 {
+        while b == a {
+            b = pick();
+        }
+    }
+    let (first, second) = if queues[a].approx_len() >= queues[b].approx_len() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    queues[first].steal().or_else(|| queues[second].steal())
 }
 
 fn run_chunk_stage(
@@ -1028,22 +1293,25 @@ fn release_leases(task: &mut ChunkTask) {
                     }
                 }
             }
-            ChunkWorkingSet::Columnar(slots) => {
-                let mut slots = slots.into_iter();
-                // A moved slot 0 returns to its home ingest pool, not the
-                // executor pool it was never leased from.
-                if let SlotZero::Moved { home } =
-                    std::mem::replace(&mut task.slot_zero, SlotZero::Leased)
-                {
-                    if let Some(rows) = slots.next() {
-                        match home {
-                            Some(h) => h.release_batch(rows),
-                            None => drop(rows),
-                        }
-                    }
-                }
-                for b in slots {
+            ChunkWorkingSet::Columnar(mut slots) => {
+                // Span outputs (e.g. CSV field selection) borrow the text
+                // source in slot 0, so slots release in REVERSE order: the
+                // borrowers detach first and the source parks last with its
+                // buffer unshared — releasing the source first would make
+                // it detect the live borrow and drop its buffer instead of
+                // keeping it for the next lease.
+                while slots.len() > 1 {
+                    let b = slots.pop().expect("len checked above");
                     pool.release_batch(b);
+                }
+                if let Some(rows) = slots.pop() {
+                    // A moved slot 0 returns to its home ingest pool, not
+                    // the executor pool it was never leased from.
+                    match std::mem::replace(&mut task.slot_zero, SlotZero::Leased) {
+                        SlotZero::Moved { home: Some(h) } => h.release_batch(rows),
+                        SlotZero::Moved { home: None } => drop(rows),
+                        SlotZero::Leased => pool.release_batch(rows),
+                    }
                 }
             }
             ChunkWorkingSet::Unleased => {}
@@ -1334,5 +1602,146 @@ mod tests {
         let h = sched.submit_batch(0, plan, records(3));
         let _ = h.wait().unwrap();
         drop(sched);
+    }
+
+    fn plane(sharded: bool, n_executors: usize, chunk: usize) -> Scheduler {
+        Scheduler::with_config(SchedulerConfig {
+            n_executors,
+            pooling: true,
+            chunk_size: chunk,
+            columnar: true,
+            cache: None,
+            flat_probe: true,
+            sharded,
+        })
+    }
+
+    #[test]
+    fn sharded_and_shared_planes_agree_bitwise() {
+        // The ablation contract: `sharded` moves work and buffers around,
+        // it never touches math. Single-executor schedulers make the pool
+        // traffic deterministic too, so hits/misses must match exactly.
+        let plan = sa_plan(51);
+        let recs = records(37);
+        let sharded = plane(true, 1, 8);
+        let shared = plane(false, 1, 8);
+        for pass in 0..2 {
+            let a = sharded
+                .submit_batch(0, Arc::clone(&plan), recs.clone())
+                .wait()
+                .unwrap();
+            let b = shared
+                .submit_batch(0, Arc::clone(&plan), recs.clone())
+                .wait()
+                .unwrap();
+            assert_eq!(a.len(), b.len());
+            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "pass {pass} record {i}");
+            }
+            assert_eq!(
+                sharded.pool_stats(),
+                shared.pool_stats(),
+                "pass {pass}: pool hit/miss counts diverge between planes"
+            );
+        }
+        sharded.shutdown();
+        shared.shutdown();
+    }
+
+    #[test]
+    fn dry_workers_steal_queued_chunks() {
+        // Force the steal path: one worker gets a heavy chunk with a tiny
+        // chunk queued behind it; the other worker runs dry in microseconds
+        // and must steal the tiny chunk to make progress. Round-robin
+        // routing makes the landing deterministic (submission order 0, 1,
+        // 2 lands on workers 0, 1, 0); only the steal timing is racy, so
+        // retry a few rounds before declaring the path dead.
+        let plan = sa_plan(53);
+        let heavy: Vec<Record> = (0..3000)
+            .map(|i| Record::Text(format!("5,review {i} with several tokens to chew on")))
+            .collect();
+        let mut stole = false;
+        for _round in 0..20 {
+            let sched = plane(true, 2, 4096);
+            let ha = sched.submit_batch(0, Arc::clone(&plan), heavy.clone());
+            let hd = sched.submit_batch(0, Arc::clone(&plan), records(2));
+            let hc = sched.submit_batch(0, Arc::clone(&plan), records(3));
+            assert_eq!(ha.wait().unwrap().len(), 3000);
+            assert_eq!(hd.wait().unwrap().len(), 2);
+            let scores = hc.wait().unwrap();
+            assert_eq!(scores.len(), 3);
+            // Stolen or not, the chunk's math is the worker-independent
+            // reference result.
+            let pool = Arc::new(VectorPool::new());
+            let mut ctx = ExecCtx::new(pool);
+            let mut slots: Vec<Vector> = plan
+                .slot_types()
+                .iter()
+                .map(|&t| Vector::with_type(t))
+                .collect();
+            for (i, r) in records(3).iter().enumerate() {
+                let expect = plan.execute(r.as_source(), &mut slots, &mut ctx).unwrap();
+                assert_eq!(scores[i].to_bits(), expect.to_bits(), "record {i}");
+            }
+            let steals = sched.stats().steals.load(Ordering::Relaxed);
+            sched.shutdown();
+            if steals > 0 {
+                stole = true;
+                break;
+            }
+        }
+        assert!(stole, "no round ever exercised the steal path");
+    }
+
+    #[test]
+    fn unreserve_vs_steal_stress_loses_nothing() {
+        // Satellite: reservation churn racing submissions on the sharded
+        // plane. Chunks routed to a reserved queue that closes mid-flight
+        // fall back to the general plane; every record must score exactly
+        // once — `records_done` catches both loss (short) and
+        // double-execution (long).
+        const BATCHES: usize = 120;
+        const PER_BATCH: usize = 7;
+        let plan = sa_plan(59);
+        let sched = Arc::new(plane(true, 4, 4));
+        let (tx, rx) = std::sync::mpsc::channel::<Result<Vec<f32>>>();
+        let churn = {
+            let sched = Arc::clone(&sched);
+            std::thread::spawn(move || {
+                for _ in 0..200 {
+                    sched.reserve(9);
+                    std::thread::yield_now();
+                    sched.unreserve(9);
+                }
+            })
+        };
+        let submit = {
+            let sched = Arc::clone(&sched);
+            let plan = Arc::clone(&plan);
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                for _ in 0..BATCHES {
+                    let tx = tx.clone();
+                    sched
+                        .submit_batch(9, Arc::clone(&plan), records(PER_BATCH))
+                        .on_complete(move |r| tx.send(r).unwrap());
+                }
+            })
+        };
+        drop(tx);
+        for i in 0..BATCHES {
+            let scores = rx
+                .recv_timeout(std::time::Duration::from_secs(30))
+                .unwrap_or_else(|_| panic!("batch {i} never completed"))
+                .unwrap();
+            assert_eq!(scores.len(), PER_BATCH);
+        }
+        submit.join().unwrap();
+        churn.join().unwrap();
+        assert_eq!(
+            sched.stats().records_done.load(Ordering::Relaxed),
+            (BATCHES * PER_BATCH) as u64,
+            "records lost or double-executed under reservation churn"
+        );
     }
 }

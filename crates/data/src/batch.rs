@@ -22,6 +22,17 @@
 use crate::schema::ColumnType;
 use crate::vector::{Span, Vector};
 use crate::{DataError, Result};
+use std::sync::Arc;
+
+std::thread_local! {
+    /// A shared zero-capacity buffer for detached/reset text batches, so
+    /// detaching costs a refcount bump instead of an allocation.
+    static EMPTY_TEXT: Arc<String> = Arc::new(String::new());
+}
+
+fn empty_shared_text() -> Arc<String> {
+    EMPTY_TEXT.with(Arc::clone)
+}
 
 /// A borrowed view of one row of a column (or of a whole [`Vector`]).
 #[derive(Debug, Clone, Copy)]
@@ -134,11 +145,29 @@ impl<'a> ColRef<'a> {
 pub enum ColumnBatch {
     /// Text rows packed into one buffer; row `i` is
     /// `data[bounds[i]..bounds[i + 1]]`.
+    ///
+    /// The buffer is behind an [`Arc`] so a downstream [`Self::TextSpans`]
+    /// batch can borrow rows without copying; mutation is copy-on-write
+    /// (`Arc::make_mut`), so an outstanding spans view always keeps
+    /// reading the bytes it was built over.
     Text {
-        /// Concatenated row bytes.
-        data: String,
+        /// Concatenated row bytes (shared with any spans views).
+        data: Arc<String>,
         /// Row boundaries; always starts with 0, length `rows + 1`.
         bounds: Vec<u32>,
+    },
+    /// Text rows *borrowed* from another text batch's buffer: row `i` is
+    /// `data[spans[i].0..spans[i].1]`. This is how span-producing stages
+    /// (CSV field selection) emit a column of substrings with zero copying
+    /// — the output holds the source's `Arc` plus one `(start, end)` pair
+    /// per row. Same column type as [`Self::Text`]; pushing owned rows
+    /// first materializes into a packed `Text`.
+    TextSpans {
+        /// The borrowed source buffer.
+        data: Arc<String>,
+        /// Byte range of each row within `data` (need not be contiguous,
+        /// ordered, or disjoint).
+        spans: Vec<(u32, u32)>,
     },
     /// Token rows packed behind shared bounds; spans stay relative to each
     /// row's own text (zero-copy slicing downstream).
@@ -186,7 +215,7 @@ impl ColumnBatch {
     pub fn with_capacity_hint(ty: ColumnType, rows: usize, stored_hint: usize) -> Self {
         match ty {
             ColumnType::Text => ColumnBatch::Text {
-                data: String::with_capacity(rows * stored_hint),
+                data: Arc::new(String::with_capacity(rows * stored_hint)),
                 bounds: bounds_with_capacity(rows),
             },
             ColumnType::TokenList => ColumnBatch::Tokens {
@@ -211,7 +240,7 @@ impl ColumnBatch {
     /// The column type of every row in this batch.
     pub fn column_type(&self) -> ColumnType {
         match self {
-            ColumnBatch::Text { .. } => ColumnType::Text,
+            ColumnBatch::Text { .. } | ColumnBatch::TextSpans { .. } => ColumnType::Text,
             ColumnBatch::Tokens { .. } => ColumnType::TokenList,
             ColumnBatch::Dense { dim, .. } => ColumnType::F32Dense { len: *dim },
             ColumnBatch::Sparse { dim, .. } => ColumnType::F32Sparse { len: *dim as usize },
@@ -225,6 +254,7 @@ impl ColumnBatch {
             ColumnBatch::Text { bounds, .. }
             | ColumnBatch::Tokens { bounds, .. }
             | ColumnBatch::Sparse { bounds, .. } => bounds.len() - 1,
+            ColumnBatch::TextSpans { spans, .. } => spans.len(),
             ColumnBatch::Dense { rows, .. } => *rows,
             ColumnBatch::Scalar(v) => v.len(),
         }
@@ -239,9 +269,18 @@ impl ColumnBatch {
     pub fn reset(&mut self) {
         match self {
             ColumnBatch::Text { data, bounds } => {
-                data.clear();
+                match Arc::get_mut(data) {
+                    Some(s) => s.clear(),
+                    // A spans view still borrows the buffer: detach rather
+                    // than clearing under it.
+                    None => *data = empty_shared_text(),
+                }
                 bounds.clear();
                 bounds.push(0);
+            }
+            ColumnBatch::TextSpans { data, spans } => {
+                spans.clear();
+                *data = empty_shared_text();
             }
             ColumnBatch::Tokens { spans, bounds } => {
                 spans.clear();
@@ -271,6 +310,10 @@ impl ColumnBatch {
     pub fn heap_bytes(&self) -> usize {
         match self {
             ColumnBatch::Text { data, bounds } => data.capacity() + bounds.capacity() * 4,
+            // The borrowed buffer belongs to (and is counted by) its source.
+            ColumnBatch::TextSpans { spans, .. } => {
+                spans.capacity() * std::mem::size_of::<(u32, u32)>()
+            }
             ColumnBatch::Tokens { spans, bounds } => {
                 spans.capacity() * std::mem::size_of::<Span>() + bounds.capacity() * 4
             }
@@ -296,6 +339,10 @@ impl ColumnBatch {
             ColumnBatch::Text { data, bounds } => {
                 ColRef::Text(&data[bounds[i] as usize..bounds[i + 1] as usize])
             }
+            ColumnBatch::TextSpans { data, spans } => {
+                let (a, b) = spans[i];
+                ColRef::Text(&data[a as usize..b as usize])
+            }
             ColumnBatch::Tokens { spans, bounds } => {
                 ColRef::Tokens(&spans[bounds[i] as usize..bounds[i + 1] as usize])
             }
@@ -320,15 +367,91 @@ impl ColumnBatch {
         }
     }
 
-    /// Appends a text row.
+    /// Appends a text row (copying). On a spans batch, the borrowed rows
+    /// are first materialized into a packed buffer (cold path; the hot
+    /// producers either stay all-spans or all-owned).
     pub fn push_text(&mut self, s: &str) -> Result<()> {
+        if matches!(self, ColumnBatch::TextSpans { .. }) {
+            self.materialize_text();
+        }
         match self {
             ColumnBatch::Text { data, bounds } => {
-                data.push_str(s);
+                Arc::make_mut(data).push_str(s);
                 bounds.push(data.len() as u32);
                 Ok(())
             }
             other => Err(variant_err("text", other)),
+        }
+    }
+
+    /// The shared text buffer behind a text-family batch — the handle a
+    /// span-producing stage clones into its [`Self::TextSpans`] output.
+    pub fn shared_text(&self) -> Option<&Arc<String>> {
+        match self {
+            ColumnBatch::Text { data, .. } | ColumnBatch::TextSpans { data, .. } => Some(data),
+            _ => None,
+        }
+    }
+
+    /// Turns this (text-family) batch into a spans view over `source`,
+    /// clearing previous rows, and returns the span list for the caller to
+    /// fill with `(start, end)` byte ranges into `source`. Reuses the span
+    /// list's capacity when the batch was already a spans view, so a
+    /// pooled output batch serves chunk after chunk allocation-free.
+    pub fn begin_text_spans(&mut self, source: Arc<String>) -> Result<&mut Vec<(u32, u32)>> {
+        match self {
+            ColumnBatch::TextSpans { data, spans } => {
+                *data = source;
+                spans.clear();
+                Ok(spans)
+            }
+            ColumnBatch::Text { .. } => {
+                *self = ColumnBatch::TextSpans {
+                    data: source,
+                    spans: Vec::new(),
+                };
+                match self {
+                    ColumnBatch::TextSpans { spans, .. } => Ok(spans),
+                    _ => unreachable!(),
+                }
+            }
+            other => Err(variant_err("text", other)),
+        }
+    }
+
+    /// Drops any cross-batch text sharing: a spans view lets go of the
+    /// borrowed buffer, and a text batch whose buffer a view still borrows
+    /// forgets it (so the pool never parks a batch that pins another
+    /// batch's memory or forces a copy-on-write on the source's reuse).
+    pub fn detach_shared(&mut self) {
+        match self {
+            ColumnBatch::Text { data, bounds } if Arc::strong_count(data) > 1 => {
+                *data = empty_shared_text();
+                bounds.clear();
+                bounds.push(0);
+            }
+            ColumnBatch::TextSpans { data, spans } => {
+                spans.clear();
+                *data = empty_shared_text();
+            }
+            _ => {}
+        }
+    }
+
+    /// Rewrites a spans view as an owned packed text batch (same rows).
+    fn materialize_text(&mut self) {
+        if let ColumnBatch::TextSpans { data, spans } = self {
+            let total: usize = spans.iter().map(|&(a, b)| (b - a) as usize).sum();
+            let mut owned = String::with_capacity(total);
+            let mut bounds = bounds_with_capacity(spans.len());
+            for &(a, b) in spans.iter() {
+                owned.push_str(&data[a as usize..b as usize]);
+                bounds.push(owned.len() as u32);
+            }
+            *self = ColumnBatch::Text {
+                data: Arc::new(owned),
+                bounds,
+            };
         }
     }
 
@@ -426,7 +549,9 @@ impl ColumnBatch {
     /// recombined into one output batch in original row order.
     pub fn push_row(&mut self, row: ColRef<'_>) -> Result<()> {
         match (self, row) {
-            (b @ ColumnBatch::Text { .. }, ColRef::Text(s)) => b.push_text(s),
+            (b @ (ColumnBatch::Text { .. } | ColumnBatch::TextSpans { .. }), ColRef::Text(s)) => {
+                b.push_text(s)
+            }
             (b @ ColumnBatch::Tokens { .. }, ColRef::Tokens(t)) => {
                 b.push_tokens_with(|spans| spans.extend_from_slice(t))
             }
@@ -500,6 +625,16 @@ impl ColumnBatch {
                 src.rows()
             )));
         }
+        // A spans destination can't splice foreign bytes; fold it into a
+        // packed buffer first (cold: bulk fills target freshly-reset slots).
+        if matches!(self, ColumnBatch::TextSpans { .. })
+            && matches!(
+                src,
+                ColumnBatch::Text { .. } | ColumnBatch::TextSpans { .. }
+            )
+        {
+            self.materialize_text();
+        }
         match (self, src) {
             (
                 ColumnBatch::Text { data, bounds },
@@ -510,12 +645,20 @@ impl ColumnBatch {
             ) => {
                 let (a, b) = (sbounds[start] as usize, sbounds[end] as usize);
                 let base = (data.len() as u32).wrapping_sub(sbounds[start]);
-                data.push_str(&sdata[a..b]);
+                Arc::make_mut(data).push_str(&sdata[a..b]);
                 bounds.extend(
                     sbounds[start + 1..=end]
                         .iter()
                         .map(|&x| x.wrapping_add(base)),
                 );
+                Ok(())
+            }
+            (ColumnBatch::Text { data, bounds }, ColumnBatch::TextSpans { data: sdata, spans }) => {
+                let owned = Arc::make_mut(data);
+                for &(a, b) in &spans[start..end] {
+                    owned.push_str(&sdata[a as usize..b as usize]);
+                    bounds.push(owned.len() as u32);
+                }
                 Ok(())
             }
             (
@@ -1161,6 +1304,117 @@ mod tests {
             }
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn text_spans_borrow_rows_zero_copy() {
+        let mut src = ColumnBatch::with_type(ColumnType::Text);
+        src.push_text("alpha,beta").unwrap();
+        src.push_text("gamma,delta").unwrap();
+        let shared = Arc::clone(src.shared_text().unwrap());
+        let mut out = ColumnBatch::with_type(ColumnType::Text);
+        {
+            let spans = out.begin_text_spans(Arc::clone(&shared)).unwrap();
+            spans.push((0, 5)); // "alpha"
+            spans.push((16, 21)); // "delta"
+        }
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.column_type(), ColumnType::Text);
+        assert!(matches!(out.row(0), ColRef::Text("alpha")));
+        assert!(matches!(out.row(1), ColRef::Text("delta")));
+        // Zero-copy: the view shares the source allocation.
+        assert!(Arc::ptr_eq(out.shared_text().unwrap(), &shared));
+    }
+
+    #[test]
+    fn text_spans_survive_source_mutation_via_cow() {
+        let mut src = ColumnBatch::with_type(ColumnType::Text);
+        src.push_text("hello").unwrap();
+        let mut view = ColumnBatch::with_type(ColumnType::Text);
+        view.begin_text_spans(Arc::clone(src.shared_text().unwrap()))
+            .unwrap()
+            .push((0, 5));
+        // Mutating the source after the view exists copies on write…
+        src.push_text("world").unwrap();
+        src.reset();
+        src.push_text("other").unwrap();
+        // …so the view still reads the bytes it was built over.
+        assert!(matches!(view.row(0), ColRef::Text("hello")));
+        assert!(matches!(src.row(0), ColRef::Text("other")));
+    }
+
+    #[test]
+    fn text_spans_materialize_on_owned_push_and_reset() {
+        let mut src = ColumnBatch::with_type(ColumnType::Text);
+        src.push_text("abcdef").unwrap();
+        let shared = Arc::clone(src.shared_text().unwrap());
+        let mut view = ColumnBatch::with_type(ColumnType::Text);
+        view.begin_text_spans(Arc::clone(&shared))
+            .unwrap()
+            .push((2, 4));
+        // Owned push folds the view into a packed batch, preserving rows.
+        view.push_text("xyz").unwrap();
+        assert!(matches!(view, ColumnBatch::Text { .. }));
+        assert!(matches!(view.row(0), ColRef::Text("cd")));
+        assert!(matches!(view.row(1), ColRef::Text("xyz")));
+        // A reset spans view lets go of its borrowed buffer.
+        let mut view2 = ColumnBatch::with_type(ColumnType::Text);
+        view2
+            .begin_text_spans(Arc::clone(&shared))
+            .unwrap()
+            .push((0, 1));
+        assert_eq!(Arc::strong_count(&shared), 3);
+        view2.reset();
+        assert_eq!(Arc::strong_count(&shared), 2);
+        assert_eq!(view2.rows(), 0);
+    }
+
+    #[test]
+    fn detach_shared_frees_both_sides() {
+        let mut src = ColumnBatch::with_type(ColumnType::Text);
+        src.push_text("payload").unwrap();
+        let mut view = ColumnBatch::with_type(ColumnType::Text);
+        view.begin_text_spans(Arc::clone(src.shared_text().unwrap()))
+            .unwrap()
+            .push((0, 7));
+        // Detaching the source while a view borrows it drops the source's
+        // handle (the view keeps the buffer alive).
+        src.detach_shared();
+        assert_eq!(src.rows(), 0);
+        assert!(matches!(view.row(0), ColRef::Text("payload")));
+        // Detaching the view clears the borrow entirely.
+        view.detach_shared();
+        assert_eq!(view.rows(), 0);
+        // A source with no outstanding view keeps its rows on detach.
+        let mut lone = ColumnBatch::with_type(ColumnType::Text);
+        lone.push_text("kept").unwrap();
+        lone.detach_shared();
+        assert_eq!(lone.rows(), 1);
+    }
+
+    #[test]
+    fn gather_and_extend_cover_text_spans() {
+        let mut src = ColumnBatch::with_type(ColumnType::Text);
+        for s in ["aa", "bb", "cc"] {
+            src.push_text(s).unwrap();
+        }
+        let mut view = ColumnBatch::with_type(ColumnType::Text);
+        {
+            let spans = view
+                .begin_text_spans(Arc::clone(src.shared_text().unwrap()))
+                .unwrap();
+            spans.extend_from_slice(&[(0, 2), (2, 4), (4, 6)]);
+        }
+        // extend_from_range with a spans source packs the selected rows.
+        let mut packed = ColumnBatch::with_type(ColumnType::Text);
+        packed.extend_from_range(&view, 1, 3).unwrap();
+        assert!(matches!(packed.row(0), ColRef::Text("bb")));
+        assert!(matches!(packed.row(1), ColRef::Text("cc")));
+        // gather out of a spans batch works through the row interface.
+        let mut sub = ColumnBatch::with_type(ColumnType::Text);
+        view.gather(&[2, 0], &mut sub).unwrap();
+        assert!(matches!(sub.row(0), ColRef::Text("cc")));
+        assert!(matches!(sub.row(1), ColRef::Text("aa")));
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   straight into a pool-leased batch, with per-row content hashes.
 //! * [`pool`] — pre-allocated, size-classed vector *and batch* pools used
 //!   by PRETZEL to avoid allocation on the prediction path (paper §4.2.1).
+//! * [`slot_alloc`] — [`slot_alloc::SlotStack`], the lock-free fixed-size
+//!   slot allocator (pointer-width CAS + ABA tags, Blelloch & Wei) the
+//!   sharded pool arenas build their hot lease/return path on.
 //! * [`serde_bin`] — the hand-rolled, length-prefixed binary model-file
 //!   format both engines load models from (the ML.Net "zip of directories"
 //!   analogue), plus checksumming used by the Object Store for parameter
@@ -50,6 +53,7 @@ pub mod probe;
 pub mod schema;
 pub mod serde_bin;
 pub mod simd;
+pub mod slot_alloc;
 pub mod vector;
 
 pub use batch::{ColRef, ColumnBatch};

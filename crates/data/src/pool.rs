@@ -12,13 +12,31 @@
 //! [`Lease`] bundles a pipeline's whole working set and returns it to the
 //! pool on drop, which is what makes the scheduler's two-priority-queue
 //! design (finish started pipelines first, to return memory quickly) work.
+//!
+//! Two backends implement the free lists:
+//!
+//! * **Locked** ([`VectorPool::new`]) — mutex-guarded `Vec` free lists per
+//!   size class: the original shared-everything implementation, kept as
+//!   the measured ablation control (`RuntimeConfig::sharded = false`).
+//! * **Arena** ([`VectorPool::arena`]) — per-class lock-free
+//!   [`SlotStack`]s behind a CAS-published class directory: the sharded
+//!   execution plane's per-core arenas. The hot lease/return path is a
+//!   pointer-width CAS (Blelloch & Wei, arXiv:2008.04296) with zero lock
+//!   acquisitions, and because the stacks are MPMC, a *cross-core return*
+//!   (a stolen chunk's buffers going home) is just a remote CAS push into
+//!   the owning arena — the per-arena return stack is unified with the
+//!   free stack. An arena may front a shared **global fallback** pool
+//!   ([`VectorPool::with_fallback`], Theseus's `multiple_heaps` pattern):
+//!   arena-dry acquires refill from the global pool before allocating, and
+//!   arena-full releases spill to it before dropping.
 
 use crate::batch::ColumnBatch;
 use crate::schema::ColumnType;
+use crate::slot_alloc::SlotStack;
 use crate::vector::{Span, Vector};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Default cap of retained free buffers per size class.
@@ -89,6 +107,167 @@ impl BatchClass {
     }
 }
 
+/// Packs a size class into the nonzero `u64` key the arena class directory
+/// indexes by: a kind tag in the top byte, the length/dimension below it.
+fn class_key(ty: ColumnType) -> u64 {
+    const LEN_MASK: u64 = (1 << 56) - 1;
+    match ty {
+        ColumnType::Text => 1 << 56,
+        ColumnType::TokenList => 2 << 56,
+        ColumnType::F32Scalar => 3 << 56,
+        ColumnType::F32Dense { len } => (4 << 56) | (len as u64 & LEN_MASK),
+        ColumnType::F32Sparse { len } => (5 << 56) | (len as u64 & LEN_MASK),
+    }
+}
+
+/// Directory slots; bounds the number of *distinct* size classes one arena
+/// can track lock-free (a plan set uses a handful — text/tokens/scalar plus
+/// a few dense widths and sparse dims). Past the bound, acquires allocate
+/// and releases drop, which is safe and visible in the miss/drop counters.
+const DIR_SLOTS: usize = 128;
+
+/// A lock-free open-addressed map from class key to its [`SlotStack`].
+///
+/// Insertion claims a slot by CAS on the key, then publishes the stack
+/// pointer; classes are never removed, so readers are two atomic loads on
+/// the steady path and never block.
+struct ClassDir<T> {
+    keys: Box<[AtomicU64]>,
+    stacks: Box<[AtomicPtr<SlotStack<T>>]>,
+}
+
+// Safety: stack pointers are published once (CAS-claimed slot, Release
+// store) and only freed in `Drop`, which has exclusive access.
+unsafe impl<T: Send> Send for ClassDir<T> {}
+unsafe impl<T: Send> Sync for ClassDir<T> {}
+
+impl<T> ClassDir<T> {
+    fn new() -> Self {
+        ClassDir {
+            keys: (0..DIR_SLOTS).map(|_| AtomicU64::new(0)).collect(),
+            stacks: (0..DIR_SLOTS)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+        }
+    }
+
+    fn slot_of(key: u64) -> usize {
+        // Fibonacci mixing spreads the small structured keys.
+        ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 57) as usize) & (DIR_SLOTS - 1)
+    }
+
+    /// Waits out the instant between a winner's key claim and its stack
+    /// publication (once per class ever, never on the steady path).
+    fn stack_at(&self, i: usize) -> &SlotStack<T> {
+        loop {
+            let p = self.stacks[i].load(Ordering::Acquire);
+            if !p.is_null() {
+                return unsafe { &*p };
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// The stack for `key`, if the class was ever populated.
+    fn find(&self, key: u64) -> Option<&SlotStack<T>> {
+        let mut i = Self::slot_of(key);
+        for _ in 0..DIR_SLOTS {
+            match self.keys[i].load(Ordering::Acquire) {
+                0 => return None,
+                k if k == key => return Some(self.stack_at(i)),
+                _ => i = (i + 1) & (DIR_SLOTS - 1),
+            }
+        }
+        None
+    }
+
+    /// The stack for `key`, creating it (with `capacity` slots) on first
+    /// use; `None` only when the directory is full.
+    fn find_or_insert(&self, key: u64, capacity: usize) -> Option<&SlotStack<T>> {
+        let mut i = Self::slot_of(key);
+        for _ in 0..DIR_SLOTS {
+            let k = self.keys[i].load(Ordering::Acquire);
+            if k == key {
+                return Some(self.stack_at(i));
+            }
+            if k == 0 {
+                match self.keys[i].compare_exchange(0, key, Ordering::AcqRel, Ordering::Acquire) {
+                    Ok(_) => {
+                        let stack = Box::into_raw(Box::new(SlotStack::new(capacity)));
+                        self.stacks[i].store(stack, Ordering::Release);
+                        return Some(unsafe { &*stack });
+                    }
+                    Err(now) if now == key => return Some(self.stack_at(i)),
+                    Err(_) => {} // lost the slot to another class; keep probing
+                }
+            }
+            i = (i + 1) & (DIR_SLOTS - 1);
+        }
+        None
+    }
+}
+
+impl<T> Drop for ClassDir<T> {
+    fn drop(&mut self) {
+        for p in self.stacks.iter() {
+            let p = p.load(Ordering::Acquire);
+            if !p.is_null() {
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for ClassDir<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let classes = (0..DIR_SLOTS)
+            .filter(|&i| self.keys[i].load(Ordering::Relaxed) != 0)
+            .count();
+        f.debug_struct("ClassDir")
+            .field("classes", &classes)
+            .finish()
+    }
+}
+
+/// The mutex-guarded free lists (shared-plane ablation control).
+#[derive(Debug, Default)]
+struct LockedLists {
+    text: Mutex<Vec<String>>,
+    tokens: Mutex<Vec<Vec<Span>>>,
+    dense: Mutex<HashMap<usize, Vec<Vec<f32>>>>,
+    sparse: Mutex<SparseFreeLists>,
+    batches: Mutex<HashMap<BatchClass, Vec<ColumnBatch>>>,
+}
+
+/// The lock-free per-class stacks (sharded arenas).
+#[derive(Debug)]
+struct ArenaLists {
+    vectors: ClassDir<Vector>,
+    batches: ClassDir<ColumnBatch>,
+    /// Heap bytes parked in the stacks (maintained at push/pop, since a
+    /// concurrent lock-free stack cannot be traversed).
+    retained: AtomicUsize,
+}
+
+#[derive(Debug)]
+enum Backend {
+    Locked(LockedLists),
+    Arena(ArenaLists),
+}
+
+/// Heap bytes owned by a pooled vector (for arena retained accounting).
+fn vector_heap_bytes(v: &Vector) -> usize {
+    match v {
+        Vector::Text(s) => s.capacity(),
+        Vector::Tokens(t) => t.capacity() * std::mem::size_of::<Span>(),
+        Vector::Dense(d) => d.capacity() * 4,
+        Vector::Sparse {
+            indices, values, ..
+        } => indices.capacity() * 4 + values.capacity() * 4,
+        Vector::Scalar(_) => 0,
+    }
+}
+
 /// A size-classed pool of reusable [`Vector`] buffers.
 ///
 /// When pooling is disabled (`VectorPool::disabled()`), every acquisition
@@ -98,11 +277,12 @@ impl BatchClass {
 pub struct VectorPool {
     enabled: bool,
     max_per_class: usize,
-    text: Mutex<Vec<String>>,
-    tokens: Mutex<Vec<Vec<Span>>>,
-    dense: Mutex<HashMap<usize, Vec<Vec<f32>>>>,
-    sparse: Mutex<SparseFreeLists>,
-    batches: Mutex<HashMap<BatchClass, Vec<ColumnBatch>>>,
+    backend: Backend,
+    /// Shared overflow/underflow pool behind a per-core arena: acquires
+    /// refill from it before allocating, releases spill to it before
+    /// dropping. Its own counters stay untouched on this traffic — the
+    /// fronting arena's counters tell the whole story.
+    fallback: Option<Arc<VectorPool>>,
     stats: PoolStats,
 }
 
@@ -113,16 +293,32 @@ impl Default for VectorPool {
 }
 
 impl VectorPool {
-    /// Creates an enabled, empty pool.
+    /// Creates an enabled, empty pool with mutex free lists (the
+    /// shared-plane ablation control and the historical default).
     pub fn new() -> Self {
         VectorPool {
             enabled: true,
             max_per_class: DEFAULT_MAX_PER_CLASS,
-            text: Mutex::new(Vec::new()),
-            tokens: Mutex::new(Vec::new()),
-            dense: Mutex::new(HashMap::new()),
-            sparse: Mutex::new(HashMap::new()),
-            batches: Mutex::new(HashMap::new()),
+            backend: Backend::Locked(LockedLists::default()),
+            fallback: None,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Creates an enabled, empty pool whose free lists are lock-free
+    /// [`SlotStack`]s — a sharded execution plane arena. Lease and return
+    /// are pointer-width CAS operations; no path through this pool takes a
+    /// lock.
+    pub fn arena() -> Self {
+        VectorPool {
+            enabled: true,
+            max_per_class: DEFAULT_MAX_PER_CLASS,
+            backend: Backend::Arena(ArenaLists {
+                vectors: ClassDir::new(),
+                batches: ClassDir::new(),
+                retained: AtomicUsize::new(0),
+            }),
+            fallback: None,
             stats: PoolStats::default(),
         }
     }
@@ -141,9 +337,22 @@ impl VectorPool {
         self
     }
 
+    /// Fronts this pool with a shared fallback: dry acquires refill from
+    /// `global`, full releases spill to it (per-core arena over a global
+    /// pool, the Theseus `multiple_heaps` shape).
+    pub fn with_fallback(mut self, global: Arc<VectorPool>) -> Self {
+        self.fallback = Some(global);
+        self
+    }
+
     /// True if the pool retains and reuses buffers.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// True if the free lists are lock-free arenas.
+    pub fn is_arena(&self) -> bool {
+        matches!(self.backend, Backend::Arena(_))
     }
 
     /// Pool effectiveness counters.
@@ -161,45 +370,213 @@ impl VectorPool {
 
     /// Pre-populates the pool with `count` buffers of type `ty`, each with
     /// storage reserved for `max_stored` elements (training statistics).
+    /// Warming is the upfront payment made at initialization time, not
+    /// prediction-path traffic: counters stay untouched.
     pub fn warm_sized(&self, ty: ColumnType, max_stored: usize, count: usize) {
         if !self.enabled {
             return;
         }
         for _ in 0..count {
-            self.release(Vector::with_capacity_hint(ty, max_stored));
+            if self
+                .store_free(Vector::with_capacity_hint(ty, max_stored))
+                .is_err()
+            {
+                break;
+            }
         }
-        // Warming is the upfront payment made at initialization time, not
-        // prediction-path traffic: exclude it from the release counter.
-        self.stats
-            .released
-            .fetch_sub(count as u64, Ordering::Relaxed);
     }
 
     /// Pre-populates the batch free list with `count` batches of type
     /// `ty`, each with storage reserved for `rows` rows of `stored_hint`
     /// stored elements. Deploy-time plan warming for the batch engine: the
     /// first post-deploy chunk leases a pre-built working set instead of
-    /// paying a pool miss. Like [`Self::warm_sized`], warming is the
-    /// upfront payment made at initialization/deploy time, so it leaves
-    /// the hit/miss/release counters untouched.
+    /// paying a pool miss. Like [`Self::warm_sized`], warming leaves the
+    /// hit/miss/release counters untouched.
     pub fn warm_batches(&self, ty: ColumnType, rows: usize, stored_hint: usize, count: usize) {
         if !self.enabled {
             return;
         }
-        let mut g = self.batches.lock();
-        let class = g.entry(BatchClass::of(ty)).or_default();
         for _ in 0..count {
-            if class.len() >= self.max_per_class {
+            if self
+                .store_free_batch(ColumnBatch::with_capacity_hint(ty, rows, stored_hint))
+                .is_err()
+            {
                 break;
             }
-            class.push(ColumnBatch::with_capacity_hint(ty, rows, stored_hint));
+        }
+    }
+
+    /// Pops a free vector of type `ty` without touching the counters.
+    /// Scalars are plain values: always "available", nothing pooled.
+    fn take_free(&self, ty: ColumnType) -> Option<Vector> {
+        match &self.backend {
+            Backend::Locked(l) => match ty {
+                ColumnType::Text => l.text.lock().pop().map(Vector::Text),
+                ColumnType::TokenList => l.tokens.lock().pop().map(Vector::Tokens),
+                ColumnType::F32Dense { len } => l
+                    .dense
+                    .lock()
+                    .get_mut(&len)
+                    .and_then(Vec::pop)
+                    .map(Vector::Dense),
+                ColumnType::F32Sparse { len } => l
+                    .sparse
+                    .lock()
+                    .get_mut(&(len as u32))
+                    .and_then(Vec::pop)
+                    .map(|(indices, values)| Vector::Sparse {
+                        indices,
+                        values,
+                        dim: len as u32,
+                    }),
+                ColumnType::F32Scalar => Some(Vector::Scalar(0.0)),
+            },
+            Backend::Arena(a) => {
+                if ty == ColumnType::F32Scalar {
+                    return Some(Vector::Scalar(0.0));
+                }
+                let v = a.vectors.find(class_key(ty))?.pop()?;
+                a.retained
+                    .fetch_sub(vector_heap_bytes(&v), Ordering::Relaxed);
+                Some(v)
+            }
+        }
+    }
+
+    /// Parks a free vector without touching the counters; hands it back
+    /// when its size class is at capacity. Scalars always succeed (they
+    /// are values, never pooled).
+    fn store_free(&self, v: Vector) -> Result<(), Vector> {
+        let cap = self.max_per_class;
+        match &self.backend {
+            Backend::Locked(l) => match v {
+                Vector::Text(s) => {
+                    let mut g = l.text.lock();
+                    if g.len() < cap {
+                        g.push(s);
+                        Ok(())
+                    } else {
+                        Err(Vector::Text(s))
+                    }
+                }
+                Vector::Tokens(t) => {
+                    let mut g = l.tokens.lock();
+                    if g.len() < cap {
+                        g.push(t);
+                        Ok(())
+                    } else {
+                        Err(Vector::Tokens(t))
+                    }
+                }
+                Vector::Dense(d) => {
+                    let mut g = l.dense.lock();
+                    let class = g.entry(d.len()).or_default();
+                    if class.len() < cap {
+                        class.push(d);
+                        Ok(())
+                    } else {
+                        Err(Vector::Dense(d))
+                    }
+                }
+                Vector::Sparse {
+                    indices,
+                    values,
+                    dim,
+                } => {
+                    let mut g = l.sparse.lock();
+                    let class = g.entry(dim).or_default();
+                    if class.len() < cap {
+                        class.push((indices, values));
+                        Ok(())
+                    } else {
+                        Err(Vector::Sparse {
+                            indices,
+                            values,
+                            dim,
+                        })
+                    }
+                }
+                Vector::Scalar(_) => Ok(()),
+            },
+            Backend::Arena(a) => {
+                let key = match &v {
+                    Vector::Text(_) => class_key(ColumnType::Text),
+                    Vector::Tokens(_) => class_key(ColumnType::TokenList),
+                    Vector::Dense(d) => class_key(ColumnType::F32Dense { len: d.len() }),
+                    Vector::Sparse { dim, .. } => {
+                        class_key(ColumnType::F32Sparse { len: *dim as usize })
+                    }
+                    Vector::Scalar(_) => return Ok(()),
+                };
+                let Some(stack) = a.vectors.find_or_insert(key, cap) else {
+                    return Err(v);
+                };
+                let bytes = vector_heap_bytes(&v);
+                match stack.push(v) {
+                    Ok(()) => {
+                        a.retained.fetch_add(bytes, Ordering::Relaxed);
+                        Ok(())
+                    }
+                    Err(v) => Err(v),
+                }
+            }
+        }
+    }
+
+    /// Pops a free batch of class `ty` without touching the counters.
+    fn take_free_batch(&self, ty: ColumnType) -> Option<ColumnBatch> {
+        match &self.backend {
+            Backend::Locked(l) => l
+                .batches
+                .lock()
+                .get_mut(&BatchClass::of(ty))
+                .and_then(Vec::pop),
+            Backend::Arena(a) => {
+                let b = a.batches.find(class_key(ty))?.pop()?;
+                a.retained.fetch_sub(b.heap_bytes(), Ordering::Relaxed);
+                Some(b)
+            }
+        }
+    }
+
+    /// Parks a free batch without touching the counters; hands it back
+    /// when its class is at capacity.
+    fn store_free_batch(&self, b: ColumnBatch) -> Result<(), ColumnBatch> {
+        match &self.backend {
+            Backend::Locked(l) => {
+                let mut g = l.batches.lock();
+                let class = g.entry(BatchClass::of(b.column_type())).or_default();
+                if class.len() < self.max_per_class {
+                    class.push(b);
+                    Ok(())
+                } else {
+                    Err(b)
+                }
+            }
+            Backend::Arena(a) => {
+                let key = class_key(b.column_type());
+                let Some(stack) = a.batches.find_or_insert(key, self.max_per_class) else {
+                    return Err(b);
+                };
+                let bytes = b.heap_bytes();
+                match stack.push(b) {
+                    Ok(()) => {
+                        a.retained.fetch_add(bytes, Ordering::Relaxed);
+                        Ok(())
+                    }
+                    Err(b) => Err(b),
+                }
+            }
         }
     }
 
     /// Acquires a cleared buffer of type `ty`.
     pub fn acquire(&self, ty: ColumnType) -> Vector {
         if self.enabled {
-            if let Some(mut v) = self.try_pop(ty) {
+            let found = self
+                .take_free(ty)
+                .or_else(|| self.fallback.as_ref().and_then(|f| f.take_free(ty)));
+            if let Some(mut v) = found {
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
                 v.reset();
                 return v;
@@ -209,85 +586,20 @@ impl VectorPool {
         Vector::with_type(ty)
     }
 
-    fn try_pop(&self, ty: ColumnType) -> Option<Vector> {
-        match ty {
-            ColumnType::Text => self.text.lock().pop().map(Vector::Text),
-            ColumnType::TokenList => self.tokens.lock().pop().map(Vector::Tokens),
-            ColumnType::F32Dense { len } => self
-                .dense
-                .lock()
-                .get_mut(&len)
-                .and_then(Vec::pop)
-                .map(Vector::Dense),
-            ColumnType::F32Sparse { len } => self
-                .sparse
-                .lock()
-                .get_mut(&(len as u32))
-                .and_then(Vec::pop)
-                .map(|(indices, values)| Vector::Sparse {
-                    indices,
-                    values,
-                    dim: len as u32,
-                }),
-            // Scalars are plain values; nothing to pool.
-            ColumnType::F32Scalar => Some(Vector::Scalar(0.0)),
-        }
-    }
-
     /// Returns a buffer to the pool (or drops it when disabled/full).
     pub fn release(&self, v: Vector) {
         if !self.enabled {
             return;
         }
         self.stats.released.fetch_add(1, Ordering::Relaxed);
-        let cap = self.max_per_class;
-        let full = match v {
-            Vector::Text(s) => {
-                let mut g = self.text.lock();
-                if g.len() < cap {
-                    g.push(s);
-                    false
-                } else {
-                    true
-                }
+        if let Err(v) = self.store_free(v) {
+            let spilled = self
+                .fallback
+                .as_ref()
+                .is_some_and(|f| f.store_free(v).is_ok());
+            if !spilled {
+                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
             }
-            Vector::Tokens(t) => {
-                let mut g = self.tokens.lock();
-                if g.len() < cap {
-                    g.push(t);
-                    false
-                } else {
-                    true
-                }
-            }
-            Vector::Dense(d) => {
-                let mut g = self.dense.lock();
-                let class = g.entry(d.len()).or_default();
-                if class.len() < cap {
-                    class.push(d);
-                    false
-                } else {
-                    true
-                }
-            }
-            Vector::Sparse {
-                indices,
-                values,
-                dim,
-            } => {
-                let mut g = self.sparse.lock();
-                let class = g.entry(dim).or_default();
-                if class.len() < cap {
-                    class.push((indices, values));
-                    false
-                } else {
-                    true
-                }
-            }
-            Vector::Scalar(_) => false,
-        };
-        if full {
-            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -295,19 +607,18 @@ impl VectorPool {
     /// for `rows` rows (the batch engine leases one batch per plan slot per
     /// chunk, instead of one vector per slot per *record*).
     ///
-    /// Free lists are per column-type class; push/pop at the tail makes the
-    /// concurrent acquire/release constant-time per buffer (compare the
-    /// fixed-size-allocation free lists of Blelloch & Wei,
+    /// Free lists are per column-type class; on the arena backend,
+    /// push/pop are single pointer-width CASes into the class's
+    /// [`SlotStack`] (the fixed-size-allocation recipe of Blelloch & Wei,
     /// arXiv:2008.04296), and reused batches keep their grown capacity so a
-    /// warm pool serves chunks allocation-free.
+    /// warm pool serves chunks allocation-free with **zero lock
+    /// acquisitions** on the lease/return path.
     pub fn acquire_batch(&self, ty: ColumnType, rows: usize) -> ColumnBatch {
         if self.enabled {
-            let popped = self
-                .batches
-                .lock()
-                .get_mut(&BatchClass::of(ty))
-                .and_then(Vec::pop);
-            if let Some(mut b) = popped {
+            let found = self
+                .take_free_batch(ty)
+                .or_else(|| self.fallback.as_ref().and_then(|f| f.take_free_batch(ty)));
+            if let Some(mut b) = found {
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
                 b.reset();
                 return b;
@@ -317,18 +628,24 @@ impl VectorPool {
         ColumnBatch::with_capacity_hint(ty, rows, 0)
     }
 
-    /// Returns a batch to the pool (or drops it when disabled/full).
-    pub fn release_batch(&self, b: ColumnBatch) {
+    /// Returns a batch to the pool (or drops it when disabled/full). A
+    /// batch whose rows borrow another batch's backing
+    /// ([`ColumnBatch::detach_shared`]) drops the share before parking, so
+    /// the source's next reuse stays copy-free.
+    pub fn release_batch(&self, mut b: ColumnBatch) {
         if !self.enabled {
             return;
         }
+        b.detach_shared();
         self.stats.released.fetch_add(1, Ordering::Relaxed);
-        let mut g = self.batches.lock();
-        let class = g.entry(BatchClass::of(b.column_type())).or_default();
-        if class.len() < self.max_per_class {
-            class.push(b);
-        } else {
-            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+        if let Err(b) = self.store_free_batch(b) {
+            let spilled = self
+                .fallback
+                .as_ref()
+                .is_some_and(|f| f.store_free_batch(b).is_ok());
+            if !spilled {
+                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -341,38 +658,44 @@ impl VectorPool {
         }
     }
 
-    /// Total heap bytes currently parked in free lists.
+    /// Total heap bytes currently parked in free lists (excluding any
+    /// fallback pool, which reports its own).
     pub fn retained_bytes(&self) -> usize {
-        let mut total = 0usize;
-        total += self.text.lock().iter().map(String::capacity).sum::<usize>();
-        total += self
-            .tokens
-            .lock()
-            .iter()
-            .map(|t| t.capacity() * std::mem::size_of::<Span>())
-            .sum::<usize>();
-        total += self
-            .dense
-            .lock()
-            .values()
-            .flatten()
-            .map(|d| d.capacity() * 4)
-            .sum::<usize>();
-        total += self
-            .sparse
-            .lock()
-            .values()
-            .flatten()
-            .map(|(i, v)| i.capacity() * 4 + v.capacity() * 4)
-            .sum::<usize>();
-        total += self
-            .batches
-            .lock()
-            .values()
-            .flatten()
-            .map(ColumnBatch::heap_bytes)
-            .sum::<usize>();
-        total
+        match &self.backend {
+            Backend::Locked(l) => {
+                let mut total = 0usize;
+                total += l.text.lock().iter().map(String::capacity).sum::<usize>();
+                total += l
+                    .tokens
+                    .lock()
+                    .iter()
+                    .map(|t| t.capacity() * std::mem::size_of::<Span>())
+                    .sum::<usize>();
+                total += l
+                    .dense
+                    .lock()
+                    .values()
+                    .flatten()
+                    .map(|d| d.capacity() * 4)
+                    .sum::<usize>();
+                total += l
+                    .sparse
+                    .lock()
+                    .values()
+                    .flatten()
+                    .map(|(i, v)| i.capacity() * 4 + v.capacity() * 4)
+                    .sum::<usize>();
+                total += l
+                    .batches
+                    .lock()
+                    .values()
+                    .flatten()
+                    .map(ColumnBatch::heap_bytes)
+                    .sum::<usize>();
+                total
+            }
+            Backend::Arena(a) => a.retained.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -428,6 +751,7 @@ impl Drop for Lease {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Barrier;
 
     #[test]
     fn acquire_release_reuses_buffers() {
@@ -580,5 +904,149 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<VectorPool>();
         assert_send_sync::<Lease>();
+    }
+
+    // ------------------------------------------------------------------
+    // Arena (lock-free) backend
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn arena_pool_reuses_vectors_and_batches() {
+        let pool = VectorPool::arena();
+        assert!(pool.is_arena());
+        let ty = ColumnType::F32Dense { len: 8 };
+        let v = pool.acquire(ty);
+        assert_eq!(pool.stats().misses(), 1);
+        pool.release(v);
+        let v2 = pool.acquire(ty);
+        assert_eq!(pool.stats().hits(), 1);
+        assert_eq!(v2.column_type(), ty);
+
+        let b = pool.acquire_batch(ColumnType::Text, 4);
+        pool.release_batch(b);
+        let b2 = pool.acquire_batch(ColumnType::Text, 4);
+        assert_eq!(b2.rows(), 0);
+        assert_eq!(pool.stats().hits(), 2);
+        assert_eq!(pool.stats().misses(), 2);
+    }
+
+    #[test]
+    fn arena_scalars_never_miss() {
+        let pool = VectorPool::arena();
+        let v = pool.acquire(ColumnType::F32Scalar);
+        assert!(matches!(v, Vector::Scalar(_)));
+        assert_eq!(pool.stats().hits(), 1);
+        assert_eq!(pool.stats().misses(), 0);
+        pool.release(v);
+        assert_eq!(pool.stats().dropped(), 0);
+    }
+
+    #[test]
+    fn arena_warm_batches_serve_zero_miss() {
+        let pool = VectorPool::arena();
+        let ty = ColumnType::F32Dense { len: 16 };
+        pool.warm_batches(ty, 64, 16, 2);
+        let a = pool.acquire_batch(ty, 64);
+        let b = pool.acquire_batch(ty, 64);
+        assert_eq!(pool.stats().misses(), 0, "warm arena serves miss-free");
+        assert_eq!(pool.stats().hits(), 2);
+        pool.release_batch(a);
+        pool.release_batch(b);
+    }
+
+    #[test]
+    fn arena_retained_bytes_tracks_stacks() {
+        let pool = VectorPool::arena();
+        pool.release(Vector::Dense(Vec::with_capacity(10)));
+        assert_eq!(pool.retained_bytes(), 40);
+        let _ = pool.acquire(ColumnType::F32Dense { len: 0 });
+        assert_eq!(pool.retained_bytes(), 0);
+    }
+
+    #[test]
+    fn arena_spills_to_global_fallback_and_refills() {
+        let global = Arc::new(VectorPool::arena());
+        let pool = VectorPool::arena()
+            .with_max_per_class(1)
+            .with_fallback(Arc::clone(&global));
+        let ty = ColumnType::F32Dense { len: 4 };
+        // Two releases into a 1-cap arena: the second spills to global
+        // instead of dropping.
+        pool.release(Vector::Dense(vec![0.0; 4]));
+        pool.release(Vector::Dense(vec![0.0; 4]));
+        assert_eq!(pool.stats().dropped(), 0, "spill, not drop");
+        assert_eq!(global.retained_bytes(), 16);
+        // Two acquires: arena first, then refill from global — all hits.
+        let _a = pool.acquire(ty);
+        let _b = pool.acquire(ty);
+        assert_eq!(pool.stats().hits(), 2);
+        assert_eq!(pool.stats().misses(), 0);
+        assert_eq!(global.retained_bytes(), 0);
+        // Global's own counters never moved: the arena tells the story.
+        assert_eq!(global.stats().hits() + global.stats().misses(), 0);
+    }
+
+    /// Cross-core return: a "thief" thread that finished a stolen chunk
+    /// pushes the buffers back into the owning arena, then the owner's
+    /// next lease hits them — no locks, no misses.
+    #[test]
+    fn arena_cross_thread_return_then_owner_hit() {
+        let pool = Arc::new(VectorPool::arena());
+        let ty = ColumnType::F32Dense { len: 32 };
+        let owned = pool.acquire_batch(ty, 8); // owner leases (miss: cold)
+        let thief_pool = Arc::clone(&pool);
+        std::thread::spawn(move || {
+            // The stolen chunk completes on the thief; its working set
+            // returns to the owner's arena from the thief's thread.
+            thief_pool.release_batch(owned);
+        })
+        .join()
+        .unwrap();
+        let again = pool.acquire_batch(ty, 8);
+        assert_eq!(pool.stats().hits(), 1, "remote return is leasable");
+        assert_eq!(again.rows(), 0);
+    }
+
+    /// Barrier-scheduled steal-vs-return on pool buffers: an owner returns
+    /// working sets while a thief concurrently leases from the same arena,
+    /// in lockstep rounds; conservation and distinctness hold throughout.
+    #[test]
+    fn arena_barrier_interleaved_steal_vs_return() {
+        const ROUNDS: usize = 100;
+        const PER_ROUND: usize = 4;
+        let pool = Arc::new(VectorPool::arena());
+        let ty = ColumnType::F32Dense { len: 8 };
+        let barrier = Arc::new(Barrier::new(2));
+        let owner = {
+            let pool = Arc::clone(&pool);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                for _ in 0..ROUNDS {
+                    barrier.wait();
+                    for _ in 0..PER_ROUND {
+                        pool.release_batch(ColumnBatch::with_capacity_hint(ty, 8, 0));
+                    }
+                    barrier.wait();
+                }
+            })
+        };
+        let mut leased = Vec::new();
+        for _ in 0..ROUNDS {
+            barrier.wait();
+            // Lease concurrently with the owner's returns.
+            for _ in 0..PER_ROUND / 2 {
+                leased.push(pool.acquire_batch(ty, 8));
+            }
+            barrier.wait();
+        }
+        owner.join().unwrap();
+        for b in leased.drain(..) {
+            pool.release_batch(b);
+        }
+        let s = pool.stats();
+        // Conservation: every lease was served or allocated, every return
+        // parked, spilled nowhere (no fallback), or dropped at cap.
+        assert_eq!(s.hits() + s.misses(), (ROUNDS * PER_ROUND / 2) as u64);
+        assert!(s.released() >= (ROUNDS * PER_ROUND) as u64);
     }
 }

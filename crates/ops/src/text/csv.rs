@@ -112,12 +112,37 @@ impl CsvParams {
 
     /// Batch kernel: parses every text row of the chunk (field selection
     /// and numeric parsing identical to [`Self::apply`]).
+    ///
+    /// Field selection does not copy: the output batch becomes a
+    /// `TextSpans` view borrowing the input's shared buffer, with one
+    /// `(start, end)` pair per row — selecting a field is pure offset
+    /// arithmetic over bytes the ingest path already packed.
     pub fn eval_batch(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
         if out.column_type() != self.output_type() {
             return Err(DataError::Runtime(format!(
                 "csv output batch variant mismatch: {:?}",
                 out.column_type()
             )));
+        }
+        if let CsvOutput::TextField { index } = self.output {
+            if let Some(source) = input.shared_text() {
+                let source = std::sync::Arc::clone(source);
+                let base = source.as_ptr() as usize;
+                let spans = out.begin_text_spans(std::sync::Arc::clone(&source))?;
+                for r in 0..input.rows() {
+                    let ColRef::Text(line) = input.row(r) else {
+                        unreachable!("text batch rows are text");
+                    };
+                    let field = split_field(line, self.separator, index).ok_or_else(|| {
+                        DataError::Runtime(format!("csv line has no field {index}: `{line}`"))
+                    })?;
+                    // `field` is a subslice of the shared buffer, so its
+                    // offset from the buffer base is the borrowed span.
+                    let start = field.as_ptr() as usize - base;
+                    spans.push((start as u32, (start + field.len()) as u32));
+                }
+                return Ok(());
+            }
         }
         out.reset();
         for r in 0..input.rows() {
@@ -254,6 +279,40 @@ mod tests {
             assert_eq!(p, q);
             assert_eq!(p.checksum(), q.checksum());
         }
+    }
+
+    #[test]
+    fn batch_field_selection_borrows_spans_zero_copy() {
+        let p = CsvParams::select_text(1);
+        let mut input = ColumnBatch::with_type(ColumnType::Text);
+        input.push_text("5,what a great product,US").unwrap();
+        input.push_text("1,,UK").unwrap();
+        input.push_text("3,ok,DE").unwrap();
+        let mut out = ColumnBatch::with_type(ColumnType::Text);
+        p.eval_batch(&input, &mut out).unwrap();
+        assert_eq!(out.rows(), 3);
+        // Same strings the per-record path extracts…
+        for (r, want) in ["what a great product", "", "ok"].iter().enumerate() {
+            let mut v = Vector::with_type(ColumnType::Text);
+            let ColRef::Text(line) = input.row(r) else {
+                unreachable!()
+            };
+            p.apply(line, &mut v).unwrap();
+            assert_eq!(v.as_text().unwrap(), *want);
+            match out.row(r) {
+                ColRef::Text(s) => assert_eq!(s, *want),
+                _ => unreachable!(),
+            }
+        }
+        // …but borrowed, not copied: the output shares the input's buffer.
+        assert!(std::sync::Arc::ptr_eq(
+            out.shared_text().unwrap(),
+            input.shared_text().unwrap()
+        ));
+        // A missing field still errors like the per-record path.
+        let p3 = CsvParams::select_text(3);
+        let mut out2 = ColumnBatch::with_type(ColumnType::Text);
+        assert!(p3.eval_batch(&input, &mut out2).is_err());
     }
 
     #[test]

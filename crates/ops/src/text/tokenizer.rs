@@ -102,7 +102,10 @@ impl TokenizerParams {
     /// Spans stay relative to each row's own text, so downstream batch
     /// featurizers slice rows zero-copy exactly like the per-record path.
     pub fn eval_batch(&self, input: &ColumnBatch, out: &mut ColumnBatch) -> Result<()> {
-        if !matches!(input, ColumnBatch::Text { .. }) {
+        if !matches!(
+            input,
+            ColumnBatch::Text { .. } | ColumnBatch::TextSpans { .. }
+        ) {
             return Err(DataError::Runtime(format!(
                 "tokenizer wants text batch, got {:?}",
                 input.column_type()

@@ -349,6 +349,85 @@ fn cache_on_columnar_matches_per_record_across_families_and_chunk_sizes() {
     }
 }
 
+/// The sharded execution plane (per-core run queues, work stealing,
+/// lock-free pool arenas — the default) and the shared-everything control
+/// (`sharded: false`) must agree bitwise on every operator family:
+/// sharding moves work and buffers around, never the math. (The rest of
+/// this suite runs on the sharded default, so this is the one test that
+/// exercises the control plane side by side.)
+#[test]
+fn sharded_matches_shared_across_families() {
+    for case in cases() {
+        let mk = |sharded: bool| {
+            Runtime::new(RuntimeConfig {
+                n_executors: 2,
+                chunk_size: 16,
+                sharded,
+                ..RuntimeConfig::default()
+            })
+        };
+        let on = mk(true);
+        let off = mk(false);
+        let a = on.register(case.plan.clone()).unwrap();
+        let b = off.register(case.plan.clone()).unwrap();
+        let xs = on.predict_batch_wait(a, case.records.clone()).unwrap();
+        let ys = off.predict_batch_wait(b, case.records.clone()).unwrap();
+        for (i, (x, y)) in xs.iter().zip(&ys).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{} record {i}: sharded {x} vs shared {y}",
+                case.name
+            );
+        }
+    }
+}
+
+/// Sharded-vs-shared with the materialization cache on: bitwise-equal
+/// scores AND exactly equal cache hit/miss counts, cold and warm (single
+/// executor, so the probe order is deterministic on both planes).
+#[test]
+fn sharded_cache_counts_match_shared() {
+    for case in cases() {
+        let mut records: Vec<Record> = case.records[..case.records.len().min(90)].to_vec();
+        let dup: Vec<Record> = records[..records.len() / 3].to_vec();
+        records.extend(dup);
+        let mk = |sharded: bool| {
+            Runtime::new(RuntimeConfig {
+                n_executors: 1,
+                chunk_size: 7,
+                materialization_budget: 64 << 20,
+                sharded,
+                ..RuntimeConfig::default()
+            })
+        };
+        let on = mk(true);
+        let off = mk(false);
+        let a = on.register(case.plan.clone()).unwrap();
+        let b = off.register(case.plan.clone()).unwrap();
+        for pass in ["cold", "warm"] {
+            let xs = on.predict_batch_wait(a, records.clone()).unwrap();
+            let ys = off.predict_batch_wait(b, records.clone()).unwrap();
+            for (i, (x, y)) in xs.iter().zip(&ys).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{} {pass} record {i}: sharded+cache {x} vs shared+cache {y}",
+                    case.name
+                );
+            }
+            let (sh, sm, _) = on.materialization_cache().unwrap().stats();
+            let (hh, hm, _) = off.materialization_cache().unwrap().stats();
+            assert_eq!(
+                (sh, sm),
+                (hh, hm),
+                "{} {pass}: cache hit/miss counts diverge between planes",
+                case.name
+            );
+        }
+    }
+}
+
 /// Chunked execution boundaries: a batch whose size is not a multiple of
 /// the chunk size scores its tail chunk correctly.
 #[test]

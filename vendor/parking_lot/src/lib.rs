@@ -147,6 +147,31 @@ impl Condvar {
         });
     }
 
+    /// Blocks until notified or `timeout` elapses, releasing the guard
+    /// while waiting. Mirrors parking_lot's `wait_for`: the result reports
+    /// whether the wait timed out (callers still loop on their predicate —
+    /// spurious wakeups match `std`).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        self.used.store(true, Ordering::Relaxed);
+        let mut timed_out = false;
+        replace_with(guard, |g| {
+            let (g, r) = match self.inner.wait_timeout(g, timeout) {
+                Ok((g, r)) => (g, r),
+                Err(p) => {
+                    let (g, r) = p.into_inner();
+                    (g, r)
+                }
+            };
+            timed_out = r.timed_out();
+            g
+        });
+        WaitTimeoutResult { timed_out }
+    }
+
     /// Wakes one waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -155,6 +180,20 @@ impl Condvar {
     /// Wakes every waiter.
     pub fn notify_all(&self) {
         self.inner.notify_all();
+    }
+}
+
+/// Outcome of a [`Condvar::wait_for`]: whether the timeout elapsed before a
+/// notification arrived (same shape as parking_lot's type).
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True if the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
