@@ -108,7 +108,10 @@ fn main() {
         speedups.len()
     );
     if let Some(cache) = mat_rt.materialization_cache() {
-        let (hits, misses, evictions) = cache.stats();
-        println!("cache: {hits} hits, {misses} misses, {evictions} evictions");
+        let s = cache.stats();
+        println!(
+            "cache: {} hits, {} misses, {} evictions",
+            s.hits, s.misses, s.evictions
+        );
     }
 }

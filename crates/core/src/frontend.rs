@@ -103,9 +103,10 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use wire::{
-    ADMIN_DEPLOY, ADMIN_LIST, ADMIN_SWAP, ADMIN_UNDEPLOY, KIND_DENSE, KIND_SPARSE, KIND_TEXT,
+    ADMIN_DEPLOY, ADMIN_LIST, ADMIN_STATS, ADMIN_SWAP, ADMIN_UNDEPLOY, KIND_DENSE, KIND_SPARSE,
+    KIND_TEXT,
 };
 
 /// FrontEnd configuration.
@@ -186,6 +187,8 @@ struct ServerShared {
     runtime: Arc<Runtime>,
     cache: Option<ResultCache>,
     batcher: Option<Arc<Batcher>>,
+    /// Connection counters; the `STATS` verb folds them into its snapshot.
+    stats: Arc<FrontEndStats>,
 }
 
 /// Where a request's eventual result goes.
@@ -299,6 +302,7 @@ impl FrontEnd {
             runtime: Arc::clone(&runtime),
             cache,
             batcher: batcher.clone(),
+            stats: Arc::clone(&stats),
         });
 
         // Delayed-batching flusher: every tick, drain pending requests per
@@ -443,8 +447,11 @@ fn flush_pending(batcher: &Batcher, runtime: &Runtime) {
             }
         }
         if dropped > 0 {
-            eprintln!(
-                "pretzel frontend: dropped {dropped} delayed-batch result(s) for plan {plan}: \
+            if let Some(reg) = runtime.metrics_registry() {
+                reg.note_delayed_drops(dropped as u64);
+            }
+            crate::log_warn!(
+                "dropped {dropped} delayed-batch result(s) for plan {plan}: \
                  client(s) disconnected mid-flush"
             );
         }
@@ -527,6 +534,19 @@ fn handle_request(shared: &ServerShared, body: &[u8], responder: &Responder) -> 
         flags: ((kind_flags >> 8) & 0xff) as u8,
         n: (kind_flags >> 16) as usize,
     };
+    if head.kind == ADMIN_STATS {
+        // The runtime fills everything it owns; the FrontEnd overlays the
+        // connection-plane section only it can see.
+        let mut snap = shared.runtime.metrics();
+        snap.frontend = Some(crate::telemetry::FrontEndSnapshot {
+            open_connections: shared.stats.open_connections() as u64,
+            accepted: shared.stats.accepted(),
+            protocol_errors: shared.stats.protocol_errors(),
+        });
+        let mut payload = Vec::new();
+        snap.encode(&mut payload);
+        return Ok(Dispatch::Ready(wire::encode_admin(&payload)));
+    }
     if matches!(
         head.kind,
         ADMIN_DEPLOY | ADMIN_UNDEPLOY | ADMIN_SWAP | ADMIN_LIST
@@ -700,6 +720,7 @@ fn handle_request_columnar(
         BatchAssembler::new_unhashed(lease)
     };
     let release = |asm: BatchAssembler| pool.release_batch(asm.finish().0);
+    let decode_start = runtime.metrics_registry().map(|_| Instant::now());
     for _ in 0..n {
         let decoded = match kind {
             KIND_TEXT => asm.decode_text_row(&mut cur),
@@ -710,6 +731,9 @@ fn handle_request_columnar(
             release(asm);
             return Err(e);
         }
+    }
+    if let (Some(reg), Some(t0)) = (runtime.metrics_registry(), decode_start) {
+        reg.record_decode(t0.elapsed().as_nanos() as u64);
     }
 
     // Prediction-result cache: single-record requests only (multi-record
@@ -840,6 +864,7 @@ fn handle_request_staged(
     let cache = &shared.cache;
     let mut records = Vec::with_capacity(n.min(1 << 16));
     let mut hashes = Vec::with_capacity(n.min(1 << 16));
+    let decode_start = runtime.metrics_registry().map(|_| Instant::now());
     for _ in 0..n {
         match kind {
             KIND_TEXT => {
@@ -869,6 +894,9 @@ fn handle_request_staged(
             }
             k => return Err(DataError::Runtime(format!("bad record kind {k}"))),
         }
+    }
+    if let (Some(reg), Some(t0)) = (runtime.metrics_registry(), decode_start) {
+        reg.record_decode(t0.elapsed().as_nanos() as u64);
     }
 
     // Prediction-result cache: single-record requests only.

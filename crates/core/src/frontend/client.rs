@@ -16,6 +16,7 @@ use super::wire::{self, ReadFrame};
 use super::{FLAG_DELAYED_BATCH, FLAG_PLAN_ALIAS, FLAG_RESULT_CACHE};
 use crate::lifecycle::{PlanInfo, UndeployReport};
 use crate::runtime::PlanId;
+use crate::telemetry::MetricsSnapshot;
 use parking_lot::{Condvar, Mutex};
 use pretzel_data::serde_bin::Cursor;
 use pretzel_data::{DataError, Result};
@@ -491,6 +492,16 @@ impl Client {
             });
         }
         Ok(out)
+    }
+
+    /// `STATS`: one merged telemetry snapshot of the serving runtime —
+    /// per-plan latency histograms, pool/lifecycle/store counters, and
+    /// the FrontEnd's connection-plane section. Render it with
+    /// [`MetricsSnapshot::to_json`] or [`MetricsSnapshot::render_text`].
+    pub fn stats(&mut self) -> Result<MetricsSnapshot> {
+        let req = wire::request_header(0, wire::ADMIN_STATS, 0, 0);
+        let payload = self.roundtrip_admin(&req)?;
+        MetricsSnapshot::decode(&mut Cursor::new(&payload))
     }
 }
 

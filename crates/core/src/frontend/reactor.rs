@@ -36,6 +36,7 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Epoll user-data word for the shared listener.
 const TOKEN_LISTENER: u64 = u64::MAX;
@@ -82,6 +83,9 @@ struct Completion {
     generation: u32,
     tag: ResponseTag,
     body: Vec<u8>,
+    /// When the completing thread queued this (telemetry on only): the
+    /// drain records queue-to-flush latency against it.
+    enqueued: Option<Instant>,
 }
 
 /// One reactor's inbound completion lane.
@@ -116,11 +120,18 @@ impl CompletionHandle {
     /// Queues an encoded response body and wakes the owning reactor.
     fn complete(&self, body: Vec<u8>) {
         let io = &self.shared.ios[self.reactor];
+        let enqueued = self
+            .shared
+            .server
+            .runtime
+            .metrics_registry()
+            .map(|_| Instant::now());
         io.completions.push(Completion {
             slot: self.slot,
             generation: self.generation,
             tag: self.tag,
             body,
+            enqueued,
         });
         io.wake.signal();
     }
@@ -618,6 +629,9 @@ fn flush(ep: &Epoll, conn: &mut Conn) -> Action {
 /// Applies queued completions to their connections' write queues.
 fn drain_completions(shared: &Arc<ReactorShared>, ep: &Epoll, me: usize, owned: &mut HashSet<u32>) {
     while let Some(c) = shared.ios[me].completions.pop() {
+        if let (Some(reg), Some(t0)) = (shared.server.runtime.metrics_registry(), c.enqueued) {
+            reg.record_completion_flush(t0.elapsed().as_nanos() as u64);
+        }
         if !owned.contains(&c.slot) || shared.slab.generation(c.slot) != c.generation {
             continue; // connection closed while the request ran
         }

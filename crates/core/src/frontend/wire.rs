@@ -33,6 +33,8 @@ pub(crate) const ADMIN_UNDEPLOY: u8 = 0x11;
 pub(crate) const ADMIN_SWAP: u8 = 0x12;
 /// Admin verb: list deployed plans and aliases.
 pub(crate) const ADMIN_LIST: u8 = 0x13;
+/// Admin verb: snapshot runtime telemetry (the `STATS` verb).
+pub(crate) const ADMIN_STATS: u8 = 0x14;
 
 /// Request flag: consult/populate the prediction-result cache.
 pub const FLAG_RESULT_CACHE: u8 = 0b01;

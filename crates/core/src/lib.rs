@@ -60,6 +60,7 @@ pub mod flour;
 pub mod frontend;
 pub mod graph;
 pub mod lifecycle;
+pub mod log;
 pub mod lru;
 pub mod object_store;
 pub mod oven;
@@ -68,6 +69,7 @@ pub mod plan;
 pub mod runtime;
 pub mod scheduler;
 pub mod stats;
+pub mod telemetry;
 
 pub use flour::FlourContext;
 pub use lifecycle::{DeployOptions, PlanInfo, UndeployReport};

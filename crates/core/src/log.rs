@@ -1,0 +1,127 @@
+//! A tiny leveled log facade.
+//!
+//! The runtime's only diagnostic output channel: leveled lines on stderr,
+//! filtered by the `PRETZEL_LOG` environment variable (`off`, `error`,
+//! `warn`, `info`, `debug`; default `warn`). No timestamps, no global
+//! state beyond a lazily-parsed filter, no dependencies — just enough so
+//! operational messages (like delayed-batch drops) are filterable instead
+//! of unconditional `eprintln!` noise.
+//!
+//! Use the [`log_warn!`](crate::log_warn) family of macros; format
+//! arguments are only evaluated when the level is enabled.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Severity, ordered so a filter admits everything at or above itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl Level {
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+}
+
+/// Filter states: 0..=3 mirror [`Level`], `OFF` silences everything,
+/// `UNSET` means `PRETZEL_LOG` has not been parsed yet.
+const OFF: u8 = 4;
+const UNSET: u8 = u8::MAX;
+
+static FILTER: AtomicU8 = AtomicU8::new(UNSET);
+
+fn parse_filter() -> u8 {
+    match std::env::var("PRETZEL_LOG").as_deref() {
+        Ok("off") | Ok("none") => OFF,
+        Ok("error") => Level::Error as u8,
+        Ok("info") => Level::Info as u8,
+        Ok("debug") => Level::Debug as u8,
+        // Unset, unrecognized, or explicit "warn": the default.
+        _ => Level::Warn as u8,
+    }
+}
+
+/// True when a message at `level` would be emitted; callers gate format
+/// argument evaluation on this (the macros do it for you).
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    let mut f = FILTER.load(Ordering::Relaxed);
+    if f == UNSET {
+        f = parse_filter();
+        FILTER.store(f, Ordering::Relaxed);
+    }
+    level as u8 <= f
+}
+
+/// Emits one line on stderr. Callers go through the macros, which check
+/// [`enabled`] first.
+pub fn emit(level: Level, args: std::fmt::Arguments<'_>) {
+    eprintln!("pretzel [{}] {}", level.tag(), args);
+}
+
+/// Overrides the parsed filter (tests). `None` re-reads `PRETZEL_LOG` on
+/// the next call site.
+pub fn set_filter(level: Option<Level>) {
+    FILTER.store(level.map_or(UNSET, |l| l as u8), Ordering::Relaxed);
+}
+
+#[macro_export]
+macro_rules! log_error {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::emit($crate::log::Level::Error, format_args!($($arg)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! log_warn {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::emit($crate::log::Level::Warn, format_args!($($arg)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! log_info {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::emit($crate::log::Level::Info, format_args!($($arg)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! log_debug {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::emit($crate::log::Level::Debug, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_orders_levels() {
+        set_filter(Some(Level::Warn));
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_filter(None);
+    }
+}

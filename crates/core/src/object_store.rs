@@ -66,6 +66,14 @@ fn shard_of(checksum: u64) -> usize {
     (checksum.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize & (STORE_SHARDS - 1)
 }
 
+/// One plan's access-recency record: a pair of relaxed atomics bumped per
+/// admitted request, read only at snapshot time.
+#[derive(Debug, Default)]
+struct PlanAccess {
+    count: AtomicU64,
+    last_epoch: AtomicU64,
+}
+
 /// Checksum-keyed store of shared operator parameters.
 #[derive(Debug)]
 pub struct ObjectStore {
@@ -75,6 +83,14 @@ pub struct ObjectStore {
     bytes_saved: AtomicU64,
     released: AtomicU64,
     released_bytes: AtomicU64,
+    /// Global logical access clock: bumped once per plan access, so
+    /// `last_epoch` values order plans by recency without wall-clock reads.
+    access_epoch: AtomicU64,
+    /// Per-plan hotness (access count + recency epoch) — the signal the
+    /// million-model tiering policy demotes cold parameters on. Read-mostly:
+    /// entries are created on a plan's first noted access, then updated with
+    /// relaxed atomics under the read lock.
+    plan_access: RwLock<HashMap<u32, Arc<PlanAccess>>>,
 }
 
 impl Default for ObjectStore {
@@ -86,6 +102,8 @@ impl Default for ObjectStore {
             bytes_saved: AtomicU64::new(0),
             released: AtomicU64::new(0),
             released_bytes: AtomicU64::new(0),
+            access_epoch: AtomicU64::new(0),
+            plan_access: RwLock::new(HashMap::new()),
         }
     }
 }
@@ -335,6 +353,45 @@ impl ObjectStore {
     pub fn reuse_count(&self) -> u64 {
         self.reused.load(Ordering::Relaxed)
     }
+
+    /// Notes one serving access to `plan`: bumps the global access clock
+    /// and the plan's count/recency pair. Steady state is a read lock plus
+    /// three relaxed atomics; the write lock is taken once per plan life.
+    pub fn note_plan_access(&self, plan: u32) {
+        let epoch = self.access_epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(a) = self.plan_access.read().get(&plan) {
+            a.count.fetch_add(1, Ordering::Relaxed);
+            a.last_epoch.store(epoch, Ordering::Relaxed);
+            return;
+        }
+        let mut w = self.plan_access.write();
+        let a = w.entry(plan).or_default();
+        a.count.fetch_add(1, Ordering::Relaxed);
+        a.last_epoch.store(epoch, Ordering::Relaxed);
+    }
+
+    /// Forgets a plan's access record (undeploy) so snapshots only rank
+    /// live plans.
+    pub fn forget_plan_access(&self, plan: u32) {
+        self.plan_access.write().remove(&plan);
+    }
+
+    /// Per-plan access recency, sorted by plan id — the hotness input to
+    /// tiering decisions and the `plan_access` section of the metrics
+    /// snapshot.
+    pub fn plan_access_snapshot(&self) -> Vec<crate::telemetry::PlanAccessSnapshot> {
+        let g = self.plan_access.read();
+        let mut out: Vec<_> = g
+            .iter()
+            .map(|(&plan, a)| crate::telemetry::PlanAccessSnapshot {
+                plan,
+                accesses: a.count.load(Ordering::Relaxed),
+                last_access_epoch: a.last_epoch.load(Ordering::Relaxed),
+            })
+            .collect();
+        out.sort_by_key(|a| a.plan);
+        out
+    }
 }
 
 /// Key of a materialized sub-plan result.
@@ -344,6 +401,15 @@ pub struct MatKey {
     pub step: u64,
     /// Hash of the source record the pipeline is evaluating.
     pub input: u64,
+}
+
+/// Named [`MaterializationCache`] counters (replaces the old anonymous
+/// `(hits, misses, evictions)` tuple; folded into the metrics snapshot).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MatCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
 }
 
 /// LRU cache of materialized featurizer outputs (paper §4.3).
@@ -379,10 +445,14 @@ impl MaterializationCache {
         self.lru.lock().insert(key, value, cost);
     }
 
-    /// `(hits, misses, evictions)` counters.
-    pub fn stats(&self) -> (u64, u64, u64) {
+    /// Cache effectiveness counters.
+    pub fn stats(&self) -> MatCacheStats {
         let g = self.lru.lock();
-        (g.hits(), g.misses(), g.evictions())
+        MatCacheStats {
+            hits: g.hits(),
+            misses: g.misses(),
+            evictions: g.evictions(),
+        }
     }
 
     /// Number of cached results.
@@ -563,8 +633,8 @@ mod tests {
         cache.put(key, Arc::new(Vector::Dense(vec![1.0, 2.0])));
         let v = cache.get(key).unwrap();
         assert_eq!(v.as_dense().unwrap(), &[1.0, 2.0]);
-        let (hits, misses, _) = cache.stats();
-        assert_eq!((hits, misses), (1, 1));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 
     #[test]
@@ -577,7 +647,6 @@ mod tests {
             );
         }
         assert!(cache.len() < 100);
-        let (_, _, evictions) = cache.stats();
-        assert!(evictions > 0);
+        assert!(cache.stats().evictions > 0);
     }
 }

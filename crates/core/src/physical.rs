@@ -90,6 +90,9 @@ pub struct ExecCtx {
     /// override around every plan execution, so each runtime in a process
     /// gets its own path instead of fighting over the process-wide knob.
     pub flat_probe: bool,
+    /// Telemetry registry for cache-probe latency recording; `None` (the
+    /// telemetry-off ablation leg) executes with zero clock reads.
+    pub telemetry: Option<Arc<crate::telemetry::MetricsRegistry>>,
     scratch: Vec<Vector>,
     batch_scratch: Vec<ColumnBatch>,
 }
@@ -105,6 +108,7 @@ impl ExecCtx {
             source_hash: 0,
             source_hashes: Vec::new(),
             flat_probe: pretzel_data::probe::flat_probe(),
+            telemetry: None,
             scratch: Vec::new(),
             batch_scratch: Vec::new(),
         }
@@ -120,6 +124,31 @@ impl ExecCtx {
     pub fn with_flat_probe(mut self, flat: bool) -> Self {
         self.flat_probe = flat;
         self
+    }
+
+    /// Enables cache-probe latency recording into `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: Arc<crate::telemetry::MetricsRegistry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+}
+
+/// A materialization-cache lookup, timed into the telemetry registry when
+/// one is installed (split by hit/miss outcome) and a plain `get` otherwise.
+#[inline]
+fn timed_cache_get(
+    telemetry: Option<&Arc<crate::telemetry::MetricsRegistry>>,
+    cache: &MaterializationCache,
+    key: MatKey,
+) -> Option<Arc<Vector>> {
+    match telemetry {
+        Some(t) => {
+            let t0 = std::time::Instant::now();
+            let hit = cache.get(key);
+            t.record_cache_probe(hit.is_some(), t0.elapsed().as_nanos() as u64);
+            hit
+        }
+        None => cache.get(key),
     }
 }
 
@@ -354,7 +383,7 @@ impl PhysicalStage {
                 _ => None,
             };
             if let (Some(key), Some(cache)) = (mat_key, ctx.cache.as_ref()) {
-                if let Some(hit) = cache.get(key) {
+                if let Some(hit) = timed_cache_get(ctx.telemetry.as_ref(), cache, key) {
                     let mut out = take_buf(slots, &mut ctx.scratch, step.output);
                     out.clone_from(&hit);
                     put_buf(slots, &mut ctx.scratch, step.output, out);
@@ -583,7 +612,7 @@ impl ChunkCacheProbe {
                     step: self.step_sum,
                     input: ctx.source_hashes[r],
                 };
-                match self.cache.get(key) {
+                match timed_cache_get(ctx.telemetry.as_ref(), &self.cache, key) {
                     Some(hit) => srcs.push(hit),
                     None => {
                         let value = match row_plan {
@@ -668,7 +697,7 @@ impl ChunkCacheProbe {
                 // replay only inserts keys from this same set, so the get
                 // always misses; it is issued anyway to keep the counter
                 // and recency traffic identical to per-record execution.
-                let _ = self.cache.get(key);
+                let _ = timed_cache_get(ctx.telemetry.as_ref(), &self.cache, key);
                 self.cache.put(key, Arc::new(out.row(r).to_vector()));
             }
         }
@@ -1505,12 +1534,12 @@ mod tests {
         let a = plan
             .execute(SourceRef::Text("a nice product"), &mut slots, &mut ctx)
             .unwrap();
-        let (h0, _, _) = cache.stats();
+        let h0 = cache.stats().hits;
         assert_eq!(h0, 0);
         let b = plan
             .execute(SourceRef::Text("a nice product"), &mut slots, &mut ctx)
             .unwrap();
-        let (h1, _, _) = cache.stats();
+        let h1 = cache.stats().hits;
         assert!(h1 >= 3, "tokenizer + both ngrams should hit, got {h1}");
         assert_eq!(a, b);
     }
@@ -1658,8 +1687,9 @@ mod tests {
                     expected[pass * lines.len() + i]
                 );
             }
-            let (h, m, _) = batch_cache.stats();
-            let (rh, rm, _) = ref_stats[pass];
+            let bs = batch_cache.stats();
+            let rs = ref_stats[pass];
+            let ((h, m), (rh, rm)) = ((bs.hits, bs.misses), (rs.hits, rs.misses));
             assert_eq!(
                 (h, m),
                 (rh, rm),
@@ -1694,12 +1724,14 @@ mod tests {
         let mut scores = vec![0.0f32; lines.len()];
         plan.execute_batch(&sources, &mut slots, &mut ctx, &mut scores)
             .unwrap();
-        let (h, m, _) = cache.stats();
+        let s = cache.stats();
+        let (h, m) = (s.hits, s.misses);
         assert_eq!((h, m), (0, 3 * lines.len() as u64), "cold chunk: all miss");
         let cold = scores.clone();
         plan.execute_batch(&sources, &mut slots, &mut ctx, &mut scores)
             .unwrap();
-        let (h, m, _) = cache.stats();
+        let s = cache.stats();
+        let (h, m) = (s.hits, s.misses);
         assert_eq!(
             (h, m),
             (3 * lines.len() as u64, 3 * lines.len() as u64),

@@ -36,6 +36,7 @@
 use crate::lifecycle::GatePass;
 use crate::object_store::MaterializationCache;
 use crate::physical::{ExecCtx, ModelPlan, SourceRef};
+use crate::telemetry::{MetricsRegistry, PlanRecorder, PoolCounters};
 use parking_lot::{Condvar, Mutex};
 use pretzel_data::pool::VectorPool;
 use pretzel_data::{ColumnBatch, DataError, Result, Vector};
@@ -43,6 +44,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// One prediction request record.
 #[derive(Debug, Clone)]
@@ -352,8 +354,22 @@ enum ChunkWorkingSet {
     Columnar(Vec<ColumnBatch>),
 }
 
+/// Telemetry riding on a chunk event: the plan's recorder (resolved once
+/// per submission) plus the enqueue instant and priority class of the
+/// *current* wait, re-stamped on every re-enqueue. Absent entirely when
+/// `RuntimeConfig::telemetry` is off, so the off leg performs zero clock
+/// reads.
+struct TaskMeter {
+    rec: Arc<PlanRecorder>,
+    enqueued_at: Instant,
+    /// True once the chunk re-enters at high priority (started pipeline).
+    high: bool,
+}
+
 /// A chunk event: one contiguous range of a batch at one stage.
 struct ChunkTask {
+    /// Per-plan telemetry recorder + queue-wait stamp, when enabled.
+    meter: Option<TaskMeter>,
     plan: Arc<ModelPlan>,
     input: BatchInput,
     range: (usize, usize),
@@ -536,6 +552,10 @@ pub struct SchedulerConfig {
     /// Per-executor run queues + work stealing + lock-free pool arenas
     /// (vs the shared-everything plane, kept as the ablation control).
     pub sharded: bool,
+    /// Telemetry plane: per-plan queue-wait and stage-execution recording
+    /// plus cache-probe timing on each executor's `ExecCtx`. `None` (the
+    /// overhead ablation control) records nothing and reads no clocks.
+    pub telemetry: Option<Arc<MetricsRegistry>>,
 }
 
 /// The submission plane: where unreserved chunks go and executors pull.
@@ -596,6 +616,8 @@ pub struct Scheduler {
     /// The n-gram probe path this scheduler's executors run (per-runtime;
     /// installed on each executor's `ExecCtx`).
     flat_probe: bool,
+    /// Telemetry registry shared with the runtime (None = telemetry off).
+    telemetry: Option<Arc<MetricsRegistry>>,
 }
 
 impl Scheduler {
@@ -617,6 +639,7 @@ impl Scheduler {
             cache,
             flat_probe,
             sharded: true,
+            telemetry: None,
         })
     }
 
@@ -654,10 +677,13 @@ impl Scheduler {
                     let cache = cfg.cache.clone();
                     let pool = Arc::clone(pool);
                     let (columnar, flat_probe) = (cfg.columnar, cfg.flat_probe);
+                    let telemetry = cfg.telemetry.clone();
                     std::thread::Builder::new()
                         .name(format!("pretzel-exec-{i}"))
                         .spawn(move || {
-                            sharded_worker_loop(i, queues, stats, pool, columnar, cache, flat_probe)
+                            sharded_worker_loop(
+                                i, queues, stats, pool, columnar, cache, flat_probe, telemetry,
+                            )
                         })
                         .expect("spawn executor")
                 })
@@ -680,10 +706,13 @@ impl Scheduler {
                     let cache = cfg.cache.clone();
                     let pool = Arc::clone(pool);
                     let (columnar, flat_probe) = (cfg.columnar, cfg.flat_probe);
+                    let telemetry = cfg.telemetry.clone();
                     std::thread::Builder::new()
                         .name(format!("pretzel-exec-{i}"))
                         .spawn(move || {
-                            executor_loop(queue, stats, pool, columnar, cache, flat_probe)
+                            executor_loop(
+                                queue, stats, pool, columnar, cache, flat_probe, telemetry,
+                            )
                         })
                         .expect("spawn executor")
                 })
@@ -702,6 +731,7 @@ impl Scheduler {
             columnar: cfg.columnar,
             cache: cfg.cache,
             flat_probe: cfg.flat_probe,
+            telemetry: cfg.telemetry,
         }
     }
 
@@ -728,12 +758,13 @@ impl Scheduler {
         let columnar = self.columnar;
         let cache = self.cache.clone();
         let flat_probe = self.flat_probe;
+        let telemetry = self.telemetry.clone();
         let pool = Arc::new(build_pool(self.pooling, self.fallback_pool.as_ref()));
         let q = Arc::clone(&queue);
         let p = Arc::clone(&pool);
         let handle = std::thread::Builder::new()
             .name(format!("pretzel-reserved-{plan_id}"))
-            .spawn(move || executor_loop(q, stats, p, columnar, cache, flat_probe))
+            .spawn(move || executor_loop(q, stats, p, columnar, cache, flat_probe, telemetry))
             .expect("spawn reserved executor");
         reserved.insert(
             plan_id,
@@ -778,21 +809,20 @@ impl Scheduler {
         }
     }
 
-    /// Aggregate `(hits, misses)` across every executor pool (shared and
-    /// reserved) — the observable the deploy-time warming tests gate on.
-    pub fn pool_stats(&self) -> (u64, u64) {
+    /// Aggregate lease hit/miss counters across every executor pool (shared
+    /// and reserved) — the observable the deploy-time warming tests gate on.
+    pub fn pool_stats(&self) -> PoolCounters {
         let reserved = self.reserved.lock();
-        let mut hits = 0u64;
-        let mut misses = 0u64;
+        let mut agg = PoolCounters::default();
         for pool in self
             .exec_pools
             .iter()
             .chain(reserved.values().map(|r| &r.pool))
         {
-            hits += pool.stats().hits();
-            misses += pool.stats().misses();
+            agg.hits += pool.stats().hits();
+            agg.misses += pool.stats().misses();
         }
-        (hits, misses)
+        agg
     }
 
     /// Tears down a plan's reservation: removes the queue from the routing
@@ -932,10 +962,22 @@ impl Scheduler {
             let reserved = self.reserved.lock();
             reserved.get(&plan_id).map(|r| Arc::clone(&r.queue))
         };
+        // One recorder resolution per submission (not per chunk): the map
+        // read amortizes over the whole batch, and each chunk's hot-path
+        // recording is then shard-local atomics only.
+        let recorder = self.telemetry.as_ref().map(|t| t.plan_recorder(plan_id));
+        if let Some(rec) = &recorder {
+            rec.note_batch_request();
+        }
         let mut start = 0usize;
         while start < n {
             let end = (start + self.chunk_size).min(n);
             let task = ChunkTask {
+                meter: recorder.as_ref().map(|rec| TaskMeter {
+                    rec: Arc::clone(rec),
+                    enqueued_at: Instant::now(),
+                    high: false,
+                }),
                 plan: Arc::clone(&plan),
                 input: input.clone(),
                 range: (start, end),
@@ -1010,6 +1052,7 @@ fn build_pool(pooling: bool, fallback: Option<&Arc<VectorPool>>) -> VectorPool {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn executor_loop(
     queue: Arc<DualQueue>,
     stats: Arc<SchedStats>,
@@ -1017,10 +1060,14 @@ fn executor_loop(
     columnar: bool,
     cache: Option<Arc<MaterializationCache>>,
     flat_probe: bool,
+    telemetry: Option<Arc<MetricsRegistry>>,
 ) {
     let mut ctx = ExecCtx::new(Arc::clone(&pool)).with_flat_probe(flat_probe);
     if let Some(c) = cache {
         ctx = ctx.with_cache(c);
+    }
+    if let Some(t) = telemetry {
+        ctx = ctx.with_telemetry(t);
     }
     while let Some(task) = queue.pop() {
         run_chunk_stage(task, &queue, &pool, &mut ctx, &stats, columnar);
@@ -1032,6 +1079,7 @@ fn executor_loop(
 /// that ran their last stage — including stolen ones, which re-enter the
 /// THIEF's queue — so once submissions stop, a queue that is closed and
 /// empty can never refill and the worker exits.
+#[allow(clippy::too_many_arguments)]
 fn sharded_worker_loop(
     idx: usize,
     queues: Vec<Arc<DualQueue>>,
@@ -1040,10 +1088,14 @@ fn sharded_worker_loop(
     columnar: bool,
     cache: Option<Arc<MaterializationCache>>,
     flat_probe: bool,
+    telemetry: Option<Arc<MetricsRegistry>>,
 ) {
     let mut ctx = ExecCtx::new(Arc::clone(&pool)).with_flat_probe(flat_probe);
     if let Some(c) = cache {
         ctx = ctx.with_cache(c);
+    }
+    if let Some(t) = telemetry {
+        ctx = ctx.with_telemetry(t);
     }
     let own = Arc::clone(&queues[idx]);
     // Per-worker xorshift state, seeded from the worker index so workers
@@ -1115,6 +1167,16 @@ fn run_chunk_stage(
 ) {
     let (start, end) = task.range;
     let n = end - start;
+    // Queue wait: elapsed since this event entered its queue, attributed
+    // to the priority class it waited in. The same stamp then re-opens as
+    // the stage-execution clock (stage 0 charges its lazy lease + load to
+    // the stage, which is where that work happens).
+    let stage_start = task.meter.as_ref().map(|m| {
+        let now = Instant::now();
+        m.rec
+            .record_queue_wait(m.high, now.duration_since(m.enqueued_at).as_nanos() as u64);
+        now
+    });
     // Lazy lease: acquired from THIS executor's pool at the first stage.
     // Columnar chunks lease ONE batch per plan slot; per-record chunks
     // lease one vector per slot per record.
@@ -1237,9 +1299,16 @@ fn run_chunk_stage(
         ChunkWorkingSet::Unleased => unreachable!("working set leased at stage 0"),
     }
     stats.stage_events.fetch_add(1, Ordering::Relaxed);
+    if let (Some(m), Some(t0)) = (&task.meter, stage_start) {
+        m.rec.record_stage(t0.elapsed().as_nanos() as u64, n as u64);
+    }
 
     if task.stage + 1 < task.plan.stages.len() {
         task.stage += 1;
+        if let Some(m) = &mut task.meter {
+            m.enqueued_at = Instant::now();
+            m.high = true;
+        }
         // Started pipelines re-enter at high priority so they finish and
         // return their working sets quickly.
         queue.push_high(task);
@@ -1278,6 +1347,9 @@ fn run_chunk_stage(
             }
         }
         stats.records_done.fetch_add(n as u64, Ordering::Relaxed);
+        if let Some(m) = &task.meter {
+            m.rec.add_records(n as u64);
+        }
         release_leases(&mut task);
         complete_chunk(task.state);
     }
@@ -1540,15 +1612,16 @@ mod tests {
                     "pass {pass} record {i}: columnar+cache {x} vs per-record+cache {y}"
                 );
             }
-            let (ha, ma, _) = cache_a.stats();
-            let (hb, mb, _) = cache_b.stats();
+            let sa = cache_a.stats();
+            let sb = cache_b.stats();
+            let ((ha, ma), (hb, mb)) = ((sa.hits, sa.misses), (sb.hits, sb.misses));
             assert_eq!(
                 (ha, ma),
                 (hb, mb),
                 "pass {pass}: cache hit/miss counts diverge between data planes"
             );
         }
-        let (hits, _, _) = cache_a.stats();
+        let hits = cache_a.stats().hits;
         assert!(hits > 0, "warm pass should hit the cache");
         columnar.shutdown();
         per_record.shutdown();
@@ -1613,6 +1686,7 @@ mod tests {
             cache: None,
             flat_probe: true,
             sharded,
+            telemetry: None,
         })
     }
 

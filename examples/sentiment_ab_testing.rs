@@ -65,10 +65,12 @@ fn main() {
         println!("  arm {arm:>2} (char v{cv}, word v{wv}) -> {score:.4}");
     }
     if let Some(cache) = runtime.materialization_cache() {
-        let (hits, misses, _) = cache.stats();
+        let s = cache.stats();
         println!(
-            "\nsub-plan materialization: {hits} hits / {misses} misses \
+            "\nsub-plan materialization: {} hits / {} misses \
              across {} arms (shared featurizers computed once per input)",
+            s.hits,
+            s.misses,
             ids.len()
         );
     }

@@ -15,6 +15,7 @@
 //! probe chunk exposes as diverging hit/miss counters.
 
 use pretzel_core::flour::FlourContext;
+use pretzel_core::object_store::MatCacheStats;
 use pretzel_core::plan::StagePlan;
 use pretzel_core::runtime::{Runtime, RuntimeConfig};
 use pretzel_core::scheduler::Record;
@@ -45,9 +46,9 @@ fn record(tag: f32) -> Record {
 }
 
 /// Runs the same pass sequence through a runtime and returns the cache
-/// counter triples `(hits, misses, evictions)` after each pass, plus every
+/// counter snapshots (hits/misses/evictions) after each pass, plus every
 /// score produced.
-fn run_passes(columnar: bool, passes: &[Vec<Record>]) -> (Vec<(u64, u64, u64)>, Vec<f32>) {
+fn run_passes(columnar: bool, passes: &[Vec<Record>]) -> (Vec<MatCacheStats>, Vec<f32>) {
     let rt = Runtime::new(RuntimeConfig {
         n_executors: 1,
         chunk_size: 16, // every pass is one chunk

@@ -301,8 +301,9 @@ fn run_cached_case(case: &Case, records: &[Record], chunk_size: usize) {
                 case.name
             );
         }
-        let (ch, cm, _) = col.materialization_cache().unwrap().stats();
-        let (ph, pm, _) = pr.materialization_cache().unwrap().stats();
+        let cs = col.materialization_cache().unwrap().stats();
+        let ps = pr.materialization_cache().unwrap().stats();
+        let ((ch, cm), (ph, pm)) = ((cs.hits, cs.misses), (ps.hits, ps.misses));
         assert_eq!(
             (ch, cm),
             (ph, pm),
@@ -317,7 +318,8 @@ fn run_cached_case(case: &Case, records: &[Record], chunk_size: usize) {
         .stages
         .iter()
         .any(|s| s.steps.iter().any(|st| st.op.cacheable()));
-    let (hits, misses, _) = col.materialization_cache().unwrap().stats();
+    let s = col.materialization_cache().unwrap().stats();
+    let (hits, misses) = (s.hits, s.misses);
     if cacheable {
         assert!(
             hits > 0 && misses > 0,
@@ -416,8 +418,9 @@ fn sharded_cache_counts_match_shared() {
                     case.name
                 );
             }
-            let (sh, sm, _) = on.materialization_cache().unwrap().stats();
-            let (hh, hm, _) = off.materialization_cache().unwrap().stats();
+            let ss = on.materialization_cache().unwrap().stats();
+            let hs = off.materialization_cache().unwrap().stats();
+            let ((sh, sm), (hh, hm)) = ((ss.hits, ss.misses), (hs.hits, hs.misses));
             assert_eq!(
                 (sh, sm),
                 (hh, hm),

@@ -99,13 +99,14 @@ fn deploy_warms_batch_engine_pools_to_no_miss() {
     let id = rt
         .deploy(&sa_image(4242), DeployOptions::default())
         .unwrap();
-    let (_, misses_after_deploy) = rt.scheduler_pool_stats();
+    let misses_after_deploy = rt.scheduler_pool_stats().misses;
     let records: Vec<Record> = (0..24)
         .map(|i| Record::Text(format!("5,review number {i} was pretty nice")))
         .collect();
     let scores = rt.predict_batch_wait(id, records.clone()).unwrap();
     assert_eq!(scores.len(), 24);
-    let (hits, misses) = rt.scheduler_pool_stats();
+    let s = rt.scheduler_pool_stats();
+    let (hits, misses) = (s.hits, s.misses);
     assert_eq!(
         misses, misses_after_deploy,
         "first post-deploy batch paid a pool miss despite deploy-time warming"
@@ -116,9 +117,9 @@ fn deploy_warms_batch_engine_pools_to_no_miss() {
     let id2 = rt
         .deploy(&sa_image(4243), DeployOptions::default())
         .unwrap();
-    let (_, misses_before) = rt.scheduler_pool_stats();
+    let misses_before = rt.scheduler_pool_stats().misses;
     rt.predict_batch_wait(id2, records).unwrap();
-    let (_, misses_after) = rt.scheduler_pool_stats();
+    let misses_after = rt.scheduler_pool_stats().misses;
     assert_eq!(
         misses_after, misses_before,
         "first post-swap batch paid a pool miss despite deploy-time warming"

@@ -309,7 +309,8 @@ fn wire_ingest_composes_with_materialization_cache() {
         let req = PredictRequest::text_batch(refs.iter().copied()).plan(id);
         let cold = client.predict_many(&req).unwrap();
         let warm = client.predict_many(&req).unwrap();
-        let (h, m, _) = rt.materialization_cache().unwrap().stats();
+        let s = rt.materialization_cache().unwrap().stats();
+        let (h, m) = (s.hits, s.misses);
         assert!(h > 0, "warm pass should hit the cache");
         stats.push((h, m));
         scores.push((cold, warm));
