@@ -56,7 +56,9 @@
 //!             u32*nnz · f32*nnz          (kind 2: sparse CSR triple)
 //! response := u8 status ·
 //!             (status 0: u32 n · f32*) | (status 1: u32 len · bytes) |
-//!             (status 2: admin payload)
+//!             (status 2: admin payload) |
+//!             (status 3: u32 len · bytes, execution fault) |
+//!             (status 4: u32 plan_id, plan quarantined)
 //! ```
 //!
 //! **Client surface** — [`PredictRequest`] is the typed request builder
@@ -67,7 +69,7 @@
 //! `predict_*` method family survives as thin deprecated wrappers.
 //!
 //! **Model lifecycle over the wire**: the admin verbs `DEPLOY` /
-//! `UNDEPLOY` / `SWAP` / `LIST` ride the same frame format (distinct
+//! `UNDEPLOY` / `SWAP` / `ROLLBACK` / `LIST` ride the same frame format (distinct
 //! `kind` values), so the whole lifecycle — push a serialized model file,
 //! flip an alias to the new version, retire the old one — is driveable
 //! remotely through [`Client::deploy`], [`Client::undeploy`],
@@ -105,8 +107,8 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use wire::{
-    ADMIN_DEPLOY, ADMIN_LIST, ADMIN_STATS, ADMIN_SWAP, ADMIN_UNDEPLOY, KIND_DENSE, KIND_SPARSE,
-    KIND_TEXT,
+    ADMIN_DEPLOY, ADMIN_LIST, ADMIN_ROLLBACK, ADMIN_STATS, ADMIN_SWAP, ADMIN_UNDEPLOY, KIND_DENSE,
+    KIND_SPARSE, KIND_TEXT,
 };
 
 /// FrontEnd configuration.
@@ -511,7 +513,18 @@ fn serve_frame_blocking(shared: &ServerShared, body: &[u8]) -> Vec<u8> {
 fn serve_frame(shared: &ServerShared, body: &[u8], responder: &Responder) -> Dispatch {
     match handle_request(shared, body, responder) {
         Ok(dispatch) => dispatch,
-        Err(e) => Dispatch::Ready(wire::encode_err(&e.to_string())),
+        Err(e) => Dispatch::Ready(encode_error(&e)),
+    }
+}
+
+///// Maps a request error onto its wire status: contained operator panics
+/// and quarantined plans get their own statuses so clients can react in
+/// kind; everything else is the generic status-1 error string.
+pub(super) fn encode_error(e: &DataError) -> Vec<u8> {
+    match e {
+        DataError::ExecutionFault(msg) => wire::encode_fault(msg),
+        DataError::PlanQuarantined(id) => wire::encode_quarantined(*id),
+        other => wire::encode_err(&other.to_string()),
     }
 }
 
@@ -549,7 +562,7 @@ fn handle_request(shared: &ServerShared, body: &[u8], responder: &Responder) -> 
     }
     if matches!(
         head.kind,
-        ADMIN_DEPLOY | ADMIN_UNDEPLOY | ADMIN_SWAP | ADMIN_LIST
+        ADMIN_DEPLOY | ADMIN_UNDEPLOY | ADMIN_SWAP | ADMIN_LIST | ADMIN_ROLLBACK
     ) {
         return handle_admin(&head, cur, &shared.runtime)
             .map(|payload| Dispatch::Ready(wire::encode_admin(&payload)));
@@ -625,12 +638,18 @@ fn handle_admin(head: &RequestHead, mut cur: Cursor<'_>, runtime: &Runtime) -> R
             let previous = runtime.swap(&alias, head.plan)?;
             wire::put_u32(&mut payload, previous.unwrap_or(u32::MAX));
         }
+        ADMIN_ROLLBACK => {
+            let alias = cur.str()?;
+            let now_bound = runtime.rollback(&alias)?;
+            wire::put_u32(&mut payload, now_bound.unwrap_or(u32::MAX));
+        }
         ADMIN_LIST => {
             let plans = runtime.list_plans();
             wire::put_u32(&mut payload, plans.len() as u32);
             for info in plans {
                 wire::put_u32(&mut payload, info.id);
                 wire::put_u32(&mut payload, u32::from(info.retired));
+                wire::put_u32(&mut payload, u32::from(info.quarantined));
                 wire::put_u32(&mut payload, info.in_flight as u32);
                 wire::put_u32(&mut payload, info.aliases.len() as u32);
                 for alias in &info.aliases {
@@ -718,7 +737,8 @@ fn handle_request_columnar(
         BatchAssembler::new(lease)
     } else {
         BatchAssembler::new_unhashed(lease)
-    };
+    }
+    .reject_non_finite(runtime.config().reject_non_finite);
     let release = |asm: BatchAssembler| pool.release_batch(asm.finish().0);
     let decode_start = runtime.metrics_registry().map(|_| Instant::now());
     for _ in 0..n {
@@ -874,6 +894,9 @@ fn handle_request_staged(
             }
             KIND_DENSE => {
                 let x = cur.f32s()?;
+                if runtime.config().reject_non_finite {
+                    pretzel_data::ingest::check_finite(&x)?;
+                }
                 hashes.push(pretzel_data::hash::content_hash_dense(&x));
                 records.push(Record::Dense(x));
             }
@@ -884,6 +907,9 @@ fn handle_request_staged(
                 let mut values = Vec::with_capacity(indices.len());
                 for _ in 0..indices.len() {
                     values.push(cur.f32()?);
+                }
+                if runtime.config().reject_non_finite {
+                    pretzel_data::ingest::check_finite(&values)?;
                 }
                 hashes.push(content_hash_sparse(&indices, &values, dim));
                 records.push(Record::Sparse {

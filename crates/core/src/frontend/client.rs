@@ -467,6 +467,18 @@ impl Client {
         Ok((previous != u32::MAX).then_some(previous))
     }
 
+    /// Rolls `alias` back to its previous live version on the server;
+    /// returns the plan now bound, or `None` if there was no predecessor
+    /// to roll back to (the binding is left unchanged).
+    pub fn rollback(&mut self, alias: &str) -> Result<Option<PlanId>> {
+        use pretzel_data::serde_bin::wire as w;
+        let mut req = wire::request_header(0, wire::ADMIN_ROLLBACK, 0, 0);
+        w::put_str(&mut req, alias);
+        let payload = self.roundtrip_admin(&req)?;
+        let bound = Cursor::new(&payload).u32()?;
+        Ok((bound != u32::MAX).then_some(bound))
+    }
+
     /// Lists every plan the server knows (tombstones included) with
     /// lifecycle state and bound aliases.
     pub fn list(&mut self) -> Result<Vec<PlanInfo>> {
@@ -478,6 +490,7 @@ impl Client {
         for _ in 0..n {
             let id = cur.u32()?;
             let retired = cur.u32()? != 0;
+            let quarantined = cur.u32()? != 0;
             let in_flight = cur.u32()? as usize;
             let n_aliases = cur.u32()? as usize;
             let mut aliases = Vec::with_capacity(n_aliases.min(64));
@@ -487,6 +500,7 @@ impl Client {
             out.push(PlanInfo {
                 id,
                 retired,
+                quarantined,
                 in_flight,
                 aliases,
             });

@@ -27,7 +27,7 @@
 use super::slab::ConnSlab;
 use super::sys::{self, Epoll, EpollEvent, EventFd};
 use super::wire::{self, Parse};
-use super::{serve_frame, Dispatch, FrontEndStats, Responder, ServerShared};
+use super::{encode_error, serve_frame, Dispatch, FrontEndStats, Responder, ServerShared};
 use crossbeam::queue::SegQueue;
 use pretzel_data::Result;
 use std::collections::{BTreeMap, HashSet};
@@ -140,7 +140,7 @@ impl CompletionHandle {
     pub(super) fn complete_result(&self, result: Result<Vec<f32>>) {
         let body = match result {
             Ok(scores) => wire::encode_ok(&scores),
-            Err(e) => wire::encode_err(&e.to_string()),
+            Err(e) => encode_error(&e),
         };
         self.complete(body);
     }

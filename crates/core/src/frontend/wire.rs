@@ -35,6 +35,8 @@ pub(crate) const ADMIN_SWAP: u8 = 0x12;
 pub(crate) const ADMIN_LIST: u8 = 0x13;
 /// Admin verb: snapshot runtime telemetry (the `STATS` verb).
 pub(crate) const ADMIN_STATS: u8 = 0x14;
+/// Admin verb: roll an alias back one version in its history.
+pub(crate) const ADMIN_ROLLBACK: u8 = 0x15;
 
 /// Request flag: consult/populate the prediction-result cache.
 pub const FLAG_RESULT_CACHE: u8 = 0b01;
@@ -302,7 +304,29 @@ pub(crate) fn encode_admin(payload: &[u8]) -> Vec<u8> {
     body
 }
 
-/// Decodes a response body into scores (or the server's error).
+/// Encodes an execution-fault response body (status 3 + panic message).
+/// Distinct from status 1 so clients can tell "the operator crashed on
+/// this request" (retryable elsewhere, counts against the plan's fault
+/// budget) from ordinary request errors.
+pub(crate) fn encode_fault(msg: &str) -> Vec<u8> {
+    let mut body = Vec::with_capacity(5 + msg.len());
+    body.push(3u8);
+    body.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+    body.extend_from_slice(msg.as_bytes());
+    body
+}
+
+/// Encodes a plan-quarantined response body (status 4 + plan id): the
+/// plan's fault budget is exhausted and its gate is closed.
+pub(crate) fn encode_quarantined(plan: u32) -> Vec<u8> {
+    let mut body = Vec::with_capacity(5);
+    body.push(4u8);
+    body.extend_from_slice(&plan.to_le_bytes());
+    body
+}
+
+/// Decodes a response body into scores (or the server's error, mapped
+/// back onto the typed [`DataError`] variants the statuses carry).
 pub(crate) fn decode_response(body: &[u8]) -> Result<Vec<f32>> {
     use pretzel_data::serde_bin::Cursor;
     let (&status, rest) = body
@@ -316,6 +340,12 @@ pub(crate) fn decode_response(body: &[u8]) -> Result<Vec<f32>> {
             let msg = String::from_utf8_lossy(&rest[4..(4 + len).min(rest.len())]).into_owned();
             Err(DataError::Runtime(format!("server error: {msg}")))
         }
+        3 => {
+            let len = cur.u32()? as usize;
+            let msg = String::from_utf8_lossy(&rest[4..(4 + len).min(rest.len())]).into_owned();
+            Err(DataError::ExecutionFault(msg))
+        }
+        4 => Err(DataError::PlanQuarantined(cur.u32()?)),
         s => Err(DataError::Runtime(format!("bad response status {s}"))),
     }
 }

@@ -36,10 +36,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Per-plan admission state: retired flag + in-flight submission count.
+/// Per-plan admission state: retired/quarantined flags + in-flight count.
 #[derive(Debug)]
 struct GateState {
     retired: bool,
+    quarantined: bool,
     in_flight: usize,
 }
 
@@ -61,6 +62,7 @@ impl PlanGate {
         Arc::new(PlanGate {
             state: Mutex::new(GateState {
                 retired: false,
+                quarantined: false,
                 in_flight: 0,
             }),
             drained: Condvar::new(),
@@ -68,12 +70,16 @@ impl PlanGate {
     }
 
     /// Admits one submission, or rejects it with
-    /// [`DataError::PlanRetired`] once the plan was retired. The returned
-    /// pass decrements the in-flight count when dropped.
+    /// [`DataError::PlanRetired`] once the plan was retired (or
+    /// [`DataError::PlanQuarantined`] once the fault policy closed the
+    /// gate). The returned pass decrements the in-flight count when dropped.
     pub fn enter(self: &Arc<Self>, id: PlanId) -> Result<GatePass> {
         let mut g = self.state.lock();
         if g.retired {
             return Err(DataError::PlanRetired(id));
+        }
+        if g.quarantined {
+            return Err(DataError::PlanQuarantined(id));
         }
         g.in_flight += 1;
         Ok(GatePass {
@@ -88,6 +94,16 @@ impl PlanGate {
         !std::mem::replace(&mut g.retired, true)
     }
 
+    /// Closes the gate to new submissions after the fault policy tripped;
+    /// in-flight work completes normally (the quarantine boundary is
+    /// admission, not execution). Returns `true` on the first call (that
+    /// caller owns the recovery action — alias rollback), `false` if the
+    /// plan was already quarantined.
+    pub fn quarantine(&self) -> bool {
+        let mut g = self.state.lock();
+        !std::mem::replace(&mut g.quarantined, true)
+    }
+
     /// Blocks until every admitted submission has completed.
     pub fn wait_drained(&self) {
         let mut g = self.state.lock();
@@ -99,6 +115,11 @@ impl PlanGate {
     /// True once [`Self::retire`] ran.
     pub fn is_retired(&self) -> bool {
         self.state.lock().retired
+    }
+
+    /// True once [`Self::quarantine`] ran.
+    pub fn is_quarantined(&self) -> bool {
+        self.state.lock().quarantined
     }
 
     /// Number of submissions currently holding a pass.
@@ -126,14 +147,19 @@ impl Drop for GatePass {
     }
 }
 
-/// Named serving endpoints: alias → deployed plan version.
+/// Named serving endpoints: alias → version history of deployed plans.
 ///
-/// `repoint` is the `swap` primitive: a single map write under the lock,
-/// so concurrent resolvers see either the old or the new version — never
-/// neither.
+/// Each alias keeps a **version stack** — the top is the current binding,
+/// deeper entries are previous live-at-the-time versions. `repoint` (the
+/// `swap` primitive) pushes under the write lock, so concurrent resolvers
+/// see either the old or the new version — never neither — and `rollback`
+/// pops back to version *k−1* with the same single-pointer-flip cost. The
+/// history is what makes fault-driven recovery a control-plane no-op: when
+/// the fault policy quarantines the current version, the previous one is
+/// one pop away.
 #[derive(Debug, Default)]
 pub struct AliasMap {
-    inner: RwLock<HashMap<String, PlanId>>,
+    inner: RwLock<HashMap<String, Vec<PlanId>>>,
 }
 
 impl AliasMap {
@@ -144,33 +170,86 @@ impl AliasMap {
 
     /// Resolves an alias to its current plan, if bound.
     pub fn resolve(&self, alias: &str) -> Option<PlanId> {
-        self.inner.read().get(alias).copied()
+        self.inner.read().get(alias).and_then(|v| v.last().copied())
     }
 
     /// Atomically repoints `alias` to `id`, returning the previous binding.
+    /// The previous version stays in the alias's history so a later
+    /// `rollback` can restore it. Re-pointing at a version already in the
+    /// history moves it to the top instead of duplicating it, so swap
+    /// churn between two versions cannot grow the stack unboundedly.
     pub fn repoint(&self, alias: &str, id: PlanId) -> Option<PlanId> {
-        self.inner.write().insert(alias.to_string(), id)
+        let mut inner = self.inner.write();
+        let stack = inner.entry(alias.to_string()).or_default();
+        let prev = stack.last().copied();
+        if prev != Some(id) {
+            stack.retain(|&v| v != id);
+            stack.push(id);
+        }
+        prev
     }
 
-    /// Removes every alias bound to `id` (undeploy cleanup); returns how
-    /// many were dropped.
+    /// Pops `alias` back to its previous version (manual operator
+    /// rollback). Returns the new current version, or `None` when the
+    /// alias is unbound or has no history to roll back to.
+    pub fn rollback(&self, alias: &str) -> Option<PlanId> {
+        let mut inner = self.inner.write();
+        let stack = inner.get_mut(alias)?;
+        if stack.len() < 2 {
+            return None;
+        }
+        stack.pop();
+        stack.last().copied()
+    }
+
+    /// Rolls `alias` back to the most recent *previous* version for which
+    /// `live` holds, discarding any dead versions in between (automatic
+    /// fault recovery: retired versions may still sit in the history).
+    /// Leaves the stack untouched and returns `None` when no live
+    /// predecessor exists.
+    pub fn rollback_until(&self, alias: &str, live: impl Fn(PlanId) -> bool) -> Option<PlanId> {
+        let mut inner = self.inner.write();
+        let stack = inner.get_mut(alias)?;
+        let top = stack.len().checked_sub(1)?;
+        let pos = stack[..top].iter().rposition(|&v| live(v))?;
+        stack.truncate(pos + 1);
+        stack.last().copied()
+    }
+
+    /// Removes `id` from every alias's history (undeploy cleanup). An
+    /// alias whose *current* version was `id` falls back to its previous
+    /// version; an alias left with an empty history is unbound. Returns
+    /// how many aliases were affected.
     pub fn drop_plan(&self, id: PlanId) -> usize {
         let mut inner = self.inner.write();
-        let before = inner.len();
-        inner.retain(|_, bound| *bound != id);
-        before - inner.len()
+        let mut affected = 0;
+        inner.retain(|_, stack| {
+            let before = stack.len();
+            stack.retain(|&v| v != id);
+            if stack.len() != before {
+                affected += 1;
+            }
+            !stack.is_empty()
+        });
+        affected
     }
 
-    /// All bindings, sorted by alias (admin LIST payload).
+    /// All current bindings, sorted by alias (admin LIST payload).
     pub fn snapshot(&self) -> Vec<(String, PlanId)> {
         let mut all: Vec<(String, PlanId)> = self
             .inner
             .read()
             .iter()
-            .map(|(a, &id)| (a.clone(), id))
+            .filter_map(|(a, stack)| stack.last().map(|&id| (a.clone(), id)))
             .collect();
         all.sort();
         all
+    }
+
+    /// The full version history of `alias`, oldest first (top of stack —
+    /// the current version — last). Empty when unbound.
+    pub fn history(&self, alias: &str) -> Vec<PlanId> {
+        self.inner.read().get(alias).cloned().unwrap_or_default()
     }
 
     /// Number of bound aliases.
@@ -215,6 +294,9 @@ pub struct PlanInfo {
     /// True once the plan was undeployed (tombstone: lookups keep failing
     /// with a clean [`DataError::PlanRetired`] instead of "unknown plan").
     pub retired: bool,
+    /// True once the fault policy closed the plan's gate (too many
+    /// execution faults inside the sliding window).
+    pub quarantined: bool,
     /// Submissions currently holding a gate pass.
     pub in_flight: usize,
     /// Aliases currently bound to this plan, sorted.
@@ -313,7 +395,71 @@ mod tests {
         assert_eq!(aliases.resolve("sentiment"), Some(4));
         aliases.repoint("other", 4);
         assert_eq!(aliases.drop_plan(4), 2);
+        // "sentiment" falls back to its history; "other" had none and is
+        // unbound.
+        assert_eq!(aliases.resolve("sentiment"), Some(3));
+        assert!(aliases.resolve("other").is_none());
+        assert_eq!(aliases.drop_plan(3), 1);
         assert!(aliases.is_empty());
+    }
+
+    #[test]
+    fn alias_history_pushes_on_swap_and_pops_on_rollback() {
+        let aliases = AliasMap::new();
+        aliases.repoint("m", 1);
+        aliases.repoint("m", 2);
+        aliases.repoint("m", 3);
+        assert_eq!(aliases.history("m"), vec![1, 2, 3]);
+        assert_eq!(aliases.rollback("m"), Some(2));
+        assert_eq!(aliases.resolve("m"), Some(2));
+        assert_eq!(aliases.rollback("m"), Some(1));
+        assert_eq!(aliases.rollback("m"), None, "no history left");
+        assert_eq!(aliases.resolve("m"), Some(1), "last version stays bound");
+        assert_eq!(aliases.rollback("ghost"), None, "unbound alias");
+    }
+
+    #[test]
+    fn alias_swap_churn_between_two_versions_does_not_grow_history() {
+        let aliases = AliasMap::new();
+        for _ in 0..100 {
+            aliases.repoint("m", 1);
+            aliases.repoint("m", 2);
+        }
+        assert_eq!(aliases.history("m"), vec![1, 2]);
+        // Re-pointing at the current version is a no-op.
+        assert_eq!(aliases.repoint("m", 2), Some(2));
+        assert_eq!(aliases.history("m"), vec![1, 2]);
+    }
+
+    #[test]
+    fn rollback_until_skips_dead_versions() {
+        let aliases = AliasMap::new();
+        aliases.repoint("m", 1);
+        aliases.repoint("m", 2);
+        aliases.repoint("m", 3);
+        aliases.repoint("m", 4);
+        // 2 and 3 are dead; auto-rollback from 4 must land on 1.
+        assert_eq!(aliases.rollback_until("m", |id| id == 1), Some(1));
+        assert_eq!(aliases.resolve("m"), Some(1));
+        assert_eq!(aliases.history("m"), vec![1]);
+        // No live predecessor: the stack is untouched.
+        assert_eq!(aliases.rollback_until("m", |_| false), None);
+        assert_eq!(aliases.resolve("m"), Some(1));
+    }
+
+    #[test]
+    fn quarantine_closes_gate_but_lets_in_flight_finish() {
+        let gate = PlanGate::new();
+        let pass = gate.enter(9).unwrap();
+        assert!(gate.quarantine(), "first quarantine wins");
+        assert!(!gate.quarantine(), "second quarantine loses");
+        assert!(gate.is_quarantined());
+        assert!(!gate.is_retired());
+        let err = gate.enter(9).unwrap_err();
+        assert!(matches!(err, DataError::PlanQuarantined(9)));
+        assert_eq!(gate.in_flight(), 1, "in-flight pass unaffected");
+        drop(pass);
+        gate.wait_drained();
     }
 
     #[test]

@@ -85,11 +85,6 @@ pub struct ExecCtx {
     /// components, columnar path). Must hold one hash per chunk row before
     /// a stage with cacheable steps executes in batch mode.
     pub source_hashes: Vec<u64>,
-    /// The n-gram probe path this context's executions run
-    /// (`RuntimeConfig::flat_ngram_probe`): installed as a thread-scoped
-    /// override around every plan execution, so each runtime in a process
-    /// gets its own path instead of fighting over the process-wide knob.
-    pub flat_probe: bool,
     /// Telemetry registry for cache-probe latency recording; `None` (the
     /// telemetry-off ablation leg) executes with zero clock reads.
     pub telemetry: Option<Arc<crate::telemetry::MetricsRegistry>>,
@@ -98,16 +93,13 @@ pub struct ExecCtx {
 }
 
 impl ExecCtx {
-    /// Creates a context over a pool. The probe path defaults to the
-    /// ambient knob at construction time; runtimes override it from their
-    /// config via [`Self::with_flat_probe`].
+    /// Creates a context over a pool.
     pub fn new(pool: Arc<VectorPool>) -> Self {
         ExecCtx {
             pool,
             cache: None,
             source_hash: 0,
             source_hashes: Vec::new(),
-            flat_probe: pretzel_data::probe::flat_probe(),
             telemetry: None,
             scratch: Vec::new(),
             batch_scratch: Vec::new(),
@@ -120,16 +112,29 @@ impl ExecCtx {
         self
     }
 
-    /// Pins the n-gram probe path for this context's executions.
-    pub fn with_flat_probe(mut self, flat: bool) -> Self {
-        self.flat_probe = flat;
-        self
-    }
-
     /// Enables cache-probe latency recording into `telemetry`.
     pub fn with_telemetry(mut self, telemetry: Arc<crate::telemetry::MetricsRegistry>) -> Self {
         self.telemetry = Some(telemetry);
         self
+    }
+
+    /// Returns any scratch buffers stranded in the context to the pool.
+    ///
+    /// On the normal path `execute_with_source`/`execute_batch` drain their
+    /// scratch back to the pool before returning, so this is a no-op. When
+    /// an operator *panics* mid-stage the drain is skipped — the unwind
+    /// tears straight through the stage body — and because contexts are
+    /// reused across requests (per executor thread, per RR session) the
+    /// stranded buffers would poison the next execution's
+    /// `debug_assert!(ctx.scratch.is_empty())` and leak pool capacity.
+    /// Fault containment calls this from every `catch_unwind` recovery arm.
+    pub fn recover_scratch(&mut self) {
+        for v in self.scratch.drain(..) {
+            self.pool.release(v);
+        }
+        for b in self.batch_scratch.drain(..) {
+            self.pool.release_batch(b);
+        }
     }
 }
 
@@ -1137,8 +1142,6 @@ impl ModelPlan {
         } else {
             0
         };
-        // The context's probe path governs every kernel in this execution.
-        let _probe = pretzel_data::probe::scoped_flat_probe(ctx.flat_probe);
         for stage in &self.stages {
             stage.execute(slots, ctx)?;
         }
@@ -1178,8 +1181,6 @@ impl ModelPlan {
             src: source,
             loaded: false,
         };
-        // The context's probe path governs every kernel in this execution.
-        let _probe = pretzel_data::probe::scoped_flat_probe(ctx.flat_probe);
         for stage in &self.stages {
             stage.execute_with_source(Some(&mut borrowed), slots, ctx)?;
         }
@@ -1236,8 +1237,6 @@ impl ModelPlan {
                 .extend(sources.iter().map(SourceRef::content_hash));
         }
         let rows = sources.len();
-        // The context's probe path governs every kernel in this execution.
-        let _probe = pretzel_data::probe::scoped_flat_probe(ctx.flat_probe);
         for stage in &self.stages {
             stage.execute_batch(slots, rows, ctx)?;
         }

@@ -370,6 +370,9 @@ struct TaskMeter {
 struct ChunkTask {
     /// Per-plan telemetry recorder + queue-wait stamp, when enabled.
     meter: Option<TaskMeter>,
+    /// The plan's runtime id, carried so a contained fault can be
+    /// attributed to the plan (fault hook + quarantine policy).
+    plan_id: u32,
     plan: Arc<ModelPlan>,
     input: BatchInput,
     range: (usize, usize),
@@ -547,8 +550,6 @@ pub struct SchedulerConfig {
     pub columnar: bool,
     /// Sub-plan materialization cache, if enabled.
     pub cache: Option<Arc<MaterializationCache>>,
-    /// Flat (vs `HashMap`) n-gram probe path.
-    pub flat_probe: bool,
     /// Per-executor run queues + work stealing + lock-free pool arenas
     /// (vs the shared-everything plane, kept as the ablation control).
     pub sharded: bool,
@@ -556,6 +557,24 @@ pub struct SchedulerConfig {
     /// plus cache-probe timing on each executor's `ExecCtx`. `None` (the
     /// overhead ablation control) records nothing and reads no clocks.
     pub telemetry: Option<Arc<MetricsRegistry>>,
+}
+
+/// Callback invoked on the faulting executor's thread after a panic was
+/// contained: receives the faulting plan's id. The runtime installs its
+/// fault policy here (sliding-window counting → quarantine → alias
+/// rollback); the scheduler itself only contains and attributes.
+pub type FaultHook = Arc<dyn Fn(u32) + Send + Sync>;
+
+/// The hook cell shared between the scheduler handle and its executor
+/// threads. A cell (rather than a constructor argument) because the
+/// runtime builds the scheduler before the policy state the hook captures.
+#[derive(Clone, Default)]
+struct FaultHookCell(Arc<Mutex<Option<FaultHook>>>);
+
+impl std::fmt::Debug for FaultHookCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FaultHookCell")
+    }
 }
 
 /// The submission plane: where unreserved chunks go and executors pull.
@@ -613,11 +632,10 @@ pub struct Scheduler {
     chunk_size: usize,
     columnar: bool,
     cache: Option<Arc<MaterializationCache>>,
-    /// The n-gram probe path this scheduler's executors run (per-runtime;
-    /// installed on each executor's `ExecCtx`).
-    flat_probe: bool,
     /// Telemetry registry shared with the runtime (None = telemetry off).
     telemetry: Option<Arc<MetricsRegistry>>,
+    /// Fault-policy callback cell, shared with every executor thread.
+    fault_hook: FaultHookCell,
 }
 
 impl Scheduler {
@@ -629,7 +647,6 @@ impl Scheduler {
         chunk_size: usize,
         columnar: bool,
         cache: Option<Arc<MaterializationCache>>,
-        flat_probe: bool,
     ) -> Self {
         Self::with_config(SchedulerConfig {
             n_executors,
@@ -637,7 +654,6 @@ impl Scheduler {
             chunk_size,
             columnar,
             cache,
-            flat_probe,
             sharded: true,
             telemetry: None,
         })
@@ -661,6 +677,7 @@ impl Scheduler {
     pub fn with_config(cfg: SchedulerConfig) -> Self {
         let n = cfg.n_executors.max(1);
         let stats = Arc::new(SchedStats::default());
+        let fault_hook = FaultHookCell::default();
         let fallback_pool = (cfg.sharded && cfg.pooling).then(|| Arc::new(VectorPool::arena()));
         let exec_pools: Vec<Arc<VectorPool>> = (0..n)
             .map(|_| Arc::new(build_pool(cfg.pooling, fallback_pool.as_ref())))
@@ -676,13 +693,14 @@ impl Scheduler {
                     let stats = Arc::clone(&stats);
                     let cache = cfg.cache.clone();
                     let pool = Arc::clone(pool);
-                    let (columnar, flat_probe) = (cfg.columnar, cfg.flat_probe);
+                    let columnar = cfg.columnar;
                     let telemetry = cfg.telemetry.clone();
+                    let hook = fault_hook.clone();
                     std::thread::Builder::new()
                         .name(format!("pretzel-exec-{i}"))
                         .spawn(move || {
                             sharded_worker_loop(
-                                i, queues, stats, pool, columnar, cache, flat_probe, telemetry,
+                                i, queues, stats, pool, columnar, cache, telemetry, hook,
                             )
                         })
                         .expect("spawn executor")
@@ -705,14 +723,13 @@ impl Scheduler {
                     let stats = Arc::clone(&stats);
                     let cache = cfg.cache.clone();
                     let pool = Arc::clone(pool);
-                    let (columnar, flat_probe) = (cfg.columnar, cfg.flat_probe);
+                    let columnar = cfg.columnar;
                     let telemetry = cfg.telemetry.clone();
+                    let hook = fault_hook.clone();
                     std::thread::Builder::new()
                         .name(format!("pretzel-exec-{i}"))
                         .spawn(move || {
-                            executor_loop(
-                                queue, stats, pool, columnar, cache, flat_probe, telemetry,
-                            )
+                            executor_loop(queue, stats, pool, columnar, cache, telemetry, hook)
                         })
                         .expect("spawn executor")
                 })
@@ -730,9 +747,17 @@ impl Scheduler {
             chunk_size: cfg.chunk_size.max(1),
             columnar: cfg.columnar,
             cache: cfg.cache,
-            flat_probe: cfg.flat_probe,
             telemetry: cfg.telemetry,
+            fault_hook,
         }
+    }
+
+    /// Installs the fault-policy callback invoked (on the faulting
+    /// executor's thread) each time a panic is contained, with the
+    /// faulting plan's id. Replaces any previous hook; executors pick the
+    /// new hook up on their next contained fault.
+    pub fn set_fault_hook(&self, hook: FaultHook) {
+        *self.fault_hook.0.lock() = Some(hook);
     }
 
     /// Scheduler counters.
@@ -757,14 +782,14 @@ impl Scheduler {
         let stats = Arc::clone(&self.stats);
         let columnar = self.columnar;
         let cache = self.cache.clone();
-        let flat_probe = self.flat_probe;
         let telemetry = self.telemetry.clone();
+        let hook = self.fault_hook.clone();
         let pool = Arc::new(build_pool(self.pooling, self.fallback_pool.as_ref()));
         let q = Arc::clone(&queue);
         let p = Arc::clone(&pool);
         let handle = std::thread::Builder::new()
             .name(format!("pretzel-reserved-{plan_id}"))
-            .spawn(move || executor_loop(q, stats, p, columnar, cache, flat_probe, telemetry))
+            .spawn(move || executor_loop(q, stats, p, columnar, cache, telemetry, hook))
             .expect("spawn reserved executor");
         reserved.insert(
             plan_id,
@@ -823,6 +848,27 @@ impl Scheduler {
             agg.misses += pool.stats().misses();
         }
         agg
+    }
+
+    /// Outstanding leases across every executor pool (shared and
+    /// reserved): acquisitions minus returns, where a buffer dropped on a
+    /// full size class counts as returned. At quiescence this is the
+    /// number of leased buffers that never came home — the unwind-safety
+    /// observable: a contained fault that leaked its chunk's working set
+    /// shows up here even though hit/miss ratios look healthy.
+    pub fn pool_outstanding(&self) -> i64 {
+        let reserved = self.reserved.lock();
+        let mut out = 0i64;
+        for pool in self
+            .exec_pools
+            .iter()
+            .chain(reserved.values().map(|r| &r.pool))
+        {
+            let s = pool.stats();
+            out += (s.hits() + s.misses()) as i64;
+            out -= (s.released() + s.dropped()) as i64;
+        }
+        out
     }
 
     /// Tears down a plan's reservation: removes the queue from the routing
@@ -978,6 +1024,7 @@ impl Scheduler {
                     enqueued_at: Instant::now(),
                     high: false,
                 }),
+                plan_id,
                 plan: Arc::clone(&plan),
                 input: input.clone(),
                 range: (start, end),
@@ -1059,10 +1106,10 @@ fn executor_loop(
     pool: Arc<VectorPool>,
     columnar: bool,
     cache: Option<Arc<MaterializationCache>>,
-    flat_probe: bool,
     telemetry: Option<Arc<MetricsRegistry>>,
+    fault_hook: FaultHookCell,
 ) {
-    let mut ctx = ExecCtx::new(Arc::clone(&pool)).with_flat_probe(flat_probe);
+    let mut ctx = ExecCtx::new(Arc::clone(&pool));
     if let Some(c) = cache {
         ctx = ctx.with_cache(c);
     }
@@ -1070,7 +1117,7 @@ fn executor_loop(
         ctx = ctx.with_telemetry(t);
     }
     while let Some(task) = queue.pop() {
-        run_chunk_stage(task, &queue, &pool, &mut ctx, &stats, columnar);
+        run_chunk_stage(task, &queue, &pool, &mut ctx, &stats, columnar, &fault_hook);
     }
 }
 
@@ -1087,10 +1134,10 @@ fn sharded_worker_loop(
     pool: Arc<VectorPool>,
     columnar: bool,
     cache: Option<Arc<MaterializationCache>>,
-    flat_probe: bool,
     telemetry: Option<Arc<MetricsRegistry>>,
+    fault_hook: FaultHookCell,
 ) {
-    let mut ctx = ExecCtx::new(Arc::clone(&pool)).with_flat_probe(flat_probe);
+    let mut ctx = ExecCtx::new(Arc::clone(&pool));
     if let Some(c) = cache {
         ctx = ctx.with_cache(c);
     }
@@ -1103,12 +1150,12 @@ fn sharded_worker_loop(
     let mut rng: u64 = 0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(idx as u64 + 1) | 1;
     loop {
         if let Some(task) = own.try_pop() {
-            run_chunk_stage(task, &own, &pool, &mut ctx, &stats, columnar);
+            run_chunk_stage(task, &own, &pool, &mut ctx, &stats, columnar, &fault_hook);
             continue;
         }
         if let Some(task) = steal_from(&queues, idx, &mut rng) {
             stats.steals.fetch_add(1, Ordering::Relaxed);
-            run_chunk_stage(task, &own, &pool, &mut ctx, &stats, columnar);
+            run_chunk_stage(task, &own, &pool, &mut ctx, &stats, columnar, &fault_hook);
             continue;
         }
         // Nothing local and every probed victim was dry: park on the own
@@ -1157,6 +1204,7 @@ fn steal_from(queues: &[Arc<DualQueue>], idx: usize, rng: &mut u64) -> Option<Ch
     queues[first].steal().or_else(|| queues[second].steal())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_chunk_stage(
     mut task: ChunkTask,
     queue: &Arc<DualQueue>,
@@ -1164,6 +1212,7 @@ fn run_chunk_stage(
     ctx: &mut ExecCtx,
     stats: &Arc<SchedStats>,
     columnar: bool,
+    fault_hook: &FaultHookCell,
 ) {
     let (start, end) = task.range;
     let n = end - start;
@@ -1247,7 +1296,16 @@ fn run_chunk_stage(
         }
     }
     let stage = &task.plan.stages[task.stage];
-    match &mut task.working {
+    // The fault containment boundary: operator code below this point runs
+    // under `catch_unwind`, so a panicking kernel fails its own chunk with
+    // a clean `ExecutionFault` instead of killing the executor thread and
+    // every queue behind it. `AssertUnwindSafe` is justified because every
+    // piece of state the closure can leave inconsistent is recovered on
+    // the panic path: stranded scratch drains back to the pool
+    // (`recover_scratch`), the chunk's leased working set returns through
+    // `finish_chunk_error` → `release_leases`, and the gate pass drops in
+    // `complete_chunk` — nothing else outlives the chunk.
+    let outcome = match &mut task.working {
         ChunkWorkingSet::Columnar(slots) => {
             // Chunk-level cache probe inputs: one source hash per row
             // (mirrors the per-record branch below, which hashes each
@@ -1280,23 +1338,50 @@ fn run_chunk_stage(
                     }
                 }
             }
-            if let Err(e) = stage.execute_batch(slots, n, ctx) {
-                finish_chunk_error(task, e);
-                return;
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                stage.execute_batch(slots, n, ctx)
+            })) {
+                Ok(Ok(())) => None,
+                Ok(Err(e)) => Some(e),
+                Err(payload) => Some(contain_panic(ctx, payload)),
             }
         }
         ChunkWorkingSet::Records(leases) => {
+            let mut failed = None;
             for (i, lease) in leases.iter_mut().enumerate() {
                 if ctx.cache.is_some() {
                     ctx.source_hash = task.input.hash_at(start + i);
                 }
-                if let Err(e) = stage.execute(lease, ctx) {
-                    finish_chunk_error(task, e);
-                    return;
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    stage.execute(lease, ctx)
+                })) {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => {
+                        failed = Some(e);
+                        break;
+                    }
+                    Err(payload) => {
+                        failed = Some(contain_panic(ctx, payload));
+                        break;
+                    }
                 }
             }
+            failed
         }
         ChunkWorkingSet::Unleased => unreachable!("working set leased at stage 0"),
+    };
+    if let Some(err) = outcome {
+        if matches!(err, DataError::ExecutionFault(_)) {
+            if let (Some(m), Some(t0)) = (&task.meter, stage_start) {
+                m.rec.record_fault(t0.elapsed().as_nanos() as u64);
+            }
+            let hook = fault_hook.0.lock().clone();
+            if let Some(hook) = hook {
+                hook(task.plan_id);
+            }
+        }
+        finish_chunk_error(task, err);
+        return;
     }
     stats.stage_events.fetch_add(1, Ordering::Relaxed);
     if let (Some(m), Some(t0)) = (&task.meter, stage_start) {
@@ -1391,6 +1476,27 @@ fn release_leases(task: &mut ChunkTask) {
     }
 }
 
+/// Panic-path recovery for an executor context: returns any scratch the
+/// unwind stranded in `ctx` to its pool and converts the panic payload
+/// into the clean [`DataError::ExecutionFault`] the chunk fails with.
+fn contain_panic(ctx: &mut ExecCtx, payload: Box<dyn std::any::Any + Send>) -> DataError {
+    ctx.recover_scratch();
+    DataError::ExecutionFault(panic_message(payload.as_ref()))
+}
+
+/// Best-effort extraction of a human-readable message from a panic
+/// payload (`panic!` with a literal yields `&str`, with a format string
+/// `String`; anything else gets a generic label).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "operator panicked".to_string()
+    }
+}
+
 fn finish_chunk_error(mut task: ChunkTask, err: DataError) {
     release_leases(&mut task);
     task.state.error.lock().get_or_insert(err);
@@ -1452,7 +1558,7 @@ mod tests {
     #[test]
     fn batch_results_match_inline_execution() {
         let plan = sa_plan(3);
-        let sched = Scheduler::new(2, true, 4, true, None, true);
+        let sched = Scheduler::new(2, true, 4, true, None);
         let recs = records(17);
         let handle = sched.submit_batch(0, Arc::clone(&plan), recs.clone());
         let scores = handle.wait().unwrap();
@@ -1480,7 +1586,7 @@ mod tests {
     #[test]
     fn empty_batch_completes_immediately() {
         let plan = sa_plan(1);
-        let sched = Scheduler::new(1, true, 8, true, None, true);
+        let sched = Scheduler::new(1, true, 8, true, None);
         let scores = sched.submit_batch(0, plan, vec![]).wait().unwrap();
         assert!(scores.is_empty());
         sched.shutdown();
@@ -1489,7 +1595,7 @@ mod tests {
     #[test]
     fn concurrent_batches_across_plans() {
         let plans: Vec<_> = (0..4).map(sa_plan).collect();
-        let sched = Scheduler::new(4, true, 8, true, None, true);
+        let sched = Scheduler::new(4, true, 8, true, None);
         let handles: Vec<_> = plans
             .iter()
             .enumerate()
@@ -1511,7 +1617,7 @@ mod tests {
     #[test]
     fn errors_propagate_to_handle() {
         let plan = sa_plan(5);
-        let sched = Scheduler::new(2, true, 4, true, None, true);
+        let sched = Scheduler::new(2, true, 4, true, None);
         // Dense record into a text pipeline: source load fails.
         let handle = sched.submit_batch(0, plan, vec![Record::Dense(vec![1.0, 2.0])]);
         assert!(handle.wait().is_err());
@@ -1521,7 +1627,7 @@ mod tests {
     #[test]
     fn reserved_plan_executes_on_dedicated_queue() {
         let plan = sa_plan(9);
-        let sched = Scheduler::new(1, true, 4, true, None, true);
+        let sched = Scheduler::new(1, true, 4, true, None);
         sched.reserve(7);
         let h = sched.submit_batch(7, Arc::clone(&plan), records(5));
         assert_eq!(h.wait().unwrap().len(), 5);
@@ -1535,8 +1641,8 @@ mod tests {
     fn columnar_and_per_record_chunks_agree_bitwise() {
         let plan = sa_plan(21);
         let recs = records(37);
-        let columnar = Scheduler::new(2, true, 8, true, None, true);
-        let per_record = Scheduler::new(2, true, 8, false, None, true);
+        let columnar = Scheduler::new(2, true, 8, true, None);
+        let per_record = Scheduler::new(2, true, 8, false, None);
         let a = columnar
             .submit_batch(0, Arc::clone(&plan), recs.clone())
             .wait()
@@ -1553,7 +1659,7 @@ mod tests {
     #[test]
     fn per_record_fallback_still_correct() {
         let plan = sa_plan(23);
-        let sched = Scheduler::new(2, true, 4, false, None, true);
+        let sched = Scheduler::new(2, true, 4, false, None);
         let recs = records(9);
         let scores = sched
             .submit_batch(0, Arc::clone(&plan), recs.clone())
@@ -1576,7 +1682,7 @@ mod tests {
     #[test]
     fn columnar_errors_propagate_and_release_leases() {
         let plan = sa_plan(25);
-        let sched = Scheduler::new(1, true, 4, true, None, true);
+        let sched = Scheduler::new(1, true, 4, true, None);
         // Dense record into a text pipeline: batch source load fails.
         let handle = sched.submit_batch(0, plan, vec![Record::Dense(vec![1.0])]);
         assert!(handle.wait().is_err());
@@ -1589,8 +1695,8 @@ mod tests {
         // forced the per-record chunk loop; the two now compose.
         let cache_a = Arc::new(MaterializationCache::new(1 << 20));
         let cache_b = Arc::new(MaterializationCache::new(1 << 20));
-        let columnar = Scheduler::new(1, true, 4, true, Some(Arc::clone(&cache_a)), true);
-        let per_record = Scheduler::new(1, true, 4, false, Some(Arc::clone(&cache_b)), true);
+        let columnar = Scheduler::new(1, true, 4, true, Some(Arc::clone(&cache_a)));
+        let per_record = Scheduler::new(1, true, 4, false, Some(Arc::clone(&cache_b)));
         assert!(columnar.columnar());
         assert!(!per_record.columnar());
         let plan = sa_plan(31);
@@ -1630,7 +1736,7 @@ mod tests {
     #[test]
     fn pooling_disabled_still_correct() {
         let plan = sa_plan(11);
-        let sched = Scheduler::new(2, false, 4, true, None, true);
+        let sched = Scheduler::new(2, false, 4, true, None);
         let scores = sched.submit_batch(0, plan, records(9)).wait().unwrap();
         assert_eq!(scores.len(), 9);
         sched.shutdown();
@@ -1639,7 +1745,7 @@ mod tests {
     #[test]
     fn unreserve_drains_and_joins_the_dedicated_executor() {
         let plan = sa_plan(41);
-        let sched = Scheduler::new(1, true, 4, true, None, true);
+        let sched = Scheduler::new(1, true, 4, true, None);
         sched.reserve(3);
         assert_eq!(sched.reserved_count(), 1);
         let h = sched.submit_batch(3, Arc::clone(&plan), records(13));
@@ -1657,7 +1763,7 @@ mod tests {
     #[test]
     fn reserve_unreserve_churn_does_not_leak_threads() {
         let plan = sa_plan(43);
-        let sched = Scheduler::new(1, true, 4, true, None, true);
+        let sched = Scheduler::new(1, true, 4, true, None);
         for round in 0..20u32 {
             sched.reserve(round);
             let h = sched.submit_batch(round, Arc::clone(&plan), records(3));
@@ -1671,7 +1777,7 @@ mod tests {
     #[test]
     fn drop_without_shutdown_joins_cleanly() {
         let plan = sa_plan(13);
-        let sched = Scheduler::new(2, true, 4, true, None, true);
+        let sched = Scheduler::new(2, true, 4, true, None);
         let h = sched.submit_batch(0, plan, records(3));
         let _ = h.wait().unwrap();
         drop(sched);
@@ -1684,7 +1790,6 @@ mod tests {
             chunk_size: chunk,
             columnar: true,
             cache: None,
-            flat_probe: true,
             sharded,
             telemetry: None,
         })

@@ -280,6 +280,8 @@ struct PlanShard {
     queue_wait_low_ns: AtomicHistogram,
     queue_wait_high_ns: AtomicHistogram,
     stage_exec_ns: AtomicHistogram,
+    faults: AtomicU64,
+    fault_ns: AtomicHistogram,
 }
 
 /// Per-plan metric set: sharded per writer thread, resolved once per
@@ -337,6 +339,16 @@ impl PlanRecorder {
         s.stage_rows.fetch_add(rows, Ordering::Relaxed);
     }
 
+    /// One contained execution fault: `ns` is the time the faulting
+    /// stage/request burned before it panicked (the wasted-work signal
+    /// that pairs with the fault rate).
+    #[inline]
+    pub fn record_fault(&self, ns: u64) {
+        let s = self.shard();
+        s.faults.fetch_add(1, Ordering::Relaxed);
+        s.fault_ns.record(ns);
+    }
+
     fn snapshot(&self, plan: u32) -> PlanMetricsSnapshot {
         let mut snap = PlanMetricsSnapshot {
             plan,
@@ -354,10 +366,12 @@ impl PlanRecorder {
             snap.stage_rows = snap
                 .stage_rows
                 .wrapping_add(s.stage_rows.load(Ordering::Relaxed));
+            snap.faults = snap.faults.wrapping_add(s.faults.load(Ordering::Relaxed));
             s.queue_wait_low_ns.merge_into(&mut snap.queue_wait_low_ns);
             s.queue_wait_high_ns
                 .merge_into(&mut snap.queue_wait_high_ns);
             s.stage_exec_ns.merge_into(&mut snap.stage_exec_ns);
+            s.fault_ns.merge_into(&mut snap.fault_ns);
         }
         snap
     }
@@ -567,6 +581,14 @@ pub struct PlanMetricsSnapshot {
     pub queue_wait_high_ns: Histogram,
     /// Per-`PhysicalStage` execution time, one sample per chunk-stage event.
     pub stage_exec_ns: Histogram,
+    /// Contained execution faults (operator panics) attributed to this
+    /// plan, across both engines.
+    pub faults: u64,
+    /// Time each faulting stage/request burned before it panicked.
+    pub fault_ns: Histogram,
+    /// True when the fault policy has quarantined this plan (stamped at
+    /// snapshot time from the plan's gate, not a telemetry counter).
+    pub quarantined: bool,
 }
 
 impl PlanMetricsSnapshot {
@@ -672,9 +694,12 @@ impl MetricsSnapshot {
             put_u64(out, p.rr_requests);
             put_u64(out, p.records);
             put_u64(out, p.stage_rows);
+            put_u64(out, p.faults);
+            out.push(p.quarantined as u8);
             p.queue_wait_low_ns.encode(out);
             p.queue_wait_high_ns.encode(out);
             p.stage_exec_ns.encode(out);
+            p.fault_ns.encode(out);
         }
     }
 
@@ -757,9 +782,12 @@ impl MetricsSnapshot {
                 rr_requests: cur.u64()?,
                 records: cur.u64()?,
                 stage_rows: cur.u64()?,
+                faults: cur.u64()?,
+                quarantined: Self::decode_bool(cur)?,
                 queue_wait_low_ns: Histogram::decode(cur)?,
                 queue_wait_high_ns: Histogram::decode(cur)?,
                 stage_exec_ns: Histogram::decode(cur)?,
+                fault_ns: Histogram::decode(cur)?,
             });
         }
         Ok(MetricsSnapshot {
@@ -849,15 +877,18 @@ impl MetricsSnapshot {
                 s.push(',');
             }
             s.push_str(&format!(
-                "{{\"plan\":{},\"batch_requests\":{},\"rr_requests\":{},\"records\":{},\"stage_rows\":{},\"queue_wait_low_ns\":{},\"queue_wait_high_ns\":{},\"stage_exec_ns\":{}}}",
+                "{{\"plan\":{},\"batch_requests\":{},\"rr_requests\":{},\"records\":{},\"stage_rows\":{},\"faults\":{},\"quarantined\":{},\"queue_wait_low_ns\":{},\"queue_wait_high_ns\":{},\"stage_exec_ns\":{},\"fault_ns\":{}}}",
                 p.plan,
                 p.batch_requests,
                 p.rr_requests,
                 p.records,
                 p.stage_rows,
+                p.faults,
+                p.quarantined,
                 p.queue_wait_low_ns.to_json(),
                 p.queue_wait_high_ns.to_json(),
-                p.stage_exec_ns.to_json()
+                p.stage_exec_ns.to_json(),
+                p.fault_ns.to_json()
             ));
         }
         s.push_str("]}");
@@ -928,18 +959,23 @@ impl MetricsSnapshot {
         for p in &self.plans {
             let access = self.plan_access(p.plan);
             s.push_str(&format!(
-                "plan {}: batch_req={} rr_req={} records={} stage_rows={} accesses={} last_epoch={}\n",
+                "plan {}: batch_req={} rr_req={} records={} stage_rows={} faults={}{} accesses={} last_epoch={}\n",
                 p.plan,
                 p.batch_requests,
                 p.rr_requests,
                 p.records,
                 p.stage_rows,
+                p.faults,
+                if p.quarantined { " QUARANTINED" } else { "" },
                 access.map_or(0, |a| a.accesses),
                 access.map_or(0, |a| a.last_access_epoch)
             ));
             s.push_str(&hist_line("queue_wait_low_ns", &p.queue_wait_low_ns));
             s.push_str(&hist_line("queue_wait_high_ns", &p.queue_wait_high_ns));
             s.push_str(&hist_line("stage_exec_ns", &p.stage_exec_ns));
+            if p.faults > 0 {
+                s.push_str(&hist_line("fault_ns", &p.fault_ns));
+            }
         }
         s
     }
@@ -985,7 +1021,9 @@ mod tests {
         rec.note_batch_request();
         rec.record_queue_wait(false, 1_000);
         rec.record_stage(8_000, 16);
+        rec.record_fault(2_500);
         let mut snap = reg.snapshot();
+        snap.plans[0].quarantined = true;
         snap.mat_cache = Some(MatCacheStats {
             hits: 1,
             misses: 2,
@@ -1006,8 +1044,13 @@ mod tests {
         assert_eq!(back.plans[0].batch_requests, 1);
         assert_eq!(back.plans[0].stage_rows, 16);
         assert_eq!(back.plans[0].stage_exec_ns, snap.plans[0].stage_exec_ns);
+        assert_eq!(back.plans[0].faults, 1);
+        assert!(back.plans[0].quarantined);
+        assert_eq!(back.plans[0].fault_ns, snap.plans[0].fault_ns);
         assert_eq!(back.plan_access(7).unwrap().accesses, 1);
         assert!(back.to_json().contains("\"plan\":7"));
+        assert!(back.to_json().contains("\"faults\":1"));
         assert!(back.render_text().contains("plan 7:"));
+        assert!(back.render_text().contains("QUARANTINED"));
     }
 }

@@ -36,6 +36,14 @@ pub enum DataError {
     /// while any in-flight work completes on the retiring plan (model
     /// lifecycle drain protocol).
     PlanRetired(u32),
+    /// An operator panicked mid-execution. The panic was contained at the
+    /// scheduler boundary: the faulting chunk's requests fail with this
+    /// error, the executor thread and every other request keep serving.
+    ExecutionFault(String),
+    /// The addressed plan was quarantined by the fault policy (too many
+    /// execution faults inside the sliding window); new submissions are
+    /// rejected until an operator redeploys or rolls the alias back.
+    PlanQuarantined(u32),
 }
 
 impl fmt::Display for DataError {
@@ -55,6 +63,10 @@ impl fmt::Display for DataError {
             DataError::Pool(msg) => write!(f, "vector pool error: {msg}"),
             DataError::Runtime(msg) => write!(f, "runtime error: {msg}"),
             DataError::PlanRetired(id) => write!(f, "plan {id} is retired (undeployed)"),
+            DataError::ExecutionFault(msg) => write!(f, "execution fault: {msg}"),
+            DataError::PlanQuarantined(id) => {
+                write!(f, "plan {id} is quarantined (fault threshold exceeded)")
+            }
         }
     }
 }

@@ -38,6 +38,7 @@ pub struct BatchAssembler {
     rows: ColumnBatch,
     hashes: Vec<u64>,
     hashing: bool,
+    reject_non_finite: bool,
 }
 
 impl BatchAssembler {
@@ -62,7 +63,20 @@ impl BatchAssembler {
             rows,
             hashes: Vec::new(),
             hashing,
+            reject_non_finite: false,
         }
+    }
+
+    /// Rejects NaN/Inf feature values at decode time (dense and sparse
+    /// rows; text rows carry no floats). A non-finite feature poisons every
+    /// comparison downstream — and under bitwise-stability ablations two
+    /// NaN payloads with different bit patterns would even hash to distinct
+    /// cache keys while comparing unequal to themselves — so the ingest
+    /// boundary is the one place it can be refused as a clean
+    /// [`DataError::Codec`] instead of a kernel-level surprise.
+    pub fn reject_non_finite(mut self, on: bool) -> Self {
+        self.reject_non_finite = on;
+        self
     }
 
     /// Column type of the assembled rows.
@@ -135,6 +149,9 @@ impl BatchAssembler {
 
     /// Appends a dense row; its length must match the batch width.
     pub fn push_dense(&mut self, xs: &[f32]) -> Result<()> {
+        if self.reject_non_finite {
+            check_finite(xs)?;
+        }
         self.rows.push_row(ColRef::Dense(xs))?;
         if self.hashing {
             self.hashes.push(content_hash_dense(xs));
@@ -162,6 +179,9 @@ impl BatchAssembler {
             )));
         }
         validate_sparse_indices(indices, dim)?;
+        if self.reject_non_finite {
+            check_finite(values)?;
+        }
         self.rows.push_row(ColRef::Sparse {
             indices,
             values,
@@ -222,18 +242,34 @@ impl BatchAssembler {
             )));
         }
         let row = self.rows.push_dense_row()?;
+        let mut finite = true;
         if self.hashing {
             let mut h = Fnv1a::new();
             for slot in row.iter_mut() {
                 let v = cur.f32()?;
                 *slot = v;
+                finite &= v.is_finite();
                 h.write_f32(v);
             }
             self.hashes.push(h.finish());
         } else {
             for slot in row.iter_mut() {
-                *slot = cur.f32()?;
+                let v = cur.f32()?;
+                *slot = v;
+                finite &= v.is_finite();
             }
+        }
+        if self.reject_non_finite && !finite {
+            // Roll the freshly written row (and its hash) back so the
+            // assembler stays consistent for the error reply path.
+            if let ColumnBatch::Dense { data, dim, rows } = &mut self.rows {
+                *rows -= 1;
+                data.truncate(*rows * *dim);
+            }
+            if self.hashing {
+                self.hashes.pop();
+            }
+            return Err(non_finite_err());
         }
         Ok(())
     }
@@ -269,6 +305,7 @@ impl BatchAssembler {
         };
         let tail = indices.len();
         let hashing = self.hashing;
+        let reject = self.reject_non_finite;
         let mut decode = || -> Result<u64> {
             for _ in 0..nnz {
                 indices.push(cur.u32()?);
@@ -276,6 +313,9 @@ impl BatchAssembler {
             validate_sparse_indices(&indices[tail..], dim)?;
             for _ in 0..nnz {
                 values.push(cur.f32()?);
+            }
+            if reject {
+                check_finite(&values[tail..])?;
             }
             Ok(if hashing {
                 content_hash_sparse(&indices[tail..], &values[tail..], dim)
@@ -316,6 +356,20 @@ pub fn hash_row(row: ColRef<'_>) -> u64 {
             dim,
         } => content_hash_sparse(indices, values, dim),
         ColRef::Tokens(_) | ColRef::Scalar(_) => 0,
+    }
+}
+
+fn non_finite_err() -> DataError {
+    DataError::Codec("non-finite feature value (NaN/Inf) rejected at ingest".into())
+}
+
+/// Checks that every feature value is finite — the opt-in ingest-boundary
+/// guard behind [`BatchAssembler::reject_non_finite`].
+pub fn check_finite(values: &[f32]) -> Result<()> {
+    if values.iter().all(|v| v.is_finite()) {
+        Ok(())
+    } else {
+        Err(non_finite_err())
     }
 }
 
@@ -535,6 +589,50 @@ mod tests {
         assert_eq!(hacc.hashes().len(), 2);
         assert_eq!(hacc.hash(0), content_hash_text("first"));
         assert_eq!(hacc.hash(1), content_hash_text("second"));
+    }
+
+    #[test]
+    fn non_finite_rows_rejected_when_opted_in() {
+        // Dense decode: NaN mid-row rejects and rolls the row back.
+        let mut a = BatchAssembler::new(ColumnBatch::with_type(ColumnType::F32Dense { len: 3 }))
+            .reject_non_finite(true);
+        let mut body = Vec::new();
+        wire::put_f32s(&mut body, &[1.0, f32::NAN, 0.5]);
+        assert!(a.decode_dense_row(&mut Cursor::new(&body)).is_err());
+        assert_eq!(a.rows(), 0);
+        assert!(a.hashes().is_empty(), "rolled-back row leaves no hash");
+        // The assembler is still usable; finite rows still decode.
+        let mut body = Vec::new();
+        wire::put_f32s(&mut body, &[1.0, 2.0, 0.5]);
+        a.decode_dense_row(&mut Cursor::new(&body)).unwrap();
+        assert_eq!(a.rows(), 1);
+        assert!(a.push_dense(&[1.0, f32::INFINITY, 0.0]).is_err());
+        assert_eq!(a.rows(), 1);
+
+        // Sparse decode: Inf value rejects and rolls back.
+        let mut s = BatchAssembler::new(ColumnBatch::with_type(ColumnType::F32Sparse { len: 8 }))
+            .reject_non_finite(true);
+        let mut body = Vec::new();
+        wire::put_u32(&mut body, 8);
+        wire::put_u32(&mut body, 2);
+        wire::put_u32(&mut body, 1);
+        wire::put_u32(&mut body, 5);
+        wire::put_f32(&mut body, 2.0);
+        wire::put_f32(&mut body, f32::NEG_INFINITY);
+        assert!(s.decode_sparse_row(&mut Cursor::new(&body)).is_err());
+        assert_eq!(s.rows(), 0);
+        assert!(s.push_sparse(&[0], &[f32::NAN]).is_err());
+        s.push_sparse(&[0, 3], &[1.0, 2.0]).unwrap();
+        assert_eq!(s.rows(), 1);
+    }
+
+    #[test]
+    fn non_finite_rows_pass_by_default() {
+        // The guard is opt-in: the data layer stays permissive unless the
+        // serving runtime turns it on.
+        let mut a = BatchAssembler::new(ColumnBatch::with_type(ColumnType::F32Dense { len: 2 }));
+        a.push_dense(&[f32::NAN, f32::INFINITY]).unwrap();
+        assert_eq!(a.rows(), 1);
     }
 
     #[test]

@@ -38,73 +38,15 @@
 //!   startup-calibrated cache threshold in [`crate::calibrate`], not a
 //!   hard-coded constant.
 //!
-//! [`flat_probe`] selects this table over the `HashMap` control path in
-//! the n-gram kernels; both paths return identical hits for identical
-//! keys, so flipping it mid-run changes throughput, never results. The
-//! process-wide default ([`set_flat_probe`]) can be overridden per thread
-//! and scope via [`scoped_flat_probe`], which is how each runtime applies
-//! its own `RuntimeConfig::flat_ngram_probe` without fighting other
-//! runtimes (or tests) in the same process.
-
-use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, Ordering};
+//! This table is the n-gram kernels' only probe structure; the `HashMap`
+//! control path it was originally ablated against (and the process/thread
+//! knob that selected between them) retired with the ablation era.
 
 /// Fibonacci-hashing multiplier (2^64 / φ).
 const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// Slots per tag-group scan step (one SSE2 register of byte tags).
 const GROUP: usize = 16;
-
-/// Process-wide probe-path default: flat table (default) vs `HashMap`.
-static FLAT_PROBE: AtomicBool = AtomicBool::new(true);
-
-thread_local! {
-    /// Per-thread override of [`FLAT_PROBE`], installed by
-    /// [`scoped_flat_probe`] for the duration of a plan execution.
-    static TL_FLAT: Cell<Option<bool>> = const { Cell::new(None) };
-}
-
-/// Sets the process-wide default probe path the n-gram matching kernels
-/// use: `true` (the default) probes the flat table, `false` keeps the
-/// `HashMap` control path. Both are bitwise-identical in results; the
-/// knob is the ablation switch. Threads inside a
-/// [`scoped_flat_probe`] scope don't see changes until the scope ends.
-pub fn set_flat_probe(on: bool) {
-    FLAT_PROBE.store(on, Ordering::Relaxed);
-}
-
-/// True if the flat probe table is the active matching path on this
-/// thread: the innermost [`scoped_flat_probe`] scope if one is active,
-/// the process-wide default otherwise.
-pub fn flat_probe() -> bool {
-    TL_FLAT
-        .with(Cell::get)
-        .unwrap_or_else(|| FLAT_PROBE.load(Ordering::Relaxed))
-}
-
-/// RAII guard restoring the previous probe-path selection on drop.
-#[must_use = "dropping the guard immediately restores the previous probe path"]
-#[derive(Debug)]
-pub struct ProbePathGuard {
-    prev: Option<bool>,
-}
-
-/// Overrides the probe path for the current thread until the returned
-/// guard drops (scopes nest). This is how `ExecCtx` pins each plan
-/// execution to its runtime's configured path without a process-wide
-/// write racing other runtimes in the same process.
-pub fn scoped_flat_probe(on: bool) -> ProbePathGuard {
-    ProbePathGuard {
-        prev: TL_FLAT.with(|c| c.replace(Some(on))),
-    }
-}
-
-impl Drop for ProbePathGuard {
-    fn drop(&mut self) {
-        let prev = self.prev;
-        TL_FLAT.with(|c| c.set(prev));
-    }
-}
 
 /// A build-once, probe-many open-addressing table keyed by prehashed
 /// `u64`s. First insert per key wins (the n-gram dictionary's stable-index
@@ -634,24 +576,5 @@ mod tests {
         for h in [0u64, 7, u64::MAX] {
             t.prefetch(h); // must not fault
         }
-    }
-
-    #[test]
-    fn knob_round_trips_and_scopes_nest() {
-        assert!(flat_probe(), "flat probing is the default");
-        set_flat_probe(false);
-        assert!(!flat_probe());
-        set_flat_probe(true);
-        assert!(flat_probe());
-        {
-            let _outer = scoped_flat_probe(false);
-            assert!(!flat_probe(), "scope overrides the process default");
-            {
-                let _inner = scoped_flat_probe(true);
-                assert!(flat_probe(), "inner scope wins");
-            }
-            assert!(!flat_probe(), "inner drop restores outer scope");
-        }
-        assert!(flat_probe(), "outer drop restores the process default");
     }
 }

@@ -29,6 +29,8 @@
 
 pub mod annotations;
 pub mod bayes;
+#[cfg(feature = "fault-op")]
+pub mod fault;
 pub mod feat;
 pub mod kmeans;
 pub mod linear;

@@ -10,6 +10,8 @@
 
 use crate::annotations::Annotations;
 use crate::bayes::NaiveBayesParams;
+#[cfg(feature = "fault-op")]
+use crate::fault::FaultParams;
 use crate::feat::binner::BinnerParams;
 use crate::feat::concat::ConcatParams;
 use crate::feat::imputer::ImputerParams;
@@ -70,6 +72,10 @@ pub enum OpKind {
     KMeans,
     /// PCA projector.
     Pca,
+    /// Deliberately-faulting synthetic op (feature `fault-op`; excluded
+    /// from [`OpKind::ALL`] — it never appears in real model registries).
+    #[cfg(feature = "fault-op")]
+    FaultInjector,
 }
 
 impl OpKind {
@@ -94,6 +100,8 @@ impl OpKind {
             OpKind::TreeFeaturizer => "TreeFeaturizer",
             OpKind::KMeans => "KMeans",
             OpKind::Pca => "Pca",
+            #[cfg(feature = "fault-op")]
+            OpKind::FaultInjector => "FaultInjector",
         }
     }
 
@@ -106,6 +114,8 @@ impl OpKind {
     }
 
     /// All kinds, for registry-style iteration in tests and tools.
+    /// The synthetic `FaultInjector` (feature `fault-op`) is deliberately
+    /// absent: it never appears in real model registries.
     pub const ALL: [OpKind; 18] = [
         OpKind::CsvParse,
         OpKind::Tokenizer,
@@ -167,6 +177,9 @@ pub enum Op {
     KMeans(Arc<KMeansParams>),
     /// See [`PcaParams`].
     Pca(Arc<PcaParams>),
+    /// See [`FaultParams`] (feature `fault-op`).
+    #[cfg(feature = "fault-op")]
+    FaultInjector(Arc<FaultParams>),
 }
 
 fn text_input<'a>(inputs: &[&'a Vector], i: usize) -> Result<&'a str> {
@@ -232,6 +245,8 @@ impl Op {
             Op::TreeFeaturizer(_) => OpKind::TreeFeaturizer,
             Op::KMeans(_) => OpKind::KMeans,
             Op::Pca(_) => OpKind::Pca,
+            #[cfg(feature = "fault-op")]
+            Op::FaultInjector(_) => OpKind::FaultInjector,
         }
     }
 
@@ -254,6 +269,8 @@ impl Op {
             Op::MulticlassTree(p) => p.annotations(),
             Op::KMeans(p) => p.annotations(),
             Op::Pca(p) => p.annotations(),
+            #[cfg(feature = "fault-op")]
+            Op::FaultInjector(p) => p.annotations(),
         }
     }
 
@@ -372,6 +389,11 @@ impl Op {
                 numeric(0, p.dim as usize)?;
                 Ok(ColumnType::F32Dense { len: p.m as usize })
             }
+            #[cfg(feature = "fault-op")]
+            Op::FaultInjector(_) => {
+                text(0)?;
+                Ok(ColumnType::Text)
+            }
         }
     }
 
@@ -400,6 +422,8 @@ impl Op {
             Op::TreeFeaturizer(p) => p.apply_featurize(one_input(inputs)?, out),
             Op::KMeans(p) => p.apply(one_input(inputs)?, out),
             Op::Pca(p) => p.apply(one_input(inputs)?, out),
+            #[cfg(feature = "fault-op")]
+            Op::FaultInjector(p) => p.apply(text_input(inputs, 0)?, out),
         }
     }
 
@@ -500,6 +524,8 @@ impl Op {
             Op::TreeFeaturizer(p) => p.eval_batch_featurize(one_batch(inputs)?, out),
             Op::KMeans(p) => p.eval_batch(one_batch(inputs)?, out),
             Op::Pca(p) => p.eval_batch(one_batch(inputs)?, out),
+            #[cfg(feature = "fault-op")]
+            Op::FaultInjector(p) => p.eval_batch(one_batch(inputs)?, out),
         }
     }
 
@@ -546,6 +572,8 @@ impl Op {
             Op::MulticlassTree(p) => p.checksum(),
             Op::KMeans(p) => p.checksum(),
             Op::Pca(p) => p.checksum(),
+            #[cfg(feature = "fault-op")]
+            Op::FaultInjector(p) => p.checksum(),
         }
     }
 
@@ -568,6 +596,8 @@ impl Op {
             Op::MulticlassTree(p) => p.heap_bytes(),
             Op::KMeans(p) => p.heap_bytes(),
             Op::Pca(p) => p.heap_bytes(),
+            #[cfg(feature = "fault-op")]
+            Op::FaultInjector(p) => p.heap_bytes(),
         }
     }
 
@@ -591,6 +621,8 @@ impl Op {
             Op::MulticlassTree(p) => Arc::as_ptr(p) as usize,
             Op::KMeans(p) => Arc::as_ptr(p) as usize,
             Op::Pca(p) => Arc::as_ptr(p) as usize,
+            #[cfg(feature = "fault-op")]
+            Op::FaultInjector(p) => Arc::as_ptr(p) as usize,
         }
     }
 
@@ -613,6 +645,8 @@ impl Op {
             Op::MulticlassTree(p) => p.to_entries(),
             Op::KMeans(p) => p.to_entries(),
             Op::Pca(p) => p.to_entries(),
+            #[cfg(feature = "fault-op")]
+            Op::FaultInjector(p) => p.to_entries(),
         };
         let checksum = pretzel_data::serde_bin::section_checksum(&entries);
         Section {
@@ -656,6 +690,8 @@ impl Op {
             }
             "KMeans" => Op::KMeans(Arc::new(KMeansParams::from_entries(section)?)),
             "Pca" => Op::Pca(Arc::new(PcaParams::from_entries(section)?)),
+            #[cfg(feature = "fault-op")]
+            "FaultInjector" => Op::FaultInjector(Arc::new(FaultParams::from_entries(section)?)),
             other => return Err(DataError::Codec(format!("unknown operator kind `{other}`"))),
         })
     }

@@ -30,21 +30,20 @@
 //!    the probe loop is ILP/cache-friendly instead of dependency-chained
 //!    per window.
 //!
-//! The classic kernel (per-window fold+hash, `HashMap` probe) is kept as
-//! the ablation control behind [`pretzel_data::probe::flat_probe`]
-//! (`RuntimeConfig::flat_ngram_probe` at the runtime layer). Both paths
-//! emit the identical match sequence — same FNV-1a values, same
-//! first-index-wins duplicate semantics, same per-row match order — so
-//! scores are bitwise-identical with the knob on or off.
+//! The classic per-window `HashMap` kernel that served as the ablation
+//! control for this path was retired once the ablation era closed; the
+//! flat kernels are the only matching path. Their contract is unchanged:
+//! same FNV-1a values, same first-index-wins duplicate semantics, same
+//! per-row match order as the classic sweep (locked in by the
+//! `ngram_probe` integration tests against an in-test reference).
 
 use crate::annotations::Annotations;
-use crate::params::{hashmap_bytes, ParamBlob};
+use crate::params::ParamBlob;
 use pretzel_data::hash::Fnv1a;
 use pretzel_data::probe::FlatProbeTable;
 use pretzel_data::serde_bin::{wire, Cursor, Section};
 use pretzel_data::vector::Span;
 use pretzel_data::{ColRef, ColumnBatch, DataError, Result, Vector};
-use std::collections::HashMap;
 
 /// Separator byte between tokens when hashing word n-grams.
 const WORD_SEP: u8 = 0x1f;
@@ -207,19 +206,12 @@ fn hash_exact_windows_dyn(bytes: &[u8], k: usize, hashes: &mut [u64]) {
 }
 
 /// A trained n-gram dictionary: the keys (owned, for size realism and
-/// serialization) plus derived hash → index probe structures — the
-/// [`FlatProbeTable`] the default matching path bulk-probes, and a
-/// `HashMap` control path built **lazily on first knob-off probe**: a
-/// paper-scale dictionary's control map costs tens of MB, and a serving
-/// process that never flips the ablation knob should not pay idle heap
-/// for it. Both structures use the same first-index-wins rule, so they
-/// resolve every hash identically.
+/// serialization) plus the derived hash → index [`FlatProbeTable`] the
+/// matching kernels bulk-probe. First insert per key wins, so dictionary
+/// indices are stable across rebuilds.
 #[derive(Debug, Clone)]
 pub struct NgramDict {
     keys: Vec<Box<str>>,
-    // Keys are already FNV-1a hashes; a pass-through hasher avoids paying
-    // SipHash on every probe of the control path. Built on first use.
-    control: std::sync::OnceLock<HashMap<u64, u32, pretzel_data::hash::PrehashedBuild>>,
     flat: FlatProbeTable,
     fold_case: bool,
 }
@@ -243,25 +235,9 @@ impl NgramDict {
         }
         NgramDict {
             keys,
-            control: std::sync::OnceLock::new(),
             flat,
             fold_case,
         }
-    }
-
-    /// The `HashMap` control path, built on first use with the same
-    /// first-wins rule as the flat table (so both paths agree on every
-    /// hash — including duplicate keys).
-    fn control_map(&self) -> &HashMap<u64, u32, pretzel_data::hash::PrehashedBuild> {
-        self.control.get_or_init(|| {
-            let mut map: HashMap<u64, u32, pretzel_data::hash::PrehashedBuild> =
-                HashMap::with_capacity_and_hasher(self.keys.len(), Default::default());
-            for (i, k) in self.keys.iter().enumerate() {
-                map.entry(Self::hash_key(k, self.fold_case))
-                    .or_insert(i as u32);
-            }
-            map
-        })
     }
 
     /// Number of dictionary entries (= featurizer output dimensionality).
@@ -279,19 +255,10 @@ impl NgramDict {
         &self.keys
     }
 
-    /// Probes a precomputed hash through the `HashMap` control path
-    /// (building it on first use).
+    /// Probes a precomputed hash through the flat table (the matching
+    /// path). First-index-wins for duplicate keys.
     #[inline]
     pub fn probe(&self, hash: u64) -> Option<u32> {
-        self.control_map().get(&hash).copied()
-    }
-
-    /// Probes a precomputed hash through the flat table (the default
-    /// matching path). Identical results to [`Self::probe`] by
-    /// construction; exposed so equivalence tests can compare the paths
-    /// directly.
-    #[inline]
-    pub fn probe_flat(&self, hash: u64) -> Option<u32> {
         self.flat.probe(hash)
     }
 
@@ -317,18 +284,11 @@ impl NgramDict {
         h.finish()
     }
 
-    /// Heap bytes: key storage plus the probe structures — the flat table
-    /// that serves matching, and the `HashMap` ablation control **only if
-    /// it has actually been built** (it is lazy; an idle control path
-    /// costs nothing).
+    /// Heap bytes: key storage plus the flat probe table that serves
+    /// matching.
     pub fn heap_bytes(&self) -> usize {
         let keys: usize = self.keys.iter().map(|k| k.len()).sum();
-        keys + self.keys.capacity() * std::mem::size_of::<Box<str>>()
-            + self
-                .control
-                .get()
-                .map_or(0, |m| hashmap_bytes(m.len(), m.capacity()))
-            + self.flat.heap_bytes()
+        keys + self.keys.capacity() * std::mem::size_of::<Box<str>>() + self.flat.heap_bytes()
     }
 }
 
@@ -373,97 +333,20 @@ impl NgramParams {
     /// callback and never materializes the sparse feature vector at all.
     ///
     /// Hits stream in the classic order — lengths ascending, window start
-    /// positions ascending — on both probe paths, so every consumer
-    /// (sparse accumulation, fused f32 dot) is bitwise-identical with the
-    /// flat-probe knob on or off.
+    /// positions ascending — so every consumer (sparse accumulation,
+    /// fused f32 dot) sees the same match sequence the per-window sweep
+    /// produced.
     #[inline]
-    pub fn for_each_char_match(&self, text: &str, f: impl FnMut(u32)) {
-        self.for_each_char_match_with(pretzel_data::probe::flat_probe(), text, f);
-    }
-
-    /// [`Self::for_each_char_match`] with the probe path chosen by the
-    /// caller instead of the ambient knob — how a runtime threads its own
-    /// `RuntimeConfig::flat_ngram_probe` down to the kernel (via the
-    /// `ExecCtx` probe-path scope) and how tests/benches A/B the paths
-    /// without touching process state.
-    #[inline]
-    pub fn for_each_char_match_with(&self, flat: bool, text: &str, mut f: impl FnMut(u32)) {
-        if flat {
-            self.char_match_flat(text, &mut f);
-        } else {
-            self.char_match_control(text, &mut f);
-        }
+    pub fn for_each_char_match(&self, text: &str, mut f: impl FnMut(u32)) {
+        self.char_match_flat(text, &mut f);
     }
 
     /// Streams every dictionary hit at word level (`spans` over `text`).
     ///
     /// Fusion hook, see [`Self::for_each_char_match`].
     #[inline]
-    pub fn for_each_word_match(&self, text: &str, spans: &[Span], f: impl FnMut(u32)) {
-        self.for_each_word_match_with(pretzel_data::probe::flat_probe(), text, spans, f);
-    }
-
-    /// [`Self::for_each_word_match`] with the probe path chosen by the
-    /// caller; see [`Self::for_each_char_match_with`].
-    #[inline]
-    pub fn for_each_word_match_with(
-        &self,
-        flat: bool,
-        text: &str,
-        spans: &[Span],
-        mut f: impl FnMut(u32),
-    ) {
-        if flat {
-            self.word_match_flat(text, spans, &mut f);
-        } else {
-            self.word_match_control(text, spans, &mut f);
-        }
-    }
-
-    /// Classic character kernel (the ablation control): per-window fold +
-    /// hash, dependency-chained `HashMap` probe per window.
-    fn char_match_control(&self, text: &str, f: &mut impl FnMut(u32)) {
-        let bytes = text.as_bytes();
-        for k in self.lengths() {
-            let k = k as usize;
-            if bytes.len() < k {
-                continue;
-            }
-            for w in bytes.windows(k) {
-                let mut h = Fnv1a::new();
-                for &b in w {
-                    h.push_byte(fold(b, self.fold_case));
-                }
-                if let Some(idx) = self.dict.probe(h.finish()) {
-                    f(idx);
-                }
-            }
-        }
-    }
-
-    /// Classic word kernel (the ablation control).
-    fn word_match_control(&self, text: &str, spans: &[Span], f: &mut impl FnMut(u32)) {
-        let bytes = text.as_bytes();
-        for k in self.lengths() {
-            let k = k as usize;
-            if spans.len() < k {
-                continue;
-            }
-            for w in spans.windows(k) {
-                let mut h = Fnv1a::new();
-                for (ti, sp) in w.iter().enumerate() {
-                    if ti > 0 {
-                        h.push_byte(WORD_SEP);
-                    }
-                    for &b in &bytes[sp.start as usize..sp.end as usize] {
-                        h.push_byte(fold(b, self.fold_case));
-                    }
-                }
-                if let Some(idx) = self.dict.probe(h.finish()) {
-                    f(idx);
-                }
-            }
-        }
+    pub fn for_each_word_match(&self, text: &str, spans: &[Span], mut f: impl FnMut(u32)) {
+        self.word_match_flat(text, spans, &mut f);
     }
 
     /// Character kernel, flat path: fold once → hash every window of every
@@ -669,14 +552,6 @@ impl NgramParams {
             row.finish();
         }
         Ok(())
-    }
-
-    fn lengths(&self) -> std::ops::RangeInclusive<u32> {
-        if self.all_lengths {
-            1..=self.n
-        } else {
-            self.n..=self.n
-        }
     }
 
     fn check_batch_out(&self, out: &ColumnBatch) -> Result<()> {

@@ -22,7 +22,12 @@
 //! * [`churn`] — Zipf-driven deploy/score/undeploy model-churn cycles over
 //!   stable aliases (the model-lifecycle workload).
 
+//! * [`adversarial`] — hostile payloads (non-finite floats, malformed CSR
+//!   rows) and fault-salted text streams driving the fault-containment
+//!   ablation.
+
 pub mod ac;
+pub mod adversarial;
 pub mod churn;
 pub mod load;
 pub mod sa;

@@ -571,3 +571,173 @@ fn single_chunk_assembled_batch_moves_rows_and_matches_record_path() {
         std::thread::sleep(Duration::from_millis(2));
     }
 }
+
+// ---- fault statuses, the ROLLBACK verb, and ingest hardening ----------
+
+/// Silences the fault op's expected panics (see `tests/faults.rs` for the
+/// runtime-level suite) without hiding real assertion failures.
+fn quiet_fault_panics() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let fault = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("fault-op:"));
+            if !fault {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+/// A tiny text plan image; `faulting` inserts the marker-triggered panic
+/// op on every record's path.
+fn fault_test_image(seed: u64, faulting: bool) -> Vec<u8> {
+    use pretzel_ops::fault::FaultParams;
+    let ctx = pretzel_core::flour::FlourContext::new();
+    let mut text = ctx.csv(',').select_text(1);
+    if faulting {
+        text = text.apply(pretzel_ops::Op::FaultInjector(Arc::new(FaultParams::new(
+            pretzel_workload::adversarial::FAULT_MARKER,
+        ))));
+    }
+    text.tokenize()
+        .char_ngram(Arc::new(pretzel_ops::synth::char_ngram(seed ^ 0xc, 3, 64)))
+        .classifier_linear(Arc::new(pretzel_ops::synth::linear(
+            seed ^ 0x1e,
+            64,
+            pretzel_ops::linear::LinearKind::Logistic,
+        )))
+        .graph()
+        .to_model_image()
+}
+
+#[test]
+fn fault_and_quarantine_statuses_are_typed_over_the_wire() {
+    quiet_fault_panics();
+    let runtime = Arc::new(Runtime::new(RuntimeConfig {
+        n_executors: 1,
+        ..RuntimeConfig::default() // quarantine threshold 3
+    }));
+    let fe = FrontEnd::serve(Arc::clone(&runtime), FrontEndConfig::default()).unwrap();
+    let mut client = Client::connect_v2(fe.addr()).unwrap();
+
+    let predecessor = client
+        .deploy(&fault_test_image(1, false), Some("canary"), false)
+        .unwrap();
+    let faulty = client
+        .deploy(&fault_test_image(2, true), None, false)
+        .unwrap();
+    assert_eq!(client.swap("canary", faulty).unwrap(), Some(predecessor));
+
+    let marked = "3,these words then __FAULT__";
+    // Status 3 carries the panic payload to the client as a typed error,
+    // once per contained fault until the threshold trips.
+    for _ in 0..3 {
+        match client.predict(&PredictRequest::text(marked).plan(faulty)) {
+            Err(pretzel_data::DataError::ExecutionFault(msg)) => {
+                assert!(msg.contains("fault-op"), "payload lost: {msg}");
+            }
+            other => panic!("expected wire status 3 → ExecutionFault, got {other:?}"),
+        }
+    }
+    // Status 4: the gate is closed, the plan id rides in the response.
+    assert!(matches!(
+        client.predict(&PredictRequest::text(marked).plan(faulty)),
+        Err(pretzel_data::DataError::PlanQuarantined(id)) if id == faulty
+    ));
+    // Alias traffic survived the whole episode via auto-rollback.
+    let score = client
+        .predict(&PredictRequest::text(marked).alias("canary"))
+        .unwrap();
+    assert!(score.is_finite());
+
+    // LIST exposes the quarantine flag and the rebound alias; STATS
+    // counts the faults.
+    let plans = client.list().unwrap();
+    assert!(plans.iter().find(|p| p.id == faulty).unwrap().quarantined);
+    let pred_info = plans.iter().find(|p| p.id == predecessor).unwrap();
+    assert!(pred_info.aliases.iter().any(|a| a == "canary"));
+    let snap = client.stats().unwrap();
+    let pm = snap.plan(faulty).expect("faulty plan in STATS");
+    assert!(pm.faults >= 3 && pm.quarantined);
+    fe.stop();
+}
+
+#[test]
+fn admin_rollback_verb_round_trips() {
+    let (images, _) = small_workload(2);
+    let runtime = Arc::new(Runtime::new(RuntimeConfig {
+        n_executors: 1,
+        ..RuntimeConfig::default()
+    }));
+    let fe = FrontEnd::serve(Arc::clone(&runtime), FrontEndConfig::default()).unwrap();
+    let mut client = Client::connect_v2(fe.addr()).unwrap();
+
+    let v1 = client.deploy(&images[0], Some("m"), false).unwrap();
+    let v2 = client.deploy(&images[1], None, false).unwrap();
+    client.swap("m", v2).unwrap();
+
+    assert_eq!(client.rollback("m").unwrap(), Some(v1));
+    // Bottom of the version stack: a clean None, binding untouched.
+    assert_eq!(client.rollback("m").unwrap(), None);
+    // Unknown aliases are an error, not a silent no-op.
+    assert!(client.rollback("nope").is_err());
+    fe.stop();
+}
+
+#[test]
+fn non_finite_payloads_are_rejected_at_the_wire_boundary() {
+    use pretzel_workload::adversarial::{hostile_sparse_rows, non_finite_dense_rows};
+    let dim = 8usize;
+    let ctx = pretzel_core::flour::FlourContext::new();
+    let image = ctx
+        .dense_source(dim)
+        .classifier_linear(Arc::new(pretzel_ops::synth::linear(
+            11,
+            dim,
+            pretzel_ops::linear::LinearKind::Regression,
+        )))
+        .graph()
+        .to_model_image();
+    let runtime = Arc::new(Runtime::new(RuntimeConfig {
+        n_executors: 1,
+        ..RuntimeConfig::default() // reject_non_finite: true
+    }));
+    let fe = FrontEnd::serve(Arc::clone(&runtime), FrontEndConfig::default()).unwrap();
+    let mut client = Client::connect_v2(fe.addr()).unwrap();
+    let id = client.deploy(&image, None, false).unwrap();
+
+    // Every non-finite dense payload is refused with a clean codec error.
+    for row in non_finite_dense_rows(dim) {
+        let err = client
+            .predict(&PredictRequest::dense(row).plan(id))
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("non-finite"),
+            "expected a non-finite rejection, got: {err}"
+        );
+    }
+    // A batch with one poisoned row is refused as a unit.
+    let mut rows = vec![vec![0.25f32; dim]; 3];
+    rows[1][dim / 2] = f32::NAN;
+    assert!(client
+        .predict_many(&PredictRequest::dense_batch(rows).plan(id))
+        .is_err());
+    // Hostile sparse rows (out-of-dim, unsorted, duplicated, NaN) are all
+    // rejected too — by CSR validation or the finite check.
+    for (indices, values) in hostile_sparse_rows(dim as u32) {
+        assert!(client
+            .predict(&PredictRequest::sparse(indices, values, dim as u32).plan(id))
+            .is_err());
+    }
+    // The connection and plan both survive: clean rows still score.
+    let score = client
+        .predict(&PredictRequest::dense(vec![0.5; dim]).plan(id))
+        .unwrap();
+    assert!(score.is_finite());
+    fe.stop();
+}

@@ -1,47 +1,30 @@
 //! Flat-probe matching-path equivalence and property suite.
 //!
-//! The n-gram matching kernel has two physical paths: the default flat
-//! prefiltered table (incremental window hashing, bulk prefetched probes)
-//! and the classic per-window `HashMap` probe kept as the ablation control
-//! (`RuntimeConfig::flat_ngram_probe = false`). The contract locked in
-//! here: the two paths are **bitwise interchangeable** — identical hit
-//! indices and duplicate resolution at the dictionary level, identical
-//! match sequences at the kernel level, and identical `apply` /
-//! `eval_batch` / fused-dot / end-to-end scores — over randomized
+//! The n-gram matching kernel runs the flat prefiltered table path
+//! (incremental window hashing, bulk prefetched probes). The classic
+//! per-window `HashMap` kernel it was originally ablated against is gone
+//! from the product; the contract it anchored still holds and is locked
+//! in here against an **in-test reference implementation** of the classic
+//! sweep: identical hit indices and duplicate resolution at the
+//! dictionary level, identical match sequences at the kernel level, and
+//! identical `apply` / `eval_batch` / fused-dot scores — over randomized
 //! dictionaries and texts, including the degenerate shapes (empty and
 //! one-entry dictionaries, texts shorter than the window, table sizes
 //! straddling power-of-two resize boundaries).
-//!
-//! The probe knob is process-global, and these tests flip it; that is safe
-//! to run concurrently with every other test precisely because of the
-//! property being tested — the paths differ in throughput, never in bits.
 
 use pretzel_core::plan::StageOp;
-use pretzel_data::hash::splitmix64;
-use pretzel_data::probe::set_flat_probe;
+use pretzel_data::hash::{splitmix64, Fnv1a};
 use pretzel_data::vector::Span;
 use pretzel_data::{ColumnBatch, ColumnType, Vector};
 use pretzel_ops::synth;
 use pretzel_ops::text::ngram::{NgramDict, NgramParams};
 use pretzel_ops::text::tokenizer::TokenizerParams;
+use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Serializes knob flips within this test binary: the knob is process
-/// global, and two tests toggling it concurrently would (harmlessly, since
-/// the paths are bitwise-identical — but weakening the comparison) race.
-static KNOB_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-
-/// Runs `f` twice — flat path, then `HashMap` control — restoring the
-/// default (flat) afterwards, and returns both results.
-fn on_both_paths<R>(mut f: impl FnMut() -> R) -> (R, R) {
-    let _guard = KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    set_flat_probe(true);
-    let flat = f();
-    set_flat_probe(false);
-    let control = f();
-    set_flat_probe(true);
-    (flat, control)
-}
+/// Separator byte between tokens when hashing word n-grams (the kernels'
+/// `WORD_SEP` contract, restated here so the reference is independent).
+const WORD_SEP: u8 = 0x1f;
 
 /// Deterministic pseudo-random generator for dictionary/text synthesis.
 struct Rng(u64);
@@ -81,6 +64,87 @@ fn random_keys(rng: &mut Rng, entries: usize, max_len: usize) -> Vec<Box<str>> {
         .collect()
 }
 
+#[inline]
+fn fold(b: u8, fold_case: bool) -> u8 {
+    if fold_case && b.is_ascii_uppercase() {
+        b | 0x20
+    } else {
+        b
+    }
+}
+
+/// Reference probe structure: a first-index-wins `HashMap` built exactly
+/// the way the retired control path built its map.
+fn reference_map(p: &NgramParams) -> HashMap<u64, u32> {
+    let mut map = HashMap::with_capacity(p.dict.len());
+    for (i, k) in p.dict.keys().iter().enumerate() {
+        map.entry(NgramDict::hash_key(k, p.fold_case))
+            .or_insert(i as u32);
+    }
+    map
+}
+
+fn lengths(p: &NgramParams) -> std::ops::RangeInclusive<u32> {
+    if p.all_lengths {
+        1..=p.n
+    } else {
+        p.n..=p.n
+    }
+}
+
+/// Reference character kernel: the classic per-window sweep — lengths
+/// ascending, start positions ascending, fold + FNV-1a per window,
+/// chained map probe.
+fn reference_char_matches(p: &NgramParams, text: &str) -> Vec<u32> {
+    let map = reference_map(p);
+    let bytes = text.as_bytes();
+    let mut hits = Vec::new();
+    for k in lengths(p) {
+        let k = k as usize;
+        if k == 0 || bytes.len() < k {
+            continue;
+        }
+        for w in bytes.windows(k) {
+            let mut h = Fnv1a::new();
+            for &b in w {
+                h.push_byte(fold(b, p.fold_case));
+            }
+            if let Some(&idx) = map.get(&h.finish()) {
+                hits.push(idx);
+            }
+        }
+    }
+    hits
+}
+
+/// Reference word kernel: the classic per-window sweep over token spans.
+fn reference_word_matches(p: &NgramParams, text: &str, spans: &[Span]) -> Vec<u32> {
+    let map = reference_map(p);
+    let bytes = text.as_bytes();
+    let mut hits = Vec::new();
+    for k in lengths(p) {
+        let k = k as usize;
+        if k == 0 || spans.len() < k {
+            continue;
+        }
+        for w in spans.windows(k) {
+            let mut h = Fnv1a::new();
+            for (ti, sp) in w.iter().enumerate() {
+                if ti > 0 {
+                    h.push_byte(WORD_SEP);
+                }
+                for &b in &bytes[sp.start as usize..sp.end as usize] {
+                    h.push_byte(fold(b, p.fold_case));
+                }
+            }
+            if let Some(&idx) = map.get(&h.finish()) {
+                hits.push(idx);
+            }
+        }
+    }
+    hits
+}
+
 fn collect_char_matches(p: &NgramParams, text: &str) -> Vec<u32> {
     let mut hits = Vec::new();
     p.for_each_char_match(text, |idx| hits.push(idx));
@@ -94,20 +158,26 @@ fn collect_word_matches(p: &NgramParams, text: &str, spans: &[Span]) -> Vec<u32>
 }
 
 #[test]
-fn dict_probe_paths_agree_on_keys_and_misses() {
+fn dict_probe_agrees_with_reference_map_on_keys_and_misses() {
     let mut rng = Rng(0xfeed_face);
     // Sizes straddle the flat table's power-of-two growth boundaries
     // (capacity = next_pow2(2·len)), including the degenerate dictionaries.
     for entries in [0usize, 1, 2, 3, 4, 7, 8, 9, 31, 32, 33, 127, 128, 129, 1000] {
         for fold_case in [true, false] {
             let dict = NgramDict::new(random_keys(&mut rng, entries, 4), fold_case);
+            let mut reference: HashMap<u64, u32> = HashMap::new();
+            for (i, k) in dict.keys().iter().enumerate() {
+                reference
+                    .entry(NgramDict::hash_key(k, fold_case))
+                    .or_insert(i as u32);
+            }
             // Every key resolves identically (first-index-wins duplicates
-            // included) on both paths.
+            // included).
             for key in dict.keys() {
                 let h = NgramDict::hash_key(key, fold_case);
                 assert_eq!(
                     dict.probe(h),
-                    dict.probe_flat(h),
+                    reference.get(&h).copied(),
                     "entries={entries} key={key:?}"
                 );
                 assert!(dict.probe(h).is_some());
@@ -115,21 +185,19 @@ fn dict_probe_paths_agree_on_keys_and_misses() {
             // Random hashes (overwhelmingly misses) resolve identically.
             for _ in 0..500 {
                 let h = rng.next();
-                assert_eq!(dict.probe(h), dict.probe_flat(h), "entries={entries}");
+                assert_eq!(
+                    dict.probe(h),
+                    reference.get(&h).copied(),
+                    "entries={entries}"
+                );
             }
-            assert_eq!(dict.flat_table().len(), {
-                let mut uniq = std::collections::HashSet::new();
-                dict.keys()
-                    .iter()
-                    .filter(|k| uniq.insert(NgramDict::hash_key(k, fold_case)))
-                    .count()
-            });
+            assert_eq!(dict.flat_table().len(), reference.len());
         }
     }
 }
 
 #[test]
-fn duplicate_keys_resolve_first_index_wins_on_both_paths() {
+fn duplicate_keys_resolve_first_index_wins() {
     // "AB" and "ab" collide after folding; "ab" again collides exactly.
     let keys: Vec<Box<str>> = ["AB", "ab", "cd", "ab", "CD"]
         .iter()
@@ -139,13 +207,11 @@ fn duplicate_keys_resolve_first_index_wins_on_both_paths() {
     let h_ab = NgramDict::hash_key("ab", true);
     let h_cd = NgramDict::hash_key("cd", true);
     assert_eq!(dict.probe(h_ab), Some(0));
-    assert_eq!(dict.probe_flat(h_ab), Some(0));
     assert_eq!(dict.probe(h_cd), Some(2));
-    assert_eq!(dict.probe_flat(h_cd), Some(2));
 }
 
 #[test]
-fn char_match_sequences_identical_across_paths() {
+fn char_match_sequences_identical_to_reference_sweep() {
     let mut rng = Rng(0x1234_5678);
     let tok = TokenizerParams::whitespace_punct();
     for case in 0..40 {
@@ -161,17 +227,20 @@ fn char_match_sequences_identical_across_paths() {
         );
         for text_len in [0usize, 1, 2, 5, 40, 300] {
             let text = random_text(&mut rng, text_len);
-            let (flat, control) = on_both_paths(|| collect_char_matches(&p, &text));
             assert_eq!(
-                flat, control,
+                collect_char_matches(&p, &text),
+                reference_char_matches(&p, &text),
                 "char case={case} n={n} all={all_lengths} fold={fold_case} len={text_len}"
             );
             // Word-level over the same material.
             let mut toks = Vector::with_type(ColumnType::TokenList);
             tok.apply(&text, &mut toks).unwrap();
             let spans = toks.as_tokens().unwrap();
-            let (flat_w, control_w) = on_both_paths(|| collect_word_matches(&p, &text, spans));
-            assert_eq!(flat_w, control_w, "word case={case} len={text_len}");
+            assert_eq!(
+                collect_word_matches(&p, &text, spans),
+                reference_word_matches(&p, &text, spans),
+                "word case={case} len={text_len}"
+            );
         }
     }
 }
@@ -193,126 +262,113 @@ fn word_match_sequences_identical_on_vocabulary_texts() {
         let mut toks = Vector::with_type(ColumnType::TokenList);
         tok.apply(&text, &mut toks).unwrap();
         let spans = toks.as_tokens().unwrap();
-        let (flat, control) = on_both_paths(|| collect_word_matches(&p, &text, spans));
-        assert_eq!(flat, control, "sentence_len={sentence_len}");
-        assert!(sentence_len < 2 || !flat.is_empty() || p.dim() == 0);
+        let kernel = collect_word_matches(&p, &text, spans);
+        assert_eq!(
+            kernel,
+            reference_word_matches(&p, &text, spans),
+            "sentence_len={sentence_len}"
+        );
+        assert!(sentence_len < 2 || !kernel.is_empty() || p.dim() == 0);
     }
 }
 
 #[test]
-fn apply_and_eval_batch_outputs_bitwise_identical_across_paths() {
+fn apply_and_eval_batch_outputs_match_reference_accumulation() {
     let mut rng = Rng(0x5151);
     let p = NgramParams::new(3, true, true, random_keys(&mut rng, 300, 3));
     let texts: Vec<String> = (0..17).map(|i| random_text(&mut rng, i * 13)).collect();
 
-    let run = |p: &NgramParams, texts: &[String]| {
-        // Per-record sparse outputs.
-        let singles: Vec<Vec<(u32, u32)>> = texts
-            .iter()
-            .map(|t| {
-                let mut out = Vector::with_type(ColumnType::F32Sparse { len: p.dim() });
-                p.apply_char(t, &mut out).unwrap();
-                match out {
-                    Vector::Sparse {
-                        indices, values, ..
-                    } => indices
-                        .into_iter()
-                        .zip(values.into_iter().map(f32::to_bits))
-                        .collect(),
-                    _ => unreachable!(),
-                }
-            })
-            .collect();
-        // Batch CSR output.
-        let mut input = ColumnBatch::with_type(ColumnType::Text);
-        for t in texts {
-            input.push_text(t).unwrap();
+    for t in &texts {
+        // Reference: accumulate the classic sweep's hit sequence into a
+        // sorted-by-index sparse pair list (`sparse_accumulate` keeps
+        // indices sorted; counts are sums of exact 1.0s, so order of
+        // addition cannot perturb them).
+        let mut counts: std::collections::BTreeMap<u32, f32> = std::collections::BTreeMap::new();
+        for idx in reference_char_matches(&p, t) {
+            *counts.entry(idx).or_insert(0.0) += 1.0;
         }
-        let mut out = ColumnBatch::with_type(ColumnType::F32Sparse { len: p.dim() });
-        p.eval_batch_char(&input, &mut out).unwrap();
-        let batch = format!("{out:?}");
-        (singles, batch)
-    };
-    let (flat, control) = on_both_paths(|| run(&p, &texts));
-    assert_eq!(flat.0, control.0, "per-record sparse outputs diverge");
-    assert_eq!(flat.1, control.1, "batch CSR output diverges");
+        let expect: Vec<(u32, u32)> = counts.iter().map(|(&i, v)| (i, v.to_bits())).collect();
+
+        let mut out = Vector::with_type(ColumnType::F32Sparse { len: p.dim() });
+        p.apply_char(t, &mut out).unwrap();
+        let got: Vec<(u32, u32)> = match out {
+            Vector::Sparse {
+                indices, values, ..
+            } => indices
+                .into_iter()
+                .zip(values.into_iter().map(f32::to_bits))
+                .collect(),
+            _ => unreachable!(),
+        };
+        assert_eq!(got, expect, "apply_char diverges from reference on {t:?}");
+    }
+
+    // Batch CSR rows are bitwise the per-record outputs.
+    let mut input = ColumnBatch::with_type(ColumnType::Text);
+    for t in &texts {
+        input.push_text(t).unwrap();
+    }
+    let mut batch = ColumnBatch::with_type(ColumnType::F32Sparse { len: p.dim() });
+    p.eval_batch_char(&input, &mut batch).unwrap();
+    for (r, t) in texts.iter().enumerate() {
+        let mut single = Vector::with_type(ColumnType::F32Sparse { len: p.dim() });
+        p.apply_char(t, &mut single).unwrap();
+        let (s_idx, s_val) = match &single {
+            Vector::Sparse {
+                indices, values, ..
+            } => (
+                indices.clone(),
+                values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            ),
+            _ => unreachable!(),
+        };
+        let pretzel_data::ColRef::Sparse {
+            indices, values, ..
+        } = batch.row(r)
+        else {
+            unreachable!()
+        };
+        assert_eq!(indices, &s_idx[..], "batch row {r} indices diverge");
+        assert_eq!(
+            values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            s_val,
+            "batch row {r} values diverge"
+        );
+    }
 }
 
 #[test]
-fn fused_dot_scores_bitwise_identical_across_paths() {
+fn fused_dot_scores_match_reference_emission_order() {
     // The fused n-gram·dot accumulates f32 in emission order, so this is
-    // the strictest consumer: any reordering between the paths shows up
-    // in the last bits of the sum.
+    // the strictest consumer: any reordering in the kernel shows up in
+    // the last bits of the sum.
     let ngram = Arc::new(synth::char_ngram(5, 3, 512));
     let lin = Arc::new(synth::linear(
         6,
         512,
         pretzel_ops::linear::LinearKind::Regression,
     ));
+    let weights = lin.weights.clone();
     let mut rng = Rng(0x9988);
     let step = StageOp::FusedCharNgramDot {
-        ngram,
+        ngram: Arc::clone(&ngram),
         linear: lin,
         offset: 0,
     };
     for len in [0usize, 3, 10, 120, 800] {
-        let text = Vector::Text(random_text(&mut rng, len));
-        let (a, b) = on_both_paths(|| {
-            let mut out = Vector::Scalar(0.0);
-            step.apply(&[&text], &mut out).unwrap();
-            out.as_scalar().unwrap()
-        });
-        assert_eq!(a.to_bits(), b.to_bits(), "fused dot len={len}: {a} vs {b}");
-    }
-}
-
-#[test]
-fn end_to_end_sa_scores_bitwise_identical_across_probe_knob() {
-    use pretzel_core::runtime::{Runtime, RuntimeConfig};
-    use pretzel_core::scheduler::Record;
-    use pretzel_workload::sa::{self, SaConfig};
-    use pretzel_workload::text::ReviewGen;
-
-    let w = sa::build(&SaConfig::tiny());
-    let mut reviews = ReviewGen::new(3, w.vocab.len(), 1.2);
-    let records: Vec<Record> = (0..40)
-        .map(|_| Record::Text(format!("4,{}", reviews.review(5, 18))))
-        .collect();
-
-    let score_all = |flat: bool| -> Vec<(u32, u32)> {
-        let rt = Runtime::new(RuntimeConfig {
-            n_executors: 2,
-            chunk_size: 7,
-            flat_ngram_probe: flat,
-            ..RuntimeConfig::default()
-        });
-        let mut out = Vec::new();
-        for g in &w.graphs {
-            let plan = pretzel_core::oven::optimize(g).unwrap().plan;
-            let id = rt.register(plan).unwrap();
-            // Request-response engine (borrowed-source execute).
-            let Record::Text(line) = &records[0] else {
-                unreachable!()
-            };
-            let rr = rt.predict(id, line).unwrap();
-            // Batch engine (columnar chunks).
-            let batch = rt.predict_batch_wait(id, records.clone()).unwrap();
-            out.push((
-                rr.to_bits(),
-                batch.iter().map(|s| s.to_bits()).fold(0, |a, b| a ^ b),
-            ));
+        let text_s = random_text(&mut rng, len);
+        let mut expect = 0.0f32;
+        for idx in reference_char_matches(&ngram, &text_s) {
+            expect += weights[idx as usize];
         }
-        out
-    };
-    let (flat, control) = {
-        let _guard = KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-        let flat = score_all(true);
-        let control = score_all(false);
-        set_flat_probe(true);
-        (flat, control)
-    };
-    assert_eq!(
-        flat, control,
-        "SA end-to-end scores diverge across the probe knob"
-    );
+        let text = Vector::Text(text_s);
+        let mut out = Vector::Scalar(0.0);
+        step.apply(&[&text], &mut out).unwrap();
+        let got = out.as_scalar().unwrap();
+        assert_eq!(
+            got.to_bits(),
+            expect.to_bits(),
+            "fused dot len={len}: {got} vs {expect}"
+        );
+    }
 }
